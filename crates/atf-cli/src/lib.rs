@@ -1,0 +1,512 @@
+//! # atf-cli — tune any program from a JSON specification
+//!
+//! The command-line face of the generic cost function (paper, Section II,
+//! Step 2): a JSON file declares the program (source + compile/run scripts
+//! + optional cost log), the tuning parameters with ranges and *constraint
+//! strings* (parsed by [`atf_core::parse`]), the search technique, and the
+//! abort conditions; the tool runs the tuning loop and (optionally) records
+//! the result in a [`atf_core::db::TuningDatabase`].
+//!
+//! ```text
+//! atf-tune spec.json
+//! ```
+//!
+//! Example specification:
+//!
+//! ```json
+//! {
+//!   "program": { "source": "prog.sh", "run": "run.sh", "log_file": "cost.log" },
+//!   "parameters": [
+//!     { "name": "UNROLL", "set": [1, 2, 4, 8] },
+//!     { "name": "BLOCK", "interval": { "begin": 8, "end": 96 },
+//!       "constraint": "is_multiple_of(UNROLL)" }
+//!   ],
+//!   "search": { "technique": "ensemble", "seed": 42 },
+//!   "abort": { "evaluations": 200 }
+//! }
+//! ```
+
+use atf_core::abort::{self, Abort};
+use atf_core::param::{auto_group, tp, Param};
+use atf_core::parse::parse_constraint;
+use atf_core::prelude::*;
+use atf_core::process::{LexCosts, ProcessCostFunction};
+use serde::Deserialize;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Reading or deserializing the specification failed.
+    Spec(String),
+    /// A constraint string failed to parse.
+    Constraint {
+        /// The parameter whose constraint is broken.
+        parameter: String,
+        /// The parser's message.
+        message: String,
+    },
+    /// Tuning failed (empty space / nothing measurable).
+    Tuning(TuningError),
+    /// The database could not be read or written.
+    Database(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Spec(m) => write!(f, "bad specification: {m}"),
+            CliError::Constraint { parameter, message } => {
+                write!(f, "bad constraint for `{parameter}`: {message}")
+            }
+            CliError::Tuning(e) => write!(f, "tuning failed: {e}"),
+            CliError::Database(m) => write!(f, "database error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The program under tuning (the generic cost function's inputs).
+#[derive(Clone, Debug, Deserialize)]
+pub struct ProgramSpec {
+    /// Path to the program source (exported as `ATF_SOURCE`).
+    pub source: PathBuf,
+    /// Script executed to run the program.
+    pub run: PathBuf,
+    /// Optional script executed before every run.
+    #[serde(default)]
+    pub compile: Option<PathBuf>,
+    /// Optional cost log (comma-separated costs, lexicographic); without
+    /// it, wall-clock runtime is the cost.
+    #[serde(default)]
+    pub log_file: Option<PathBuf>,
+}
+
+/// An inclusive integer interval with optional step.
+#[derive(Clone, Debug, Deserialize)]
+pub struct IntervalSpec {
+    /// First value.
+    pub begin: u64,
+    /// Last value (inclusive).
+    pub end: u64,
+    /// Step size (default 1).
+    #[serde(default = "one")]
+    pub step: u64,
+}
+
+fn one() -> u64 {
+    1
+}
+
+/// One tuning parameter.
+#[derive(Clone, Debug, Deserialize)]
+pub struct ParameterSpec {
+    /// Unique name (also the `ATF_TP_<NAME>` environment variable).
+    pub name: String,
+    /// Interval range (exactly one of `interval`/`set` must be given).
+    #[serde(default)]
+    pub interval: Option<IntervalSpec>,
+    /// Explicit value set.
+    #[serde(default)]
+    pub set: Option<Vec<u64>>,
+    /// Constraint string, e.g. `"divides(N / WPT)"` (see
+    /// [`atf_core::parse::parse_constraint`]).
+    #[serde(default)]
+    pub constraint: Option<String>,
+}
+
+/// Search-technique selection.
+#[derive(Clone, Debug, Deserialize)]
+pub struct SearchSpec {
+    /// One of `exhaustive`, `random`, `annealing`, `ensemble` (default).
+    #[serde(default = "default_technique")]
+    pub technique: String,
+    /// RNG seed for deterministic runs.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_technique() -> String {
+    "ensemble".to_string()
+}
+
+impl Default for SearchSpec {
+    fn default() -> Self {
+        SearchSpec {
+            technique: default_technique(),
+            seed: 0,
+        }
+    }
+}
+
+/// Abort conditions; the given fields are OR-combined (first to fire stops
+/// the run). With no field set, the paper's default `evaluations(S)` is
+/// used.
+#[derive(Clone, Debug, Default, Deserialize)]
+pub struct AbortSpec {
+    /// Stop after this many tested configurations.
+    #[serde(default)]
+    pub evaluations: Option<u64>,
+    /// Stop after this many seconds.
+    #[serde(default)]
+    pub duration_secs: Option<f64>,
+    /// Stop once a cost ≤ this is found.
+    #[serde(default)]
+    pub cost: Option<f64>,
+    /// Stop when the last `stagnation_evaluations` did not improve the best
+    /// cost by ≥ 5 %.
+    #[serde(default)]
+    pub stagnation_evaluations: Option<u64>,
+}
+
+/// The whole tuning specification.
+#[derive(Clone, Debug, Deserialize)]
+pub struct TuningSpec {
+    /// The program under tuning.
+    pub program: ProgramSpec,
+    /// The tuning parameters (declaration order matters: constraints may
+    /// only reference earlier parameters).
+    pub parameters: Vec<ParameterSpec>,
+    /// Search selection.
+    #[serde(default)]
+    pub search: SearchSpec,
+    /// Abort conditions.
+    #[serde(default)]
+    pub abort: AbortSpec,
+    /// Optional tuning-database path to merge the result into.
+    #[serde(default)]
+    pub database: Option<PathBuf>,
+    /// Database key: kernel/program name (default: the source file name).
+    #[serde(default)]
+    pub kernel_name: Option<String>,
+    /// Database key: device name (default "local").
+    #[serde(default)]
+    pub device_name: Option<String>,
+    /// Database key: workload label.
+    #[serde(default)]
+    pub workload: Option<String>,
+}
+
+impl TuningSpec {
+    /// Parses a specification from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, CliError> {
+        serde_json::from_str(text).map_err(|e| CliError::Spec(e.to_string()))
+    }
+
+    /// Loads a specification file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, CliError> {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::Spec(format!("{}: {e}", path.as_ref().display())))?;
+        Self::from_json(&text)
+    }
+
+    /// Builds the parameter list (parsing constraint strings).
+    pub fn build_params(&self) -> Result<Vec<Param>, CliError> {
+        if self.parameters.is_empty() {
+            return Err(CliError::Spec("no parameters declared".to_string()));
+        }
+        self.parameters
+            .iter()
+            .map(|p| {
+                let range = match (&p.interval, &p.set) {
+                    (Some(iv), None) => Range::interval_step(iv.begin, iv.end, iv.step.max(1)),
+                    (None, Some(vals)) => Range::set(vals.iter().copied()),
+                    _ => {
+                        return Err(CliError::Spec(format!(
+                            "parameter `{}` needs exactly one of `interval` or `set`",
+                            p.name
+                        )))
+                    }
+                };
+                let mut param = tp(p.name.as_str(), range);
+                if let Some(text) = &p.constraint {
+                    let c = parse_constraint(text).map_err(|e| CliError::Constraint {
+                        parameter: p.name.clone(),
+                        message: e.to_string(),
+                    })?;
+                    param = param.with_constraint(c);
+                }
+                Ok(param)
+            })
+            .collect()
+    }
+
+    fn build_abort(&self) -> Option<Abort> {
+        let mut acc: Option<Abort> = None;
+        let mut add = |a: Abort| {
+            acc = Some(match acc.take() {
+                Some(prev) => prev | a,
+                None => a,
+            });
+        };
+        if let Some(n) = self.abort.evaluations {
+            add(abort::evaluations(n));
+        }
+        if let Some(s) = self.abort.duration_secs {
+            add(abort::duration(Duration::from_secs_f64(s)));
+        }
+        if let Some(c) = self.abort.cost {
+            add(abort::cost(c));
+        }
+        if let Some(n) = self.abort.stagnation_evaluations {
+            add(abort::speedup_over_evaluations(1.05, n));
+        }
+        acc
+    }
+
+    fn build_technique(&self) -> Result<Box<dyn SearchTechnique>, CliError> {
+        let seed = self.search.seed;
+        Ok(match self.search.technique.as_str() {
+            "exhaustive" => Box::new(Exhaustive::new()),
+            "random" => Box::new(RandomSearch::with_seed(seed)),
+            "annealing" => Box::new(SimulatedAnnealing::with_seed(seed)),
+            "ensemble" => Box::new(Ensemble::opentuner_default(seed)),
+            other => {
+                return Err(CliError::Spec(format!(
+                    "unknown technique `{other}` (expected exhaustive, random, annealing, ensemble)"
+                )))
+            }
+        })
+    }
+
+    fn build_cost_function(&self) -> ProcessCostFunction {
+        let mut cf = ProcessCostFunction::new(&self.program.source, &self.program.run);
+        if let Some(c) = &self.program.compile {
+            cf = cf.compile_script(c);
+        }
+        if let Some(l) = &self.program.log_file {
+            cf = cf.log_file(l);
+        }
+        cf
+    }
+}
+
+/// The outcome reported to the CLI user.
+#[derive(Debug)]
+pub struct CliOutcome {
+    /// The tuning result.
+    pub result: TuningResult<LexCosts>,
+    /// Whether a database record was written (and where).
+    pub database: Option<PathBuf>,
+}
+
+/// Runs a tuning specification end to end.
+pub fn run(spec: &TuningSpec) -> Result<CliOutcome, CliError> {
+    let params = spec.build_params()?;
+    // Group automatically: independent parameters explore in parallel-
+    // generated groups without the user thinking about it.
+    let groups = auto_group(params);
+    let mut cf = spec.build_cost_function();
+    let mut tuner = Tuner::new().technique(spec.build_technique()?);
+    if let Some(a) = spec.build_abort() {
+        tuner = tuner.abort_condition(a);
+    }
+    let result = tuner
+        .parallel_generation(groups.len() > 1)
+        .tune(&groups, &mut cf)
+        .map_err(CliError::Tuning)?;
+
+    let mut database = None;
+    if let Some(db_path) = &spec.database {
+        let mut db = if db_path.exists() {
+            TuningDatabase::load(db_path).map_err(|e| CliError::Database(e.to_string()))?
+        } else {
+            TuningDatabase::new()
+        };
+        let kernel = spec.kernel_name.clone().unwrap_or_else(|| {
+            spec.program
+                .source
+                .file_name()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "program".to_string())
+        });
+        let device = spec.device_name.clone().unwrap_or_else(|| "local".to_string());
+        let workload = spec.workload.clone().unwrap_or_default();
+        db.store(
+            &kernel,
+            &device,
+            &workload,
+            &result.best_config,
+            result
+                .best_cost
+                .first()
+                .copied()
+                .unwrap_or(f64::INFINITY),
+            result.evaluations,
+            result.space_size,
+        );
+        db.save(db_path)
+            .map_err(|e| CliError::Database(e.to_string()))?;
+        database = Some(db_path.clone());
+    }
+    Ok(CliOutcome { result, database })
+}
+
+/// Renders the outcome as the CLI's human-readable report.
+pub fn report(outcome: &CliOutcome) -> String {
+    let r = &outcome.result;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "search space: {} valid configurations\n",
+        r.space_size
+    ));
+    out.push_str(&format!(
+        "evaluated:    {} ({} valid, {} failed)\n",
+        r.evaluations, r.valid_evaluations, r.failed_evaluations
+    ));
+    out.push_str(&format!("best config:  {}\n", r.best_config));
+    out.push_str(&format!("best cost:    {:?}\n", r.best_cost));
+    if let Some(db) = &outcome.database {
+        out.push_str(&format!("recorded in:  {}\n", db.display()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("atf-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[cfg(unix)]
+    fn write_executable(path: &std::path::Path, body: &str) {
+        let mut f = std::fs::File::create(path).unwrap();
+        writeln!(f, "#!/bin/sh\n{body}").unwrap();
+        use std::os::unix::fs::PermissionsExt;
+        std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o755)).unwrap();
+    }
+
+    #[test]
+    fn spec_parses_from_json() {
+        let spec = TuningSpec::from_json(
+            r#"{
+              "program": {"source": "p.sh", "run": "run.sh"},
+              "parameters": [
+                {"name": "A", "interval": {"begin": 1, "end": 8}},
+                {"name": "B", "set": [1, 2, 4], "constraint": "divides(A)"}
+              ],
+              "search": {"technique": "exhaustive"},
+              "abort": {"evaluations": 10}
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.parameters.len(), 2);
+        let params = spec.build_params().unwrap();
+        assert_eq!(params[0].name(), "A");
+        assert!(params[1].constraint().is_some());
+    }
+
+    #[test]
+    fn spec_rejects_bad_inputs() {
+        assert!(TuningSpec::from_json("{}").is_err());
+        let both = TuningSpec::from_json(
+            r#"{"program": {"source": "p", "run": "r"},
+                "parameters": [{"name": "A", "interval": {"begin":1,"end":2}, "set": [1]}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(both.build_params(), Err(CliError::Spec(_))));
+        let bad_constraint = TuningSpec::from_json(
+            r#"{"program": {"source": "p", "run": "r"},
+                "parameters": [{"name": "A", "set": [1], "constraint": "wat(3)"}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            bad_constraint.build_params(),
+            Err(CliError::Constraint { .. })
+        ));
+        let bad_technique = TuningSpec::from_json(
+            r#"{"program": {"source": "p", "run": "r"},
+                "parameters": [{"name": "A", "set": [1]}],
+                "search": {"technique": "quantum"}}"#,
+        )
+        .unwrap();
+        assert!(bad_technique.build_technique().is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn end_to_end_cli_run_with_database() {
+        let dir = fresh_dir("e2e");
+        let log = dir.join("cost.log");
+        let source = dir.join("prog.sh");
+        write_executable(
+            &source,
+            &format!(
+                "B=$ATF_TP_BLOCK\nU=$ATF_TP_UNROLL\nD=$((B - 24)); [ $D -lt 0 ] && D=$((-D))\necho $((10 + D + U)) > {}",
+                log.display()
+            ),
+        );
+        let run_sh = dir.join("run.sh");
+        write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+        let db_path = dir.join("db.json");
+
+        let spec = TuningSpec::from_json(&format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+              "parameters": [
+                {{"name": "UNROLL", "set": [1, 2, 4]}},
+                {{"name": "BLOCK", "interval": {{"begin": 8, "end": 32}},
+                  "constraint": "is_multiple_of(UNROLL)"}}
+              ],
+              "search": {{"technique": "exhaustive"}},
+              "database": "{}",
+              "kernel_name": "toy",
+              "workload": "w1"
+            }}"#,
+            source.display(),
+            run_sh.display(),
+            log.display(),
+            db_path.display()
+        ))
+        .unwrap();
+
+        let outcome = run(&spec).unwrap();
+        // Optimum: BLOCK=24, UNROLL=1 → cost 11.
+        assert_eq!(outcome.result.best_config.get_u64("BLOCK"), 24);
+        assert_eq!(outcome.result.best_config.get_u64("UNROLL"), 1);
+        assert_eq!(outcome.result.best_cost, vec![11.0]);
+        // Database written and loadable.
+        let db = TuningDatabase::load(&db_path).unwrap();
+        let rec = db.lookup("toy", "local", "w1").unwrap();
+        assert_eq!(rec.cost, 11.0);
+        // The report mentions the essentials.
+        let text = report(&outcome);
+        assert!(text.contains("best config"));
+        assert!(text.contains("BLOCK=24"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn abort_or_combination() {
+        let dir = fresh_dir("abort");
+        let log = dir.join("cost.log");
+        let source = dir.join("prog.sh");
+        write_executable(&source, &format!("echo 5 > {}", log.display()));
+        let run_sh = dir.join("run.sh");
+        write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+        let spec = TuningSpec::from_json(&format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+              "parameters": [{{"name": "X", "interval": {{"begin": 1, "end": 1000}}}}],
+              "search": {{"technique": "random", "seed": 1}},
+              "abort": {{"evaluations": 7, "cost": 0.1}}
+            }}"#,
+            source.display(),
+            run_sh.display(),
+            log.display()
+        ))
+        .unwrap();
+        let outcome = run(&spec).unwrap();
+        assert_eq!(outcome.result.evaluations, 7); // evaluations fired first
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! `atf-tune <spec.json>` — tune a program from a JSON specification.
+//!
+//! See the crate docs (`atf_cli`) for the specification format.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("--help" | "-h") | None => {
+            eprintln!("usage: atf-tune <spec.json>");
+            eprintln!();
+            eprintln!("Auto-tunes the program described by the JSON specification:");
+            eprintln!("compile/run scripts, tuning parameters with constraint strings");
+            eprintln!("(e.g. \"divides(N / WPT)\"), search technique, abort conditions,");
+            eprintln!("and an optional tuning database to record the best configuration.");
+            if args.len() < 2 {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some(path) => {
+            let spec = match atf_cli::TuningSpec::load(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("atf-tune: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match atf_cli::run(&spec) {
+                Ok(outcome) => {
+                    print!("{}", atf_cli::report(&outcome));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("atf-tune: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Abort conditions controlling when the exploration process stops.
+//!
+//! The paper's six conditions (Section II, Step 3):
+//! 1. `duration<D>(t)` — stop after a time interval,
+//! 2. `evaluations(n)` — stop after n tested configurations,
+//! 3. `fraction(f)` — stop after `f * S` tested configurations,
+//! 4. `cost(c)` — stop when a configuration with cost ≤ c is found,
+//! 5. `speedup<D>(s, t)` — stop when the last interval `t` did not lower the
+//!    cost by a factor ≥ s,
+//! 6. `speedup(s, n)` — ditto over the last `n` tested configurations.
+//!
+//! Conditions combine with `&` / `|` (the paper's `&&` / `||`). If no
+//! condition is given the tuner uses `evaluations(S)`.
+
+use crate::status::TuningStatus;
+use std::fmt;
+use std::time::Duration;
+
+/// A predicate over the live [`TuningStatus`], checked after every evaluated
+/// configuration; tuning stops as soon as it returns `true`.
+pub trait AbortCondition: Send {
+    /// `true` once exploration should stop.
+    fn should_stop(&self, status: &TuningStatus) -> bool;
+
+    /// Human-readable description for diagnostics.
+    fn describe(&self) -> String {
+        "abort condition".to_string()
+    }
+}
+
+/// Boxed abort condition with `&`/`|` combinators.
+pub struct Abort(Box<dyn AbortCondition>);
+
+impl Abort {
+    /// Wraps a concrete condition.
+    pub fn new(c: impl AbortCondition + 'static) -> Self {
+        Abort(Box::new(c))
+    }
+}
+
+impl AbortCondition for Abort {
+    fn should_stop(&self, status: &TuningStatus) -> bool {
+        self.0.should_stop(status)
+    }
+    fn describe(&self) -> String {
+        self.0.describe()
+    }
+}
+
+impl fmt::Debug for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Abort({})", self.0.describe())
+    }
+}
+
+impl std::ops::BitAnd for Abort {
+    type Output = Abort;
+    fn bitand(self, rhs: Abort) -> Abort {
+        Abort::new(And(self, rhs))
+    }
+}
+
+impl std::ops::BitOr for Abort {
+    type Output = Abort;
+    fn bitor(self, rhs: Abort) -> Abort {
+        Abort::new(Or(self, rhs))
+    }
+}
+
+struct And(Abort, Abort);
+impl AbortCondition for And {
+    fn should_stop(&self, s: &TuningStatus) -> bool {
+        self.0.should_stop(s) && self.1.should_stop(s)
+    }
+    fn describe(&self) -> String {
+        format!("({}) && ({})", self.0.describe(), self.1.describe())
+    }
+}
+
+struct Or(Abort, Abort);
+impl AbortCondition for Or {
+    fn should_stop(&self, s: &TuningStatus) -> bool {
+        self.0.should_stop(s) || self.1.should_stop(s)
+    }
+    fn describe(&self) -> String {
+        format!("({}) || ({})", self.0.describe(), self.1.describe())
+    }
+}
+
+/// `duration(t)`: stop after the user-defined time interval `t`.
+pub fn duration(t: Duration) -> Abort {
+    struct C(Duration);
+    impl AbortCondition for C {
+        fn should_stop(&self, s: &TuningStatus) -> bool {
+            s.elapsed() >= self.0
+        }
+        fn describe(&self) -> String {
+            format!("duration({:?})", self.0)
+        }
+    }
+    Abort::new(C(t))
+}
+
+/// `evaluations(n)`: stop after `n` tested configurations.
+pub fn evaluations(n: u64) -> Abort {
+    struct C(u64);
+    impl AbortCondition for C {
+        fn should_stop(&self, s: &TuningStatus) -> bool {
+            s.evaluations() >= self.0
+        }
+        fn describe(&self) -> String {
+            format!("evaluations({})", self.0)
+        }
+    }
+    Abort::new(C(n))
+}
+
+/// `valid_evaluations(n)`: stop after `n` *successfully measured*
+/// configurations. Not in the paper's list, but needed for fair tuner
+/// comparisons when some measurements fail (ATF extension point:
+/// "new abort conditions can be easily added").
+pub fn valid_evaluations(n: u64) -> Abort {
+    struct C(u64);
+    impl AbortCondition for C {
+        fn should_stop(&self, s: &TuningStatus) -> bool {
+            s.valid_evaluations() >= self.0
+        }
+        fn describe(&self) -> String {
+            format!("valid_evaluations({})", self.0)
+        }
+    }
+    Abort::new(C(n))
+}
+
+/// `fraction(f)`: stop after `f * S` tested configurations, `f ∈ [0, 1]`,
+/// `S` the search-space size.
+pub fn fraction(f: f64) -> Abort {
+    assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+    struct C(f64);
+    impl AbortCondition for C {
+        fn should_stop(&self, s: &TuningStatus) -> bool {
+            let target = (self.0 * s.space_size() as f64).ceil() as u64;
+            s.evaluations() >= target
+        }
+        fn describe(&self) -> String {
+            format!("fraction({})", self.0)
+        }
+    }
+    Abort::new(C(f))
+}
+
+/// `cost(c)`: stop when a configuration with scalar cost ≤ `c` is found.
+pub fn cost(c: f64) -> Abort {
+    struct C(f64);
+    impl AbortCondition for C {
+        fn should_stop(&self, s: &TuningStatus) -> bool {
+            s.best_scalar_cost().is_some_and(|b| b <= self.0)
+        }
+        fn describe(&self) -> String {
+            format!("cost({})", self.0)
+        }
+    }
+    Abort::new(C(c))
+}
+
+/// `speedup(s, t)`: stop when within the last time interval `t` the best
+/// cost could not be lowered by a factor ≥ `s`.
+///
+/// Never stops before `t` has elapsed or before any cost was measured.
+pub fn speedup_over_duration(s: f64, t: Duration) -> Abort {
+    assert!(s >= 1.0, "speedup factor must be >= 1");
+    struct C(f64, Duration);
+    impl AbortCondition for C {
+        fn should_stop(&self, st: &TuningStatus) -> bool {
+            let elapsed = st.elapsed();
+            if elapsed < self.1 {
+                return false;
+            }
+            let Some(now) = st.best_scalar_cost() else {
+                return false;
+            };
+            match st.best_scalar_at_time(elapsed - self.1) {
+                // No measurement existed at window start: the whole window's
+                // progress counts as "from infinity" — never stop.
+                None => false,
+                Some(then) => then / now < self.0,
+            }
+        }
+        fn describe(&self) -> String {
+            format!("speedup({}, {:?})", self.0, self.1)
+        }
+    }
+    Abort::new(C(s, t))
+}
+
+/// `speedup(s, n)`: stop when within the last `n` tested configurations the
+/// best cost could not be lowered by a factor ≥ `s`.
+pub fn speedup_over_evaluations(s: f64, n: u64) -> Abort {
+    assert!(s >= 1.0, "speedup factor must be >= 1");
+    struct C(f64, u64);
+    impl AbortCondition for C {
+        fn should_stop(&self, st: &TuningStatus) -> bool {
+            if st.evaluations() < self.1 {
+                return false;
+            }
+            let Some(now) = st.best_scalar_cost() else {
+                return false;
+            };
+            match st.best_scalar_at_evaluation(st.evaluations() - self.1) {
+                None => false,
+                Some(then) => then / now < self.0,
+            }
+        }
+        fn describe(&self) -> String {
+            format!("speedup({}, {} evaluations)", self.0, self.1)
+        }
+    }
+    Abort::new(C(s, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status() -> TuningStatus {
+        TuningStatus::new(1000)
+    }
+
+    #[test]
+    fn evaluations_condition() {
+        let c = evaluations(3);
+        let mut s = status();
+        for _ in 0..2 {
+            s.record_evaluation(true);
+        }
+        assert!(!c.should_stop(&s));
+        s.record_evaluation(false);
+        assert!(c.should_stop(&s));
+    }
+
+    #[test]
+    fn valid_evaluations_condition() {
+        let c = valid_evaluations(2);
+        let mut s = status();
+        s.record_evaluation(false);
+        s.record_evaluation(false);
+        assert!(!c.should_stop(&s));
+        s.record_evaluation(true);
+        s.record_evaluation(true);
+        assert!(c.should_stop(&s));
+    }
+
+    #[test]
+    fn duration_condition() {
+        let c = duration(Duration::from_secs(10));
+        let mut s = status();
+        s.set_elapsed_for_test(Duration::from_secs(9));
+        assert!(!c.should_stop(&s));
+        s.set_elapsed_for_test(Duration::from_secs(10));
+        assert!(c.should_stop(&s));
+    }
+
+    #[test]
+    fn fraction_condition() {
+        let c = fraction(0.01); // 1% of 1000 = 10 evaluations
+        let mut s = status();
+        for _ in 0..9 {
+            s.record_evaluation(true);
+        }
+        assert!(!c.should_stop(&s));
+        s.record_evaluation(true);
+        assert!(c.should_stop(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn fraction_range_checked() {
+        fraction(1.5);
+    }
+
+    #[test]
+    fn cost_condition() {
+        let c = cost(5.0);
+        let mut s = status();
+        assert!(!c.should_stop(&s));
+        s.record_evaluation(true);
+        s.record_improvement(7.0);
+        assert!(!c.should_stop(&s));
+        s.record_evaluation(true);
+        s.record_improvement(5.0);
+        assert!(c.should_stop(&s));
+    }
+
+    #[test]
+    fn speedup_time_window() {
+        let c = speedup_over_duration(1.5, Duration::from_secs(10));
+        let mut s = status();
+        // t=1s: best 100
+        s.set_elapsed_for_test(Duration::from_secs(1));
+        s.record_evaluation(true);
+        s.record_improvement(100.0);
+        // Window not yet elapsed at t=5s.
+        s.set_elapsed_for_test(Duration::from_secs(5));
+        assert!(!c.should_stop(&s));
+        // t=12s: within last 10s (since t=2) best went 100 → 90: factor 1.11 < 1.5 → stop.
+        s.set_elapsed_for_test(Duration::from_secs(11));
+        s.record_evaluation(true);
+        s.record_improvement(90.0);
+        s.set_elapsed_for_test(Duration::from_secs(12));
+        assert!(c.should_stop(&s));
+    }
+
+    #[test]
+    fn speedup_time_window_keeps_running_on_progress() {
+        let c = speedup_over_duration(1.5, Duration::from_secs(10));
+        let mut s = status();
+        s.set_elapsed_for_test(Duration::from_secs(1));
+        s.record_evaluation(true);
+        s.record_improvement(100.0);
+        s.set_elapsed_for_test(Duration::from_secs(11));
+        s.record_evaluation(true);
+        s.record_improvement(50.0); // factor 2 ≥ 1.5 within window → keep going
+        s.set_elapsed_for_test(Duration::from_secs(11));
+        assert!(!c.should_stop(&s));
+    }
+
+    #[test]
+    fn speedup_evaluations_window() {
+        let c = speedup_over_evaluations(2.0, 5);
+        let mut s = status();
+        s.record_evaluation(true);
+        s.record_improvement(100.0); // eval 1
+        for _ in 0..3 {
+            s.record_evaluation(true); // evals 2-4
+        }
+        assert!(!c.should_stop(&s)); // only 4 < 5 evaluations so far
+        s.record_evaluation(true); // eval 5
+        s.record_improvement(80.0); // 100/80 = 1.25 < 2, baseline exists at eval 0? no → keep
+        assert!(!c.should_stop(&s)); // at eval 5, window starts at eval 0: no cost then
+        s.record_evaluation(true); // eval 6; window start = eval 1 (cost 100)
+        assert!(c.should_stop(&s)); // 100/80 = 1.25 < 2 → stagnation → stop
+    }
+
+    #[test]
+    fn and_or_combinators() {
+        let mut s = status();
+        s.record_evaluation(true);
+        let both = evaluations(1) & duration(Duration::from_secs(60));
+        assert!(!both.should_stop(&s)); // time not yet elapsed
+        let either = evaluations(1) | duration(Duration::from_secs(60));
+        assert!(either.should_stop(&s));
+        s.set_elapsed_for_test(Duration::from_secs(60));
+        let both = evaluations(1) & duration(Duration::from_secs(60));
+        assert!(both.should_stop(&s));
+    }
+
+    #[test]
+    fn describe_renders() {
+        let c = evaluations(5) | cost(1.0);
+        assert_eq!(c.describe(), "(evaluations(5)) || (cost(1))");
+    }
+}

@@ -1,0 +1,365 @@
+//! Constraints on tuning-parameter ranges.
+//!
+//! "Constraints are a major feature of ATF; they enable filtering a tuning
+//! parameter's range. A constraint can be any arbitrary callable that takes a
+//! value of the parameter's range and returns a `bool`" (paper, Section II).
+//! A constraint may reference the values of *previously declared* parameters
+//! via the partial [`Config`] — this is how interdependencies are expressed,
+//! and it is what allows ATF to filter ranges *during* generation instead of
+//! filtering the full cross product afterwards (the CLTune approach).
+//!
+//! The paper's six constraint aliases are provided: [`divides`],
+//! [`is_multiple_of`], [`less_than`], [`greater_than`], [`equal`],
+//! [`unequal`]; constraints combine with `&` and `|` (the `&&`/`||` of the
+//! C++ API).
+
+use crate::config::Config;
+use crate::expr::{Expr, IntoExpr};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+type Pred = dyn Fn(&Value, &Config) -> bool + Send + Sync;
+
+/// Which other tuning parameters a constraint reads — the information that
+/// powers automatic dependency detection ([`crate::param::auto_group`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum References {
+    /// The exact set of referenced parameter names (alias-built constraints
+    /// know this from their expressions).
+    Exact(Vec<Arc<str>>),
+    /// Unknown (opaque user predicate): conservatively treated as depending
+    /// on every previously declared parameter.
+    Unknown,
+}
+
+impl References {
+    fn union(self, other: References) -> References {
+        match (self, other) {
+            (References::Exact(mut a), References::Exact(b)) => {
+                for n in b {
+                    if !a.contains(&n) {
+                        a.push(n);
+                    }
+                }
+                References::Exact(a)
+            }
+            _ => References::Unknown,
+        }
+    }
+}
+
+/// A predicate over a candidate parameter value and the partial configuration
+/// of previously declared parameters.
+#[derive(Clone)]
+pub struct Constraint {
+    pred: Arc<Pred>,
+    desc: Arc<str>,
+    refs: References,
+}
+
+impl Constraint {
+    /// A constraint from an arbitrary predicate. The first argument is the
+    /// candidate value of the parameter being filtered; the second is the
+    /// partial configuration of all previously declared parameters.
+    pub fn new<F>(desc: impl Into<Arc<str>>, pred: F) -> Self
+    where
+        F: Fn(&Value, &Config) -> bool + Send + Sync + 'static,
+    {
+        Constraint {
+            pred: Arc::new(pred),
+            desc: desc.into(),
+            refs: References::Unknown,
+        }
+    }
+
+    /// A constraint over the candidate value only (no dependency on other
+    /// parameters), e.g. `Constraint::on_value("is power of two", |v| ...)`.
+    pub fn on_value<F>(desc: impl Into<Arc<str>>, pred: F) -> Self
+    where
+        F: Fn(&Value) -> bool + Send + Sync + 'static,
+    {
+        Constraint::new(desc, move |v, _| pred(v)).with_references([] as [&str; 0])
+    }
+
+    /// Declares the exact set of other parameters this constraint reads.
+    /// Alias-built constraints get this automatically from their
+    /// expressions; custom predicates may declare it to enable precise
+    /// automatic grouping ([`crate::param::auto_group`]).
+    pub fn with_references<I, N>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Arc<str>>,
+    {
+        self.refs = References::Exact(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Which other parameters this constraint reads.
+    pub fn references(&self) -> &References {
+        &self.refs
+    }
+
+    /// Evaluates the constraint. Values for which this returns `false` are
+    /// filtered out of the parameter's range.
+    pub fn check(&self, value: &Value, partial: &Config) -> bool {
+        (self.pred)(value, partial)
+    }
+
+    /// Human-readable description (used in `Debug` output and diagnostics).
+    pub fn description(&self) -> &str {
+        &self.desc
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)] // consuming builder, not ops::Not
+    pub fn not(self) -> Constraint {
+        let desc: Arc<str> = format!("!({})", self.desc).into();
+        let refs = self.refs.clone();
+        Constraint {
+            pred: Arc::new(move |v, c| !(self.pred)(v, c)),
+            desc,
+            refs,
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Constraint({})", self.desc)
+    }
+}
+
+impl std::ops::BitAnd for Constraint {
+    type Output = Constraint;
+
+    /// Conjunction — the `&&` combinator of the paper's API.
+    fn bitand(self, rhs: Constraint) -> Constraint {
+        let desc: Arc<str> = format!("({}) && ({})", self.desc, rhs.desc).into();
+        let refs = self.refs.clone().union(rhs.refs.clone());
+        Constraint {
+            pred: Arc::new(move |v, c| (self.pred)(v, c) && (rhs.pred)(v, c)),
+            desc,
+            refs,
+        }
+    }
+}
+
+impl std::ops::BitOr for Constraint {
+    type Output = Constraint;
+
+    /// Disjunction — the `||` combinator of the paper's API.
+    fn bitor(self, rhs: Constraint) -> Constraint {
+        let desc: Arc<str> = format!("({}) || ({})", self.desc, rhs.desc).into();
+        let refs = self.refs.clone().union(rhs.refs.clone());
+        Constraint {
+            pred: Arc::new(move |v, c| (self.pred)(v, c) || (rhs.pred)(v, c)),
+            desc,
+            refs,
+        }
+    }
+}
+
+/// Helper: evaluate an expression operand against the partial configuration,
+/// returning `None` (constraint fails) on evaluation errors. An operand that
+/// cannot be evaluated (e.g. division by zero) rejects the candidate value —
+/// the safe interpretation for search-space filtering.
+fn eval_operand(e: &Expr, partial: &Config) -> Option<f64> {
+    e.eval_f64(partial).ok()
+}
+
+fn eval_operand_u64(e: &Expr, partial: &Config) -> Option<u64> {
+    e.eval_u64(partial).ok()
+}
+
+/// `atf::divides(e)` — the candidate value must evenly divide `e`.
+///
+/// Example from the paper (saxpy): `tp("LS", interval(1, N), divides(N / WPT))`.
+pub fn divides(e: impl IntoExpr) -> Constraint {
+    let e = e.into_expr();
+    let desc: Arc<str> = format!("value divides {e:?}").into();
+    let refs = References::Exact(e.referenced_params());
+    Constraint {
+        pred: Arc::new(move |v, c| {
+            match (v.as_u64(), eval_operand_u64(&e, c)) {
+                (Some(v), Some(target)) if v != 0 => target % v == 0,
+                _ => false, // zero or non-integral candidate never "divides"
+            }
+        }),
+        desc,
+        refs,
+    }
+}
+
+/// `atf::is_multiple_of(e)` — the candidate value must be a multiple of `e`.
+pub fn is_multiple_of(e: impl IntoExpr) -> Constraint {
+    let e = e.into_expr();
+    let refs = References::Exact(e.referenced_params());
+    let desc: Arc<str> = format!("value is multiple of {e:?}").into();
+    Constraint {
+        pred: Arc::new(move |v, c| match (v.as_u64(), eval_operand_u64(&e, c)) {
+            (Some(v), Some(d)) if d != 0 => v % d == 0,
+            _ => false,
+        }),
+        desc,
+        refs,
+    }
+}
+
+/// `atf::less_than(e)` — the candidate value must be strictly less than `e`.
+pub fn less_than(e: impl IntoExpr) -> Constraint {
+    let e = e.into_expr();
+    let refs = References::Exact(e.referenced_params());
+    let desc: Arc<str> = format!("value < {e:?}").into();
+    Constraint {
+        pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
+            (Some(v), Some(t)) => v < t,
+            _ => false,
+        }),
+        desc,
+        refs,
+    }
+}
+
+/// `atf::greater_than(e)` — the candidate value must be strictly greater
+/// than `e`.
+pub fn greater_than(e: impl IntoExpr) -> Constraint {
+    let e = e.into_expr();
+    let refs = References::Exact(e.referenced_params());
+    let desc: Arc<str> = format!("value > {e:?}").into();
+    Constraint {
+        pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
+            (Some(v), Some(t)) => v > t,
+            _ => false,
+        }),
+        desc,
+        refs,
+    }
+}
+
+/// `atf::equal(e)` — the candidate value must equal `e`.
+pub fn equal(e: impl IntoExpr) -> Constraint {
+    let e = e.into_expr();
+    let refs = References::Exact(e.referenced_params());
+    let desc: Arc<str> = format!("value == {e:?}").into();
+    Constraint {
+        pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
+            (Some(v), Some(t)) => v == t,
+            _ => false,
+        }),
+        desc,
+        refs,
+    }
+}
+
+/// `atf::unequal(e)` — the candidate value must differ from `e`.
+pub fn unequal(e: impl IntoExpr) -> Constraint {
+    let e = e.into_expr();
+    let refs = References::Exact(e.referenced_params());
+    let desc: Arc<str> = format!("value != {e:?}").into();
+    Constraint {
+        pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
+            (Some(v), Some(t)) => v != t,
+            _ => false,
+        }),
+        desc,
+        refs,
+    }
+}
+
+/// A constraint that an arbitrary boolean expression over *other* parameters
+/// holds (the candidate value itself is available as the pseudo-parameter
+/// `"$value"` if needed). Useful for relations that do not fit the aliases.
+pub fn predicate<F>(desc: impl Into<Arc<str>>, pred: F) -> Constraint
+where
+    F: Fn(&Value, &Config) -> bool + Send + Sync + 'static,
+{
+    Constraint::new(desc, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{cst, param};
+
+    #[test]
+    fn divides_alias() {
+        // the paper's saxpy constraint: LS divides N / WPT
+        let c = divides(cst(1024u64) / param("WPT"));
+        let partial = Config::from_pairs([("WPT", 4u64)]); // N/WPT = 256
+        assert!(c.check(&Value::from(32u64), &partial));
+        assert!(c.check(&Value::from(256u64), &partial));
+        assert!(!c.check(&Value::from(48u64), &partial));
+        assert!(!c.check(&Value::from(0u64), &partial));
+    }
+
+    #[test]
+    fn divides_fails_on_unknown_param() {
+        let c = divides(param("MISSING"));
+        assert!(!c.check(&Value::from(1u64), &Config::new()));
+    }
+
+    #[test]
+    fn is_multiple_of_alias() {
+        let c = is_multiple_of(param("KWID"));
+        let partial = Config::from_pairs([("KWID", 4u64)]);
+        assert!(c.check(&Value::from(16u64), &partial));
+        assert!(!c.check(&Value::from(10u64), &partial));
+    }
+
+    #[test]
+    fn multiple_of_zero_rejects() {
+        let c = is_multiple_of(cst(0u64));
+        assert!(!c.check(&Value::from(8u64), &Config::new()));
+    }
+
+    #[test]
+    fn comparisons() {
+        let partial = Config::from_pairs([("X", 10u64)]);
+        assert!(less_than(param("X")).check(&Value::from(9u64), &partial));
+        assert!(!less_than(param("X")).check(&Value::from(10u64), &partial));
+        assert!(greater_than(param("X")).check(&Value::from(11u64), &partial));
+        assert!(equal(param("X")).check(&Value::from(10u64), &partial));
+        assert!(unequal(param("X")).check(&Value::from(3u64), &partial));
+    }
+
+    #[test]
+    fn and_or_combinators() {
+        let partial = Config::from_pairs([("N", 24u64)]);
+        let c = divides(param("N")) & less_than(cst(10u64));
+        assert!(c.check(&Value::from(8u64), &partial));
+        assert!(!c.check(&Value::from(12u64), &partial)); // divides but not < 10
+        let c2 = equal(cst(1u64)) | is_multiple_of(cst(6u64));
+        assert!(c2.check(&Value::from(1u64), &partial));
+        assert!(c2.check(&Value::from(12u64), &partial));
+        assert!(!c2.check(&Value::from(4u64), &partial));
+    }
+
+    #[test]
+    fn negation() {
+        let c = equal(cst(5u64)).not();
+        assert!(c.check(&Value::from(4u64), &Config::new()));
+        assert!(!c.check(&Value::from(5u64), &Config::new()));
+    }
+
+    #[test]
+    fn custom_predicate() {
+        let c = predicate("v is a power of two", |v, _| {
+            v.as_u64().is_some_and(|u| u.is_power_of_two())
+        });
+        assert!(c.check(&Value::from(8u64), &Config::new()));
+        assert!(!c.check(&Value::from(6u64), &Config::new()));
+    }
+
+    #[test]
+    fn descriptions_render() {
+        let c = divides(param("N")) & less_than(cst(10u64));
+        assert_eq!(c.description(), "(value divides N) && (value < 10)");
+    }
+
+    #[test]
+    fn symbolic_candidate_rejected_by_numeric_aliases() {
+        let c = less_than(cst(10u64));
+        assert!(!c.check(&Value::from("vec4"), &Config::new()));
+    }
+}

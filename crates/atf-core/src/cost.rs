@@ -1,0 +1,243 @@
+//! Cost values and cost functions.
+//!
+//! ATF "interprets the cost function's return value (e.g., program's runtime)
+//! as the configuration's cost that has to be minimized"; the return type is
+//! arbitrary as long as `operator<` is defined, which enables multi-objective
+//! tuning via lexicographically ordered pairs (paper, Section II, Step 2).
+//!
+//! Search techniques additionally receive a scalar projection of the cost
+//! (`report_cost(size_t)` in the paper); [`CostValue::as_scalar`] provides
+//! it. The tuner's *best configuration* is always selected by the full
+//! `PartialOrd`, so multi-objective ordering is exact even though techniques
+//! only see the scalar guidance signal.
+
+use crate::config::Config;
+use std::fmt;
+use std::time::Duration;
+
+/// A cost value: totally ordered (lower is better) with a scalar projection
+/// for search guidance.
+pub trait CostValue: PartialOrd + Clone + Send + fmt::Debug + 'static {
+    /// A scalar summary used to guide search techniques (e.g. annealing's
+    /// acceptance probability). For multi-objective costs this is typically
+    /// the primary objective.
+    fn as_scalar(&self) -> f64;
+}
+
+impl CostValue for f64 {
+    fn as_scalar(&self) -> f64 {
+        *self
+    }
+}
+impl CostValue for f32 {
+    fn as_scalar(&self) -> f64 {
+        *self as f64
+    }
+}
+impl CostValue for u64 {
+    fn as_scalar(&self) -> f64 {
+        *self as f64
+    }
+}
+impl CostValue for u32 {
+    fn as_scalar(&self) -> f64 {
+        *self as f64
+    }
+}
+impl CostValue for usize {
+    fn as_scalar(&self) -> f64 {
+        *self as f64
+    }
+}
+impl CostValue for i64 {
+    fn as_scalar(&self) -> f64 {
+        *self as f64
+    }
+}
+impl CostValue for Duration {
+    fn as_scalar(&self) -> f64 {
+        self.as_secs_f64()
+    }
+}
+
+/// Lexicographically ordered pair — the paper's multi-objective cost
+/// (e.g. `(runtime_ms, energy_microjoules)`): `c < c'` iff the first
+/// component is lower, or equal and the second is lower.
+///
+/// Tuples implement `PartialOrd` lexicographically in Rust already, so
+/// `(A, B)` and `(A, B, C)` are usable directly.
+impl<A: CostValue, B: CostValue> CostValue for (A, B) {
+    fn as_scalar(&self) -> f64 {
+        self.0.as_scalar()
+    }
+}
+
+impl<A: CostValue, B: CostValue, C: CostValue> CostValue for (A, B, C) {
+    fn as_scalar(&self) -> f64 {
+        self.0.as_scalar()
+    }
+}
+
+/// Why a cost function failed to produce a cost for a configuration.
+///
+/// A failed measurement is *not* fatal to tuning: the tuner reports the
+/// configuration as maximally bad to the search technique and continues
+/// (the OpenTuner-baseline "penalty" behaviour is built from this).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostError {
+    /// The configuration is invalid for the program (e.g. the kernel launch
+    /// was rejected: local size does not divide global size).
+    InvalidConfiguration(String),
+    /// Compiling the program failed.
+    CompileFailed(String),
+    /// Running the program failed.
+    RunFailed(String),
+    /// The cost could not be parsed / measured.
+    MeasurementFailed(String),
+}
+
+impl CostError {
+    /// Short human-readable reason.
+    pub fn message(&self) -> &str {
+        match self {
+            CostError::InvalidConfiguration(m)
+            | CostError::CompileFailed(m)
+            | CostError::RunFailed(m)
+            | CostError::MeasurementFailed(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::InvalidConfiguration(m) => write!(f, "invalid configuration: {m}"),
+            CostError::CompileFailed(m) => write!(f, "compilation failed: {m}"),
+            CostError::RunFailed(m) => write!(f, "run failed: {m}"),
+            CostError::MeasurementFailed(m) => write!(f, "measurement failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// A cost function: maps a configuration to a cost (or a failure).
+///
+/// Implemented for closures via [`cost_fn`] / [`try_cost_fn`], and by the
+/// pre-implemented cost functions (`atf-ocl`'s OpenCL/CUDA cost functions and
+/// [`crate::process`]'s generic program cost function).
+pub trait CostFunction {
+    /// The cost type to minimize.
+    type Cost: CostValue;
+
+    /// Evaluates one configuration.
+    fn evaluate(&mut self, config: &Config) -> Result<Self::Cost, CostError>;
+}
+
+/// Wraps an infallible closure as a [`CostFunction`].
+pub fn cost_fn<C, F>(f: F) -> impl CostFunction<Cost = C>
+where
+    C: CostValue,
+    F: FnMut(&Config) -> C,
+{
+    struct W<F>(F);
+    impl<C: CostValue, F: FnMut(&Config) -> C> CostFunction for W<F> {
+        type Cost = C;
+        fn evaluate(&mut self, config: &Config) -> Result<C, CostError> {
+            Ok((self.0)(config))
+        }
+    }
+    W(f)
+}
+
+/// Wraps a fallible closure as a [`CostFunction`].
+pub fn try_cost_fn<C, F>(f: F) -> impl CostFunction<Cost = C>
+where
+    C: CostValue,
+    F: FnMut(&Config) -> Result<C, CostError>,
+{
+    struct W<F>(F);
+    impl<C: CostValue, F: FnMut(&Config) -> Result<C, CostError>> CostFunction for W<F> {
+        type Cost = C;
+        fn evaluate(&mut self, config: &Config) -> Result<C, CostError> {
+            (self.0)(config)
+        }
+    }
+    W(f)
+}
+
+impl<F: CostFunction + ?Sized> CostFunction for &mut F {
+    type Cost = F::Cost;
+    fn evaluate(&mut self, config: &Config) -> Result<Self::Cost, CostError> {
+        (**self).evaluate(config)
+    }
+}
+
+impl<F: CostFunction + ?Sized> CostFunction for Box<F> {
+    type Cost = F::Cost;
+    fn evaluate(&mut self, config: &Config) -> Result<Self::Cost, CostError> {
+        (**self).evaluate(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_projections() {
+        assert_eq!(3.5f64.as_scalar(), 3.5);
+        assert_eq!(7u64.as_scalar(), 7.0);
+        assert_eq!(Duration::from_millis(250).as_scalar(), 0.25);
+    }
+
+    #[test]
+    fn lexicographic_pairs() {
+        // runtime primary, energy secondary
+        let a = (1.0f64, 100.0f64);
+        let b = (1.0f64, 50.0f64);
+        let c = (0.5f64, 999.0f64);
+        assert!(b < a);
+        assert!(c < b); // lower runtime wins even at higher energy
+        assert_eq!(a.as_scalar(), 1.0);
+    }
+
+    #[test]
+    fn triple_lexicographic() {
+        let a = (1u64, 2u64, 3u64);
+        let b = (1u64, 2u64, 4u64);
+        assert!(a < b);
+        assert_eq!(b.as_scalar(), 1.0);
+    }
+
+    #[test]
+    fn closure_cost_functions() {
+        let mut cf = cost_fn(|c: &Config| c.get_u64("X") as f64 * 2.0);
+        let cfg = Config::from_pairs([("X", 21u64)]);
+        assert_eq!(cf.evaluate(&cfg).unwrap(), 42.0);
+
+        let mut fallible = try_cost_fn(|c: &Config| {
+            if c.get_u64("X") == 0 {
+                Err(CostError::InvalidConfiguration("X must be nonzero".into()))
+            } else {
+                Ok(1.0f64)
+            }
+        });
+        assert!(fallible
+            .evaluate(&Config::from_pairs([("X", 0u64)]))
+            .is_err());
+        assert_eq!(
+            fallible
+                .evaluate(&Config::from_pairs([("X", 1u64)]))
+                .unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CostError::CompileFailed("syntax".into());
+        assert_eq!(e.to_string(), "compilation failed: syntax");
+        assert_eq!(e.message(), "syntax");
+    }
+}

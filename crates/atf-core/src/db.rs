@@ -1,0 +1,271 @@
+//! A persistent database of tuning results — the production companion of a
+//! tuner (CLBlast ships exactly such a database of device-optimized
+//! configurations, which the paper's evaluation reads; Section VI-A).
+//!
+//! Keyed by `(kernel, device, workload)`: a [`TuningDatabase`] stores the
+//! best-known configuration with its cost and provenance, merges new
+//! results monotonically (a stored record is only replaced by a cheaper
+//! one), and round-trips through JSON.
+
+use crate::config::Config;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A serializable tuning-parameter value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", content = "value")]
+pub enum StoredValue {
+    /// Boolean parameter.
+    Bool(bool),
+    /// Signed integer parameter.
+    Int(i64),
+    /// Unsigned integer parameter.
+    UInt(u64),
+    /// Floating-point parameter.
+    Float(f64),
+    /// Symbolic (enum-like) parameter.
+    Symbol(String),
+}
+
+impl From<&Value> for StoredValue {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Bool(b) => StoredValue::Bool(*b),
+            Value::Int(i) => StoredValue::Int(*i),
+            Value::UInt(u) => StoredValue::UInt(*u),
+            Value::Float(f) => StoredValue::Float(*f),
+            Value::Symbol(s) => StoredValue::Symbol(s.to_string()),
+        }
+    }
+}
+
+impl From<&StoredValue> for Value {
+    fn from(v: &StoredValue) -> Self {
+        match v {
+            StoredValue::Bool(b) => Value::Bool(*b),
+            StoredValue::Int(i) => Value::Int(*i),
+            StoredValue::UInt(u) => Value::UInt(*u),
+            StoredValue::Float(f) => Value::Float(*f),
+            StoredValue::Symbol(s) => Value::Symbol(s.as_str().into()),
+        }
+    }
+}
+
+/// One stored tuning result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TuningRecord {
+    /// Kernel (or program) identifier.
+    pub kernel: String,
+    /// Device name the result was tuned on.
+    pub device: String,
+    /// Workload identifier (e.g. "m20_n576_k1"); empty = size-agnostic.
+    #[serde(default)]
+    pub workload: String,
+    /// Parameter values in declaration order.
+    pub parameters: Vec<(String, StoredValue)>,
+    /// The measured scalar cost of the configuration.
+    pub cost: f64,
+    /// Configurations evaluated by the run that produced this record.
+    #[serde(default)]
+    pub evaluations: u64,
+    /// Search-space size at tuning time (stringified `u128`).
+    #[serde(default)]
+    pub space_size: String,
+}
+
+impl TuningRecord {
+    /// Reconstructs the configuration.
+    pub fn config(&self) -> Config {
+        Config::from_pairs(
+            self.parameters
+                .iter()
+                .map(|(n, v)| (n.as_str(), Value::from(v))),
+        )
+    }
+}
+
+/// An in-memory collection of tuning records with JSON persistence.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TuningDatabase {
+    records: BTreeMap<String, TuningRecord>,
+}
+
+fn key(kernel: &str, device: &str, workload: &str) -> String {
+    format!("{kernel}\u{1f}{device}\u{1f}{workload}")
+}
+
+impl TuningDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a database from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(std::io::Error::other)
+    }
+
+    /// Saves the database to a JSON file (pretty-printed for diff-ability).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, text)
+    }
+
+    /// Stores a result; an existing record for the same key is replaced
+    /// only when the new cost is lower. Returns whether the record was
+    /// stored.
+    #[allow(clippy::too_many_arguments)] // the flat fields of one record
+    pub fn store(
+        &mut self,
+        kernel: &str,
+        device: &str,
+        workload: &str,
+        config: &Config,
+        cost: f64,
+        evaluations: u64,
+        space_size: u128,
+    ) -> bool {
+        let k = key(kernel, device, workload);
+        if let Some(existing) = self.records.get(&k) {
+            if existing.cost <= cost {
+                return false;
+            }
+        }
+        self.records.insert(
+            k,
+            TuningRecord {
+                kernel: kernel.to_string(),
+                device: device.to_string(),
+                workload: workload.to_string(),
+                parameters: config
+                    .iter()
+                    .map(|(n, v)| (n.to_string(), StoredValue::from(v)))
+                    .collect(),
+                cost,
+                evaluations,
+                space_size: space_size.to_string(),
+            },
+        );
+        true
+    }
+
+    /// Looks up the best-known record.
+    pub fn lookup(&self, kernel: &str, device: &str, workload: &str) -> Option<&TuningRecord> {
+        self.records.get(&key(kernel, device, workload))
+    }
+
+    /// Looks up just the configuration.
+    pub fn lookup_config(&self, kernel: &str, device: &str, workload: &str) -> Option<Config> {
+        self.lookup(kernel, device, workload).map(TuningRecord::config)
+    }
+
+    /// All records, ordered by key.
+    pub fn records(&self) -> impl Iterator<Item = &TuningRecord> {
+        self.records.values()
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Merges another database into this one (cheaper records win).
+    pub fn merge(&mut self, other: &TuningDatabase) {
+        for r in other.records() {
+            let cfg = r.config();
+            self.store(
+                &r.kernel,
+                &r.device,
+                &r.workload,
+                &cfg,
+                r.cost,
+                r.evaluations,
+                r.space_size.parse().unwrap_or(0),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> Config {
+        Config::from_pairs([
+            ("WGD", Value::UInt(8)),
+            ("PADA", Value::Bool(true)),
+            ("MODE", Value::Symbol("vec4".into())),
+            ("SCALE", Value::Float(1.5)),
+        ])
+    }
+
+    #[test]
+    fn store_and_lookup() {
+        let mut db = TuningDatabase::new();
+        assert!(db.store("XgemmDirect", "Tesla K20m", "is4", &sample_config(), 42.0, 100, 1000));
+        let r = db.lookup("XgemmDirect", "Tesla K20m", "is4").unwrap();
+        assert_eq!(r.cost, 42.0);
+        let cfg = r.config();
+        assert_eq!(cfg.get_u64("WGD"), 8);
+        assert!(cfg.get_bool("PADA"));
+        assert_eq!(cfg["MODE"], Value::Symbol("vec4".into()));
+        assert!(db.lookup("XgemmDirect", "Tesla K20m", "other").is_none());
+    }
+
+    #[test]
+    fn cheaper_records_win() {
+        let mut db = TuningDatabase::new();
+        db.store("k", "d", "", &sample_config(), 10.0, 1, 1);
+        assert!(!db.store("k", "d", "", &sample_config(), 11.0, 1, 1));
+        assert_eq!(db.lookup("k", "d", "").unwrap().cost, 10.0);
+        assert!(db.store("k", "d", "", &sample_config(), 9.0, 1, 1));
+        assert_eq!(db.lookup("k", "d", "").unwrap().cost, 9.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut db = TuningDatabase::new();
+        db.store("saxpy", "Xeon", "n1024", &sample_config(), 3.25, 231, 231);
+        let path = std::env::temp_dir().join(format!("atf-db-{}.json", std::process::id()));
+        db.save(&path).unwrap();
+        let loaded = TuningDatabase::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let r = loaded.lookup("saxpy", "Xeon", "n1024").unwrap();
+        assert_eq!(r.cost, 3.25);
+        assert_eq!(r.config(), sample_config());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn merge_prefers_cheaper() {
+        let mut a = TuningDatabase::new();
+        a.store("k", "d", "", &sample_config(), 5.0, 1, 1);
+        a.store("k2", "d", "", &sample_config(), 7.0, 1, 1);
+        let mut b = TuningDatabase::new();
+        b.store("k", "d", "", &sample_config(), 4.0, 1, 1);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.lookup("k", "d", "").unwrap().cost, 4.0);
+    }
+
+    #[test]
+    fn keys_do_not_collide() {
+        let mut db = TuningDatabase::new();
+        db.store("a", "b_c", "", &sample_config(), 1.0, 1, 1);
+        db.store("a_b", "c", "", &sample_config(), 2.0, 1, 1);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(TuningDatabase::load("/nonexistent/db.json").is_err());
+    }
+}

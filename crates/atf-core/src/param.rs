@@ -1,0 +1,381 @@
+//! Tuning parameters and parameter groups.
+//!
+//! The general form of an ATF tuning parameter (paper, Section II) is
+//! `tp(name, range, constraint)`. Parameters are declared in order; a
+//! parameter's constraint may reference any parameter declared *before* it.
+//!
+//! Section V introduces the *grouping function* `G(...)`: the user groups
+//! interdependent parameters explicitly; groups are independent of each
+//! other, so each group's sub-space can be generated in parallel and the
+//! full space is the cross product of the group spaces.
+
+use crate::constraint::Constraint;
+use crate::range::Range;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single tuning parameter: name, range, optional constraint.
+#[derive(Clone)]
+pub struct Param {
+    name: Arc<str>,
+    range: Range,
+    constraint: Option<Constraint>,
+}
+
+impl Param {
+    /// Creates an unconstrained tuning parameter.
+    pub fn new(name: impl Into<Arc<str>>, range: Range) -> Self {
+        Param {
+            name: name.into(),
+            range,
+            constraint: None,
+        }
+    }
+
+    /// Attaches a constraint, consuming and returning the parameter
+    /// (builder style).
+    pub fn with_constraint(mut self, constraint: Constraint) -> Self {
+        self.constraint = Some(constraint);
+        self
+    }
+
+    /// The parameter's unique identifier.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter's name as a shareable `Arc<str>`.
+    pub fn name_arc(&self) -> Arc<str> {
+        self.name.clone()
+    }
+
+    /// The parameter's (unconstrained) range.
+    pub fn range(&self) -> &Range {
+        &self.range
+    }
+
+    /// The parameter's constraint, if any.
+    pub fn constraint(&self) -> Option<&Constraint> {
+        self.constraint.as_ref()
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tp({:?}, {:?}", self.name, self.range)?;
+        if let Some(c) = &self.constraint {
+            write!(f, ", {c:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// `tp(name, range)` — the paper's parameter-declaration function, without a
+/// constraint.
+pub fn tp(name: impl Into<Arc<str>>, range: Range) -> Param {
+    Param::new(name, range)
+}
+
+/// `tp(name, range, constraint)` — the paper's parameter-declaration
+/// function, with a constraint.
+pub fn tp_c(name: impl Into<Arc<str>>, range: Range, constraint: Constraint) -> Param {
+    Param::new(name, range).with_constraint(constraint)
+}
+
+/// A group of interdependent tuning parameters — the paper's `G(...)`.
+///
+/// Constraints inside a group may only reference parameters of the *same*
+/// group (declared earlier); the generator enforces declaration-order
+/// visibility by construction, and cross-group references simply evaluate
+/// against a configuration that lacks the other group's parameters (the
+/// constraint then rejects every value, which surfaces the error in tests
+/// immediately).
+#[derive(Clone, Debug)]
+pub struct ParamGroup {
+    params: Vec<Param>,
+}
+
+impl ParamGroup {
+    /// Creates a group from interdependent parameters.
+    ///
+    /// # Panics
+    /// Panics if `params` is empty or contains duplicate names.
+    pub fn new(params: Vec<Param>) -> Self {
+        assert!(!params.is_empty(), "parameter group must not be empty");
+        for (i, p) in params.iter().enumerate() {
+            for q in &params[..i] {
+                assert!(
+                    p.name() != q.name(),
+                    "duplicate parameter name `{}` in group",
+                    p.name()
+                );
+            }
+        }
+        ParamGroup { params }
+    }
+
+    /// The parameters of the group in declaration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Number of parameters in the group.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` if the group holds no parameters (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The product of the *unconstrained* range sizes — the size of the
+    /// space a cross-product-then-filter generator (CLTune) would have to
+    /// enumerate for this group.
+    pub fn unconstrained_size(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.range().len() as u128)
+            .product()
+    }
+}
+
+/// The paper's grouping function `G(p1, p2, ...)`.
+#[macro_export]
+macro_rules! group {
+    ($($p:expr),+ $(,)?) => {
+        $crate::param::ParamGroup::new(vec![$($p),+])
+    };
+}
+
+/// Convenience: wraps each parameter in its own single-parameter group —
+/// what ATF does when the user supplies ungrouped parameters to the tuner
+/// (no interdependencies assumed between them).
+pub fn singleton_groups(params: Vec<Param>) -> Vec<ParamGroup> {
+    params.into_iter().map(|p| ParamGroup::new(vec![p])).collect()
+}
+
+/// **Automatic dependency detection** — an extension beyond the paper,
+/// which notes (Section V): "Currently, ATF cannot automatically determine
+/// dependencies between parameters: the user has to group interdependent
+/// parameters explicitly".
+///
+/// Constraints built from expression aliases know exactly which parameters
+/// they read ([`crate::constraint::Constraint::references`]); opaque
+/// predicates are conservatively treated as reading every previously
+/// declared parameter. Union-find over these edges partitions the
+/// parameters into independent groups, preserving declaration order within
+/// each group (constraints may only reference earlier parameters, so order
+/// is what makes the generation DFS sound).
+///
+/// # Panics
+/// Panics if a constraint references a name that is not declared before the
+/// constrained parameter — that constraint could never hold during
+/// generation, which is almost certainly a bug in the parameter system.
+pub fn auto_group(params: Vec<Param>) -> Vec<ParamGroup> {
+    use crate::constraint::References;
+
+    let n = params.len();
+    let index_of = |name: &str, upto: usize| -> usize {
+        params[..upto]
+            .iter()
+            .position(|p| p.name() == name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "constraint of `{}` references `{name}`, which is not declared before it",
+                    params[upto].name()
+                )
+            })
+    };
+
+    // Union-find.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+
+    for (i, p) in params.iter().enumerate() {
+        match p.constraint().map(|c| c.references().clone()) {
+            None => {}
+            Some(References::Exact(names)) => {
+                for name in names {
+                    let j = index_of(&name, i);
+                    union(&mut parent, i, j);
+                }
+            }
+            Some(References::Unknown) => {
+                // Conservative: may read anything declared before.
+                for j in 0..i {
+                    union(&mut parent, i, j);
+                }
+            }
+        }
+    }
+
+    // Emit groups in order of their first member, members in declaration
+    // order.
+    let mut roots: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        match roots.iter().position(|&x| x == r) {
+            Some(g) => members[g].push(i),
+            None => {
+                roots.push(r);
+                members.push(vec![i]);
+            }
+        }
+    }
+    let mut slots: Vec<Option<Param>> = params.into_iter().map(Some).collect();
+    members
+        .into_iter()
+        .map(|idxs| {
+            ParamGroup::new(
+                idxs.into_iter()
+                    .map(|i| slots[i].take().expect("each param used once"))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::divides;
+    use crate::expr::param as p;
+
+    #[test]
+    fn builder_and_accessors() {
+        let t = tp_c("LS", Range::interval(1, 1024), divides(p("WPT")));
+        assert_eq!(t.name(), "LS");
+        assert_eq!(t.range().len(), 1024);
+        assert!(t.constraint().is_some());
+    }
+
+    #[test]
+    fn group_macro() {
+        let g = group![
+            tp("tp1", Range::set([1u64, 2])),
+            tp_c("tp2", Range::set([1u64, 2]), divides(p("tp1"))),
+        ];
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.unconstrained_size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_panic() {
+        ParamGroup::new(vec![
+            tp("A", Range::interval(1, 2)),
+            tp("A", Range::interval(1, 2)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_group_panics() {
+        ParamGroup::new(vec![]);
+    }
+
+    #[test]
+    fn auto_group_splits_independent_chains() {
+        // The paper's Fig. 1: tp2 depends on tp1, tp4 on tp3 → two groups.
+        let groups = auto_group(vec![
+            tp("tp1", Range::set([1u64, 2])),
+            tp_c("tp2", Range::set([1u64, 2]), divides(p("tp1"))),
+            tp("tp3", Range::set([1u64, 2])),
+            tp_c("tp4", Range::set([1u64, 2]), divides(p("tp3"))),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(
+            groups[0].params().iter().map(|x| x.name()).collect::<Vec<_>>(),
+            vec!["tp1", "tp2"]
+        );
+        assert_eq!(
+            groups[1].params().iter().map(|x| x.name()).collect::<Vec<_>>(),
+            vec!["tp3", "tp4"]
+        );
+    }
+
+    #[test]
+    fn auto_group_chains_transitively() {
+        // C depends on B which depends on A: one group, order preserved.
+        let groups = auto_group(vec![
+            tp("A", Range::interval(1, 4)),
+            tp("X", Range::interval(1, 2)),
+            tp_c("B", Range::interval(1, 4), divides(p("A"))),
+            tp_c("C", Range::interval(1, 4), divides(p("B") * p("A"))),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(
+            groups[0].params().iter().map(|x| x.name()).collect::<Vec<_>>(),
+            vec!["A", "B", "C"]
+        );
+        assert_eq!(groups[1].params()[0].name(), "X");
+    }
+
+    #[test]
+    fn auto_group_opaque_predicate_is_conservative() {
+        use crate::constraint::Constraint;
+        // An opaque predicate links to everything declared before it.
+        let groups = auto_group(vec![
+            tp("A", Range::interval(1, 4)),
+            tp("B", Range::interval(1, 4)),
+            tp("C", Range::interval(1, 4))
+                .with_constraint(Constraint::new("opaque", |_, _| true)),
+        ]);
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn auto_group_declared_references_refine_opaque() {
+        use crate::constraint::Constraint;
+        let groups = auto_group(vec![
+            tp("A", Range::interval(1, 4)),
+            tp("B", Range::interval(1, 4)),
+            tp("C", Range::interval(1, 4)).with_constraint(
+                Constraint::new("c divides b", |v, cfg| {
+                    v.as_u64()
+                        .zip(cfg.get("B").and_then(|b| b.as_u64()))
+                        .is_some_and(|(c, b)| c != 0 && b % c == 0)
+                })
+                .with_references(["B"]),
+            ),
+        ]);
+        // A is independent; B and C form one group.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared before")]
+    fn auto_group_rejects_forward_references() {
+        auto_group(vec![
+            tp_c("A", Range::interval(1, 4), divides(p("LATER"))),
+            tp("LATER", Range::interval(1, 4)),
+        ]);
+    }
+
+    #[test]
+    fn singleton_groups_split() {
+        let gs = singleton_groups(vec![
+            tp("A", Range::interval(1, 4)),
+            tp("B", Range::interval(1, 3)),
+        ]);
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].unconstrained_size(), 4);
+        assert_eq!(gs[1].unconstrained_size(), 3);
+    }
+}

@@ -1,0 +1,519 @@
+//! Text parsers for arithmetic expressions and constraints — the surface
+//! syntax used by specification files (e.g. the `atf-cli` tuner) where
+//! expressions arrive as strings instead of Rust code.
+//!
+//! Expression grammar (usual precedence, left-associative):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := unary (('*' | '/' | '%') unary)*
+//! unary   := '-' unary | primary
+//! primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+//!
+//! Function calls: `min(a, b)`, `max(a, b)`, `ceil_div(a, b)`,
+//! `round_up(a, b)`. Bare identifiers are tuning-parameter references.
+//!
+//! Constraint grammar:
+//!
+//! ```text
+//! constraint := disjunct ('||' disjunct)*
+//! disjunct   := atom ('&&' atom)*
+//! atom       := ALIAS '(' expr ')' | '(' constraint ')'
+//! ALIAS      := divides | is_multiple_of | less_than | greater_than
+//!             | equal | unequal
+//! ```
+
+use crate::constraint::{
+    divides, equal, greater_than, is_multiple_of, less_than, unequal, Constraint,
+};
+use crate::expr::{cst, param, Expr};
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Number(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    LParen,
+    RParen,
+    Comma,
+    AndAnd,
+    OrOr,
+}
+
+struct Lexer {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    len: usize,
+}
+
+fn lex(input: &str) -> Result<Lexer, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                tokens.push((i, Token::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push((i, Token::Minus));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((i, Token::Star));
+                i += 1;
+            }
+            '/' => {
+                tokens.push((i, Token::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push((i, Token::Percent));
+                i += 1;
+            }
+            '(' => {
+                tokens.push((i, Token::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((i, Token::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((i, Token::Comma));
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push((i, Token::AndAnd));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected `&&`".to_string(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push((i, Token::OrOr));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: "expected `||`".to_string(),
+                    });
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<f64>().map_err(|e| ParseError {
+                    position: start,
+                    message: format!("bad number `{text}`: {e}"),
+                })?;
+                tokens.push((start, Token::Number(value)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push((start, Token::Ident(input[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(Lexer {
+        tokens,
+        pos: 0,
+        len: input.len(),
+    })
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<(usize, Token)> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.len)
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some((_, t)) if t == *want => Ok(()),
+            other => Err(ParseError {
+                position: other.as_ref().map(|(p, _)| *p).unwrap_or(self.len),
+                message: format!("expected {what}"),
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            position: self.position(),
+            message: message.into(),
+        })
+    }
+}
+
+/// Parses an arithmetic expression over tuning parameters, e.g.
+/// `"N / WPT"` or `"ceil_div(M, WGD) * MDIMCD"`.
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let mut lx = lex(input)?;
+    let e = expr(&mut lx)?;
+    if lx.peek().is_some() {
+        return lx.err("trailing input after expression");
+    }
+    Ok(e)
+}
+
+fn expr(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    let mut acc = term(lx)?;
+    loop {
+        match lx.peek() {
+            Some(Token::Plus) => {
+                lx.next();
+                acc = acc + term(lx)?;
+            }
+            Some(Token::Minus) => {
+                lx.next();
+                acc = acc - term(lx)?;
+            }
+            _ => return Ok(acc),
+        }
+    }
+}
+
+fn term(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    let mut acc = unary(lx)?;
+    loop {
+        match lx.peek() {
+            Some(Token::Star) => {
+                lx.next();
+                acc = acc * unary(lx)?;
+            }
+            Some(Token::Slash) => {
+                lx.next();
+                acc = acc / unary(lx)?;
+            }
+            Some(Token::Percent) => {
+                lx.next();
+                acc = acc % unary(lx)?;
+            }
+            _ => return Ok(acc),
+        }
+    }
+}
+
+fn unary(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    if matches!(lx.peek(), Some(Token::Minus)) {
+        lx.next();
+        return Ok(-unary(lx)?);
+    }
+    primary(lx)
+}
+
+fn primary(lx: &mut Lexer) -> Result<Expr, ParseError> {
+    match lx.next() {
+        Some((_, Token::Number(v))) => {
+            // Integral literals stay integers for exact arithmetic.
+            if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 {
+                Ok(cst(v as u64))
+            } else {
+                Ok(cst(v))
+            }
+        }
+        Some((pos, Token::Ident(name))) => {
+            if matches!(lx.peek(), Some(Token::LParen)) {
+                lx.next(); // '('
+                let mut args = vec![expr(lx)?];
+                while matches!(lx.peek(), Some(Token::Comma)) {
+                    lx.next();
+                    args.push(expr(lx)?);
+                }
+                lx.expect(&Token::RParen, "`)` after function arguments")?;
+                if args.len() != 2 {
+                    return Err(ParseError {
+                        position: pos,
+                        message: format!("`{name}` takes exactly 2 arguments"),
+                    });
+                }
+                let b = args.pop().expect("two args");
+                let a = args.pop().expect("two args");
+                match name.as_str() {
+                    "min" => Ok(a.min(b)),
+                    "max" => Ok(a.max(b)),
+                    "ceil_div" => Ok(a.ceil_div(b)),
+                    "round_up" => Ok(a.round_up_to_multiple_of(b)),
+                    other => Err(ParseError {
+                        position: pos,
+                        message: format!("unknown function `{other}`"),
+                    }),
+                }
+            } else {
+                Ok(param(name))
+            }
+        }
+        Some((_, Token::LParen)) => {
+            let e = expr(lx)?;
+            lx.expect(&Token::RParen, "closing `)`")?;
+            Ok(e)
+        }
+        other => Err(ParseError {
+            position: other.map(|(p, _)| p).unwrap_or(lx.len),
+            message: "expected a number, parameter, or `(`".to_string(),
+        }),
+    }
+}
+
+/// Parses a constraint, e.g.
+/// `"divides(N / WPT)"` or `"divides(WGD) && less_than(1025)"`.
+pub fn parse_constraint(input: &str) -> Result<Constraint, ParseError> {
+    let mut lx = lex(input)?;
+    let c = constraint(&mut lx)?;
+    if lx.peek().is_some() {
+        return lx.err("trailing input after constraint");
+    }
+    Ok(c)
+}
+
+fn constraint(lx: &mut Lexer) -> Result<Constraint, ParseError> {
+    let mut acc = conjunct(lx)?;
+    while matches!(lx.peek(), Some(Token::OrOr)) {
+        lx.next();
+        acc = acc | conjunct(lx)?;
+    }
+    Ok(acc)
+}
+
+fn conjunct(lx: &mut Lexer) -> Result<Constraint, ParseError> {
+    let mut acc = constraint_atom(lx)?;
+    while matches!(lx.peek(), Some(Token::AndAnd)) {
+        lx.next();
+        acc = acc & constraint_atom(lx)?;
+    }
+    Ok(acc)
+}
+
+fn constraint_atom(lx: &mut Lexer) -> Result<Constraint, ParseError> {
+    match lx.next() {
+        Some((_, Token::LParen)) => {
+            let c = constraint(lx)?;
+            lx.expect(&Token::RParen, "closing `)`")?;
+            Ok(c)
+        }
+        Some((pos, Token::Ident(alias))) => {
+            lx.expect(&Token::LParen, "`(` after constraint alias")?;
+            let operand = expr(lx)?;
+            lx.expect(&Token::RParen, "`)` after constraint operand")?;
+            match alias.as_str() {
+                "divides" => Ok(divides(operand)),
+                "is_multiple_of" => Ok(is_multiple_of(operand)),
+                "less_than" => Ok(less_than(operand)),
+                "greater_than" => Ok(greater_than(operand)),
+                "equal" => Ok(equal(operand)),
+                "unequal" => Ok(unequal(operand)),
+                other => Err(ParseError {
+                    position: pos,
+                    message: format!(
+                        "unknown constraint alias `{other}` (expected divides, \
+                         is_multiple_of, less_than, greater_than, equal, unequal)"
+                    ),
+                }),
+            }
+        }
+        other => Err(ParseError {
+            position: other.map(|(p, _)| p).unwrap_or(lx.len),
+            message: "expected a constraint alias or `(`".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::value::Value;
+
+    fn cfg() -> Config {
+        Config::from_pairs([("WPT", 4u64), ("N", 1024u64), ("WGD", 8u64), ("M", 20u64)])
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.eval_u64(&Config::new()).unwrap(), 7);
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.eval_u64(&Config::new()).unwrap(), 9);
+        let e = parse_expr("10 - 4 - 3").unwrap(); // left-associative
+        assert_eq!(e.eval_u64(&Config::new()).unwrap(), 3);
+    }
+
+    #[test]
+    fn parameters_and_division() {
+        let e = parse_expr("N / WPT").unwrap();
+        assert_eq!(e.eval_u64(&cfg()).unwrap(), 256);
+        assert_eq!(e.referenced_params().len(), 2);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(
+            parse_expr("ceil_div(M, WGD)").unwrap().eval_u64(&cfg()).unwrap(),
+            3
+        );
+        assert_eq!(
+            parse_expr("round_up(M, WGD)").unwrap().eval_u64(&cfg()).unwrap(),
+            24
+        );
+        assert_eq!(
+            parse_expr("min(WPT, WGD)").unwrap().eval_u64(&cfg()).unwrap(),
+            4
+        );
+        assert_eq!(
+            parse_expr("max(WPT, WGD) * 2").unwrap().eval_u64(&cfg()).unwrap(),
+            16
+        );
+    }
+
+    #[test]
+    fn unary_minus_and_floats() {
+        let e = parse_expr("-3 + 5").unwrap();
+        assert_eq!(e.eval(&Config::new()).unwrap(), Value::Int(2));
+        let e = parse_expr("1.5 * 2").unwrap();
+        assert_eq!(e.eval_f64(&Config::new()).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn expr_errors() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("foo(1)").is_err()); // unknown function
+        assert!(parse_expr("min(1)").is_err()); // arity
+        assert!(parse_expr("(1 + 2").is_err());
+        assert!(parse_expr("1 2").is_err()); // trailing
+        assert!(parse_expr("1 ? 2").is_err()); // bad char
+        let err = parse_expr("2 # 3").unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn constraint_aliases() {
+        let c = parse_constraint("divides(N / WPT)").unwrap();
+        assert!(c.check(&Value::UInt(64), &cfg()));
+        assert!(!c.check(&Value::UInt(48), &cfg()));
+        let c = parse_constraint("less_than(10)").unwrap();
+        assert!(c.check(&Value::UInt(9), &cfg()));
+        assert!(!c.check(&Value::UInt(10), &cfg()));
+    }
+
+    #[test]
+    fn constraint_combinators_and_precedence() {
+        // `&&` binds tighter than `||`.
+        let c = parse_constraint("equal(1) || divides(8) && less_than(5)").unwrap();
+        assert!(c.check(&Value::UInt(1), &cfg())); // equal(1)
+        assert!(c.check(&Value::UInt(4), &cfg())); // divides 8 and < 5
+        assert!(!c.check(&Value::UInt(8), &cfg())); // divides 8 but not < 5
+        // Parentheses override.
+        let c = parse_constraint("(equal(1) || divides(8)) && less_than(5)").unwrap();
+        assert!(!c.check(&Value::UInt(8), &cfg()));
+        assert!(c.check(&Value::UInt(2), &cfg()));
+    }
+
+    #[test]
+    fn constraint_references_survive_parsing() {
+        use crate::constraint::References;
+        let c = parse_constraint("divides(N / WPT) && less_than(WGD * 2)").unwrap();
+        match c.references() {
+            References::Exact(names) => {
+                let mut names: Vec<&str> = names.iter().map(|n| n.as_ref()).collect();
+                names.sort_unstable();
+                assert_eq!(names, vec!["N", "WGD", "WPT"]);
+            }
+            References::Unknown => panic!("parsed constraints have exact references"),
+        }
+    }
+
+    #[test]
+    fn constraint_errors() {
+        assert!(parse_constraint("").is_err());
+        assert!(parse_constraint("frobnicate(3)").is_err());
+        assert!(parse_constraint("divides").is_err());
+        assert!(parse_constraint("divides(3) &&").is_err());
+        assert!(parse_constraint("divides(3) extra").is_err());
+        assert!(parse_constraint("divides(3) & divides(4)").is_err()); // single &
+    }
+
+    #[test]
+    fn parsed_equals_programmatic_in_generation() {
+        use crate::param::{tp_c, ParamGroup};
+        use crate::range::Range;
+        use crate::space::SearchSpace;
+        let n = 64u64;
+        let parsed = vec![ParamGroup::new(vec![
+            tp_c("WPT", Range::interval(1, n), parse_constraint("divides(64)").unwrap()),
+            tp_c(
+                "LS",
+                Range::interval(1, n),
+                parse_constraint("divides(64 / WPT)").unwrap(),
+            ),
+        ])];
+        let programmatic = vec![ParamGroup::new(vec![
+            tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+            tp_c("LS", Range::interval(1, n), divides(cst(n) / param("WPT"))),
+        ])];
+        assert_eq!(
+            SearchSpace::count(&parsed),
+            SearchSpace::count(&programmatic)
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! The generic cost function: auto-tune programs written in *any* language.
+//!
+//! Mirrors the paper's generic cost function (Section II, Step 2): it is
+//! initialized with 1) the path to the program's source file, 2) two
+//! user-provided scripts for compiling and running the program, and
+//! optionally 3) a log file to which the program writes its cost; without a
+//! log file, ATF measures the program's wall-clock runtime. For
+//! multi-objective tuning the program writes comma-separated costs to the
+//! log file, minimized in lexicographic order.
+//!
+//! Tuning-parameter values are passed to the scripts as environment
+//! variables `ATF_TP_<NAME>`, plus `ATF_SOURCE` with the source path — this
+//! substitutes for the OpenCL-preprocessor textual replacement in a
+//! language-agnostic way (the scripts decide how to apply the values).
+
+use crate::config::Config;
+use crate::cost::{CostError, CostFunction};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+/// A vector of costs compared lexicographically — what the generic cost
+/// function parses from the log file (one or more comma-separated values).
+pub type LexCosts = Vec<f64>;
+
+impl crate::cost::CostValue for LexCosts {
+    fn as_scalar(&self) -> f64 {
+        self.first().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// The generic program cost function.
+#[derive(Clone, Debug)]
+pub struct ProcessCostFunction {
+    source: PathBuf,
+    compile_script: Option<PathBuf>,
+    run_script: PathBuf,
+    log_file: Option<PathBuf>,
+}
+
+impl ProcessCostFunction {
+    /// Creates the cost function. `source` is the program's source file (its
+    /// path is exported to the scripts as `ATF_SOURCE`); `run_script` is
+    /// executed to run the program.
+    pub fn new(source: impl Into<PathBuf>, run_script: impl Into<PathBuf>) -> Self {
+        ProcessCostFunction {
+            source: source.into(),
+            compile_script: None,
+            run_script: run_script.into(),
+            log_file: None,
+        }
+    }
+
+    /// Sets the compile script, executed before every run (the program is
+    /// recompiled per configuration, e.g. because parameters are compile-time
+    /// constants).
+    pub fn compile_script(mut self, script: impl Into<PathBuf>) -> Self {
+        self.compile_script = Some(script.into());
+        self
+    }
+
+    /// Sets the log file the program writes its cost(s) to. Without a log
+    /// file, the run script's wall-clock runtime (in seconds) is the cost.
+    pub fn log_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.log_file = Some(path.into());
+        self
+    }
+
+    fn run(&self, script: &Path, config: &Config) -> Result<std::process::Output, CostError> {
+        let mut cmd = Command::new(script);
+        cmd.env("ATF_SOURCE", &self.source);
+        for (name, value) in config.iter() {
+            cmd.env(format!("ATF_TP_{name}"), value.to_source_token());
+        }
+        cmd.output()
+            .map_err(|e| CostError::RunFailed(format!("cannot execute {script:?}: {e}")))
+    }
+}
+
+/// Parses comma-separated costs (the multi-objective log format). The last
+/// non-empty line wins, so programs may append across runs.
+pub fn parse_costs(log: &str) -> Result<LexCosts, CostError> {
+    let line = log
+        .lines()
+        .rev()
+        .map(str::trim)
+        .find(|l| !l.is_empty())
+        .ok_or_else(|| CostError::MeasurementFailed("log file is empty".into()))?;
+    line.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|e| CostError::MeasurementFailed(format!("bad cost `{t}`: {e}")))
+        })
+        .collect()
+}
+
+impl CostFunction for ProcessCostFunction {
+    type Cost = LexCosts;
+
+    fn evaluate(&mut self, config: &Config) -> Result<LexCosts, CostError> {
+        if let Some(compile) = &self.compile_script {
+            let out = self.run(compile, config)?;
+            if !out.status.success() {
+                return Err(CostError::CompileFailed(
+                    String::from_utf8_lossy(&out.stderr).trim().to_string(),
+                ));
+            }
+        }
+        let started = Instant::now();
+        let out = self.run(&self.run_script, config)?;
+        let elapsed = started.elapsed();
+        if !out.status.success() {
+            return Err(CostError::RunFailed(
+                String::from_utf8_lossy(&out.stderr).trim().to_string(),
+            ));
+        }
+        match &self.log_file {
+            None => Ok(vec![elapsed.as_secs_f64()]),
+            Some(path) => {
+                let log = std::fs::read_to_string(path).map_err(|e| {
+                    CostError::MeasurementFailed(format!("cannot read log {path:?}: {e}"))
+                })?;
+                parse_costs(&log)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_script(dir: &Path, name: &str, body: &str) -> PathBuf {
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "#!/bin/sh\n{body}").unwrap();
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+        }
+        path
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("atf-process-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn parse_single_cost() {
+        assert_eq!(parse_costs("3.25\n").unwrap(), vec![3.25]);
+    }
+
+    #[test]
+    fn parse_multi_objective() {
+        assert_eq!(parse_costs("1.5, 200\n").unwrap(), vec![1.5, 200.0]);
+    }
+
+    #[test]
+    fn parse_last_line_wins() {
+        assert_eq!(parse_costs("9\n4,2\n\n").unwrap(), vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_costs("").is_err());
+        assert!(parse_costs("abc").is_err());
+        assert!(parse_costs("1.0, xyz").is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn runs_external_program_with_log() {
+        let dir = tmpdir("log");
+        let log = dir.join("cost.log");
+        // The "program": cost = |X - 7| * 10, written by the run script.
+        let run = write_script(
+            &dir,
+            "run.sh",
+            &format!(
+                "X=$ATF_TP_X\nD=$((X - 7))\nif [ $D -lt 0 ]; then D=$((-D)); fi\necho $((D * 10)) > {}",
+                log.display()
+            ),
+        );
+        let mut cf = ProcessCostFunction::new(dir.join("prog.src"), run).log_file(&log);
+        let good = Config::from_pairs([("X", 7u64)]);
+        let bad = Config::from_pairs([("X", 2u64)]);
+        assert_eq!(cf.evaluate(&good).unwrap(), vec![0.0]);
+        assert_eq!(cf.evaluate(&bad).unwrap(), vec![50.0]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn compile_failure_reported() {
+        let dir = tmpdir("cfail");
+        let compile = write_script(&dir, "compile.sh", "echo 'boom' >&2; exit 1");
+        let run = write_script(&dir, "run.sh", "exit 0");
+        let mut cf = ProcessCostFunction::new(dir.join("p.src"), run).compile_script(compile);
+        let err = cf.evaluate(&Config::new()).unwrap_err();
+        assert!(matches!(err, CostError::CompileFailed(m) if m.contains("boom")));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn run_failure_reported() {
+        let dir = tmpdir("rfail");
+        let run = write_script(&dir, "run.sh", "exit 3");
+        let mut cf = ProcessCostFunction::new(dir.join("p.src"), run);
+        assert!(matches!(
+            cf.evaluate(&Config::new()),
+            Err(CostError::RunFailed(_))
+        ));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn wall_clock_fallback_when_no_log() {
+        let dir = tmpdir("wall");
+        let run = write_script(&dir, "run.sh", "exit 0");
+        let mut cf = ProcessCostFunction::new(dir.join("p.src"), run);
+        let costs = cf.evaluate(&Config::new()).unwrap();
+        assert_eq!(costs.len(), 1);
+        assert!(costs[0] >= 0.0 && costs[0] < 60.0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn missing_script_is_run_failed() {
+        let mut cf = ProcessCostFunction::new("/nonexistent/src", "/nonexistent/run.sh");
+        assert!(matches!(
+            cf.evaluate(&Config::new()),
+            Err(CostError::RunFailed(_))
+        ));
+    }
+
+    #[test]
+    fn lex_costs_scalar_projection() {
+        use crate::cost::CostValue;
+        assert_eq!(vec![2.0, 9.0].as_scalar(), 2.0);
+        assert_eq!(Vec::<f64>::new().as_scalar(), f64::INFINITY);
+        assert!(vec![1.0, 5.0] < vec![1.0, 6.0]);
+        assert!(vec![0.5, 100.0] < vec![1.0, 0.0]);
+    }
+}

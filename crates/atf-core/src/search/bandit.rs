@@ -1,0 +1,342 @@
+//! The OpenTuner-style ensemble search: a multi-armed bandit that picks,
+//! for every step, one of several sub-techniques and credits it when its
+//! proposal improves the best cost.
+//!
+//! OpenTuner's meta-technique is an AUC (area-under-curve) credit-assignment
+//! bandit over a window of recent outcomes with an exploration bonus
+//! (Ansel et al., PACT 2014). This module reimplements that scheme: each arm
+//! scores `AUC_w(arm) + C * sqrt(2 ln(uses_total) / uses(arm))`, where
+//! `AUC_w` weights recent improvements linearly by recency within a sliding
+//! window. The paper uses this engine as ATF's third search technique over
+//! the *valid* space index (Section IV-C), and it also powers the OpenTuner
+//! baseline over the unconstrained space.
+
+use super::{
+    DifferentialEvolution, GeneticAlgorithm, GreedyMutation, NelderMead, ParticleSwarm,
+    PatternSearch, Point, RandomSearch, SearchTechnique, SpaceDims, Torczon,
+};
+use std::collections::VecDeque;
+
+/// Default exploration constant of the UCB-style bonus.
+pub const DEFAULT_EXPLORATION: f64 = 0.3;
+
+/// Default sliding-window length for AUC credit.
+pub const DEFAULT_WINDOW: usize = 50;
+
+/// AUC-credit bandit state for one arm.
+#[derive(Clone, Debug, Default)]
+struct ArmStats {
+    /// Recent outcomes, `true` = the arm's proposal improved the best cost.
+    history: VecDeque<bool>,
+    uses: u64,
+}
+
+impl ArmStats {
+    fn record(&mut self, improved: bool, window: usize) {
+        self.history.push_back(improved);
+        while self.history.len() > window {
+            self.history.pop_front();
+        }
+        self.uses += 1;
+    }
+
+    /// Area under the credit curve: recent improvements weigh more.
+    fn auc(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        let n = self.history.len();
+        let denom = (n * (n + 1) / 2) as f64;
+        let score: f64 = self
+            .history
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| (i + 1) as f64)
+            .sum();
+        score / denom
+    }
+}
+
+/// The multi-armed-bandit scheduler (exposed separately for testing and for
+/// composing custom ensembles).
+#[derive(Clone, Debug)]
+pub struct AucBandit {
+    arms: Vec<ArmStats>,
+    window: usize,
+    exploration: f64,
+    total_uses: u64,
+}
+
+impl AucBandit {
+    /// A bandit over `n_arms` arms.
+    pub fn new(n_arms: usize, window: usize, exploration: f64) -> Self {
+        assert!(n_arms > 0, "bandit needs at least one arm");
+        AucBandit {
+            arms: vec![ArmStats::default(); n_arms],
+            window,
+            exploration,
+            total_uses: 0,
+        }
+    }
+
+    /// Selects the arm with the best AUC + exploration score; unused arms
+    /// are always tried first.
+    pub fn select(&self) -> usize {
+        // Any arm never used yet gets priority (infinite exploration bonus).
+        if let Some(i) = self.arms.iter().position(|a| a.uses == 0) {
+            return i;
+        }
+        let ln_total = (self.total_uses.max(1) as f64).ln();
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, a) in self.arms.iter().enumerate() {
+            let score = a.auc() + self.exploration * (2.0 * ln_total / a.uses as f64).sqrt();
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Records the outcome of an arm's proposal.
+    pub fn record(&mut self, arm: usize, improved: bool) {
+        self.arms[arm].record(improved, self.window);
+        self.total_uses += 1;
+    }
+
+    /// Current AUC score of an arm (for diagnostics).
+    pub fn auc(&self, arm: usize) -> f64 {
+        self.arms[arm].auc()
+    }
+
+    /// Number of times an arm was used.
+    pub fn uses(&self, arm: usize) -> u64 {
+        self.arms[arm].uses
+    }
+}
+
+/// The ensemble search technique: a bandit over sub-techniques sharing one
+/// global best-cost signal.
+pub struct Ensemble {
+    techniques: Vec<Box<dyn SearchTechnique>>,
+    bandit: AucBandit,
+    /// Arm that produced the outstanding proposal.
+    active: Option<usize>,
+    best: f64,
+}
+
+impl Ensemble {
+    /// The OpenTuner-like default ensemble, mirroring OpenTuner's
+    /// `AUCBanditMetaTechniqueA` family: differential evolution, greedy
+    /// mutation, Nelder-Mead, Torczon, pattern search, and uniform random —
+    /// seeded deterministically from `seed`.
+    pub fn opentuner_default(seed: u64) -> Self {
+        Self::new(vec![
+            Box::new(DifferentialEvolution::with_seed(seed ^ 0x6)),
+            Box::new(GreedyMutation::with_seed(seed ^ 0x4)),
+            Box::new(NelderMead::with_seed(seed ^ 0x1)),
+            Box::new(Torczon::with_seed(seed ^ 0x2)),
+            Box::new(PatternSearch::with_seed(seed ^ 0x3)),
+            Box::new(RandomSearch::with_seed(seed ^ 0x5)),
+        ])
+    }
+
+    /// A larger ensemble additionally containing the particle-swarm and
+    /// genetic-algorithm techniques.
+    pub fn extended(seed: u64) -> Self {
+        Self::new(vec![
+            Box::new(DifferentialEvolution::with_seed(seed ^ 0x6)),
+            Box::new(GreedyMutation::with_seed(seed ^ 0x4)),
+            Box::new(NelderMead::with_seed(seed ^ 0x1)),
+            Box::new(Torczon::with_seed(seed ^ 0x2)),
+            Box::new(PatternSearch::with_seed(seed ^ 0x3)),
+            Box::new(ParticleSwarm::with_seed(seed ^ 0x7)),
+            Box::new(GeneticAlgorithm::with_seed(seed ^ 0x8)),
+            Box::new(RandomSearch::with_seed(seed ^ 0x5)),
+        ])
+    }
+
+    /// An ensemble over custom sub-techniques.
+    pub fn new(techniques: Vec<Box<dyn SearchTechnique>>) -> Self {
+        assert!(!techniques.is_empty(), "ensemble needs ≥ 1 technique");
+        let n = techniques.len();
+        Ensemble {
+            techniques,
+            bandit: AucBandit::new(n, DEFAULT_WINDOW, DEFAULT_EXPLORATION),
+            active: None,
+            best: f64::INFINITY,
+        }
+    }
+
+    /// Overrides the bandit parameters.
+    pub fn bandit_params(mut self, window: usize, exploration: f64) -> Self {
+        self.bandit = AucBandit::new(self.techniques.len(), window, exploration);
+        self
+    }
+
+    /// Names of the sub-techniques, aligned with arm indices.
+    pub fn technique_names(&self) -> Vec<&'static str> {
+        self.techniques.iter().map(|t| t.name()).collect()
+    }
+
+    /// Per-arm use counts (diagnostics).
+    pub fn arm_uses(&self) -> Vec<u64> {
+        (0..self.techniques.len())
+            .map(|i| self.bandit.uses(i))
+            .collect()
+    }
+}
+
+impl SearchTechnique for Ensemble {
+    fn initialize(&mut self, dims: SpaceDims) {
+        for t in &mut self.techniques {
+            t.initialize(dims.clone());
+        }
+        self.active = None;
+        self.best = f64::INFINITY;
+    }
+
+    fn finalize(&mut self) {
+        for t in &mut self.techniques {
+            t.finalize();
+        }
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        // Try arms in bandit preference order until one proposes a point
+        // (sub-techniques of this crate never exhaust, but custom ones may).
+        for _ in 0..self.techniques.len() {
+            let arm = self.bandit.select();
+            if let Some(p) = self.techniques[arm].get_next_point() {
+                self.active = Some(arm);
+                return Some(p);
+            }
+            // Arm exhausted: record a non-improvement so its score decays
+            // and other arms get selected.
+            self.bandit.record(arm, false);
+        }
+        None
+    }
+
+    fn report_cost(&mut self, cost: f64) {
+        let Some(arm) = self.active.take() else {
+            return;
+        };
+        self.techniques[arm].report_cost(cost);
+        let improved = cost < self.best;
+        if improved {
+            self.best = cost;
+        }
+        self.bandit.record(arm, improved);
+    }
+
+    fn name(&self) -> &'static str {
+        "opentuner-ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::*;
+
+    #[test]
+    fn auc_weights_recency() {
+        let mut a = ArmStats::default();
+        for _ in 0..5 {
+            a.record(false, 10);
+        }
+        let low = a.auc();
+        a.record(true, 10);
+        let high = a.auc();
+        assert!(high > low);
+        // An early improvement followed by failures scores lower than a
+        // recent improvement.
+        let mut early = ArmStats::default();
+        early.record(true, 10);
+        for _ in 0..5 {
+            early.record(false, 10);
+        }
+        let mut late = ArmStats::default();
+        for _ in 0..5 {
+            late.record(false, 10);
+        }
+        late.record(true, 10);
+        assert!(late.auc() > early.auc());
+    }
+
+    #[test]
+    fn window_bounds_history() {
+        let mut a = ArmStats::default();
+        for _ in 0..100 {
+            a.record(true, 8);
+        }
+        assert_eq!(a.history.len(), 8);
+        assert_eq!(a.uses, 100);
+    }
+
+    #[test]
+    fn bandit_prefers_improving_arm() {
+        let mut b = AucBandit::new(3, 20, 0.1);
+        // Arm 1 improves often; others never.
+        for _ in 0..30 {
+            b.record(0, false);
+            b.record(1, true);
+            b.record(2, false);
+        }
+        assert_eq!(b.select(), 1);
+    }
+
+    #[test]
+    fn bandit_explores_unused_arms_first() {
+        let mut b = AucBandit::new(3, 10, 0.3);
+        assert_eq!(b.select(), 0);
+        b.record(0, true);
+        assert_eq!(b.select(), 1);
+        b.record(1, false);
+        assert_eq!(b.select(), 2);
+    }
+
+    #[test]
+    fn ensemble_converges_on_bowl() {
+        let mut t = Ensemble::opentuner_default(42);
+        let (_, c) = drive(
+            &mut t,
+            SpaceDims::new(vec![128, 128]),
+            1200,
+            bowl(vec![40, 90]),
+        );
+        assert!(c <= 9.0, "ensemble far from optimum: cost {c}");
+    }
+
+    #[test]
+    fn ensemble_uses_multiple_arms() {
+        let mut t = Ensemble::opentuner_default(7);
+        t.initialize(SpaceDims::new(vec![64, 64]));
+        for i in 0..200 {
+            let _ = t.get_next_point().unwrap();
+            t.report_cost(((i * 31) % 17) as f64);
+        }
+        let uses = t.arm_uses();
+        assert_eq!(uses.iter().sum::<u64>(), 200);
+        assert!(
+            uses.iter().filter(|&&u| u > 0).count() >= 3,
+            "bandit collapsed to too few arms: {uses:?}"
+        );
+    }
+
+    #[test]
+    fn exhausted_arms_are_skipped() {
+        // An ensemble of one exhaustive technique over a 2-point space
+        // returns None after 2 proposals.
+        let mut t = Ensemble::new(vec![Box::new(super::super::Exhaustive::new())]);
+        t.initialize(SpaceDims::new(vec![2]));
+        assert!(t.get_next_point().is_some());
+        t.report_cost(1.0);
+        assert!(t.get_next_point().is_some());
+        t.report_cost(2.0);
+        assert!(t.get_next_point().is_none());
+    }
+}

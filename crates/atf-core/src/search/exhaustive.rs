@@ -1,0 +1,132 @@
+//! Exhaustive search — "iterates straightforwardly over the search space"
+//! and "finds the provably best configuration" (paper, Sections II/IV-A).
+
+use super::{Point, SearchTechnique, SpaceDims};
+
+/// Exhaustive enumeration of the valid search space in index order.
+///
+/// `report_cost` is a no-op, exactly as in the paper; `get_next_point`
+/// returns each configuration once and then `None`.
+#[derive(Clone, Debug, Default)]
+pub struct Exhaustive {
+    dims: Option<SpaceDims>,
+    next: Option<Point>,
+    done: bool,
+}
+
+impl Exhaustive {
+    /// Creates the exhaustive search technique.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchTechnique for Exhaustive {
+    fn initialize(&mut self, dims: SpaceDims) {
+        self.next = Some(vec![0; dims.dims()]);
+        self.dims = Some(dims);
+        self.done = false;
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        if self.done {
+            return None;
+        }
+        let dims = self.dims.as_ref().expect("initialize not called");
+        let current = self.next.clone()?;
+        // Odometer increment for the next call.
+        let mut p = current.clone();
+        let mut d = p.len();
+        loop {
+            if d == 0 {
+                self.done = true;
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            p[d] += 1;
+            if p[d] < dims.size(d) {
+                self.next = Some(p);
+                break;
+            }
+            p[d] = 0;
+        }
+        Some(current)
+    }
+
+    fn report_cost(&mut self, _cost: f64) {}
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn visits_every_point_exactly_once() {
+        let mut t = Exhaustive::new();
+        t.initialize(SpaceDims::new(vec![3, 4, 2]));
+        let mut seen = HashSet::new();
+        while let Some(p) = t.get_next_point() {
+            t.report_cost(1.0);
+            assert!(seen.insert(p.clone()), "duplicate point {p:?}");
+        }
+        assert_eq!(seen.len(), 24);
+        assert!(t.get_next_point().is_none()); // stays exhausted
+    }
+
+    #[test]
+    fn single_point_space() {
+        let mut t = Exhaustive::new();
+        t.initialize(SpaceDims::new(vec![1]));
+        assert_eq!(t.get_next_point(), Some(vec![0]));
+        assert!(t.get_next_point().is_none());
+    }
+
+    #[test]
+    fn index_order_matches_mixed_radix() {
+        let mut t = Exhaustive::new();
+        t.initialize(SpaceDims::new(vec![2, 3]));
+        let pts: Vec<_> = std::iter::from_fn(|| t.get_next_point()).collect();
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn reinitialize_resets() {
+        let mut t = Exhaustive::new();
+        t.initialize(SpaceDims::new(vec![2]));
+        let _ = t.get_next_point();
+        let _ = t.get_next_point();
+        assert!(t.get_next_point().is_none());
+        t.initialize(SpaceDims::new(vec![2]));
+        assert_eq!(t.get_next_point(), Some(vec![0]));
+    }
+
+    #[test]
+    fn finds_true_optimum() {
+        use super::super::test_util::*;
+        let mut t = Exhaustive::new();
+        let (p, c) = drive(
+            &mut t,
+            SpaceDims::new(vec![10, 10]),
+            1000,
+            bowl(vec![7, 3]),
+        );
+        assert_eq!(p, vec![7, 3]);
+        assert_eq!(c, 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! A steady-state genetic algorithm in ask/tell form — evolutionary
+//! recombination complements the mutation-only hill climber in the ensemble
+//! (OpenTuner's library includes GA variants; paper, Section IV-C).
+//!
+//! Steady-state: each step proposes one child from two tournament-selected
+//! parents (uniform crossover + per-coordinate mutation); after evaluation
+//! the child replaces the current worst member if it improves on it.
+
+use super::{Point, SearchTechnique, SpaceDims};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Default population size.
+pub const DEFAULT_POPULATION: usize = 24;
+/// Default per-coordinate mutation rate.
+pub const DEFAULT_MUTATION: f64 = 0.15;
+/// Default tournament size.
+pub const DEFAULT_TOURNAMENT: usize = 3;
+
+/// Steady-state GA over grid points.
+#[derive(Clone, Debug)]
+pub struct GeneticAlgorithm {
+    rng: ChaCha8Rng,
+    dims: Option<SpaceDims>,
+    population: Vec<(Point, f64)>,
+    /// Members still awaiting their initial evaluation.
+    unseeded: usize,
+    pending: Option<Point>,
+    pop_size: usize,
+    mutation_rate: f64,
+    tournament: usize,
+}
+
+impl GeneticAlgorithm {
+    /// Creates the technique with a fixed seed and default parameters.
+    pub fn with_seed(seed: u64) -> Self {
+        GeneticAlgorithm {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dims: None,
+            population: Vec::new(),
+            unseeded: 0,
+            pending: None,
+            pop_size: DEFAULT_POPULATION,
+            mutation_rate: DEFAULT_MUTATION,
+            tournament: DEFAULT_TOURNAMENT,
+        }
+    }
+
+    /// Sets the population size (≥ 2).
+    pub fn population(mut self, n: usize) -> Self {
+        assert!(n >= 2, "population must be ≥ 2");
+        self.pop_size = n;
+        self
+    }
+
+    /// Sets the per-coordinate mutation rate in (0, 1].
+    pub fn mutation_rate(mut self, r: f64) -> Self {
+        assert!(r > 0.0 && r <= 1.0);
+        self.mutation_rate = r;
+        self
+    }
+
+    /// Tournament selection: the best of `tournament` random members.
+    fn select(&mut self) -> Point {
+        let n = self.population.len();
+        let mut best: Option<usize> = None;
+        for _ in 0..self.tournament {
+            let i = self.rng.gen_range(0..n);
+            if best.is_none_or(|b| self.population[i].1 < self.population[b].1) {
+                best = Some(i);
+            }
+        }
+        self.population[best.expect("non-empty population")].0.clone()
+    }
+
+    fn make_child(&mut self) -> Point {
+        let a = self.select();
+        let b = self.select();
+        let dims = self.dims.clone().expect("initialized");
+        (0..dims.dims())
+            .map(|d| {
+                let mut gene = if self.rng.gen_bool(0.5) { a[d] } else { b[d] };
+                if dims.size(d) > 1 && self.rng.gen_bool(self.mutation_rate) {
+                    gene = self.rng.gen_range(0..dims.size(d));
+                }
+                gene
+            })
+            .collect()
+    }
+
+    fn worst_index(&self) -> usize {
+        let mut w = 0;
+        for (i, (_, c)) in self.population.iter().enumerate() {
+            if *c > self.population[w].1 {
+                w = i;
+            }
+        }
+        w
+    }
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        Self::with_seed(0x6a)
+    }
+}
+
+impl SearchTechnique for GeneticAlgorithm {
+    fn initialize(&mut self, dims: SpaceDims) {
+        let n = self.pop_size.min(dims.len().min(1 << 20) as usize).max(2);
+        self.population.clear();
+        for _ in 0..n {
+            let p = dims.random_point(&mut self.rng);
+            self.population.push((p, f64::INFINITY));
+        }
+        self.unseeded = n;
+        self.pending = None;
+        self.dims = Some(dims);
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        if self.unseeded > 0 {
+            let i = self.population.len() - self.unseeded;
+            let p = self.population[i].0.clone();
+            self.pending = Some(p.clone());
+            return Some(p);
+        }
+        let child = self.make_child();
+        self.pending = Some(child.clone());
+        Some(child)
+    }
+
+    fn report_cost(&mut self, cost: f64) {
+        let Some(p) = self.pending.take() else {
+            return;
+        };
+        if self.unseeded > 0 {
+            let i = self.population.len() - self.unseeded;
+            self.population[i].1 = cost;
+            self.unseeded -= 1;
+        } else {
+            let w = self.worst_index();
+            if cost < self.population[w].1 {
+                self.population[w] = (p, cost);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "genetic-algorithm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::*;
+
+    #[test]
+    fn converges_on_bowl() {
+        let mut t = GeneticAlgorithm::with_seed(51);
+        let (_, c) = drive(
+            &mut t,
+            SpaceDims::new(vec![128, 128]),
+            2000,
+            bowl(vec![30, 110]),
+        );
+        assert!(c <= 16.0, "GA far from optimum: cost {c}");
+    }
+
+    #[test]
+    fn children_stay_in_bounds() {
+        let dims = SpaceDims::new(vec![4, 9, 2]);
+        let mut t = GeneticAlgorithm::with_seed(1);
+        t.initialize(dims.clone());
+        for i in 0..200 {
+            let p = t.get_next_point().unwrap();
+            for (d, &c) in p.iter().enumerate() {
+                assert!(c < dims.size(d));
+            }
+            t.report_cost(((i * 7) % 13) as f64);
+        }
+    }
+
+    #[test]
+    fn worst_member_is_replaced_by_better_child() {
+        let mut t = GeneticAlgorithm::with_seed(2).population(3);
+        t.initialize(SpaceDims::new(vec![100]));
+        for c in [5.0, 9.0, 7.0] {
+            let _ = t.get_next_point().unwrap();
+            t.report_cost(c);
+        }
+        // Child better than the worst (9.0) must replace it.
+        let child = t.get_next_point().unwrap();
+        t.report_cost(1.0);
+        let costs: Vec<f64> = t.population.iter().map(|(_, c)| *c).collect();
+        assert!(costs.contains(&1.0) && !costs.contains(&9.0));
+        assert!(t.population.iter().any(|(p, _)| *p == child));
+        // Worse child is discarded.
+        let _ = t.get_next_point().unwrap();
+        t.report_cost(99.0);
+        assert!(!t.population.iter().any(|(_, c)| *c == 99.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut t = GeneticAlgorithm::with_seed(seed);
+            t.initialize(SpaceDims::new(vec![50, 50]));
+            (0..60)
+                .map(|i| {
+                    let p = t.get_next_point().unwrap();
+                    t.report_cost((i % 11) as f64);
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn tiny_space() {
+        let mut t = GeneticAlgorithm::with_seed(3);
+        t.initialize(SpaceDims::new(vec![1, 2]));
+        for i in 0..30 {
+            let p = t.get_next_point().unwrap();
+            assert!(p[0] < 1 && p[1] < 2);
+            t.report_cost(i as f64);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Nelder-Mead downhill simplex, in the ask/tell (sequential) form required
+//! by the `search_technique` interface. One of the sub-techniques of the
+//! OpenTuner-style ensemble (paper, Section IV-C: "many variants of
+//! Nelder-Mead search (a.k.a. simplex method)").
+//!
+//! The simplex lives in the continuous relaxation of the grid; proposed
+//! vertices are rounded onto the grid when emitted. When the simplex
+//! collapses below one grid cell it restarts from a random location, so the
+//! technique never stops proposing points.
+
+use super::{Point, SearchTechnique, SpaceDims};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const ALPHA: f64 = 1.0; // reflection
+const GAMMA: f64 = 2.0; // expansion
+const RHO: f64 = 0.5; // contraction
+const SIGMA: f64 = 0.5; // shrink
+
+#[derive(Clone, Debug)]
+enum Phase {
+    /// Evaluating initial simplex vertex `k`.
+    Building(usize),
+    Reflect,
+    Expand,
+    ContractOutside,
+    ContractInside,
+    /// Evaluating shrunk vertex `k` (vertex 0, the best, is kept).
+    Shrink(usize),
+}
+
+/// Ask/tell Nelder-Mead simplex search over the valid-space grid.
+#[derive(Clone, Debug)]
+pub struct NelderMead {
+    rng: ChaCha8Rng,
+    dims: Option<SpaceDims>,
+    /// Simplex vertices and costs; `costs[i]` is `NaN` while unevaluated.
+    simplex: Vec<(Vec<f64>, f64)>,
+    phase: Phase,
+    /// The continuous point awaiting its cost.
+    pending: Option<Vec<f64>>,
+    /// Saved reflection point/cost between phases.
+    reflected: Option<(Vec<f64>, f64)>,
+}
+
+impl NelderMead {
+    /// Creates the technique with a fixed seed.
+    pub fn with_seed(seed: u64) -> Self {
+        NelderMead {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dims: None,
+            simplex: Vec::new(),
+            phase: Phase::Building(0),
+            pending: None,
+            reflected: None,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.dims.as_ref().expect("initialized").dims()
+    }
+
+    /// Builds a fresh random simplex: a random base vertex plus one offset
+    /// vertex per dimension at ~1/4 of the dimension size.
+    fn new_simplex(&mut self) {
+        let dims = self.dims.clone().expect("initialized");
+        let base: Vec<f64> = (0..dims.dims())
+            .map(|d| self.rng.gen_range(0..dims.size(d)) as f64)
+            .collect();
+        let mut simplex = vec![(base.clone(), f64::NAN)];
+        for d in 0..dims.dims() {
+            let mut v = base.clone();
+            let step = ((dims.size(d) as f64) / 4.0).max(1.0);
+            // Offset toward the interior so the vertex stays in range.
+            if v[d] + step < dims.size(d) as f64 {
+                v[d] += step;
+            } else {
+                v[d] -= step;
+            }
+            simplex.push((v, f64::NAN));
+        }
+        self.simplex = simplex;
+        self.phase = Phase::Building(0);
+        self.reflected = None;
+    }
+
+    fn centroid_excl_worst(&self) -> Vec<f64> {
+        let n = self.n();
+        let mut c = vec![0.0; n];
+        for (v, _) in &self.simplex[..self.simplex.len() - 1] {
+            for (ci, vi) in c.iter_mut().zip(v) {
+                *ci += vi;
+            }
+        }
+        for ci in &mut c {
+            *ci /= (self.simplex.len() - 1) as f64;
+        }
+        c
+    }
+
+    fn sort_simplex(&mut self) {
+        self.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are comparable"));
+    }
+
+    /// Simplex diameter in grid units (max coordinate spread).
+    fn diameter(&self) -> f64 {
+        let n = self.n();
+        (0..n)
+            .map(|d| {
+                let lo = self
+                    .simplex
+                    .iter()
+                    .map(|(v, _)| v[d])
+                    .fold(f64::INFINITY, f64::min);
+                let hi = self
+                    .simplex
+                    .iter()
+                    .map(|(v, _)| v[d])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                hi - lo
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Starts the next reflect step (after sorting), restarting when the
+    /// simplex has collapsed onto (less than) a single grid cell.
+    fn next_iteration(&mut self) {
+        self.sort_simplex();
+        if self.diameter() < 0.5 {
+            self.new_simplex();
+            return;
+        }
+        let centroid = self.centroid_excl_worst();
+        let worst = &self.simplex.last().expect("non-empty").0;
+        let xr: Vec<f64> = centroid
+            .iter()
+            .zip(worst)
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        self.phase = Phase::Reflect;
+        self.pending = Some(xr);
+    }
+
+    fn point_for(&mut self) -> Vec<f64> {
+        match self.phase {
+            Phase::Building(k) | Phase::Shrink(k) => self.simplex[k].0.clone(),
+            _ => self.pending.clone().expect("pending point set"),
+        }
+    }
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self::with_seed(0x5e1d)
+    }
+}
+
+impl SearchTechnique for NelderMead {
+    fn initialize(&mut self, dims: SpaceDims) {
+        self.dims = Some(dims);
+        self.new_simplex();
+        self.pending = None;
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        let x = self.point_for();
+        let dims = self.dims.as_ref().expect("initialize not called");
+        Some(dims.round(&x))
+    }
+
+    fn report_cost(&mut self, cost: f64) {
+        match self.phase {
+            Phase::Building(k) => {
+                self.simplex[k].1 = cost;
+                if k + 1 < self.simplex.len() {
+                    self.phase = Phase::Building(k + 1);
+                } else {
+                    self.next_iteration();
+                }
+            }
+            Phase::Reflect => {
+                let xr = self.pending.take().expect("reflect pending");
+                let best = self.simplex[0].1;
+                let second_worst = self.simplex[self.simplex.len() - 2].1;
+                let worst = self.simplex.last().expect("non-empty").1;
+                if cost < best {
+                    // Try expanding further along the reflection direction.
+                    let centroid = self.centroid_excl_worst();
+                    let xe: Vec<f64> = centroid
+                        .iter()
+                        .zip(&xr)
+                        .map(|(c, r)| c + GAMMA * (r - c))
+                        .collect();
+                    self.reflected = Some((xr, cost));
+                    self.phase = Phase::Expand;
+                    self.pending = Some(xe);
+                } else if cost < second_worst {
+                    *self.simplex.last_mut().expect("non-empty") = (xr, cost);
+                    self.next_iteration();
+                } else {
+                    let centroid = self.centroid_excl_worst();
+                    if cost < worst {
+                        // Contract outside: between centroid and reflection.
+                        let xc: Vec<f64> = centroid
+                            .iter()
+                            .zip(&xr)
+                            .map(|(c, r)| c + RHO * (r - c))
+                            .collect();
+                        self.reflected = Some((xr, cost));
+                        self.phase = Phase::ContractOutside;
+                        self.pending = Some(xc);
+                    } else {
+                        // Contract inside: between centroid and worst vertex.
+                        let w = self.simplex.last().expect("non-empty").0.clone();
+                        let xc: Vec<f64> = centroid
+                            .iter()
+                            .zip(&w)
+                            .map(|(c, w)| c + RHO * (w - c))
+                            .collect();
+                        self.reflected = Some((xr, cost));
+                        self.phase = Phase::ContractInside;
+                        self.pending = Some(xc);
+                    }
+                }
+            }
+            Phase::Expand => {
+                let xe = self.pending.take().expect("expand pending");
+                let (xr, fr) = self.reflected.take().expect("reflection saved");
+                *self.simplex.last_mut().expect("non-empty") = if cost < fr {
+                    (xe, cost)
+                } else {
+                    (xr, fr)
+                };
+                self.next_iteration();
+            }
+            Phase::ContractOutside => {
+                let xc = self.pending.take().expect("contract pending");
+                let (_, fr) = self.reflected.take().expect("reflection saved");
+                if cost <= fr {
+                    *self.simplex.last_mut().expect("non-empty") = (xc, cost);
+                    self.next_iteration();
+                } else {
+                    self.start_shrink();
+                }
+            }
+            Phase::ContractInside => {
+                let xc = self.pending.take().expect("contract pending");
+                self.reflected = None;
+                let worst = self.simplex.last().expect("non-empty").1;
+                if cost < worst {
+                    *self.simplex.last_mut().expect("non-empty") = (xc, cost);
+                    self.next_iteration();
+                } else {
+                    self.start_shrink();
+                }
+            }
+            Phase::Shrink(k) => {
+                self.simplex[k].1 = cost;
+                if k + 1 < self.simplex.len() {
+                    self.phase = Phase::Shrink(k + 1);
+                } else {
+                    self.next_iteration();
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+}
+
+impl NelderMead {
+    fn start_shrink(&mut self) {
+        // Shrink all vertices toward the best one; re-evaluate vertices 1..n.
+        let best = self.simplex[0].0.clone();
+        for (v, c) in &mut self.simplex[1..] {
+            for (vi, bi) in v.iter_mut().zip(&best) {
+                *vi = bi + SIGMA * (*vi - bi);
+            }
+            *c = f64::NAN;
+        }
+        self.phase = Phase::Shrink(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::*;
+
+    #[test]
+    fn converges_on_smooth_bowl() {
+        let mut t = NelderMead::with_seed(21);
+        let (_, c) = drive(
+            &mut t,
+            SpaceDims::new(vec![128, 128]),
+            400,
+            bowl(vec![100, 30]),
+        );
+        assert!(c <= 25.0, "Nelder-Mead far from optimum: cost {c}");
+    }
+
+    #[test]
+    fn one_dimensional_space_works() {
+        let mut t = NelderMead::with_seed(3);
+        let (_, c) = drive(&mut t, SpaceDims::new(vec![1000]), 300, |p: &Point| {
+            (p[0] as f64 - 700.0).abs()
+        });
+        assert!(c <= 10.0, "cost {c}");
+    }
+
+    #[test]
+    fn tiny_space_never_stops() {
+        let mut t = NelderMead::with_seed(4);
+        t.initialize(SpaceDims::new(vec![2, 2]));
+        for i in 0..50 {
+            let p = t.get_next_point().expect("always proposes");
+            assert!(p[0] < 2 && p[1] < 2);
+            t.report_cost((i % 3) as f64);
+        }
+    }
+
+    #[test]
+    fn restarts_after_collapse() {
+        // Constant landscape: the simplex shrinks to a point, must restart
+        // rather than loop on a single vertex forever.
+        let mut t = NelderMead::with_seed(5);
+        t.initialize(SpaceDims::new(vec![64]));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let p = t.get_next_point().unwrap();
+            seen.insert(p.clone());
+            t.report_cost(1.0);
+        }
+        assert!(seen.len() > 3, "never escaped collapsed simplex");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut t = NelderMead::with_seed(seed);
+            t.initialize(SpaceDims::new(vec![32, 32]));
+            (0..30)
+                .map(|i| {
+                    let p = t.get_next_point().unwrap();
+                    t.report_cost((i * 7 % 5) as f64);
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(8), run(8));
+    }
+}

@@ -1,0 +1,206 @@
+//! Pattern (compass) search: probe ± step along every dimension, move to the
+//! best improvement, halve the step on failure. A classic direct-search
+//! member of the OpenTuner ensemble family.
+
+use super::{Point, SearchTechnique, SpaceDims};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Compass pattern search (ask/tell form).
+#[derive(Clone, Debug)]
+pub struct PatternSearch {
+    rng: ChaCha8Rng,
+    dims: Option<SpaceDims>,
+    /// Current centre and its cost (`None` until first report).
+    centre: Option<(Point, f64)>,
+    /// Per-dimension step sizes.
+    steps: Vec<u64>,
+    /// Probes of the current sweep, with costs filled in as reported.
+    probes: Vec<(Point, f64)>,
+    cursor: usize,
+    /// Point awaiting a cost report (centre evaluation or probe).
+    awaiting_centre: bool,
+    /// The not-yet-evaluated centre of a fresh (re)start.
+    pending_centre: Option<Point>,
+}
+
+impl PatternSearch {
+    /// Creates the technique with a fixed seed.
+    pub fn with_seed(seed: u64) -> Self {
+        PatternSearch {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dims: None,
+            centre: None,
+            steps: Vec::new(),
+            probes: Vec::new(),
+            cursor: 0,
+            awaiting_centre: false,
+            pending_centre: None,
+        }
+    }
+
+    fn restart(&mut self) {
+        let dims = self.dims.clone().expect("initialized");
+        let c = dims.random_point(&mut self.rng);
+        self.steps = dims
+            .sizes()
+            .iter()
+            .map(|&s| (s / 4).max(1))
+            .collect();
+        self.centre = None;
+        self.probes.clear();
+        self.cursor = 0;
+        self.awaiting_centre = true;
+        self.pending_centre = Some(c);
+    }
+
+    fn build_probes(&mut self) {
+        let dims = self.dims.as_ref().expect("initialized");
+        let (c, _) = self.centre.as_ref().expect("centre evaluated");
+        let mut probes = Vec::with_capacity(2 * dims.dims());
+        for d in 0..dims.dims() {
+            let step = self.steps[d];
+            if c[d] + step < dims.size(d) {
+                let mut p = c.clone();
+                p[d] += step;
+                probes.push((p, f64::NAN));
+            }
+            if c[d] >= step {
+                let mut p = c.clone();
+                p[d] -= step;
+                probes.push((p, f64::NAN));
+            }
+        }
+        self.probes = probes;
+        self.cursor = 0;
+    }
+
+    /// Ends a sweep: move to the best improving probe, or halve steps; when
+    /// all steps are exhausted, restart elsewhere.
+    fn finish_sweep(&mut self) {
+        let centre_cost = self.centre.as_ref().expect("centre").1;
+        let best = self
+            .probes
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("comparable"))
+            .cloned();
+        match best {
+            Some((p, c)) if c < centre_cost => {
+                self.centre = Some((p, c));
+            }
+            _ => {
+                let mut all_one = true;
+                for s in &mut self.steps {
+                    if *s > 1 {
+                        *s /= 2;
+                        all_one = false;
+                    }
+                }
+                if all_one {
+                    self.restart();
+                    return;
+                }
+            }
+        }
+        self.build_probes();
+        if self.probes.is_empty() {
+            // Degenerate space (all dims size 1): restart keeps us live.
+            self.restart();
+        }
+    }
+}
+
+impl Default for PatternSearch {
+    fn default() -> Self {
+        Self::with_seed(0x9a77)
+    }
+}
+
+impl SearchTechnique for PatternSearch {
+    fn initialize(&mut self, dims: SpaceDims) {
+        self.dims = Some(dims);
+        self.restart();
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        if self.awaiting_centre {
+            return self.pending_centre.clone();
+        }
+        Some(self.probes[self.cursor].0.clone())
+    }
+
+    fn report_cost(&mut self, cost: f64) {
+        if self.awaiting_centre {
+            let p = self.pending_centre.take().expect("pending centre");
+            self.centre = Some((p, cost));
+            self.awaiting_centre = false;
+            self.build_probes();
+            if self.probes.is_empty() {
+                self.restart();
+            }
+            return;
+        }
+        self.probes[self.cursor].1 = cost;
+        self.cursor += 1;
+        if self.cursor == self.probes.len() {
+            self.finish_sweep();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pattern-search"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::*;
+
+    #[test]
+    fn converges_on_bowl() {
+        let mut t = PatternSearch::with_seed(17);
+        let (_, c) = drive(
+            &mut t,
+            SpaceDims::new(vec![256, 256]),
+            400,
+            bowl(vec![200, 31]),
+        );
+        assert_eq!(c, 0.0, "pattern search should nail a smooth bowl");
+    }
+
+    #[test]
+    fn single_point_space_restarts_safely() {
+        let mut t = PatternSearch::with_seed(1);
+        t.initialize(SpaceDims::new(vec![1, 1]));
+        for _ in 0..20 {
+            let p = t.get_next_point().expect("proposal");
+            assert_eq!(p, vec![0, 0]);
+            t.report_cost(1.0);
+        }
+    }
+
+    #[test]
+    fn probes_stay_in_bounds() {
+        let mut t = PatternSearch::with_seed(2);
+        t.initialize(SpaceDims::new(vec![3, 17]));
+        for i in 0..200 {
+            let p = t.get_next_point().unwrap();
+            assert!(p[0] < 3 && p[1] < 17, "out of bounds {p:?}");
+            t.report_cost(((i * 13) % 10) as f64);
+        }
+    }
+
+    #[test]
+    fn restarts_when_steps_exhaust() {
+        let mut t = PatternSearch::with_seed(3);
+        t.initialize(SpaceDims::new(vec![8]));
+        let mut seen = std::collections::HashSet::new();
+        // Constant landscape → steps shrink → restart; must keep proposing.
+        for _ in 0..100 {
+            seen.insert(t.get_next_point().unwrap());
+            t.report_cost(1.0);
+        }
+        assert!(seen.len() >= 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Particle-swarm optimization (Kennedy & Eberhart) in ask/tell form — a
+//! further population technique in the OpenTuner family of methods
+//! ("PSO" is among OpenTuner's technique library; paper, Section IV-C).
+//!
+//! Particles carry continuous positions and velocities; each step evaluates
+//! one particle's current position, updates its personal best and the swarm
+//! best, then moves it with the standard inertia/cognitive/social rule.
+
+use super::{Point, SearchTechnique, SpaceDims};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Default inertia weight.
+pub const DEFAULT_INERTIA: f64 = 0.72;
+/// Default cognitive (personal-best) acceleration.
+pub const DEFAULT_COGNITIVE: f64 = 1.49;
+/// Default social (swarm-best) acceleration.
+pub const DEFAULT_SOCIAL: f64 = 1.49;
+/// Default swarm size.
+pub const DEFAULT_SWARM: usize = 16;
+
+#[derive(Clone, Debug)]
+struct Particle {
+    position: Vec<f64>,
+    velocity: Vec<f64>,
+    best_position: Vec<f64>,
+    best_cost: f64,
+}
+
+/// Particle-swarm search over the grid's continuous relaxation.
+#[derive(Clone, Debug)]
+pub struct ParticleSwarm {
+    rng: ChaCha8Rng,
+    dims: Option<SpaceDims>,
+    swarm: Vec<Particle>,
+    global_best: Option<(Vec<f64>, f64)>,
+    cursor: usize,
+    inertia: f64,
+    cognitive: f64,
+    social: f64,
+    swarm_size: usize,
+}
+
+impl ParticleSwarm {
+    /// Creates the technique with a fixed seed and standard coefficients.
+    pub fn with_seed(seed: u64) -> Self {
+        ParticleSwarm {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dims: None,
+            swarm: Vec::new(),
+            global_best: None,
+            cursor: 0,
+            inertia: DEFAULT_INERTIA,
+            cognitive: DEFAULT_COGNITIVE,
+            social: DEFAULT_SOCIAL,
+            swarm_size: DEFAULT_SWARM,
+        }
+    }
+
+    /// Sets the swarm size (≥ 2).
+    pub fn swarm_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "swarm must have ≥ 2 particles");
+        self.swarm_size = n;
+        self
+    }
+
+    /// Sets the inertia/cognitive/social coefficients.
+    pub fn coefficients(mut self, inertia: f64, cognitive: f64, social: f64) -> Self {
+        assert!(inertia >= 0.0 && cognitive >= 0.0 && social >= 0.0);
+        self.inertia = inertia;
+        self.cognitive = cognitive;
+        self.social = social;
+        self
+    }
+
+    /// Moves particle `i` with the standard velocity update (after its
+    /// current position was evaluated).
+    #[allow(clippy::needless_range_loop)] // indexes three vectors in lockstep
+    fn advance(&mut self, i: usize) {
+        let dims = self.dims.clone().expect("initialized");
+        let gbest = self
+            .global_best
+            .as_ref()
+            .map(|(p, _)| p.clone())
+            .unwrap_or_else(|| self.swarm[i].best_position.clone());
+        let (r1, r2): (f64, f64) = (self.rng.gen(), self.rng.gen());
+        let p = &mut self.swarm[i];
+        for d in 0..dims.dims() {
+            let hi = (dims.size(d) - 1) as f64;
+            let v = self.inertia * p.velocity[d]
+                + self.cognitive * r1 * (p.best_position[d] - p.position[d])
+                + self.social * r2 * (gbest[d] - p.position[d]);
+            // Velocity clamp: half the dimension span.
+            let vmax = (hi / 2.0).max(1.0);
+            p.velocity[d] = v.clamp(-vmax, vmax);
+            let mut x = p.position[d] + p.velocity[d];
+            // Reflecting walls.
+            if hi == 0.0 {
+                x = 0.0;
+            } else {
+                while x < 0.0 || x > hi {
+                    x = if x < 0.0 { -x } else { 2.0 * hi - x };
+                    p.velocity[d] = -p.velocity[d];
+                }
+            }
+            p.position[d] = x;
+        }
+    }
+}
+
+impl Default for ParticleSwarm {
+    fn default() -> Self {
+        Self::with_seed(0x9507)
+    }
+}
+
+impl SearchTechnique for ParticleSwarm {
+    fn initialize(&mut self, dims: SpaceDims) {
+        let n = self.swarm_size.min(dims.len().min(1 << 20) as usize).max(2);
+        self.swarm.clear();
+        for _ in 0..n {
+            let position: Vec<f64> = (0..dims.dims())
+                .map(|d| self.rng.gen_range(0.0..dims.size(d) as f64))
+                .collect();
+            let velocity: Vec<f64> = (0..dims.dims())
+                .map(|d| {
+                    let span = dims.size(d) as f64;
+                    self.rng.gen_range(-span / 4.0..span / 4.0)
+                })
+                .collect();
+            self.swarm.push(Particle {
+                best_position: position.clone(),
+                position,
+                velocity,
+                best_cost: f64::INFINITY,
+            });
+        }
+        self.dims = Some(dims);
+        self.global_best = None;
+        self.cursor = 0;
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        let dims = self.dims.as_ref().expect("initialize not called");
+        Some(dims.round(&self.swarm[self.cursor].position))
+    }
+
+    fn report_cost(&mut self, cost: f64) {
+        let i = self.cursor;
+        {
+            let p = &mut self.swarm[i];
+            if cost < p.best_cost {
+                p.best_cost = cost;
+                p.best_position = p.position.clone();
+            }
+        }
+        let p_best = self.swarm[i].best_cost;
+        if self.global_best.as_ref().is_none_or(|(_, c)| p_best < *c) {
+            self.global_best = Some((self.swarm[i].best_position.clone(), p_best));
+        }
+        self.advance(i);
+        self.cursor = (self.cursor + 1) % self.swarm.len();
+    }
+
+    fn name(&self) -> &'static str {
+        "particle-swarm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::*;
+
+    #[test]
+    fn converges_on_bowl() {
+        let mut t = ParticleSwarm::with_seed(41);
+        let (_, c) = drive(
+            &mut t,
+            SpaceDims::new(vec![256, 256]),
+            1500,
+            bowl(vec![200, 55]),
+        );
+        assert!(c <= 9.0, "PSO far from optimum: cost {c}");
+    }
+
+    #[test]
+    fn positions_stay_in_bounds() {
+        let dims = SpaceDims::new(vec![7, 1, 33]);
+        let mut t = ParticleSwarm::with_seed(2);
+        t.initialize(dims.clone());
+        for i in 0..300 {
+            let p = t.get_next_point().unwrap();
+            for (d, &c) in p.iter().enumerate() {
+                assert!(c < dims.size(d), "out of bounds {p:?}");
+            }
+            t.report_cost(((i * 17) % 23) as f64);
+        }
+    }
+
+    #[test]
+    fn single_point_space() {
+        let mut t = ParticleSwarm::with_seed(3);
+        t.initialize(SpaceDims::new(vec![1]));
+        for _ in 0..10 {
+            assert_eq!(t.get_next_point(), Some(vec![0]));
+            t.report_cost(1.0);
+        }
+    }
+
+    #[test]
+    fn global_best_tracks_minimum() {
+        let mut t = ParticleSwarm::with_seed(4).swarm_size(4);
+        t.initialize(SpaceDims::new(vec![100]));
+        let costs = [5.0, 3.0, 9.0, 7.0];
+        for &c in &costs {
+            let _ = t.get_next_point().unwrap();
+            t.report_cost(c);
+        }
+        assert_eq!(t.global_best.as_ref().map(|(_, c)| *c), Some(3.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut t = ParticleSwarm::with_seed(seed);
+            t.initialize(SpaceDims::new(vec![32, 32]));
+            (0..40)
+                .map(|i| {
+                    let p = t.get_next_point().unwrap();
+                    t.report_cost((i % 5) as f64);
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(6), run(6));
+    }
+}

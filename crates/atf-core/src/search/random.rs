@@ -1,0 +1,84 @@
+//! Uniform random search — the simplest baseline technique and a component
+//! of the ensemble search.
+
+use super::{Point, SearchTechnique, SpaceDims};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Uniform random sampling of the valid space (with replacement).
+#[derive(Clone, Debug)]
+pub struct RandomSearch {
+    rng: ChaCha8Rng,
+    dims: Option<SpaceDims>,
+}
+
+impl RandomSearch {
+    /// Creates the technique with a fixed RNG seed (deterministic runs).
+    pub fn with_seed(seed: u64) -> Self {
+        RandomSearch {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dims: None,
+        }
+    }
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        Self::with_seed(0x5eed)
+    }
+}
+
+impl SearchTechnique for RandomSearch {
+    fn initialize(&mut self, dims: SpaceDims) {
+        self.dims = Some(dims);
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        let dims = self.dims.as_ref().expect("initialize not called");
+        Some(dims.random_point(&mut self.rng))
+    }
+
+    fn report_cost(&mut self, _cost: f64) {}
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut t = RandomSearch::with_seed(seed);
+            t.initialize(SpaceDims::new(vec![100, 100]));
+            (0..10)
+                .map(|_| t.get_next_point().unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn covers_space_reasonably() {
+        let mut t = RandomSearch::with_seed(3);
+        let (p, c) = drive(&mut t, SpaceDims::new(vec![10, 10]), 500, bowl(vec![4, 4]));
+        // 500 samples in a 100-point space virtually surely hit the optimum.
+        assert_eq!(c, 0.0);
+        assert_eq!(p, vec![4, 4]);
+    }
+
+    #[test]
+    fn never_exhausts() {
+        let mut t = RandomSearch::default();
+        t.initialize(SpaceDims::new(vec![1]));
+        for _ in 0..10 {
+            assert!(t.get_next_point().is_some());
+            t.report_cost(0.0);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Torczon multi-directional search — the second hill-climber family of the
+//! OpenTuner ensemble (paper, Section IV-C: "Torczon hillclimbers").
+//!
+//! Unlike Nelder-Mead, every trial step reflects the *whole* simplex through
+//! the best vertex, which makes the method robust on noisy/discrete
+//! landscapes. Each iteration evaluates a batch of candidate vertices
+//! sequentially through the ask/tell interface:
+//! reflection → (if improved) expansion, else contraction.
+
+use super::{Point, SearchTechnique, SpaceDims};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const EXPANSION: f64 = 2.0;
+const CONTRACTION: f64 = 0.5;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Evaluating initial vertex `k`.
+    Building,
+    /// Evaluating reflected vertex `k`.
+    Reflecting,
+    /// Evaluating expanded vertex `k`.
+    Expanding,
+    /// Evaluating contracted vertex `k`.
+    Contracting,
+}
+
+/// Torczon's multi-directional simplex search (ask/tell form).
+#[derive(Clone, Debug)]
+pub struct Torczon {
+    rng: ChaCha8Rng,
+    dims: Option<SpaceDims>,
+    /// Current simplex: vertex 0 is the best after each completed iteration.
+    simplex: Vec<(Vec<f64>, f64)>,
+    /// Candidate batch being evaluated (same length as `simplex` - 1).
+    batch: Vec<(Vec<f64>, f64)>,
+    /// Saved reflected batch while expanding.
+    saved_reflection: Vec<(Vec<f64>, f64)>,
+    phase: Phase,
+    /// Next index within the current batch (or simplex when building).
+    cursor: usize,
+}
+
+impl Torczon {
+    /// Creates the technique with a fixed seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Torczon {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dims: None,
+            simplex: Vec::new(),
+            batch: Vec::new(),
+            saved_reflection: Vec::new(),
+            phase: Phase::Building,
+            cursor: 0,
+        }
+    }
+
+    fn new_simplex(&mut self) {
+        let dims = self.dims.clone().expect("initialized");
+        let base: Vec<f64> = (0..dims.dims())
+            .map(|d| self.rng.gen_range(0..dims.size(d)) as f64)
+            .collect();
+        self.simplex = vec![(base.clone(), f64::NAN)];
+        for d in 0..dims.dims() {
+            let mut v = base.clone();
+            let step = ((dims.size(d) as f64) / 4.0).max(1.0);
+            if v[d] + step < dims.size(d) as f64 {
+                v[d] += step;
+            } else {
+                v[d] -= step;
+            }
+            self.simplex.push((v, f64::NAN));
+        }
+        self.phase = Phase::Building;
+        self.cursor = 0;
+    }
+
+    /// Transformed batch: each non-best vertex mapped through the best by
+    /// factor `t` (-1 = reflect, 2 = expand, 0.5 = contract).
+    fn transform(&self, t: f64) -> Vec<(Vec<f64>, f64)> {
+        let best = &self.simplex[0].0;
+        self.simplex[1..]
+            .iter()
+            .map(|(v, _)| {
+                let w: Vec<f64> = best
+                    .iter()
+                    .zip(v)
+                    .map(|(b, x)| b + t * (x - b))
+                    .collect();
+                (w, f64::NAN)
+            })
+            .collect()
+    }
+
+    fn diameter(&self) -> f64 {
+        let n = self.dims.as_ref().expect("initialized").dims();
+        (0..n)
+            .map(|d| {
+                let lo = self
+                    .simplex
+                    .iter()
+                    .map(|(v, _)| v[d])
+                    .fold(f64::INFINITY, f64::min);
+                let hi = self
+                    .simplex
+                    .iter()
+                    .map(|(v, _)| v[d])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                hi - lo
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Sorts the simplex (best first) and begins a reflection batch; restarts
+    /// on collapse.
+    fn next_iteration(&mut self) {
+        self.simplex
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("comparable"));
+        if self.diameter() < 0.5 {
+            self.new_simplex();
+            return;
+        }
+        self.batch = self.transform(-1.0);
+        self.phase = Phase::Reflecting;
+        self.cursor = 0;
+    }
+
+    fn batch_min(batch: &[(Vec<f64>, f64)]) -> f64 {
+        batch.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Replaces the non-best simplex vertices by `batch` and starts over.
+    fn adopt_batch(&mut self, batch: Vec<(Vec<f64>, f64)>) {
+        for (slot, v) in self.simplex[1..].iter_mut().zip(batch) {
+            *slot = v;
+        }
+        self.next_iteration();
+    }
+
+    fn current_point(&self) -> Vec<f64> {
+        match self.phase {
+            Phase::Building => self.simplex[self.cursor].0.clone(),
+            _ => self.batch[self.cursor].0.clone(),
+        }
+    }
+}
+
+impl Default for Torczon {
+    fn default() -> Self {
+        Self::with_seed(0x70c2)
+    }
+}
+
+impl SearchTechnique for Torczon {
+    fn initialize(&mut self, dims: SpaceDims) {
+        self.dims = Some(dims);
+        self.new_simplex();
+        self.batch.clear();
+        self.saved_reflection.clear();
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        let x = self.current_point();
+        Some(self.dims.as_ref().expect("initialize not called").round(&x))
+    }
+
+    fn report_cost(&mut self, cost: f64) {
+        match self.phase {
+            Phase::Building => {
+                self.simplex[self.cursor].1 = cost;
+                self.cursor += 1;
+                if self.cursor == self.simplex.len() {
+                    self.next_iteration();
+                }
+            }
+            Phase::Reflecting => {
+                self.batch[self.cursor].1 = cost;
+                self.cursor += 1;
+                if self.cursor == self.batch.len() {
+                    let best = self.simplex[0].1;
+                    if Self::batch_min(&self.batch) < best {
+                        // Improvement: try expanding in the same directions.
+                        self.saved_reflection = std::mem::take(&mut self.batch);
+                        self.batch = self.transform(-EXPANSION);
+                        self.phase = Phase::Expanding;
+                        self.cursor = 0;
+                    } else {
+                        // No improvement: contract toward the best vertex.
+                        self.batch = self.transform(CONTRACTION);
+                        self.phase = Phase::Contracting;
+                        self.cursor = 0;
+                    }
+                }
+            }
+            Phase::Expanding => {
+                self.batch[self.cursor].1 = cost;
+                self.cursor += 1;
+                if self.cursor == self.batch.len() {
+                    let expanded = std::mem::take(&mut self.batch);
+                    let reflected = std::mem::take(&mut self.saved_reflection);
+                    if Self::batch_min(&expanded) < Self::batch_min(&reflected) {
+                        self.adopt_batch(expanded);
+                    } else {
+                        self.adopt_batch(reflected);
+                    }
+                }
+            }
+            Phase::Contracting => {
+                self.batch[self.cursor].1 = cost;
+                self.cursor += 1;
+                if self.cursor == self.batch.len() {
+                    let contracted = std::mem::take(&mut self.batch);
+                    self.adopt_batch(contracted);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "torczon"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::test_util::*;
+
+    #[test]
+    fn converges_on_bowl() {
+        let mut t = Torczon::with_seed(13);
+        let (_, c) = drive(
+            &mut t,
+            SpaceDims::new(vec![128, 128]),
+            500,
+            bowl(vec![90, 20]),
+        );
+        assert!(c <= 41.0, "Torczon far from optimum: cost {c}");
+    }
+
+    #[test]
+    fn one_dimension() {
+        let mut t = Torczon::with_seed(2);
+        let (_, c) = drive(&mut t, SpaceDims::new(vec![512]), 300, |p: &Point| {
+            (p[0] as f64 - 100.0).powi(2)
+        });
+        assert!(c <= 100.0, "cost {c}");
+    }
+
+    #[test]
+    fn never_stops_proposing() {
+        let mut t = Torczon::with_seed(1);
+        t.initialize(SpaceDims::new(vec![4, 4]));
+        for i in 0..100 {
+            let p = t.get_next_point().expect("proposal");
+            assert!(p[0] < 4 && p[1] < 4);
+            t.report_cost((i % 7) as f64);
+        }
+    }
+
+    #[test]
+    fn restarts_on_constant_landscape() {
+        let mut t = Torczon::with_seed(6);
+        t.initialize(SpaceDims::new(vec![64]));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(t.get_next_point().unwrap());
+            t.report_cost(5.0);
+        }
+        assert!(seen.len() > 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut t = Torczon::with_seed(99);
+            t.initialize(SpaceDims::new(vec![40, 40]));
+            (0..25)
+                .map(|i| {
+                    let p = t.get_next_point().unwrap();
+                    t.report_cost((i % 4) as f64);
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,538 @@
+//! Search-space generation and indexed access.
+//!
+//! This module implements the paper's central algorithmic contribution
+//! (Sections II, V, VI-A): the space of *valid* configurations is generated
+//! by a depth-first walk that fixes parameters one at a time in declaration
+//! order and filters each parameter's range *in the context of the partial
+//! configuration*. Work is proportional to the number of valid prefixes —
+//! not to the size of the unconstrained cross product, which for CLBlast's
+//! XgemmDirect at 2¹⁰×2¹⁰ exceeds 10¹⁹ configurations while the valid space
+//! is ~10⁷.
+//!
+//! Parameter *groups* (Section V) are generated independently — optionally in
+//! parallel, one thread per group — and the full space is their cross
+//! product, which is never materialized: [`SearchSpace::get`] decomposes a
+//! flat index in the mixed radix of the group sizes in O(#groups).
+
+use crate::config::Config;
+use crate::param::ParamGroup;
+use crate::value::Value;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Errors during search-space generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpaceError {
+    /// Generation exceeded the configured limit on materialized
+    /// configurations (guards against cross-product explosions).
+    TooLarge {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+    /// Generation was cancelled via the cooperative cancellation flag.
+    Cancelled,
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::TooLarge { limit } => {
+                write!(f, "search space exceeds the limit of {limit} configurations")
+            }
+            SpaceError::Cancelled => write!(f, "search-space generation was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// The materialized valid sub-space of one parameter group.
+#[derive(Clone)]
+pub struct GroupSpace {
+    names: Arc<[Arc<str>]>,
+    configs: Vec<Box<[Value]>>,
+}
+
+impl GroupSpace {
+    /// Generates the valid sub-space of `group` by the constrained-range DFS.
+    pub fn generate(group: &ParamGroup) -> Self {
+        Self::generate_with(group, u64::MAX, None).expect("no limit configured")
+    }
+
+    /// Generates with a limit on the number of materialized configurations
+    /// and an optional cooperative cancellation flag.
+    pub fn generate_with(
+        group: &ParamGroup,
+        limit: u64,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Self, SpaceError> {
+        let names: Arc<[Arc<str>]> = group.params().iter().map(|p| p.name_arc()).collect();
+        let mut configs = Vec::new();
+        let mut partial = Config::new();
+        let mut values: Vec<Value> = Vec::with_capacity(group.len());
+        dfs(
+            group,
+            0,
+            &mut partial,
+            &mut values,
+            &mut |vals| {
+                if configs.len() as u64 >= limit {
+                    return Err(SpaceError::TooLarge { limit });
+                }
+                configs.push(vals.to_vec().into_boxed_slice());
+                Ok(())
+            },
+            cancel,
+        )?;
+        Ok(GroupSpace { names, configs })
+    }
+
+    /// Counts the valid configurations of `group` without materializing them.
+    /// This is what makes exact space-size tables feasible at sizes where the
+    /// materialized space would not fit in memory.
+    pub fn count(group: &ParamGroup) -> u64 {
+        let mut n = 0u64;
+        let mut partial = Config::new();
+        let mut values = Vec::with_capacity(group.len());
+        dfs(
+            group,
+            0,
+            &mut partial,
+            &mut values,
+            &mut |_| {
+                n += 1;
+                Ok(())
+            },
+            None,
+        )
+        .expect("counting cannot fail");
+        n
+    }
+
+    /// Number of valid configurations in this group.
+    pub fn len(&self) -> u64 {
+        self.configs.len() as u64
+    }
+
+    /// `true` if the group has no valid configuration.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The parameter names of this group, in declaration order.
+    pub fn names(&self) -> &[Arc<str>] {
+        &self.names
+    }
+
+    /// The `i`-th valid configuration's values (aligned with [`Self::names`]).
+    pub fn values(&self, i: u64) -> &[Value] {
+        &self.configs[i as usize]
+    }
+
+    /// Appends the `i`-th valid configuration's entries to `out`.
+    pub fn write_config(&self, i: u64, out: &mut Config) {
+        for (name, value) in self.names.iter().zip(self.configs[i as usize].iter()) {
+            out.push(name.clone(), value.clone());
+        }
+    }
+}
+
+impl fmt::Debug for GroupSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GroupSpace({:?}; {} valid configs)",
+            self.names.iter().map(|n| n.as_ref()).collect::<Vec<_>>(),
+            self.configs.len()
+        )
+    }
+}
+
+/// Depth-first walk over constrained ranges. Invokes `emit` once per complete
+/// valid configuration with the value tuple.
+fn dfs(
+    group: &ParamGroup,
+    depth: usize,
+    partial: &mut Config,
+    values: &mut Vec<Value>,
+    emit: &mut impl FnMut(&[Value]) -> Result<(), SpaceError>,
+    cancel: Option<&AtomicBool>,
+) -> Result<(), SpaceError> {
+    if depth == group.len() {
+        return emit(values);
+    }
+    if let Some(flag) = cancel {
+        if flag.load(Ordering::Relaxed) {
+            return Err(SpaceError::Cancelled);
+        }
+    }
+    let p = &group.params()[depth];
+    for v in p.range().iter() {
+        let ok = match p.constraint() {
+            Some(c) => c.check(&v, partial),
+            None => true,
+        };
+        if !ok {
+            continue;
+        }
+        partial.push(p.name_arc(), v.clone());
+        values.push(v);
+        let r = dfs(group, depth + 1, partial, values, emit, cancel);
+        values.pop();
+        partial.pop();
+        r?;
+    }
+    Ok(())
+}
+
+/// The full search space: the (virtual) cross product of the group spaces.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    groups: Vec<GroupSpace>,
+    len: u128,
+}
+
+impl SearchSpace {
+    /// Generates the search space sequentially.
+    pub fn generate(groups: &[ParamGroup]) -> Self {
+        let gs: Vec<_> = groups.iter().map(GroupSpace::generate).collect();
+        Self::from_group_spaces(gs)
+    }
+
+    /// Generates the search space in parallel — one thread per dependent
+    /// parameter group, as described in Section V of the paper.
+    pub fn generate_parallel(groups: &[ParamGroup]) -> Self {
+        if groups.len() <= 1 {
+            return Self::generate(groups);
+        }
+        let mut slots: Vec<Option<GroupSpace>> = (0..groups.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(groups.len());
+            for g in groups {
+                handles.push(scope.spawn(move |_| GroupSpace::generate(g)));
+            }
+            for (slot, h) in slots.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("group generation thread panicked"));
+            }
+        })
+        .expect("scoped generation threads panicked");
+        Self::from_group_spaces(slots.into_iter().map(|s| s.expect("filled")).collect())
+    }
+
+    /// Generates with a per-group limit on materialized configurations.
+    pub fn generate_with_limit(groups: &[ParamGroup], limit: u64) -> Result<Self, SpaceError> {
+        let gs = groups
+            .iter()
+            .map(|g| GroupSpace::generate_with(g, limit, None))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_group_spaces(gs))
+    }
+
+    /// Assembles a search space from already-generated group spaces.
+    pub fn from_group_spaces(groups: Vec<GroupSpace>) -> Self {
+        let len = groups.iter().map(|g| g.len() as u128).product::<u128>();
+        let len = if groups.is_empty() { 0 } else { len };
+        SearchSpace { groups, len }
+    }
+
+    /// Counts the valid configurations without materializing anything.
+    pub fn count(groups: &[ParamGroup]) -> u128 {
+        if groups.is_empty() {
+            return 0;
+        }
+        groups.iter().map(|g| GroupSpace::count(g) as u128).product()
+    }
+
+    /// Total number of valid configurations (`S` in the paper).
+    pub fn len(&self) -> u128 {
+        self.len
+    }
+
+    /// `true` if the space contains no valid configuration.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The group sub-spaces.
+    pub fn groups(&self) -> &[GroupSpace] {
+        &self.groups
+    }
+
+    /// The per-group sizes — the dimensions search techniques navigate.
+    pub fn dims(&self) -> Vec<u64> {
+        self.groups.iter().map(|g| g.len()).collect()
+    }
+
+    /// The configuration at per-group coordinates `coords`
+    /// (`coords.len() == self.groups().len()`).
+    pub fn get_by_coords(&self, coords: &[u64]) -> Config {
+        assert_eq!(coords.len(), self.groups.len(), "coordinate arity mismatch");
+        let mut cfg = Config::new();
+        for (g, &i) in self.groups.iter().zip(coords) {
+            g.write_config(i, &mut cfg);
+        }
+        cfg
+    }
+
+    /// The configuration at flat index `index` (`0 <= index < len`), by
+    /// mixed-radix decomposition over the group sizes — O(#groups), no
+    /// materialized cross product. This is exactly the indexing that lets
+    /// the OpenTuner-style engine treat the valid space as one integer
+    /// parameter `TP ∈ [1, S]` (paper, Section IV-C).
+    pub fn get(&self, index: u128) -> Config {
+        self.get_by_coords(&self.decompose(index))
+    }
+
+    /// Decomposes a flat index into per-group coordinates.
+    pub fn decompose(&self, mut index: u128) -> Vec<u64> {
+        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        let mut coords = vec![0u64; self.groups.len()];
+        for (c, g) in coords.iter_mut().zip(&self.groups).rev() {
+            let n = g.len() as u128;
+            *c = (index % n) as u64;
+            index /= n;
+        }
+        coords
+    }
+
+    /// Recomposes per-group coordinates into a flat index (inverse of
+    /// [`Self::decompose`]).
+    pub fn compose(&self, coords: &[u64]) -> u128 {
+        assert_eq!(coords.len(), self.groups.len(), "coordinate arity mismatch");
+        let mut index = 0u128;
+        for (g, &c) in self.groups.iter().zip(coords) {
+            debug_assert!(c < g.len());
+            index = index * g.len() as u128 + c as u128;
+        }
+        index
+    }
+
+    /// Iterates over all configurations in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Config> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+}
+
+/// Reference generator: enumerate the **unconstrained cross product** and
+/// filter complete configurations afterwards — the CLTune strategy the paper
+/// measures against (Section VI-A). Exposed for tests (equivalence oracle)
+/// and for the baseline/bench crates.
+///
+/// Returns `Err(TooLarge)` once more than `limit` *candidate* configurations
+/// have been enumerated — with interdependent parameters this blows up
+/// combinatorially, which is the paper's point.
+pub fn cross_product_filter(
+    groups: &[ParamGroup],
+    limit: u64,
+    cancel: Option<&AtomicBool>,
+) -> Result<Vec<Config>, SpaceError> {
+    // Flatten all parameters; candidate = one value per parameter.
+    let params: Vec<_> = groups.iter().flat_map(|g| g.params().iter()).collect();
+    let mut out = Vec::new();
+    let mut idx = vec![0u64; params.len()];
+    if params.iter().any(|p| p.range().is_empty()) {
+        return Ok(out);
+    }
+    let mut enumerated = 0u64;
+    loop {
+        if let Some(flag) = cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(SpaceError::Cancelled);
+            }
+        }
+        enumerated += 1;
+        if enumerated > limit {
+            return Err(SpaceError::TooLarge { limit });
+        }
+        // Build the candidate configuration.
+        let mut cfg = Config::new();
+        for (p, &i) in params.iter().zip(&idx) {
+            cfg.push(p.name_arc(), p.range().get(i));
+        }
+        // Post-hoc filtering: every constraint must hold over the *complete*
+        // configuration (CLTune's boolean search-space filters).
+        let valid = params.iter().all(|p| match p.constraint() {
+            Some(c) => c.check(&cfg[p.name()], &cfg),
+            None => true,
+        });
+        if valid {
+            out.push(cfg);
+        }
+        // Odometer increment.
+        let mut d = params.len();
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < params[d].range().len() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{divides, less_than};
+    use crate::expr::{cst, param as p};
+    use crate::param::{tp, tp_c};
+    use crate::range::Range;
+
+    fn saxpy_groups(n: u64) -> Vec<ParamGroup> {
+        vec![ParamGroup::new(vec![
+            tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+            tp_c("LS", Range::interval(1, n), divides(cst(n) / p("WPT"))),
+        ])]
+    }
+
+    #[test]
+    fn saxpy_space_small() {
+        // N = 8: WPT ∈ {1,2,4,8}; LS divides 8/WPT.
+        let space = SearchSpace::generate(&saxpy_groups(8));
+        // WPT=1: LS ∈ div(8) = 4; WPT=2: div(4) = 3; WPT=4: div(2) = 2; WPT=8: div(1) = 1.
+        assert_eq!(space.len(), 4 + 3 + 2 + 1);
+        for cfg in space.iter() {
+            let wpt = cfg.get_u64("WPT");
+            let ls = cfg.get_u64("LS");
+            assert_eq!(8 % wpt, 0);
+            assert_eq!((8 / wpt) % ls, 0);
+        }
+    }
+
+    #[test]
+    fn matches_cross_product_filter_oracle() {
+        let groups = saxpy_groups(12);
+        let fast = SearchSpace::generate(&groups);
+        let slow = cross_product_filter(&groups, u64::MAX, None).unwrap();
+        assert_eq!(fast.len(), slow.len() as u128);
+        let fast_set: Vec<_> = fast.iter().collect();
+        for cfg in &slow {
+            assert!(fast_set.contains(cfg), "missing {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn count_equals_generate() {
+        let groups = saxpy_groups(24);
+        assert_eq!(SearchSpace::count(&groups), SearchSpace::generate(&groups).len());
+    }
+
+    #[test]
+    fn fig1_example_two_groups() {
+        // Fig. 1 of the paper: tp1..tp4, each range {1,2}; tp2 divides tp1,
+        // tp4 divides tp3; {tp1,tp2} and {tp3,tp4} are independent groups.
+        let g1 = ParamGroup::new(vec![
+            tp("tp1", Range::set([1u64, 2])),
+            tp_c("tp2", Range::set([1u64, 2]), divides(p("tp1"))),
+        ]);
+        let g2 = ParamGroup::new(vec![
+            tp("tp3", Range::set([1u64, 2])),
+            tp_c("tp4", Range::set([1u64, 2]), divides(p("tp3"))),
+        ]);
+        let space = SearchSpace::generate_parallel(&[g1, g2]);
+        // per group: (1,1), (2,1), (2,2) → 3 valid; total 3 × 3 = 9.
+        assert_eq!(space.dims(), vec![3, 3]);
+        assert_eq!(space.len(), 9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g1 = ParamGroup::new(vec![
+            tp("A", Range::interval(1, 16)),
+            tp_c("B", Range::interval(1, 16), divides(p("A"))),
+        ]);
+        let g2 = ParamGroup::new(vec![tp_c(
+            "C",
+            Range::interval(1, 32),
+            less_than(cst(10u64)),
+        )]);
+        let seq = SearchSpace::generate(&[g1.clone(), g2.clone()]);
+        let par = SearchSpace::generate_parallel(&[g1, g2]);
+        assert_eq!(seq.len(), par.len());
+        for i in 0..seq.len() {
+            assert_eq!(seq.get(i), par.get(i));
+        }
+    }
+
+    #[test]
+    fn index_decompose_compose_roundtrip() {
+        let space = SearchSpace::generate(&saxpy_groups(16));
+        for i in 0..space.len() {
+            let coords = space.decompose(i);
+            assert_eq!(space.compose(&coords), i);
+            assert_eq!(space.get(i), space.get_by_coords(&coords));
+        }
+    }
+
+    #[test]
+    fn empty_space_when_unsatisfiable() {
+        let g = ParamGroup::new(vec![tp_c(
+            "X",
+            Range::interval(1, 10),
+            less_than(cst(0u64)),
+        )]);
+        let space = SearchSpace::generate(&[g]);
+        assert!(space.is_empty());
+        assert_eq!(space.len(), 0);
+    }
+
+    #[test]
+    fn generation_limit_enforced() {
+        let g = ParamGroup::new(vec![tp("X", Range::interval(1, 1000))]);
+        let err = SearchSpace::generate_with_limit(&[g], 10).unwrap_err();
+        assert_eq!(err, SpaceError::TooLarge { limit: 10 });
+    }
+
+    #[test]
+    fn cross_product_filter_limit() {
+        let groups = saxpy_groups(64);
+        // unconstrained product is 64*64 = 4096 candidates
+        let err = cross_product_filter(&groups, 100, None).unwrap_err();
+        assert_eq!(err, SpaceError::TooLarge { limit: 100 });
+    }
+
+    #[test]
+    fn cancel_flag_stops_generation() {
+        let flag = AtomicBool::new(true);
+        let g = ParamGroup::new(vec![
+            tp("A", Range::interval(1, 100)),
+            tp("B", Range::interval(1, 100)),
+        ]);
+        let err = GroupSpace::generate_with(&g, u64::MAX, Some(&flag)).unwrap_err();
+        assert_eq!(err, SpaceError::Cancelled);
+        let err = cross_product_filter(&[g], u64::MAX, Some(&flag)).unwrap_err();
+        assert_eq!(err, SpaceError::Cancelled);
+    }
+
+    #[test]
+    fn constrained_generation_beats_cross_product_asymptotically() {
+        // For divisor-chain constraints the DFS touches ~Σ d(k) prefixes,
+        // the cross product touches N². Just verify both agree and that the
+        // valid fraction is small.
+        let n = 48;
+        let groups = saxpy_groups(n);
+        let valid = SearchSpace::count(&groups);
+        let unconstrained: u128 = groups.iter().map(|g| g.unconstrained_size()).product();
+        assert!(valid * 20 < unconstrained, "{valid} vs {unconstrained}");
+    }
+
+    #[test]
+    fn get_by_coords_order_matches_declaration() {
+        let space = SearchSpace::generate(&saxpy_groups(8));
+        let cfg = space.get(0);
+        let names: Vec<_> = cfg.names().collect();
+        assert_eq!(names, vec!["WPT", "LS"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_out_of_bounds() {
+        let space = SearchSpace::generate(&saxpy_groups(4));
+        space.get(space.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! Tuning progress bookkeeping shared by the tuner and abort conditions.
+
+use std::time::{Duration, Instant};
+
+/// A recorded improvement of the best-found cost.
+#[derive(Clone, Copy, Debug)]
+pub struct Improvement {
+    /// Time since tuning started when the improvement was found.
+    pub elapsed: Duration,
+    /// Number of evaluated configurations when the improvement was found
+    /// (1-based: the improvement was found on this evaluation).
+    pub evaluation: u64,
+    /// The new best scalar cost.
+    pub scalar_cost: f64,
+}
+
+/// Live progress of a tuning run, consulted by [`crate::abort`] conditions
+/// after every evaluation.
+#[derive(Clone, Debug)]
+pub struct TuningStatus {
+    start: Instant,
+    /// Overridden elapsed time, for deterministic tests of time-based abort
+    /// conditions.
+    elapsed_override: Option<Duration>,
+    evaluations: u64,
+    valid_evaluations: u64,
+    failed_evaluations: u64,
+    space_size: u128,
+    improvements: Vec<Improvement>,
+}
+
+impl TuningStatus {
+    /// Fresh status for a space of `space_size` valid configurations.
+    pub fn new(space_size: u128) -> Self {
+        TuningStatus {
+            start: Instant::now(),
+            elapsed_override: None,
+            evaluations: 0,
+            valid_evaluations: 0,
+            failed_evaluations: 0,
+            space_size,
+            improvements: Vec::new(),
+        }
+    }
+
+    /// Time since tuning started.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed_override.unwrap_or_else(|| self.start.elapsed())
+    }
+
+    /// Total number of tested configurations (successful or failed).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Number of configurations whose cost was measured successfully.
+    pub fn valid_evaluations(&self) -> u64 {
+        self.valid_evaluations
+    }
+
+    /// Number of configurations whose measurement failed.
+    pub fn failed_evaluations(&self) -> u64 {
+        self.failed_evaluations
+    }
+
+    /// Size `S` of the valid search space.
+    pub fn space_size(&self) -> u128 {
+        self.space_size
+    }
+
+    /// Best scalar cost found so far.
+    pub fn best_scalar_cost(&self) -> Option<f64> {
+        self.improvements.last().map(|i| i.scalar_cost)
+    }
+
+    /// All best-cost improvements in chronological order.
+    pub fn improvements(&self) -> &[Improvement] {
+        &self.improvements
+    }
+
+    /// The best scalar cost known at `elapsed` time since start (i.e. the
+    /// last improvement at or before that time).
+    pub fn best_scalar_at_time(&self, elapsed: Duration) -> Option<f64> {
+        self.improvements
+            .iter()
+            .take_while(|i| i.elapsed <= elapsed)
+            .last()
+            .map(|i| i.scalar_cost)
+    }
+
+    /// The best scalar cost known after `evaluation` evaluations.
+    pub fn best_scalar_at_evaluation(&self, evaluation: u64) -> Option<f64> {
+        self.improvements
+            .iter()
+            .take_while(|i| i.evaluation <= evaluation)
+            .last()
+            .map(|i| i.scalar_cost)
+    }
+
+    /// Records one evaluated configuration; `valid` is whether the cost
+    /// measurement succeeded.
+    pub fn record_evaluation(&mut self, valid: bool) {
+        self.evaluations += 1;
+        if valid {
+            self.valid_evaluations += 1;
+        } else {
+            self.failed_evaluations += 1;
+        }
+    }
+
+    /// Records a new best scalar cost (call only when it improves).
+    pub fn record_improvement(&mut self, scalar_cost: f64) {
+        let imp = Improvement {
+            elapsed: self.elapsed(),
+            evaluation: self.evaluations,
+            scalar_cost,
+        };
+        debug_assert!(
+            self.improvements
+                .last()
+                .is_none_or(|prev| scalar_cost < prev.scalar_cost),
+            "improvement must lower the cost"
+        );
+        self.improvements.push(imp);
+    }
+
+    /// Overrides the elapsed clock — for deterministic tests of time-based
+    /// abort conditions only.
+    #[doc(hidden)]
+    pub fn set_elapsed_for_test(&mut self, elapsed: Duration) {
+        self.elapsed_override = Some(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let mut s = TuningStatus::new(100);
+        s.record_evaluation(true);
+        s.record_evaluation(false);
+        s.record_evaluation(true);
+        assert_eq!(s.evaluations(), 3);
+        assert_eq!(s.valid_evaluations(), 2);
+        assert_eq!(s.failed_evaluations(), 1);
+        assert_eq!(s.space_size(), 100);
+    }
+
+    #[test]
+    fn improvement_history() {
+        let mut s = TuningStatus::new(10);
+        s.set_elapsed_for_test(Duration::from_secs(1));
+        s.record_evaluation(true);
+        s.record_improvement(10.0);
+        s.set_elapsed_for_test(Duration::from_secs(5));
+        s.record_evaluation(true);
+        s.record_improvement(4.0);
+        assert_eq!(s.best_scalar_cost(), Some(4.0));
+        assert_eq!(s.best_scalar_at_time(Duration::from_secs(2)), Some(10.0));
+        assert_eq!(s.best_scalar_at_time(Duration::from_millis(500)), None);
+        assert_eq!(s.best_scalar_at_evaluation(1), Some(10.0));
+        assert_eq!(s.best_scalar_at_evaluation(2), Some(4.0));
+    }
+
+    #[test]
+    fn elapsed_override() {
+        let mut s = TuningStatus::new(1);
+        s.set_elapsed_for_test(Duration::from_secs(42));
+        assert_eq!(s.elapsed(), Duration::from_secs(42));
+    }
+}

@@ -1,0 +1,92 @@
+//! Kernel-argument specifications for the pre-implemented cost functions.
+//!
+//! Mirrors the paper's input helpers (Section II, Step 2):
+//! `atf::scalar<T>()` generates a random scalar, `atf::buffer<T>(N)` a
+//! buffer of N random elements ("random data is the default input when
+//! auto-tuning OpenCL kernels"); `atf::scalar(a)` / `atf::buffer(vec)` pass
+//! concrete data. Buffers are uploaded **once** at cost-function
+//! initialization — "to avoid the usually time-intensive host-to-device
+//! transfers, we upload data only once during cost function's
+//! initialization".
+
+use ocl_sim::Scalar;
+use rand::distributions::uniform::SampleUniform;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One kernel-argument specification, resolved to a concrete argument at
+/// cost-function initialization.
+#[derive(Clone, Debug)]
+pub enum ArgSpec {
+    /// A concrete scalar.
+    Scalar(Scalar),
+    /// A random `f32` scalar (the paper's `atf::scalar<float>()`).
+    RandomScalarF32,
+    /// A concrete `f32` buffer (the paper's `atf::buffer(vec)`).
+    BufferF32(Vec<f32>),
+    /// A buffer of `n` random `f32` values (the paper's
+    /// `atf::buffer<float>(N)`).
+    RandomBufferF32(usize),
+}
+
+/// `atf::scalar(value)` — a concrete scalar argument.
+pub fn scalar(value: impl Into<Scalar>) -> ArgSpec {
+    ArgSpec::Scalar(value.into())
+}
+
+/// `atf::scalar<float>()` — a random `f32` scalar argument.
+pub fn scalar_random_f32() -> ArgSpec {
+    ArgSpec::RandomScalarF32
+}
+
+/// `atf::buffer(vec)` — a concrete `f32` buffer argument.
+pub fn buffer(data: Vec<f32>) -> ArgSpec {
+    ArgSpec::BufferF32(data)
+}
+
+/// `atf::buffer<float>(n)` — a buffer of `n` random `f32` values.
+pub fn buffer_random_f32(n: usize) -> ArgSpec {
+    ArgSpec::RandomBufferF32(n)
+}
+
+/// Fills a vector with uniform random values in `[-2, 2)` (the range the
+/// CLTune saxpy sample uses, Listing 3).
+pub fn random_vec<T>(rng: &mut ChaCha8Rng, n: usize, lo: T, hi: T) -> Vec<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+{
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Deterministic RNG for input generation.
+pub fn input_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_conversions() {
+        assert!(matches!(scalar(1.5f32), ArgSpec::Scalar(Scalar::F32(_))));
+        assert!(matches!(scalar(7u64), ArgSpec::Scalar(Scalar::U64(7))));
+    }
+
+    #[test]
+    fn random_vec_deterministic() {
+        let mut r1 = input_rng(5);
+        let mut r2 = input_rng(5);
+        let a: Vec<f32> = random_vec(&mut r1, 100, -2.0, 2.0);
+        let b: Vec<f32> = random_vec(&mut r2, 100, -2.0, 2.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (-2.0..2.0).contains(v)));
+    }
+
+    #[test]
+    fn specs_shapes() {
+        assert!(matches!(buffer_random_f32(8), ArgSpec::RandomBufferF32(8)));
+        assert!(matches!(buffer(vec![1.0]), ArgSpec::BufferF32(_)));
+        assert!(matches!(scalar_random_f32(), ArgSpec::RandomScalarF32));
+    }
+}

@@ -1,0 +1,450 @@
+//! The pre-implemented OpenCL cost function (`atf::cf::ocl`, paper
+//! Section II, Step 2): builds the kernel with tuning parameters substituted
+//! as macros, launches it with global/local sizes given as *arithmetic
+//! expressions over tuning parameters* (Section III), and returns the kernel
+//! runtime from the profiling event.
+
+use crate::args::{input_rng, random_vec, ArgSpec};
+use atf_core::config::Config;
+use atf_core::cost::{CostError, CostFunction};
+use atf_core::expr::Expr;
+use ocl_sim::{
+    BufferData, ClError, Context, DefineMap, DeviceModel, ExecMode, KernelArg, Launch,
+    SimKernel,
+};
+use std::sync::Arc;
+
+/// A verifier invoked after a functional run: receives the context and the
+/// resolved kernel arguments, returns an error message when the computed
+/// result is wrong.
+pub type Verifier = Arc<dyn Fn(&Context, &[KernelArg]) -> Result<(), String> + Send + Sync>;
+
+/// Builder for [`OclCostFunction`].
+pub struct OclCostFunctionBuilder {
+    device: DeviceModel,
+    kernel: Arc<dyn SimKernel>,
+    arg_specs: Vec<ArgSpec>,
+    global: Vec<Expr>,
+    local: Vec<Expr>,
+    seed: u64,
+    verifier: Option<Verifier>,
+    warmups: u32,
+}
+
+impl OclCostFunctionBuilder {
+    fn new(device: DeviceModel, kernel: Arc<dyn SimKernel>) -> Self {
+        OclCostFunctionBuilder {
+            device,
+            kernel,
+            arg_specs: Vec::new(),
+            global: Vec::new(),
+            local: Vec::new(),
+            seed: 0xa7f,
+            verifier: None,
+            warmups: 0,
+        }
+    }
+
+    /// Appends a kernel argument (see [`crate::args`]).
+    pub fn arg(mut self, spec: ArgSpec) -> Self {
+        self.arg_specs.push(spec);
+        self
+    }
+
+    /// Sets the global size as arithmetic expressions over tuning
+    /// parameters — `atf::glb_size(...)`.
+    pub fn global_size<I: IntoIterator<Item = Expr>>(mut self, dims: I) -> Self {
+        self.global = dims.into_iter().collect();
+        self
+    }
+
+    /// Sets the local size — `atf::lcl_size(...)`.
+    pub fn local_size<I: IntoIterator<Item = Expr>>(mut self, dims: I) -> Self {
+        self.local = dims.into_iter().collect();
+        self
+    }
+
+    /// Seed for random input generation and simulated measurement noise.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables error checking: the kernel runs functionally and `verifier`
+    /// validates the result ("Optionally, ATF's OpenCL cost function can
+    /// support error checking").
+    pub fn verify_with(
+        mut self,
+        verifier: impl Fn(&Context, &[KernelArg]) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        self.verifier = Some(Arc::new(verifier));
+        self
+    }
+
+    /// Number of (modelled) warm-up launches before the measured one.
+    pub fn warmups(mut self, n: u32) -> Self {
+        self.warmups = n;
+        self
+    }
+
+    /// Resolves argument specs (uploads buffers once) and finishes the cost
+    /// function.
+    pub fn build(self) -> OclCostFunction {
+        assert!(
+            !self.global.is_empty(),
+            "global size expressions are required"
+        );
+        assert_eq!(
+            self.global.len(),
+            self.local.len(),
+            "global and local dimensionality must match"
+        );
+        let mut ctx = Context::new(self.device).with_seed(self.seed);
+        let mut rng = input_rng(self.seed);
+        let mut args = Vec::with_capacity(self.arg_specs.len());
+        let mut initial = Vec::new();
+        for spec in &self.arg_specs {
+            match spec {
+                ArgSpec::Scalar(s) => args.push(KernelArg::Scalar(*s)),
+                ArgSpec::RandomScalarF32 => args.push(KernelArg::Scalar(ocl_sim::Scalar::F32(
+                    rng.gen_range(-2.0..2.0),
+                ))),
+                ArgSpec::BufferF32(data) => {
+                    let id = ctx.create_buffer_f32(data.clone());
+                    initial.push((id, data.clone()));
+                    args.push(KernelArg::Buffer(id));
+                }
+                ArgSpec::RandomBufferF32(n) => {
+                    let data: Vec<f32> = random_vec(&mut rng, *n, -2.0f32, 2.0f32);
+                    let id = ctx.create_buffer_f32(data.clone());
+                    initial.push((id, data));
+                    args.push(KernelArg::Buffer(id));
+                }
+            }
+        }
+        OclCostFunction {
+            ctx,
+            kernel: self.kernel,
+            args,
+            initial_buffers: initial,
+            global: self.global,
+            local: self.local,
+            verifier: self.verifier,
+            warmups: self.warmups,
+            evaluations: 0,
+        }
+    }
+}
+
+use rand::Rng;
+
+/// The pre-implemented OpenCL cost function: configuration → kernel runtime
+/// in nanoseconds.
+pub struct OclCostFunction {
+    ctx: Context,
+    kernel: Arc<dyn SimKernel>,
+    args: Vec<KernelArg>,
+    initial_buffers: Vec<(ocl_sim::BufferId, Vec<f32>)>,
+    global: Vec<Expr>,
+    local: Vec<Expr>,
+    verifier: Option<Verifier>,
+    warmups: u32,
+    evaluations: u64,
+}
+
+/// `atf::cf::ocl(platform_name, device_name, kernel)` — device selection by
+/// name, as in the paper's Listing 2 line 16.
+pub fn ocl(
+    platform: &str,
+    device: &str,
+    kernel: impl SimKernel + 'static,
+) -> Result<OclCostFunctionBuilder, ClError> {
+    let d = ocl_sim::find_device(platform, device)?;
+    Ok(OclCostFunctionBuilder::new(d, Arc::new(kernel)))
+}
+
+/// `atf::cf::cuda(device_name, kernel)` — the CUDA cost function "is used
+/// analogously ... with the only difference that platform's name is omitted,
+/// because CUDA targets NVIDIA devices only" (Section II). Backed by the
+/// same simulator (NVRTC substitution; see DESIGN.md).
+pub fn cuda(
+    device: &str,
+    kernel: impl SimKernel + 'static,
+) -> Result<OclCostFunctionBuilder, ClError> {
+    let d = ocl_sim::find_device("NVIDIA", device)?;
+    if !d.is_gpu() {
+        return Err(ClError::DeviceNotFound(format!(
+            "CUDA requires an NVIDIA GPU; `{device}` is not one"
+        )));
+    }
+    Ok(OclCostFunctionBuilder::new(d, Arc::new(kernel)))
+}
+
+/// A cost function over an explicit device model (no platform lookup).
+pub fn ocl_on(
+    device: DeviceModel,
+    kernel: impl SimKernel + 'static,
+) -> OclCostFunctionBuilder {
+    OclCostFunctionBuilder::new(device, Arc::new(kernel))
+}
+
+impl OclCostFunction {
+    /// The device this cost function measures on.
+    pub fn device(&self) -> &DeviceModel {
+        self.ctx.device()
+    }
+
+    /// Total number of evaluated configurations.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Resolves the launch geometry for a configuration.
+    fn launch_for(&self, config: &Config) -> Result<Launch, CostError> {
+        let eval_dims = |exprs: &[Expr]| -> Result<Vec<u64>, CostError> {
+            exprs
+                .iter()
+                .map(|e| {
+                    e.eval_u64(config).map_err(|err| {
+                        CostError::InvalidConfiguration(format!("launch size: {err}"))
+                    })
+                })
+                .collect()
+        };
+        Ok(Launch::new(
+            eval_dims(&self.global)?,
+            eval_dims(&self.local)?,
+        ))
+    }
+
+    /// Restores all buffers to their initial (upload-time) contents — used
+    /// in error-checking mode so each functional run starts fresh.
+    fn reset_buffers(&mut self) {
+        for (id, data) in &self.initial_buffers {
+            *self.ctx.buffer(*id).borrow_mut() = BufferData::F32(data.clone());
+        }
+    }
+
+    /// Evaluates one configuration and returns the kernel runtime in
+    /// nanoseconds *and* the simulated energy in microjoules — the paper's
+    /// multi-objective pair `(runtime, energy)` (Section II, Step 2).
+    pub fn measure_with_energy(&mut self, config: &Config) -> Result<(f64, f64), CostError> {
+        let event = self.measure_event(config)?;
+        Ok((event.duration_ns(), event.energy_uj()))
+    }
+
+    /// Evaluates one configuration and returns the kernel runtime in
+    /// nanoseconds.
+    pub fn measure(&mut self, config: &Config) -> Result<f64, CostError> {
+        Ok(self.measure_event(config)?.duration_ns())
+    }
+
+    /// Evaluates one configuration and returns the full profiling event.
+    pub fn measure_event(
+        &mut self,
+        config: &Config,
+    ) -> Result<ocl_sim::ProfilingEvent, CostError> {
+        self.evaluations += 1;
+        let defines: DefineMap = config
+            .iter()
+            .map(|(name, value)| (name.to_string(), value.to_source_token()))
+            .collect();
+        let launch = self.launch_for(config)?;
+        let mode = if self.verifier.is_some() {
+            ExecMode::Functional
+        } else {
+            ExecMode::ModelOnly
+        };
+        if mode == ExecMode::Functional {
+            self.reset_buffers();
+        }
+        for _ in 0..self.warmups {
+            self.ctx
+                .enqueue_kernel(
+                    self.kernel.as_ref(),
+                    &self.args,
+                    &launch,
+                    &defines,
+                    ExecMode::ModelOnly,
+                )
+                .map_err(map_cl_error)?;
+        }
+        let event = self
+            .ctx
+            .enqueue_kernel(self.kernel.as_ref(), &self.args, &launch, &defines, mode)
+            .map_err(map_cl_error)?;
+        if let Some(verifier) = &self.verifier {
+            verifier(&self.ctx, &self.args)
+                .map_err(CostError::MeasurementFailed)?;
+        }
+        Ok(event)
+    }
+}
+
+impl CostFunction for OclCostFunction {
+    type Cost = f64;
+
+    fn evaluate(&mut self, config: &Config) -> Result<f64, CostError> {
+        self.measure(config)
+    }
+}
+
+/// Maps simulator errors onto the tuner's cost-error taxonomy.
+pub fn map_cl_error(e: ClError) -> CostError {
+    match e {
+        ClError::BuildProgramFailure(m) => CostError::CompileFailed(m),
+        ClError::InvalidWorkGroupSize(m)
+        | ClError::InvalidKernelArgs(m)
+        | ClError::OutOfResources(m)
+        | ClError::InvalidBuffer(m) => CostError::InvalidConfiguration(m),
+        ClError::InvalidWorkDimension(d) => {
+            CostError::InvalidConfiguration(format!("{d} NDRange dimensions"))
+        }
+        ClError::DeviceNotFound(m) => CostError::RunFailed(m),
+        ClError::VerificationFailed(m) => CostError::MeasurementFailed(m),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atf_core::expr::{cst, param};
+    use clblast::SaxpyKernel;
+
+    const N: u64 = 1 << 14;
+
+    fn saxpy_cf() -> OclCostFunction {
+        ocl("NVIDIA", "Tesla K20c", SaxpyKernel)
+            .unwrap()
+            .arg(crate::args::scalar(ocl_sim::Scalar::U64(N)))
+            .arg(crate::args::scalar_random_f32())
+            .arg(crate::args::buffer_random_f32(N as usize))
+            .arg(crate::args::buffer_random_f32(N as usize))
+            .global_size([cst(N) / param("WPT")])
+            .local_size([param("LS")])
+            .build()
+    }
+
+    #[test]
+    fn measures_valid_configs() {
+        let mut cf = saxpy_cf();
+        let cfg = Config::from_pairs([("WPT", 4u64), ("LS", 64u64)]);
+        let t = cf.measure(&cfg).unwrap();
+        assert!(t > 0.0);
+        assert_eq!(cf.evaluations(), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_local_size() {
+        let mut cf = saxpy_cf();
+        let cfg = Config::from_pairs([("WPT", 4u64), ("LS", 7u64)]);
+        assert!(matches!(
+            cf.measure(&cfg),
+            Err(CostError::InvalidConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_parameter() {
+        let mut cf = saxpy_cf();
+        let cfg = Config::from_pairs([("LS", 64u64)]); // WPT undefined
+        let err = cf.measure(&cfg).unwrap_err();
+        // WPT is needed both by the launch expression and the kernel build.
+        assert!(matches!(
+            err,
+            CostError::InvalidConfiguration(_) | CostError::CompileFailed(_)
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let t1 = {
+            let mut cf = saxpy_cf();
+            cf.measure(&Config::from_pairs([("WPT", 2u64), ("LS", 32u64)]))
+                .unwrap()
+        };
+        let t2 = {
+            let mut cf = saxpy_cf();
+            cf.measure(&Config::from_pairs([("WPT", 2u64), ("LS", 32u64)]))
+                .unwrap()
+        };
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn error_checking_catches_wrong_results() {
+        // A verifier that always rejects — the cost function must surface it
+        // as a measurement failure.
+        let mut cf = ocl("NVIDIA", "Tesla K20c", SaxpyKernel)
+            .unwrap()
+            .arg(crate::args::scalar(ocl_sim::Scalar::U64(64)))
+            .arg(crate::args::scalar(1.0f32))
+            .arg(crate::args::buffer(vec![1.0; 64]))
+            .arg(crate::args::buffer(vec![0.0; 64]))
+            .global_size([cst(64u64) / param("WPT")])
+            .local_size([param("LS")])
+            .verify_with(|_, _| Err("always wrong".into()))
+            .build();
+        let cfg = Config::from_pairs([("WPT", 1u64), ("LS", 8u64)]);
+        assert!(matches!(
+            cf.measure(&cfg),
+            Err(CostError::MeasurementFailed(m)) if m == "always wrong"
+        ));
+    }
+
+    #[test]
+    fn error_checking_verifies_real_results() {
+        // saxpy with a = 1, x = 1s, y = 0s → y must become all-1s.
+        let mut cf = ocl("NVIDIA", "Tesla K20c", SaxpyKernel)
+            .unwrap()
+            .arg(crate::args::scalar(ocl_sim::Scalar::U64(64)))
+            .arg(crate::args::scalar(1.0f32))
+            .arg(crate::args::buffer(vec![1.0; 64]))
+            .arg(crate::args::buffer(vec![0.0; 64]))
+            .global_size([cst(64u64) / param("WPT")])
+            .local_size([param("LS")])
+            .verify_with(|ctx, args| {
+                let KernelArg::Buffer(y) = args[3] else {
+                    return Err("arg 3 not a buffer".into());
+                };
+                let y = ctx.buffer(y).borrow_f32().clone();
+                if y.iter().all(|&v| v == 1.0) {
+                    Ok(())
+                } else {
+                    Err("saxpy result wrong".into())
+                }
+            })
+            .build();
+        // Two different configurations must BOTH verify (buffers reset
+        // between evaluations — without the reset y would accumulate to 2).
+        for (wpt, ls) in [(1u64, 8u64), (4, 16)] {
+            let cfg = Config::from_pairs([("WPT", wpt), ("LS", ls)]);
+            cf.measure(&cfg)
+                .unwrap_or_else(|e| panic!("WPT={wpt}, LS={ls}: {e}"));
+        }
+    }
+
+    #[test]
+    fn energy_measurement_is_consistent() {
+        let mut cf = saxpy_cf();
+        let cfg = Config::from_pairs([("WPT", 2u64), ("LS", 64u64)]);
+        let (ns, uj) = cf.measure_with_energy(&cfg).unwrap();
+        assert!(ns > 0.0 && uj > 0.0);
+        // Power = energy/time must lie between idle and idle+dynamic.
+        let watts = uj * 1e3 / ns;
+        let d = cf.device();
+        assert!(watts >= d.idle_watts && watts <= d.idle_watts + d.peak_dynamic_watts);
+    }
+
+    #[test]
+    fn cuda_variant_rejects_cpu() {
+        assert!(cuda("Xeon", SaxpyKernel).is_err());
+        assert!(cuda("Tesla K20m", SaxpyKernel).is_ok());
+    }
+
+    #[test]
+    fn device_accessor() {
+        let cf = saxpy_cf();
+        assert_eq!(cf.device().name, "Tesla K20c");
+    }
+}

@@ -1,0 +1,20 @@
+//! # atf-ocl — ATF's pre-implemented OpenCL and CUDA cost functions
+//!
+//! The paper's `atf::cf::ocl` / `atf::cf::cuda` (Section II, Step 2),
+//! implemented against the simulated OpenCL platform of [`ocl_sim`]:
+//!
+//! * device selection by platform/device **name** ([`cost::ocl`]) instead of
+//!   CLTune's numeric ids;
+//! * random input generation with `atf::scalar<T>()` / `atf::buffer<T>(N)`
+//!   ([`args`]), uploaded once at initialization;
+//! * global/local sizes as **arithmetic expressions over tuning parameters**
+//!   ([`cost::OclCostFunctionBuilder::global_size`]) — the expressiveness
+//!   CLTune's `DivGlobalSize`/`MulLocalSize` lacks (Section III);
+//! * runtime measurement via the (simulated) OpenCL profiling API;
+//! * optional error checking of computed results.
+
+pub mod args;
+pub mod cost;
+
+pub use args::{buffer, buffer_random_f32, scalar, scalar_random_f32, ArgSpec};
+pub use cost::{cuda, map_cl_error, ocl, ocl_on, OclCostFunction, OclCostFunctionBuilder};

@@ -1,0 +1,18 @@
+//! # baselines — reimplementations of the paper's comparators
+//!
+//! The ATF paper (Section VI) compares against CLTune 2.6.0 and OpenTuner
+//! 0.7.0. This crate reimplements the algorithmic behaviour of both so the
+//! comparison experiments run on the same simulator:
+//!
+//! * [`cltune`] — `size_t`-only parameters, boolean constraints filtered
+//!   over the **full cross product** (whose generation blows up; VI-A),
+//!   `DivGlobalSize`/`MulLocalSize`-style launch modification, full or
+//!   annealing search;
+//! * [`opentuner`] — unconstrained spaces searched by an AUC-bandit ensemble
+//!   with **penalty costs** for invalid configurations (VI-B).
+
+pub mod cltune;
+pub mod opentuner;
+
+pub use cltune::{CltuneGenError, CltuneResult, CltuneSearch, CltuneTuner};
+pub use opentuner::{OpenTunerResult, OpenTunerStyleTuner, DEFAULT_PENALTY};

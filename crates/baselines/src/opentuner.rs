@@ -1,0 +1,264 @@
+//! An OpenTuner-like tuner (Ansel et al., PACT 2014) — the paper's second
+//! comparator (Section VI-B). Generic over the application domain, driven by
+//! an AUC-bandit ensemble of search techniques, but **without support for
+//! parameter interdependencies**: the space is the raw cross product of the
+//! declared ranges, and invalid configurations are only discovered when the
+//! cost function fails — handled by reporting a user-defined *penalty value*
+//! (the community workaround the paper cites \[3\]).
+
+use atf_core::config::Config;
+use atf_core::cost::{CostFunction, CostValue};
+use atf_core::search::{Ensemble, SearchTechnique, SpaceDims};
+use atf_core::value::Value;
+use std::time::{Duration, Instant};
+
+/// The default penalty scalar reported for failed configurations.
+pub const DEFAULT_PENALTY: f64 = 1e30;
+
+/// One tuning parameter: name and explicit value list (OpenTuner's
+/// `EnumParameter`/`IntegerParameter` in list form).
+pub type OtParam = (String, Vec<Value>);
+
+/// Result of an OpenTuner-style run.
+#[derive(Clone, Debug)]
+pub struct OpenTunerResult {
+    /// Best *valid* configuration, if any was found at all — the paper
+    /// observes OpenTuner finding none within 10 000 evaluations on
+    /// XgemmDirect.
+    pub best: Option<(Config, f64)>,
+    /// Total evaluated configurations.
+    pub evaluations: u64,
+    /// How many evaluations were valid (measured successfully).
+    pub valid_evaluations: u64,
+    /// Size of the unconstrained space that was searched.
+    pub space_size: u128,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl OpenTunerResult {
+    /// Fraction of evaluations that produced a valid measurement.
+    pub fn valid_fraction(&self) -> f64 {
+        if self.evaluations == 0 {
+            0.0
+        } else {
+            self.valid_evaluations as f64 / self.evaluations as f64
+        }
+    }
+}
+
+/// The OpenTuner-style tuner.
+pub struct OpenTunerStyleTuner {
+    params: Vec<OtParam>,
+    penalty: f64,
+    seed: u64,
+}
+
+impl OpenTunerStyleTuner {
+    /// A tuner over the given unconstrained parameters.
+    pub fn new(params: Vec<OtParam>) -> Self {
+        assert!(!params.is_empty(), "no tuning parameters declared");
+        assert!(
+            params.iter().all(|(_, r)| !r.is_empty()),
+            "every parameter needs a non-empty range"
+        );
+        OpenTunerStyleTuner {
+            params,
+            penalty: DEFAULT_PENALTY,
+            seed: 0x07e2,
+        }
+    }
+
+    /// Convenience: integer parameters from `(name, Vec<u64>)` lists, with
+    /// names starting in `PAD` treated as booleans (the XgemmDirect flags).
+    pub fn from_u64_ranges(ranges: Vec<(String, Vec<u64>)>) -> Self {
+        let params = ranges
+            .into_iter()
+            .map(|(name, r)| {
+                let vals = r
+                    .into_iter()
+                    .map(|v| {
+                        if name.starts_with("PAD") {
+                            Value::Bool(v != 0)
+                        } else {
+                            Value::UInt(v)
+                        }
+                    })
+                    .collect();
+                (name, vals)
+            })
+            .collect();
+        Self::new(params)
+    }
+
+    /// Sets the penalty scalar reported to the search for failed
+    /// configurations.
+    pub fn penalty(mut self, penalty: f64) -> Self {
+        self.penalty = penalty;
+        self
+    }
+
+    /// Deterministic seed for the search ensemble.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Size of the unconstrained search space.
+    pub fn space_size(&self) -> u128 {
+        self.params.iter().map(|(_, r)| r.len() as u128).product()
+    }
+
+    fn config_at(&self, point: &[u64]) -> Config {
+        Config::from_pairs(
+            self.params
+                .iter()
+                .zip(point)
+                .map(|((name, range), &i)| (name.as_str(), range[i as usize].clone())),
+        )
+    }
+
+    /// Runs the tuner for `budget` evaluations.
+    pub fn tune<CF>(&mut self, budget: u64, cost_function: &mut CF) -> OpenTunerResult
+    where
+        CF: CostFunction,
+        CF::Cost: CostValue,
+    {
+        let start = Instant::now();
+        let dims = SpaceDims::new(self.params.iter().map(|(_, r)| r.len() as u64).collect());
+        let mut search = Ensemble::opentuner_default(self.seed);
+        search.initialize(dims);
+
+        let mut best: Option<(Config, f64)> = None;
+        let mut evaluations = 0u64;
+        let mut valid = 0u64;
+        while evaluations < budget {
+            let Some(point) = search.get_next_point() else {
+                break;
+            };
+            let cfg = self.config_at(&point);
+            evaluations += 1;
+            match cost_function.evaluate(&cfg) {
+                Ok(cost) => {
+                    valid += 1;
+                    let scalar = cost.as_scalar();
+                    search.report_cost(scalar);
+                    if best.as_ref().is_none_or(|(_, b)| scalar < *b) {
+                        best = Some((cfg, scalar));
+                    }
+                }
+                Err(_) => {
+                    // The workaround from the paper's reference [3]: report
+                    // a penalty value for configurations whose constraints
+                    // fail.
+                    search.report_cost(self.penalty);
+                }
+            }
+        }
+        search.finalize();
+        OpenTunerResult {
+            best,
+            evaluations,
+            valid_evaluations: valid,
+            space_size: self.space_size(),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atf_core::cost::{cost_fn, try_cost_fn, CostError};
+
+    fn int_params(names: &[&str], n: u64) -> Vec<(String, Vec<u64>)> {
+        names
+            .iter()
+            .map(|s| (s.to_string(), (1..=n).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn finds_optimum_on_unconstrained_space() {
+        let mut t =
+            OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B"], 32)).seed(3);
+        let mut cf = cost_fn(|c: &Config| {
+            (c.get_u64("A") as f64 - 20.0).powi(2) + (c.get_u64("B") as f64 - 5.0).powi(2)
+        });
+        let r = t.tune(800, &mut cf);
+        let (cfg, cost) = r.best.expect("valid space");
+        assert!(cost <= 4.0, "best {cfg:?} cost {cost}");
+        assert_eq!(r.evaluations, 800);
+        assert_eq!(r.valid_evaluations, 800);
+    }
+
+    #[test]
+    fn penalty_mode_survives_sparse_validity() {
+        // Valid only when B divides A — ~3% of the space. The tuner must
+        // still find a decent valid configuration via penalties.
+        let mut t =
+            OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B"], 64)).seed(11);
+        let mut cf = try_cost_fn(|c: &Config| {
+            let (a, b) = (c.get_u64("A"), c.get_u64("B"));
+            if a % b != 0 {
+                return Err(CostError::InvalidConfiguration("B ∤ A".into()));
+            }
+            Ok((a / b) as f64)
+        });
+        let r = t.tune(1500, &mut cf);
+        assert!(r.valid_evaluations > 0);
+        assert!(r.valid_fraction() < 0.9); // plenty of penalties happened
+        let (_, cost) = r.best.expect("found at least one valid config");
+        assert!(cost <= 4.0, "cost {cost}");
+    }
+
+    #[test]
+    fn hopeless_validity_returns_none() {
+        // Nothing is ever valid: mirror the paper's XgemmDirect observation.
+        let mut t =
+            OpenTunerStyleTuner::from_u64_ranges(int_params(&["A"], 1000)).seed(2);
+        let mut cf = try_cost_fn(|_: &Config| -> Result<f64, CostError> {
+            Err(CostError::InvalidConfiguration("never valid".into()))
+        });
+        let r = t.tune(500, &mut cf);
+        assert!(r.best.is_none());
+        assert_eq!(r.valid_evaluations, 0);
+        assert_eq!(r.evaluations, 500);
+        assert_eq!(r.valid_fraction(), 0.0);
+    }
+
+    #[test]
+    fn boolean_pad_parameters() {
+        let mut t = OpenTunerStyleTuner::from_u64_ranges(vec![
+            ("PADA".to_string(), vec![0, 1]),
+            ("X".to_string(), vec![1, 2, 3]),
+        ]);
+        let mut cf = cost_fn(|c: &Config| {
+            // Boolean decode must work.
+            let pad = c.get_bool("PADA");
+            c.get_u64("X") as f64 + if pad { 0.0 } else { 10.0 }
+        });
+        let r = t.tune(60, &mut cf);
+        let (cfg, cost) = r.best.unwrap();
+        assert!(cfg.get_bool("PADA"));
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn space_size_is_product() {
+        let t = OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B", "C"], 10));
+        assert_eq!(t.space_size(), 1000);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut t =
+                OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B"], 16)).seed(seed);
+            let mut cf = cost_fn(|c: &Config| c.get_u64("A") as f64 * c.get_u64("B") as f64);
+            let r = t.tune(100, &mut cf);
+            r.best.map(|(c, cost)| (format!("{c:?}"), cost))
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the simulated cost-function evaluation —
+//! the inner loop of every tuning run: macro substitution, launch
+//! validation, kernel profiling, and the analytic performance model.
+
+use atf_bench::{saxpy_cost_function, xgemm_cost_function};
+use atf_core::config::Config;
+use atf_core::cost::CostFunction;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocl_sim::preprocessor::{substitute, DefineMap};
+use ocl_sim::DeviceModel;
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_function_evaluate");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+
+    let mut saxpy = saxpy_cost_function(DeviceModel::tesla_k20m(), 1 << 16);
+    let saxpy_cfg = Config::from_pairs([("WPT", 4u64), ("LS", 128u64)]);
+    g.bench_function("saxpy_model_only", |b| {
+        b.iter(|| saxpy.evaluate(std::hint::black_box(&saxpy_cfg)).unwrap())
+    });
+
+    let mut gemm = xgemm_cost_function(DeviceModel::tesla_k20m(), 20, 576, 25);
+    let gemm_cfg = clblast::default_config();
+    g.bench_function("xgemm_model_only", |b| {
+        b.iter(|| gemm.evaluate(std::hint::black_box(&gemm_cfg)).unwrap())
+    });
+
+    // Invalid configurations must fail fast (they dominate penalty-based
+    // baseline runs).
+    let invalid = Config::from_pairs([
+        ("WGD", 16u64),
+        ("MDIMCD", 3u64), // does not divide WGD
+        ("NDIMCD", 8u64),
+        ("MDIMAD", 8u64),
+        ("NDIMBD", 8u64),
+        ("KWID", 2u64),
+        ("VWMD", 1u64),
+        ("VWND", 1u64),
+        ("PADA", 1u64),
+        ("PADB", 1u64),
+    ]);
+    g.bench_function("xgemm_invalid_config", |b| {
+        b.iter(|| {
+            let r = gemm.evaluate(std::hint::black_box(&invalid));
+            assert!(r.is_err());
+            r.err()
+        })
+    });
+    g.finish();
+}
+
+fn bench_preprocessor(c: &mut Criterion) {
+    let defines = DefineMap::new()
+        .with("WGD", "32")
+        .with("MDIMCD", "8")
+        .with("NDIMCD", "8")
+        .with("KWID", "2");
+    let mut g = c.benchmark_group("preprocessor");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("substitute_xgemm_source", |b| {
+        b.iter(|| {
+            substitute(
+                std::hint::black_box(clblast::XGEMM_DIRECT_SOURCE),
+                std::hint::black_box(&defines),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluation, bench_preprocessor);
+criterion_main!(benches);

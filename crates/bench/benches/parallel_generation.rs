@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of sequential vs parallel (one thread per
+//! parameter group, Section V) search-space generation.
+
+use atf_core::constraint::divides;
+use atf_core::expr::param;
+use atf_core::param::{tp, tp_c, ParamGroup};
+use atf_core::range::Range;
+use atf_core::space::SearchSpace;
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn groups(g: usize, n: u64) -> Vec<ParamGroup> {
+    (0..g)
+        .map(|i| {
+            let a = format!("tp{}_a", i);
+            let b = format!("tp{}_b", i);
+            ParamGroup::new(vec![
+                tp(a.clone(), Range::interval(1, n)),
+                tp_c(b, Range::interval(1, n), divides(param(a))),
+            ])
+        })
+        .collect()
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut bg = c.benchmark_group("group_generation");
+    bg.sample_size(10);
+    bg.warm_up_time(Duration::from_secs(1));
+    bg.measurement_time(Duration::from_secs(3));
+    for g in [2usize, 4, 8] {
+        let gs = groups(g, 512);
+        bg.bench_with_input(BenchmarkId::new("sequential", g), &g, |b, _| {
+            b.iter(|| SearchSpace::generate(std::hint::black_box(&gs)))
+        });
+        bg.bench_with_input(BenchmarkId::new("parallel", g), &g, |b, _| {
+            b.iter(|| SearchSpace::generate_parallel(std::hint::black_box(&gs)))
+        });
+    }
+    bg.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the per-step overhead of each search
+//! technique (`get_next_point` + `report_cost`). Auto-tuning steps are
+//! dominated by the cost-function measurement, but technique overhead
+//! matters for cheap analytic cost functions.
+
+use atf_core::search::{
+    Ensemble, GreedyMutation, NelderMead, PatternSearch, RandomSearch, SearchTechnique,
+    SimulatedAnnealing, SpaceDims, Torczon,
+};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+type TechniqueFactory = Box<dyn Fn() -> Box<dyn SearchTechnique>>;
+
+fn bench_step(c: &mut Criterion) {
+    let dims = SpaceDims::new(vec![512, 512, 16, 4]);
+    let mk: Vec<(&str, TechniqueFactory)> = vec![
+        ("random", Box::new(|| Box::new(RandomSearch::with_seed(1)))),
+        (
+            "annealing",
+            Box::new(|| Box::new(SimulatedAnnealing::with_seed(1))),
+        ),
+        ("nelder_mead", Box::new(|| Box::new(NelderMead::with_seed(1)))),
+        ("torczon", Box::new(|| Box::new(Torczon::with_seed(1)))),
+        ("pattern", Box::new(|| Box::new(PatternSearch::with_seed(1)))),
+        (
+            "mutation",
+            Box::new(|| Box::new(GreedyMutation::with_seed(1))),
+        ),
+        (
+            "ensemble",
+            Box::new(|| Box::new(Ensemble::opentuner_default(1))),
+        ),
+    ];
+    let mut g = c.benchmark_group("search_step");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for (name, factory) in mk {
+        g.bench_function(name, |b| {
+            let mut tech = factory();
+            tech.initialize(dims.clone());
+            let mut fake_cost = 0u64;
+            b.iter(|| {
+                let p = tech.get_next_point().expect("technique proposes");
+                // A cheap deterministic pseudo-cost keeps the technique's
+                // internal state evolving realistically.
+                fake_cost = fake_cost.wrapping_mul(6364136223846793005).wrapping_add(p[0]);
+                tech.report_cost((fake_cost % 1000) as f64);
+                std::hint::black_box(p)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

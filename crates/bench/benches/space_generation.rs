@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of search-space generation: ATF's
+//! constrained-range walk vs the CLTune-style cross-product-then-filter, on
+//! the saxpy and XgemmDirect parameter systems (Section VI-A of the paper
+//! at micro scale).
+
+use atf_core::space::{cross_product_filter, SearchSpace};
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_saxpy_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("saxpy_space");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [256u64, 1024, 4096] {
+        let groups = clblast::saxpy_space(n);
+        g.bench_with_input(BenchmarkId::new("atf_constrained_walk", n), &n, |b, _| {
+            b.iter(|| SearchSpace::generate(std::hint::black_box(&groups)))
+        });
+        // The cross product is N², so keep it to the small sizes.
+        if n <= 1024 {
+            g.bench_with_input(BenchmarkId::new("cross_product_filter", n), &n, |b, _| {
+                b.iter(|| {
+                    cross_product_filter(std::hint::black_box(&groups), u64::MAX, None).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_xgemm_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xgemm_space");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    for cap in [8u64, 16] {
+        let groups = clblast::xgemm_space::atf_space_wgd_max(cap);
+        g.bench_with_input(BenchmarkId::new("atf_count_only", cap), &cap, |b, _| {
+            b.iter(|| SearchSpace::count(std::hint::black_box(&groups)))
+        });
+        g.bench_with_input(BenchmarkId::new("atf_materialize", cap), &cap, |b, _| {
+            b.iter(|| SearchSpace::generate(std::hint::black_box(&groups)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_indexing(c: &mut Criterion) {
+    let space = SearchSpace::generate(&clblast::xgemm_space::atf_space_wgd_max(12));
+    let len = space.len();
+    let mut i = 0u128;
+    let mut g = c.benchmark_group("indexing");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("space_get_by_flat_index", |b| {
+        b.iter(|| {
+            i = (i + 99_991) % len;
+            std::hint::black_box(space.get(i))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_saxpy_generation,
+    bench_xgemm_generation,
+    bench_indexing
+);
+criterion_main!(benches);

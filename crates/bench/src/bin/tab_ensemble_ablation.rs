@@ -1,0 +1,126 @@
+//! **Ablation: the AUC-bandit ensemble** (DESIGN.md design-choice ablation).
+//! Compares the ensemble against each of its members in isolation, against
+//! the extended ensemble (with PSO and GA), and sweeps the bandit's
+//! exploration constant — on the XgemmDirect IS4 workload, averaged over
+//! seeds.
+//!
+//! Run: `cargo run -p atf-bench --release --bin tab_ensemble_ablation`
+
+use atf_bench::{write_records, xgemm_cost_function, Record};
+use atf_core::prelude::*;
+use atf_core::search::bandit::{DEFAULT_WINDOW};
+use ocl_sim::DeviceModel;
+
+const BUDGET: u64 = 1_500;
+const SEEDS: [u64; 5] = [11, 23, 37, 51, 67];
+
+fn mean_best(
+    space: &SearchSpace,
+    make: impl Fn(u64) -> Box<dyn SearchTechnique>,
+    m: u64,
+    n: u64,
+    k: u64,
+) -> (f64, f64) {
+    let mut costs = Vec::new();
+    for &seed in &SEEDS {
+        let mut cf = xgemm_cost_function(DeviceModel::tesla_k20m(), m, n, k);
+        let r = Tuner::new()
+            .technique(make(seed))
+            .abort_condition(abort::evaluations(BUDGET))
+            .tune_space(space, &mut cf)
+            .expect("non-empty space");
+        costs.push(r.best_cost);
+    }
+    let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+    let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+    (mean, best)
+}
+
+fn main() {
+    println!("Ablation: ensemble vs its members on XgemmDirect IS4 (GPU model),");
+    println!("{BUDGET} evaluations, mean/best over {} seeds\n", SEEDS.len());
+
+    let (m, n, k) = clblast::caffe::IS4;
+    let groups = clblast::atf_space(m, n, k);
+    let space = SearchSpace::generate(&groups);
+    println!("space: {} valid configurations\n", space.len());
+
+    let arms: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn SearchTechnique>>)> = vec![
+        ("random", Box::new(|s| Box::new(RandomSearch::with_seed(s)))),
+        (
+            "annealing",
+            Box::new(|s| Box::new(SimulatedAnnealing::with_seed(s))),
+        ),
+        ("nelder-mead", Box::new(|s| Box::new(NelderMead::with_seed(s)))),
+        ("torczon", Box::new(|s| Box::new(Torczon::with_seed(s)))),
+        ("pattern", Box::new(|s| Box::new(PatternSearch::with_seed(s)))),
+        (
+            "mutation",
+            Box::new(|s| Box::new(GreedyMutation::with_seed(s))),
+        ),
+        (
+            "diff-evolution",
+            Box::new(|s| Box::new(DifferentialEvolution::with_seed(s))),
+        ),
+        (
+            "particle-swarm",
+            Box::new(|s| Box::new(ParticleSwarm::with_seed(s))),
+        ),
+        (
+            "genetic",
+            Box::new(|s| Box::new(GeneticAlgorithm::with_seed(s))),
+        ),
+        (
+            "ENSEMBLE (default)",
+            Box::new(|s| Box::new(Ensemble::opentuner_default(s))),
+        ),
+        (
+            "ENSEMBLE (extended)",
+            Box::new(|s| Box::new(Ensemble::extended(s))),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    println!("{:<20} | {:>12} | {:>12}", "technique", "mean best", "best-of-seeds");
+    for (name, make) in &arms {
+        let (mean, best) = mean_best(&space, make, m, n, k);
+        println!(
+            "{:<20} | {:>9.3} us | {:>9.3} us",
+            name,
+            mean / 1e3,
+            best / 1e3
+        );
+        records.push(Record {
+            experiment: "tab_ensemble_ablation".into(),
+            device: "GPU".into(),
+            workload: name.to_string(),
+            metrics: vec![("mean_ns".into(), mean), ("best_ns".into(), best)],
+        });
+    }
+
+    println!("\nbandit exploration-constant sweep (default ensemble):");
+    for c in [0.0f64, 0.1, 0.3, 1.0, 3.0] {
+        let (mean, best) = mean_best(
+            &space,
+            |s| Box::new(Ensemble::opentuner_default(s).bandit_params(DEFAULT_WINDOW, c)),
+            m,
+            n,
+            k,
+        );
+        println!(
+            "  C = {:>4}: mean {:>9.3} us | best {:>9.3} us",
+            c,
+            mean / 1e3,
+            best / 1e3
+        );
+        records.push(Record {
+            experiment: "tab_ensemble_ablation".into(),
+            device: "GPU".into(),
+            workload: format!("exploration-{c}"),
+            metrics: vec![("mean_ns".into(), mean), ("best_ns".into(), best)],
+        });
+    }
+
+    write_records("tab_ensemble_ablation", &records);
+    println!("\nrecords written to results/tab_ensemble_ablation.json");
+}

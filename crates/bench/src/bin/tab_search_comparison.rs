@@ -1,0 +1,135 @@
+//! **Table (Section IV): search techniques** — exhaustive vs simulated
+//! annealing vs the OpenTuner-style ensemble (plus the individual ensemble
+//! members), on the saxpy space (small; exhaustive feasible) and on the
+//! XgemmDirect space (large; heuristics only). Includes the annealing
+//! temperature ablation around the paper's `T = 4`.
+//!
+//! Run: `cargo run -p atf-bench --release --bin tab_search_comparison`
+
+use atf_bench::{saxpy_cost_function, write_records, xgemm_cost_function, Record};
+use atf_core::prelude::*;
+use ocl_sim::DeviceModel;
+
+fn run_technique(
+    name: &str,
+    tech: Box<dyn SearchTechnique>,
+    space: &SearchSpace,
+    cf: &mut atf_ocl::OclCostFunction,
+    budget: u64,
+) -> (String, u64, f64) {
+    let result = Tuner::new()
+        .technique(tech)
+        .abort_condition(abort::evaluations(budget))
+        .tune_space(space, cf)
+        .expect("non-empty space");
+    (name.to_string(), result.evaluations, result.best_cost)
+}
+
+fn techniques(seed: u64) -> Vec<(&'static str, Box<dyn SearchTechnique>)> {
+    vec![
+        ("random", Box::new(RandomSearch::with_seed(seed))),
+        ("annealing(T=4)", Box::new(SimulatedAnnealing::with_seed(seed))),
+        ("nelder-mead", Box::new(NelderMead::with_seed(seed))),
+        ("torczon", Box::new(Torczon::with_seed(seed))),
+        ("pattern", Box::new(PatternSearch::with_seed(seed))),
+        ("mutation", Box::new(GreedyMutation::with_seed(seed))),
+        ("ensemble", Box::new(Ensemble::opentuner_default(seed))),
+    ]
+}
+
+fn main() {
+    let mut records = Vec::new();
+
+    // --- saxpy: small space, exhaustive gives the provable optimum ---
+    let n = 1u64 << 20;
+    println!("saxpy (N = 2^20) on the GPU model — small space, exhaustive feasible:");
+    let groups = clblast::saxpy_space(n);
+    let space = SearchSpace::generate(&groups);
+    println!("  space: {} valid configurations", space.len());
+    let mut cf = saxpy_cost_function(DeviceModel::tesla_k20m(), n);
+    let exhaustive = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune_space(&space, &mut cf)
+        .unwrap();
+    println!(
+        "  {:<16} {:>8} evals  best {:>10.3} us (provably optimal)",
+        "exhaustive",
+        exhaustive.evaluations,
+        exhaustive.best_cost / 1e3
+    );
+    records.push(Record {
+        experiment: "tab_search_comparison".into(),
+        device: "GPU".into(),
+        workload: "saxpy".into(),
+        metrics: vec![
+            ("exhaustive_best_ns".into(), exhaustive.best_cost),
+            ("exhaustive_evals".into(), exhaustive.evaluations as f64),
+        ],
+    });
+    for (name, tech) in techniques(0x41) {
+        let mut cf = saxpy_cost_function(DeviceModel::tesla_k20m(), n);
+        let (name, evals, best) = run_technique(name, tech, &space, &mut cf, 120);
+        println!(
+            "  {:<16} {:>8} evals  best {:>10.3} us ({:.2}x off optimal)",
+            name,
+            evals,
+            best / 1e3,
+            best / exhaustive.best_cost
+        );
+        records.push(Record {
+            experiment: "tab_search_comparison".into(),
+            device: "GPU".into(),
+            workload: format!("saxpy/{name}"),
+            metrics: vec![
+                ("best_ns".into(), best),
+                ("off_optimal".into(), best / exhaustive.best_cost),
+            ],
+        });
+    }
+
+    // --- XgemmDirect: large space, heuristics only ---
+    println!("\nXgemmDirect IS2 on the GPU model — 4.7M-configuration space:");
+    let (m, nn, k) = clblast::caffe::IS2;
+    let groups = clblast::atf_space(m, nn, k);
+    let space = SearchSpace::generate(&groups);
+    println!("  space: {} valid configurations", space.len());
+    for budget in [500u64, 2000] {
+        for (name, tech) in techniques(0x42) {
+            let mut cf = xgemm_cost_function(DeviceModel::tesla_k20m(), m, nn, k);
+            let (name, _, best) = run_technique(name, tech, &space, &mut cf, budget);
+            println!(
+                "  budget {:>5}: {:<16} best {:>10.3} us",
+                budget,
+                name,
+                best / 1e3
+            );
+            records.push(Record {
+                experiment: "tab_search_comparison".into(),
+                device: "GPU".into(),
+                workload: format!("xgemm/{name}/b{budget}"),
+                metrics: vec![("best_ns".into(), best)],
+            });
+        }
+    }
+
+    // --- annealing temperature ablation (the paper's T = 4) ---
+    println!("\nannealing temperature ablation on XgemmDirect IS2 (budget 2000):");
+    for t in [0.5f64, 1.0, 4.0, 16.0, 64.0] {
+        let mut cf = xgemm_cost_function(DeviceModel::tesla_k20m(), m, nn, k);
+        let result = Tuner::new()
+            .technique(SimulatedAnnealing::with_seed(0x43).temperature(t))
+            .abort_condition(abort::evaluations(2000))
+            .tune_space(&space, &mut cf)
+            .unwrap();
+        println!("  T = {:>5}: best {:>10.3} us", t, result.best_cost / 1e3);
+        records.push(Record {
+            experiment: "tab_search_comparison".into(),
+            device: "GPU".into(),
+            workload: format!("xgemm/annealing-T{t}"),
+            metrics: vec![("best_ns".into(), result.best_cost)],
+        });
+    }
+
+    write_records("tab_search_comparison", &records);
+    println!("\nrecords written to results/tab_search_comparison.json");
+}

@@ -1,0 +1,48 @@
+//! The Caffe deep-learning matrix sizes of the paper's evaluation
+//! (Section VI, Figure 2): "four pairs of matrix input sizes (IS) that are
+//! heavily used in Caffe, e.g., in Caffe's sample siamese".
+
+/// One GEMM workload: `(m, n, k)` for `C(m×n) = A(m×k) · B(k×n)`.
+pub type GemmShape = (u64, u64, u64);
+
+/// IS 1: (20×1) · (1×576).
+pub const IS1: GemmShape = (20, 576, 1);
+/// IS 2: (20×25) · (25×576).
+pub const IS2: GemmShape = (20, 576, 25);
+/// IS 3: (50×1) · (1×64).
+pub const IS3: GemmShape = (50, 64, 1);
+/// IS 4: (10×64) · (64×500).
+pub const IS4: GemmShape = (10, 500, 64);
+
+/// All four input sizes with their paper labels.
+pub const INPUT_SIZES: [GemmShape; 4] = [IS1, IS2, IS3, IS4];
+
+/// Paper labels aligned with [`INPUT_SIZES`].
+pub const LABELS: [&str; 4] = ["IS1", "IS2", "IS3", "IS4"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        // (20×1)·(1×576) → m=20, k=1, n=576, etc.
+        assert_eq!(IS1, (20, 576, 1));
+        assert_eq!(IS2, (20, 576, 25));
+        assert_eq!(IS3, (50, 64, 1));
+        assert_eq!(IS4, (10, 500, 64));
+        assert_eq!(INPUT_SIZES.len(), LABELS.len());
+    }
+
+    #[test]
+    fn no_caffe_size_is_wgd_multiple() {
+        // The root cause of the empty CLTune space: neither the row nor the
+        // column counts are multiples of 8 in at least one dimension.
+        for (m, n, _) in INPUT_SIZES {
+            assert!(
+                m % 8 != 0 || n % 8 != 0,
+                "paper's premise violated for {m}×{n}"
+            );
+        }
+    }
+}

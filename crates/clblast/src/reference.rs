@@ -1,0 +1,116 @@
+//! Naive reference implementations used as correctness oracles for the
+//! tunable kernels (the error-checking mode of ATF's OpenCL cost function).
+
+/// `y[i] = a * x[i] + y[i]` (BLAS saxpy), sequential reference.
+pub fn saxpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "saxpy operand length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `C = alpha * A · B + beta * C` with row-major dense matrices:
+/// `A` is `m×k`, `B` is `k×n`, `C` is `m×n`. Naive triple loop.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
+pub fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+/// Element-wise approximate equality with a tolerance scaled to the
+/// accumulation length (float summation order differs between the tiled
+/// kernel and the naive loop).
+pub fn approx_eq(a: &[f32], b: &[f32], k: usize) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let tol = 1e-4f32 * (k.max(1) as f32).sqrt();
+    a.iter().zip(b).all(|(x, y)| {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        (x - y).abs() <= tol * scale
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saxpy_reference() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        saxpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn saxpy_length_mismatch() {
+        saxpy(1.0, &[1.0], &mut [1.0, 2.0]);
+    }
+
+    #[test]
+    fn gemm_identity() {
+        // A = I (2×2), B arbitrary.
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        gemm(2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = vec![1.0, 2.0]; // 1×2
+        let b = vec![3.0, 4.0]; // 2×1
+        let mut c = vec![10.0]; // 1×1
+        gemm(1, 1, 2, 2.0, &a, &b, 0.5, &mut c);
+        // 2*(1*3 + 2*4) + 0.5*10 = 22 + 5 = 27
+        assert_eq!(c, vec![27.0]);
+    }
+
+    #[test]
+    fn gemm_rectangular() {
+        // 2×3 · 3×1
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![1.0, 1.0, 1.0];
+        let mut c = vec![0.0; 2];
+        gemm(2, 1, 3, 1.0, &a, &b, 0.0, &mut c);
+        assert_eq!(c, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn gemm_k_zero_scales_c() {
+        let mut c = vec![3.0, 4.0];
+        gemm(1, 2, 0, 1.0, &[], &[], 2.0, &mut c);
+        assert_eq!(c, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-6], 1));
+        assert!(!approx_eq(&[1.0], &[1.1], 1));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1));
+        // Larger k widens tolerance.
+        assert!(approx_eq(&[100.0], &[100.02], 10_000));
+    }
+}

@@ -1,0 +1,254 @@
+//! The CLBlast saxpy kernel of the paper's Listing 1, as a simulator kernel,
+//! plus its ATF tuning-space definition (Listing 2).
+//!
+//! Tuning parameters:
+//! * `WPT` (work-per-thread): each work-item computes a chunk of WPT
+//!   elements; must divide the input size `N`;
+//! * `LS` (local size): work-items per work-group; must divide the global
+//!   size `N / WPT` (OpenCL requirement).
+
+use atf_core::constraint::divides;
+use atf_core::expr::{cst, param};
+use atf_core::param::{tp_c, ParamGroup};
+use atf_core::range::Range;
+use ocl_sim::{ClError, ExecMode, KernelCall, KernelProfile, SimKernel};
+
+/// The saxpy kernel source (paper, Listing 1).
+pub const SAXPY_SOURCE: &str = r#"
+__kernel void saxpy( const int N, const float a,
+                     const __global float* x, __global float* y )
+{
+  for( int w = 0; w < WPT; ++w )
+  {
+    const int index = w + get_global_id(0) * WPT;
+    y[ index ] += a * x[ index ];
+  }
+}
+"#;
+
+/// Simulator implementation of the saxpy kernel.
+pub struct SaxpyKernel;
+
+impl SimKernel for SaxpyKernel {
+    fn name(&self) -> &str {
+        "saxpy"
+    }
+
+    fn source(&self) -> &str {
+        SAXPY_SOURCE
+    }
+
+    fn required_defines(&self) -> &[&str] {
+        &["WPT"]
+    }
+
+    fn execute(&self, call: &KernelCall<'_>) -> Result<KernelProfile, ClError> {
+        let wpt = call.define_u64("WPT")?;
+        if wpt == 0 {
+            return Err(ClError::BuildProgramFailure("WPT must be ≥ 1".into()));
+        }
+        let n = call
+            .scalar(0)?
+            .as_u64()
+            .ok_or_else(|| ClError::InvalidKernelArgs("N must be a non-negative integer".into()))?;
+        let a = call.scalar(1)?.as_f32();
+        let x = call.buffer(2)?;
+        let y = call.buffer(3)?;
+
+        // Kernel correctness requirement from the paper: WPT divides N so
+        // each work-item processes an equal-sized chunk. A launch violating
+        // it would read out of bounds — the simulator reports it as an
+        // invalid-buffer fault, like a real device would (at best).
+        let global = call.launch.global_size();
+        if global * wpt != n {
+            return Err(ClError::InvalidBuffer(format!(
+                "global size {global} × WPT {wpt} != N {n} (out-of-bounds access)"
+            )));
+        }
+        if x.len() < n as usize || y.len() < n as usize {
+            return Err(ClError::InvalidBuffer(format!(
+                "vector buffers smaller than N = {n}"
+            )));
+        }
+
+        if call.mode == ExecMode::Functional {
+            let xs = x.borrow_f32();
+            let mut ys = y.borrow_f32_mut();
+            // Chunked indexing exactly as in the source above.
+            for gid in 0..global {
+                for w in 0..wpt {
+                    let index = (w + gid * wpt) as usize;
+                    ys[index] += a * xs[index];
+                }
+            }
+        }
+
+        // Work profile. Chunked access strides the warp's accesses by WPT
+        // elements, so GPU coalescing degrades as 1/WPT (down to one useful
+        // element per transaction); larger WPT amortizes loop/index
+        // bookkeeping across fewer work-items.
+        let cache_line_elems = (call.device.cache_line_bytes / 4).max(1) as f64;
+        let coalescing = (1.0 / wpt as f64).max(1.0 / cache_line_elems);
+        Ok(KernelProfile {
+            flops: 2.0 * n as f64,
+            overhead_instructions: n as f64 * 2.0 + global as f64 * 8.0,
+            global_bytes_read: 8.0 * n as f64, // x and y
+            global_bytes_written: 4.0 * n as f64,
+            coalescing_efficiency: coalescing,
+            ..Default::default()
+        })
+    }
+}
+
+/// The ATF tuning-space definition of the paper's Listing 2:
+/// `WPT ∈ [1, N]` dividing `N`; `LS ∈ [1, N]` dividing `N / WPT`.
+///
+/// Both parameters are interdependent, hence one group.
+pub fn saxpy_space(n: u64) -> Vec<ParamGroup> {
+    vec![ParamGroup::new(vec![
+        tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+        tp_c("LS", Range::interval(1, n), divides(cst(n) / param("WPT"))),
+    ])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use atf_core::space::SearchSpace;
+    use ocl_sim::{Context, DefineMap, DeviceModel, Launch};
+    use rand::{Rng, SeedableRng};
+
+    fn run_saxpy(
+        device: DeviceModel,
+        n: u64,
+        wpt: u64,
+        ls: u64,
+        mode: ExecMode,
+    ) -> Result<(Vec<f32>, f64), ClError> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let a = 1.5f32;
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let y: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut ctx = Context::new(device).with_noise(0.0);
+        let xb = ctx.create_buffer_f32(x);
+        let yb = ctx.create_buffer_f32(y.clone());
+        let defines = DefineMap::new().with("WPT", wpt.to_string());
+        let ev = ctx.enqueue_kernel(
+            &SaxpyKernel,
+            &[
+                ocl_sim::Scalar::U64(n).into(),
+                ocl_sim::Scalar::F32(a).into(),
+                xb.into(),
+                yb.into(),
+            ],
+            &Launch::one_d(n / wpt, ls),
+            &defines,
+            mode,
+        )?;
+        let result = ctx.buffer(yb).borrow_f32().clone();
+        Ok((result, ev.duration_ns()))
+    }
+
+    #[test]
+    fn functional_matches_reference() {
+        let n = 1024u64;
+        for (wpt, ls) in [(1, 64), (4, 32), (8, 128), (1024, 1)] {
+            let (got, _) = run_saxpy(
+                DeviceModel::tesla_k20m(),
+                n,
+                wpt,
+                ls,
+                ExecMode::Functional,
+            )
+            .unwrap();
+            // Rebuild the expected result.
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mut y: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            reference::saxpy(1.5, &x, &mut y);
+            assert!(
+                reference::approx_eq(&got, &y, 1),
+                "mismatch for WPT={wpt}, LS={ls}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_wpt_detected() {
+        // N=1000, WPT=3: global*WPT != N → out-of-bounds fault.
+        let err = run_saxpy(DeviceModel::tesla_k20m(), 1000, 3, 1, ExecMode::ModelOnly);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn invalid_local_size_detected() {
+        // LS=7 does not divide N/WPT=256.
+        let err = run_saxpy(DeviceModel::tesla_k20m(), 1024, 4, 7, ExecMode::ModelOnly);
+        assert!(matches!(err, Err(ClError::InvalidWorkGroupSize(_))));
+    }
+
+    #[test]
+    fn space_definition_counts() {
+        let space = SearchSpace::generate(&saxpy_space(16));
+        // WPT ∈ {1,2,4,8,16}; LS | 16/WPT: 5+4+3+2+1 = 15.
+        assert_eq!(space.len(), 15);
+        for cfg in space.iter() {
+            let wpt = cfg.get_u64("WPT");
+            let ls = cfg.get_u64("LS");
+            assert_eq!(16 % wpt, 0);
+            assert_eq!((16 / wpt) % ls, 0);
+        }
+    }
+
+    #[test]
+    fn every_valid_config_runs() {
+        let n = 64u64;
+        let space = SearchSpace::generate(&saxpy_space(n));
+        for cfg in space.iter() {
+            let wpt = cfg.get_u64("WPT");
+            let ls = cfg.get_u64("LS");
+            if ls > DeviceModel::tesla_k20m().max_work_group_size {
+                continue; // device limit, not a space error
+            }
+            run_saxpy(DeviceModel::tesla_k20m(), n, wpt, ls, ExecMode::Functional)
+                .unwrap_or_else(|e| panic!("WPT={wpt}, LS={ls}: {e}"));
+        }
+    }
+
+    #[test]
+    fn gpu_prefers_small_wpt() {
+        // Coalescing: WPT=1 should beat WPT=64 clearly on the GPU model for a
+        // large memory-bound vector.
+        let n = 1u64 << 20;
+        let (_, t1) = run_saxpy(DeviceModel::tesla_k20m(), n, 1, 128, ExecMode::ModelOnly).unwrap();
+        let (_, t64) =
+            run_saxpy(DeviceModel::tesla_k20m(), n, 64, 128, ExecMode::ModelOnly).unwrap();
+        assert!(t64 > 2.0 * t1, "t1={t1}, t64={t64}");
+    }
+
+    #[test]
+    fn cpu_tolerates_large_wpt() {
+        // On the CPU model the coalescing penalty is mild; large WPT reduces
+        // scheduling overhead, so WPT=64 should not be dramatically worse
+        // (and often better) than WPT=1 with small work-groups.
+        let n = 1u64 << 20;
+        let (_, t1) = run_saxpy(
+            DeviceModel::xeon_e5_2640v2_dual(),
+            n,
+            1,
+            1,
+            ExecMode::ModelOnly,
+        )
+        .unwrap();
+        let (_, t64) = run_saxpy(
+            DeviceModel::xeon_e5_2640v2_dual(),
+            n,
+            64,
+            1,
+            ExecMode::ModelOnly,
+        )
+        .unwrap();
+        assert!(t64 < t1, "CPU should reward chunking: t1={t1}, t64={t64}");
+    }
+}

@@ -1,0 +1,297 @@
+//! CLBlast's `Xdot` two-stage reduction (`r = Σ x[i]·y[i]`) for the
+//! simulator. Its tuning parameters exhibit a *different* interdependency
+//! pattern than GEMM's divisibility chains — an inequality across stages:
+//!
+//! * `WGS1` — stage-1 work-group size (power of two, for the tree reduce);
+//! * `NWG` — number of stage-1 work-groups (each produces one partial sum);
+//! * `WGS2` — stage-2 work-group size (power of two) that reduces the
+//!   partials; must satisfy `WGS2 ≥ NWG` so one work-group covers them.
+
+use atf_core::constraint::{predicate, Constraint};
+use atf_core::param::{tp_c, ParamGroup};
+use atf_core::range::Range;
+use ocl_sim::{ClError, ExecMode, KernelCall, KernelProfile, SimKernel};
+
+/// Abridged OpenCL source (macro identifiers for the preprocessor).
+pub const XDOT_SOURCE: &str = r#"
+// Xdot: two-stage dot product. Stage 1: NWG work-groups of WGS1 work-items
+// produce one partial sum each (tree reduction in local memory). Stage 2:
+// one work-group of WGS2 work-items reduces the partials.
+// Tuning parameters: WGS1 NWG WGS2
+__kernel void XdotStage1(const int n, const __global float* xgm,
+                         const __global float* ygm, __global float* partial)
+{ /* WGS1, NWG */ }
+__kernel void XdotStage2(__global float* partial, __global float* result)
+{ /* WGS2 */ }
+"#;
+
+/// The simulated two-stage dot kernel (both stages modelled in one launch;
+/// the profile sums their work and the stage-2 serialization shows up as a
+/// second launch overhead).
+pub struct XdotKernel;
+
+fn is_pow2(v: u64) -> bool {
+    v != 0 && v.is_power_of_two()
+}
+
+impl SimKernel for XdotKernel {
+    fn name(&self) -> &str {
+        "Xdot"
+    }
+
+    fn source(&self) -> &str {
+        XDOT_SOURCE
+    }
+
+    fn required_defines(&self) -> &[&str] {
+        &["WGS1", "NWG", "WGS2"]
+    }
+
+    fn execute(&self, call: &KernelCall<'_>) -> Result<KernelProfile, ClError> {
+        let wgs1 = call.define_u64("WGS1")?;
+        let nwg = call.define_u64("NWG")?;
+        let wgs2 = call.define_u64("WGS2")?;
+        if !is_pow2(wgs1) || !is_pow2(wgs2) {
+            return Err(ClError::BuildProgramFailure(
+                "Xdot: WGS1 and WGS2 must be powers of two (tree reduction)".into(),
+            ));
+        }
+        if nwg == 0 || wgs2 < nwg {
+            return Err(ClError::BuildProgramFailure(format!(
+                "Xdot: WGS2 ({wgs2}) must be ≥ NWG ({nwg}) to reduce all partial sums"
+            )));
+        }
+        let n = call
+            .scalar(0)?
+            .as_u64()
+            .ok_or_else(|| ClError::InvalidKernelArgs("n must be an integer".into()))?;
+        let x = call.buffer(1)?;
+        let y = call.buffer(2)?;
+        let r = call.buffer(3)?;
+        if x.len() < n as usize || y.len() < n as usize || r.is_empty() {
+            return Err(ClError::InvalidBuffer("Xdot buffers too small".into()));
+        }
+        if call.launch.global_size() != wgs1 * nwg || call.launch.local_size() != wgs1 {
+            return Err(ClError::InvalidKernelArgs(format!(
+                "Xdot stage-1 launch must be ({} x {}), got global {} local {}",
+                nwg,
+                wgs1,
+                call.launch.global_size(),
+                call.launch.local_size()
+            )));
+        }
+
+        if call.mode == ExecMode::Functional {
+            // Stage semantics: grid-strided partial sums per work-group,
+            // then a final reduce — numerically we reproduce the grouped
+            // summation order (f32).
+            let xv = x.borrow_f32();
+            let yv = y.borrow_f32();
+            let mut partials = vec![0.0f32; nwg as usize];
+            for (g, p) in partials.iter_mut().enumerate() {
+                let mut i = g as u64 * wgs1;
+                while i < n {
+                    for j in i..(i + wgs1).min(n) {
+                        *p += xv[j as usize] * yv[j as usize];
+                    }
+                    i += wgs1 * nwg;
+                }
+            }
+            let total: f32 = partials.iter().sum();
+            r.borrow_f32_mut()[0] = total;
+        }
+
+        // Work: stage 1 streams 8n bytes and does 2n flops plus a
+        // log2(WGS1)-deep tree per group; stage 2 is negligible work but a
+        // full second launch (modelled as extra overhead instructions and
+        // the partial-sum traffic).
+        let tree1 = (nwg * wgs1) as f64 * (wgs1 as f64).log2().max(1.0);
+        let tree2 = wgs2 as f64 * (wgs2 as f64).log2().max(1.0);
+        Ok(KernelProfile {
+            flops: 2.0 * n as f64 + tree1 + tree2,
+            overhead_instructions: (n as f64 / (wgs1 * nwg) as f64).ceil()
+                * (nwg * wgs1) as f64
+                * 2.0
+                + tree1
+                + tree2 * 4.0,
+            global_bytes_read: 8.0 * n as f64 + nwg as f64 * 4.0,
+            global_bytes_written: nwg as f64 * 4.0 + 4.0,
+            local_bytes_accessed: tree1 * 4.0 + tree2 * 4.0,
+            local_mem_per_wg: wgs1.max(wgs2) * 4,
+            ..Default::default()
+        })
+    }
+}
+
+/// The ATF tuning space for Xdot on an `n`-element input. Demonstrates a
+/// non-divisibility interdependency: `WGS2 ≥ NWG`.
+pub fn xdot_space(n: u64) -> Vec<ParamGroup> {
+    let pow2 = |max_exp: u64| Range::interval_gen(0, max_exp, |i| 1u64 << i);
+    let positive: Constraint = predicate("≥ 1", |v, _| v.as_u64().is_some_and(|x| x >= 1));
+    vec![ParamGroup::new(vec![
+        tp_c("WGS1", pow2(10), positive.clone()),
+        tp_c(
+            "NWG",
+            Range::interval(1, 512.min(n.max(1))),
+            predicate("NWG*WGS1 <= 4n (no empty groups)", move |v, c| {
+                v.as_u64()
+                    .is_some_and(|nwg| nwg * c.get_u64("WGS1") <= 4 * n.max(1))
+            }),
+        ),
+        tp_c(
+            "WGS2",
+            pow2(10),
+            predicate("WGS2 >= NWG", |v, c| {
+                v.as_u64().is_some_and(|w| w >= c.get_u64("NWG"))
+            })
+            .with_references(["NWG"]),
+        ),
+    ])]
+}
+
+/// Stage-1 launch for a configuration.
+pub fn xdot_launch(config: &atf_core::config::Config) -> ocl_sim::Launch {
+    let wgs1 = config.get_u64("WGS1");
+    let nwg = config.get_u64("NWG");
+    ocl_sim::Launch::one_d(wgs1 * nwg, wgs1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atf_core::config::Config;
+    use atf_core::space::SearchSpace;
+    use ocl_sim::{Context, DefineMap, DeviceModel, Scalar};
+    use rand::{Rng, SeedableRng};
+
+    fn run(n: u64, wgs1: u64, nwg: u64, wgs2: u64, mode: ExecMode) -> Result<(f32, f64), ClError> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut ctx = Context::new(DeviceModel::tesla_k20m()).with_noise(0.0);
+        let xb = ctx.create_buffer_f32(x);
+        let yb = ctx.create_buffer_f32(y);
+        let rb = ctx.create_buffer_f32(vec![0.0]);
+        let cfg = Config::from_pairs([("WGS1", wgs1), ("NWG", nwg), ("WGS2", wgs2)]);
+        let defines = DefineMap::new()
+            .with("WGS1", wgs1.to_string())
+            .with("NWG", nwg.to_string())
+            .with("WGS2", wgs2.to_string());
+        let ev = ctx.enqueue_kernel(
+            &XdotKernel,
+            &[Scalar::U64(n).into(), xb.into(), yb.into(), rb.into()],
+            &xdot_launch(&cfg),
+            &defines,
+            mode,
+        )?;
+        let result = ctx.buffer(rb).borrow_f32()[0];
+        Ok((result, ev.duration_ns()))
+    }
+
+    fn expected(n: u64) -> f32 {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        x.iter().zip(&y).map(|(a, b)| (a * b) as f64).sum::<f64>() as f32
+    }
+
+    #[test]
+    fn functional_matches_reference() {
+        for (n, wgs1, nwg, wgs2) in [(1024u64, 64, 8, 8), (1000, 32, 4, 16), (17, 8, 2, 2)] {
+            let (got, _) = run(n, wgs1, nwg, wgs2, ExecMode::Functional).unwrap();
+            let want = expected(n);
+            assert!(
+                (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+                "n={n}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_enforced() {
+        let err = run(1024, 48, 4, 64, ExecMode::ModelOnly);
+        assert!(matches!(err, Err(ClError::BuildProgramFailure(m)) if m.contains("powers of two")));
+    }
+
+    #[test]
+    fn stage2_must_cover_partials() {
+        let err = run(1024, 64, 32, 16, ExecMode::ModelOnly);
+        assert!(matches!(err, Err(ClError::BuildProgramFailure(m)) if m.contains("WGS2")));
+    }
+
+    #[test]
+    fn space_respects_cross_stage_inequality() {
+        let space = SearchSpace::generate(&xdot_space(1 << 16));
+        assert!(space.len() > 100);
+        for i in (0..space.len()).step_by(11) {
+            let cfg = space.get(i);
+            assert!(cfg.get_u64("WGS2") >= cfg.get_u64("NWG"), "{cfg:?}");
+            assert!(cfg.get_u64("WGS1").is_power_of_two());
+            assert!(cfg.get_u64("WGS2").is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn every_space_config_launches() {
+        let n = 1u64 << 14;
+        let space = SearchSpace::generate(&xdot_space(n));
+        for i in (0..space.len()).step_by(13) {
+            let cfg = space.get(i);
+            run(
+                n,
+                cfg.get_u64("WGS1"),
+                cfg.get_u64("NWG"),
+                cfg.get_u64("WGS2"),
+                ExecMode::ModelOnly,
+            )
+            .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parallelism_matters() {
+        // One work-group cannot saturate the device; 64 groups can.
+        let n = 1u64 << 18;
+        let (_, t1) = run(n, 256, 1, 2, ExecMode::ModelOnly).unwrap();
+        let (_, t64) = run(n, 256, 64, 64, ExecMode::ModelOnly).unwrap();
+        assert!(t64 < t1 / 2.0, "t1={t1} t64={t64}");
+    }
+
+    #[test]
+    fn end_to_end_tuning_with_auto_grouping() {
+        use atf_core::prelude::*;
+        let n = 1u64 << 18;
+        // The three parameters are interdependent → auto_group must put
+        // them into a single group (WGS2→NWG exact ref; NWG→WGS1 opaque).
+        let params = xdot_space(n).remove(0);
+        let groups = atf_core::param::auto_group(params.params().to_vec());
+        assert_eq!(groups.len(), 1, "Xdot parameters are all linked");
+        // Context and buffers created once; evaluations only enqueue.
+        let mut ctx = Context::new(DeviceModel::tesla_k20m()).with_noise(0.0);
+        let xb = ctx.create_buffer_f32(vec![0.5; n as usize]);
+        let yb = ctx.create_buffer_f32(vec![0.25; n as usize]);
+        let rb = ctx.create_buffer_f32(vec![0.0]);
+        let mut cf = atf_core::cost::try_cost_fn(move |cfg: &Config| {
+            let defines = DefineMap::new()
+                .with("WGS1", cfg.get_u64("WGS1").to_string())
+                .with("NWG", cfg.get_u64("NWG").to_string())
+                .with("WGS2", cfg.get_u64("WGS2").to_string());
+            ctx.enqueue_kernel(
+                &XdotKernel,
+                &[Scalar::U64(n).into(), xb.into(), yb.into(), rb.into()],
+                &xdot_launch(cfg),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .map(|ev| ev.duration_ns())
+            .map_err(|e| CostError::InvalidConfiguration(e.to_string()))
+        });
+        let r = Tuner::new()
+            .technique(Ensemble::opentuner_default(4))
+            .abort_condition(abort::evaluations(300))
+            .tune(&groups, &mut cf)
+            .unwrap();
+        let (_, bad) = run(n, 1, 1, 1, ExecMode::ModelOnly).unwrap();
+        assert!(r.best_cost < bad);
+    }
+}

@@ -1,0 +1,388 @@
+//! Tuning-space definitions for XgemmDirect: the native ATF space, the
+//! CLTune-style constrained variants, the artificially range-limited space
+//! CLBlast actually ships (Section VI-A), and the unconstrained ranges the
+//! OpenTuner baseline searches (Section VI-B) — plus the host-side launch
+//! geometry in both its CLBlast (padded) and CLTune (divisibility-
+//! constrained) forms.
+
+use crate::xgemm_direct::XgemmParams;
+use atf_core::config::Config;
+use atf_core::constraint::{divides, is_multiple_of, predicate};
+use atf_core::expr::{cst, param};
+use atf_core::param::{tp, tp_c, Param, ParamGroup};
+use atf_core::range::Range;
+use ocl_sim::{DefineMap, Launch};
+
+/// Default cap on the tile size WGD. Bounded by local memory:
+/// two `WGD × (WGD+1)` float tiles must fit in 48 KiB
+/// (`8·WGD·(WGD+1) ≤ 49152` → `WGD ≤ 77`); 64 is the largest "round" tile.
+pub const WGD_MAX: u64 = 64;
+
+/// Builds the ten XgemmDirect tuning parameters with ATF constraints
+/// (parameters may reference previously declared ones). All ten are
+/// interdependent, so they form a single [`ParamGroup`].
+///
+/// `extra_wgd` is an additional constraint on WGD — the CLTune-style
+/// variants require WGD to divide the result matrix's rows/columns; the
+/// ATF-native space does not, because CLBlast pads the global size
+/// (arithmetic CLTune cannot express; Section VI-A).
+fn xgemm_params(wgd_max: u64, extra_wgd: Option<atf_core::constraint::Constraint>) -> Vec<Param> {
+    let wgd_range = Range::interval(1, wgd_max);
+    let dim_range = Range::interval(1, wgd_max);
+    let vw_range = Range::set([1u64, 2, 4, 8]);
+
+    // Local-memory feasibility: 8·WGD·(WGD+1) ≤ 48 KiB (worst case padded).
+    let fits_local = predicate("8*WGD*(WGD+1) <= 48 KiB", |v, _| {
+        v.as_u64().is_some_and(|w| 8 * w * (w + 1) <= 48 * 1024)
+    });
+    let wgd_constraint = match extra_wgd {
+        Some(c) => fits_local & c,
+        None => fits_local,
+    };
+
+    vec![
+        tp_c("WGD", wgd_range, wgd_constraint),
+        tp_c("MDIMCD", dim_range.clone(), divides(param("WGD"))),
+        tp_c(
+            "NDIMCD",
+            dim_range.clone(),
+            divides(param("WGD"))
+                & predicate("MDIMCD*NDIMCD <= 1024", |v, c| {
+                    v.as_u64()
+                        .is_some_and(|n| n * c.get_u64("MDIMCD") <= 1024)
+                }),
+        ),
+        tp_c(
+            "MDIMAD",
+            dim_range.clone(),
+            divides(param("WGD")) & divides(param("MDIMCD") * param("NDIMCD")),
+        ),
+        tp_c(
+            "NDIMBD",
+            dim_range,
+            divides(param("WGD")) & divides(param("MDIMCD") * param("NDIMCD")),
+        ),
+        tp_c("KWID", Range::interval(1, wgd_max), divides(param("WGD"))),
+        tp_c(
+            "VWMD",
+            vw_range.clone(),
+            divides(param("WGD") / param("MDIMCD")) & divides(param("WGD") / param("MDIMAD")),
+        ),
+        tp_c(
+            "VWND",
+            vw_range,
+            divides(param("WGD") / param("NDIMCD")) & divides(param("WGD") / param("NDIMBD")),
+        ),
+        tp("PADA", Range::boolean()),
+        tp("PADB", Range::boolean()),
+    ]
+}
+
+/// The native ATF search space for an `m×k · k×n` multiplication: full
+/// parameter ranges, no divisibility requirements on the matrix sizes
+/// (CLBlast's padded global size handles arbitrary edges).
+pub fn atf_space(_m: u64, _n: u64, _k: u64) -> Vec<ParamGroup> {
+    vec![ParamGroup::new(xgemm_params(WGD_MAX, None))]
+}
+
+/// [`atf_space`] with a custom cap on the WGD range — for tests and scaling
+/// experiments (the space size grows steeply with the cap).
+pub fn atf_space_wgd_max(wgd_max: u64) -> Vec<ParamGroup> {
+    vec![ParamGroup::new(xgemm_params(wgd_max, None))]
+}
+
+/// ATF restricted by the constraints CLTune's program needs: WGD must divide
+/// both the result matrix's rows and columns (because CLTune cannot express
+/// the padded global size). Used by the constraint-relaxation experiment
+/// (Section VI-A: IS4 speedup 12.85× → 17.60× on the CPU when dropping
+/// these).
+pub fn atf_space_cltune_constraints(m: u64, n: u64, _k: u64) -> Vec<ParamGroup> {
+    let c = divides(cst(m)) & divides(cst(n));
+    vec![ParamGroup::new(xgemm_params(WGD_MAX, Some(c)))]
+}
+
+/// The artificially range-limited space CLBlast ships for CLTune
+/// (Section VI-A): WGD ∈ {8, 16, 32} (and the other dimensions similarly
+/// restricted), *plus* the divide-rows/columns constraint — which makes the
+/// space **empty** for the Caffe matrix sizes, forcing CLBlast to fall back
+/// to device defaults tuned for 256×256.
+pub fn clblast_limited_space(m: u64, n: u64, _k: u64) -> Vec<ParamGroup> {
+    let pow2 = Range::set([8u64, 16, 32]);
+    vec![ParamGroup::new(vec![
+        tp_c("WGD", pow2.clone(), divides(cst(m)) & divides(cst(n))),
+        tp_c("MDIMCD", pow2.clone(), divides(param("WGD"))),
+        tp_c("NDIMCD", pow2.clone(), divides(param("WGD"))),
+        tp_c(
+            "MDIMAD",
+            pow2.clone(),
+            divides(param("WGD")) & divides(param("MDIMCD") * param("NDIMCD")),
+        ),
+        tp_c(
+            "NDIMBD",
+            pow2,
+            divides(param("WGD")) & divides(param("MDIMCD") * param("NDIMCD")),
+        ),
+        tp_c("KWID", Range::set([2u64, 8, 16]), divides(param("WGD"))),
+        tp_c(
+            "VWMD",
+            Range::set([1u64, 2, 4, 8]),
+            divides(param("WGD") / param("MDIMCD")) & divides(param("WGD") / param("MDIMAD")),
+        ),
+        tp_c(
+            "VWND",
+            Range::set([1u64, 2, 4, 8]),
+            divides(param("WGD") / param("NDIMCD")) & divides(param("WGD") / param("NDIMBD")),
+        ),
+        tp("PADA", Range::boolean()),
+        tp("PADB", Range::boolean()),
+    ])]
+}
+
+/// The **unconstrained** parameter ranges the OpenTuner baseline searches
+/// (Section VI-B): every integer parameter independently in `{1, ..., N}`,
+/// vector widths in {1,2,4,8}, booleans free — dependencies cannot be
+/// expressed, so invalid combinations are only discovered at (penalized)
+/// evaluation time. One parameter per group: no interdependencies declared.
+pub fn unconstrained_params(n_range: u64) -> Vec<(String, Vec<u64>)> {
+    let full: Vec<u64> = (1..=n_range).collect();
+    let vw = vec![1u64, 2, 4, 8];
+    let flag = vec![0u64, 1];
+    vec![
+        ("WGD".to_string(), full.clone()),
+        ("MDIMCD".to_string(), full.clone()),
+        ("NDIMCD".to_string(), full.clone()),
+        ("MDIMAD".to_string(), full.clone()),
+        ("NDIMBD".to_string(), full.clone()),
+        ("KWID".to_string(), full),
+        ("VWMD".to_string(), vw.clone()),
+        ("VWND".to_string(), vw),
+        ("PADA".to_string(), flag.clone()),
+        ("PADB".to_string(), flag),
+    ]
+}
+
+/// CLBlast's compiled-in default configuration — "small" values chosen to
+/// perform acceptably everywhere (paper: WGD=8, KWID=1 etc., Section VI-B).
+pub fn default_config() -> Config {
+    Config::from_pairs([
+        ("WGD", atf_core::value::Value::UInt(8)),
+        ("MDIMCD", atf_core::value::Value::UInt(8)),
+        ("NDIMCD", atf_core::value::Value::UInt(8)),
+        ("MDIMAD", atf_core::value::Value::UInt(8)),
+        ("NDIMBD", atf_core::value::Value::UInt(8)),
+        ("KWID", atf_core::value::Value::UInt(1)),
+        ("VWMD", atf_core::value::Value::UInt(1)),
+        ("VWND", atf_core::value::Value::UInt(1)),
+        ("PADA", atf_core::value::Value::Bool(true)),
+        ("PADB", atf_core::value::Value::Bool(true)),
+    ])
+}
+
+/// Decodes a configuration into [`XgemmParams`].
+pub fn params_from_config(c: &Config) -> XgemmParams {
+    XgemmParams {
+        wgd: c.get_u64("WGD"),
+        mdimcd: c.get_u64("MDIMCD"),
+        ndimcd: c.get_u64("NDIMCD"),
+        mdimad: c.get_u64("MDIMAD"),
+        ndimbd: c.get_u64("NDIMBD"),
+        kwid: c.get_u64("KWID"),
+        vwmd: c.get_u64("VWMD"),
+        vwnd: c.get_u64("VWND"),
+        pada: c.get_bool("PADA"),
+        padb: c.get_bool("PADB"),
+    }
+}
+
+/// Renders a configuration as kernel macro definitions.
+pub fn defines_from_config(c: &Config) -> DefineMap {
+    let mut d = DefineMap::new();
+    for (name, value) in c.iter() {
+        d.define(name, value.to_source_token());
+    }
+    d
+}
+
+/// CLBlast's host-side launch geometry: the global size is *padded* to full
+/// tiles — "in CLBlast, the global size is automatically adapted to a
+/// multiple of the local size ... by performing arithmetic operations
+/// between tuning parameters and constants which cannot be expressed in
+/// CLTune" (Section VI-A). Expressible in ATF as
+/// `ceil(M / WGD) · MDIMCD` per dimension.
+pub fn clblast_launch(c: &Config, m: u64, n: u64) -> Launch {
+    let wgd = c.get_u64("WGD");
+    let mdimcd = c.get_u64("MDIMCD");
+    let ndimcd = c.get_u64("NDIMCD");
+    Launch::two_d(
+        (m.div_ceil(wgd) * mdimcd, n.div_ceil(wgd) * ndimcd),
+        (mdimcd, ndimcd),
+    )
+}
+
+/// CLTune's host-side launch geometry: the *unpadded* base global size
+/// `(m, n)` divided by WGD and multiplied by the thread-grid dimensions
+/// (`DivGlobalSize` / `MulLocalSize`). Correct only when WGD divides `m`
+/// and `n` — hence CLTune's extra constraints.
+pub fn cltune_launch(c: &Config, m: u64, n: u64) -> Launch {
+    let wgd = c.get_u64("WGD");
+    let mdimcd = c.get_u64("MDIMCD");
+    let ndimcd = c.get_u64("NDIMCD");
+    Launch::two_d(
+        ((m / wgd) * mdimcd, (n / wgd) * ndimcd),
+        (mdimcd, ndimcd),
+    )
+}
+
+/// A convenience: checks whether `c` satisfies all kernel interdependencies
+/// (used to measure valid fractions for the OpenTuner experiment).
+pub fn config_is_valid(c: &Config) -> bool {
+    params_from_config(c).validate().is_ok()
+        && 8 * c.get_u64("WGD") * (c.get_u64("WGD") + 1) <= 48 * 1024
+}
+
+/// Asserts that the declared constraints in [`atf_space`] match the kernel's
+/// own validation — kept `pub` so integration tests and benches can assert
+/// space soundness.
+pub fn space_is_sound(groups: &[ParamGroup], sample_limit: usize) -> bool {
+    let space = atf_core::space::SearchSpace::generate(groups);
+    let n = space.len().min(sample_limit as u128);
+    let step = (space.len() / n.max(1)).max(1);
+    let mut i = 0u128;
+    while i < space.len() {
+        let cfg = space.get(i);
+        if params_from_config(&cfg).validate().is_err() {
+            return false;
+        }
+        i += step;
+    }
+    true
+}
+
+/// `is_multiple_of` is re-exported here so the doc-link in DESIGN.md has a
+/// stable target; it is the inverse alias used when dependencies are
+/// declared in the other direction.
+pub use atf_core::constraint::is_multiple_of as _is_multiple_of_alias;
+#[allow(unused_imports)]
+use is_multiple_of as _keep_alias_import;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atf_core::space::SearchSpace;
+
+    #[test]
+    fn atf_space_is_large_and_size_independent() {
+        // The native ATF space does not depend on the matrix sizes (no
+        // divides-M/N constraints), so one count covers all Caffe sizes.
+        let space = SearchSpace::count(&atf_space_wgd_max(24));
+        assert!(space > 10_000, "ATF space too small: {space}");
+        let again = SearchSpace::count(&atf_space_wgd_max(24));
+        assert_eq!(space, again);
+    }
+
+    #[test]
+    fn clblast_limited_space_empty_for_caffe_sizes() {
+        // The paper's key observation: the range-limited WGD ∈ {8,16,32}
+        // with the divides-rows/columns constraint yields an EMPTY space for
+        // every deep-learning input size (none of 20, 50, 10 rows is a
+        // multiple of 8).
+        for &(m, n, k) in &crate::caffe::INPUT_SIZES {
+            let space = SearchSpace::count(&clblast_limited_space(m, n, k));
+            assert_eq!(space, 0, "expected empty CLTune space for {m}×{n}×{k}");
+        }
+    }
+
+    #[test]
+    fn clblast_limited_space_nonempty_for_256() {
+        // ... but non-empty for the 256×256 size CLBlast tuned on.
+        let space = SearchSpace::count(&clblast_limited_space(256, 256, 256));
+        assert!(space > 100, "{space}");
+    }
+
+    #[test]
+    fn all_generated_configs_valid_for_kernel() {
+        // A capped space keeps the debug-mode test fast; the constraint set
+        // is identical at every cap.
+        assert!(space_is_sound(&atf_space_wgd_max(24), 2000));
+    }
+
+    #[test]
+    fn cltune_constrained_space_is_subset() {
+        let full = SearchSpace::count(&atf_space(24, 48, 8));
+        let constrained = SearchSpace::count(&atf_space_cltune_constraints(24, 48, 8));
+        assert!(constrained < full, "{constrained} !< {full}");
+        assert!(constrained > 0);
+        // Every constrained config has WGD dividing 24 and 48.
+        let space = SearchSpace::generate(&atf_space_cltune_constraints(24, 48, 8));
+        for i in (0..space.len()).step_by(101) {
+            let wgd = space.get(i).get_u64("WGD");
+            assert_eq!(24 % wgd, 0);
+            assert_eq!(48 % wgd, 0);
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(config_is_valid(&default_config()));
+    }
+
+    #[test]
+    fn launch_geometries() {
+        let c = default_config(); // WGD=8, MDIMCD=NDIMCD=8
+        let padded = clblast_launch(&c, 20, 576);
+        // ceil(20/8)=3 tiles → 24 rows → 3*8=24 work-items in m.
+        assert_eq!(padded.global(), &[24, 576]);
+        assert_eq!(padded.local(), &[8, 8]);
+
+        let unpadded = cltune_launch(&c, 24, 576);
+        assert_eq!(unpadded.global(), &[24, 576]);
+        // For non-multiples the unpadded geometry under-covers:
+        let under = cltune_launch(&c, 20, 576);
+        assert_eq!(under.global()[0], 16); // 2 tiles only — kernel rejects
+    }
+
+    #[test]
+    fn unconstrained_ranges_shape() {
+        let ps = unconstrained_params(64);
+        assert_eq!(ps.len(), 10);
+        assert_eq!(ps[0].1.len(), 64);
+        assert_eq!(ps[6].1, vec![1, 2, 4, 8]);
+        assert_eq!(ps[8].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn valid_fraction_is_tiny() {
+        // Sample the unconstrained cross product uniformly: the valid
+        // fraction must be ≪ 1% (paper: ~10⁻⁷ for the full ranges at IS4;
+        // smaller ranges here, so less extreme but still tiny).
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let ps = unconstrained_params(64);
+        let mut valid = 0u32;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let cfg = Config::from_pairs(ps.iter().map(|(name, range)| {
+                let v = range[rng.gen_range(0..range.len())];
+                if name == "PADA" || name == "PADB" {
+                    (name.as_str(), atf_core::value::Value::Bool(v != 0))
+                } else {
+                    (name.as_str(), atf_core::value::Value::UInt(v))
+                }
+            }));
+            if config_is_valid(&cfg) {
+                valid += 1;
+            }
+        }
+        let fraction = valid as f64 / trials as f64;
+        assert!(fraction < 0.01, "valid fraction {fraction}");
+    }
+
+    #[test]
+    fn defines_round_trip() {
+        let c = default_config();
+        let d = defines_from_config(&c);
+        assert_eq!(d.get_u64("WGD"), Some(8));
+        assert_eq!(d.get_bool("PADA"), Some(true));
+        assert_eq!(d.get_u64("KWID"), Some(1));
+    }
+}

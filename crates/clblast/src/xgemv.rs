@@ -1,0 +1,302 @@
+//! CLBlast's `Xgemv` matrix-vector kernel (`y = alpha·A·x + beta·y`) for the
+//! simulator — additional BLAS breadth beyond the paper's two evaluation
+//! kernels, with CLBlast's tuning parameters:
+//!
+//! * `WGS` — work-group size;
+//! * `WPT` — rows of `A` computed per work-item;
+//! * `UNROLL` — inner (column) loop unroll factor, must divide `n`.
+
+use atf_core::constraint::{divides, less_than};
+use atf_core::expr::cst;
+use atf_core::param::{tp_c, ParamGroup};
+use atf_core::range::Range;
+use ocl_sim::{ClError, ExecMode, KernelCall, KernelProfile, SimKernel};
+
+/// Abridged OpenCL source (macro identifiers for the preprocessor).
+pub const XGEMV_SOURCE: &str = r#"
+// Xgemv: y (m) = alpha * A (m x n) * x (n) + beta * y
+// Tuning parameters: WGS WPT UNROLL
+__kernel __attribute__((reqd_work_group_size(WGS, 1, 1)))
+void Xgemv(const int m, const int n, const float alpha, const float beta,
+           const __global float* restrict agm,
+           const __global float* restrict xgm,
+           __global float* ygm)
+{
+  // Each work-item accumulates WPT rows, unrolling the column loop by
+  // UNROLL. (Control flow reproduced by the functional executor.)
+}
+"#;
+
+/// The simulated Xgemv kernel.
+pub struct XgemvKernel;
+
+impl SimKernel for XgemvKernel {
+    fn name(&self) -> &str {
+        "Xgemv"
+    }
+
+    fn source(&self) -> &str {
+        XGEMV_SOURCE
+    }
+
+    fn required_defines(&self) -> &[&str] {
+        &["WGS", "WPT", "UNROLL"]
+    }
+
+    fn execute(&self, call: &KernelCall<'_>) -> Result<KernelProfile, ClError> {
+        let wgs = call.define_u64("WGS")?;
+        let wpt = call.define_u64("WPT")?;
+        let unroll = call.define_u64("UNROLL")?;
+        if wgs == 0 || wpt == 0 || unroll == 0 {
+            return Err(ClError::BuildProgramFailure(
+                "Xgemv parameters must be ≥ 1".into(),
+            ));
+        }
+        let m = call
+            .scalar(0)?
+            .as_u64()
+            .ok_or_else(|| ClError::InvalidKernelArgs("m must be an integer".into()))?;
+        let n = call
+            .scalar(1)?
+            .as_u64()
+            .ok_or_else(|| ClError::InvalidKernelArgs("n must be an integer".into()))?;
+        if n % unroll != 0 {
+            return Err(ClError::BuildProgramFailure(format!(
+                "Xgemv: UNROLL {unroll} must divide n = {n}"
+            )));
+        }
+        let alpha = call.scalar(2)?.as_f32();
+        let beta = call.scalar(3)?.as_f32();
+        let a = call.buffer(4)?;
+        let x = call.buffer(5)?;
+        let y = call.buffer(6)?;
+        if a.len() < (m * n) as usize || x.len() < n as usize || y.len() < m as usize {
+            return Err(ClError::InvalidBuffer("Xgemv buffers too small".into()));
+        }
+
+        // Launch coverage: ceil(m / WPT) threads, padded to WGS.
+        let needed_threads = m.div_ceil(wpt);
+        if call.launch.local_size() != wgs {
+            return Err(ClError::InvalidKernelArgs(format!(
+                "local size {} must equal WGS {wgs}",
+                call.launch.local_size()
+            )));
+        }
+        if call.launch.global_size() < needed_threads {
+            return Err(ClError::InvalidKernelArgs(format!(
+                "global size {} covers fewer than ceil(m/WPT) = {needed_threads} threads",
+                call.launch.global_size()
+            )));
+        }
+
+        if call.mode == ExecMode::Functional {
+            let am = a.borrow_f32();
+            let xv = x.borrow_f32();
+            let mut yv = y.borrow_f32_mut();
+            for row in 0..m as usize {
+                let mut acc = 0.0f32;
+                for col in 0..n as usize {
+                    acc += am[row * n as usize + col] * xv[col];
+                }
+                yv[row] = alpha * acc + beta * yv[row];
+            }
+        }
+
+        // Work profile. Row-per-thread GEMV: each thread streams one (or
+        // WPT) full rows of A — unit-stride *within* a thread but strided
+        // *across* the warp, so GPU coalescing is poor unless rows are
+        // interleaved; WPT-row blocking amortizes x reloads and loop
+        // bookkeeping; UNROLL trims per-column bookkeeping.
+        let padded_threads = call.launch.global_size() as f64;
+        let rows_computed = (padded_threads * wpt as f64).max(m as f64);
+        let flops = 2.0 * rows_computed * n as f64;
+        let window = (call.device.cache_line_bytes / 4).max(1) as f64;
+        let coalescing = (wpt as f64 / window).clamp(1.0 / window, 1.0);
+        let x_reloads = (call.launch.work_groups() as f64).max(1.0);
+        Ok(KernelProfile {
+            flops,
+            overhead_instructions: rows_computed * (n as f64 / unroll as f64) * 3.0
+                + padded_threads * 10.0,
+            global_bytes_read: rows_computed * n as f64 * 4.0 + x_reloads * n as f64 * 4.0
+                + if beta != 0.0 { m as f64 * 4.0 } else { 0.0 },
+            global_bytes_written: m as f64 * 4.0,
+            coalescing_efficiency: coalescing,
+            ..Default::default()
+        })
+    }
+}
+
+/// The ATF tuning space for Xgemv on an `m×n` matrix: all three parameters
+/// are interdependent with the sizes, one group.
+pub fn xgemv_space(m: u64, n: u64) -> Vec<ParamGroup> {
+    vec![ParamGroup::new(vec![
+        tp_c(
+            "WPT",
+            Range::interval(1, 64.min(m.max(1))),
+            less_than(cst(m) + 1u64),
+        ),
+        tp_c("WGS", Range::interval_gen(0, 8, |i| 1u64 << i), less_than(cst(1025u64))),
+        tp_c("UNROLL", Range::interval(1, n.min(64)), divides(cst(n))),
+    ])]
+}
+
+/// CLBlast-style padded launch for a configuration.
+pub fn xgemv_launch(config: &atf_core::config::Config, m: u64) -> ocl_sim::Launch {
+    let wgs = config.get_u64("WGS");
+    let wpt = config.get_u64("WPT");
+    let threads = m.div_ceil(wpt);
+    ocl_sim::Launch::one_d(threads.div_ceil(wgs) * wgs, wgs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use atf_core::config::Config;
+    use atf_core::space::SearchSpace;
+    use ocl_sim::{Context, DefineMap, DeviceModel, Scalar};
+    use rand::{Rng, SeedableRng};
+
+    fn run(
+        m: u64,
+        n: u64,
+        wgs: u64,
+        wpt: u64,
+        unroll: u64,
+        mode: ExecMode,
+    ) -> Result<(Vec<f32>, f64), ClError> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let a: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut ctx = Context::new(DeviceModel::tesla_k20m()).with_noise(0.0);
+        let ab = ctx.create_buffer_f32(a);
+        let xb = ctx.create_buffer_f32(x);
+        let yb = ctx.create_buffer_f32(y);
+        let cfg = Config::from_pairs([("WGS", wgs), ("WPT", wpt), ("UNROLL", unroll)]);
+        let defines = DefineMap::new()
+            .with("WGS", wgs.to_string())
+            .with("WPT", wpt.to_string())
+            .with("UNROLL", unroll.to_string());
+        let ev = ctx.enqueue_kernel(
+            &XgemvKernel,
+            &[
+                Scalar::U64(m).into(),
+                Scalar::U64(n).into(),
+                Scalar::F32(1.5).into(),
+                Scalar::F32(0.5).into(),
+                ab.into(),
+                xb.into(),
+                yb.into(),
+            ],
+            &xgemv_launch(&cfg, m),
+            &defines,
+            mode,
+        )?;
+        let out = ctx.buffer(yb).borrow_f32().clone();
+        Ok((out, ev.duration_ns()))
+    }
+
+    fn expected(m: u64, n: u64) -> Vec<f32> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let a: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y: Vec<f32> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // y = 1.5 * A x + 0.5 * y via the GEMM reference (n = 1 column).
+        let mut ax = vec![0.0f32; m as usize];
+        reference::gemm(m as usize, 1, n as usize, 1.0, &a, &x, 0.0, &mut ax);
+        for i in 0..m as usize {
+            y[i] = 1.5 * ax[i] + 0.5 * y[i];
+        }
+        y
+    }
+
+    #[test]
+    fn functional_matches_reference() {
+        for (m, n, wgs, wpt, unroll) in [(64, 32, 32, 1, 4), (50, 24, 16, 4, 3), (7, 8, 64, 2, 8)]
+        {
+            let (got, _) = run(m, n, wgs, wpt, unroll, ExecMode::Functional).unwrap();
+            assert!(
+                reference::approx_eq(&got, &expected(m, n), n as usize),
+                "mismatch at m={m}, n={n}, WGS={wgs}, WPT={wpt}, UNROLL={unroll}"
+            );
+        }
+    }
+
+    #[test]
+    fn unroll_must_divide_n() {
+        let err = run(16, 30, 32, 1, 4, ExecMode::ModelOnly);
+        assert!(matches!(err, Err(ClError::BuildProgramFailure(m)) if m.contains("UNROLL")));
+    }
+
+    #[test]
+    fn space_configs_all_launch() {
+        let (m, n) = (100u64, 48u64);
+        let space = SearchSpace::generate(&xgemv_space(m, n));
+        assert!(space.len() > 10);
+        for i in (0..space.len()).step_by(7) {
+            let cfg = space.get(i);
+            let wgs = cfg.get_u64("WGS");
+            let wpt = cfg.get_u64("WPT");
+            let unroll = cfg.get_u64("UNROLL");
+            run(m, n, wgs, wpt, unroll, ExecMode::ModelOnly)
+                .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wpt_trades_parallelism_for_amortization() {
+        // Tall matrix: WPT=1 gives many threads (good GPU utilization);
+        // WPT=32 starves the device.
+        let (m, n) = (8192u64, 64);
+        let (_, t1) = run(m, n, 128, 1, 4, ExecMode::ModelOnly).unwrap();
+        let (_, t32) = run(m, n, 128, 32, 4, ExecMode::ModelOnly).unwrap();
+        assert!(t1 < t32, "t1={t1} t32={t32}");
+    }
+
+    #[test]
+    fn end_to_end_tuning() {
+        use atf_core::prelude::*;
+        let (m, n) = (2048u64, 64);
+        // Context and buffers are created once (as the real cost function
+        // does at initialization); evaluations only enqueue.
+        let mut ctx = Context::new(DeviceModel::tesla_k20m()).with_noise(0.0);
+        let ab = ctx.create_buffer_f32(vec![0.5; (m * n) as usize]);
+        let xb = ctx.create_buffer_f32(vec![0.25; n as usize]);
+        let yb = ctx.create_buffer_f32(vec![0.0; m as usize]);
+        let measure = move |ctx: &mut Context, cfg: &Config| {
+            let defines = DefineMap::new()
+                .with("WGS", cfg.get_u64("WGS").to_string())
+                .with("WPT", cfg.get_u64("WPT").to_string())
+                .with("UNROLL", cfg.get_u64("UNROLL").to_string());
+            ctx.enqueue_kernel(
+                &XgemvKernel,
+                &[
+                    Scalar::U64(m).into(),
+                    Scalar::U64(n).into(),
+                    Scalar::F32(1.0).into(),
+                    Scalar::F32(0.0).into(),
+                    ab.into(),
+                    xb.into(),
+                    yb.into(),
+                ],
+                &xgemv_launch(cfg, m),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .map(|ev| ev.duration_ns())
+        };
+        let mut cf = atf_core::cost::try_cost_fn(|cfg: &Config| {
+            measure(&mut ctx, cfg).map_err(|e| CostError::InvalidConfiguration(e.to_string()))
+        });
+        let r = Tuner::new()
+            .technique(Ensemble::opentuner_default(3))
+            .abort_condition(abort::evaluations(300))
+            .tune(&xgemv_space(m, n), &mut cf)
+            .unwrap();
+        assert!(r.best_cost.is_finite());
+        // The tuned configuration must beat a deliberately bad one.
+        let (_, bad) = run(m, n, 1, 64, 1, ExecMode::ModelOnly).unwrap();
+        assert!(r.best_cost < bad);
+    }
+}

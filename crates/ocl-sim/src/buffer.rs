@@ -1,0 +1,243 @@
+//! Simulated device buffers and kernel arguments.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::fmt;
+
+/// Handle to a buffer inside a [`crate::context::Context`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+/// The element storage of a buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BufferData {
+    /// 32-bit floats (the element type of the paper's kernels).
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// 32-bit unsigned integers.
+    U32(Vec<u32>),
+}
+
+impl BufferData {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            BufferData::F32(v) => v.len(),
+            BufferData::F64(v) => v.len(),
+            BufferData::I32(v) => v.len(),
+            BufferData::U32(v) => v.len(),
+        }
+    }
+
+    /// `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            BufferData::F32(v) => v.len() * 4,
+            BufferData::F64(v) => v.len() * 8,
+            BufferData::I32(v) => v.len() * 4,
+            BufferData::U32(v) => v.len() * 4,
+        }
+    }
+}
+
+/// A device buffer. Interior mutability lets a kernel read one buffer while
+/// writing another (the aliasing discipline of distinct OpenCL buffers),
+/// with dynamic borrow checking catching read/write overlap bugs in kernels.
+pub struct Buffer {
+    data: RefCell<BufferData>,
+}
+
+impl Buffer {
+    /// Wraps element data as a device buffer.
+    pub fn new(data: BufferData) -> Self {
+        Buffer {
+            data: RefCell::new(data),
+        }
+    }
+
+    /// Immutable view of the elements.
+    pub fn borrow(&self) -> Ref<'_, BufferData> {
+        self.data.borrow()
+    }
+
+    /// Mutable view of the elements.
+    pub fn borrow_mut(&self) -> RefMut<'_, BufferData> {
+        self.data.borrow_mut()
+    }
+
+    /// Immutable `f32` view; panics if the buffer is not `F32`.
+    pub fn borrow_f32(&self) -> Ref<'_, Vec<f32>> {
+        Ref::map(self.data.borrow(), |d| match d {
+            BufferData::F32(v) => v,
+            other => panic!("buffer is not f32 (holds {} elements of another type)", other.len()),
+        })
+    }
+
+    /// Mutable `f32` view; panics if the buffer is not `F32`.
+    pub fn borrow_f32_mut(&self) -> RefMut<'_, Vec<f32>> {
+        RefMut::map(self.data.borrow_mut(), |d| match d {
+            BufferData::F32(v) => v,
+            other => panic!("buffer is not f32 (holds {} elements of another type)", other.len()),
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.borrow().size_bytes()
+    }
+}
+
+impl fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Buffer({} bytes)", self.size_bytes())
+    }
+}
+
+/// A scalar kernel argument.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scalar {
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+    /// 32-bit signed integer.
+    I32(i32),
+    /// 32-bit unsigned integer (OpenCL `uint`; also used for `size_t`-ish
+    /// kernel size arguments in CLBlast kernels).
+    U32(u32),
+    /// 64-bit unsigned integer.
+    U64(u64),
+}
+
+impl Scalar {
+    /// The value as `f32` (lossy for wide integers).
+    pub fn as_f32(&self) -> f32 {
+        match *self {
+            Scalar::F32(v) => v,
+            Scalar::F64(v) => v as f32,
+            Scalar::I32(v) => v as f32,
+            Scalar::U32(v) => v as f32,
+            Scalar::U64(v) => v as f32,
+        }
+    }
+
+    /// The value as `u64`, if non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Scalar::F32(v) if v >= 0.0 && v.fract() == 0.0 => Some(v as u64),
+            Scalar::F64(v) if v >= 0.0 && v.fract() == 0.0 => Some(v as u64),
+            Scalar::I32(v) if v >= 0 => Some(v as u64),
+            Scalar::U32(v) => Some(v as u64),
+            Scalar::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_into_scalar {
+    ($($t:ty => $v:ident),*) => {$(
+        impl From<$t> for Scalar {
+            fn from(x: $t) -> Scalar { Scalar::$v(x) }
+        }
+    )*};
+}
+impl_into_scalar!(f32 => F32, f64 => F64, i32 => I32, u32 => U32, u64 => U64);
+
+/// A kernel argument: a scalar or a buffer handle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KernelArg {
+    /// Passed by value.
+    Scalar(Scalar),
+    /// A device buffer.
+    Buffer(BufferId),
+}
+
+impl From<Scalar> for KernelArg {
+    fn from(s: Scalar) -> Self {
+        KernelArg::Scalar(s)
+    }
+}
+
+impl From<BufferId> for KernelArg {
+    fn from(b: BufferId) -> Self {
+        KernelArg::Buffer(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(BufferData::F32(vec![0.0; 10]).size_bytes(), 40);
+        assert_eq!(BufferData::F64(vec![0.0; 10]).size_bytes(), 80);
+        assert_eq!(BufferData::I32(vec![0; 3]).len(), 3);
+        assert!(BufferData::U32(vec![]).is_empty());
+    }
+
+    #[test]
+    fn f32_views() {
+        let b = Buffer::new(BufferData::F32(vec![1.0, 2.0]));
+        assert_eq!(*b.borrow_f32(), vec![1.0, 2.0]);
+        b.borrow_f32_mut()[0] = 9.0;
+        assert_eq!(b.borrow_f32()[0], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not f32")]
+    fn wrong_type_view_panics() {
+        let b = Buffer::new(BufferData::I32(vec![1]));
+        let _ = b.borrow_f32();
+    }
+
+    #[test]
+    fn concurrent_reads_allowed() {
+        let b = Buffer::new(BufferData::F32(vec![1.0]));
+        let r1 = b.borrow_f32();
+        let r2 = b.borrow_f32();
+        assert_eq!(r1[0], r2[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_write_overlap_detected() {
+        let b = Buffer::new(BufferData::F32(vec![1.0]));
+        let _r = b.borrow_f32();
+        let _w = b.borrow_f32_mut(); // dynamic borrow violation
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(Scalar::U32(7).as_u64(), Some(7));
+        assert_eq!(Scalar::I32(-1).as_u64(), None);
+        assert_eq!(Scalar::F32(2.0).as_u64(), Some(2));
+        assert_eq!(Scalar::F32(2.5).as_u64(), None);
+        assert_eq!(Scalar::F64(1.5).as_f32(), 1.5);
+    }
+
+    #[test]
+    fn kernel_arg_from() {
+        let a: KernelArg = Scalar::F32(1.0).into();
+        assert!(matches!(a, KernelArg::Scalar(_)));
+        let b: KernelArg = BufferId(3).into();
+        assert_eq!(b, KernelArg::Buffer(BufferId(3)));
+    }
+}

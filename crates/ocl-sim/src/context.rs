@@ -1,0 +1,325 @@
+//! The simulated OpenCL context + in-order command queue.
+//!
+//! Owns the device, the buffers, and a simulated device clock. Enqueuing a
+//! kernel performs the full OpenCL-like pipeline: build check (undefined
+//! tuning macros fail the build), launch validation, kernel execution
+//! (profile + optional functional result), performance-model estimation, and
+//! a profiling event with simulated timestamps. A small deterministic
+//! "measurement noise" (hash of configuration and a context seed) makes the
+//! simulated runtimes behave like real, slightly noisy measurements without
+//! breaking reproducibility.
+
+use crate::buffer::{Buffer, BufferData, BufferId, KernelArg};
+use crate::device::DeviceModel;
+use crate::error::ClError;
+use crate::event::ProfilingEvent;
+use crate::kernel::{ExecMode, KernelCall, SimKernel};
+use crate::launch::Launch;
+use crate::perf;
+use crate::preprocessor::{undefined_identifiers, DefineMap};
+use std::hash::{Hash, Hasher};
+
+/// Relative amplitude of the deterministic measurement noise.
+pub const DEFAULT_NOISE: f64 = 0.02;
+
+/// A simulated OpenCL context with an in-order queue.
+pub struct Context {
+    device: DeviceModel,
+    buffers: Vec<Buffer>,
+    clock_ns: f64,
+    noise: f64,
+    seed: u64,
+}
+
+impl Context {
+    /// Creates a context for `device` with the default noise and seed.
+    pub fn new(device: DeviceModel) -> Self {
+        Context {
+            device,
+            buffers: Vec::new(),
+            clock_ns: 0.0,
+            noise: DEFAULT_NOISE,
+            seed: 0,
+        }
+    }
+
+    /// Sets the measurement-noise seed (different seeds = different but
+    /// reproducible noise).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the relative noise amplitude (0 disables noise).
+    pub fn with_noise(mut self, amplitude: f64) -> Self {
+        assert!((0.0..0.5).contains(&amplitude), "noise amplitude in [0, 0.5)");
+        self.noise = amplitude;
+        self
+    }
+
+    /// The device of this context.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Current simulated device clock, ns.
+    pub fn clock_ns(&self) -> f64 {
+        self.clock_ns
+    }
+
+    /// Allocates a device buffer and uploads `data`.
+    pub fn create_buffer(&mut self, data: BufferData) -> BufferId {
+        self.buffers.push(Buffer::new(data));
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// Allocates an `f32` buffer.
+    pub fn create_buffer_f32(&mut self, data: Vec<f32>) -> BufferId {
+        self.create_buffer(BufferData::F32(data))
+    }
+
+    /// Accesses a buffer (e.g. to read results back).
+    pub fn buffer(&self, id: BufferId) -> &Buffer {
+        &self.buffers[id.0]
+    }
+
+    /// Builds + launches a kernel and returns its profiling event.
+    ///
+    /// This is the body of ATF's pre-implemented OpenCL cost function: it
+    /// substitutes tuning parameters via macro definitions, validates the
+    /// launch, "runs" the kernel, and measures the runtime via the profiling
+    /// event.
+    pub fn enqueue_kernel(
+        &mut self,
+        kernel: &dyn SimKernel,
+        args: &[KernelArg],
+        launch: &Launch,
+        defines: &DefineMap,
+        mode: ExecMode,
+    ) -> Result<ProfilingEvent, ClError> {
+        // Build step: every required tuning macro must be defined.
+        let missing = undefined_identifiers(kernel.source(), kernel.required_defines(), defines);
+        if !missing.is_empty() {
+            return Err(ClError::BuildProgramFailure(format!(
+                "undefined identifiers in kernel `{}`: {}",
+                kernel.name(),
+                missing.join(", ")
+            )));
+        }
+        launch.validate(&self.device)?;
+        let call = KernelCall {
+            device: &self.device,
+            launch,
+            defines,
+            args,
+            mode,
+            buffers: &self.buffers,
+        };
+        let profile = kernel.execute(&call)?;
+        let breakdown = perf::estimate(&self.device, &profile, launch)?;
+
+        let noise_factor = self.noise_factor(kernel.name(), defines, launch);
+        let exec_ns = breakdown.total_ns * noise_factor;
+
+        let queued_ns = self.clock_ns;
+        let submit_ns = queued_ns + 200.0; // driver enqueue latency
+        let start_ns = submit_ns + 300.0;
+        let end_ns = start_ns + exec_ns;
+        self.clock_ns = end_ns;
+        Ok(ProfilingEvent {
+            queued_ns,
+            submit_ns,
+            start_ns,
+            end_ns,
+            breakdown,
+        })
+    }
+
+    /// Deterministic per-configuration noise factor in
+    /// `[1 - noise, 1 + noise]`.
+    fn noise_factor(&self, kernel_name: &str, defines: &DefineMap, launch: &Launch) -> f64 {
+        if self.noise == 0.0 {
+            return 1.0;
+        }
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        kernel_name.hash(&mut h);
+        for (k, v) in defines.iter() {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        launch.global().hash(&mut h);
+        launch.local().hash(&mut h);
+        let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 - self.noise + 2.0 * self.noise * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::test_kernels::ScaleKernel;
+
+    fn ctx() -> Context {
+        Context::new(DeviceModel::tesla_k20m()).with_seed(1)
+    }
+
+    fn setup(ctx: &mut Context, n: usize) -> (BufferId, BufferId) {
+        let input = ctx.create_buffer_f32((0..n).map(|i| i as f32).collect());
+        let output = ctx.create_buffer_f32(vec![0.0; n]);
+        (input, output)
+    }
+
+    #[test]
+    fn functional_execution_computes_results() {
+        let mut ctx = ctx();
+        let (i, o) = setup(&mut ctx, 1024);
+        let defines = DefineMap::new().with("F", "3");
+        let ev = ctx
+            .enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(1024, 64),
+                &defines,
+                ExecMode::Functional,
+            )
+            .unwrap();
+        assert!(ev.duration_ns() > 0.0);
+        let out = ctx.buffer(o).borrow_f32();
+        assert_eq!(out[10], 30.0);
+        assert_eq!(out[1023], 3069.0);
+    }
+
+    #[test]
+    fn model_only_leaves_buffers_untouched() {
+        let mut ctx = ctx();
+        let (i, o) = setup(&mut ctx, 256);
+        let defines = DefineMap::new().with("F", "3");
+        ctx.enqueue_kernel(
+            &ScaleKernel,
+            &[i.into(), o.into()],
+            &Launch::one_d(256, 64),
+            &defines,
+            ExecMode::ModelOnly,
+        )
+        .unwrap();
+        assert_eq!(ctx.buffer(o).borrow_f32()[10], 0.0);
+    }
+
+    #[test]
+    fn missing_define_fails_build() {
+        let mut ctx = ctx();
+        let (i, o) = setup(&mut ctx, 64);
+        let err = ctx
+            .enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(64, 64),
+                &DefineMap::new(),
+                ExecMode::ModelOnly,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClError::BuildProgramFailure(m) if m.contains('F')));
+    }
+
+    #[test]
+    fn invalid_launch_rejected() {
+        let mut ctx = ctx();
+        let (i, o) = setup(&mut ctx, 100);
+        let defines = DefineMap::new().with("F", "1");
+        let err = ctx
+            .enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(100, 64),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClError::InvalidWorkGroupSize(_)));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut ctx = ctx();
+        let (i, o) = setup(&mut ctx, 256);
+        let defines = DefineMap::new().with("F", "2");
+        let t0 = ctx.clock_ns();
+        let ev1 = ctx
+            .enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(256, 32),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .unwrap();
+        let ev2 = ctx
+            .enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(256, 32),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .unwrap();
+        assert!(ev1.queued_ns >= t0);
+        assert!(ev2.queued_ns >= ev1.end_ns);
+        assert!(ctx.clock_ns() >= ev2.end_ns);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let run = |seed| {
+            let mut ctx = Context::new(DeviceModel::tesla_k20m()).with_seed(seed);
+            let (i, o) = setup(&mut ctx, 256);
+            let defines = DefineMap::new().with("F", "2");
+            ctx.enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(256, 32),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .unwrap()
+            .duration_ns()
+        };
+        assert_eq!(run(7), run(7));
+        let (a, b) = (run(7), run(8));
+        assert!((a / b - 1.0).abs() < 0.1); // bounded noise
+    }
+
+    #[test]
+    fn zero_noise_matches_model_exactly() {
+        let mut ctx = Context::new(DeviceModel::tesla_k20m()).with_noise(0.0);
+        let (i, o) = setup(&mut ctx, 256);
+        let defines = DefineMap::new().with("F", "2");
+        let ev = ctx
+            .enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(256, 32),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .unwrap();
+        assert!((ev.duration_ns() - ev.breakdown.total_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_too_small_detected() {
+        let mut ctx = ctx();
+        let (i, o) = setup(&mut ctx, 32);
+        let defines = DefineMap::new().with("F", "2");
+        let err = ctx
+            .enqueue_kernel(
+                &ScaleKernel,
+                &[i.into(), o.into()],
+                &Launch::one_d(64, 32),
+                &defines,
+                ExecMode::ModelOnly,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClError::InvalidBuffer(_)));
+    }
+}

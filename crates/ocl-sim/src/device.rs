@@ -1,0 +1,249 @@
+//! Simulated OpenCL device models.
+//!
+//! A [`DeviceModel`] holds the architectural parameters that the analytic
+//! performance model ([`crate::perf`]) combines with a kernel's
+//! [`crate::profile::KernelProfile`] to produce a simulated runtime. Two
+//! presets mirror the paper's evaluation hardware (Section VI):
+//! a Tesla K20m-class GPU and a dual-socket Xeon E5-2640 v2 CPU exposed as a
+//! single 32-compute-unit OpenCL device.
+
+use std::fmt;
+
+/// CPU vs GPU — drives which performance effects apply (coalescing and
+/// local-memory banking are GPU effects; per-work-group scheduling overhead
+/// dominates on CPUs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    /// A multi-core CPU exposed as an OpenCL device.
+    Cpu,
+    /// A discrete many-core GPU.
+    Gpu,
+}
+
+/// Architectural parameters of a simulated device.
+#[derive(Clone, Debug)]
+pub struct DeviceModel {
+    /// Marketing name, matched by substring in device selection.
+    pub name: String,
+    /// Vendor / platform name (e.g. "NVIDIA", "Intel").
+    pub vendor: String,
+    /// CPU or GPU.
+    pub device_type: DeviceType,
+    /// Number of compute units (SMX units on the GPU, logical cores on the
+    /// CPU).
+    pub compute_units: u32,
+    /// Native SIMD width in 32-bit lanes (warp-level vector units on GPU,
+    /// AVX lanes on CPU). Kernel vector widths beyond this waste lanes.
+    pub simd_width: u32,
+    /// Hardware scheduling granularity (warp/wavefront size; 1 on CPUs).
+    /// Work-groups are padded to a multiple of this many work-items.
+    pub wavefront: u32,
+    /// Maximum work-items per work-group.
+    pub max_work_group_size: u64,
+    /// Maximum resident threads per compute unit (occupancy ceiling).
+    pub max_threads_per_cu: u64,
+    /// Local memory per compute unit, bytes.
+    pub local_mem_bytes: u64,
+    /// Peak single-precision throughput, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Peak global-memory bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Cache-line / memory-transaction size in bytes (coalescing unit).
+    pub cache_line_bytes: u32,
+    /// Fixed cost to launch a kernel, nanoseconds.
+    pub launch_overhead_ns: f64,
+    /// Scheduling cost per work-group, nanoseconds (large on CPUs where a
+    /// work-group is a task for a worker thread).
+    pub workgroup_overhead_ns: f64,
+    /// Relative cost of local-memory traffic vs global-memory traffic.
+    /// On GPUs local memory is on-chip (≪ 1); CPUs emulate it in cache with
+    /// extra addressing (≥ 1).
+    pub local_mem_cost_factor: f64,
+    /// Fraction of peak bandwidth achievable with perfectly coalesced
+    /// accesses (CPUs: hardware prefetch makes strided access cheaper, so
+    /// coalescing matters less — see [`crate::perf`]).
+    pub coalescing_sensitivity: f64,
+    /// Idle (static) power draw, watts — the baseline the energy model
+    /// charges for the whole kernel duration.
+    pub idle_watts: f64,
+    /// Maximum dynamic power above idle at full utilization, watts.
+    pub peak_dynamic_watts: f64,
+}
+
+impl DeviceModel {
+    /// The paper's GPU: an NVIDIA Tesla K20m (Kepler GK110).
+    ///
+    /// 13 SMX, warp 32, 48 KiB shared memory per SMX, ~3.5 SP TFLOP/s,
+    /// 208 GB/s GDDR5.
+    pub fn tesla_k20m() -> Self {
+        DeviceModel {
+            name: "Tesla K20m".to_string(),
+            vendor: "NVIDIA".to_string(),
+            device_type: DeviceType::Gpu,
+            compute_units: 13,
+            simd_width: 32,
+            wavefront: 32,
+            max_work_group_size: 1024,
+            max_threads_per_cu: 2048,
+            local_mem_bytes: 48 * 1024,
+            peak_gflops: 3524.0,
+            bandwidth_gbps: 208.0,
+            cache_line_bytes: 128,
+            launch_overhead_ns: 1_500.0,
+            workgroup_overhead_ns: 100.0,
+            local_mem_cost_factor: 0.15,
+            coalescing_sensitivity: 0.9,
+            idle_watts: 50.0,
+            peak_dynamic_watts: 175.0, // K20m TDP 225 W
+        }
+    }
+
+    /// The paper's CPU: dual-socket Intel Xeon E5-2640 v2 (2 × 8 cores,
+    /// hyper-threading), "represented in OpenCL as a single device with 32
+    /// compute units" (Section VI).
+    ///
+    /// AVX (8 × f32), 2 GHz; ~512 SP GFLOP/s across both sockets,
+    /// ~100 GB/s aggregate DDR3 bandwidth.
+    pub fn xeon_e5_2640v2_dual() -> Self {
+        DeviceModel {
+            name: "Intel(R) Xeon(R) CPU E5-2640 v2 @ 2.00GHz".to_string(),
+            vendor: "Intel".to_string(),
+            device_type: DeviceType::Cpu,
+            compute_units: 32,
+            simd_width: 8,
+            wavefront: 1,
+            max_work_group_size: 8192,
+            max_threads_per_cu: 256,
+            local_mem_bytes: 32 * 1024,
+            peak_gflops: 512.0,
+            bandwidth_gbps: 102.0,
+            cache_line_bytes: 64,
+            launch_overhead_ns: 2_500.0,
+            workgroup_overhead_ns: 2_500.0,
+            local_mem_cost_factor: 1.6,
+            coalescing_sensitivity: 0.25,
+            idle_watts: 60.0,
+            peak_dynamic_watts: 130.0, // 2 x 95 W TDP sockets, minus idle
+        }
+    }
+
+    /// An alias of [`Self::tesla_k20m`] named like the K20c used in the
+    /// paper's Listing 2 (the workstation variant of the same GK110 chip).
+    pub fn tesla_k20c() -> Self {
+        let mut d = Self::tesla_k20m();
+        d.name = "Tesla K20c".to_string();
+        d
+    }
+
+    /// A consumer Maxwell-class GPU (GTX 980-like): fewer FP64-oriented
+    /// compromises than Kepler — higher clocks, better caches (larger
+    /// coalescing tolerance), less bandwidth. Useful to check that tuned
+    /// configurations differ *between GPUs*, not just CPU-vs-GPU.
+    pub fn gtx980() -> Self {
+        DeviceModel {
+            name: "GeForce GTX 980".to_string(),
+            vendor: "NVIDIA".to_string(),
+            device_type: DeviceType::Gpu,
+            compute_units: 16,
+            simd_width: 32,
+            wavefront: 32,
+            max_work_group_size: 1024,
+            max_threads_per_cu: 2048,
+            local_mem_bytes: 96 * 1024,
+            peak_gflops: 4612.0,
+            bandwidth_gbps: 224.0,
+            cache_line_bytes: 128,
+            launch_overhead_ns: 1_200.0,
+            workgroup_overhead_ns: 80.0,
+            local_mem_cost_factor: 0.12,
+            coalescing_sensitivity: 0.75, // better caching than Kepler
+            idle_watts: 37.0,
+            peak_dynamic_watts: 128.0, // 165 W TDP
+        }
+    }
+
+    /// An embedded-class CPU (quad-core, no AVX-512, narrow memory system) —
+    /// the low end of the device spectrum for portability testing.
+    pub fn embedded_quad_core() -> Self {
+        DeviceModel {
+            name: "Embedded Quad-Core CPU".to_string(),
+            vendor: "Generic".to_string(),
+            device_type: DeviceType::Cpu,
+            compute_units: 4,
+            simd_width: 4,
+            wavefront: 1,
+            max_work_group_size: 4096,
+            max_threads_per_cu: 64,
+            local_mem_bytes: 32 * 1024,
+            peak_gflops: 48.0,
+            bandwidth_gbps: 12.0,
+            cache_line_bytes: 64,
+            launch_overhead_ns: 4_000.0,
+            workgroup_overhead_ns: 4_000.0,
+            local_mem_cost_factor: 1.2,
+            coalescing_sensitivity: 0.2,
+            idle_watts: 3.0,
+            peak_dynamic_watts: 12.0,
+        }
+    }
+
+    /// Peak throughput in FLOP/ns.
+    pub fn flops_per_ns(&self) -> f64 {
+        self.peak_gflops // GFLOP/s == FLOP/ns
+    }
+
+    /// Peak bandwidth in bytes/ns.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.bandwidth_gbps // GB/s == B/ns
+    }
+
+    /// `true` for GPUs.
+    pub fn is_gpu(&self) -> bool {
+        self.device_type == DeviceType::Gpu
+    }
+}
+
+impl fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}; {} CUs, {:.0} GFLOP/s, {:.0} GB/s]",
+            self.name,
+            self.vendor,
+            self.compute_units,
+            self.peak_gflops,
+            self.bandwidth_gbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sane() {
+        let gpu = DeviceModel::tesla_k20m();
+        assert!(gpu.is_gpu());
+        assert_eq!(gpu.compute_units, 13);
+        assert_eq!(gpu.wavefront, 32);
+        let cpu = DeviceModel::xeon_e5_2640v2_dual();
+        assert!(!cpu.is_gpu());
+        assert_eq!(cpu.compute_units, 32); // as stated in the paper
+        assert!(cpu.workgroup_overhead_ns > gpu.workgroup_overhead_ns);
+        assert!(gpu.peak_gflops > cpu.peak_gflops);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let gpu = DeviceModel::tesla_k20m();
+        assert_eq!(gpu.flops_per_ns(), 3524.0);
+        assert_eq!(gpu.bytes_per_ns(), 208.0);
+    }
+
+    #[test]
+    fn display_contains_name() {
+        let s = DeviceModel::tesla_k20c().to_string();
+        assert!(s.contains("Tesla K20c") && s.contains("NVIDIA"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Error codes of the simulated OpenCL runtime, mirroring the OpenCL error
+//! surface relevant to auto-tuning (launch validation and program builds).
+
+use std::fmt;
+
+/// Errors raised by the simulated OpenCL runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClError {
+    /// `CL_INVALID_WORK_GROUP_SIZE`: the local size does not divide the
+    /// global size, exceeds the device maximum, or is zero.
+    InvalidWorkGroupSize(String),
+    /// `CL_INVALID_WORK_DIMENSION`: 0 or more than 3 NDRange dimensions.
+    InvalidWorkDimension(usize),
+    /// `CL_OUT_OF_RESOURCES`: the kernel needs more local memory or
+    /// registers than the device provides.
+    OutOfResources(String),
+    /// `CL_BUILD_PROGRAM_FAILURE`: preprocessing/compiling the kernel source
+    /// failed (e.g. a tuning parameter left undefined).
+    BuildProgramFailure(String),
+    /// `CL_INVALID_KERNEL_ARGS`: wrong number or type of kernel arguments.
+    InvalidKernelArgs(String),
+    /// `CL_INVALID_BUFFER_SIZE` or out-of-bounds access detected by the
+    /// functional executor.
+    InvalidBuffer(String),
+    /// `CL_DEVICE_NOT_FOUND`: no device matches the requested platform /
+    /// device name.
+    DeviceNotFound(String),
+    /// The kernel's functional execution produced an incorrect result
+    /// (error-checking mode).
+    VerificationFailed(String),
+}
+
+impl fmt::Display for ClError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClError::InvalidWorkGroupSize(m) => write!(f, "CL_INVALID_WORK_GROUP_SIZE: {m}"),
+            ClError::InvalidWorkDimension(d) => {
+                write!(f, "CL_INVALID_WORK_DIMENSION: {d} dimensions")
+            }
+            ClError::OutOfResources(m) => write!(f, "CL_OUT_OF_RESOURCES: {m}"),
+            ClError::BuildProgramFailure(m) => write!(f, "CL_BUILD_PROGRAM_FAILURE: {m}"),
+            ClError::InvalidKernelArgs(m) => write!(f, "CL_INVALID_KERNEL_ARGS: {m}"),
+            ClError::InvalidBuffer(m) => write!(f, "CL_INVALID_BUFFER: {m}"),
+            ClError::DeviceNotFound(m) => write!(f, "CL_DEVICE_NOT_FOUND: {m}"),
+            ClError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(ClError::InvalidWorkGroupSize("5 % 2".into())
+            .to_string()
+            .contains("CL_INVALID_WORK_GROUP_SIZE"));
+        assert!(ClError::DeviceNotFound("Tesla".into())
+            .to_string()
+            .contains("Tesla"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Profiling events, mirroring the OpenCL profiling API the pre-implemented
+//! cost function uses to measure kernel runtimes
+//! (`CL_PROFILING_COMMAND_START` / `CL_PROFILING_COMMAND_END`).
+
+use crate::perf::PerfBreakdown;
+use std::time::Duration;
+
+/// A completed kernel execution with simulated timestamps (nanoseconds on
+/// the device clock).
+#[derive(Clone, Debug)]
+pub struct ProfilingEvent {
+    /// When the command was enqueued.
+    pub queued_ns: f64,
+    /// When the command was submitted to the device.
+    pub submit_ns: f64,
+    /// When the kernel started executing.
+    pub start_ns: f64,
+    /// When the kernel finished.
+    pub end_ns: f64,
+    /// The model's itemized estimate (not part of the OpenCL API; exposed
+    /// for diagnostics).
+    pub breakdown: PerfBreakdown,
+}
+
+impl ProfilingEvent {
+    /// Kernel execution time (`END - START`), the quantity ATF's OpenCL cost
+    /// function minimizes.
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos((self.end_ns - self.start_ns).max(0.0) as u64)
+    }
+
+    /// Execution time in nanoseconds as `f64` (no rounding).
+    pub fn duration_ns(&self) -> f64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Simulated energy of the kernel execution in microjoules
+    /// (`power x time` from the performance model) — the measurement the
+    /// paper's multi-objective example minimizes as its secondary objective.
+    pub fn energy_uj(&self) -> f64 {
+        self.breakdown.power_watts * self.duration_ns() / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::PerfBreakdown;
+
+    fn breakdown() -> PerfBreakdown {
+        PerfBreakdown {
+            compute_ns: 1.0,
+            memory_ns: 1.0,
+            local_ns: 0.0,
+            overhead_ns: 0.0,
+            occupancy: 1.0,
+            parallel_fraction: 1.0,
+            wave_quantization: 1.0,
+            total_ns: 2.0,
+            power_watts: 100.0,
+        }
+    }
+
+    #[test]
+    fn duration_from_timestamps() {
+        let e = ProfilingEvent {
+            queued_ns: 0.0,
+            submit_ns: 10.0,
+            start_ns: 100.0,
+            end_ns: 1600.0,
+            breakdown: breakdown(),
+        };
+        assert_eq!(e.duration(), Duration::from_nanos(1500));
+        assert_eq!(e.duration_ns(), 1500.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = ProfilingEvent {
+            queued_ns: 0.0,
+            submit_ns: 0.0,
+            start_ns: 0.0,
+            end_ns: 2000.0, // 2 us at 100 W = 0.2 mJ = 200 uJ
+            breakdown: breakdown(),
+        };
+        assert!((e.energy_uj() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timestamps_are_ordered() {
+        let e = ProfilingEvent {
+            queued_ns: 0.0,
+            submit_ns: 1.0,
+            start_ns: 2.0,
+            end_ns: 3.0,
+            breakdown: breakdown(),
+        };
+        assert!(e.queued_ns <= e.submit_ns);
+        assert!(e.submit_ns <= e.start_ns);
+        assert!(e.start_ns <= e.end_ns);
+    }
+}

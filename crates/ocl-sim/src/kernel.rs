@@ -1,0 +1,149 @@
+//! The kernel interface of the simulator.
+//!
+//! A [`SimKernel`] bundles an OpenCL-style source (used by the preprocessor,
+//! for fidelity with the paper's textual parameter substitution), the set of
+//! tuning-parameter macros it requires, and an `execute` implementation that
+//! (a) optionally computes the functional result into the argument buffers
+//! and (b) returns the [`KernelProfile`] describing the work performed.
+
+use crate::buffer::{Buffer, KernelArg, Scalar};
+use crate::device::DeviceModel;
+use crate::error::ClError;
+use crate::launch::Launch;
+use crate::preprocessor::DefineMap;
+use crate::profile::KernelProfile;
+
+/// Whether a kernel execution computes real results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Only produce the work profile (auto-tuning mode: "the computed result
+    /// is not needed", paper Section II Step 2).
+    ModelOnly,
+    /// Also execute the kernel functionally on the buffers (error-checking
+    /// mode and correctness tests).
+    Functional,
+}
+
+/// All the information available to one kernel execution.
+pub struct KernelCall<'a> {
+    /// The device the kernel runs on.
+    pub device: &'a DeviceModel,
+    /// The NDRange (already validated).
+    pub launch: &'a Launch,
+    /// Tuning-parameter macro definitions.
+    pub defines: &'a DefineMap,
+    /// Kernel arguments in declaration order.
+    pub args: &'a [KernelArg],
+    /// Execution mode.
+    pub mode: ExecMode,
+    pub(crate) buffers: &'a [Buffer],
+}
+
+impl<'a> KernelCall<'a> {
+    /// The `i`-th argument as a scalar.
+    pub fn scalar(&self, i: usize) -> Result<Scalar, ClError> {
+        match self.args.get(i) {
+            Some(KernelArg::Scalar(s)) => Ok(*s),
+            Some(KernelArg::Buffer(_)) => Err(ClError::InvalidKernelArgs(format!(
+                "argument {i} is a buffer, expected a scalar"
+            ))),
+            None => Err(ClError::InvalidKernelArgs(format!("missing argument {i}"))),
+        }
+    }
+
+    /// The `i`-th argument as a buffer.
+    pub fn buffer(&self, i: usize) -> Result<&'a Buffer, ClError> {
+        match self.args.get(i) {
+            Some(KernelArg::Buffer(id)) => {
+                self.buffers.get(id.0).ok_or_else(|| {
+                    ClError::InvalidBuffer(format!("dangling buffer handle {}", id.0))
+                })
+            }
+            Some(KernelArg::Scalar(_)) => Err(ClError::InvalidKernelArgs(format!(
+                "argument {i} is a scalar, expected a buffer"
+            ))),
+            None => Err(ClError::InvalidKernelArgs(format!("missing argument {i}"))),
+        }
+    }
+
+    /// A required macro definition parsed as `u64`.
+    pub fn define_u64(&self, name: &str) -> Result<u64, ClError> {
+        self.defines.get_u64(name).ok_or_else(|| {
+            ClError::BuildProgramFailure(format!("macro `{name}` undefined or not an integer"))
+        })
+    }
+
+    /// A required macro definition parsed as bool.
+    pub fn define_bool(&self, name: &str) -> Result<bool, ClError> {
+        self.defines.get_bool(name).ok_or_else(|| {
+            ClError::BuildProgramFailure(format!("macro `{name}` undefined or not a boolean"))
+        })
+    }
+}
+
+/// A kernel the simulator can launch.
+pub trait SimKernel: Send + Sync {
+    /// Kernel (function) name.
+    fn name(&self) -> &str;
+
+    /// OpenCL-style source text, with tuning parameters as macro
+    /// identifiers (substituted by the preprocessor at build time).
+    fn source(&self) -> &str;
+
+    /// Macro names that must be defined for the kernel to build.
+    fn required_defines(&self) -> &[&str];
+
+    /// Validates parameters, optionally computes the result into the
+    /// argument buffers (per [`KernelCall::mode`]), and returns the work
+    /// profile for the performance model.
+    fn execute(&self, call: &KernelCall<'_>) -> Result<KernelProfile, ClError>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_kernels {
+    use super::*;
+
+    /// A trivial kernel: `out[i] = in[i] * F` with macro `F`, for exercising
+    /// the context/queue plumbing.
+    pub struct ScaleKernel;
+
+    impl SimKernel for ScaleKernel {
+        fn name(&self) -> &str {
+            "scale"
+        }
+
+        fn source(&self) -> &str {
+            "__kernel void scale(__global const float* in, __global float* out)\n\
+             { const int i = get_global_id(0); out[i] = in[i] * F; }\n"
+        }
+
+        fn required_defines(&self) -> &[&str] {
+            &["F"]
+        }
+
+        fn execute(&self, call: &KernelCall<'_>) -> Result<KernelProfile, ClError> {
+            let f = call.define_u64("F")? as f32;
+            let n = call.launch.global_size() as usize;
+            let input = call.buffer(0)?;
+            let output = call.buffer(1)?;
+            if input.len() < n || output.len() < n {
+                return Err(ClError::InvalidBuffer(format!(
+                    "buffers too small for {n} work-items"
+                )));
+            }
+            if call.mode == ExecMode::Functional {
+                let inp = input.borrow_f32();
+                let mut out = output.borrow_f32_mut();
+                for i in 0..n {
+                    out[i] = inp[i] * f;
+                }
+            }
+            Ok(KernelProfile {
+                flops: n as f64,
+                global_bytes_read: 4.0 * n as f64,
+                global_bytes_written: 4.0 * n as f64,
+                ..Default::default()
+            })
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! NDRange launch configurations and their validation.
+//!
+//! The OpenCL specification requires the local size to evenly divide the
+//! global size in every dimension (pre-2.0 semantics, which CLBlast and the
+//! paper assume) and to respect the device's work-group limits. Violations
+//! surface as [`ClError`]s — exactly the failures a penalty-based OpenTuner
+//! setup keeps running into (paper, Section VI-B).
+
+use crate::device::DeviceModel;
+use crate::error::ClError;
+
+/// An NDRange: 1-3 dimensional global and local sizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Launch {
+    global: Vec<u64>,
+    local: Vec<u64>,
+}
+
+impl Launch {
+    /// Creates a launch configuration.
+    ///
+    /// Dimension counts of `global` and `local` must match; full validation
+    /// happens in [`Launch::validate`] at enqueue time.
+    pub fn new(global: Vec<u64>, local: Vec<u64>) -> Self {
+        assert_eq!(
+            global.len(),
+            local.len(),
+            "global and local NDRange dimensionality must match"
+        );
+        Launch { global, local }
+    }
+
+    /// A 1-D launch.
+    pub fn one_d(global: u64, local: u64) -> Self {
+        Launch::new(vec![global], vec![local])
+    }
+
+    /// A 2-D launch.
+    pub fn two_d(global: (u64, u64), local: (u64, u64)) -> Self {
+        Launch::new(vec![global.0, global.1], vec![local.0, local.1])
+    }
+
+    /// Global sizes per dimension.
+    pub fn global(&self) -> &[u64] {
+        &self.global
+    }
+
+    /// Local sizes per dimension.
+    pub fn local(&self) -> &[u64] {
+        &self.local
+    }
+
+    /// Total number of work-items.
+    pub fn global_size(&self) -> u64 {
+        self.global.iter().product()
+    }
+
+    /// Work-items per work-group.
+    pub fn local_size(&self) -> u64 {
+        self.local.iter().product()
+    }
+
+    /// Number of work-groups (valid only after [`Launch::validate`]).
+    pub fn work_groups(&self) -> u64 {
+        self.global_size() / self.local_size().max(1)
+    }
+
+    /// Validates the launch against the OpenCL rules and the device limits.
+    pub fn validate(&self, device: &DeviceModel) -> Result<(), ClError> {
+        let dims = self.global.len();
+        if dims == 0 || dims > 3 {
+            return Err(ClError::InvalidWorkDimension(dims));
+        }
+        for (d, (&g, &l)) in self.global.iter().zip(&self.local).enumerate() {
+            if g == 0 || l == 0 {
+                return Err(ClError::InvalidWorkGroupSize(format!(
+                    "dimension {d}: global {g}, local {l} (must be nonzero)"
+                )));
+            }
+            if g % l != 0 {
+                return Err(ClError::InvalidWorkGroupSize(format!(
+                    "dimension {d}: local size {l} does not divide global size {g}"
+                )));
+            }
+        }
+        let wg = self.local_size();
+        if wg > device.max_work_group_size {
+            return Err(ClError::InvalidWorkGroupSize(format!(
+                "work-group size {wg} exceeds device maximum {}",
+                device.max_work_group_size
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> DeviceModel {
+        DeviceModel::tesla_k20m()
+    }
+
+    #[test]
+    fn valid_launch() {
+        let l = Launch::one_d(1024, 64);
+        assert!(l.validate(&gpu()).is_ok());
+        assert_eq!(l.work_groups(), 16);
+        assert_eq!(l.global_size(), 1024);
+        assert_eq!(l.local_size(), 64);
+    }
+
+    #[test]
+    fn local_must_divide_global() {
+        let l = Launch::one_d(1000, 64);
+        assert!(matches!(
+            l.validate(&gpu()),
+            Err(ClError::InvalidWorkGroupSize(_))
+        ));
+    }
+
+    #[test]
+    fn two_d_divisibility_per_dimension() {
+        let ok = Launch::two_d((64, 128), (8, 16));
+        assert!(ok.validate(&gpu()).is_ok());
+        assert_eq!(ok.work_groups(), 8 * 8);
+        let bad = Launch::two_d((64, 100), (8, 16));
+        assert!(bad.validate(&gpu()).is_err());
+    }
+
+    #[test]
+    fn work_group_size_limit() {
+        let l = Launch::two_d((4096, 4096), (64, 64)); // 4096 > 1024
+        assert!(matches!(
+            l.validate(&gpu()),
+            Err(ClError::InvalidWorkGroupSize(m)) if m.contains("maximum")
+        ));
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        assert!(Launch::one_d(0, 1).validate(&gpu()).is_err());
+        assert!(Launch::one_d(64, 0).validate(&gpu()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn mismatched_dims_panic() {
+        Launch::new(vec![64, 64], vec![8]);
+    }
+
+    #[test]
+    fn too_many_dimensions() {
+        let l = Launch::new(vec![2, 2, 2, 2], vec![1, 1, 1, 1]);
+        assert_eq!(l.validate(&gpu()), Err(ClError::InvalidWorkDimension(4)));
+    }
+
+    #[test]
+    fn cpu_allows_larger_work_groups() {
+        let cpu = DeviceModel::xeon_e5_2640v2_dual();
+        let l = Launch::one_d(8192, 2048);
+        assert!(l.validate(&cpu).is_ok());
+        assert!(l.validate(&gpu()).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # ocl-sim — a simulated OpenCL platform for auto-tuner evaluation
+//!
+//! The ATF paper's evaluation (Section VI) runs OpenCL kernels on a Tesla
+//! K20m GPU and a dual-socket Xeon CPU. This crate substitutes that hardware
+//! with a deterministic simulator so that the reproduction runs anywhere:
+//!
+//! * [`device`] — architectural device models (Tesla K20m/K20c,
+//!   dual Xeon E5-2640 v2) with the parameters that matter for tuning;
+//! * [`platform`] — by-name platform/device discovery;
+//! * [`preprocessor`] — the macro substitution ATF's OpenCL cost function
+//!   uses to inject tuning-parameter values into kernel sources;
+//! * [`launch`] — NDRange validation (local-divides-global, device limits);
+//! * [`kernel`] — the [`kernel::SimKernel`] interface: kernels report what
+//!   work they do ([`profile::KernelProfile`]) and optionally compute real
+//!   results into buffers for error checking;
+//! * [`perf`] — the analytic roofline-style performance model;
+//! * [`context`] — context + in-order queue with simulated profiling events
+//!   and deterministic measurement noise;
+//! * [`event`] — OpenCL-profiling-API-style events.
+//!
+//! The tuner only ever observes *costs*; the simulator's job is to map
+//! configurations to runtimes with the same qualitative structure as the
+//! paper's hardware (see DESIGN.md for the substitution argument).
+
+pub mod buffer;
+pub mod context;
+pub mod device;
+pub mod error;
+pub mod event;
+pub mod kernel;
+pub mod launch;
+pub mod perf;
+pub mod platform;
+pub mod preprocessor;
+pub mod profile;
+
+pub use buffer::{Buffer, BufferData, BufferId, KernelArg, Scalar};
+pub use context::Context;
+pub use device::{DeviceModel, DeviceType};
+pub use error::ClError;
+pub use event::ProfilingEvent;
+pub use kernel::{ExecMode, KernelCall, SimKernel};
+pub use launch::Launch;
+pub use perf::PerfBreakdown;
+pub use platform::{find_device, installed_platforms, Platform};
+pub use preprocessor::DefineMap;
+pub use profile::KernelProfile;

@@ -1,0 +1,357 @@
+//! The analytic performance model: device × work profile × launch → time.
+//!
+//! A roofline-style model with the first-order effects that drive the
+//! paper's tuning landscapes:
+//!
+//! * **compute vs memory bound** — `max(compute, memory)` over totals from
+//!   the [`KernelProfile`];
+//! * **vectorization** — on CPUs, per-thread vector width must fill the SIMD
+//!   lanes; on GPUs, wavefronts fill lanes and vector width only adds ILP;
+//! * **coalescing** — scaled by the device's `coalescing_sensitivity`
+//!   (GPU-critical, CPU-mild);
+//! * **occupancy** — resident work-groups per compute unit limited by local
+//!   memory and thread slots; low occupancy hurts latency hiding on GPUs;
+//! * **parallel utilization & wave quantization** — fewer work-groups than
+//!   compute units leave hardware idle; `ceil`-shaped wave effects create
+//!   the characteristic tuning cliffs;
+//! * **scheduling overhead** — per-launch and per-work-group costs
+//!   (the per-work-group term is what punishes tiny work-groups on CPUs);
+//! * **padding waste** — time inflated by `1 / useful_fraction`.
+
+use crate::device::DeviceModel;
+use crate::error::ClError;
+use crate::launch::Launch;
+use crate::profile::KernelProfile;
+
+/// Itemized timing estimate, exposed so tests (and curious users) can check
+/// which effect dominates a configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfBreakdown {
+    /// Arithmetic + instruction-overhead time, ns.
+    pub compute_ns: f64,
+    /// Global-memory time, ns.
+    pub memory_ns: f64,
+    /// Local-memory time, ns.
+    pub local_ns: f64,
+    /// Launch + work-group scheduling overhead, ns.
+    pub overhead_ns: f64,
+    /// Resident-thread occupancy per compute unit, 0..1.
+    pub occupancy: f64,
+    /// Fraction of compute units kept busy, 0..1.
+    pub parallel_fraction: f64,
+    /// Wave-quantization multiplier ≥ 1.
+    pub wave_quantization: f64,
+    /// Final simulated kernel time, ns.
+    pub total_ns: f64,
+    /// Estimated average power draw over the kernel, watts (idle + dynamic
+    /// power scaled by how much of the chip the launch keeps busy).
+    pub power_watts: f64,
+}
+
+/// Estimates the runtime of one kernel execution.
+///
+/// Returns `Err(OutOfResources)` when the profile demands more local memory
+/// per work-group than the device offers (a real OpenCL launch failure that
+/// tuners must treat as an invalid configuration).
+pub fn estimate(
+    device: &DeviceModel,
+    profile: &KernelProfile,
+    launch: &Launch,
+) -> Result<PerfBreakdown, ClError> {
+    debug_assert!(profile.is_sane(), "insane kernel profile: {profile:?}");
+    if profile.local_mem_per_wg > device.local_mem_bytes {
+        return Err(ClError::OutOfResources(format!(
+            "kernel needs {} B local memory per work-group, device has {} B",
+            profile.local_mem_per_wg, device.local_mem_bytes
+        )));
+    }
+
+    let wgs = launch.work_groups().max(1) as f64;
+    let local_size = launch.local_size().max(1);
+    // Hardware pads each work-group to a multiple of the wavefront.
+    let wavefront = device.wavefront.max(1) as u64;
+    let padded_wg = local_size.div_ceil(wavefront) * wavefront;
+    let warp_fill = local_size as f64 / padded_wg as f64;
+
+    // ---- Occupancy: how many work-groups fit on one compute unit ----
+    let by_threads = (device.max_threads_per_cu / padded_wg).max(1);
+    let by_local_mem = device
+        .local_mem_bytes
+        .checked_div(profile.local_mem_per_wg)
+        .map_or(u64::MAX, |n| n.max(1));
+    let wgs_per_cu_cap = by_threads.min(by_local_mem).min(16);
+    // A compute unit can only be as occupied as the launch provides
+    // work-groups for it.
+    let wgs_per_cu =
+        wgs_per_cu_cap.min((wgs / device.compute_units as f64).ceil().max(1.0) as u64);
+    let resident_threads = (wgs_per_cu * padded_wg).min(device.max_threads_per_cu);
+    let occupancy = resident_threads as f64 / device.max_threads_per_cu as f64;
+
+    // Latency hiding: GPUs need resident warps to cover both arithmetic and
+    // memory latency — this throttles compute *and* achievable bandwidth;
+    // ~50% occupancy typically saturates. CPUs (wavefront 1) do not need it.
+    let latency_eff = if device.wavefront > 1 {
+        (0.1 + 0.9 * (occupancy / 0.5)).min(1.0)
+    } else {
+        1.0
+    };
+
+    // ---- Vectorization efficiency ----
+    let vw = profile.vector_width.max(1) as f64;
+    let simd = device.simd_width.max(1) as f64;
+    let vector_eff = if device.wavefront > 1 {
+        // GPU: warps fill the SIMD unit; wider per-thread vectors add ILP.
+        (1.0 - 0.25 / vw) * warp_fill
+    } else {
+        // CPU: explicit per-thread vectors map onto AVX lanes; scalar code
+        // relies on imperfect auto-vectorization (≈ 30% of peak).
+        (vw.min(simd) / simd).max(0.3)
+    };
+
+    // ---- Parallel utilization across compute units ----
+    let cu = device.compute_units as f64;
+    let parallel_fraction = (wgs / cu).min(1.0);
+    let wgs_per_round = cu * wgs_per_cu_cap as f64;
+    let ideal_waves = wgs / wgs_per_round;
+    // A single (possibly partial) wave has no quantization penalty — idle
+    // capacity is already charged through `parallel_fraction`.
+    let wave_quantization = if ideal_waves > 1.0 {
+        ideal_waves.ceil() / ideal_waves
+    } else {
+        1.0
+    };
+
+    // ---- Roofline terms ----
+    // Bookkeeping instructions issue without FMA/dual-issue benefits: they
+    // cost ~4 FLOP-slots each.
+    let instruction_work = profile.flops + 4.0 * profile.overhead_instructions;
+    let compute_rate = device.flops_per_ns() * vector_eff * latency_eff; // FLOP/ns
+    let compute_ns = instruction_work / compute_rate;
+
+    let coalesce_eff =
+        1.0 - device.coalescing_sensitivity * (1.0 - profile.coalescing_efficiency);
+    let memory_ns =
+        profile.global_bytes() / (device.bytes_per_ns() * coalesce_eff * latency_eff);
+
+    let local_ns = profile.local_bytes_accessed * device.local_mem_cost_factor
+        * profile.bank_conflict_factor
+        / (device.bytes_per_ns() * latency_eff);
+
+    // ---- Combine ----
+    let busy = compute_ns.max(memory_ns + local_ns);
+    let busy = busy / parallel_fraction.max(1.0 / cu); // idle CUs stretch time
+    let busy = busy * wave_quantization / profile.useful_fraction;
+
+    // Work-group dispatch parallelizes across compute units.
+    let overhead_ns =
+        device.launch_overhead_ns + wgs * device.workgroup_overhead_ns / cu.min(wgs);
+
+    let total_ns = busy + overhead_ns;
+    // Energy model: dynamic power scales with the utilized fraction of the
+    // chip (compute units busy x resident occupancy), floored for the
+    // always-on fabric.
+    let activity = (parallel_fraction * (0.3 + 0.7 * occupancy)).clamp(0.05, 1.0);
+    let power_watts = device.idle_watts + device.peak_dynamic_watts * activity;
+    Ok(PerfBreakdown {
+        compute_ns,
+        memory_ns,
+        local_ns,
+        overhead_ns,
+        occupancy,
+        parallel_fraction,
+        wave_quantization,
+        total_ns,
+        power_watts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> DeviceModel {
+        DeviceModel::tesla_k20m()
+    }
+    fn cpu() -> DeviceModel {
+        DeviceModel::xeon_e5_2640v2_dual()
+    }
+
+    fn flops_profile(flops: f64) -> KernelProfile {
+        KernelProfile {
+            flops,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let launch = Launch::one_d(1 << 16, 256);
+        let t1 = estimate(&gpu(), &flops_profile(1e9), &launch).unwrap();
+        let t2 = estimate(&gpu(), &flops_profile(2e9), &launch).unwrap();
+        assert!(t2.total_ns > t1.total_ns);
+    }
+
+    #[test]
+    fn memory_bound_kernel_limited_by_bandwidth() {
+        let p = KernelProfile {
+            flops: 1.0,
+            global_bytes_read: 208e9, // 1 second at peak bandwidth
+            ..Default::default()
+        };
+        let b = estimate(&gpu(), &p, &Launch::one_d(1 << 20, 256)).unwrap();
+        assert!(b.memory_ns > b.compute_ns);
+        assert!(b.total_ns >= 1e9); // ≥ 1 s
+    }
+
+    #[test]
+    fn poor_coalescing_hurts_gpu_more_than_cpu() {
+        let good = KernelProfile {
+            global_bytes_read: 1e9,
+            coalescing_efficiency: 1.0,
+            ..Default::default()
+        };
+        let bad = KernelProfile {
+            coalescing_efficiency: 0.25,
+            ..good.clone()
+        };
+        let launch = Launch::one_d(1 << 20, 256);
+        let gpu_ratio = estimate(&gpu(), &bad, &launch).unwrap().total_ns
+            / estimate(&gpu(), &good, &launch).unwrap().total_ns;
+        let cpu_ratio = estimate(&cpu(), &bad, &launch).unwrap().total_ns
+            / estimate(&cpu(), &good, &launch).unwrap().total_ns;
+        assert!(gpu_ratio > cpu_ratio, "gpu {gpu_ratio} vs cpu {cpu_ratio}");
+        assert!(gpu_ratio > 2.0);
+    }
+
+    #[test]
+    fn vectorization_critical_on_cpu() {
+        let scalar = KernelProfile {
+            flops: 1e9,
+            vector_width: 1,
+            ..Default::default()
+        };
+        let vec8 = KernelProfile {
+            vector_width: 8,
+            ..scalar.clone()
+        };
+        let launch = Launch::one_d(1 << 16, 64);
+        let cpu_speedup = estimate(&cpu(), &scalar, &launch).unwrap().compute_ns
+            / estimate(&cpu(), &vec8, &launch).unwrap().compute_ns;
+        let gpu_speedup = estimate(&gpu(), &scalar, &launch).unwrap().compute_ns
+            / estimate(&gpu(), &vec8, &launch).unwrap().compute_ns;
+        assert!(cpu_speedup > 2.0, "cpu vectorization speedup {cpu_speedup}");
+        assert!(gpu_speedup < 1.5, "gpu should be mildly sensitive: {gpu_speedup}");
+    }
+
+    #[test]
+    fn bank_conflicts_and_padding() {
+        let base = KernelProfile {
+            local_bytes_accessed: 1e9,
+            ..Default::default()
+        };
+        let conflicted = KernelProfile {
+            bank_conflict_factor: 4.0,
+            ..base.clone()
+        };
+        let launch = Launch::one_d(1 << 18, 256);
+        let t_base = estimate(&gpu(), &base, &launch).unwrap();
+        let t_bad = estimate(&gpu(), &conflicted, &launch).unwrap();
+        assert!(t_bad.local_ns > 3.0 * t_base.local_ns);
+    }
+
+    #[test]
+    fn local_memory_over_capacity_fails() {
+        let p = KernelProfile {
+            local_mem_per_wg: 49 * 1024,
+            ..Default::default()
+        };
+        assert!(matches!(
+            estimate(&gpu(), &p, &Launch::one_d(256, 256)),
+            Err(ClError::OutOfResources(_))
+        ));
+        // The CPU device has 32 KiB — fails there too.
+        assert!(estimate(&cpu(), &p, &Launch::one_d(256, 256)).is_err());
+    }
+
+    #[test]
+    fn local_memory_limits_occupancy() {
+        let light = KernelProfile {
+            flops: 1e9,
+            local_mem_per_wg: 1024,
+            ..Default::default()
+        };
+        let heavy = KernelProfile {
+            local_mem_per_wg: 40 * 1024, // one work-group per SMX
+            ..light.clone()
+        };
+        let launch = Launch::one_d(1 << 16, 128);
+        let o_light = estimate(&gpu(), &light, &launch).unwrap().occupancy;
+        let o_heavy = estimate(&gpu(), &heavy, &launch).unwrap().occupancy;
+        assert!(o_heavy < o_light);
+    }
+
+    #[test]
+    fn too_few_workgroups_underutilize() {
+        let p = flops_profile(1e8);
+        // 1 work-group vs 64 work-groups for identical total work.
+        let t1 = estimate(&gpu(), &p, &Launch::one_d(256, 256)).unwrap();
+        let t64 = estimate(&gpu(), &p, &Launch::one_d(16384, 256)).unwrap();
+        assert!(t1.parallel_fraction < t64.parallel_fraction);
+        assert!(t1.total_ns > t64.total_ns);
+    }
+
+    #[test]
+    fn cpu_punishes_tiny_workgroups_via_dispatch_overhead() {
+        let p = flops_profile(1e6);
+        let many_small = Launch::one_d(1 << 16, 1); // 65536 work-groups
+        let few_large = Launch::one_d(1 << 16, 1024); // 64 work-groups
+        let t_small = estimate(&cpu(), &p, &many_small).unwrap();
+        let t_large = estimate(&cpu(), &p, &few_large).unwrap();
+        assert!(
+            t_small.overhead_ns > 10.0 * t_large.overhead_ns,
+            "{} vs {}",
+            t_small.overhead_ns,
+            t_large.overhead_ns
+        );
+    }
+
+    #[test]
+    fn padding_waste_inflates_time() {
+        let exact = KernelProfile {
+            flops: 1e9,
+            useful_fraction: 1.0,
+            ..Default::default()
+        };
+        let wasteful = KernelProfile {
+            useful_fraction: 0.5,
+            ..exact.clone()
+        };
+        let launch = Launch::one_d(1 << 16, 256);
+        let t_e = estimate(&gpu(), &exact, &launch).unwrap().total_ns;
+        let t_w = estimate(&gpu(), &wasteful, &launch).unwrap().total_ns;
+        assert!(t_w > 1.8 * t_e);
+    }
+
+    #[test]
+    fn warp_padding_penalizes_odd_work_groups() {
+        let p = flops_profile(1e9);
+        // Local size 33 pads to 64 on a warp-32 device: half the lanes idle.
+        let t33 = estimate(&gpu(), &p, &Launch::one_d(33 * 1024, 33)).unwrap();
+        let t64 = estimate(&gpu(), &p, &Launch::one_d(64 * 1024, 64)).unwrap();
+        assert!(t33.compute_ns > 1.5 * t64.compute_ns);
+    }
+
+    #[test]
+    fn breakdown_components_sum_plausibly() {
+        let p = KernelProfile {
+            flops: 1e9,
+            global_bytes_read: 1e8,
+            ..Default::default()
+        };
+        let b = estimate(&gpu(), &p, &Launch::one_d(1 << 18, 256)).unwrap();
+        assert!(b.total_ns >= b.overhead_ns);
+        assert!(b.total_ns >= b.compute_ns.max(b.memory_ns));
+        assert!(b.wave_quantization >= 1.0);
+        assert!(b.occupancy > 0.0 && b.occupancy <= 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Platform/device discovery, mirroring the by-name device selection the
+//! paper highlights as an ATF usability advantage over CLTune's numeric
+//! platform/device ids (Section III, Step 2).
+
+use crate::device::DeviceModel;
+use crate::error::ClError;
+
+/// A simulated OpenCL platform: a vendor with its devices.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    /// Platform (vendor) name.
+    pub name: String,
+    /// Devices installed under this platform.
+    pub devices: Vec<DeviceModel>,
+}
+
+/// The platforms "installed" in the simulated system — the paper's
+/// evaluation machine: an NVIDIA platform with the Tesla GPUs and an Intel
+/// platform with the dual-Xeon CPU device.
+pub fn installed_platforms() -> Vec<Platform> {
+    vec![
+        Platform {
+            name: "NVIDIA CUDA".to_string(),
+            devices: vec![
+                DeviceModel::tesla_k20m(),
+                DeviceModel::tesla_k20c(),
+                DeviceModel::gtx980(),
+            ],
+        },
+        Platform {
+            name: "Intel(R) OpenCL".to_string(),
+            devices: vec![DeviceModel::xeon_e5_2640v2_dual()],
+        },
+        Platform {
+            name: "Portable Computing Language".to_string(),
+            devices: vec![DeviceModel::embedded_quad_core()],
+        },
+    ]
+}
+
+/// Finds a device by case-insensitive substring match on platform and device
+/// names — ATF's `(platform_name, device_name)` selection.
+pub fn find_device(platform: &str, device: &str) -> Result<DeviceModel, ClError> {
+    let plat_needle = platform.to_lowercase();
+    let dev_needle = device.to_lowercase();
+    for p in installed_platforms() {
+        if !p.name.to_lowercase().contains(&plat_needle) {
+            continue;
+        }
+        for d in p.devices {
+            if d.name.to_lowercase().contains(&dev_needle) {
+                return Ok(d);
+            }
+        }
+    }
+    Err(ClError::DeviceNotFound(format!(
+        "no device matching platform `{platform}`, device `{device}`"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_gpu_by_name() {
+        let d = find_device("NVIDIA", "Tesla K20c").unwrap();
+        assert_eq!(d.name, "Tesla K20c");
+        assert!(d.is_gpu());
+    }
+
+    #[test]
+    fn finds_cpu_by_partial_name() {
+        let d = find_device("intel", "xeon").unwrap();
+        assert!(!d.is_gpu());
+        assert_eq!(d.compute_units, 32);
+    }
+
+    #[test]
+    fn unknown_device_errors() {
+        assert!(matches!(
+            find_device("AMD", "Fiji"),
+            Err(ClError::DeviceNotFound(_))
+        ));
+        assert!(find_device("NVIDIA", "GTX 9000").is_err());
+    }
+
+    #[test]
+    fn platform_listing() {
+        let ps = installed_platforms();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].devices.len(), 3);
+    }
+
+    #[test]
+    fn extended_devices_found() {
+        assert!(find_device("NVIDIA", "GTX 980").unwrap().is_gpu());
+        let e = find_device("Portable", "Embedded").unwrap();
+        assert!(!e.is_gpu());
+        assert_eq!(e.compute_units, 4);
+    }
+}

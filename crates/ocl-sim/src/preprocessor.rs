@@ -1,0 +1,223 @@
+//! The OpenCL-preprocessor substitution used by the cost function: tuning
+//! parameters appear in kernel sources as macro identifiers, and the cost
+//! function "replaces in kernel's source code the tuning parameters' names by
+//! their corresponding values" (paper, Section II, Step 2) — equivalently,
+//! prepends `-D NAME=VALUE` build options.
+
+use std::collections::BTreeMap;
+
+/// The macro definitions of one kernel build: tuning-parameter name → token.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DefineMap {
+    defs: BTreeMap<String, String>,
+}
+
+impl DefineMap {
+    /// An empty definition set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds/overwrites a definition.
+    pub fn define(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.defs.insert(name.into(), value.into());
+    }
+
+    /// Builder-style [`Self::define`].
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.define(name, value);
+        self
+    }
+
+    /// Looks up a raw definition token.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.defs.get(name).map(String::as_str)
+    }
+
+    /// Looks up a definition and parses it as `u64`.
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        self.get(name)?.parse().ok()
+    }
+
+    /// Looks up a definition and parses it as a C boolean (`0` = false,
+    /// anything else numeric = true; also accepts `true`/`false`).
+    pub fn get_bool(&self, name: &str) -> Option<bool> {
+        let t = self.get(name)?;
+        match t {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => t.parse::<i64>().ok().map(|v| v != 0),
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.defs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// `true` when no macros are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Renders as OpenCL build options: `-DNAME=VALUE -DNAME2=VALUE2 ...`.
+    pub fn to_build_options(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in self.iter() {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str("-D");
+            s.push_str(k);
+            s.push('=');
+            s.push_str(v);
+        }
+        s
+    }
+}
+
+impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for DefineMap {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = DefineMap::new();
+        for (k, v) in iter {
+            m.define(k, v);
+        }
+        m
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Substitutes every whole-identifier occurrence of each defined macro in
+/// `source` by its value (single pass, no recursive expansion — tuning
+/// parameters expand to literals).
+pub fn substitute(source: &str, defines: &DefineMap) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut it = source.char_indices().peekable();
+    while let Some(&(start, c)) = it.peek() {
+        if c.is_ascii_digit() {
+            // A C preprocessing number (e.g. `3X`, `0xFF`) is one token; no
+            // substitution happens inside it.
+            let mut end = start;
+            while let Some(&(i, d)) = it.peek() {
+                if is_ident_char(d) {
+                    end = i + d.len_utf8();
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            out.push_str(&source[start..end]);
+        } else if is_ident_char(c) {
+            // Scan the full identifier.
+            let mut end = start;
+            while let Some(&(i, d)) = it.peek() {
+                if is_ident_char(d) {
+                    end = i + d.len_utf8();
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            let ident = &source[start..end];
+            match defines.get(ident) {
+                Some(v) => out.push_str(v),
+                None => out.push_str(ident),
+            }
+        } else {
+            out.push(c);
+            it.next();
+        }
+    }
+    out
+}
+
+/// Collects the identifiers in `source` that are *not* defined — used to
+/// report missing tuning parameters as a build failure, like a real OpenCL
+/// compiler would report undeclared identifiers.
+pub fn undefined_identifiers<'a>(
+    source: &'a str,
+    required: &[&'a str],
+    defines: &DefineMap,
+) -> Vec<&'a str> {
+    required
+        .iter()
+        .copied()
+        .filter(|name| source.contains(name) && defines.get(name).is_none())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_word_substitution() {
+        let defs = DefineMap::new().with("WPT", "4").with("LS", "64");
+        let src = "for (int w=0; w<WPT; ++w) { id = WPT*gid + w; } // LS, WPTX";
+        let out = substitute(src, &defs);
+        assert_eq!(out, "for (int w=0; w<4; ++w) { id = 4*gid + w; } // 64, WPTX");
+    }
+
+    #[test]
+    fn no_substitution_inside_identifiers() {
+        let defs = DefineMap::new().with("N", "100");
+        assert_eq!(substitute("int N2 = N; fN(N);", &defs), "int N2 = 100; fN(100);");
+    }
+
+    #[test]
+    fn numbers_not_treated_as_identifiers() {
+        let defs = DefineMap::new().with("X", "9");
+        assert_eq!(substitute("3X y 12 X", &defs), "3X y 12 9");
+        // "3X" is a malformed token in C, but the substituter must not
+        // rewrite the X inside it (identifiers cannot start with a digit).
+    }
+
+    #[test]
+    fn build_options_rendering() {
+        let defs = DefineMap::new().with("WPT", "2").with("LS", "128");
+        assert_eq!(defs.to_build_options(), "-DLS=128 -DWPT=2");
+    }
+
+    #[test]
+    fn typed_getters() {
+        let defs = DefineMap::new()
+            .with("A", "42")
+            .with("B", "1")
+            .with("C", "false")
+            .with("D", "junk");
+        assert_eq!(defs.get_u64("A"), Some(42));
+        assert_eq!(defs.get_bool("B"), Some(true));
+        assert_eq!(defs.get_bool("C"), Some(false));
+        assert_eq!(defs.get_u64("D"), None);
+        assert_eq!(defs.get_u64("MISSING"), None);
+    }
+
+    #[test]
+    fn undefined_identifier_detection() {
+        let defs = DefineMap::new().with("WPT", "2");
+        let src = "y[i] = a * x[WPT] + LS;";
+        let missing = undefined_identifiers(src, &["WPT", "LS"], &defs);
+        assert_eq!(missing, vec!["LS"]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let defs: DefineMap = [("K", "1"), ("M", "2")].into_iter().collect();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(defs.get("M"), Some("2"));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let defs = DefineMap::new().with("X", "1");
+        assert_eq!(substitute("/* μs */ X", &defs), "/* μs */ 1");
+    }
+}

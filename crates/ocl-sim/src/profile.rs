@@ -1,0 +1,112 @@
+//! Work profiles: what a kernel execution *does*, independent of the device.
+//!
+//! A kernel (e.g. CLBlast's XgemmDirect in the `clblast` crate) analyses its
+//! launch + macro parameters and fills in a [`KernelProfile`]; the device
+//! model ([`crate::perf`]) then translates the profile into a simulated
+//! runtime. This split keeps the simulator generic: new kernels only
+//! describe their work, not device behaviour.
+
+/// Device-independent description of one kernel execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelProfile {
+    /// Useful floating-point operations (the algorithmic work).
+    pub flops: f64,
+    /// Bookkeeping instructions: loop counters, branches, index arithmetic.
+    /// Loop unrolling (KWID) and work-per-thread chunking reduce this.
+    pub overhead_instructions: f64,
+    /// Bytes read from global memory (including re-reads when data does not
+    /// fit in cache / local memory).
+    pub global_bytes_read: f64,
+    /// Bytes written to global memory.
+    pub global_bytes_written: f64,
+    /// Bytes moved through local (shared) memory.
+    pub local_bytes_accessed: f64,
+    /// Local-memory allocation per work-group, bytes (occupancy limiter;
+    /// exceeding the device's local memory fails the launch).
+    pub local_mem_per_wg: u64,
+    /// Per-thread vector width the kernel was compiled with (1, 2, 4, 8).
+    pub vector_width: u32,
+    /// Fraction (0, 1] of each memory transaction that carries useful data —
+    /// 1.0 for perfectly coalesced unit-stride access.
+    pub coalescing_efficiency: f64,
+    /// Multiplier ≥ 1 on local-memory access cost from bank conflicts
+    /// (1.0 when padded away via PADA/PADB).
+    pub bank_conflict_factor: f64,
+    /// Fraction (0, 1] of launched work that contributes to the result
+    /// (< 1 when tiles overhang the matrix edges and threads idle).
+    pub useful_fraction: f64,
+}
+
+impl Default for KernelProfile {
+    fn default() -> Self {
+        KernelProfile {
+            flops: 0.0,
+            overhead_instructions: 0.0,
+            global_bytes_read: 0.0,
+            global_bytes_written: 0.0,
+            local_bytes_accessed: 0.0,
+            local_mem_per_wg: 0,
+            vector_width: 1,
+            coalescing_efficiency: 1.0,
+            bank_conflict_factor: 1.0,
+            useful_fraction: 1.0,
+        }
+    }
+}
+
+impl KernelProfile {
+    /// Total global-memory traffic, bytes.
+    pub fn global_bytes(&self) -> f64 {
+        self.global_bytes_read + self.global_bytes_written
+    }
+
+    /// Sanity-checks invariant ranges (used by debug assertions and tests).
+    pub fn is_sane(&self) -> bool {
+        self.flops >= 0.0
+            && self.overhead_instructions >= 0.0
+            && self.global_bytes_read >= 0.0
+            && self.global_bytes_written >= 0.0
+            && self.local_bytes_accessed >= 0.0
+            && self.vector_width >= 1
+            && self.coalescing_efficiency > 0.0
+            && self.coalescing_efficiency <= 1.0
+            && self.bank_conflict_factor >= 1.0
+            && self.useful_fraction > 0.0
+            && self.useful_fraction <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        assert!(KernelProfile::default().is_sane());
+    }
+
+    #[test]
+    fn totals() {
+        let p = KernelProfile {
+            global_bytes_read: 100.0,
+            global_bytes_written: 50.0,
+            ..Default::default()
+        };
+        assert_eq!(p.global_bytes(), 150.0);
+    }
+
+    #[test]
+    fn sanity_bounds() {
+        let mut p = KernelProfile {
+            coalescing_efficiency: 0.0,
+            ..Default::default()
+        };
+        assert!(!p.is_sane());
+        p.coalescing_efficiency = 0.5;
+        p.bank_conflict_factor = 0.5;
+        assert!(!p.is_sane());
+        p.bank_conflict_factor = 2.0;
+        p.useful_fraction = 1.5;
+        assert!(!p.is_sane());
+    }
+}

@@ -1,0 +1,136 @@
+//! Extending ATF with a user-defined search technique (paper, Section IV:
+//! "Further search techniques can be added to ATF by implementing the
+//! `search_technique` interface").
+//!
+//! Implements a simple tabu-flavoured local search: hill-climb from the best
+//! known point, remembering recently visited points and refusing to revisit
+//! them, with random restarts when the neighbourhood is exhausted.
+//!
+//! Run with: `cargo run --release --example custom_search`
+
+use atf_repro::prelude::*;
+use atf_core::expr::{cst, param};
+use atf_core::search::Point;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// A tabu local search implementing the `search_technique` interface.
+struct TabuSearch {
+    rng: ChaCha8Rng,
+    dims: Option<SpaceDims>,
+    best: Option<(Point, f64)>,
+    pending: Option<Point>,
+    visited: HashSet<Point>,
+    tabu_capacity: usize,
+}
+
+impl TabuSearch {
+    fn new(seed: u64, tabu_capacity: usize) -> Self {
+        TabuSearch {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            dims: None,
+            best: None,
+            pending: None,
+            visited: HashSet::new(),
+            tabu_capacity,
+        }
+    }
+
+    /// A not-recently-visited neighbour of `p` (±1..±4 in one dimension),
+    /// or a random point when the local neighbourhood is tabu.
+    fn fresh_neighbour(&mut self, p: &Point) -> Point {
+        let dims = self.dims.clone().expect("initialized");
+        for _ in 0..32 {
+            let mut q = p.clone();
+            let d = self.rng.gen_range(0..dims.dims());
+            let size = dims.size(d);
+            if size == 1 {
+                continue;
+            }
+            let step = self.rng.gen_range(1..=4.min(size - 1));
+            q[d] = if self.rng.gen_bool(0.5) {
+                (q[d] + step) % size
+            } else {
+                (q[d] + size - step) % size
+            };
+            if !self.visited.contains(&q) {
+                return q;
+            }
+        }
+        dims.random_point(&mut self.rng) // restart
+    }
+}
+
+impl SearchTechnique for TabuSearch {
+    fn initialize(&mut self, dims: SpaceDims) {
+        self.dims = Some(dims);
+        self.best = None;
+        self.pending = None;
+        self.visited.clear();
+    }
+
+    fn get_next_point(&mut self) -> Option<Point> {
+        let p = match &self.best {
+            None => {
+                let dims = self.dims.clone().expect("initialize not called");
+                dims.random_point(&mut self.rng)
+            }
+            Some((b, _)) => {
+                let b = b.clone();
+                self.fresh_neighbour(&b)
+            }
+        };
+        if self.visited.len() >= self.tabu_capacity {
+            self.visited.clear(); // cheap aging policy
+        }
+        self.visited.insert(p.clone());
+        self.pending = Some(p.clone());
+        Some(p)
+    }
+
+    fn report_cost(&mut self, cost: f64) {
+        if let Some(p) = self.pending.take() {
+            if self.best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                self.best = Some((p, cost));
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tabu-local-search"
+    }
+}
+
+fn main() {
+    let n: u64 = 1 << 16;
+    let params = vec![ParamGroup::new(vec![
+        tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+        tp_c("LS", Range::interval(1, n), divides(cst(n) / param("WPT"))),
+    ])];
+
+    // A synthetic landscape with the optimum at WPT=8, LS=128.
+    let mut cf = cost_fn(|c: &Config| {
+        let wpt = c.get_u64("WPT") as f64;
+        let ls = c.get_u64("LS") as f64;
+        (wpt.log2() - 3.0).powi(2) + (ls.log2() - 7.0).powi(2) + 1.0
+    });
+
+    let result = Tuner::new()
+        .technique(TabuSearch::new(123, 512))
+        .abort_condition(abort::evaluations(600))
+        .tune(&params, &mut cf)
+        .expect("space non-empty");
+
+    println!(
+        "custom technique performed {} evaluations over a space of {} configurations",
+        result.evaluations, result.space_size
+    );
+    println!(
+        "best: WPT = {}, LS = {} (cost {:.3}; the optimum is WPT=8, LS=128 at cost 1.0)",
+        result.best_config.get_u64("WPT"),
+        result.best_config.get_u64("LS"),
+        result.best_cost
+    );
+    assert!(result.best_cost < 3.0, "tabu search should get close");
+}

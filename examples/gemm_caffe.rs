@@ -1,0 +1,79 @@
+//! Tuning CLBlast's XgemmDirect for the Caffe deep-learning matrix sizes
+//! (the paper's Section VI workload), on both simulated devices.
+//!
+//! For each input size, tunes with ATF (ensemble search over the valid
+//! space) and reports the speedup over CLBlast's compiled-in default
+//! configuration.
+//!
+//! Run with: `cargo run --release --example gemm_caffe`
+
+use atf_repro::prelude::*;
+use atf_core::expr::{cst, param};
+use atf_ocl::{buffer_random_f32, scalar};
+use clblast::{caffe, XgemmDirectKernel};
+use ocl_sim::{DeviceModel, Scalar};
+
+/// Builds the XgemmDirect cost function for one device and matrix shape,
+/// with CLBlast's padded launch geometry expressed as ATF arithmetic:
+/// `global = ceil(size/WGD) * {M,N}DIMCD`, `local = ({M,N}DIMCD)`.
+fn gemm_cost_function(device: DeviceModel, m: u64, n: u64, k: u64) -> atf_ocl::OclCostFunction {
+    atf_ocl::ocl_on(device, XgemmDirectKernel)
+        .arg(scalar(Scalar::U64(m)))
+        .arg(scalar(Scalar::U64(n)))
+        .arg(scalar(Scalar::U64(k)))
+        .arg(scalar(1.0f32)) // alpha
+        .arg(scalar(0.0f32)) // beta
+        .arg(buffer_random_f32((m * k) as usize))
+        .arg(buffer_random_f32((k * n) as usize))
+        .arg(buffer_random_f32((m * n) as usize))
+        .global_size([
+            cst(m).ceil_div(param("WGD")) * param("MDIMCD"),
+            cst(n).ceil_div(param("WGD")) * param("NDIMCD"),
+        ])
+        .local_size([param("MDIMCD"), param("NDIMCD")])
+        .seed(7)
+        .build()
+}
+
+fn main() {
+    let budget = 2_000; // evaluations per tuning run
+    let devices = [
+        ("CPU", DeviceModel::xeon_e5_2640v2_dual()),
+        ("GPU", DeviceModel::tesla_k20m()),
+    ];
+
+    for (dev_label, device) in devices {
+        println!("=== {dev_label}: {} ===", device.name);
+        for (label, &(m, n, k)) in caffe::LABELS.iter().zip(&caffe::INPUT_SIZES) {
+            // The native ATF search space: 10 interdependent parameters.
+            let groups = clblast::atf_space(m, n, k);
+
+            let mut cf = gemm_cost_function(device.clone(), m, n, k);
+            let result = Tuner::new()
+                .technique(Ensemble::opentuner_default(1))
+                .abort_condition(abort::evaluations(budget))
+                .tune(&groups, &mut cf)
+                .expect("ATF space is non-empty");
+
+            // Compare against CLBlast's compiled-in defaults.
+            let mut cf_default = gemm_cost_function(device.clone(), m, n, k);
+            let default_cost = cf_default
+                .measure(&clblast::default_config())
+                .expect("default configuration always valid");
+
+            println!(
+                "  {label} ({m:>2}x{k:>2} . {k:>2}x{n:>3}): tuned {:>9.3} us | defaults {:>9.3} us | speedup {:>5.2}x | best: WGD={} MDIMCD={} NDIMCD={} KWID={} VWMD={} VWND={}",
+                result.best_cost / 1e3,
+                default_cost / 1e3,
+                default_cost / result.best_cost,
+                result.best_config.get_u64("WGD"),
+                result.best_config.get_u64("MDIMCD"),
+                result.best_config.get_u64("NDIMCD"),
+                result.best_config.get_u64("KWID"),
+                result.best_config.get_u64("VWMD"),
+                result.best_config.get_u64("VWND"),
+            );
+        }
+    }
+    println!("\n(see `cargo run -p atf-bench --release --bin fig2_speedup` for the full Figure-2 comparison against the CLTune and OpenTuner baselines)");
+}

@@ -1,0 +1,94 @@
+//! The generic cost function (paper, Section II, Step 2): auto-tuning a
+//! program written in an *arbitrary language* — here a POSIX shell script —
+//! via user-provided compile/run scripts and a cost log file.
+//!
+//! The "program" computes a cost landscape over two parameters `BLOCK` and
+//! `UNROLL` and writes `runtime,energy` (comma-separated, multi-objective)
+//! to the log file; ATF minimizes lexicographically.
+//!
+//! Run with: `cargo run --release --example generic_process`
+
+use atf_repro::prelude::*;
+use atf_core::expr::param;
+use std::io::Write;
+use std::path::PathBuf;
+
+fn write_executable(path: &PathBuf, body: &str) {
+    let mut f = std::fs::File::create(path).expect("create script");
+    writeln!(f, "#!/bin/sh\n{body}").expect("write script");
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o755))
+            .expect("chmod script");
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("atf-generic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let log = dir.join("cost.log");
+
+    // The tunable "program": pretends BLOCK=48 / UNROLL=4 is optimal.
+    // Tuning parameters arrive as environment variables ATF_TP_<NAME>.
+    let source = dir.join("program.sh");
+    write_executable(
+        &source,
+        &format!(
+            r#"B=$ATF_TP_BLOCK
+U=$ATF_TP_UNROLL
+DB=$((B - 48)); [ $DB -lt 0 ] && DB=$((-DB))
+DU=$((U - 4));  [ $DU -lt 0 ] && DU=$((-DU))
+RUNTIME=$((100 + DB * 3 + DU * 25))
+ENERGY=$((RUNTIME * (50 + U)))
+echo "$RUNTIME,$ENERGY" > {log}"#,
+            log = log.display()
+        ),
+    );
+
+    // "Compile" script: a syntax check stands in for a compiler invocation.
+    let compile = dir.join("compile.sh");
+    write_executable(&compile, r#"sh -n "$ATF_SOURCE""#);
+
+    // Run script: executes the program (which writes the cost log).
+    let run = dir.join("run.sh");
+    write_executable(&run, r#"sh "$ATF_SOURCE""#);
+
+    let mut cf = ProcessCostFunction::new(&source, &run)
+        .compile_script(&compile)
+        .log_file(&log);
+
+    // BLOCK must be a multiple of UNROLL — an interdependency a generic
+    // tuner without constraints could not express.
+    let params = vec![ParamGroup::new(vec![
+        tp("UNROLL", Range::set([1u64, 2, 4, 8])),
+        tp_c(
+            "BLOCK",
+            Range::interval(8, 96),
+            is_multiple_of(param("UNROLL")),
+        ),
+    ])];
+
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&params, &mut cf)
+        .expect("space non-empty");
+
+    println!(
+        "space: {} valid configurations; evaluated {} (each = compile + run of the external program)",
+        result.space_size, result.evaluations
+    );
+    println!(
+        "best: BLOCK = {}, UNROLL = {}",
+        result.best_config.get_u64("BLOCK"),
+        result.best_config.get_u64("UNROLL")
+    );
+    println!(
+        "cost (runtime, energy) = {:?} — expect [100.0, 5400.0] at BLOCK=48, UNROLL=4",
+        result.best_cost
+    );
+    assert_eq!(result.best_config.get_u64("BLOCK"), 48);
+    assert_eq!(result.best_config.get_u64("UNROLL"), 4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's Listing 2 — auto-tuning the CLBlast saxpy kernel.
+//!
+//! Tunes `WPT` (work-per-thread) and `LS` (local size) of the saxpy kernel
+//! on the simulated Tesla K20c, exactly following the three ATF steps:
+//! 1. describe the search space with (interdependent) tuning parameters,
+//! 2. use the pre-implemented OpenCL cost function,
+//! 3. explore with simulated annealing under an abort condition.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use atf_repro::prelude::*;
+use atf_core::expr::{cst, param};
+use atf_ocl::{buffer_random_f32, scalar, scalar_random_f32};
+use clblast::SaxpyKernel;
+
+fn main() {
+    // The fixed, user-defined input size (Listing 2, line 4).
+    let n: u64 = 1 << 22;
+
+    // Step 1: generate the search space.
+    //   WPT ∈ [1, N] divides N;  LS ∈ [1, N] divides N / WPT.
+    let saxpy_params = vec![ParamGroup::new(vec![
+        tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+        tp_c("LS", Range::interval(1, n), divides(cst(n) / param("WPT"))),
+    ])];
+
+    // Step 2: the pre-implemented OpenCL cost function (Listing 2, 15-24):
+    // device by name, random inputs uploaded once, global/local size as
+    // arithmetic expressions over tuning parameters.
+    let mut cf_saxpy = atf_ocl::ocl("NVIDIA", "Tesla K20c", SaxpyKernel)
+        .expect("simulated Tesla K20c present")
+        .arg(scalar(ocl_sim::Scalar::U64(n)))
+        .arg(scalar_random_f32())
+        .arg(buffer_random_f32(n as usize))
+        .arg(buffer_random_f32(n as usize))
+        .global_size([cst(n) / param("WPT")])
+        .local_size([param("LS")])
+        .build();
+
+    // Step 3: explore the search space (simulated annealing; stop after
+    // 1000 tested configurations — the simulated analogue of the paper's
+    // 10-minute duration condition).
+    let result = Tuner::new()
+        .technique(SimulatedAnnealing::with_seed(42))
+        .abort_condition(abort::evaluations(1000))
+        .tune(&saxpy_params, &mut cf_saxpy)
+        .expect("saxpy space is non-empty");
+
+    println!("searched space of {} valid configurations", result.space_size);
+    println!(
+        "evaluated {} configurations ({} valid, {} rejected by the device)",
+        result.evaluations, result.valid_evaluations, result.failed_evaluations
+    );
+    println!(
+        "best configuration: WPT = {}, LS = {}",
+        result.best_config.get_u64("WPT"),
+        result.best_config.get_u64("LS")
+    );
+    println!(
+        "simulated kernel runtime: {:.3} ms",
+        result.best_cost / 1e6
+    );
+
+    // Show the improvement trajectory.
+    println!("\nimprovement history:");
+    for imp in &result.improvements {
+        println!(
+            "  eval {:>5}: {:.3} ms",
+            imp.evaluation,
+            imp.scalar_cost / 1e6
+        );
+    }
+}

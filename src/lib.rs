@@ -1,0 +1,23 @@
+//! # atf-repro — umbrella crate for the ATF reproduction workspace
+//!
+//! Re-exports the workspace crates under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! * [`atf`] (= `atf_core`) — the auto-tuning framework itself;
+//! * [`sim`] (= `ocl_sim`) — the simulated OpenCL platform;
+//! * [`cf`] (= `atf_ocl`) — pre-implemented OpenCL/CUDA cost functions;
+//! * [`kernels`] (= `clblast`) — the saxpy and XgemmDirect workloads;
+//! * [`comparators`] (= `baselines`) — CLTune- and OpenTuner-like tuners.
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable programs.
+
+pub use atf_core as atf;
+pub use atf_ocl as cf;
+pub use baselines as comparators;
+pub use clblast as kernels;
+pub use ocl_sim as sim;
+
+/// Commonly used items for examples and tests.
+pub mod prelude {
+    pub use atf_core::prelude::*;
+}

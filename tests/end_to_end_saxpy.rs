@@ -1,0 +1,178 @@
+//! End-to-end integration: the paper's Listing 2 pipeline — saxpy tuned
+//! through atf-core + atf-ocl + ocl-sim + clblast.
+
+use atf_core::expr::{cst, param};
+use atf_core::prelude::*;
+use atf_ocl::{buffer_random_f32, scalar, scalar_random_f32};
+use clblast::SaxpyKernel;
+use ocl_sim::DeviceModel;
+
+fn saxpy_cf(device: DeviceModel, n: u64, seed: u64) -> atf_ocl::OclCostFunction {
+    atf_ocl::ocl_on(device, SaxpyKernel)
+        .arg(scalar(ocl_sim::Scalar::U64(n)))
+        .arg(scalar_random_f32())
+        .arg(buffer_random_f32(n as usize))
+        .arg(buffer_random_f32(n as usize))
+        .global_size([cst(n) / param("WPT")])
+        .local_size([param("LS")])
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn exhaustive_finds_the_true_optimum() {
+    // N = 4096 so that some LS values exceed the device's work-group limit
+    // of 1024 — those configurations must fail, not crash.
+    let n = 1u64 << 12;
+    let groups = clblast::saxpy_space(n);
+    let mut cf = saxpy_cf(DeviceModel::tesla_k20m(), n, 1);
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+
+    // Independently scan the space for the minimum.
+    let space = SearchSpace::generate(&groups);
+    let mut cf2 = saxpy_cf(DeviceModel::tesla_k20m(), n, 1);
+    let mut true_best = f64::INFINITY;
+    for cfg in space.iter() {
+        if let Ok(t) = cf2.measure(&cfg) {
+            true_best = true_best.min(t);
+        }
+    }
+    assert!(
+        (result.best_cost - true_best).abs() < 1e-9,
+        "exhaustive missed the optimum: {} vs {}",
+        result.best_cost,
+        true_best
+    );
+    // Some configurations are invalid on the device (LS > max work-group
+    // size); they must be counted as failures, not crash the run.
+    assert!(result.failed_evaluations > 0);
+    assert_eq!(
+        result.evaluations,
+        result.valid_evaluations + result.failed_evaluations
+    );
+}
+
+#[test]
+fn annealing_gets_close_to_exhaustive_within_budget() {
+    let n = 1u64 << 16;
+    let groups = clblast::saxpy_space(n);
+    let mut cf = saxpy_cf(DeviceModel::tesla_k20m(), n, 2);
+    let exhaustive = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+
+    let mut cf = saxpy_cf(DeviceModel::tesla_k20m(), n, 2);
+    let annealed = Tuner::new()
+        .technique(SimulatedAnnealing::with_seed(7))
+        .abort_condition(abort::evaluations(300))
+        .tune(&groups, &mut cf)
+        .unwrap();
+    assert!(annealed.evaluations <= 300);
+    assert!(
+        annealed.best_cost <= exhaustive.best_cost * 3.0,
+        "annealing {} vs exhaustive {}",
+        annealed.best_cost,
+        exhaustive.best_cost
+    );
+}
+
+#[test]
+fn devices_prefer_different_configurations() {
+    // The point of auto-tuning: the same kernel wants different parameters
+    // on different devices.
+    let n = 1u64 << 18;
+    let groups = clblast::saxpy_space(n);
+    let tune = |device: DeviceModel| {
+        let mut cf = saxpy_cf(device, n, 3);
+        Tuner::new()
+            .technique(Exhaustive::new())
+            .tune(&groups, &mut cf)
+            .unwrap()
+    };
+    let gpu = tune(DeviceModel::tesla_k20m());
+    let cpu = tune(DeviceModel::xeon_e5_2640v2_dual());
+    let gpu_wpt = gpu.best_config.get_u64("WPT");
+    let cpu_wpt = cpu.best_config.get_u64("WPT");
+    assert!(
+        cpu_wpt > gpu_wpt,
+        "CPU should prefer larger chunks (got CPU {cpu_wpt}, GPU {gpu_wpt})"
+    );
+}
+
+#[test]
+fn error_checking_validates_every_explored_configuration() {
+    let n = 256u64;
+    let groups = clblast::saxpy_space(n);
+    // Concrete inputs so the verifier can know the expected result.
+    let x = vec![1.0f32; n as usize];
+    let y = vec![2.0f32; n as usize];
+    let a = 3.0f32;
+    let mut cf = atf_ocl::ocl("NVIDIA", "Tesla K20c", SaxpyKernel)
+        .unwrap()
+        .arg(scalar(ocl_sim::Scalar::U64(n)))
+        .arg(scalar(a))
+        .arg(atf_ocl::buffer(x))
+        .arg(atf_ocl::buffer(y))
+        .global_size([cst(n) / param("WPT")])
+        .local_size([param("LS")])
+        .verify_with(move |ctx, args| {
+            let ocl_sim::KernelArg::Buffer(yid) = args[3] else {
+                return Err("arg 3 should be the y buffer".into());
+            };
+            let y = ctx.buffer(yid).borrow_f32();
+            // y = a*x + y = 3*1 + 2 = 5 everywhere.
+            if y.iter().all(|&v| (v - 5.0).abs() < 1e-6) {
+                Ok(())
+            } else {
+                Err("wrong saxpy result".into())
+            }
+        })
+        .build();
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+    // Every *launchable* configuration verified; the only failures are
+    // device-limit rejections, not wrong results.
+    assert!(result.valid_evaluations > 0);
+}
+
+#[test]
+fn fraction_abort_on_real_space() {
+    let n = 1u64 << 12;
+    let groups = clblast::saxpy_space(n);
+    let space_size = SearchSpace::count(&groups);
+    let mut cf = saxpy_cf(DeviceModel::tesla_k20m(), n, 4);
+    let result = Tuner::new()
+        .technique(RandomSearch::with_seed(5))
+        .abort_condition(abort::fraction(0.1))
+        .tune(&groups, &mut cf)
+        .unwrap();
+    let expected = ((space_size as f64) * 0.1).ceil() as u64;
+    assert_eq!(result.evaluations, expected);
+}
+
+#[test]
+fn cuda_cost_function_tunes_like_opencl() {
+    // Section II: the CUDA cost function is used analogously.
+    let n = 1u64 << 12;
+    let groups = clblast::saxpy_space(n);
+    let mut cf = atf_ocl::cuda("Tesla K20m", SaxpyKernel)
+        .unwrap()
+        .arg(scalar(ocl_sim::Scalar::U64(n)))
+        .arg(scalar_random_f32())
+        .arg(buffer_random_f32(n as usize))
+        .arg(buffer_random_f32(n as usize))
+        .global_size([cst(n) / param("WPT")])
+        .local_size([param("LS")])
+        .build();
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+    assert!(result.best_cost > 0.0);
+}

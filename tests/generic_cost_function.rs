@@ -1,0 +1,172 @@
+//! Integration tests for the generic process cost function: ATF driving a
+//! real external program (a shell script) end-to-end.
+
+#![cfg(unix)]
+
+use atf_core::expr::param;
+use atf_core::prelude::*;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn write_executable(path: &Path, body: &str) {
+    let mut f = std::fs::File::create(path).unwrap();
+    writeln!(f, "#!/bin/sh\n{body}").unwrap();
+    use std::os::unix::fs::PermissionsExt;
+    std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o755)).unwrap();
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "atf-int-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn tunes_external_program_via_log_file() {
+    let dir = fresh_dir("log");
+    let log = dir.join("cost.log");
+    let source = dir.join("prog.sh");
+    write_executable(
+        &source,
+        &format!(
+            "T=$ATF_TP_THREADS\nD=$((T - 6)); [ $D -lt 0 ] && D=$((-D))\necho $((10 + D)) > {}",
+            log.display()
+        ),
+    );
+    let run = dir.join("run.sh");
+    write_executable(&run, "sh \"$ATF_SOURCE\"");
+
+    let mut cf = ProcessCostFunction::new(&source, &run).log_file(&log);
+    let groups = vec![ParamGroup::new(vec![tp(
+        "THREADS",
+        Range::interval(1, 16),
+    )])];
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+    assert_eq!(result.best_config.get_u64("THREADS"), 6);
+    assert_eq!(result.best_cost, vec![10.0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compile_failures_become_penalties_not_crashes() {
+    let dir = fresh_dir("cfail");
+    let log = dir.join("cost.log");
+    let source = dir.join("prog.sh");
+    write_executable(
+        &source,
+        &format!("echo $((100 - ATF_TP_X)) > {}", log.display()),
+    );
+    // The compile script rejects odd X values.
+    let compile = dir.join("compile.sh");
+    write_executable(&compile, "[ $((ATF_TP_X % 2)) -eq 0 ] || exit 1");
+    let run = dir.join("run.sh");
+    write_executable(
+        &run,
+        &format!(
+            "X=$ATF_TP_X\nD=$((X - 8)); [ $D -lt 0 ] && D=$((-D))\necho $D > {}",
+            log.display()
+        ),
+    );
+    let mut cf = ProcessCostFunction::new(&source, &run)
+        .compile_script(&compile)
+        .log_file(&log);
+    let groups = vec![ParamGroup::new(vec![tp("X", Range::interval(1, 12))])];
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+    assert_eq!(result.best_config.get_u64("X"), 8);
+    assert_eq!(result.failed_evaluations, 6); // the six odd values
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_objective_log_is_ordered_lexicographically() {
+    let dir = fresh_dir("multi");
+    let log = dir.join("cost.log");
+    let source = dir.join("prog.sh");
+    // Runtime is constant; energy decreases with X: the tuner must pick the
+    // highest X purely on the secondary objective.
+    write_executable(
+        &source,
+        &format!("echo \"5,$((100 - ATF_TP_X))\" > {}", log.display()),
+    );
+    let run = dir.join("run.sh");
+    write_executable(&run, "sh \"$ATF_SOURCE\"");
+    let mut cf = ProcessCostFunction::new(&source, &run).log_file(&log);
+    let groups = vec![ParamGroup::new(vec![tp("X", Range::interval(1, 9))])];
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+    assert_eq!(result.best_config.get_u64("X"), 9);
+    assert_eq!(result.best_cost, vec![5.0, 91.0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wall_clock_mode_without_log_file() {
+    let dir = fresh_dir("wall");
+    let source = dir.join("prog.sh");
+    write_executable(&source, "exit 0");
+    let run = dir.join("run.sh");
+    write_executable(&run, "sh \"$ATF_SOURCE\"");
+    let mut cf = ProcessCostFunction::new(&source, &run);
+    let groups = vec![ParamGroup::new(vec![tp("X", Range::interval(1, 3))])];
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+    assert_eq!(result.evaluations, 3);
+    assert!(result.best_cost[0] >= 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn constraint_dependencies_work_with_external_programs() {
+    // Interdependent parameters driving an external program: TILE must
+    // divide SIZE.
+    let dir = fresh_dir("dep");
+    let log = dir.join("cost.log");
+    let source = dir.join("prog.sh");
+    write_executable(
+        &source,
+        &format!(
+            "S=$ATF_TP_SIZE\nT=$ATF_TP_TILE\necho $((S / T)) > {}",
+            log.display()
+        ),
+    );
+    let run = dir.join("run.sh");
+    write_executable(&run, "sh \"$ATF_SOURCE\"");
+    let mut cf = ProcessCostFunction::new(&source, &run).log_file(&log);
+    let groups = vec![ParamGroup::new(vec![
+        tp("SIZE", Range::set([24u64, 36])),
+        tp_c(
+            "TILE",
+            Range::interval(1, 36),
+            atf_core::constraint::divides(param("SIZE")),
+        ),
+    ])];
+    let result = Tuner::new()
+        .technique(Exhaustive::new())
+        .tune(&groups, &mut cf)
+        .unwrap();
+    // Minimal S/T → SIZE=24, TILE=24 or SIZE=36, TILE=36 (cost 1 each); the
+    // first found in declaration order wins ties.
+    assert_eq!(result.best_cost, vec![1.0]);
+    let s = result.best_config.get_u64("SIZE");
+    let t = result.best_config.get_u64("TILE");
+    assert_eq!(s, t);
+    assert_eq!(result.failed_evaluations, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,232 @@
+//! Property-based tests over the core invariants, with randomly generated
+//! parameter systems.
+
+use atf_core::constraint::{divides, greater_than, is_multiple_of, less_than};
+use atf_core::expr::{cst, param};
+use atf_core::param::{tp, tp_c, Param, ParamGroup};
+use atf_core::prelude::*;
+use atf_core::space::cross_product_filter;
+use proptest::prelude::*;
+
+/// Strategy: a random small parameter group with chained constraints, where
+/// each parameter optionally depends on the previous one.
+fn small_group() -> impl Strategy<Value = ParamGroup> {
+    let names = ["P0", "P1", "P2", "P3"];
+    (
+        2usize..=4,                         // number of parameters
+        prop::collection::vec(1u64..=12, 4), // range ends
+        prop::collection::vec(0u8..4, 4),    // constraint selector per param
+    )
+        .prop_map(move |(n, ends, kinds)| {
+            let mut params: Vec<Param> = Vec::new();
+            for i in 0..n {
+                let name = names[i];
+                let range = Range::interval(1, ends[i].max(1));
+                let p = if i == 0 {
+                    tp(name, range)
+                } else {
+                    let prev = names[i - 1];
+                    match kinds[i] {
+                        0 => tp(name, range),
+                        1 => tp_c(name, range, divides(param(prev))),
+                        2 => tp_c(name, range, is_multiple_of(param(prev))),
+                        _ => tp_c(
+                            name,
+                            range,
+                            less_than(param(prev) * 2u64) & greater_than(cst(0u64)),
+                        ),
+                    }
+                };
+                params.push(p);
+            }
+            ParamGroup::new(params)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The constrained-range DFS produces exactly the same set of valid
+    /// configurations as the brute-force cross-product-then-filter oracle.
+    #[test]
+    fn generation_matches_cross_product_oracle(group in small_group()) {
+        let groups = vec![group];
+        let fast = SearchSpace::generate(&groups);
+        let slow = cross_product_filter(&groups, u64::MAX, None).unwrap();
+        prop_assert_eq!(fast.len(), slow.len() as u128);
+        let fast_all: Vec<Config> = fast.iter().collect();
+        for cfg in &slow {
+            prop_assert!(fast_all.contains(cfg), "missing {:?}", cfg);
+        }
+    }
+
+    /// Counting without materialization agrees with generation.
+    #[test]
+    fn count_equals_generate(group in small_group()) {
+        let groups = vec![group];
+        prop_assert_eq!(
+            SearchSpace::count(&groups),
+            SearchSpace::generate(&groups).len()
+        );
+    }
+
+    /// Parallel generation is equivalent to sequential generation.
+    #[test]
+    fn parallel_equals_sequential(g1 in small_group(), g2 in small_group()) {
+        // Rename the second group's parameters to avoid collisions.
+        // Constraints of g2 reference its old names, which are absent after
+        // renaming; drop them (this property is about the generation
+        // machinery, not the constraints).
+        let renamed: Vec<Param> = g2
+            .params()
+            .iter()
+            .map(|p| Param::new(format!("Q{}", p.name()), p.range().clone()))
+            .collect();
+        let g2 = ParamGroup::new(renamed);
+        let groups = vec![g1, g2];
+        let seq = SearchSpace::generate(&groups);
+        let par = SearchSpace::generate_parallel(&groups);
+        prop_assert_eq!(seq.len(), par.len());
+        if !seq.is_empty() {
+            let step = (seq.len() / 17).max(1);
+            let mut i = 0u128;
+            while i < seq.len() {
+                prop_assert_eq!(seq.get(i), par.get(i));
+                i += step;
+            }
+        }
+    }
+
+    /// Flat-index decompose/compose is a bijection and consistent with
+    /// coordinate access.
+    #[test]
+    fn index_bijection(g1 in small_group(), g2 in small_group()) {
+        let renamed: Vec<Param> = g2
+            .params()
+            .iter()
+            .map(|p| Param::new(format!("Q{}", p.name()), p.range().clone()))
+            .collect();
+        let groups = vec![g1, ParamGroup::new(renamed)];
+        let space = SearchSpace::generate(&groups);
+        if space.is_empty() {
+            return Ok(());
+        }
+        let step = (space.len() / 29).max(1);
+        let mut i = 0u128;
+        while i < space.len() {
+            let coords = space.decompose(i);
+            prop_assert_eq!(space.compose(&coords), i);
+            prop_assert_eq!(space.get(i), space.get_by_coords(&coords));
+            i += step;
+        }
+    }
+
+    /// Every generated configuration satisfies its declared constraints.
+    #[test]
+    fn generated_configs_satisfy_constraints(group in small_group()) {
+        let groups = vec![group.clone()];
+        let space = SearchSpace::generate(&groups);
+        for cfg in space.iter() {
+            // Re-check each constraint against the *prefix* configuration,
+            // mirroring generation semantics.
+            let mut prefix = Config::new();
+            for p in group.params() {
+                let v = cfg[p.name()].clone();
+                if let Some(c) = p.constraint() {
+                    prop_assert!(c.check(&v, &prefix), "{:?} violates {:?}", cfg, c);
+                }
+                prefix.push(p.name().into(), v);
+            }
+        }
+    }
+
+    /// Range laws: get(i) enumerates exactly len() elements, iter agrees
+    /// with get, and contains agrees with enumeration.
+    #[test]
+    fn range_laws(begin in 0u64..50, span in 0u64..40, step in 1u64..7) {
+        let end = begin + span;
+        let r = Range::interval_step(begin, end, step);
+        let items: Vec<Value> = r.iter().collect();
+        prop_assert_eq!(items.len() as u64, r.len());
+        for (i, v) in items.iter().enumerate() {
+            prop_assert_eq!(&r.get(i as u64), v);
+            prop_assert!(r.contains(v));
+        }
+        // A value between grid points is not contained.
+        if step > 1 && !r.is_empty() {
+            let off = Value::from(begin + 1);
+            prop_assert_eq!(r.contains(&off), (1 % step) == 0);
+        }
+    }
+
+    /// Lexicographic cost pairs: ordering by pair == ordering by first then
+    /// second component.
+    #[test]
+    fn lexicographic_pair_order(a1 in 0.0f64..10.0, a2 in 0.0f64..10.0,
+                                b1 in 0.0f64..10.0, b2 in 0.0f64..10.0) {
+        let p = (a1, a2);
+        let q = (b1, b2);
+        let expected = if a1 == b1 { a2 < b2 } else { a1 < b1 };
+        prop_assert_eq!(p < q, expected);
+    }
+
+    /// Simulated annealing acceptance: always accepts improvements, and for
+    /// regressions the probability is within (0, 1] and monotone in T.
+    #[test]
+    fn annealing_acceptance_laws(t in 0.1f64..10.0, delta in 0.0f64..5.0) {
+        use atf_core::search::annealing::SimulatedAnnealing;
+        let p_better = SimulatedAnnealing::acceptance_probability(t + delta, t, 4.0, t);
+        prop_assert_eq!(p_better, 1.0);
+        let p_worse = SimulatedAnnealing::acceptance_probability(t, t + delta, 4.0, t);
+        prop_assert!(p_worse > 0.0 && p_worse <= 1.0);
+        let p_hotter = SimulatedAnnealing::acceptance_probability(t, t + delta, 8.0, t);
+        prop_assert!(p_hotter >= p_worse - 1e-12);
+    }
+
+    /// The exhaustive technique visits a space of size |dims| exactly once,
+    /// regardless of shape.
+    #[test]
+    fn exhaustive_visits_once(sizes in prop::collection::vec(1u64..6, 1..4)) {
+        use atf_core::search::{Exhaustive, SearchTechnique, SpaceDims};
+        let total: u64 = sizes.iter().product();
+        let mut t = Exhaustive::new();
+        t.initialize(SpaceDims::new(sizes));
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = t.get_next_point() {
+            prop_assert!(seen.insert(p));
+            t.report_cost(0.0);
+        }
+        prop_assert_eq!(seen.len() as u64, total);
+    }
+
+    /// The preprocessor substitutes exactly whole identifiers: substituting
+    /// then scanning finds no remaining defined names.
+    #[test]
+    fn preprocessor_total_substitution(v1 in 1u64..1000, v2 in 1u64..1000) {
+        use ocl_sim::preprocessor::{substitute, DefineMap};
+        let src = "a WPT b LS c WPT_X dWPT WPT;LS(WPT)";
+        let defs = DefineMap::new()
+            .with("WPT", v1.to_string())
+            .with("LS", v2.to_string());
+        let out = substitute(src, &defs);
+        // Remaining "WPT" occurrences may only be inside longer identifiers.
+        for (i, _) in out.match_indices("WPT") {
+            let before = out[..i].chars().next_back();
+            let after = out[i + 3..].chars().next();
+            let glued = before.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                || after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            prop_assert!(glued, "bare WPT left in `{}`", out);
+        }
+    }
+}
+
+#[test]
+fn xgemm_space_sample_against_kernel_validation() {
+    // Every configuration of the generated XgemmDirect space must pass the
+    // kernel's own interdependency validation (declarative constraints ==
+    // kernel requirements).
+    assert!(clblast::xgemm_space::space_is_sound(
+        &clblast::xgemm_space::atf_space_wgd_max(20),
+        500,
+    ));
+}
