@@ -1,8 +1,8 @@
 //! # atf-cli — tune any program from a JSON specification
 //!
 //! The command-line face of the generic cost function (paper, Section II,
-//! Step 2): a JSON file declares the program (source + compile/run scripts
-//! + optional cost log), the tuning parameters with ranges and *constraint
+//! Step 2): a JSON file declares the program (source, compile/run scripts,
+//! optional cost log), the tuning parameters with ranges and *constraint
 //! strings* (parsed by [`atf_core::parse`]), the search technique, and the
 //! abort conditions; the tool runs the tuning loop and (optionally) records
 //! the result in a [`atf_core::db::TuningDatabase`].
@@ -26,15 +26,18 @@
 //! }
 //! ```
 
-use atf_core::abort::{self, Abort};
-use atf_core::param::{auto_group, tp, Param};
-use atf_core::parse::parse_constraint;
+use atf_core::abort::Abort;
+use atf_core::param::{auto_group, Param};
 use atf_core::prelude::*;
 use atf_core::process::{LexCosts, ProcessCostFunction};
+use atf_core::spec;
 use serde::Deserialize;
 use std::fmt;
 use std::path::PathBuf;
-use std::time::Duration;
+
+// The declarative spec types live in `atf_core::spec` (shared with the
+// tuning service); re-exported here for backward compatibility.
+pub use atf_core::spec::{AbortSpec, IntervalSpec, ParameterSpec, SearchSpec, SpecError};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -52,6 +55,8 @@ pub enum CliError {
     Tuning(TuningError),
     /// The database could not be read or written.
     Database(String),
+    /// Talking to the tuning service failed.
+    Service(String),
 }
 
 impl fmt::Display for CliError {
@@ -63,11 +68,23 @@ impl fmt::Display for CliError {
             }
             CliError::Tuning(e) => write!(f, "tuning failed: {e}"),
             CliError::Database(m) => write!(f, "database error: {m}"),
+            CliError::Service(m) => write!(f, "service error: {m}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        match e {
+            SpecError::Invalid(m) => CliError::Spec(m),
+            SpecError::Constraint { parameter, message } => {
+                CliError::Constraint { parameter, message }
+            }
+        }
+    }
+}
 
 /// The program under tuning (the generic cost function's inputs).
 #[derive(Clone, Debug, Deserialize)]
@@ -83,83 +100,6 @@ pub struct ProgramSpec {
     /// it, wall-clock runtime is the cost.
     #[serde(default)]
     pub log_file: Option<PathBuf>,
-}
-
-/// An inclusive integer interval with optional step.
-#[derive(Clone, Debug, Deserialize)]
-pub struct IntervalSpec {
-    /// First value.
-    pub begin: u64,
-    /// Last value (inclusive).
-    pub end: u64,
-    /// Step size (default 1).
-    #[serde(default = "one")]
-    pub step: u64,
-}
-
-fn one() -> u64 {
-    1
-}
-
-/// One tuning parameter.
-#[derive(Clone, Debug, Deserialize)]
-pub struct ParameterSpec {
-    /// Unique name (also the `ATF_TP_<NAME>` environment variable).
-    pub name: String,
-    /// Interval range (exactly one of `interval`/`set` must be given).
-    #[serde(default)]
-    pub interval: Option<IntervalSpec>,
-    /// Explicit value set.
-    #[serde(default)]
-    pub set: Option<Vec<u64>>,
-    /// Constraint string, e.g. `"divides(N / WPT)"` (see
-    /// [`atf_core::parse::parse_constraint`]).
-    #[serde(default)]
-    pub constraint: Option<String>,
-}
-
-/// Search-technique selection.
-#[derive(Clone, Debug, Deserialize)]
-pub struct SearchSpec {
-    /// One of `exhaustive`, `random`, `annealing`, `ensemble` (default).
-    #[serde(default = "default_technique")]
-    pub technique: String,
-    /// RNG seed for deterministic runs.
-    #[serde(default)]
-    pub seed: u64,
-}
-
-fn default_technique() -> String {
-    "ensemble".to_string()
-}
-
-impl Default for SearchSpec {
-    fn default() -> Self {
-        SearchSpec {
-            technique: default_technique(),
-            seed: 0,
-        }
-    }
-}
-
-/// Abort conditions; the given fields are OR-combined (first to fire stops
-/// the run). With no field set, the paper's default `evaluations(S)` is
-/// used.
-#[derive(Clone, Debug, Default, Deserialize)]
-pub struct AbortSpec {
-    /// Stop after this many tested configurations.
-    #[serde(default)]
-    pub evaluations: Option<u64>,
-    /// Stop after this many seconds.
-    #[serde(default)]
-    pub duration_secs: Option<f64>,
-    /// Stop once a cost ≤ this is found.
-    #[serde(default)]
-    pub cost: Option<f64>,
-    /// Stop when the last `stagnation_evaluations` did not improve the best
-    /// cost by ≥ 5 %.
-    #[serde(default)]
-    pub stagnation_evaluations: Option<u64>,
 }
 
 /// The whole tuning specification.
@@ -205,71 +145,15 @@ impl TuningSpec {
 
     /// Builds the parameter list (parsing constraint strings).
     pub fn build_params(&self) -> Result<Vec<Param>, CliError> {
-        if self.parameters.is_empty() {
-            return Err(CliError::Spec("no parameters declared".to_string()));
-        }
-        self.parameters
-            .iter()
-            .map(|p| {
-                let range = match (&p.interval, &p.set) {
-                    (Some(iv), None) => Range::interval_step(iv.begin, iv.end, iv.step.max(1)),
-                    (None, Some(vals)) => Range::set(vals.iter().copied()),
-                    _ => {
-                        return Err(CliError::Spec(format!(
-                            "parameter `{}` needs exactly one of `interval` or `set`",
-                            p.name
-                        )))
-                    }
-                };
-                let mut param = tp(p.name.as_str(), range);
-                if let Some(text) = &p.constraint {
-                    let c = parse_constraint(text).map_err(|e| CliError::Constraint {
-                        parameter: p.name.clone(),
-                        message: e.to_string(),
-                    })?;
-                    param = param.with_constraint(c);
-                }
-                Ok(param)
-            })
-            .collect()
+        spec::build_params(&self.parameters).map_err(CliError::from)
     }
 
     fn build_abort(&self) -> Option<Abort> {
-        let mut acc: Option<Abort> = None;
-        let mut add = |a: Abort| {
-            acc = Some(match acc.take() {
-                Some(prev) => prev | a,
-                None => a,
-            });
-        };
-        if let Some(n) = self.abort.evaluations {
-            add(abort::evaluations(n));
-        }
-        if let Some(s) = self.abort.duration_secs {
-            add(abort::duration(Duration::from_secs_f64(s)));
-        }
-        if let Some(c) = self.abort.cost {
-            add(abort::cost(c));
-        }
-        if let Some(n) = self.abort.stagnation_evaluations {
-            add(abort::speedup_over_evaluations(1.05, n));
-        }
-        acc
+        spec::build_abort(&self.abort)
     }
 
-    fn build_technique(&self) -> Result<Box<dyn SearchTechnique>, CliError> {
-        let seed = self.search.seed;
-        Ok(match self.search.technique.as_str() {
-            "exhaustive" => Box::new(Exhaustive::new()),
-            "random" => Box::new(RandomSearch::with_seed(seed)),
-            "annealing" => Box::new(SimulatedAnnealing::with_seed(seed)),
-            "ensemble" => Box::new(Ensemble::opentuner_default(seed)),
-            other => {
-                return Err(CliError::Spec(format!(
-                    "unknown technique `{other}` (expected exhaustive, random, annealing, ensemble)"
-                )))
-            }
-        })
+    pub(crate) fn build_technique(&self) -> Result<Box<dyn SearchTechnique>, CliError> {
+        spec::build_technique(&self.search).map_err(CliError::from)
     }
 
     fn build_cost_function(&self) -> ProcessCostFunction {
@@ -316,25 +200,13 @@ pub fn run(spec: &TuningSpec) -> Result<CliOutcome, CliError> {
         } else {
             TuningDatabase::new()
         };
-        let kernel = spec.kernel_name.clone().unwrap_or_else(|| {
-            spec.program
-                .source
-                .file_name()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| "program".to_string())
-        });
-        let device = spec.device_name.clone().unwrap_or_else(|| "local".to_string());
-        let workload = spec.workload.clone().unwrap_or_default();
+        let (kernel, device, workload) = database_key(spec);
         db.store(
             &kernel,
             &device,
             &workload,
             &result.best_config,
-            result
-                .best_cost
-                .first()
-                .copied()
-                .unwrap_or(f64::INFINITY),
+            result.best_cost.first().copied().unwrap_or(f64::INFINITY),
             result.evaluations,
             result.space_size,
         );
@@ -343,6 +215,89 @@ pub fn run(spec: &TuningSpec) -> Result<CliOutcome, CliError> {
         database = Some(db_path.clone());
     }
     Ok(CliOutcome { result, database })
+}
+
+/// The database key of a specification: `(kernel, device, workload)`.
+pub fn database_key(spec: &TuningSpec) -> (String, String, String) {
+    let kernel = spec.kernel_name.clone().unwrap_or_else(|| {
+        spec.program
+            .source
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "program".to_string())
+    });
+    let device = spec
+        .device_name
+        .clone()
+        .unwrap_or_else(|| "local".to_string());
+    let workload = spec.workload.clone().unwrap_or_default();
+    (kernel, device, workload)
+}
+
+/// The service-session view of a specification (everything but the
+/// program, which stays local: the service owns the search, this process
+/// owns the measurement).
+pub fn session_spec(spec: &TuningSpec) -> atf_service::SessionSpec {
+    let (kernel, device, workload) = database_key(spec);
+    atf_service::SessionSpec {
+        kernel,
+        device: Some(device),
+        workload: Some(workload),
+        parameters: spec.parameters.clone(),
+        search: Some(spec.search.clone()),
+        abort: Some(spec.abort.clone()),
+    }
+}
+
+fn wire_to_config(wire: &atf_service::client::WireConfig) -> Config {
+    Config::from_pairs(wire.iter().map(|(n, v)| (n.as_str(), Value::UInt(*v))))
+}
+
+/// Drives a remote tuning session end to end over any service transport:
+/// opens a session from the specification, measures each configuration the
+/// service hands out with the spec's program, and returns the service's
+/// final result.
+pub fn run_remote<T: atf_service::Transport>(
+    spec: &TuningSpec,
+    client: &mut atf_service::Client<T>,
+) -> Result<atf_service::Response, CliError> {
+    let session = session_spec(spec);
+    let mut cf = spec.build_cost_function();
+    client
+        .tune(&session, |wire| {
+            let config = wire_to_config(wire);
+            cf.evaluate(&config)
+                .ok()
+                .and_then(|costs| costs.first().copied())
+        })
+        .map_err(|e| CliError::Service(e.to_string()))
+}
+
+/// Renders a service response (from `finish` or `lookup`) as the CLI's
+/// human-readable report.
+pub fn report_remote(response: &atf_service::Response) -> String {
+    let mut out = String::new();
+    if let Some(s) = &response.space_size {
+        out.push_str(&format!("search space: {s} valid configurations\n"));
+    }
+    if let Some(e) = response.evaluations {
+        out.push_str(&format!(
+            "evaluated:    {e} ({} valid, {} failed)\n",
+            response.valid_evaluations.unwrap_or(0),
+            response.failed_evaluations.unwrap_or(0)
+        ));
+    }
+    if let Some(cfg) = &response.best_config {
+        let rendered: Vec<String> = cfg.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        out.push_str(&format!("best config:  {}\n", rendered.join(" ")));
+    }
+    if let Some(c) = response.best_cost {
+        out.push_str(&format!("best cost:    {c}\n"));
+    }
+    if let Some(src) = &response.source {
+        out.push_str(&format!("served from:  {src}\n"));
+    }
+    out
 }
 
 /// Renders the outcome as the CLI's human-readable report.
@@ -481,6 +436,63 @@ mod tests {
         let text = report(&outcome);
         assert!(text.contains("best config"));
         assert!(text.contains("BLOCK=24"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn remote_session_over_loopback_matches_local_run() {
+        use std::sync::Arc;
+
+        let dir = fresh_dir("loopback");
+        let log = dir.join("cost.log");
+        let source = dir.join("prog.sh");
+        write_executable(
+            &source,
+            &format!(
+                "B=$ATF_TP_BLOCK\nD=$((B - 20)); [ $D -lt 0 ] && D=$((-D))\necho $((5 + D)) > {}",
+                log.display()
+            ),
+        );
+        let run_sh = dir.join("run.sh");
+        write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+        let spec = TuningSpec::from_json(&format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+              "parameters": [{{"name": "BLOCK", "interval": {{"begin": 8, "end": 32}}}}],
+              "search": {{"technique": "exhaustive"}},
+              "kernel_name": "loopback-toy"
+            }}"#,
+            source.display(),
+            run_sh.display(),
+            log.display()
+        ))
+        .unwrap();
+
+        let local = run(&spec).unwrap();
+
+        let manager = Arc::new(atf_service::SessionManager::in_memory());
+        let mut client = atf_service::Client::loopback(Arc::clone(&manager));
+        let remote = run_remote(&spec, &mut client).unwrap();
+
+        // The remote session explores the same space with the same
+        // technique, so the results agree exactly.
+        let remote_best = remote.best_config.as_ref().unwrap();
+        assert_eq!(
+            remote_best["BLOCK"],
+            local.result.best_config.get_u64("BLOCK")
+        );
+        assert_eq!(remote.best_cost, local.result.best_cost.first().copied());
+        assert_eq!(remote.evaluations, Some(local.result.evaluations));
+
+        // The finished session is now in the service's database.
+        let hit = client.lookup("loopback-toy", None, None).unwrap().unwrap();
+        assert_eq!(hit.best_cost, remote.best_cost);
+        assert_eq!(hit.source.as_deref(), Some("database"));
+
+        let text = report_remote(&remote);
+        assert!(text.contains("best config"));
+        assert!(text.contains("BLOCK=20"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

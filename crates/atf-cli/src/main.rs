@@ -1,43 +1,297 @@
-//! `atf-tune <spec.json>` — tune a program from a JSON specification.
+//! `atf-tune` — the command-line auto-tuner.
 //!
+//! ```text
+//! atf-tune run <spec.json>          tune locally
+//! atf-tune serve --addr A --db P    run the tuning service
+//! atf-tune client --addr A <spec>   drive a remote session
+//! ```
+//!
+//! Exit codes: 0 success, 1 tuning/service failure, 2 usage error.
 //! See the crate docs (`atf_cli`) for the specification format.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: atf-tune <command> [options]
+
+commands:
+  run <spec.json>        Tune the program described by the specification
+                         in this process (search + measurement local).
+  serve [options]        Run the tuning service: searches live here,
+                         clients measure and report costs over TCP.
+  client [options] ...   Drive a session on a remote service: the service
+                         searches, this process measures the program.
+  help [command]         Show this message, or a command's usage.
+
+exit codes: 0 success, 1 tuning failure, 2 usage error
+
+Run `atf-tune help <command>` for per-command options.";
+
+const RUN_USAGE: &str = "usage: atf-tune run <spec.json>
+
+Auto-tunes the program described by the JSON specification:
+compile/run scripts, tuning parameters with constraint strings
+(e.g. \"divides(N / WPT)\"), search technique, abort conditions,
+and an optional tuning database to record the best configuration.";
+
+const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] [--idle-secs N]
+
+Runs the tuning service until SIGINT (ctrl-c).
+
+  --addr HOST:PORT   Listen address (default 127.0.0.1:7117).
+  --db PATH          Tuning-database file: loaded at start, updated as
+                     sessions finish (default: in-memory only).
+  --idle-secs N      Expire sessions idle longer than N seconds
+                     (default 900).";
+
+const CLIENT_USAGE: &str = "usage: atf-tune client [--addr HOST:PORT] <spec.json>
+       atf-tune client [--addr HOST:PORT] --lookup KERNEL [--device D] [--workload W]
+
+With a spec: opens a session on the service, measures each configuration
+the service hands out by running the spec's program locally, and prints
+the final result. With --lookup: prints the service's stored best
+configuration for the key, without tuning.
+
+  --addr HOST:PORT   Service address (default 127.0.0.1:7117).";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    match args.get(1).map(String::as_str) {
-        Some("--help" | "-h") | None => {
-            eprintln!("usage: atf-tune <spec.json>");
-            eprintln!();
-            eprintln!("Auto-tunes the program described by the JSON specification:");
-            eprintln!("compile/run scripts, tuning parameters with constraint strings");
-            eprintln!("(e.g. \"divides(N / WPT)\"), search technique, abort conditions,");
-            eprintln!("and an optional tuning database to record the best configuration.");
-            if args.len() < 2 {
-                ExitCode::from(2)
-            } else {
-                ExitCode::SUCCESS
-            }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
-        Some(path) => {
-            let spec = match atf_cli::TuningSpec::load(path) {
+        Some("--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("help") => {
+            let text = match args.get(1).map(String::as_str) {
+                Some("run") => RUN_USAGE,
+                Some("serve") => SERVE_USAGE,
+                Some("client") => CLIENT_USAGE,
+                _ => USAGE,
+            };
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        // Backward compatibility: `atf-tune <spec.json>` still tunes.
+        Some(path) if !path.starts_with('-') => cmd_run(&args),
+        Some(flag) => {
+            eprintln!("atf-tune: unknown option `{flag}`");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn wants_help(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// Pops `--flag VALUE` from `args`; `Err` on a flag without a value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("`{flag}` needs a value")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{RUN_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let [path] = args else {
+        eprintln!("{RUN_USAGE}");
+        return ExitCode::from(2);
+    };
+    let spec = match atf_cli::TuningSpec::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("atf-tune: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match atf_cli::run(&spec) {
+        Ok(outcome) => {
+            print!("{}", atf_cli::report(&outcome));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("atf-tune: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{SERVE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<(String, Option<String>, u64), String> {
+        let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
+        let db = take_flag(&mut args, "--db")?;
+        let idle = match take_flag(&mut args, "--idle-secs")? {
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("`--idle-secs` needs an integer, got `{s}`"))?,
+            None => 900,
+        };
+        if let Some(extra) = args.first() {
+            return Err(format!("unexpected argument `{extra}`"));
+        }
+        Ok((addr, db, idle))
+    })();
+    let (addr, db, idle_secs) = match parsed {
+        Ok(p) => p,
+        Err(m) => {
+            eprintln!("atf-tune serve: {m}");
+            eprintln!("{SERVE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let manager = match atf_service::SessionManager::new(atf_service::ManagerConfig {
+        db_path: db.map(Into::into),
+        idle_timeout: Duration::from_secs(idle_secs),
+    }) {
+        Ok(m) => Arc::new(m),
+        Err(e) => {
+            eprintln!("atf-tune serve: could not load database: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match atf_service::Server::bind(&addr, manager) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("atf-tune serve: could not bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    server.install_sigint();
+    match server.local_addr() {
+        Ok(bound) => eprintln!("atf-tune: serving on {bound} (ctrl-c to stop)"),
+        Err(_) => eprintln!("atf-tune: serving on {addr} (ctrl-c to stop)"),
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("atf-tune: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("atf-tune serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{CLIENT_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<(String, ClientMode), String> {
+        let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
+        if let Some(kernel) = take_flag(&mut args, "--lookup")? {
+            let device = take_flag(&mut args, "--device")?;
+            let workload = take_flag(&mut args, "--workload")?;
+            if let Some(extra) = args.first() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            return Ok((
+                addr,
+                ClientMode::Lookup {
+                    kernel,
+                    device,
+                    workload,
+                },
+            ));
+        }
+        match args.as_slice() {
+            [path] => Ok((addr.clone(), ClientMode::Tune { spec: path.clone() })),
+            [] => Err("need a <spec.json> or --lookup KERNEL".to_string()),
+            [_, extra, ..] => Err(format!("unexpected argument `{extra}`")),
+        }
+    })();
+    let (addr, mode) = match parsed {
+        Ok(p) => p,
+        Err(m) => {
+            eprintln!("atf-tune client: {m}");
+            eprintln!("{CLIENT_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut client = match atf_service::Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("atf-tune client: could not connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode {
+        ClientMode::Tune { spec } => {
+            let spec = match atf_cli::TuningSpec::load(&spec) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("atf-tune: {e}");
                     return ExitCode::from(2);
                 }
             };
-            match atf_cli::run(&spec) {
-                Ok(outcome) => {
-                    print!("{}", atf_cli::report(&outcome));
+            match atf_cli::run_remote(&spec, &mut client) {
+                Ok(response) => {
+                    print!("{}", atf_cli::report_remote(&response));
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("atf-tune: {e}");
+                    eprintln!("atf-tune client: {e}");
                     ExitCode::FAILURE
                 }
             }
         }
+        ClientMode::Lookup {
+            kernel,
+            device,
+            workload,
+        } => match client.lookup(&kernel, device.as_deref(), workload.as_deref()) {
+            Ok(Some(response)) => {
+                print!("{}", atf_cli::report_remote(&response));
+                ExitCode::SUCCESS
+            }
+            Ok(None) => {
+                eprintln!("atf-tune client: no stored result for `{kernel}`");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("atf-tune client: {e}");
+                ExitCode::FAILURE
+            }
+        },
     }
+}
+
+enum ClientMode {
+    Tune {
+        spec: String,
+    },
+    Lookup {
+        kernel: String,
+        device: Option<String>,
+        workload: Option<String>,
+    },
 }

@@ -1,0 +1,192 @@
+//! Black-box tests of the `atf-tune` binary: documented exit codes
+//! (0 success, 1 tuning failure, 2 usage error), per-subcommand usage
+//! text, and the serve/client pair end to end across real processes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Output, Stdio};
+
+fn atf_tune() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_atf-tune"))
+}
+
+fn run_with(args: &[&str]) -> Output {
+    atf_tune().args(args).output().unwrap()
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("no exit code")
+}
+
+#[test]
+fn no_args_is_a_usage_error() {
+    let out = run_with(&[]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: atf-tune"));
+}
+
+#[test]
+fn help_exits_zero() {
+    for args in [
+        &["--help"][..],
+        &["-h"][..],
+        &["help"][..],
+        &["help", "run"][..],
+        &["help", "serve"][..],
+        &["help", "client"][..],
+        &["run", "--help"][..],
+        &["serve", "--help"][..],
+        &["client", "--help"][..],
+    ] {
+        let out = run_with(args);
+        assert_eq!(exit_code(&out), 0, "{args:?} should exit 0");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("usage:"),
+            "{args:?} should print usage to stdout"
+        );
+    }
+    let serve_help = run_with(&["help", "serve"]);
+    assert!(String::from_utf8_lossy(&serve_help.stdout).contains("--addr"));
+}
+
+#[test]
+fn bad_inputs_are_usage_errors() {
+    // Unknown flag, missing spec, unreadable spec, bad flag value.
+    assert_eq!(exit_code(&run_with(&["--wat"])), 2);
+    assert_eq!(exit_code(&run_with(&["run"])), 2);
+    assert_eq!(exit_code(&run_with(&["run", "/nonexistent/spec.json"])), 2);
+    assert_eq!(exit_code(&run_with(&["serve", "--idle-secs", "soon"])), 2);
+    assert_eq!(exit_code(&run_with(&["serve", "--addr"])), 2);
+    assert_eq!(exit_code(&run_with(&["client"])), 2);
+    assert_eq!(exit_code(&run_with(&["client", "a.json", "b.json"])), 2);
+}
+
+#[cfg(unix)]
+fn write_executable(path: &std::path::Path, body: &str) {
+    let mut f = std::fs::File::create(path).unwrap();
+    writeln!(f, "#!/bin/sh\n{body}").unwrap();
+    use std::os::unix::fs::PermissionsExt;
+    std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o755)).unwrap();
+}
+
+/// A tuning failure (empty search space) exits 1, not 2.
+#[cfg(unix)]
+#[test]
+fn tuning_failure_exits_one() {
+    let dir = std::env::temp_dir().join(format!("atf-cli-bin-fail-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("prog.sh");
+    write_executable(&source, "true");
+    let run_sh = dir.join("run.sh");
+    write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(
+        &spec_path,
+        format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}"}},
+              "parameters": [{{"name": "X", "set": [2, 4], "constraint": "less_than(1)"}}]
+            }}"#,
+            source.display(),
+            run_sh.display()
+        ),
+    )
+    .unwrap();
+    let out = run_with(&["run", spec_path.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("tuning failed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// serve + client across real processes: tune remotely, look the result
+/// up, then stop the server with SIGINT and see it exit cleanly.
+#[cfg(unix)]
+#[test]
+fn serve_and_client_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("atf-cli-bin-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("cost.log");
+    let source = dir.join("prog.sh");
+    write_executable(
+        &source,
+        &format!(
+            "B=$ATF_TP_BLOCK\nD=$((B - 12)); [ $D -lt 0 ] && D=$((-D))\necho $((3 + D)) > {}",
+            log.display()
+        ),
+    );
+    let run_sh = dir.join("run.sh");
+    write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(
+        &spec_path,
+        format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+              "parameters": [{{"name": "BLOCK", "interval": {{"begin": 8, "end": 16}}}}],
+              "search": {{"technique": "exhaustive"}},
+              "kernel_name": "bin-e2e"
+            }}"#,
+            source.display(),
+            run_sh.display(),
+            log.display()
+        ),
+    )
+    .unwrap();
+    let db_path = dir.join("db.json");
+
+    // Start the service on an ephemeral port; its first stderr line
+    // announces the bound address.
+    let mut server = atf_tune()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--db",
+            db_path.to_str().unwrap(),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut server_stderr = BufReader::new(server.stderr.take().unwrap());
+    let mut banner = String::new();
+    server_stderr.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("serving on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+
+    let tuned = run_with(&["client", "--addr", &addr, spec_path.to_str().unwrap()]);
+    assert_eq!(
+        exit_code(&tuned),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&tuned.stderr)
+    );
+    let report = String::from_utf8_lossy(&tuned.stdout).to_string();
+    assert!(report.contains("BLOCK=12"), "report: {report}");
+    assert!(report.contains("best cost:    3"), "report: {report}");
+
+    let hit = run_with(&["client", "--addr", &addr, "--lookup", "bin-e2e"]);
+    assert_eq!(exit_code(&hit), 0);
+    let hit_report = String::from_utf8_lossy(&hit.stdout).to_string();
+    assert!(hit_report.contains("BLOCK=12"), "report: {hit_report}");
+    assert!(
+        hit_report.contains("served from:  database"),
+        "report: {hit_report}"
+    );
+
+    let miss = run_with(&["client", "--addr", &addr, "--lookup", "never-tuned"]);
+    assert_eq!(exit_code(&miss), 1);
+
+    // Graceful shutdown on SIGINT.
+    let kill = Command::new("kill")
+        .args(["-INT", &server.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(kill.success());
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exit: {status:?}");
+    assert!(db_path.exists(), "database not persisted");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -159,7 +159,8 @@ impl TuningDatabase {
 
     /// Looks up just the configuration.
     pub fn lookup_config(&self, kernel: &str, device: &str, workload: &str) -> Option<Config> {
-        self.lookup(kernel, device, workload).map(TuningRecord::config)
+        self.lookup(kernel, device, workload)
+            .map(TuningRecord::config)
     }
 
     /// All records, ordered by key.
@@ -210,7 +211,15 @@ mod tests {
     #[test]
     fn store_and_lookup() {
         let mut db = TuningDatabase::new();
-        assert!(db.store("XgemmDirect", "Tesla K20m", "is4", &sample_config(), 42.0, 100, 1000));
+        assert!(db.store(
+            "XgemmDirect",
+            "Tesla K20m",
+            "is4",
+            &sample_config(),
+            42.0,
+            100,
+            1000
+        ));
         let r = db.lookup("XgemmDirect", "Tesla K20m", "is4").unwrap();
         assert_eq!(r.cost, 42.0);
         let cfg = r.config();

@@ -152,7 +152,10 @@ macro_rules! group {
 /// what ATF does when the user supplies ungrouped parameters to the tuner
 /// (no interdependencies assumed between them).
 pub fn singleton_groups(params: Vec<Param>) -> Vec<ParamGroup> {
-    params.into_iter().map(|p| ParamGroup::new(vec![p])).collect()
+    params
+        .into_iter()
+        .map(|p| ParamGroup::new(vec![p]))
+        .collect()
 }
 
 /// **Automatic dependency detection** — an extension beyond the paper,
@@ -249,7 +252,6 @@ pub fn auto_group(params: Vec<Param>) -> Vec<ParamGroup> {
         .collect()
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,11 +302,19 @@ mod tests {
         ]);
         assert_eq!(groups.len(), 2);
         assert_eq!(
-            groups[0].params().iter().map(|x| x.name()).collect::<Vec<_>>(),
+            groups[0]
+                .params()
+                .iter()
+                .map(|x| x.name())
+                .collect::<Vec<_>>(),
             vec!["tp1", "tp2"]
         );
         assert_eq!(
-            groups[1].params().iter().map(|x| x.name()).collect::<Vec<_>>(),
+            groups[1]
+                .params()
+                .iter()
+                .map(|x| x.name())
+                .collect::<Vec<_>>(),
             vec!["tp3", "tp4"]
         );
     }
@@ -320,7 +330,11 @@ mod tests {
         ]);
         assert_eq!(groups.len(), 2);
         assert_eq!(
-            groups[0].params().iter().map(|x| x.name()).collect::<Vec<_>>(),
+            groups[0]
+                .params()
+                .iter()
+                .map(|x| x.name())
+                .collect::<Vec<_>>(),
             vec!["A", "B", "C"]
         );
         assert_eq!(groups[1].params()[0].name(), "X");
@@ -333,8 +347,7 @@ mod tests {
         let groups = auto_group(vec![
             tp("A", Range::interval(1, 4)),
             tp("B", Range::interval(1, 4)),
-            tp("C", Range::interval(1, 4))
-                .with_constraint(Constraint::new("opaque", |_, _| true)),
+            tp("C", Range::interval(1, 4)).with_constraint(Constraint::new("opaque", |_, _| true)),
         ]);
         assert_eq!(groups.len(), 1);
     }

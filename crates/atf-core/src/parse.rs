@@ -133,9 +133,7 @@ fn lex(input: &str) -> Result<Lexer, ParseError> {
             }
             '0'..='9' | '.' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 let text = &input[start..i];
@@ -408,19 +406,31 @@ mod tests {
     #[test]
     fn functions() {
         assert_eq!(
-            parse_expr("ceil_div(M, WGD)").unwrap().eval_u64(&cfg()).unwrap(),
+            parse_expr("ceil_div(M, WGD)")
+                .unwrap()
+                .eval_u64(&cfg())
+                .unwrap(),
             3
         );
         assert_eq!(
-            parse_expr("round_up(M, WGD)").unwrap().eval_u64(&cfg()).unwrap(),
+            parse_expr("round_up(M, WGD)")
+                .unwrap()
+                .eval_u64(&cfg())
+                .unwrap(),
             24
         );
         assert_eq!(
-            parse_expr("min(WPT, WGD)").unwrap().eval_u64(&cfg()).unwrap(),
+            parse_expr("min(WPT, WGD)")
+                .unwrap()
+                .eval_u64(&cfg())
+                .unwrap(),
             4
         );
         assert_eq!(
-            parse_expr("max(WPT, WGD) * 2").unwrap().eval_u64(&cfg()).unwrap(),
+            parse_expr("max(WPT, WGD) * 2")
+                .unwrap()
+                .eval_u64(&cfg())
+                .unwrap(),
             16
         );
     }
@@ -463,7 +473,7 @@ mod tests {
         assert!(c.check(&Value::UInt(1), &cfg())); // equal(1)
         assert!(c.check(&Value::UInt(4), &cfg())); // divides 8 and < 5
         assert!(!c.check(&Value::UInt(8), &cfg())); // divides 8 but not < 5
-        // Parentheses override.
+                                                    // Parentheses override.
         let c = parse_constraint("(equal(1) || divides(8)) && less_than(5)").unwrap();
         assert!(!c.check(&Value::UInt(8), &cfg()));
         assert!(c.check(&Value::UInt(2), &cfg()));
@@ -500,7 +510,11 @@ mod tests {
         use crate::space::SearchSpace;
         let n = 64u64;
         let parsed = vec![ParamGroup::new(vec![
-            tp_c("WPT", Range::interval(1, n), parse_constraint("divides(64)").unwrap()),
+            tp_c(
+                "WPT",
+                Range::interval(1, n),
+                parse_constraint("divides(64)").unwrap(),
+            ),
             tp_c(
                 "LS",
                 Range::interval(1, n),

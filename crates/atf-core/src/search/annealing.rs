@@ -188,12 +188,8 @@ impl SearchTechnique for SimulatedAnnealing {
                 let accept = if cost >= PENALTY_COST {
                     false // never walk onto failed configurations
                 } else {
-                    let pr = Self::acceptance_probability(
-                        *t,
-                        cost,
-                        self.temperature,
-                        self.best_seen,
-                    );
+                    let pr =
+                        Self::acceptance_probability(*t, cost, self.temperature, self.best_seen);
                     pr >= 1.0 || self.rng.gen_bool(pr)
                 };
                 if accept {

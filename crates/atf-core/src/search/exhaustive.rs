@@ -120,12 +120,7 @@ mod tests {
     fn finds_true_optimum() {
         use super::super::test_util::*;
         let mut t = Exhaustive::new();
-        let (p, c) = drive(
-            &mut t,
-            SpaceDims::new(vec![10, 10]),
-            1000,
-            bowl(vec![7, 3]),
-        );
+        let (p, c) = drive(&mut t, SpaceDims::new(vec![10, 10]), 1000, bowl(vec![7, 3]));
         assert_eq!(p, vec![7, 3]);
         assert_eq!(c, 0.0);
     }

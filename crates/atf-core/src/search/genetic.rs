@@ -70,7 +70,9 @@ impl GeneticAlgorithm {
                 best = Some(i);
             }
         }
-        self.population[best.expect("non-empty population")].0.clone()
+        self.population[best.expect("non-empty population")]
+            .0
+            .clone()
     }
 
     fn make_child(&mut self) -> Point {

@@ -63,8 +63,7 @@ impl GreedyMutation {
         }
         if !touched {
             // Force at least one perturbation on a mutable dimension.
-            let mutable: Vec<usize> =
-                (0..dims.dims()).filter(|&d| dims.size(d) > 1).collect();
+            let mutable: Vec<usize> = (0..dims.dims()).filter(|&d| dims.size(d) > 1).collect();
             if let Some(&d) = mutable.get(self.rng.gen_range(0..mutable.len().max(1))) {
                 q[d] = self.rng.gen_range(0..dims.size(d));
             }

@@ -227,11 +227,8 @@ impl SearchTechnique for NelderMead {
             Phase::Expand => {
                 let xe = self.pending.take().expect("expand pending");
                 let (xr, fr) = self.reflected.take().expect("reflection saved");
-                *self.simplex.last_mut().expect("non-empty") = if cost < fr {
-                    (xe, cost)
-                } else {
-                    (xr, fr)
-                };
+                *self.simplex.last_mut().expect("non-empty") =
+                    if cost < fr { (xe, cost) } else { (xr, fr) };
                 self.next_iteration();
             }
             Phase::ContractOutside => {

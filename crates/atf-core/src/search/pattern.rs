@@ -42,11 +42,7 @@ impl PatternSearch {
     fn restart(&mut self) {
         let dims = self.dims.clone().expect("initialized");
         let c = dims.random_point(&mut self.rng);
-        self.steps = dims
-            .sizes()
-            .iter()
-            .map(|&s| (s / 4).max(1))
-            .collect();
+        self.steps = dims.sizes().iter().map(|&s| (s / 4).max(1)).collect();
         self.centre = None;
         self.probes.clear();
         self.cursor = 0;

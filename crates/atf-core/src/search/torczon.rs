@@ -83,11 +83,7 @@ impl Torczon {
         self.simplex[1..]
             .iter()
             .map(|(v, _)| {
-                let w: Vec<f64> = best
-                    .iter()
-                    .zip(v)
-                    .map(|(b, x)| b + t * (x - b))
-                    .collect();
+                let w: Vec<f64> = best.iter().zip(v).map(|(b, x)| b + t * (x - b)).collect();
                 (w, f64::NAN)
             })
             .collect()

@@ -1,0 +1,365 @@
+//! A resumable tuning session: the exploration loop of [`crate::tuner`]
+//! turned inside out, so the *cost measurement* can happen anywhere — in
+//! another process, on another machine, or interleaved with other sessions.
+//!
+//! The paper's exploration loop (Section IV) is a pull/push cycle:
+//! `get_next_config` hands a configuration to the measuring side,
+//! `report_cost` feeds the measured cost back. [`TuningSession`] is exactly
+//! that cycle as a state machine:
+//!
+//! ```text
+//! loop {
+//!     let Some(config) = session.next_config() else { break };
+//!     let cost = measure(config);            // anywhere, any time later
+//!     session.report(cost)?;
+//! }
+//! let result = session.finish()?;
+//! ```
+//!
+//! [`Tuner::tune`](crate::tuner::Tuner::tune) is a thin in-process loop over
+//! a session; driving a session step by step produces the identical
+//! [`TuningResult`]. `next_config` is idempotent while a measurement is
+//! outstanding: asking again returns the same pending configuration, so a
+//! disconnected client can re-request its work item without corrupting the
+//! search.
+
+use crate::abort::{self, Abort, AbortCondition};
+use crate::config::Config;
+use crate::cost::{CostError, CostValue};
+use crate::search::{SearchTechnique, SpaceDims, PENALTY_COST};
+use crate::space::SearchSpace;
+use crate::status::TuningStatus;
+use crate::tuner::{EvalRecord, TuningError, TuningResult};
+
+/// The resumable exploration state machine. Generic over the cost value
+/// type `C` (plain `f64` for out-of-process measurement, tuples or
+/// [`crate::process::LexCosts`] for multi-objective in-process tuning).
+pub struct TuningSession<C: CostValue = f64> {
+    space: SearchSpace,
+    technique: Box<dyn SearchTechnique>,
+    abort: Abort,
+    status: TuningStatus,
+    best: Option<(Config, C)>,
+    best_scalar: f64,
+    record_history: bool,
+    history: Vec<EvalRecord>,
+    /// The configuration handed out by `next_config` whose cost has not
+    /// been reported yet (point coordinates + materialized config).
+    pending: Option<(crate::search::Point, Config)>,
+    /// Set once the technique is exhausted or the abort condition fired;
+    /// `next_config` returns `None` from then on.
+    done: bool,
+}
+
+impl<C: CostValue> TuningSession<C> {
+    /// Opens a session over `space` driven by `technique`, with the paper's
+    /// default abort condition `evaluations(S)`.
+    ///
+    /// Fails with [`TuningError::EmptySearchSpace`] when the space holds no
+    /// valid configuration.
+    pub fn new(
+        space: SearchSpace,
+        mut technique: Box<dyn SearchTechnique>,
+    ) -> Result<Self, TuningError> {
+        if space.is_empty() {
+            return Err(TuningError::EmptySearchSpace);
+        }
+        technique.initialize(SpaceDims::new(space.dims()));
+        let default_abort = abort::evaluations(u64::try_from(space.len()).unwrap_or(u64::MAX));
+        let status = TuningStatus::new(space.len());
+        Ok(TuningSession {
+            space,
+            technique,
+            abort: default_abort,
+            status,
+            best: None,
+            best_scalar: f64::INFINITY,
+            record_history: false,
+            history: Vec::new(),
+            pending: None,
+            done: false,
+        })
+    }
+
+    /// Replaces the abort condition (builder-style, before driving).
+    pub fn abort_condition(mut self, a: Abort) -> Self {
+        self.abort = a;
+        self
+    }
+
+    /// Enables per-evaluation history recording (builder-style).
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.record_history = on;
+        self
+    }
+
+    /// The next configuration to measure, or `None` when exploration is
+    /// over (abort condition fired or the technique is exhausted).
+    ///
+    /// Idempotent while a measurement is outstanding: calling again before
+    /// [`report`](Self::report) returns the same configuration.
+    pub fn next_config(&mut self) -> Option<Config> {
+        if let Some((_, config)) = &self.pending {
+            return Some(config.clone());
+        }
+        if self.done {
+            return None;
+        }
+        if self.abort.should_stop(&self.status) {
+            self.done = true;
+            return None;
+        }
+        let Some(point) = self.technique.get_next_point() else {
+            self.done = true; // technique exhausted (e.g. exhaustive search done)
+            return None;
+        };
+        let config = self.space.get_by_coords(&point);
+        self.pending = Some((point, config.clone()));
+        Some(config)
+    }
+
+    /// Reports the measured cost (or measurement failure) of the pending
+    /// configuration.
+    ///
+    /// Fails with [`TuningError::NoPendingConfiguration`] when no
+    /// configuration is awaiting a report.
+    pub fn report(&mut self, outcome: Result<C, CostError>) -> Result<(), TuningError> {
+        let (point, config) = self
+            .pending
+            .take()
+            .ok_or(TuningError::NoPendingConfiguration)?;
+        let valid = outcome.is_ok();
+        self.status.record_evaluation(valid);
+        let scalar = match &outcome {
+            Ok(c) => c.as_scalar(),
+            Err(_) => PENALTY_COST,
+        };
+        if self.record_history {
+            self.history.push(EvalRecord {
+                evaluation: self.status.evaluations(),
+                point,
+                scalar_cost: scalar,
+                valid,
+            });
+        }
+        if let Ok(c) = outcome {
+            let improves = match &self.best {
+                None => true,
+                // Full multi-objective comparison for best-so-far.
+                Some((_, bc)) => c.partial_cmp(bc).is_some_and(|o| o.is_lt()),
+            };
+            if improves {
+                self.best = Some((config, c));
+                if scalar < self.best_scalar {
+                    self.best_scalar = scalar;
+                    self.status.record_improvement(scalar);
+                }
+            }
+        }
+        self.technique.report_cost(scalar);
+        Ok(())
+    }
+
+    /// Convenience for scalar reporting: `Some(cost)` for a successful
+    /// measurement, `None` for a failed one.
+    pub fn report_cost(&mut self, cost: Option<C>) -> Result<(), TuningError> {
+        self.report(cost.ok_or(CostError::RunFailed("measurement failed".into())))
+    }
+
+    /// `true` once exploration is over ([`next_config`](Self::next_config)
+    /// will return `None` and nothing is pending).
+    pub fn is_done(&self) -> bool {
+        self.done && self.pending.is_none()
+    }
+
+    /// `true` while a handed-out configuration awaits its cost report.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The configuration currently awaiting a report, if any.
+    pub fn pending_config(&self) -> Option<&Config> {
+        self.pending.as_ref().map(|(_, c)| c)
+    }
+
+    /// Live progress bookkeeping (evaluations, improvements, elapsed).
+    pub fn status(&self) -> &TuningStatus {
+        &self.status
+    }
+
+    /// The search space being explored.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Best configuration found so far, with its cost.
+    pub fn best(&self) -> Option<(&Config, &C)> {
+        self.best.as_ref().map(|(cfg, c)| (cfg, c))
+    }
+
+    /// Best scalar cost found so far (`None` before the first valid
+    /// measurement).
+    pub fn best_scalar_cost(&self) -> Option<f64> {
+        self.best.as_ref().map(|_| self.best_scalar)
+    }
+
+    /// Finishes the session, consuming it.
+    ///
+    /// Fails with [`TuningError::NoValidConfiguration`] when nothing was
+    /// measured successfully.
+    pub fn finish(self) -> Result<TuningResult<C>, TuningError> {
+        self.finish_parts().0
+    }
+
+    /// Like [`finish`](Self::finish), but also hands back the technique and
+    /// abort condition so a reusable driver (the [`crate::tuner::Tuner`])
+    /// can restore them for the next run.
+    #[allow(clippy::type_complexity)]
+    pub fn finish_parts(
+        mut self,
+    ) -> (
+        Result<TuningResult<C>, TuningError>,
+        Box<dyn SearchTechnique>,
+        Abort,
+    ) {
+        self.technique.finalize();
+        let result = match self.best {
+            Some((best_config, best_cost)) => Ok(TuningResult {
+                best_config,
+                best_cost,
+                evaluations: self.status.evaluations(),
+                valid_evaluations: self.status.valid_evaluations(),
+                failed_evaluations: self.status.failed_evaluations(),
+                space_size: self.status.space_size(),
+                elapsed: self.status.elapsed(),
+                improvements: self.status.improvements().to_vec(),
+                history: self.history,
+            }),
+            None => Err(TuningError::NoValidConfiguration {
+                evaluations: self.status.evaluations(),
+            }),
+        };
+        (result, self.technique, self.abort)
+    }
+}
+
+impl<C: CostValue> std::fmt::Debug for TuningSession<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuningSession")
+            .field("space_size", &self.space.len())
+            .field("technique", &self.technique.name())
+            .field("evaluations", &self.status.evaluations())
+            .field("best_scalar", &self.best_scalar)
+            .field("pending", &self.pending.is_some())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::divides;
+    use crate::expr::{cst, param};
+    use crate::param::{tp_c, ParamGroup};
+    use crate::range::Range;
+    use crate::search::Exhaustive;
+
+    fn saxpy_space(n: u64) -> SearchSpace {
+        SearchSpace::generate(&[ParamGroup::new(vec![
+            tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+            tp_c("LS", Range::interval(1, n), divides(cst(n) / param("WPT"))),
+        ])])
+    }
+
+    #[test]
+    fn step_driven_session_finds_optimum() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new())).unwrap();
+        while let Some(config) = s.next_config() {
+            let wpt = config.get_u64("WPT") as f64;
+            let ls = config.get_u64("LS") as f64;
+            s.report(Ok((wpt - 8.0).powi(2) + (ls - 4.0).powi(2)))
+                .unwrap();
+        }
+        let r = s.finish().unwrap();
+        assert_eq!(r.best_config.get_u64("WPT"), 8);
+        assert_eq!(r.best_config.get_u64("LS"), 4);
+        assert_eq!(r.evaluations as u128, r.space_size);
+    }
+
+    #[test]
+    fn next_config_is_idempotent_while_pending() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(8), Box::new(Exhaustive::new())).unwrap();
+        let a = s.next_config().unwrap();
+        let b = s.next_config().unwrap();
+        assert_eq!(a, b);
+        assert!(s.has_pending());
+        s.report(Ok(1.0)).unwrap();
+        assert!(!s.has_pending());
+        let c = s.next_config().unwrap();
+        assert_ne!(a, c, "after a report, the next configuration advances");
+    }
+
+    #[test]
+    fn report_without_pending_errors() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(8), Box::new(Exhaustive::new())).unwrap();
+        assert_eq!(
+            s.report(Ok(1.0)).unwrap_err(),
+            TuningError::NoPendingConfiguration
+        );
+    }
+
+    #[test]
+    fn empty_space_rejected_at_open() {
+        let space = SearchSpace::generate(&[]);
+        let err = TuningSession::<f64>::new(space, Box::new(Exhaustive::new())).unwrap_err();
+        assert_eq!(err, TuningError::EmptySearchSpace);
+    }
+
+    #[test]
+    fn all_failures_surface_no_valid_configuration() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(4), Box::new(Exhaustive::new())).unwrap();
+        while s.next_config().is_some() {
+            s.report(Err(CostError::RunFailed("nope".into()))).unwrap();
+        }
+        let evals = s.status().evaluations();
+        assert!(evals > 0);
+        assert_eq!(
+            s.finish().unwrap_err(),
+            TuningError::NoValidConfiguration { evaluations: evals }
+        );
+    }
+
+    #[test]
+    fn abort_condition_limits_session() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(4096), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(5));
+        let mut n = 0;
+        while let Some(_cfg) = s.next_config() {
+            s.report(Ok(1.0)).unwrap();
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn history_recorded_when_enabled() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(8), Box::new(Exhaustive::new()))
+                .unwrap()
+                .record_history(true);
+        while let Some(cfg) = s.next_config() {
+            s.report(Ok(cfg.get_u64("WPT") as f64)).unwrap();
+        }
+        let r = s.finish().unwrap();
+        assert_eq!(r.history.len() as u64, r.evaluations);
+        assert_eq!(r.history[0].evaluation, 1);
+    }
+}

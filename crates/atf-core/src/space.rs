@@ -38,7 +38,10 @@ impl fmt::Display for SpaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpaceError::TooLarge { limit } => {
-                write!(f, "search space exceeds the limit of {limit} configurations")
+                write!(
+                    f,
+                    "search space exceeds the limit of {limit} configurations"
+                )
             }
             SpaceError::Cancelled => write!(f, "search-space generation was cancelled"),
         }
@@ -207,16 +210,15 @@ impl SearchSpace {
             return Self::generate(groups);
         }
         let mut slots: Vec<Option<GroupSpace>> = (0..groups.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(groups.len());
             for g in groups {
-                handles.push(scope.spawn(move |_| GroupSpace::generate(g)));
+                handles.push(scope.spawn(move || GroupSpace::generate(g)));
             }
             for (slot, h) in slots.iter_mut().zip(handles) {
                 *slot = Some(h.join().expect("group generation thread panicked"));
             }
-        })
-        .expect("scoped generation threads panicked");
+        });
         Self::from_group_spaces(slots.into_iter().map(|s| s.expect("filled")).collect())
     }
 
@@ -241,7 +243,10 @@ impl SearchSpace {
         if groups.is_empty() {
             return 0;
         }
-        groups.iter().map(|g| GroupSpace::count(g) as u128).product()
+        groups
+            .iter()
+            .map(|g| GroupSpace::count(g) as u128)
+            .product()
     }
 
     /// Total number of valid configurations (`S` in the paper).
@@ -286,7 +291,11 @@ impl SearchSpace {
 
     /// Decomposes a flat index into per-group coordinates.
     pub fn decompose(&self, mut index: u128) -> Vec<u64> {
-        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         let mut coords = vec![0u64; self.groups.len()];
         for (c, g) in coords.iter_mut().zip(&self.groups).rev() {
             let n = g.len() as u128;
@@ -419,7 +428,10 @@ mod tests {
     #[test]
     fn count_equals_generate() {
         let groups = saxpy_groups(24);
-        assert_eq!(SearchSpace::count(&groups), SearchSpace::generate(&groups).len());
+        assert_eq!(
+            SearchSpace::count(&groups),
+            SearchSpace::generate(&groups).len()
+        );
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Declarative tuning specifications: JSON-friendly descriptions of
+//! parameters, search technique, and abort conditions, shared by the CLI
+//! (`atf-cli`) and the tuning service (`atf-service`).
+//!
+//! A specification describes *what to explore*; how the cost is measured is
+//! up to the host (a process cost function in the CLI, a remote client in
+//! the service).
+
+use crate::abort::{self, Abort};
+use crate::param::{tp, Param};
+use crate::parse::parse_constraint;
+use crate::range::Range;
+use crate::search::{Ensemble, Exhaustive, RandomSearch, SearchTechnique, SimulatedAnnealing};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Errors building tuning machinery from a specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The specification is structurally invalid.
+    Invalid(String),
+    /// A constraint string failed to parse.
+    Constraint {
+        /// The parameter whose constraint is broken.
+        parameter: String,
+        /// The parser's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Invalid(m) => write!(f, "bad specification: {m}"),
+            SpecError::Constraint { parameter, message } => {
+                write!(f, "bad constraint for `{parameter}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// An inclusive integer interval with optional step.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IntervalSpec {
+    /// First value.
+    pub begin: u64,
+    /// Last value (inclusive).
+    pub end: u64,
+    /// Step size (default 1).
+    #[serde(default = "one")]
+    pub step: u64,
+}
+
+fn one() -> u64 {
+    1
+}
+
+/// One tuning parameter.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ParameterSpec {
+    /// Unique name (also the `ATF_TP_<NAME>` environment variable in the
+    /// CLI's process cost function).
+    pub name: String,
+    /// Interval range (exactly one of `interval`/`set` must be given).
+    #[serde(default)]
+    pub interval: Option<IntervalSpec>,
+    /// Explicit value set.
+    #[serde(default)]
+    pub set: Option<Vec<u64>>,
+    /// Constraint string, e.g. `"divides(N / WPT)"` (see
+    /// [`crate::parse::parse_constraint`]).
+    #[serde(default)]
+    pub constraint: Option<String>,
+}
+
+/// Search-technique selection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SearchSpec {
+    /// One of `exhaustive`, `random`, `annealing`, `ensemble` (default).
+    #[serde(default = "default_technique")]
+    pub technique: String,
+    /// RNG seed for deterministic runs.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_technique() -> String {
+    "ensemble".to_string()
+}
+
+impl Default for SearchSpec {
+    fn default() -> Self {
+        SearchSpec {
+            technique: default_technique(),
+            seed: 0,
+        }
+    }
+}
+
+/// Abort conditions; the given fields are OR-combined (first to fire stops
+/// the run). With no field set, the paper's default `evaluations(S)` is
+/// used.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AbortSpec {
+    /// Stop after this many tested configurations.
+    #[serde(default)]
+    pub evaluations: Option<u64>,
+    /// Stop after this many seconds.
+    #[serde(default)]
+    pub duration_secs: Option<f64>,
+    /// Stop once a cost ≤ this is found.
+    #[serde(default)]
+    pub cost: Option<f64>,
+    /// Stop when the last `stagnation_evaluations` did not improve the best
+    /// cost by ≥ 5 %.
+    #[serde(default)]
+    pub stagnation_evaluations: Option<u64>,
+}
+
+/// Builds the parameter list (parsing constraint strings).
+pub fn build_params(parameters: &[ParameterSpec]) -> Result<Vec<Param>, SpecError> {
+    if parameters.is_empty() {
+        return Err(SpecError::Invalid("no parameters declared".to_string()));
+    }
+    parameters
+        .iter()
+        .map(|p| {
+            let range = match (&p.interval, &p.set) {
+                (Some(iv), None) => Range::interval_step(iv.begin, iv.end, iv.step.max(1)),
+                (None, Some(vals)) => Range::set(vals.iter().copied()),
+                _ => {
+                    return Err(SpecError::Invalid(format!(
+                        "parameter `{}` needs exactly one of `interval` or `set`",
+                        p.name
+                    )))
+                }
+            };
+            let mut param = tp(p.name.as_str(), range);
+            if let Some(text) = &p.constraint {
+                let c = parse_constraint(text).map_err(|e| SpecError::Constraint {
+                    parameter: p.name.clone(),
+                    message: e.to_string(),
+                })?;
+                param = param.with_constraint(c);
+            }
+            Ok(param)
+        })
+        .collect()
+}
+
+/// Builds the OR-combined abort condition (`None` when no field is set, in
+/// which case the tuner applies its `evaluations(S)` default).
+pub fn build_abort(spec: &AbortSpec) -> Option<Abort> {
+    let mut acc: Option<Abort> = None;
+    let mut add = |a: Abort| {
+        acc = Some(match acc.take() {
+            Some(prev) => prev | a,
+            None => a,
+        });
+    };
+    if let Some(n) = spec.evaluations {
+        add(abort::evaluations(n));
+    }
+    if let Some(s) = spec.duration_secs {
+        add(abort::duration(Duration::from_secs_f64(s)));
+    }
+    if let Some(c) = spec.cost {
+        add(abort::cost(c));
+    }
+    if let Some(n) = spec.stagnation_evaluations {
+        add(abort::speedup_over_evaluations(1.05, n));
+    }
+    acc
+}
+
+/// Builds the selected search technique.
+pub fn build_technique(spec: &SearchSpec) -> Result<Box<dyn SearchTechnique>, SpecError> {
+    let seed = spec.seed;
+    Ok(match spec.technique.as_str() {
+        "exhaustive" => Box::new(Exhaustive::new()),
+        "random" => Box::new(RandomSearch::with_seed(seed)),
+        "annealing" => Box::new(SimulatedAnnealing::with_seed(seed)),
+        "ensemble" => Box::new(Ensemble::opentuner_default(seed)),
+        other => {
+            return Err(SpecError::Invalid(format!(
+                "unknown technique `{other}` (expected exhaustive, random, annealing, ensemble)"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_from_specs() {
+        let specs = vec![
+            ParameterSpec {
+                name: "A".into(),
+                interval: Some(IntervalSpec {
+                    begin: 1,
+                    end: 8,
+                    step: 1,
+                }),
+                set: None,
+                constraint: None,
+            },
+            ParameterSpec {
+                name: "B".into(),
+                interval: None,
+                set: Some(vec![1, 2, 4]),
+                constraint: Some("divides(A)".into()),
+            },
+        ];
+        let params = build_params(&specs).unwrap();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].name(), "A");
+        assert!(params[1].constraint().is_some());
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(matches!(build_params(&[]), Err(SpecError::Invalid(_))));
+        let both = ParameterSpec {
+            name: "A".into(),
+            interval: Some(IntervalSpec {
+                begin: 1,
+                end: 2,
+                step: 1,
+            }),
+            set: Some(vec![1]),
+            constraint: None,
+        };
+        assert!(matches!(build_params(&[both]), Err(SpecError::Invalid(_))));
+        let bad = ParameterSpec {
+            name: "A".into(),
+            interval: None,
+            set: Some(vec![1]),
+            constraint: Some("wat(3)".into()),
+        };
+        assert!(matches!(
+            build_params(&[bad]),
+            Err(SpecError::Constraint { .. })
+        ));
+        assert!(build_technique(&SearchSpec {
+            technique: "quantum".into(),
+            seed: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn spec_types_round_trip_through_json() {
+        let spec = SearchSpec {
+            technique: "random".into(),
+            seed: 7,
+        };
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: SearchSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.technique, "random");
+        assert_eq!(back.seed, 7);
+
+        let abort = AbortSpec {
+            evaluations: Some(10),
+            duration_secs: None,
+            cost: Some(1.5),
+            stagnation_evaluations: None,
+        };
+        let text = serde_json::to_string(&abort).unwrap();
+        let back: AbortSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.evaluations, Some(10));
+        assert_eq!(back.cost, Some(1.5));
+        assert_eq!(back.duration_secs, None);
+    }
+
+    #[test]
+    fn abort_defaults_to_none() {
+        assert!(build_abort(&AbortSpec::default()).is_none());
+        assert!(build_abort(&AbortSpec {
+            evaluations: Some(3),
+            ..Default::default()
+        })
+        .is_some());
+    }
+}

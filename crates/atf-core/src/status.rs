@@ -45,7 +45,8 @@ impl TuningStatus {
 
     /// Time since tuning started.
     pub fn elapsed(&self) -> Duration {
-        self.elapsed_override.unwrap_or_else(|| self.start.elapsed())
+        self.elapsed_override
+            .unwrap_or_else(|| self.start.elapsed())
     }
 
     /// Total number of tested configurations (successful or failed).

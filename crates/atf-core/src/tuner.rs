@@ -7,13 +7,14 @@
 //! technique (`report_cost`), until the chosen abort condition is satisfied. If no abort condition is
 //! passed, ATF uses `evaluations(S)` with `S` the search-space size.
 
-use crate::abort::{self, Abort, AbortCondition};
+use crate::abort::Abort;
 use crate::config::Config;
 use crate::cost::{CostFunction, CostValue};
 use crate::param::ParamGroup;
-use crate::search::{Point, SearchTechnique, SpaceDims, PENALTY_COST};
+use crate::search::{Point, SearchTechnique};
+use crate::session::TuningSession;
 use crate::space::SearchSpace;
-use crate::status::{Improvement, TuningStatus};
+use crate::status::Improvement;
 use std::fmt;
 use std::time::Duration;
 
@@ -29,6 +30,9 @@ pub enum TuningError {
         /// Number of configurations that were tested (and failed).
         evaluations: u64,
     },
+    /// A cost was reported to a [`crate::session::TuningSession`] that has
+    /// no configuration awaiting measurement.
+    NoPendingConfiguration,
 }
 
 impl fmt::Display for TuningError {
@@ -41,6 +45,9 @@ impl fmt::Display for TuningError {
                 f,
                 "no configuration could be measured successfully ({evaluations} tested)"
             ),
+            TuningError::NoPendingConfiguration => {
+                write!(f, "no configuration is awaiting a cost report")
+            }
         }
     }
 }
@@ -54,7 +61,8 @@ pub struct EvalRecord {
     pub evaluation: u64,
     /// Coordinates of the tested configuration in the valid space.
     pub point: Point,
-    /// Scalar cost ([`PENALTY_COST`] if the measurement failed).
+    /// Scalar cost ([`crate::search::PENALTY_COST`] if the measurement
+    /// failed).
     pub scalar_cost: f64,
     /// Whether the measurement succeeded.
     pub valid: bool,
@@ -178,6 +186,12 @@ impl Tuner {
     }
 
     /// Explores an already-generated search space.
+    ///
+    /// This is a thin in-process loop over a
+    /// [`TuningSession`](crate::session::TuningSession): open the session,
+    /// measure each handed-out configuration with `cost_function`, report
+    /// the outcome, finish. Driving a session step by step yields the
+    /// identical result.
     pub fn tune_space<CF: CostFunction>(
         &mut self,
         space: &SearchSpace,
@@ -186,77 +200,32 @@ impl Tuner {
         if space.is_empty() {
             return Err(TuningError::EmptySearchSpace);
         }
-        let dims = SpaceDims::new(space.dims());
-        self.technique.initialize(dims);
-
-        let default_abort;
-        let abort: &Abort = match &self.abort {
-            Some(a) => a,
-            None => {
-                // Paper default: evaluations(S).
-                default_abort =
-                    abort::evaluations(u64::try_from(space.len()).unwrap_or(u64::MAX));
-                &default_abort
-            }
-        };
-
-        let mut status = TuningStatus::new(space.len());
-        let mut best: Option<(Config, CF::Cost)> = None;
-        let mut best_scalar = f64::INFINITY;
-        let mut history = Vec::new();
-
-        while !abort.should_stop(&status) {
-            let Some(point) = self.technique.get_next_point() else {
-                break; // technique exhausted (e.g. exhaustive search done)
-            };
-            let config = space.get_by_coords(&point);
-            let outcome = cost_function.evaluate(&config);
-            let valid = outcome.is_ok();
-            status.record_evaluation(valid);
-            let scalar = match &outcome {
-                Ok(c) => c.as_scalar(),
-                Err(_) => PENALTY_COST,
-            };
-            if self.record_history {
-                history.push(EvalRecord {
-                    evaluation: status.evaluations(),
-                    point,
-                    scalar_cost: scalar,
-                    valid,
-                });
-            }
-            if let Ok(c) = outcome {
-                let improves = match &best {
-                    None => true,
-                    // Full multi-objective comparison for best-so-far.
-                    Some((_, bc)) => c.partial_cmp(bc).is_some_and(|o| o.is_lt()),
-                };
-                if improves {
-                    best = Some((config, c));
-                    if scalar < best_scalar {
-                        best_scalar = scalar;
-                        status.record_improvement(scalar);
-                    }
-                }
-            }
-            self.technique.report_cost(scalar);
+        // Placeholder while the session owns the real technique; restored
+        // from `finish_parts` below.
+        let technique = std::mem::replace(
+            &mut self.technique,
+            Box::new(crate::search::Exhaustive::new()),
+        );
+        let mut session = TuningSession::<CF::Cost>::new(space.clone(), technique)?;
+        let restore_abort = self.abort.is_some();
+        if let Some(a) = self.abort.take() {
+            session = session.abort_condition(a);
         }
-        self.technique.finalize();
+        session = session.record_history(self.record_history);
 
-        let (best_config, best_cost) = best.ok_or(TuningError::NoValidConfiguration {
-            evaluations: status.evaluations(),
-        })?;
-        Ok(TuningResult {
-            best_config,
-            best_cost,
-            evaluations: status.evaluations(),
-            valid_evaluations: status.valid_evaluations(),
-            failed_evaluations: status.failed_evaluations(),
-            space_size: status.space_size(),
-            elapsed: status.elapsed(),
-            improvements: status.improvements().to_vec(),
-            history,
-        })
+        while let Some(config) = session.next_config() {
+            let outcome = cost_function.evaluate(&config);
+            session
+                .report(outcome)
+                .expect("a configuration is pending by construction");
+        }
+
+        let (result, technique, abort) = session.finish_parts();
+        self.technique = technique;
+        if restore_abort {
+            self.abort = Some(abort);
+        }
+        result
     }
 }
 
@@ -449,8 +418,7 @@ mod tests {
     fn parallel_generation_equivalent() {
         let g1 = ParamGroup::new(vec![tp("A", Range::interval(1, 8))]);
         let g2 = ParamGroup::new(vec![tp("B", Range::interval(1, 8))]);
-        let mut cf =
-            cost_fn(|c: &Config| (c.get_u64("A") * 8 + c.get_u64("B")) as f64);
+        let mut cf = cost_fn(|c: &Config| (c.get_u64("A") * 8 + c.get_u64("B")) as f64);
         let r = Tuner::new()
             .technique(Exhaustive::new())
             .parallel_generation(true)

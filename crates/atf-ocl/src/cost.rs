@@ -9,8 +9,7 @@ use atf_core::config::Config;
 use atf_core::cost::{CostError, CostFunction};
 use atf_core::expr::Expr;
 use ocl_sim::{
-    BufferData, ClError, Context, DefineMap, DeviceModel, ExecMode, KernelArg, Launch,
-    SimKernel,
+    BufferData, ClError, Context, DefineMap, DeviceModel, ExecMode, KernelArg, Launch, SimKernel,
 };
 use std::sync::Arc;
 
@@ -181,10 +180,7 @@ pub fn cuda(
 }
 
 /// A cost function over an explicit device model (no platform lookup).
-pub fn ocl_on(
-    device: DeviceModel,
-    kernel: impl SimKernel + 'static,
-) -> OclCostFunctionBuilder {
+pub fn ocl_on(device: DeviceModel, kernel: impl SimKernel + 'static) -> OclCostFunctionBuilder {
     OclCostFunctionBuilder::new(device, Arc::new(kernel))
 }
 
@@ -240,10 +236,7 @@ impl OclCostFunction {
     }
 
     /// Evaluates one configuration and returns the full profiling event.
-    pub fn measure_event(
-        &mut self,
-        config: &Config,
-    ) -> Result<ocl_sim::ProfilingEvent, CostError> {
+    pub fn measure_event(&mut self, config: &Config) -> Result<ocl_sim::ProfilingEvent, CostError> {
         self.evaluations += 1;
         let defines: DefineMap = config
             .iter()
@@ -274,8 +267,7 @@ impl OclCostFunction {
             .enqueue_kernel(self.kernel.as_ref(), &self.args, &launch, &defines, mode)
             .map_err(map_cl_error)?;
         if let Some(verifier) = &self.verifier {
-            verifier(&self.ctx, &self.args)
-                .map_err(CostError::MeasurementFailed)?;
+            verifier(&self.ctx, &self.args).map_err(CostError::MeasurementFailed)?;
         }
         Ok(event)
     }

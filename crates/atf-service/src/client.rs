@@ -1,0 +1,337 @@
+//! Client side of the protocol: one generic [`Client`] over a [`Transport`]
+//! that either crosses TCP ([`TcpTransport`]) or stays in-process
+//! ([`Loopback`]). Both go through the same line encoding, so loopback
+//! tests exercise the full protocol minus the socket.
+
+use crate::manager::SessionManager;
+use crate::proto::{codes, Request, Response};
+use atf_core::spec::{AbortSpec, ParameterSpec, SearchSpec};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(std::io::Error),
+    /// The service replied with something that is not a valid response (or
+    /// closed the connection mid-exchange).
+    Protocol(String),
+    /// The service replied with a structured error.
+    Remote {
+        /// Machine-readable error class ([`crate::proto::codes`]).
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "service error [{code}]: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Carries one request line to the service and brings the response line
+/// back.
+pub trait Transport {
+    /// Sends `line` (no trailing newline) and returns the response line.
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError>;
+}
+
+/// A [`Transport`] over a TCP connection.
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a service endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(TcpTransport {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "service closed the connection".to_string(),
+            ));
+        }
+        Ok(reply)
+    }
+}
+
+/// An in-process [`Transport`] that hands lines straight to a
+/// [`SessionManager`] — the service without the socket, for integration
+/// tests and the CLI's `run` mode.
+pub struct Loopback(pub Arc<SessionManager>);
+
+impl Transport for Loopback {
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        Ok(self.0.handle_line(line))
+    }
+}
+
+/// Everything `open` needs: the database key plus the tuning specification.
+#[derive(Clone, Debug, Default)]
+pub struct SessionSpec {
+    /// Kernel (program) name — database key.
+    pub kernel: String,
+    /// Device name — database key (service defaults to `local`).
+    pub device: Option<String>,
+    /// Workload label — database key (service defaults to empty).
+    pub workload: Option<String>,
+    /// Tuning parameters.
+    pub parameters: Vec<ParameterSpec>,
+    /// Search-technique selection (service defaults to ensemble).
+    pub search: Option<SearchSpec>,
+    /// Abort conditions (service defaults to `evaluations(S)`).
+    pub abort: Option<AbortSpec>,
+}
+
+impl SessionSpec {
+    /// A spec for the given kernel; fill in the parameters before opening.
+    pub fn new(kernel: &str) -> Self {
+        SessionSpec {
+            kernel: kernel.to_string(),
+            ..Default::default()
+        }
+    }
+}
+
+/// A wire-level tuning configuration, as served by `next`.
+pub type WireConfig = BTreeMap<String, u64>;
+
+/// A protocol client over any [`Transport`].
+pub struct Client<T: Transport> {
+    transport: T,
+}
+
+/// An in-process client (see [`Loopback`]).
+pub type LoopbackClient = Client<Loopback>;
+
+impl Client<TcpTransport> {
+    /// Connects to a service endpoint over TCP.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Ok(Client::new(TcpTransport::connect(addr)?))
+    }
+}
+
+impl Client<Loopback> {
+    /// A client talking to an in-process [`SessionManager`].
+    pub fn loopback(manager: Arc<SessionManager>) -> Self {
+        Client::new(Loopback(manager))
+    }
+}
+
+impl<T: Transport> Client<T> {
+    /// A client over an already-established transport.
+    pub fn new(transport: T) -> Self {
+        Client { transport }
+    }
+
+    /// Sends one request; a failure response becomes
+    /// [`ClientError::Remote`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("could not encode request: {e}")))?;
+        let reply = self.transport.round_trip(&line)?;
+        let response: Response = serde_json::from_str(reply.trim())
+            .map_err(|e| ClientError::Protocol(format!("bad response line: {e}")))?;
+        if response.ok {
+            Ok(response)
+        } else {
+            Err(ClientError::Remote {
+                code: response.code.unwrap_or_else(|| "unknown".to_string()),
+                message: response.error.unwrap_or_default(),
+            })
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::new("ping")).map(|_| ())
+    }
+
+    /// Opens a session; returns its id.
+    pub fn open(&mut self, spec: &SessionSpec) -> Result<String, ClientError> {
+        let mut req = Request::new("open");
+        req.kernel = Some(spec.kernel.clone());
+        req.device = spec.device.clone();
+        req.workload = spec.workload.clone();
+        req.parameters = Some(spec.parameters.clone());
+        req.search = spec.search.clone();
+        req.abort = spec.abort.clone();
+        let resp = self.request(&req)?;
+        resp.session
+            .ok_or_else(|| ClientError::Protocol("open reply without a session id".to_string()))
+    }
+
+    /// The next configuration to measure, or `None` when the session is
+    /// done.
+    pub fn next(&mut self, session: &str) -> Result<Option<WireConfig>, ClientError> {
+        let resp = self.request(&Request::new("next").with_session(session))?;
+        if resp.done == Some(true) {
+            Ok(None)
+        } else {
+            resp.config.map(Some).ok_or_else(|| {
+                ClientError::Protocol("next reply with neither config nor done".to_string())
+            })
+        }
+    }
+
+    /// Reports the measured cost for the pending configuration (`None` =
+    /// the measurement failed).
+    pub fn report(&mut self, session: &str, cost: Option<f64>) -> Result<Response, ClientError> {
+        let mut req = Request::new("report").with_session(session);
+        req.cost = cost;
+        req.valid = Some(cost.is_some());
+        self.request(&req)
+    }
+
+    /// Live progress of a session.
+    pub fn status(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.request(&Request::new("status").with_session(session))
+    }
+
+    /// Finishes a session: the service merges the result into its database
+    /// and returns it.
+    pub fn finish(&mut self, session: &str) -> Result<Response, ClientError> {
+        self.request(&Request::new("finish").with_session(session))
+    }
+
+    /// The stored best result for a database key, if any (`Ok(None)` when
+    /// the service has no record).
+    pub fn lookup(
+        &mut self,
+        kernel: &str,
+        device: Option<&str>,
+        workload: Option<&str>,
+    ) -> Result<Option<Response>, ClientError> {
+        let mut req = Request::new("lookup");
+        req.kernel = Some(kernel.to_string());
+        req.device = device.map(str::to_string);
+        req.workload = workload.map(str::to_string);
+        match self.request(&req) {
+            Ok(resp) => Ok(Some(resp)),
+            Err(ClientError::Remote { code, .. }) if code == codes::NOT_FOUND => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs a whole tuning session: opens, drives next/report with the
+    /// given cost function (`None` = measurement failed), finishes, and
+    /// returns the final result response.
+    pub fn tune(
+        &mut self,
+        spec: &SessionSpec,
+        mut cost: impl FnMut(&WireConfig) -> Option<f64>,
+    ) -> Result<Response, ClientError> {
+        let session = self.open(spec)?;
+        while let Some(config) = self.next(&session)? {
+            let measured = cost(&config);
+            self.report(&session, measured)?;
+        }
+        self.finish(&session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atf_core::spec::IntervalSpec;
+
+    fn toy_spec(kernel: &str) -> SessionSpec {
+        let mut spec = SessionSpec::new(kernel);
+        spec.parameters = vec![ParameterSpec {
+            name: "X".into(),
+            interval: Some(IntervalSpec {
+                begin: 1,
+                end: 16,
+                step: 1,
+            }),
+            set: None,
+            constraint: None,
+        }];
+        spec.search = Some(SearchSpec {
+            technique: "exhaustive".into(),
+            seed: 0,
+        });
+        spec
+    }
+
+    #[test]
+    fn loopback_tune_and_lookup() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let mut client = Client::loopback(Arc::clone(&manager));
+        client.ping().unwrap();
+
+        let result = client
+            .tune(&toy_spec("toy"), |cfg| Some((cfg["X"] as f64 - 11.0).abs()))
+            .unwrap();
+        assert_eq!(result.best_config.as_ref().unwrap()["X"], 11);
+        assert_eq!(result.best_cost, Some(0.0));
+        assert_eq!(result.evaluations, Some(16));
+
+        let hit = client.lookup("toy", None, None).unwrap().unwrap();
+        assert_eq!(hit.best_config.unwrap()["X"], 11);
+        assert_eq!(hit.source.as_deref(), Some("database"));
+        assert!(client.lookup("other", None, None).unwrap().is_none());
+    }
+
+    #[test]
+    fn remote_errors_surface_with_codes() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let mut client = Client::loopback(manager);
+        let err = client.next("s404").unwrap_err();
+        match err {
+            ClientError::Remote { code, .. } => assert_eq!(code, codes::UNKNOWN_SESSION),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn failed_measurements_are_reported() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let mut client = Client::loopback(manager);
+        // Every odd X fails to measure; the best must come from even X only.
+        let result = client
+            .tune(&toy_spec("half"), |cfg| {
+                let x = cfg["X"];
+                (x % 2 == 0).then(|| (x as f64 - 9.0).abs())
+            })
+            .unwrap();
+        assert_eq!(result.best_config.as_ref().unwrap()["X"], 8);
+        assert_eq!(result.valid_evaluations, Some(8));
+        assert_eq!(result.failed_evaluations, Some(8));
+    }
+}

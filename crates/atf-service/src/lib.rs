@@ -1,0 +1,38 @@
+//! # atf-service — tuning as a service
+//!
+//! A daemon wrapping [`atf_core::session::TuningSession`] behind a
+//! newline-delimited JSON protocol over TCP. The measuring side (the
+//! client) owns the cost function; the service owns the search:
+//!
+//! ```text
+//! client                                service
+//!   | {"cmd":"open","kernel":"saxpy",...}  |   build space + technique
+//!   |------------------------------------->|   -> session id
+//!   | {"cmd":"next","session":"s1"}        |
+//!   |------------------------------------->|   -> configuration to measure
+//!   |   ... client measures the cost ...   |
+//!   | {"cmd":"report","session":"s1",      |
+//!   |  "cost":12.5}                        |   feed cost to the technique
+//!   |------------------------------------->|
+//!   |        ... until next -> done ...    |
+//!   | {"cmd":"finish","session":"s1"}      |   result + merge into the
+//!   |------------------------------------->|   tuning database
+//! ```
+//!
+//! Sessions are independent and concurrent (thread-per-connection, shared
+//! session manager), survive client reconnects (a session id is all the
+//! state a client needs; `next` re-serves the pending configuration), and
+//! expire after a configurable idle period. Finished sessions merge their
+//! best result into a [`atf_core::db::TuningDatabase`] monotonically —
+//! the `lookup` command then serves known-best configurations without any
+//! tuning.
+
+pub mod client;
+pub mod manager;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, LoopbackClient, SessionSpec, Transport};
+pub use manager::{ManagerConfig, SessionManager};
+pub use proto::{Request, Response};
+pub use server::Server;

@@ -1,0 +1,499 @@
+//! The session manager: all live [`TuningSession`]s keyed by id, plus the
+//! service-level [`TuningDatabase`] cache. Shared by every connection
+//! thread (and by the in-process loopback client).
+
+use crate::proto::{codes, config_to_wire, Request, Response};
+use atf_core::db::TuningDatabase;
+use atf_core::param::auto_group;
+use atf_core::session::TuningSession;
+use atf_core::space::SearchSpace;
+use atf_core::spec;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Session-manager settings.
+#[derive(Clone, Debug)]
+pub struct ManagerConfig {
+    /// Path the tuning database is loaded from and persisted to (`None` =
+    /// in-memory only).
+    pub db_path: Option<PathBuf>,
+    /// Sessions idle longer than this are expired (dropped without merging
+    /// into the database).
+    pub idle_timeout: Duration,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            db_path: None,
+            idle_timeout: Duration::from_secs(15 * 60),
+        }
+    }
+}
+
+struct ManagedSession {
+    session: TuningSession<f64>,
+    kernel: String,
+    device: String,
+    workload: String,
+    last_touch: Instant,
+}
+
+/// All live sessions plus the result database. Every public method is
+/// thread-safe; connection threads share one manager behind an `Arc`.
+pub struct SessionManager {
+    sessions: Mutex<HashMap<String, ManagedSession>>,
+    db: Mutex<TuningDatabase>,
+    config: ManagerConfig,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// A manager with the given settings; loads the database from
+    /// `config.db_path` when the file exists.
+    pub fn new(config: ManagerConfig) -> std::io::Result<Self> {
+        let db = match &config.db_path {
+            Some(p) if p.exists() => TuningDatabase::load(p)?,
+            _ => TuningDatabase::new(),
+        };
+        Ok(SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            db: Mutex::new(db),
+            config,
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// A manager with default settings and no persistence.
+    pub fn in_memory() -> Self {
+        Self::new(ManagerConfig::default()).expect("in-memory manager cannot fail")
+    }
+
+    /// Handles one raw request line, returning the raw response line
+    /// (without the trailing newline). This is the single entry point used
+    /// by both the TCP server and the loopback client, so the full protocol
+    /// encoding is exercised either way.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde_json::from_str::<Request>(line) {
+            Ok(request) => self.handle(&request),
+            Err(e) => Response::error(codes::PARSE, e),
+        };
+        serde_json::to_string(&response)
+            .unwrap_or_else(|_| "{\"ok\":false,\"code\":\"internal\"}".to_string())
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, request: &Request) -> Response {
+        match request.cmd.as_str() {
+            "ping" => Response::ok(),
+            "open" => self.open(request),
+            "next" => self.next(request),
+            "report" => self.report(request),
+            "status" => self.status(request),
+            "finish" => self.finish(request),
+            "lookup" => self.lookup(request),
+            other => Response::error(codes::UNKNOWN_CMD, format!("unknown cmd `{other}`")),
+        }
+    }
+
+    fn open(&self, request: &Request) -> Response {
+        let Some(parameters) = &request.parameters else {
+            return Response::error(codes::BAD_REQUEST, "open: missing `parameters`");
+        };
+        let Some(kernel) = request.kernel.clone().filter(|k| !k.is_empty()) else {
+            return Response::error(codes::BAD_REQUEST, "open: missing `kernel`");
+        };
+        let params = match spec::build_params(parameters) {
+            Ok(p) => p,
+            Err(e) => return Response::error(codes::SPEC, e),
+        };
+        let technique = match spec::build_technique(&request.search.clone().unwrap_or_default()) {
+            Ok(t) => t,
+            Err(e) => return Response::error(codes::SPEC, e),
+        };
+        let groups = auto_group(params);
+        let space = if groups.len() > 1 {
+            SearchSpace::generate_parallel(&groups)
+        } else {
+            SearchSpace::generate(&groups)
+        };
+        let space_size = space.len();
+        let mut session = match TuningSession::new(space, technique) {
+            Ok(s) => s,
+            Err(e) => return Response::error(codes::TUNING, e),
+        };
+        if let Some(a) = spec::build_abort(&request.abort.clone().unwrap_or_default()) {
+            session = session.abort_condition(a);
+        }
+
+        let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.sessions.lock().insert(
+            id.clone(),
+            ManagedSession {
+                session,
+                kernel,
+                device: request
+                    .device
+                    .clone()
+                    .unwrap_or_else(|| "local".to_string()),
+                workload: request.workload.clone().unwrap_or_default(),
+                last_touch: Instant::now(),
+            },
+        );
+        let mut resp = Response::ok();
+        resp.session = Some(id);
+        resp.space_size = Some(space_size.to_string());
+        resp
+    }
+
+    fn next(&self, request: &Request) -> Response {
+        self.with_session(request, |managed| {
+            let mut resp = Response::ok();
+            match managed.session.next_config() {
+                Some(config) => {
+                    resp.done = Some(false);
+                    resp.config = Some(config_to_wire(&config));
+                }
+                None => resp.done = Some(true),
+            }
+            resp
+        })
+    }
+
+    fn report(&self, request: &Request) -> Response {
+        let cost = request.cost;
+        let valid = request.valid.unwrap_or(cost.is_some());
+        self.with_session(request, |managed| {
+            let outcome = if valid { cost } else { None };
+            match managed.session.report_cost(outcome) {
+                Ok(()) => {
+                    let mut resp = Response::ok();
+                    resp.evaluations = Some(managed.session.status().evaluations());
+                    resp.best_cost = managed.session.best_scalar_cost();
+                    resp
+                }
+                Err(e) => Response::error(codes::TUNING, e),
+            }
+        })
+    }
+
+    fn status(&self, request: &Request) -> Response {
+        self.with_session(request, |managed| {
+            let status = managed.session.status();
+            let mut resp = Response::ok();
+            resp.evaluations = Some(status.evaluations());
+            resp.valid_evaluations = Some(status.valid_evaluations());
+            resp.failed_evaluations = Some(status.failed_evaluations());
+            resp.space_size = Some(status.space_size().to_string());
+            resp.improvements = Some(status.improvements().len() as u64);
+            resp.best_cost = managed.session.best_scalar_cost();
+            resp.best_config = managed
+                .session
+                .best()
+                .map(|(config, _)| config_to_wire(config));
+            resp.done = Some(managed.session.is_done());
+            resp
+        })
+    }
+
+    fn finish(&self, request: &Request) -> Response {
+        let Some(id) = &request.session else {
+            return Response::error(codes::BAD_REQUEST, "finish: missing `session`");
+        };
+        let Some(managed) = self.sessions.lock().remove(id) else {
+            return Response::error(codes::UNKNOWN_SESSION, format!("no session `{id}`"));
+        };
+        match managed.session.finish() {
+            Ok(result) => {
+                self.merge_result(&managed.kernel, &managed.device, &managed.workload, &result);
+                let mut resp = Response::ok();
+                resp.best_config = Some(config_to_wire(&result.best_config));
+                resp.best_cost = Some(result.best_cost);
+                resp.evaluations = Some(result.evaluations);
+                resp.valid_evaluations = Some(result.valid_evaluations);
+                resp.failed_evaluations = Some(result.failed_evaluations);
+                resp.space_size = Some(result.space_size.to_string());
+                resp.improvements = Some(result.improvements.len() as u64);
+                resp
+            }
+            Err(e) => Response::error(codes::TUNING, e),
+        }
+    }
+
+    fn lookup(&self, request: &Request) -> Response {
+        let Some(kernel) = &request.kernel else {
+            return Response::error(codes::BAD_REQUEST, "lookup: missing `kernel`");
+        };
+        let device = request.device.as_deref().unwrap_or("local");
+        let workload = request.workload.as_deref().unwrap_or("");
+        let db = self.db.lock();
+        match db.lookup(kernel, device, workload) {
+            Some(record) => {
+                let mut resp = Response::ok();
+                resp.best_config = Some(config_to_wire(&record.config()));
+                resp.best_cost = Some(record.cost);
+                resp.evaluations = Some(record.evaluations);
+                resp.space_size = Some(record.space_size.clone());
+                resp.source = Some("database".to_string());
+                resp
+            }
+            None => Response::error(
+                codes::NOT_FOUND,
+                format!("no record for ({kernel}, {device}, {workload})"),
+            ),
+        }
+    }
+
+    /// Merges a finished result into the database (monotone: an existing
+    /// cheaper record wins) and persists when a path is configured.
+    fn merge_result(
+        &self,
+        kernel: &str,
+        device: &str,
+        workload: &str,
+        result: &atf_core::tuner::TuningResult<f64>,
+    ) {
+        let mut db = self.db.lock();
+        db.store(
+            kernel,
+            device,
+            workload,
+            &result.best_config,
+            result.best_cost,
+            result.evaluations,
+            result.space_size,
+        );
+        if let Some(path) = &self.config.db_path {
+            if let Err(e) = db.save(path) {
+                eprintln!("atf-service: could not persist database: {e}");
+            }
+        }
+    }
+
+    /// Persists the database now (used at shutdown).
+    pub fn persist(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.config.db_path {
+            self.db.lock().save(path)?;
+        }
+        Ok(())
+    }
+
+    /// Drops sessions idle longer than the configured timeout; returns how
+    /// many were expired.
+    pub fn expire_idle(&self) -> usize {
+        let timeout = self.config.idle_timeout;
+        let mut sessions = self.sessions.lock();
+        let before = sessions.len();
+        sessions.retain(|_, m| m.last_touch.elapsed() <= timeout);
+        before - sessions.len()
+    }
+
+    /// Number of live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Read access to the database (for tests and diagnostics).
+    pub fn with_db<T>(&self, f: impl FnOnce(&TuningDatabase) -> T) -> T {
+        f(&self.db.lock())
+    }
+
+    fn with_session(
+        &self,
+        request: &Request,
+        f: impl FnOnce(&mut ManagedSession) -> Response,
+    ) -> Response {
+        let Some(id) = &request.session else {
+            return Response::error(
+                codes::BAD_REQUEST,
+                format!("{}: missing `session`", request.cmd),
+            );
+        };
+        let mut sessions = self.sessions.lock();
+        match sessions.get_mut(id) {
+            Some(managed) => {
+                managed.last_touch = Instant::now();
+                f(managed)
+            }
+            None => Response::error(codes::UNKNOWN_SESSION, format!("no session `{id}`")),
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("live_sessions", &self.live_sessions())
+            .field("db_records", &self.with_db(|db| db.len()))
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atf_core::spec::{IntervalSpec, ParameterSpec, SearchSpec};
+
+    fn open_request(kernel: &str) -> Request {
+        let mut req = Request::new("open");
+        req.kernel = Some(kernel.to_string());
+        req.parameters = Some(vec![ParameterSpec {
+            name: "X".into(),
+            interval: Some(IntervalSpec {
+                begin: 1,
+                end: 10,
+                step: 1,
+            }),
+            set: None,
+            constraint: None,
+        }]);
+        req.search = Some(SearchSpec {
+            technique: "exhaustive".into(),
+            seed: 0,
+        });
+        req
+    }
+
+    fn drive_to_completion(m: &SessionManager, id: &str, f: impl Fn(u64) -> f64) -> Response {
+        loop {
+            let next = m.handle(&Request::new("next").with_session(id));
+            assert!(next.ok, "{next:?}");
+            if next.done == Some(true) {
+                break;
+            }
+            let x = next.config.unwrap()["X"];
+            let mut report = Request::new("report").with_session(id);
+            report.cost = Some(f(x));
+            let r = m.handle(&report);
+            assert!(r.ok, "{r:?}");
+        }
+        m.handle(&Request::new("finish").with_session(id))
+    }
+
+    #[test]
+    fn open_drive_finish_lookup() {
+        let m = SessionManager::in_memory();
+        let opened = m.handle(&open_request("toy"));
+        assert!(opened.ok, "{opened:?}");
+        assert_eq!(opened.space_size.as_deref(), Some("10"));
+        let id = opened.session.unwrap();
+
+        let finished = drive_to_completion(&m, &id, |x| (x as f64 - 7.0).abs());
+        assert!(finished.ok, "{finished:?}");
+        assert_eq!(finished.best_config.as_ref().unwrap()["X"], 7);
+        assert_eq!(finished.best_cost, Some(0.0));
+        assert_eq!(finished.evaluations, Some(10));
+        assert_eq!(m.live_sessions(), 0);
+
+        // The result is now served from the database without tuning.
+        let mut lookup = Request::new("lookup");
+        lookup.kernel = Some("toy".into());
+        let found = m.handle(&lookup);
+        assert!(found.ok, "{found:?}");
+        assert_eq!(found.best_config.unwrap()["X"], 7);
+        assert_eq!(found.source.as_deref(), Some("database"));
+    }
+
+    #[test]
+    fn structured_errors() {
+        let m = SessionManager::in_memory();
+        let r = m.handle(&Request::new("warp"));
+        assert_eq!(r.code.as_deref(), Some(codes::UNKNOWN_CMD));
+        let r = m.handle(&Request::new("next").with_session("s99"));
+        assert_eq!(r.code.as_deref(), Some(codes::UNKNOWN_SESSION));
+        let r = m.handle(&Request::new("open"));
+        assert_eq!(r.code.as_deref(), Some(codes::BAD_REQUEST));
+        let r = m.handle(&Request::new("lookup"));
+        assert_eq!(r.code.as_deref(), Some(codes::BAD_REQUEST));
+        let line = m.handle_line("this is not json");
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(resp.code.as_deref(), Some(codes::PARSE));
+
+        // Report with nothing pending is a tuning-state error.
+        let opened = m.handle(&open_request("t"));
+        let id = opened.session.unwrap();
+        let mut report = Request::new("report").with_session(&id);
+        report.cost = Some(1.0);
+        let r = m.handle(&report);
+        assert_eq!(r.code.as_deref(), Some(codes::TUNING));
+    }
+
+    #[test]
+    fn database_merge_is_monotone() {
+        let m = SessionManager::in_memory();
+
+        // First run: cost minimum 3 (at X=4, cost |x-4|+3).
+        let id = m.handle(&open_request("k")).session.unwrap();
+        let r1 = drive_to_completion(&m, &id, |x| (x as f64 - 4.0).abs() + 3.0);
+        assert_eq!(r1.best_cost, Some(3.0));
+
+        // Second run over the same key finds something better; the record
+        // must improve.
+        let id = m.handle(&open_request("k")).session.unwrap();
+        let r2 = drive_to_completion(&m, &id, |x| (x as f64 - 8.0).abs());
+        assert_eq!(r2.best_cost, Some(0.0));
+        let mut lookup = Request::new("lookup");
+        lookup.kernel = Some("k".into());
+        assert_eq!(m.handle(&lookup).best_cost, Some(0.0));
+
+        // Third run is worse; the database keeps the cheaper record.
+        let id = m.handle(&open_request("k")).session.unwrap();
+        let r3 = drive_to_completion(&m, &id, |x| x as f64 + 50.0);
+        assert_eq!(r3.best_cost, Some(51.0));
+        assert_eq!(m.handle(&lookup).best_cost, Some(0.0));
+    }
+
+    #[test]
+    fn sessions_are_concurrent_and_independent() {
+        let m = SessionManager::in_memory();
+        let a = m.handle(&open_request("ka")).session.unwrap();
+        let b = m.handle(&open_request("kb")).session.unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.live_sessions(), 2);
+
+        // Interleave the two sessions.
+        let fa = drive_to_completion(&m, &a, |x| (x as f64 - 2.0).abs());
+        let fb = drive_to_completion(&m, &b, |x| (x as f64 - 9.0).abs());
+        assert_eq!(fa.best_config.unwrap()["X"], 2);
+        assert_eq!(fb.best_config.unwrap()["X"], 9);
+    }
+
+    #[test]
+    fn idle_sessions_expire() {
+        let manager = SessionManager::new(ManagerConfig {
+            db_path: None,
+            idle_timeout: Duration::from_millis(0),
+        })
+        .unwrap();
+        let id = manager.handle(&open_request("t")).session.unwrap();
+        assert_eq!(manager.live_sessions(), 1);
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(manager.expire_idle(), 1);
+        let r = manager.handle(&Request::new("next").with_session(&id));
+        assert_eq!(r.code.as_deref(), Some(codes::UNKNOWN_SESSION));
+    }
+
+    #[test]
+    fn empty_space_rejected_at_open() {
+        let m = SessionManager::in_memory();
+        let mut req = Request::new("open");
+        req.kernel = Some("t".into());
+        req.parameters = Some(vec![ParameterSpec {
+            name: "X".into(),
+            interval: Some(IntervalSpec {
+                begin: 1,
+                end: 10,
+                step: 1,
+            }),
+            set: None,
+            constraint: Some("less_than(0)".into()),
+        }]);
+        let r = m.handle(&req);
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some(codes::TUNING));
+    }
+}

@@ -1,0 +1,225 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Requests and responses are flat structs — every command uses the same
+//! envelope with the irrelevant fields absent. See the README's "Service
+//! mode" section for the per-command field reference.
+
+use atf_core::spec::{AbortSpec, ParameterSpec, SearchSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Machine-readable error codes carried by failure [`Response`]s.
+pub mod codes {
+    /// The request line is not valid JSON or not a request object.
+    pub const PARSE: &str = "parse";
+    /// The request is well-formed but missing required fields.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The `cmd` value is not a known command.
+    pub const UNKNOWN_CMD: &str = "unknown_cmd";
+    /// No live session has the given id (never opened, finished, or
+    /// expired).
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
+    /// The tuning specification could not be built.
+    pub const SPEC: &str = "spec";
+    /// Tuning failed (empty space, nothing measurable, report without a
+    /// pending configuration).
+    pub const TUNING: &str = "tuning";
+    /// `lookup` found no record for the key.
+    pub const NOT_FOUND: &str = "not_found";
+}
+
+/// A client request. `cmd` selects the command; the other fields are the
+/// union of all commands' inputs (absent fields are simply omitted from the
+/// JSON).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// One of `open`, `next`, `report`, `status`, `finish`, `lookup`,
+    /// `ping`.
+    pub cmd: String,
+    /// Session id (`next`/`report`/`status`/`finish`).
+    #[serde(default)]
+    pub session: Option<String>,
+    /// Kernel (program) name — database key (`open`/`lookup`).
+    #[serde(default)]
+    pub kernel: Option<String>,
+    /// Device name — database key (`open`/`lookup`; default `local`).
+    #[serde(default)]
+    pub device: Option<String>,
+    /// Workload label — database key (`open`/`lookup`; default empty).
+    #[serde(default)]
+    pub workload: Option<String>,
+    /// Tuning parameters (`open`).
+    #[serde(default)]
+    pub parameters: Option<Vec<ParameterSpec>>,
+    /// Search-technique selection (`open`; default ensemble).
+    #[serde(default)]
+    pub search: Option<SearchSpec>,
+    /// Abort conditions (`open`; default `evaluations(S)`).
+    #[serde(default)]
+    pub abort: Option<AbortSpec>,
+    /// Measured cost (`report`; omit when the measurement failed).
+    #[serde(default)]
+    pub cost: Option<f64>,
+    /// Whether the measurement succeeded (`report`; default `true` when
+    /// `cost` is present, `false` otherwise).
+    #[serde(default)]
+    pub valid: Option<bool>,
+}
+
+impl Request {
+    /// A request with only `cmd` set.
+    pub fn new(cmd: &str) -> Self {
+        Request {
+            cmd: cmd.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the session id.
+    pub fn with_session(mut self, session: &str) -> Self {
+        self.session = Some(session.to_string());
+        self
+    }
+}
+
+/// A service response. `ok` distinguishes success from failure; on failure
+/// `code` holds a machine-readable error class ([`codes`]) and `error` the
+/// human-readable message. The remaining fields are the union of all
+/// commands' outputs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Error code on failure (see [`codes`]).
+    #[serde(default)]
+    pub code: Option<String>,
+    /// Error message on failure.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Session id (`open`).
+    #[serde(default)]
+    pub session: Option<String>,
+    /// `next`: `true` once the session has no more configurations.
+    #[serde(default)]
+    pub done: Option<bool>,
+    /// `next`: the configuration to measure.
+    #[serde(default)]
+    pub config: Option<BTreeMap<String, u64>>,
+    /// Best configuration (`finish`/`lookup`/`status` once known).
+    #[serde(default)]
+    pub best_config: Option<BTreeMap<String, u64>>,
+    /// Best scalar cost (`finish`/`lookup`/`status` once known).
+    #[serde(default)]
+    pub best_cost: Option<f64>,
+    /// Total evaluations so far (`report`/`status`/`finish`).
+    #[serde(default)]
+    pub evaluations: Option<u64>,
+    /// Successful evaluations (`status`/`finish`).
+    #[serde(default)]
+    pub valid_evaluations: Option<u64>,
+    /// Failed evaluations (`status`/`finish`).
+    #[serde(default)]
+    pub failed_evaluations: Option<u64>,
+    /// Search-space size as a string (`open`/`status`/`finish`; stringified
+    /// because `S` is a `u128`).
+    #[serde(default)]
+    pub space_size: Option<String>,
+    /// Number of best-cost improvements (`status`/`finish`).
+    #[serde(default)]
+    pub improvements: Option<u64>,
+    /// `lookup`: where the answer came from (always `"database"`).
+    #[serde(default)]
+    pub source: Option<String>,
+}
+
+impl Response {
+    /// A bare success response.
+    pub fn ok() -> Self {
+        Response {
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// A failure response with an error code and message.
+    pub fn error(code: &str, message: impl std::fmt::Display) -> Self {
+        Response {
+            ok: false,
+            code: Some(code.to_string()),
+            error: Some(message.to_string()),
+            ..Default::default()
+        }
+    }
+}
+
+/// Renders a [`atf_core::config::Config`] as the wire map. Service-built
+/// spaces come from [`ParameterSpec`]s, whose values are always `u64`.
+pub fn config_to_wire(config: &atf_core::config::Config) -> BTreeMap<String, u64> {
+    config
+        .iter()
+        .map(|(name, value)| {
+            let v = value
+                .as_u64()
+                .or_else(|| value.as_f64().map(|f| f as u64))
+                .unwrap_or_default();
+            (name.to_string(), v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            cmd: "open".into(),
+            kernel: Some("saxpy".into()),
+            parameters: Some(vec![ParameterSpec {
+                name: "WPT".into(),
+                interval: None,
+                set: Some(vec![1, 2, 4]),
+                constraint: None,
+            }]),
+            ..Default::default()
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.cmd, "open");
+        assert_eq!(back.kernel.as_deref(), Some("saxpy"));
+        assert_eq!(back.parameters.unwrap()[0].set, Some(vec![1, 2, 4]));
+        assert!(back.session.is_none());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut resp = Response::ok();
+        resp.config = Some(BTreeMap::from([("WPT".to_string(), 4u64)]));
+        resp.best_cost = Some(1.5);
+        resp.space_size = Some("12".into());
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.config.unwrap()["WPT"], 4);
+        assert_eq!(back.best_cost, Some(1.5));
+        assert_eq!(back.space_size.as_deref(), Some("12"));
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let resp = Response::error(codes::UNKNOWN_SESSION, "no session `s9`");
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.code.as_deref(), Some(codes::UNKNOWN_SESSION));
+        assert!(back.error.unwrap().contains("s9"));
+    }
+
+    #[test]
+    fn malformed_request_is_a_parse_error() {
+        assert!(serde_json::from_str::<Request>("{\"no_cmd\": 1}").is_err());
+        assert!(serde_json::from_str::<Request>("[1,2,3]").is_err());
+        assert!(serde_json::from_str::<Request>("{{{{").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! The TCP front end: a nonblocking accept loop handing each connection to
+//! its own thread, all sharing one [`SessionManager`].
+
+use crate::manager::SessionManager;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Set by the SIGINT handler; checked by every server's accept loop.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// How long the accept loop sleeps when no connection is waiting.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+/// How often idle sessions are swept.
+const SWEEP_INTERVAL: Duration = Duration::from_secs(5);
+/// Read timeout on connections so handler threads notice shutdown.
+const READ_POLL: Duration = Duration::from_millis(500);
+
+/// A running service endpoint. [`run`](Server::run) blocks until
+/// [`shutdown`](Server::shutdown) is called (from another thread) or SIGINT
+/// arrives after [`install_sigint`](Server::install_sigint).
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the given address (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str, manager: Arc<SessionManager>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            manager,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops [`run`](Server::run) when
+    /// [`shutdown`](Server::shutdown) flips it.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests a graceful stop (also callable through a clone of
+    /// [`shutdown_handle`](Server::shutdown_handle)).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGINT to a graceful stop of every running server in this
+    /// process. Uses `signal(2)` directly so no extra dependency is needed.
+    #[cfg(unix)]
+    pub fn install_sigint(&self) {
+        extern "C" fn on_sigint(_sig: i32) {
+            SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+
+    /// No-op off unix; stop the server with
+    /// [`shutdown_handle`](Server::shutdown_handle) instead.
+    #[cfg(not(unix))]
+    pub fn install_sigint(&self) {}
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGINT_RECEIVED.load(Ordering::SeqCst)
+    }
+
+    /// Serves until shutdown, then persists the database. Connection
+    /// threads poll the same flag and drain on their own.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut last_sweep = Instant::now();
+        while !self.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let manager = Arc::clone(&self.manager);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    std::thread::spawn(move || serve_connection(stream, manager, shutdown));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            if last_sweep.elapsed() >= SWEEP_INTERVAL {
+                let expired = self.manager.expire_idle();
+                if expired > 0 {
+                    eprintln!("atf-service: expired {expired} idle session(s)");
+                }
+                last_sweep = Instant::now();
+            }
+        }
+        self.manager.persist()
+    }
+}
+
+fn serve_connection(stream: TcpStream, manager: Arc<SessionManager>, shutdown: Arc<AtomicBool>) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) || SIGINT_RECEIVED.load(Ordering::SeqCst) {
+            return;
+        }
+        // A timed-out read may leave a partial line in `line`; the next
+        // read_line appends to it, so only clear after handling a full line.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let reply = manager.handle_line(trimmed);
+                    if writer
+                        .write_all(reply.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -180,8 +180,7 @@ mod tests {
 
     #[test]
     fn finds_optimum_on_unconstrained_space() {
-        let mut t =
-            OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B"], 32)).seed(3);
+        let mut t = OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B"], 32)).seed(3);
         let mut cf = cost_fn(|c: &Config| {
             (c.get_u64("A") as f64 - 20.0).powi(2) + (c.get_u64("B") as f64 - 5.0).powi(2)
         });
@@ -196,8 +195,7 @@ mod tests {
     fn penalty_mode_survives_sparse_validity() {
         // Valid only when B divides A — ~3% of the space. The tuner must
         // still find a decent valid configuration via penalties.
-        let mut t =
-            OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B"], 64)).seed(11);
+        let mut t = OpenTunerStyleTuner::from_u64_ranges(int_params(&["A", "B"], 64)).seed(11);
         let mut cf = try_cost_fn(|c: &Config| {
             let (a, b) = (c.get_u64("A"), c.get_u64("B"));
             if a % b != 0 {
@@ -215,8 +213,7 @@ mod tests {
     #[test]
     fn hopeless_validity_returns_none() {
         // Nothing is ever valid: mirror the paper's XgemmDirect observation.
-        let mut t =
-            OpenTunerStyleTuner::from_u64_ranges(int_params(&["A"], 1000)).seed(2);
+        let mut t = OpenTunerStyleTuner::from_u64_ranges(int_params(&["A"], 1000)).seed(2);
         let mut cf = try_cost_fn(|_: &Config| -> Result<f64, CostError> {
             Err(CostError::InvalidConfiguration("never valid".into()))
         });

@@ -5,10 +5,10 @@
 use atf_bench::{saxpy_cost_function, xgemm_cost_function};
 use atf_core::config::Config;
 use atf_core::cost::CostFunction;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use ocl_sim::preprocessor::{substitute, DefineMap};
 use ocl_sim::DeviceModel;
+use std::time::Duration;
 
 fn bench_evaluation(c: &mut Criterion) {
     let mut g = c.benchmark_group("cost_function_evaluate");

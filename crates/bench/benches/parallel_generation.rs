@@ -6,8 +6,8 @@ use atf_core::expr::param;
 use atf_core::param::{tp, tp_c, ParamGroup};
 use atf_core::range::Range;
 use atf_core::space::SearchSpace;
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn groups(g: usize, n: u64) -> Vec<ParamGroup> {
     (0..g)

@@ -7,8 +7,8 @@ use atf_core::search::{
     Ensemble, GreedyMutation, NelderMead, PatternSearch, RandomSearch, SearchTechnique,
     SimulatedAnnealing, SpaceDims, Torczon,
 };
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 
 type TechniqueFactory = Box<dyn Fn() -> Box<dyn SearchTechnique>>;
 
@@ -20,9 +20,15 @@ fn bench_step(c: &mut Criterion) {
             "annealing",
             Box::new(|| Box::new(SimulatedAnnealing::with_seed(1))),
         ),
-        ("nelder_mead", Box::new(|| Box::new(NelderMead::with_seed(1)))),
+        (
+            "nelder_mead",
+            Box::new(|| Box::new(NelderMead::with_seed(1))),
+        ),
         ("torczon", Box::new(|| Box::new(Torczon::with_seed(1)))),
-        ("pattern", Box::new(|| Box::new(PatternSearch::with_seed(1)))),
+        (
+            "pattern",
+            Box::new(|| Box::new(PatternSearch::with_seed(1))),
+        ),
         (
             "mutation",
             Box::new(|| Box::new(GreedyMutation::with_seed(1))),
@@ -44,7 +50,9 @@ fn bench_step(c: &mut Criterion) {
                 let p = tech.get_next_point().expect("technique proposes");
                 // A cheap deterministic pseudo-cost keeps the technique's
                 // internal state evolving realistically.
-                fake_cost = fake_cost.wrapping_mul(6364136223846793005).wrapping_add(p[0]);
+                fake_cost = fake_cost
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(p[0]);
                 tech.report_cost((fake_cost % 1000) as f64);
                 std::hint::black_box(p)
             })

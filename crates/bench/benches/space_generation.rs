@@ -4,8 +4,8 @@
 //! at micro scale).
 
 use atf_core::space::{cross_product_filter, SearchSpace};
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 fn bench_saxpy_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("saxpy_space");

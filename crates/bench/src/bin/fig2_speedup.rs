@@ -47,8 +47,14 @@ fn cltune_device_optimized(device: &ocl_sim::DeviceModel) -> Config {
     tuner.add_constraint(|v| v[0] % v[1] == 0, &["WGD", "MDIMAD"]);
     tuner.add_constraint(|v| v[0] % v[1] == 0, &["WGD", "NDIMBD"]);
     tuner.add_constraint(|v| v[0] % v[1] == 0, &["WGD", "KWID"]);
-    tuner.add_constraint(|v| (v[0] * v[1]) % v[2] == 0, &["MDIMCD", "NDIMCD", "MDIMAD"]);
-    tuner.add_constraint(|v| (v[0] * v[1]) % v[2] == 0, &["MDIMCD", "NDIMCD", "NDIMBD"]);
+    tuner.add_constraint(
+        |v| (v[0] * v[1]) % v[2] == 0,
+        &["MDIMCD", "NDIMCD", "MDIMAD"],
+    );
+    tuner.add_constraint(
+        |v| (v[0] * v[1]) % v[2] == 0,
+        &["MDIMCD", "NDIMCD", "NDIMBD"],
+    );
     tuner.add_constraint(|v| (v[0] / v[1]) % v[2] == 0, &["WGD", "MDIMCD", "VWMD"]);
     tuner.add_constraint(|v| (v[0] / v[1]) % v[2] == 0, &["WGD", "MDIMAD", "VWMD"]);
     tuner.add_constraint(|v| (v[0] / v[1]) % v[2] == 0, &["WGD", "NDIMCD", "VWND"]);
@@ -119,8 +125,7 @@ fn main() {
             // OpenTuner: penalty search over the unconstrained space; falls
             // back to defaults when nothing valid was found.
             let mut ot =
-                OpenTunerStyleTuner::from_u64_ranges(clblast::unconstrained_params(64))
-                    .seed(0x07);
+                OpenTunerStyleTuner::from_u64_ranges(clblast::unconstrained_params(64)).seed(0x07);
             let mut cf = xgemm_cost_function(device.clone(), m, n, k);
             let ot_result = ot.tune(OPENTUNER_BUDGET, &mut cf);
             let mut cf = xgemm_cost_function(device.clone(), m, n, k);

@@ -8,8 +8,11 @@
 
 use atf_bench::{write_records, xgemm_cost_function, Record};
 use atf_core::prelude::*;
-use atf_core::search::bandit::{DEFAULT_WINDOW};
+use atf_core::search::bandit::DEFAULT_WINDOW;
 use ocl_sim::DeviceModel;
+
+/// Builds one seeded member technique for an ablation arm.
+type TechniqueFactory = Box<dyn Fn(u64) -> Box<dyn SearchTechnique>>;
 
 const BUDGET: u64 = 1_500;
 const SEEDS: [u64; 5] = [11, 23, 37, 51, 67];
@@ -38,22 +41,31 @@ fn mean_best(
 
 fn main() {
     println!("Ablation: ensemble vs its members on XgemmDirect IS4 (GPU model),");
-    println!("{BUDGET} evaluations, mean/best over {} seeds\n", SEEDS.len());
+    println!(
+        "{BUDGET} evaluations, mean/best over {} seeds\n",
+        SEEDS.len()
+    );
 
     let (m, n, k) = clblast::caffe::IS4;
     let groups = clblast::atf_space(m, n, k);
     let space = SearchSpace::generate(&groups);
     println!("space: {} valid configurations\n", space.len());
 
-    let arms: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn SearchTechnique>>)> = vec![
+    let arms: Vec<(&str, TechniqueFactory)> = vec![
         ("random", Box::new(|s| Box::new(RandomSearch::with_seed(s)))),
         (
             "annealing",
             Box::new(|s| Box::new(SimulatedAnnealing::with_seed(s))),
         ),
-        ("nelder-mead", Box::new(|s| Box::new(NelderMead::with_seed(s)))),
+        (
+            "nelder-mead",
+            Box::new(|s| Box::new(NelderMead::with_seed(s))),
+        ),
         ("torczon", Box::new(|s| Box::new(Torczon::with_seed(s)))),
-        ("pattern", Box::new(|s| Box::new(PatternSearch::with_seed(s)))),
+        (
+            "pattern",
+            Box::new(|s| Box::new(PatternSearch::with_seed(s))),
+        ),
         (
             "mutation",
             Box::new(|s| Box::new(GreedyMutation::with_seed(s))),
@@ -81,7 +93,10 @@ fn main() {
     ];
 
     let mut records = Vec::new();
-    println!("{:<20} | {:>12} | {:>12}", "technique", "mean best", "best-of-seeds");
+    println!(
+        "{:<20} | {:>12} | {:>12}",
+        "technique", "mean best", "best-of-seeds"
+    );
     for (name, make) in &arms {
         let (mean, best) = mean_best(&space, make, m, n, k);
         println!(

@@ -29,8 +29,14 @@ fn cltune_xgemm(cap: u64) -> CltuneTuner {
     t.add_constraint(|v| v[0] % v[1] == 0, &["WGD", "MDIMAD"]);
     t.add_constraint(|v| v[0] % v[1] == 0, &["WGD", "NDIMBD"]);
     t.add_constraint(|v| v[0] % v[1] == 0, &["WGD", "KWID"]);
-    t.add_constraint(|v| (v[0] * v[1]) % v[2] == 0, &["MDIMCD", "NDIMCD", "MDIMAD"]);
-    t.add_constraint(|v| (v[0] * v[1]) % v[2] == 0, &["MDIMCD", "NDIMCD", "NDIMBD"]);
+    t.add_constraint(
+        |v| (v[0] * v[1]) % v[2] == 0,
+        &["MDIMCD", "NDIMCD", "MDIMAD"],
+    );
+    t.add_constraint(
+        |v| (v[0] * v[1]) % v[2] == 0,
+        &["MDIMCD", "NDIMCD", "NDIMBD"],
+    );
     t.add_constraint(|v| (v[0] / v[1]) % v[2] == 0, &["WGD", "MDIMCD", "VWMD"]);
     t.add_constraint(|v| (v[0] / v[1]) % v[2] == 0, &["WGD", "MDIMAD", "VWMD"]);
     t.add_constraint(|v| (v[0] / v[1]) % v[2] == 0, &["WGD", "NDIMCD", "VWND"]);

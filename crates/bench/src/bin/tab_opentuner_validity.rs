@@ -45,7 +45,10 @@ fn main() {
     let valid = SearchSpace::count(&clblast::atf_space(576, 576, 64));
     let exact_fraction = valid as f64 / ot_space as f64;
     let mc_fraction = estimate_valid_fraction(2_000_000, 0xbeef);
-    println!("unconstrained space: {:.3e} configurations", ot_space as f64);
+    println!(
+        "unconstrained space: {:.3e} configurations",
+        ot_space as f64
+    );
     println!("valid (ATF-counted): {valid} → exact fraction {exact_fraction:.3e}");
     println!("Monte-Carlo estimate (2e6 samples): {mc_fraction:.3e}\n");
 
@@ -67,9 +70,8 @@ fn main() {
     );
     for (dev_label, device) in devices() {
         for (label, &(m, n, k)) in caffe::LABELS.iter().zip(&caffe::INPUT_SIZES) {
-            let mut ot =
-                OpenTunerStyleTuner::from_u64_ranges(clblast::unconstrained_params(64))
-                    .seed(0x5eed ^ m ^ n);
+            let mut ot = OpenTunerStyleTuner::from_u64_ranges(clblast::unconstrained_params(64))
+                .seed(0x5eed ^ m ^ n);
             let mut cf = xgemm_cost_function(device.clone(), m, n, k);
             let r = ot.tune(BUDGET, &mut cf);
             let best = r

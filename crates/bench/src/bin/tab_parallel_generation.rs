@@ -85,10 +85,7 @@ fn main() {
                 ("space".into(), seq.len() as f64),
                 ("sequential_s".into(), t_seq.as_secs_f64()),
                 ("parallel_s".into(), t_par.as_secs_f64()),
-                (
-                    "speedup".into(),
-                    t_seq.as_secs_f64() / t_par.as_secs_f64(),
-                ),
+                ("speedup".into(), t_seq.as_secs_f64() / t_par.as_secs_f64()),
             ],
         });
     }

@@ -28,7 +28,10 @@ fn run_technique(
 fn techniques(seed: u64) -> Vec<(&'static str, Box<dyn SearchTechnique>)> {
     vec![
         ("random", Box::new(RandomSearch::with_seed(seed))),
-        ("annealing(T=4)", Box::new(SimulatedAnnealing::with_seed(seed))),
+        (
+            "annealing(T=4)",
+            Box::new(SimulatedAnnealing::with_seed(seed)),
+        ),
         ("nelder-mead", Box::new(NelderMead::with_seed(seed))),
         ("torczon", Box::new(Torczon::with_seed(seed))),
         ("pattern", Box::new(PatternSearch::with_seed(seed))),

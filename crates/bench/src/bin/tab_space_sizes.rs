@@ -27,7 +27,10 @@ fn main() {
 
     // Valid space under our WGD cap (bounded by device local memory).
     println!("valid-space counts (constrained-range generation, count-only):");
-    println!("{:>8} | {:>14} | {:>18} | {:>12}", "WGD cap", "valid", "unconstrained", "fraction");
+    println!(
+        "{:>8} | {:>14} | {:>18} | {:>12}",
+        "WGD cap", "valid", "unconstrained", "fraction"
+    );
     for cap in [8u64, 16, 32, 64] {
         let valid = SearchSpace::count(&clblast::xgemm_space::atf_space_wgd_max(cap));
         let uncon = unconstrained(cap as u128);
@@ -51,12 +54,12 @@ fn main() {
 
     // The paper's reference points, computed with its {1..N} ranges.
     println!("\npaper reference points ({{1..N}} integer ranges):");
-    println!("{:>22} | {:>18} | {:>14} | {:>12}", "size", "unconstrained", "valid", "fraction");
+    println!(
+        "{:>22} | {:>18} | {:>14} | {:>12}",
+        "size", "unconstrained", "valid", "fraction"
+    );
     let valid = SearchSpace::count(&clblast::atf_space(576, 576, 64));
-    for (label, n) in [
-        ("IS4 (N = 500)", 500u128),
-        ("2^10 x 2^10", 1024),
-    ] {
+    for (label, n) in [("IS4 (N = 500)", 500u128), ("2^10 x 2^10", 1024)] {
         // With {1..N} ranges the *unconstrained* space keeps growing, but
         // the *valid* one does not: WGD (and every parameter dividing it)
         // is capped by local memory at 77, so the valid count equals the

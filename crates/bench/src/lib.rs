@@ -89,8 +89,7 @@ pub struct Record {
 /// Writes experiment records to `results/<name>.json` under the workspace
 /// root (best effort — printing to stdout is the primary output).
 pub fn write_records(name: &str, records: &[Record]) {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }

@@ -26,10 +26,10 @@ pub mod xgemv;
 
 pub use saxpy::{saxpy_space, SaxpyKernel, SAXPY_SOURCE};
 pub use xdot::{xdot_launch, xdot_space, XdotKernel, XDOT_SOURCE};
-pub use xgemv::{xgemv_launch, xgemv_space, XgemvKernel, XGEMV_SOURCE};
 pub use xgemm_direct::{XgemmDirectKernel, XgemmParams, XGEMM_DIRECT_SOURCE, XGEMM_PARAMS};
 pub use xgemm_space::{
-    atf_space, atf_space_wgd_max, atf_space_cltune_constraints, clblast_launch, clblast_limited_space,
-    cltune_launch, config_is_valid, default_config, defines_from_config, params_from_config,
-    unconstrained_params, WGD_MAX,
+    atf_space, atf_space_cltune_constraints, atf_space_wgd_max, clblast_launch,
+    clblast_limited_space, cltune_launch, config_is_valid, default_config, defines_from_config,
+    params_from_config, unconstrained_params, WGD_MAX,
 };
+pub use xgemv::{xgemv_launch, xgemv_space, XgemvKernel, XGEMV_SOURCE};

@@ -154,14 +154,8 @@ mod tests {
     fn functional_matches_reference() {
         let n = 1024u64;
         for (wpt, ls) in [(1, 64), (4, 32), (8, 128), (1024, 1)] {
-            let (got, _) = run_saxpy(
-                DeviceModel::tesla_k20m(),
-                n,
-                wpt,
-                ls,
-                ExecMode::Functional,
-            )
-            .unwrap();
+            let (got, _) =
+                run_saxpy(DeviceModel::tesla_k20m(), n, wpt, ls, ExecMode::Functional).unwrap();
             // Rebuild the expected result.
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
             let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();

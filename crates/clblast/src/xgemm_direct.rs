@@ -109,8 +109,14 @@ impl XgemmParams {
     /// (Section VI-B).
     pub fn validate(&self) -> Result<(), String> {
         let p = self;
-        if p.wgd == 0 || p.mdimcd == 0 || p.ndimcd == 0 || p.mdimad == 0 || p.ndimbd == 0
-            || p.kwid == 0 || p.vwmd == 0 || p.vwnd == 0
+        if p.wgd == 0
+            || p.mdimcd == 0
+            || p.ndimcd == 0
+            || p.mdimad == 0
+            || p.ndimbd == 0
+            || p.kwid == 0
+            || p.vwmd == 0
+            || p.vwnd == 0
         {
             return Err("all integer parameters must be ≥ 1".to_string());
         }
@@ -194,8 +200,7 @@ impl SimKernel for XgemmDirectKernel {
         let a = call.buffer(5)?;
         let b = call.buffer(6)?;
         let c = call.buffer(7)?;
-        if a.len() < (m * k) as usize || b.len() < (k * n) as usize || c.len() < (m * n) as usize
-        {
+        if a.len() < (m * k) as usize || b.len() < (k * n) as usize || c.len() < (m * n) as usize {
             return Err(ClError::InvalidBuffer(
                 "A/B/C buffers smaller than the matrix sizes".to_string(),
             ));
@@ -494,17 +499,22 @@ mod tests {
         let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut c: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        reference::gemm(
-            m as usize, n as usize, k as usize, 2.0, &a, &b, 0.5, &mut c,
-        );
+        reference::gemm(m as usize, n as usize, k as usize, 2.0, &a, &b, 0.5, &mut c);
         c
     }
 
     #[test]
     fn functional_matches_reference_square() {
         let p = params(16, 8, 8, 8, 8, 2, 1, 1);
-        let (got, _) = run(DeviceModel::tesla_k20m(), &p, 32, 32, 32, ExecMode::Functional)
-            .unwrap();
+        let (got, _) = run(
+            DeviceModel::tesla_k20m(),
+            &p,
+            32,
+            32,
+            32,
+            ExecMode::Functional,
+        )
+        .unwrap();
         assert!(reference::approx_eq(&got, &expected(32, 32, 32), 32));
     }
 
@@ -513,8 +523,7 @@ mod tests {
         // 20×576 with WGD=16: tiles overhang both dimensions.
         let p = params(16, 8, 8, 8, 8, 4, 2, 2);
         let (m, n, k) = (20, 576, 25);
-        let (got, _) =
-            run(DeviceModel::tesla_k20m(), &p, m, n, k, ExecMode::Functional).unwrap();
+        let (got, _) = run(DeviceModel::tesla_k20m(), &p, m, n, k, ExecMode::Functional).unwrap();
         assert!(reference::approx_eq(&got, &expected(m, n, k), k as usize));
     }
 
@@ -523,8 +532,7 @@ mod tests {
         // IS1/IS3 shape: rank-1 update (k = 1).
         let p = params(8, 4, 8, 8, 4, 1, 1, 1);
         let (m, n, k) = (50, 64, 1);
-        let (got, _) =
-            run(DeviceModel::tesla_k20m(), &p, m, n, k, ExecMode::Functional).unwrap();
+        let (got, _) = run(DeviceModel::tesla_k20m(), &p, m, n, k, ExecMode::Functional).unwrap();
         assert!(reference::approx_eq(&got, &expected(m, n, k), 1));
     }
 
@@ -550,13 +558,23 @@ mod tests {
         // divides 16: ok. Use MDIMAD=8 with threads 4*2=8? 8|8 ok. threads
         // 2*2=4, MDIMAD=8: 4 % 8 != 0.
         let p = params(16, 2, 2, 8, 2, 2, 1, 1);
-        assert!(p.validate().unwrap_err().contains("MDIMAD must divide MDIMCD*NDIMCD"));
+        assert!(p
+            .validate()
+            .unwrap_err()
+            .contains("MDIMAD must divide MDIMCD*NDIMCD"));
     }
 
     #[test]
     fn invalid_config_fails_as_build_error() {
         let p = params(16, 3, 8, 8, 8, 2, 1, 1); // MDIMCD does not divide WGD
-        let err = run(DeviceModel::tesla_k20m(), &p, 32, 32, 8, ExecMode::ModelOnly);
+        let err = run(
+            DeviceModel::tesla_k20m(),
+            &p,
+            32,
+            32,
+            8,
+            ExecMode::ModelOnly,
+        );
         assert!(matches!(err, Err(ClError::BuildProgramFailure(_))));
     }
 
@@ -564,7 +582,14 @@ mod tests {
     fn local_memory_bound_enforced() {
         // WGD=128: 4*(128*129*2) ≈ 132 KiB > 48 KiB.
         let p = params(128, 8, 8, 8, 8, 2, 1, 1);
-        let err = run(DeviceModel::tesla_k20m(), &p, 128, 128, 8, ExecMode::ModelOnly);
+        let err = run(
+            DeviceModel::tesla_k20m(),
+            &p,
+            128,
+            128,
+            8,
+            ExecMode::ModelOnly,
+        );
         assert!(matches!(err, Err(ClError::OutOfResources(_))));
     }
 
@@ -579,7 +604,10 @@ mod tests {
         let bb = ctx.create_buffer_f32(vec![0.0; (k * n) as usize]);
         let cb = ctx.create_buffer_f32(vec![0.0; (m * n) as usize]);
         // m/WGD = 1 tile (truncated) → covers only 16 of 20 rows.
-        let launch = Launch::two_d(((m / p.wgd) * p.mdimcd, (n / p.wgd) * p.ndimcd), (p.mdimcd, p.ndimcd));
+        let launch = Launch::two_d(
+            ((m / p.wgd) * p.mdimcd, (n / p.wgd) * p.ndimcd),
+            (p.mdimcd, p.ndimcd),
+        );
         let err = ctx.enqueue_kernel(
             &XgemmDirectKernel,
             &[
@@ -605,10 +633,24 @@ mod tests {
         // WGD=8 (16×504 padding).
         let p_small = params(8, 8, 8, 8, 8, 1, 1, 1);
         let p_big = params(64, 8, 8, 8, 8, 1, 1, 1);
-        let (_, t_small) =
-            run(DeviceModel::tesla_k20m(), &p_small, 10, 500, 64, ExecMode::ModelOnly).unwrap();
-        let (_, t_big) =
-            run(DeviceModel::tesla_k20m(), &p_big, 10, 500, 64, ExecMode::ModelOnly).unwrap();
+        let (_, t_small) = run(
+            DeviceModel::tesla_k20m(),
+            &p_small,
+            10,
+            500,
+            64,
+            ExecMode::ModelOnly,
+        )
+        .unwrap();
+        let (_, t_big) = run(
+            DeviceModel::tesla_k20m(),
+            &p_big,
+            10,
+            500,
+            64,
+            ExecMode::ModelOnly,
+        )
+        .unwrap();
         assert!(t_big > 1.5 * t_small, "t_small={t_small}, t_big={t_big}");
     }
 
@@ -619,7 +661,10 @@ mod tests {
         // of the model's breakdown, and that the total never regresses.
         let p1 = params(32, 8, 8, 8, 8, 1, 1, 1);
         let p8 = params(32, 8, 8, 8, 8, 8, 1, 1);
-        for device in [DeviceModel::tesla_k20m(), DeviceModel::xeon_e5_2640v2_dual()] {
+        for device in [
+            DeviceModel::tesla_k20m(),
+            DeviceModel::xeon_e5_2640v2_dual(),
+        ] {
             let e1 = run_event(device.clone(), &p1, 256, 256, 256).unwrap();
             let e8 = run_event(device, &p8, 256, 256, 256).unwrap();
             assert!(
@@ -643,7 +688,10 @@ mod tests {
         let cpu = DeviceModel::xeon_e5_2640v2_dual();
         let (_, g_pad) = run(gpu.clone(), &mk(true), 256, 256, 256, ExecMode::ModelOnly).unwrap();
         let (_, g_nopad) = run(gpu, &mk(false), 256, 256, 256, ExecMode::ModelOnly).unwrap();
-        assert!(g_nopad > 1.2 * g_pad, "bank conflicts: {g_nopad} vs {g_pad}");
+        assert!(
+            g_nopad > 1.2 * g_pad,
+            "bank conflicts: {g_nopad} vs {g_pad}"
+        );
         let (_, c_pad) = run(cpu.clone(), &mk(true), 256, 256, 256, ExecMode::ModelOnly).unwrap();
         let (_, c_nopad) = run(cpu, &mk(false), 256, 256, 256, ExecMode::ModelOnly).unwrap();
         let ratio = c_nopad / c_pad;

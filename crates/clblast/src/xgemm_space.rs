@@ -48,8 +48,7 @@ fn xgemm_params(wgd_max: u64, extra_wgd: Option<atf_core::constraint::Constraint
             dim_range.clone(),
             divides(param("WGD"))
                 & predicate("MDIMCD*NDIMCD <= 1024", |v, c| {
-                    v.as_u64()
-                        .is_some_and(|n| n * c.get_u64("MDIMCD") <= 1024)
+                    v.as_u64().is_some_and(|n| n * c.get_u64("MDIMCD") <= 1024)
                 }),
         ),
         tp_c(
@@ -227,10 +226,7 @@ pub fn cltune_launch(c: &Config, m: u64, n: u64) -> Launch {
     let wgd = c.get_u64("WGD");
     let mdimcd = c.get_u64("MDIMCD");
     let ndimcd = c.get_u64("NDIMCD");
-    Launch::two_d(
-        ((m / wgd) * mdimcd, (n / wgd) * ndimcd),
-        (mdimcd, ndimcd),
-    )
+    Launch::two_d(((m / wgd) * mdimcd, (n / wgd) * ndimcd), (mdimcd, ndimcd))
 }
 
 /// A convenience: checks whether `c` satisfies all kernel interdependencies

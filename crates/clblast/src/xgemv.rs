@@ -117,7 +117,8 @@ impl SimKernel for XgemvKernel {
             flops,
             overhead_instructions: rows_computed * (n as f64 / unroll as f64) * 3.0
                 + padded_threads * 10.0,
-            global_bytes_read: rows_computed * n as f64 * 4.0 + x_reloads * n as f64 * 4.0
+            global_bytes_read: rows_computed * n as f64 * 4.0
+                + x_reloads * n as f64 * 4.0
                 + if beta != 0.0 { m as f64 * 4.0 } else { 0.0 },
             global_bytes_written: m as f64 * 4.0,
             coalescing_efficiency: coalescing,
@@ -135,7 +136,11 @@ pub fn xgemv_space(m: u64, n: u64) -> Vec<ParamGroup> {
             Range::interval(1, 64.min(m.max(1))),
             less_than(cst(m) + 1u64),
         ),
-        tp_c("WGS", Range::interval_gen(0, 8, |i| 1u64 << i), less_than(cst(1025u64))),
+        tp_c(
+            "WGS",
+            Range::interval_gen(0, 8, |i| 1u64 << i),
+            less_than(cst(1025u64)),
+        ),
         tp_c("UNROLL", Range::interval(1, n.min(64)), divides(cst(n))),
     ])]
 }
@@ -213,8 +218,7 @@ mod tests {
 
     #[test]
     fn functional_matches_reference() {
-        for (m, n, wgs, wpt, unroll) in [(64, 32, 32, 1, 4), (50, 24, 16, 4, 3), (7, 8, 64, 2, 8)]
-        {
+        for (m, n, wgs, wpt, unroll) in [(64, 32, 32, 1, 4), (50, 24, 16, 4, 3), (7, 8, 64, 2, 8)] {
             let (got, _) = run(m, n, wgs, wpt, unroll, ExecMode::Functional).unwrap();
             assert!(
                 reference::approx_eq(&got, &expected(m, n), n as usize),

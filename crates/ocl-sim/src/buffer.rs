@@ -76,7 +76,10 @@ impl Buffer {
     pub fn borrow_f32(&self) -> Ref<'_, Vec<f32>> {
         Ref::map(self.data.borrow(), |d| match d {
             BufferData::F32(v) => v,
-            other => panic!("buffer is not f32 (holds {} elements of another type)", other.len()),
+            other => panic!(
+                "buffer is not f32 (holds {} elements of another type)",
+                other.len()
+            ),
         })
     }
 
@@ -84,7 +87,10 @@ impl Buffer {
     pub fn borrow_f32_mut(&self) -> RefMut<'_, Vec<f32>> {
         RefMut::map(self.data.borrow_mut(), |d| match d {
             BufferData::F32(v) => v,
-            other => panic!("buffer is not f32 (holds {} elements of another type)", other.len()),
+            other => panic!(
+                "buffer is not f32 (holds {} elements of another type)",
+                other.len()
+            ),
         })
     }
 

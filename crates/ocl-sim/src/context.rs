@@ -52,7 +52,10 @@ impl Context {
 
     /// Sets the relative noise amplitude (0 disables noise).
     pub fn with_noise(mut self, amplitude: f64) -> Self {
-        assert!((0.0..0.5).contains(&amplitude), "noise amplitude in [0, 0.5)");
+        assert!(
+            (0.0..0.5).contains(&amplitude),
+            "noise amplitude in [0, 0.5)"
+        );
         self.noise = amplitude;
         self
     }

@@ -208,11 +208,7 @@ impl fmt::Display for DeviceModel {
         write!(
             f,
             "{} [{}; {} CUs, {:.0} GFLOP/s, {:.0} GB/s]",
-            self.name,
-            self.vendor,
-            self.compute_units,
-            self.peak_gflops,
-            self.bandwidth_gbps
+            self.name, self.vendor, self.compute_units, self.peak_gflops, self.bandwidth_gbps
         )
     }
 }

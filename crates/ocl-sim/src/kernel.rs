@@ -54,11 +54,10 @@ impl<'a> KernelCall<'a> {
     /// The `i`-th argument as a buffer.
     pub fn buffer(&self, i: usize) -> Result<&'a Buffer, ClError> {
         match self.args.get(i) {
-            Some(KernelArg::Buffer(id)) => {
-                self.buffers.get(id.0).ok_or_else(|| {
-                    ClError::InvalidBuffer(format!("dangling buffer handle {}", id.0))
-                })
-            }
+            Some(KernelArg::Buffer(id)) => self
+                .buffers
+                .get(id.0)
+                .ok_or_else(|| ClError::InvalidBuffer(format!("dangling buffer handle {}", id.0))),
             Some(KernelArg::Scalar(_)) => Err(ClError::InvalidKernelArgs(format!(
                 "argument {i} is a scalar, expected a buffer"
             ))),

@@ -82,8 +82,7 @@ pub fn estimate(
     let wgs_per_cu_cap = by_threads.min(by_local_mem).min(16);
     // A compute unit can only be as occupied as the launch provides
     // work-groups for it.
-    let wgs_per_cu =
-        wgs_per_cu_cap.min((wgs / device.compute_units as f64).ceil().max(1.0) as u64);
+    let wgs_per_cu = wgs_per_cu_cap.min((wgs / device.compute_units as f64).ceil().max(1.0) as u64);
     let resident_threads = (wgs_per_cu * padded_wg).min(device.max_threads_per_cu);
     let occupancy = resident_threads as f64 / device.max_threads_per_cu as f64;
 
@@ -128,14 +127,12 @@ pub fn estimate(
     let compute_rate = device.flops_per_ns() * vector_eff * latency_eff; // FLOP/ns
     let compute_ns = instruction_work / compute_rate;
 
-    let coalesce_eff =
-        1.0 - device.coalescing_sensitivity * (1.0 - profile.coalescing_efficiency);
-    let memory_ns =
-        profile.global_bytes() / (device.bytes_per_ns() * coalesce_eff * latency_eff);
+    let coalesce_eff = 1.0 - device.coalescing_sensitivity * (1.0 - profile.coalescing_efficiency);
+    let memory_ns = profile.global_bytes() / (device.bytes_per_ns() * coalesce_eff * latency_eff);
 
-    let local_ns = profile.local_bytes_accessed * device.local_mem_cost_factor
-        * profile.bank_conflict_factor
-        / (device.bytes_per_ns() * latency_eff);
+    let local_ns =
+        profile.local_bytes_accessed * device.local_mem_cost_factor * profile.bank_conflict_factor
+            / (device.bytes_per_ns() * latency_eff);
 
     // ---- Combine ----
     let busy = compute_ns.max(memory_ns + local_ns);
@@ -143,8 +140,7 @@ pub fn estimate(
     let busy = busy * wave_quantization / profile.useful_fraction;
 
     // Work-group dispatch parallelizes across compute units.
-    let overhead_ns =
-        device.launch_overhead_ns + wgs * device.workgroup_overhead_ns / cu.min(wgs);
+    let overhead_ns = device.launch_overhead_ns + wgs * device.workgroup_overhead_ns / cu.min(wgs);
 
     let total_ns = busy + overhead_ns;
     // Energy model: dynamic power scales with the utilized fraction of the
@@ -240,7 +236,10 @@ mod tests {
         let gpu_speedup = estimate(&gpu(), &scalar, &launch).unwrap().compute_ns
             / estimate(&gpu(), &vec8, &launch).unwrap().compute_ns;
         assert!(cpu_speedup > 2.0, "cpu vectorization speedup {cpu_speedup}");
-        assert!(gpu_speedup < 1.5, "gpu should be mildly sensitive: {gpu_speedup}");
+        assert!(
+            gpu_speedup < 1.5,
+            "gpu should be mildly sensitive: {gpu_speedup}"
+        );
     }
 
     #[test]

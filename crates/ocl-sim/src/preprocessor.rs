@@ -163,13 +163,19 @@ mod tests {
         let defs = DefineMap::new().with("WPT", "4").with("LS", "64");
         let src = "for (int w=0; w<WPT; ++w) { id = WPT*gid + w; } // LS, WPTX";
         let out = substitute(src, &defs);
-        assert_eq!(out, "for (int w=0; w<4; ++w) { id = 4*gid + w; } // 64, WPTX");
+        assert_eq!(
+            out,
+            "for (int w=0; w<4; ++w) { id = 4*gid + w; } // 64, WPTX"
+        );
     }
 
     #[test]
     fn no_substitution_inside_identifiers() {
         let defs = DefineMap::new().with("N", "100");
-        assert_eq!(substitute("int N2 = N; fN(N);", &defs), "int N2 = 100; fN(100);");
+        assert_eq!(
+            substitute("int N2 = N; fN(N);", &defs),
+            "int N2 = 100; fN(100);"
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example custom_search`
 
-use atf_repro::prelude::*;
 use atf_core::expr::{cst, param};
 use atf_core::search::Point;
+use atf_repro::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;

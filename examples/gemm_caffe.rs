@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release --example gemm_caffe`
 
-use atf_repro::prelude::*;
 use atf_core::expr::{cst, param};
 use atf_ocl::{buffer_random_f32, scalar};
+use atf_repro::prelude::*;
 use clblast::{caffe, XgemmDirectKernel};
 use ocl_sim::{DeviceModel, Scalar};
 

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example generic_process`
 
-use atf_repro::prelude::*;
 use atf_core::expr::param;
+use atf_repro::prelude::*;
 use std::io::Write;
 use std::path::PathBuf;
 

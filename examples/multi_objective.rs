@@ -11,9 +11,9 @@
 //!
 //! Run with: `cargo run --release --example multi_objective`
 
-use atf_repro::prelude::*;
 use atf_core::expr::{cst, param};
 use atf_ocl::{buffer_random_f32, scalar, scalar_random_f32};
+use atf_repro::prelude::*;
 use clblast::SaxpyKernel;
 
 fn main() {

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use atf_repro::prelude::*;
 use atf_core::expr::{cst, param};
 use atf_ocl::{buffer_random_f32, scalar, scalar_random_f32};
+use atf_repro::prelude::*;
 use clblast::SaxpyKernel;
 
 fn main() {
@@ -46,7 +46,10 @@ fn main() {
         .tune(&saxpy_params, &mut cf_saxpy)
         .expect("saxpy space is non-empty");
 
-    println!("searched space of {} valid configurations", result.space_size);
+    println!(
+        "searched space of {} valid configurations",
+        result.space_size
+    );
     println!(
         "evaluated {} configurations ({} valid, {} rejected by the device)",
         result.evaluations, result.valid_evaluations, result.failed_evaluations
@@ -56,10 +59,7 @@ fn main() {
         result.best_config.get_u64("WPT"),
         result.best_config.get_u64("LS")
     );
-    println!(
-        "simulated kernel runtime: {:.3} ms",
-        result.best_cost / 1e6
-    );
+    println!("simulated kernel runtime: {:.3} ms", result.best_cost / 1e6);
 
     // Show the improvement trajectory.
     println!("\nimprovement history:");

@@ -89,10 +89,7 @@ fn cltune_cross_product_generation_blows_up_where_atf_does_not() {
     cltune.add_parameter("PADB", vec![0, 1]);
     cltune.candidate_limit(2_000_000); // a generous but finite budget
     let err = cltune.generate_space().unwrap_err();
-    assert_eq!(
-        err,
-        CltuneGenError::TooManyCandidates { limit: 2_000_000 }
-    );
+    assert_eq!(err, CltuneGenError::TooManyCandidates { limit: 2_000_000 });
 
     // ATF's constrained-range generation handles the same ranges easily.
     let t0 = std::time::Instant::now();
@@ -187,7 +184,14 @@ fn functional_gemm_verified_through_cost_function() {
     let c0: Vec<f32> = vec![0.0; (m * n) as usize];
     let mut expected = c0.clone();
     clblast::reference::gemm(
-        m as usize, n as usize, k as usize, 1.0, &a, &b, 0.0, &mut expected,
+        m as usize,
+        n as usize,
+        k as usize,
+        1.0,
+        &a,
+        &b,
+        0.0,
+        &mut expected,
     );
     let expected2 = expected.clone();
 

@@ -44,10 +44,7 @@ fn tunes_external_program_via_log_file() {
     write_executable(&run, "sh \"$ATF_SOURCE\"");
 
     let mut cf = ProcessCostFunction::new(&source, &run).log_file(&log);
-    let groups = vec![ParamGroup::new(vec![tp(
-        "THREADS",
-        Range::interval(1, 16),
-    )])];
+    let groups = vec![ParamGroup::new(vec![tp("THREADS", Range::interval(1, 16))])];
     let result = Tuner::new()
         .technique(Exhaustive::new())
         .tune(&groups, &mut cf)

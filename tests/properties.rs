@@ -13,7 +13,7 @@ use proptest::prelude::*;
 fn small_group() -> impl Strategy<Value = ParamGroup> {
     let names = ["P0", "P1", "P2", "P3"];
     (
-        2usize..=4,                         // number of parameters
+        2usize..=4,                          // number of parameters
         prop::collection::vec(1u64..=12, 4), // range ends
         prop::collection::vec(0u8..4, 4),    // constraint selector per param
     )
@@ -229,4 +229,146 @@ fn xgemm_space_sample_against_kernel_validation() {
         &clblast::xgemm_space::atf_space_wgd_max(20),
         500,
     ));
+}
+
+/// A deterministic synthetic cost for a configuration (FNV-style mix of
+/// names and values), with ~1 in 6 configurations "failing to measure" so
+/// failure accounting is exercised too.
+fn synthetic_cost(config: &Config) -> Option<f64> {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (name, value) in config.iter() {
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h = (h ^ value.as_u64().unwrap_or(0)).wrapping_mul(0x100000001b3);
+    }
+    (!h.is_multiple_of(6)).then(|| 1.0 + (h % 10_000) as f64 / 7.0)
+}
+
+static DB_CASE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Driving exhaustive search step by step through a `TuningSession`
+    /// yields the identical `TuningResult` as `Tuner::tune` on the same
+    /// space — the tentpole refactor changes no observable behavior.
+    #[test]
+    fn session_equals_tuner_on_random_spaces(group in small_group()) {
+        let groups = vec![group];
+        let space = SearchSpace::generate(&groups);
+        if space.is_empty() {
+            return Ok(());
+        }
+
+        let mut cf = try_cost_fn(|c: &Config| {
+            synthetic_cost(c).ok_or(CostError::RunFailed("synthetic failure".into()))
+        });
+        let reference = Tuner::new()
+            .technique(Exhaustive::new())
+            .tune_space(&space, &mut cf);
+
+        let mut session =
+            TuningSession::<f64>::new(space.clone(), Box::new(Exhaustive::new())).unwrap();
+        while let Some(config) = session.next_config() {
+            session.report_cost(synthetic_cost(&config)).unwrap();
+        }
+        let stepped = session.finish();
+
+        match (reference, stepped) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.best_config, b.best_config);
+                prop_assert_eq!(a.best_cost, b.best_cost);
+                prop_assert_eq!(a.evaluations, b.evaluations);
+                prop_assert_eq!(a.valid_evaluations, b.valid_evaluations);
+                prop_assert_eq!(a.failed_evaluations, b.failed_evaluations);
+                prop_assert_eq!(a.space_size, b.space_size);
+                prop_assert_eq!(a.improvements.len(), b.improvements.len());
+            }
+            (Err(_), Err(_)) => {} // both saw only failing measurements
+            (a, b) => prop_assert!(false, "tuner {:?} vs session {:?}", a, b),
+        }
+    }
+
+    /// `TuningDatabase::merge` is monotone: after merging, every key holds
+    /// the cheapest record either side ever stored, and no existing record
+    /// got costlier.
+    #[test]
+    fn db_merge_is_monotone(
+        left in prop::collection::vec((0u8..3, 0u8..2, 1u64..1000), 0..12),
+        right in prop::collection::vec((0u8..3, 0u8..2, 1u64..1000), 0..12),
+    ) {
+        let kernels = ["gemm", "conv", "saxpy"];
+        let devices = ["cpu", "gpu"];
+        let config = Config::from_pairs([("X", Value::UInt(1))]);
+        let fill = |stores: &[(u8, u8, u64)]| {
+            let mut db = TuningDatabase::new();
+            let mut cheapest = std::collections::BTreeMap::new();
+            for &(k, d, c) in stores {
+                let (kernel, device) = (kernels[k as usize], devices[d as usize]);
+                let cost = c as f64;
+                db.store(kernel, device, "w", &config, cost, 1, 2);
+                cheapest
+                    .entry((kernel, device))
+                    .and_modify(|best: &mut f64| *best = best.min(cost))
+                    .or_insert(cost);
+            }
+            (db, cheapest)
+        };
+        let (mut a, best_a) = fill(&left);
+        let (b, best_b) = fill(&right);
+
+        a.merge(&b);
+
+        let mut expected = best_a.clone();
+        for (key, cost) in &best_b {
+            expected
+                .entry(*key)
+                .and_modify(|best| *best = best.min(*cost))
+                .or_insert(*cost);
+        }
+        prop_assert_eq!(a.len(), expected.len());
+        for ((kernel, device), cost) in &expected {
+            let record = a.lookup(kernel, device, "w").unwrap();
+            prop_assert_eq!(record.cost, *cost);
+            // Monotone: never costlier than what either side held.
+            if let Some(before) = best_a.get(&(*kernel, *device)) {
+                prop_assert!(record.cost <= *before);
+            }
+        }
+    }
+
+    /// A database round-trips unchanged through its JSON file format.
+    #[test]
+    fn db_round_trips_through_file(
+        stores in prop::collection::vec((0u8..3, 0u8..2, 1u64..1000), 1..10),
+        value in 1u64..64,
+    ) {
+        let kernels = ["gemm", "conv", "saxpy"];
+        let devices = ["cpu", "gpu"];
+        let config = Config::from_pairs([
+            ("X", Value::UInt(value)),
+            ("MODE", Value::Symbol("vec4".into())),
+            ("PAD", Value::Bool(value % 2 == 0)),
+        ]);
+        let mut db = TuningDatabase::new();
+        for &(k, d, c) in &stores {
+            db.store(kernels[k as usize], devices[d as usize], "w", &config, c as f64, c, 99);
+        }
+
+        let case = DB_CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("atf-prop-db-{}-{case}.json", std::process::id()));
+        db.save(&path).unwrap();
+        let loaded = TuningDatabase::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(loaded.len(), db.len());
+        for record in db.records() {
+            let found = loaded
+                .lookup(&record.kernel, &record.device, &record.workload)
+                .unwrap();
+            prop_assert_eq!(found, record);
+        }
+    }
 }

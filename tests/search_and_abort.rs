@@ -33,9 +33,15 @@ fn all_techniques_complete_on_real_cost_function() {
         ("torczon", Box::new(Torczon::with_seed(1))),
         ("pattern", Box::new(PatternSearch::with_seed(1))),
         ("mutation", Box::new(GreedyMutation::with_seed(1))),
-        ("differential-evolution", Box::new(DifferentialEvolution::with_seed(1))),
+        (
+            "differential-evolution",
+            Box::new(DifferentialEvolution::with_seed(1)),
+        ),
         ("particle-swarm", Box::new(ParticleSwarm::with_seed(1))),
-        ("genetic-algorithm", Box::new(GeneticAlgorithm::with_seed(1))),
+        (
+            "genetic-algorithm",
+            Box::new(GeneticAlgorithm::with_seed(1)),
+        ),
         ("ensemble", Box::new(Ensemble::opentuner_default(1))),
         ("ensemble-extended", Box::new(Ensemble::extended(1))),
     ];

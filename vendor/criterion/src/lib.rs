@@ -1,0 +1,319 @@
+//! Offline vendored stand-in for `criterion`: runs each benchmark for the
+//! configured warm-up + measurement windows and prints mean/min time per
+//! iteration. No statistics, plots, or baselines — just enough to keep
+//! `cargo bench` targets compiling and producing usable numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the std black box under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle, one per `criterion_group!` function.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; benches run under the default test
+    /// harness flags offline, so this is a no-op that keeps callers compiling.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (warm_up_time, measurement_time, sample_size) =
+            (self.warm_up_time, self.measurement_time, self.sample_size);
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            warm_up_time,
+            measurement_time,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let group_cfg = (self.warm_up_time, self.measurement_time, self.sample_size);
+        run_benchmark(name, group_cfg, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            (self.warm_up_time, self.measurement_time, self.sample_size),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            (self.warm_up_time, self.measurement_time, self.sample_size),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, optionally with a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (func, Some(p)) => write!(f, "{func}/{p}"),
+            (func, None) => write!(f, "{func}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Total time and iteration count accumulated by `iter` in measure mode.
+    elapsed: Duration,
+    iterations: u64,
+    batch: u64,
+}
+
+enum BencherMode {
+    WarmUp,
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        if matches!(self.mode, BencherMode::Measure) {
+            self.elapsed += elapsed;
+            self.iterations += self.batch;
+        }
+    }
+}
+
+fn run_benchmark(name: &str, cfg: (Duration, Duration, usize), mut f: impl FnMut(&mut Bencher)) {
+    let (warm_up, measure, sample_size) = cfg;
+
+    // Warm-up while calibrating a batch size that keeps per-sample overhead low.
+    let mut batch = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            mode: BencherMode::WarmUp,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            batch,
+        };
+        let t = Instant::now();
+        f(&mut b);
+        let per_call = t.elapsed();
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        if per_call < Duration::from_micros(200) {
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    // Measurement: run samples until the measurement window closes.
+    let mut total = Duration::ZERO;
+    let mut iterations = 0u64;
+    let mut min_sample = Duration::MAX;
+    let measure_start = Instant::now();
+    let mut samples = 0usize;
+    while samples < sample_size && measure_start.elapsed() < measure {
+        let mut b = Bencher {
+            mode: BencherMode::Measure,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+            batch,
+        };
+        f(&mut b);
+        if b.iterations > 0 {
+            let per_iter = b.elapsed / (b.iterations as u32).max(1);
+            min_sample = min_sample.min(per_iter);
+            total += b.elapsed;
+            iterations += b.iterations;
+        }
+        samples += 1;
+    }
+
+    if iterations == 0 {
+        println!("{name}: no iterations recorded");
+        return;
+    }
+    let mean = total / (iterations as u32).max(1);
+    println!(
+        "{name}: mean {} / iter, min {} / iter ({} iters, {} samples)",
+        fmt_duration(mean),
+        fmt_duration(min_sample),
+        iterations,
+        samples
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares the group function list, mirroring upstream's macro shapes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(5);
+        g.warm_up_time(Duration::from_millis(10));
+        g.measurement_time(Duration::from_millis(30));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline vendored stand-in for `proptest`: generates deterministic random
+//! cases for `proptest!`-style tests. Supports the strategy combinators this
+//! workspace uses (numeric ranges, tuples, `prop_map`, `collection::vec`).
+//!
+//! Differences from upstream: no shrinking (a failing case reports its seed
+//! and case number instead of a minimized input), and case generation is
+//! seeded from the test name so runs are reproducible.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `name in strategy` binding is sampled
+/// per-case; the body runs as a `Result<(), TestCaseError>` closure so
+/// `prop_assert!` can early-return and `return Ok(())` works.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config); $($rest)*);
+    };
+    (@munch ($config:expr);) => {};
+    (@munch ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                )*
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(__e) = __result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch ($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @munch ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) so the harness can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map(v in (1u8..5, 2usize..=4).prop_map(|(a, b)| a as usize + b)) {
+            prop_assert!((3..=8).contains(&v));
+            if v == 3 {
+                return Ok(());
+            }
+            prop_assert_ne!(v, 2);
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(1u64..6, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            for item in &v {
+                prop_assert!((1..6).contains(item), "item {} out of range", item);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let sample = |name: &str| {
+            let mut rng = TestRng::deterministic(name);
+            (0..8)
+                .map(|_| (0u64..1000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample("a"), sample("a"));
+        assert_ne!(sample("a"), sample("b"));
+    }
+}

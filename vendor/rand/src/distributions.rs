@@ -1,0 +1,175 @@
+//! Distributions: the `Standard` distribution and uniform range sampling.
+
+use crate::{unit_f32, unit_f64, RngCore};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: full-domain uniform for integers and `bool`,
+/// uniform `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng.next_u32())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges (the `gen_range` machinery).
+
+    use crate::{unit_f64, RngCore};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform in `[lo, hi)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform in `[lo, hi]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    /// Range types usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    // Uniform u64 in [0, span) by rejection from the top 2^64 multiple of
+    // span — unbiased and deterministic.
+    pub(crate) fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return rng.next_u64() & (span - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % span) - 1; // last acceptable value
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    fn below_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        if span <= u64::MAX as u128 {
+            return below(rng, span as u64) as u128;
+        }
+        let zone = u128::MAX - (u128::MAX % span) - 1;
+        loop {
+            let v = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    lo + below(rng, (hi - lo) as u64) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + below(rng, span + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    impl SampleUniform for u128 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            lo + below_u128(rng, hi - lo)
+        }
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let span = hi - lo;
+            if span == u128::MAX {
+                return (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+            }
+            lo + below_u128(rng, span + 1)
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    lo.wrapping_add(below(rng, span) as $t)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let u = unit_f64(rng.next_u64()) as $t;
+                    let v = lo + u * (hi - lo);
+                    // Floating rounding may land exactly on hi; fold back.
+                    if v >= hi { lo } else { v }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let u = unit_f64(rng.next_u64()) as $t;
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+}

@@ -1,0 +1,163 @@
+//! Offline vendored stand-in for `rand_chacha`: a genuine ChaCha8 stream
+//! cipher used as a deterministic RNG, implementing the vendored `rand`
+//! traits. Streams are self-consistent and stable across platforms but not
+//! bit-compatible with upstream `rand_chacha` (seeding via SplitMix64
+//! expansion differs); nothing in this workspace depends on upstream
+//! streams, only on determinism.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// The ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha generator with `R` double-rounds (R = 4 → ChaCha8).
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    /// Key (8 words) + stream id (2 words) as seeded.
+    key: [u32; 8],
+    stream: [u32; 2],
+    counter: u64,
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word in `buf`; `BLOCK_WORDS` means exhausted.
+    idx: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut s: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream[0],
+            self.stream[1],
+        ];
+        let input = s;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input) {
+            *out = out.wrapping_add(inp);
+        }
+        self.buf = s;
+        self.idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        hi << 32 | lo
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaChaRng {
+            key,
+            stream: [0, 0],
+            counter: 0,
+            buf: [0; BLOCK_WORDS],
+            idx: BLOCK_WORDS,
+        }
+    }
+}
+
+/// ChaCha with 8 rounds — the fast variant used throughout the workspace.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha20_rfc7539_block() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1, nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00. Our layout puts a 64-bit
+        // counter in words 12..13 and the stream id in words 14..15, so the
+        // vector's (counter=1, nonce word 0x09000000) maps onto counter =
+        // 1 | 0x09000000 << 32 and stream = [0x4a000000, 0].
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        rng.counter = 1 | (0x0900_0000u64 << 32);
+        rng.stream = [0x4a00_0000, 0];
+        rng.refill();
+        assert_eq!(rng.buf[0], 0xe4e7_f110);
+        assert_eq!(rng.buf[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+    }
+}

@@ -1,0 +1,79 @@
+//! Deserialization errors.
+
+use std::fmt;
+
+/// A deserialization error: a message plus a path of contexts (field names,
+/// array indices) accumulated as the error propagates outward.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    path: Vec<String>,
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            path: Vec::new(),
+            message: message.to_string(),
+        }
+    }
+
+    /// A "expected X, found Y" error.
+    pub fn type_mismatch(expected: &str, found: &crate::Value) -> Self {
+        Error::custom(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` of {type_name}"))
+    }
+
+    /// Prefixes the error's path with an enclosing context (a field name or
+    /// index), building `a.b[2]`-style paths outside-in.
+    pub fn context(mut self, segment: &str) -> Self {
+        self.path.insert(0, segment.to_string());
+        self
+    }
+
+    /// The bare message without the path.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            return write!(f, "{}", self.message);
+        }
+        let mut path = String::new();
+        for seg in &self.path {
+            if seg.starts_with('[') {
+                path.push_str(seg);
+            } else {
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(seg);
+            }
+        }
+        write!(f, "{path}: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_render_outside_in() {
+        let e = Error::custom("boom")
+            .context("[3]")
+            .context("items")
+            .context("spec");
+        assert_eq!(e.to_string(), "spec.items[3]: boom");
+    }
+}

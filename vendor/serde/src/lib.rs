@@ -1,0 +1,605 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serialization framework under the same crate name. Unlike real
+//! serde's zero-copy visitor architecture, this implementation routes
+//! everything through an owned JSON-like [`Value`] tree: [`Serialize`]
+//! renders a value *to* a [`Value`], [`Deserialize`] reads one *from* a
+//! [`Value`]. The `serde_json` vendored crate supplies the text format on
+//! top. The `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! the vendored `serde_derive`) support structs with named fields and enums
+//! with unit/newtype variants, plus the `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(rename = "...")]` and
+//! `#[serde(tag = "...", content = "...")]` attributes used in this
+//! workspace.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// An owned JSON-like tree — the data model every type serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object. Stored as an insertion-ordered pair list so output is
+    /// stable and round-trips preserve author ordering.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|kv| kv.0 == key).map(|kv| &kv.1),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// A number from an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number { n: N::PosInt(v) }
+    }
+
+    /// A number from a signed integer (normalized to `PosInt` when ≥ 0).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number {
+                n: N::PosInt(v as u64),
+            }
+        } else {
+            Number { n: N::NegInt(v) }
+        }
+    }
+
+    /// A number from a float. Non-finite floats are not representable in
+    /// JSON; they are stored and rendered as `null` by the writer.
+    pub fn from_f64(v: f64) -> Self {
+        Number { n: N::Float(v) }
+    }
+
+    /// As `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::PosInt(v) => Some(v),
+            N::NegInt(_) => None,
+            N::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            N::Float(_) => None,
+        }
+    }
+
+    /// As `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            N::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (always representable, possibly with rounding).
+    pub fn as_f64(&self) -> f64 {
+        match self.n {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(f) => f,
+        }
+    }
+
+    /// `true` when the number is a float (not an integer variant).
+    pub fn is_f64(&self) -> bool {
+        matches!(self.n, N::Float(_))
+    }
+
+    /// Renders the number in JSON syntax.
+    pub fn to_json_text(&self) -> String {
+        match self.n {
+            N::PosInt(v) => v.to_string(),
+            N::NegInt(v) => v.to_string(),
+            N::Float(f) if f.is_finite() => {
+                // Keep floats recognizably floats: integral values get a
+                // trailing ".0" so round-trips preserve the variant.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            N::Float(_) => "null".to_string(), // NaN/inf are not JSON
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.n, &other.n) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for std types.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // JSON numbers cap at u64 precision here; larger values degrade to
+        // strings, mirroring how the workspace stores `space_size`.
+        match u64::try_from(*self) {
+            Ok(v) => Value::Number(Number::from_u64(v)),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for PathBuf {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Serialize for Path {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N_: usize> Serialize for [T; N_] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Value::Object(pairs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations for std types.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool()
+            .ok_or_else(|| de::Error::type_mismatch("boolean", v))
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| de::Error::type_mismatch("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| de::Error::type_mismatch("integer", v))?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        if let Some(n) = v.as_u64() {
+            return Ok(n as u128);
+        }
+        if let Some(s) = v.as_str() {
+            return s
+                .parse()
+                .map_err(|_| de::Error::custom(format!("invalid u128 string `{s}`")));
+        }
+        Err(de::Error::type_mismatch("unsigned integer or string", v))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64()
+            .ok_or_else(|| de::Error::type_mismatch("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::type_mismatch("string", v))
+    }
+}
+
+impl Deserialize for PathBuf {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(PathBuf::from(String::from_value(v)?))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| de::Error::type_mismatch("array", v))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, e)| T::from_value(e).map_err(|err| err.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v.as_array() {
+            Some([a, b]) => Ok((
+                A::from_value(a).map_err(|e| e.context("[0]"))?,
+                B::from_value(b).map_err(|e| e.context("[1]"))?,
+            )),
+            _ => Err(de::Error::type_mismatch("2-element array", v)),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((
+                A::from_value(a).map_err(|e| e.context("[0]"))?,
+                B::from_value(b).map_err(|e| e.context("[1]"))?,
+                C::from_value(c).map_err(|e| e.context("[2]"))?,
+            )),
+            _ => Err(de::Error::type_mismatch("3-element array", v)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| de::Error::type_mismatch("object", v))?;
+        pairs
+            .iter()
+            .map(|(k, val)| {
+                V::from_value(val)
+                    .map(|parsed| (k.clone(), parsed))
+                    .map_err(|e| e.context(k))
+            })
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(BTreeMap::from_value(v)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_variants() {
+        assert_eq!(Number::from_u64(7).as_u64(), Some(7));
+        assert_eq!(Number::from_i64(-3).as_i64(), Some(-3));
+        assert_eq!(Number::from_i64(-3).as_u64(), None);
+        assert_eq!(Number::from_f64(2.5).as_u64(), None);
+        assert_eq!(Number::from_f64(4.0).as_u64(), Some(4));
+        assert_eq!(Number::from_u64(7).as_f64(), 7.0);
+    }
+
+    #[test]
+    fn value_round_trip_std_types() {
+        let v = vec![(String::from("a"), 1.5f64), (String::from("b"), 2.0)];
+        let val = v.to_value();
+        let back: Vec<(String, f64)> = Deserialize::from_value(&val).unwrap();
+        assert_eq!(back, v);
+
+        let m: BTreeMap<String, u64> = [("x".to_string(), 9u64)].into_iter().collect();
+        let back: BTreeMap<String, u64> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let o: Option<u32> = None;
+        assert!(o.to_value().is_null());
+        let r: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn wrong_types_error() {
+        assert!(u64::from_value(&Value::String("x".into())).is_err());
+        assert!(String::from_value(&Value::Bool(true)).is_err());
+        assert!(<(u64, u64)>::from_value(&Value::Array(vec![])).is_err());
+    }
+}

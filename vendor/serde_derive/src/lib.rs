@@ -1,0 +1,595 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` crate.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`
+//! available offline). Supported shapes:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or newtype;
+//! * field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(rename = "name")]`;
+//! * container attributes `#[serde(tag = "...", content = "...")]`
+//!   (adjacent tagging) and `#[serde(rename = "...")]`.
+//!
+//! Missing fields of type `Option<...>` deserialize to `None` (detected
+//! syntactically from the field's type tokens, as real serde does
+//! semantically). Unknown fields are ignored, unknown serde attributes are
+//! compile errors so unsupported upstream features fail loudly instead of
+//! silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match (&item.kind, mode) {
+        (ItemKind::Struct(fields), Mode::Serialize) => gen_struct_serialize(&item, fields),
+        (ItemKind::Struct(fields), Mode::Deserialize) => gen_struct_deserialize(&item, fields),
+        (ItemKind::Enum(variants), Mode::Serialize) => gen_enum_serialize(&item, variants),
+        (ItemKind::Enum(variants), Mode::Deserialize) => gen_enum_deserialize(&item, variants),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => compile_error(&format!("serde_derive internal error: {e}")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Adjacent tagging: `#[serde(tag = "...", content = "...")]`.
+    tag: Option<String>,
+    content: Option<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    rename: Option<String>,
+    default: DefaultKind,
+    is_option: bool,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum DefaultKind {
+    None,
+    /// `#[serde(default)]` — `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    rename: Option<String>,
+    newtype: bool,
+}
+
+impl Variant {
+    fn key(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+/// One parsed `name` or `name = "literal"` argument of a `#[serde(...)]`
+/// attribute.
+struct SerdeArg {
+    name: String,
+    value: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let container_args = parse_attrs(&tokens, &mut i)?;
+    skip_visibility(&tokens, &mut i);
+
+    let kind_word = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    if kind_word != "struct" && kind_word != "enum" {
+        return Err(format!(
+            "#[derive(Serialize/Deserialize)] supports only structs and enums, found `{kind_word}`"
+        ));
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            return Err(format!("unit struct `{name}` is not supported"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("tuple struct `{name}` is not supported"))
+        }
+        other => return Err(format!("expected `{{ ... }}` body, found {other:?}")),
+    };
+
+    let mut tag = None;
+    let mut content = None;
+    for arg in container_args {
+        match (arg.name.as_str(), arg.value) {
+            ("tag", Some(v)) => tag = Some(v),
+            ("content", Some(v)) => content = Some(v),
+            ("rename", Some(_)) => {} // container rename does not affect JSON shape here
+            (other, _) => {
+                return Err(format!(
+                    "unsupported container attribute `#[serde({other})]` on `{name}`"
+                ))
+            }
+        }
+    }
+
+    let kind = if kind_word == "struct" {
+        ItemKind::Struct(parse_fields(body)?)
+    } else {
+        ItemKind::Enum(parse_variants(body)?)
+    };
+
+    Ok(Item {
+        name,
+        tag,
+        content,
+        kind,
+    })
+}
+
+/// Parses leading `#[...]` attributes, returning all `serde(...)` arguments.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<SerdeArg>, String> {
+    let mut args = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => return Err(format!("expected `[...]` after `#`, found {other:?}")),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                let list = match inner.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        g.stream()
+                    }
+                    other => {
+                        return Err(format!("expected `(...)` after `serde`, found {other:?}"))
+                    }
+                };
+                args.extend(parse_serde_args(list)?);
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn parse_serde_args(list: TokenStream) -> Result<Vec<SerdeArg>, String> {
+    let tokens: Vec<TokenTree> = list.into_iter().collect();
+    let mut args = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected serde attribute name, found {other:?}")),
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            value = match tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => Some(unquote(&lit.to_string())?),
+                other => return Err(format!("expected string literal, found {other:?}")),
+            };
+            i += 1;
+        }
+        args.push(SerdeArg { name, value });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(args)
+}
+
+/// Strips the quotes of a `"..."` literal token (no escape support — serde
+/// attribute values in this workspace are plain identifiers/paths).
+fn unquote(lit: &str) -> Result<String, String> {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("expected string literal, found `{lit}`"))
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let args = parse_attrs(&tokens, &mut i)?;
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Consume the type: everything until a top-level `,` (tracking angle
+        // brackets so `Map<K, V>` stays one type).
+        let mut angle_depth = 0i32;
+        let mut first_type_token: Option<String> = None;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Ident(id) if first_type_token.is_none() => {
+                    first_type_token = Some(id.to_string());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+
+        let mut rename = None;
+        let mut default = DefaultKind::None;
+        for arg in args {
+            match (arg.name.as_str(), arg.value) {
+                ("default", None) => default = DefaultKind::Trait,
+                ("default", Some(path)) => default = DefaultKind::Path(path),
+                ("rename", Some(v)) => rename = Some(v),
+                (other, _) => {
+                    return Err(format!(
+                        "unsupported field attribute `#[serde({other})]` on `{name}`"
+                    ))
+                }
+            }
+        }
+        fields.push(Field {
+            is_option: first_type_token.as_deref() == Some("Option"),
+            name,
+            rename,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let args = parse_attrs(&tokens, &mut i)?;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let newtype = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Reject multi-field tuple variants: a top-level comma with
+                // trailing content means more than one field.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0i32;
+                for (idx, tt) in inner.iter().enumerate() {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 && idx + 1 < inner.len() => {
+                                return Err(format!(
+                                    "multi-field tuple variant `{name}` is not supported"
+                                ))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                i += 1;
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!("struct variant `{name}` is not supported"))
+            }
+            _ => false,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(tt) = tokens.get(i) {
+                if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+
+        let mut rename = None;
+        for arg in args {
+            match (arg.name.as_str(), arg.value) {
+                ("rename", Some(v)) => rename = Some(v),
+                (other, _) => {
+                    return Err(format!(
+                        "unsupported variant attribute `#[serde({other})]` on `{name}`"
+                    ))
+                }
+            }
+        }
+        variants.push(Variant {
+            name,
+            rename,
+            newtype,
+        });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(item: &Item, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "__fields.push(({key:?}.to_string(), ::serde::Serialize::to_value(&self.{name})));\n",
+            key = f.key(),
+            name = f.name,
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(__fields)\n\
+         }}\n}}\n",
+        name = item.name,
+    )
+}
+
+fn gen_struct_deserialize(item: &Item, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            DefaultKind::Trait => "::std::default::Default::default()".to_string(),
+            DefaultKind::Path(path) => format!("{path}()"),
+            DefaultKind::None if f.is_option => "::std::option::Option::None".to_string(),
+            DefaultKind::None => format!(
+                "return ::std::result::Result::Err(::serde::de::Error::missing_field({:?}, {:?}))",
+                item.name,
+                f.key()
+            ),
+        };
+        inits.push_str(&format!(
+            "{name}: match __v.get({key:?}) {{\n\
+             ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)\
+             .map_err(|__e| __e.context({key:?}))?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+            key = f.key(),
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         if !matches!(__v, ::serde::Value::Object(_)) {{\n\
+         return ::std::result::Result::Err(::serde::de::Error::type_mismatch(\"object\", __v));\n\
+         }}\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {inits}\
+         }})\n\
+         }}\n}}\n",
+        name = item.name,
+    )
+}
+
+fn gen_enum_serialize(item: &Item, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        match (&item.tag, v.newtype) {
+            (Some(tag), false) => arms.push_str(&format!(
+                "{ty}::{var} => ::serde::Value::Object(::std::vec![({tag:?}.to_string(), \
+                 ::serde::Value::String({key:?}.to_string()))]),\n",
+                ty = item.name,
+                var = v.name,
+                key = v.key(),
+            )),
+            (Some(tag), true) => {
+                let content = item.content.as_deref().unwrap_or("value");
+                arms.push_str(&format!(
+                    "{ty}::{var}(__x) => ::serde::Value::Object(::std::vec![\
+                     ({tag:?}.to_string(), ::serde::Value::String({key:?}.to_string())),\
+                     ({content:?}.to_string(), ::serde::Serialize::to_value(__x))]),\n",
+                    ty = item.name,
+                    var = v.name,
+                    key = v.key(),
+                ))
+            }
+            (None, false) => arms.push_str(&format!(
+                "{ty}::{var} => ::serde::Value::String({key:?}.to_string()),\n",
+                ty = item.name,
+                var = v.name,
+                key = v.key(),
+            )),
+            (None, true) => arms.push_str(&format!(
+                "{ty}::{var}(__x) => ::serde::Value::Object(::std::vec![({key:?}.to_string(), \
+                 ::serde::Serialize::to_value(__x))]),\n",
+                ty = item.name,
+                var = v.name,
+                key = v.key(),
+            )),
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n",
+        name = item.name,
+    )
+}
+
+fn gen_enum_deserialize(item: &Item, variants: &[Variant]) -> String {
+    if let Some(tag) = &item.tag {
+        let content = item.content.as_deref().unwrap_or("value");
+        let mut arms = String::new();
+        for v in variants {
+            if v.newtype {
+                arms.push_str(&format!(
+                    "{key:?} => {{\n\
+                     let __c = __v.get({content:?}).ok_or_else(|| \
+                     ::serde::de::Error::missing_field({ty:?}, {content:?}))?;\n\
+                     ::std::result::Result::Ok({ty}::{var}(\
+                     ::serde::Deserialize::from_value(__c)\
+                     .map_err(|__e| __e.context({content:?}))?))\n\
+                     }}\n",
+                    key = v.key(),
+                    ty = item.name,
+                    var = v.name,
+                ));
+            } else {
+                arms.push_str(&format!(
+                    "{key:?} => ::std::result::Result::Ok({ty}::{var}),\n",
+                    key = v.key(),
+                    ty = item.name,
+                    var = v.name,
+                ));
+            }
+        }
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+             let __t = __v.get({tag:?}).ok_or_else(|| \
+             ::serde::de::Error::missing_field({name:?}, {tag:?}))?;\n\
+             let __t = __t.as_str().ok_or_else(|| \
+             ::serde::de::Error::type_mismatch(\"string\", __t))?;\n\
+             match __t {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+             format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+             }}\n\
+             }}\n}}\n",
+            name = item.name,
+        );
+    }
+
+    // Externally tagged: `"Unit"` or `{"Newtype": value}`.
+    let mut unit_arms = String::new();
+    let mut newtype_arms = String::new();
+    for v in variants {
+        if v.newtype {
+            newtype_arms.push_str(&format!(
+                "{key:?} => ::std::result::Result::Ok({ty}::{var}(\
+                 ::serde::Deserialize::from_value(__val)\
+                 .map_err(|__e| __e.context({key:?}))?)),\n",
+                key = v.key(),
+                ty = item.name,
+                var = v.name,
+            ));
+        } else {
+            unit_arms.push_str(&format!(
+                "{key:?} => ::std::result::Result::Ok({ty}::{var}),\n",
+                key = v.key(),
+                ty = item.name,
+                var = v.name,
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+         match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+         format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+         }},\n\
+         ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+         let (__k, __val) = &__pairs[0];\n\
+         match __k.as_str() {{\n\
+         {newtype_arms}\
+         __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+         format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::de::Error::type_mismatch(\
+         \"string or single-key object\", __other)),\n\
+         }}\n\
+         }}\n}}\n",
+        name = item.name,
+    )
+}
