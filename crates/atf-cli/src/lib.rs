@@ -168,6 +168,40 @@ impl TuningSpec {
     }
 }
 
+/// Fault-tolerance options for a tuning run — the CLI's `--timeout`,
+/// `--retries`, `--breaker`, `--journal`, and `--resume` flags.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Kill any single measurement after this long (a `timeout` failure).
+    pub timeout: Option<std::time::Duration>,
+    /// Retry transient measurement failures up to this many times.
+    pub retries: u32,
+    /// Abort after this many consecutive failed evaluations.
+    pub breaker: Option<u32>,
+    /// Write an append-only run journal to this path (local runs only; in
+    /// remote mode the service owns the journal).
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal (local: replay `journal`; remote: ask the
+    /// service to replay its journal for this key).
+    pub resume: bool,
+}
+
+impl RunOptions {
+    /// The [`EvalPolicy`] these options describe.
+    pub fn policy(&self) -> EvalPolicy {
+        EvalPolicy {
+            timeout: self.timeout,
+            max_retries: self.retries,
+            max_consecutive_failures: self.breaker,
+            ..EvalPolicy::default()
+        }
+    }
+}
+
+/// Jitter seed for retry backoff: fixed so CLI runs are reproducible
+/// (jitter only staggers sleeps, it never affects the search).
+const RETRY_JITTER_SEED: u64 = 0x5eed;
+
 /// The outcome reported to the CLI user.
 #[derive(Debug)]
 pub struct CliOutcome {
@@ -175,23 +209,62 @@ pub struct CliOutcome {
     pub result: TuningResult<LexCosts>,
     /// Whether a database record was written (and where).
     pub database: Option<PathBuf>,
+    /// Failed evaluations by taxonomy kind (nonzero kinds only).
+    pub failures: Vec<(FailureKind, u64)>,
+    /// Evaluations replayed from a run journal before tuning continued.
+    pub resumed: u64,
 }
 
-/// Runs a tuning specification end to end.
+/// Runs a tuning specification end to end with default (no-fault-handling)
+/// options.
 pub fn run(spec: &TuningSpec) -> Result<CliOutcome, CliError> {
+    run_with(spec, &RunOptions::default())
+}
+
+/// Runs a tuning specification end to end, guarded by `opts`: measurement
+/// timeouts and retries wrap the cost function, the circuit breaker arms
+/// the session, and the run journal (if any) records every evaluation
+/// before it is applied — so a killed run resumes exactly where it died.
+pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliError> {
     let params = spec.build_params()?;
     // Group automatically: independent parameters explore in parallel-
     // generated groups without the user thinking about it.
     let groups = auto_group(params);
-    let mut cf = spec.build_cost_function();
-    let mut tuner = Tuner::new().technique(spec.build_technique()?);
-    if let Some(a) = spec.build_abort() {
-        tuner = tuner.abort_condition(a);
+    let space = if groups.len() > 1 {
+        SearchSpace::generate_parallel(&groups)
+    } else {
+        SearchSpace::generate(&groups)
+    };
+    let policy = opts.policy();
+    let mut process_cf = spec.build_cost_function();
+    if let Some(t) = opts.timeout {
+        process_cf = process_cf.timeout(t);
     }
-    let result = tuner
-        .parallel_generation(groups.len() > 1)
-        .tune(&groups, &mut cf)
-        .map_err(CliError::Tuning)?;
+    let mut cf = with_policy(process_cf, &policy, RETRY_JITTER_SEED);
+
+    let mut session =
+        TuningSession::<LexCosts>::new(space, spec.build_technique()?).map_err(CliError::Tuning)?;
+    if let Some(a) = spec.build_abort() {
+        session = session.abort_condition(a);
+    }
+    session = session.eval_policy(&policy);
+    let mut resumed = 0;
+    if let Some(path) = &opts.journal {
+        if opts.resume && path.exists() {
+            resumed = session
+                .resume_from_journal(path)
+                .map_err(CliError::Tuning)?;
+        } else {
+            session = session.journal_to(path).map_err(CliError::Tuning)?;
+        }
+    }
+
+    while let Some(config) = session.next_config() {
+        let outcome = cf.evaluate(&config);
+        session.report(outcome).map_err(CliError::Tuning)?;
+    }
+    let failures = session.status().failure_counts();
+    let result = session.finish().map_err(CliError::Tuning)?;
 
     let mut database = None;
     if let Some(db_path) = &spec.database {
@@ -214,7 +287,12 @@ pub fn run(spec: &TuningSpec) -> Result<CliOutcome, CliError> {
             .map_err(|e| CliError::Database(e.to_string()))?;
         database = Some(db_path.clone());
     }
-    Ok(CliOutcome { result, database })
+    Ok(CliOutcome {
+        result,
+        database,
+        failures,
+        resumed,
+    })
 }
 
 /// The database key of a specification: `(kernel, device, workload)`.
@@ -246,6 +324,8 @@ pub fn session_spec(spec: &TuningSpec) -> atf_service::SessionSpec {
         parameters: spec.parameters.clone(),
         search: Some(spec.search.clone()),
         abort: Some(spec.abort.clone()),
+        resume: false,
+        breaker: None,
     }
 }
 
@@ -261,16 +341,48 @@ pub fn run_remote<T: atf_service::Transport>(
     spec: &TuningSpec,
     client: &mut atf_service::Client<T>,
 ) -> Result<atf_service::Response, CliError> {
-    let session = session_spec(spec);
-    let mut cf = spec.build_cost_function();
-    client
-        .tune(&session, |wire| {
-            let config = wire_to_config(wire);
-            cf.evaluate(&config)
-                .ok()
-                .and_then(|costs| costs.first().copied())
-        })
-        .map_err(|e| CliError::Service(e.to_string()))
+    run_remote_with(spec, client, &RunOptions::default())
+}
+
+/// [`run_remote`] guarded by fault-tolerance options: the local
+/// measurements get the policy's timeout and transient-retry loop, failures
+/// are reported to the service with their taxonomy class, and `resume` /
+/// `breaker` ride along on `open` (the service owns the journal and the
+/// circuit breaker; `opts.journal` is ignored here).
+pub fn run_remote_with<T: atf_service::Transport>(
+    spec: &TuningSpec,
+    client: &mut atf_service::Client<T>,
+    opts: &RunOptions,
+) -> Result<atf_service::Response, CliError> {
+    let mut session = session_spec(spec);
+    session.resume = opts.resume;
+    session.breaker = opts.breaker;
+    let mut process_cf = spec.build_cost_function();
+    if let Some(t) = opts.timeout {
+        process_cf = process_cf.timeout(t);
+    }
+    let mut cf = with_policy(process_cf, &opts.policy(), RETRY_JITTER_SEED);
+    let service = |e: atf_service::ClientError| CliError::Service(e.to_string());
+    let (id, replayed) = client.open_resumable(&session).map_err(service)?;
+    while let Some(wire) = client.next(&id).map_err(service)? {
+        let config = wire_to_config(&wire);
+        match cf.evaluate(&config) {
+            Ok(costs) => match costs.first().copied() {
+                Some(cost) => client.report(&id, Some(cost)).map_err(service)?,
+                None => client
+                    .report_failure(&id, FailureKind::BadOutput)
+                    .map_err(service)?,
+            },
+            Err(e) => client.report_failure(&id, e.kind()).map_err(service)?,
+        };
+    }
+    let mut response = client.finish(&id).map_err(service)?;
+    // `resumed` arrives on the `open` response; carry it into the final
+    // one so the report can show it.
+    if replayed > 0 {
+        response.resumed = Some(replayed);
+    }
+    Ok(response)
 }
 
 /// Renders a service response (from `finish` or `lookup`) as the CLI's
@@ -286,6 +398,17 @@ pub fn report_remote(response: &atf_service::Response) -> String {
             response.valid_evaluations.unwrap_or(0),
             response.failed_evaluations.unwrap_or(0)
         ));
+    }
+    if let Some(failures) = &response.failures {
+        if !failures.is_empty() {
+            let rendered: Vec<String> = failures.iter().map(|(k, n)| format!("{k}={n}")).collect();
+            out.push_str(&format!("failures:     {}\n", rendered.join(" ")));
+        }
+    }
+    if let Some(n) = response.resumed {
+        if n > 0 {
+            out.push_str(&format!("resumed:      {n} evaluations replayed\n"));
+        }
     }
     if let Some(cfg) = &response.best_config {
         let rendered: Vec<String> = cfg.iter().map(|(n, v)| format!("{n}={v}")).collect();
@@ -312,6 +435,20 @@ pub fn report(outcome: &CliOutcome) -> String {
         "evaluated:    {} ({} valid, {} failed)\n",
         r.evaluations, r.valid_evaluations, r.failed_evaluations
     ));
+    if !outcome.failures.is_empty() {
+        let rendered: Vec<String> = outcome
+            .failures
+            .iter()
+            .map(|(kind, n)| format!("{}={n}", kind.label()))
+            .collect();
+        out.push_str(&format!("failures:     {}\n", rendered.join(" ")));
+    }
+    if outcome.resumed > 0 {
+        out.push_str(&format!(
+            "resumed:      {} evaluations replayed from the journal\n",
+            outcome.resumed
+        ));
+    }
     out.push_str(&format!("best config:  {}\n", r.best_config));
     out.push_str(&format!("best cost:    {:?}\n", r.best_cost));
     if let Some(db) = &outcome.database {

@@ -28,14 +28,26 @@ exit codes: 0 success, 1 tuning failure, 2 usage error
 
 Run `atf-tune help <command>` for per-command options.";
 
-const RUN_USAGE: &str = "usage: atf-tune run <spec.json>
+const RUN_USAGE: &str = "usage: atf-tune run [options] <spec.json>
 
 Auto-tunes the program described by the JSON specification:
 compile/run scripts, tuning parameters with constraint strings
 (e.g. \"divides(N / WPT)\"), search technique, abort conditions,
-and an optional tuning database to record the best configuration.";
+and an optional tuning database to record the best configuration.
+
+  --timeout SECS     Kill any single measurement after SECS seconds
+                     (counted as a `timeout` failure; fractions allowed).
+  --retries N        Retry transient measurement failures up to N times,
+                     with exponential backoff and jitter.
+  --breaker N        Abort the run after N consecutive failed
+                     evaluations (circuit breaker).
+  --journal PATH     Append every evaluation to a crash-safe run journal
+                     (NDJSON) at PATH before applying it.
+  --resume           Replay the journal at --journal PATH first, then
+                     continue the interrupted run where it stopped.";
 
 const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] [--idle-secs N]
+                      [--journal-dir DIR] [--eval-deadline-secs N]
 
 Runs the tuning service until SIGINT (ctrl-c).
 
@@ -43,9 +55,14 @@ Runs the tuning service until SIGINT (ctrl-c).
   --db PATH          Tuning-database file: loaded at start, updated as
                      sessions finish (default: in-memory only).
   --idle-secs N      Expire sessions idle longer than N seconds
-                     (default 900).";
+                     (default 900).
+  --journal-dir DIR  Keep a per-key run journal in DIR; sessions opened
+                     with `resume` continue from it after a crash.
+  --eval-deadline-secs N
+                     Auto-fail a handed-out configuration as a `timeout`
+                     when no report arrives within N seconds.";
 
-const CLIENT_USAGE: &str = "usage: atf-tune client [--addr HOST:PORT] <spec.json>
+const CLIENT_USAGE: &str = "usage: atf-tune client [--addr HOST:PORT] [options] <spec.json>
        atf-tune client [--addr HOST:PORT] --lookup KERNEL [--device D] [--workload W]
 
 With a spec: opens a session on the service, measures each configuration
@@ -53,7 +70,15 @@ the service hands out by running the spec's program locally, and prints
 the final result. With --lookup: prints the service's stored best
 configuration for the key, without tuning.
 
-  --addr HOST:PORT   Service address (default 127.0.0.1:7117).";
+  --addr HOST:PORT   Service address (default 127.0.0.1:7117).
+  --timeout SECS     Kill any single local measurement after SECS seconds
+                     (reported to the service as a `timeout` failure).
+  --retries N        Retry transient measurement failures up to N times
+                     before reporting them.
+  --breaker N        Ask the service to abort the session after N
+                     consecutive failed evaluations.
+  --resume           Ask the service to resume this key's run journal
+                     (needs a service started with --journal-dir).";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
@@ -108,23 +133,96 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
     }
 }
 
+/// Pops a bare `--flag` from `args`; returns whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Pops `--flag SECS` (fractional seconds allowed) as a [`Duration`].
+fn take_secs_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<Duration>, String> {
+    match take_flag(args, flag)? {
+        None => Ok(None),
+        Some(s) => {
+            let secs: f64 = s
+                .parse()
+                .map_err(|_| format!("`{flag}` needs a number of seconds, got `{s}`"))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(format!("`{flag}` needs a positive number of seconds"));
+            }
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
+    }
+}
+
+/// Pops `--flag N` as a `u32`.
+fn take_u32_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u32>, String> {
+    match take_flag(args, flag)? {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("`{flag}` needs an integer, got `{s}`")),
+    }
+}
+
+/// Parses the fault-tolerance flags shared by `run` and `client`.
+/// `with_journal` enables the local-only `--journal PATH` flag.
+fn take_run_options(
+    args: &mut Vec<String>,
+    with_journal: bool,
+) -> Result<atf_cli::RunOptions, String> {
+    let mut opts = atf_cli::RunOptions {
+        timeout: take_secs_flag(args, "--timeout")?,
+        retries: take_u32_flag(args, "--retries")?.unwrap_or(0),
+        breaker: take_u32_flag(args, "--breaker")?,
+        journal: None,
+        resume: take_switch(args, "--resume"),
+    };
+    if with_journal {
+        opts.journal = take_flag(args, "--journal")?.map(Into::into);
+        if opts.resume && opts.journal.is_none() {
+            return Err("`--resume` needs `--journal PATH`".to_string());
+        }
+    }
+    Ok(opts)
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     if wants_help(args) {
         println!("{RUN_USAGE}");
         return ExitCode::SUCCESS;
     }
-    let [path] = args else {
-        eprintln!("{RUN_USAGE}");
-        return ExitCode::from(2);
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<(String, atf_cli::RunOptions), String> {
+        let opts = take_run_options(&mut args, true)?;
+        match args.as_slice() {
+            [path] => Ok((path.clone(), opts)),
+            [] => Err("need a <spec.json>".to_string()),
+            [_, extra, ..] => Err(format!("unexpected argument `{extra}`")),
+        }
+    })();
+    let (path, opts) = match parsed {
+        Ok(p) => p,
+        Err(m) => {
+            eprintln!("atf-tune run: {m}");
+            eprintln!("{RUN_USAGE}");
+            return ExitCode::from(2);
+        }
     };
-    let spec = match atf_cli::TuningSpec::load(path) {
+    let spec = match atf_cli::TuningSpec::load(&path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("atf-tune: {e}");
             return ExitCode::from(2);
         }
     };
-    match atf_cli::run(&spec) {
+    match atf_cli::run_with(&spec, &opts) {
         Ok(outcome) => {
             print!("{}", atf_cli::report(&outcome));
             ExitCode::SUCCESS
@@ -142,7 +240,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut args = args.to_vec();
-    let parsed = (|| -> Result<(String, Option<String>, u64), String> {
+    type ServeArgs = (
+        String,
+        Option<String>,
+        u64,
+        Option<String>,
+        Option<Duration>,
+    );
+    let parsed = (|| -> Result<ServeArgs, String> {
         let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
         let db = take_flag(&mut args, "--db")?;
         let idle = match take_flag(&mut args, "--idle-secs")? {
@@ -151,12 +256,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 .map_err(|_| format!("`--idle-secs` needs an integer, got `{s}`"))?,
             None => 900,
         };
+        let journal_dir = take_flag(&mut args, "--journal-dir")?;
+        let eval_deadline = take_secs_flag(&mut args, "--eval-deadline-secs")?;
         if let Some(extra) = args.first() {
             return Err(format!("unexpected argument `{extra}`"));
         }
-        Ok((addr, db, idle))
+        Ok((addr, db, idle, journal_dir, eval_deadline))
     })();
-    let (addr, db, idle_secs) = match parsed {
+    let (addr, db, idle_secs, journal_dir, eval_deadline) = match parsed {
         Ok(p) => p,
         Err(m) => {
             eprintln!("atf-tune serve: {m}");
@@ -168,6 +275,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let manager = match atf_service::SessionManager::new(atf_service::ManagerConfig {
         db_path: db.map(Into::into),
         idle_timeout: Duration::from_secs(idle_secs),
+        journal_dir: journal_dir.map(Into::into),
+        eval_deadline,
     }) {
         Ok(m) => Arc::new(m),
         Err(e) => {
@@ -222,8 +331,15 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 },
             ));
         }
+        let opts = take_run_options(&mut args, false)?;
         match args.as_slice() {
-            [path] => Ok((addr.clone(), ClientMode::Tune { spec: path.clone() })),
+            [path] => Ok((
+                addr.clone(),
+                ClientMode::Tune {
+                    spec: path.clone(),
+                    opts,
+                },
+            )),
             [] => Err("need a <spec.json> or --lookup KERNEL".to_string()),
             [_, extra, ..] => Err(format!("unexpected argument `{extra}`")),
         }
@@ -245,7 +361,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
         }
     };
     match mode {
-        ClientMode::Tune { spec } => {
+        ClientMode::Tune { spec, opts } => {
             let spec = match atf_cli::TuningSpec::load(&spec) {
                 Ok(s) => s,
                 Err(e) => {
@@ -253,7 +369,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            match atf_cli::run_remote(&spec, &mut client) {
+            match atf_cli::run_remote_with(&spec, &mut client, &opts) {
                 Ok(response) => {
                     print!("{}", atf_cli::report_remote(&response));
                     ExitCode::SUCCESS
@@ -288,6 +404,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
 enum ClientMode {
     Tune {
         spec: String,
+        opts: atf_cli::RunOptions,
     },
     Lookup {
         kernel: String,

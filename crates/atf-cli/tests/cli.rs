@@ -58,6 +58,20 @@ fn bad_inputs_are_usage_errors() {
     assert_eq!(exit_code(&run_with(&["serve", "--addr"])), 2);
     assert_eq!(exit_code(&run_with(&["client"])), 2);
     assert_eq!(exit_code(&run_with(&["client", "a.json", "b.json"])), 2);
+    // Fault-tolerance flags: --resume needs --journal, values must parse.
+    assert_eq!(exit_code(&run_with(&["run", "--resume", "s.json"])), 2);
+    assert_eq!(
+        exit_code(&run_with(&["run", "--timeout", "-3", "s.json"])),
+        2
+    );
+    assert_eq!(
+        exit_code(&run_with(&["run", "--retries", "many", "s.json"])),
+        2
+    );
+    assert_eq!(
+        exit_code(&run_with(&["serve", "--eval-deadline-secs", "soon"])),
+        2
+    );
 }
 
 #[cfg(unix)]
@@ -188,5 +202,213 @@ fn serve_and_client_end_to_end() {
     let status = server.wait().unwrap();
     assert!(status.success(), "server exit: {status:?}");
     assert!(db_path.exists(), "database not persisted");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writes a slow deterministic tuning spec into `dir`: each evaluation
+/// sleeps `sleep_secs`, then reports a cost with its optimum at BLOCK=9.
+#[cfg(unix)]
+fn write_slow_spec(dir: &std::path::Path, kernel: &str, sleep_secs: &str) -> std::path::PathBuf {
+    let log = dir.join("cost.log");
+    let source = dir.join("prog.sh");
+    write_executable(
+        &source,
+        &format!(
+            "sleep {sleep_secs}\nB=$ATF_TP_BLOCK\nD=$((B - 9)); [ $D -lt 0 ] && D=$((-D))\necho $((2 + D)) > {}",
+            log.display()
+        ),
+    );
+    let run_sh = dir.join("run.sh");
+    write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(
+        &spec_path,
+        format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+              "parameters": [{{"name": "BLOCK", "interval": {{"begin": 1, "end": 12}}}}],
+              "search": {{"technique": "exhaustive"}},
+              "kernel_name": "{kernel}"
+            }}"#,
+            source.display(),
+            run_sh.display(),
+            log.display()
+        ),
+    )
+    .unwrap();
+    spec_path
+}
+
+/// The line `best config:  ...` of a report, normalized across the local
+/// (`{BLOCK=9}`) and remote (`BLOCK=9`) renderings.
+fn best_config_line(report: &str) -> String {
+    report
+        .lines()
+        .find(|l| l.starts_with("best config:"))
+        .unwrap_or_else(|| panic!("no best config in report: {report}"))
+        .replace(['{', '}'], "")
+}
+
+/// A `run` killed with SIGKILL mid-flight leaves a replayable journal;
+/// `run --resume` continues it and reproduces the uninterrupted run's best
+/// configuration.
+#[cfg(unix)]
+#[test]
+fn run_killed_mid_run_resumes_from_the_journal() {
+    let dir = std::env::temp_dir().join(format!("atf-cli-bin-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = write_slow_spec(&dir, "kill-resume", "0.1");
+    let spec = spec_path.to_str().unwrap();
+    let journal = dir.join("run.ndjson");
+    let journal_str = journal.to_str().unwrap().to_string();
+
+    // Reference: the uninterrupted run.
+    let reference = run_with(&["run", spec]);
+    assert_eq!(
+        exit_code(&reference),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let reference_best = best_config_line(&String::from_utf8_lossy(&reference.stdout));
+
+    // Journaled run, hard-killed mid-flight (12 evaluations of ≥0.1 s
+    // each; the kill lands a few evaluations in).
+    let mut victim = atf_tune()
+        .args(["run", "--journal", &journal_str, spec])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    Command::new("kill")
+        .args(["-KILL", &victim.id().to_string()])
+        .status()
+        .unwrap();
+    let status = victim.wait().unwrap();
+    assert!(!status.success(), "the victim must die by signal");
+    assert!(journal.exists(), "no journal left behind");
+    let journaled_entries = std::fs::read_to_string(&journal)
+        .unwrap()
+        .lines()
+        .count()
+        .saturating_sub(1); // header line
+
+    // Resume and finish; the result matches the uninterrupted run.
+    let resumed = run_with(&["run", "--journal", &journal_str, "--resume", spec]);
+    assert_eq!(
+        exit_code(&resumed),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let report = String::from_utf8_lossy(&resumed.stdout).to_string();
+    assert_eq!(best_config_line(&report), reference_best);
+    if journaled_entries > 0 {
+        assert!(
+            report.contains("resumed:"),
+            "{journaled_entries} journaled evaluations should be replayed; report: {report}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Spawns `atf-tune serve` with the given extra flags on an ephemeral port
+/// and returns the child, the address it announced, and its stderr reader
+/// (which must stay alive: dropping it closes the pipe and later server
+/// log lines would fail).
+#[cfg(unix)]
+fn spawn_server(
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    BufReader<std::process::ChildStderr>,
+) {
+    let mut cmd = atf_tune();
+    cmd.args(["serve", "--addr", "127.0.0.1:0"]);
+    cmd.args(extra);
+    let mut server = cmd.stderr(Stdio::piped()).spawn().unwrap();
+    let mut stderr = BufReader::new(server.stderr.take().unwrap());
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("serving on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+    (server, addr, stderr)
+}
+
+/// A `serve` process killed with SIGKILL mid-session leaves its per-key
+/// journal behind; a restarted server resumes the session from it when the
+/// client reopens with `--resume`, reproducing the uninterrupted result.
+#[cfg(unix)]
+#[test]
+fn serve_killed_mid_session_resumes_from_its_journal_dir() {
+    let dir = std::env::temp_dir().join(format!("atf-cli-bin-srv-resume-{}", std::process::id()));
+    let journal_dir = dir.join("journals");
+    std::fs::create_dir_all(&journal_dir).unwrap();
+    let spec_path = write_slow_spec(&dir, "srv-resume", "0.1");
+    let spec = spec_path.to_str().unwrap();
+    let jd = journal_dir.to_str().unwrap().to_string();
+
+    // Reference: the same spec tuned locally (same technique, same space).
+    let reference = run_with(&["run", spec]);
+    assert_eq!(exit_code(&reference), 0);
+    let reference_best = best_config_line(&String::from_utf8_lossy(&reference.stdout));
+
+    // First server: hard-killed while a client session is mid-flight.
+    let (mut server_a, addr_a, _stderr_a) = spawn_server(&["--journal-dir", &jd]);
+    let mut client_a = atf_tune()
+        .args(["client", "--addr", &addr_a, spec])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    Command::new("kill")
+        .args(["-KILL", &server_a.id().to_string()])
+        .status()
+        .unwrap();
+    server_a.wait().unwrap();
+    // The client loses its server and fails; that's the point.
+    let client_status = client_a.wait().unwrap();
+    assert!(
+        !client_status.success(),
+        "client should fail when the server dies"
+    );
+
+    let journaled_entries: usize = std::fs::read_dir(&journal_dir)
+        .unwrap()
+        .filter_map(|e| std::fs::read_to_string(e.unwrap().path()).ok())
+        .map(|text| text.lines().count().saturating_sub(1))
+        .sum();
+
+    // Second server over the same journal dir: `--resume` continues the
+    // interrupted session instead of starting over.
+    let (mut server_b, addr_b, _stderr_b) = spawn_server(&["--journal-dir", &jd]);
+    let resumed = run_with(&["client", "--addr", &addr_b, "--resume", spec]);
+    assert_eq!(
+        exit_code(&resumed),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let report = String::from_utf8_lossy(&resumed.stdout).to_string();
+    assert_eq!(best_config_line(&report), reference_best);
+    if journaled_entries > 0 {
+        assert!(
+            report.contains("resumed:"),
+            "{journaled_entries} journaled evaluations should be replayed; report: {report}"
+        );
+    }
+
+    Command::new("kill")
+        .args(["-INT", &server_b.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(server_b.wait().unwrap().success());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -78,6 +78,52 @@ impl<A: CostValue, B: CostValue, C: CostValue> CostValue for (A, B, C) {
     }
 }
 
+/// Cost values that can round-trip through the run journal
+/// ([`crate::journal`]) as a flat `f64` vector — required for journaling
+/// and resuming a [`crate::session::TuningSession`].
+pub trait JournalCost: CostValue {
+    /// Encodes the cost into a journal entry's cost vector.
+    fn to_journal(&self) -> Vec<f64>;
+    /// Decodes a journaled cost vector (`None` if the shape is wrong).
+    fn from_journal(values: &[f64]) -> Option<Self>;
+}
+
+impl JournalCost for f64 {
+    fn to_journal(&self) -> Vec<f64> {
+        vec![*self]
+    }
+    fn from_journal(values: &[f64]) -> Option<Self> {
+        match values {
+            [v] => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl JournalCost for (f64, f64) {
+    fn to_journal(&self) -> Vec<f64> {
+        vec![self.0, self.1]
+    }
+    fn from_journal(values: &[f64]) -> Option<Self> {
+        match values {
+            [a, b] => Some((*a, *b)),
+            _ => None,
+        }
+    }
+}
+
+impl JournalCost for (f64, f64, f64) {
+    fn to_journal(&self) -> Vec<f64> {
+        vec![self.0, self.1, self.2]
+    }
+    fn from_journal(values: &[f64]) -> Option<Self> {
+        match values {
+            [a, b, c] => Some((*a, *b, *c)),
+            _ => None,
+        }
+    }
+}
+
 /// Why a cost function failed to produce a cost for a configuration.
 ///
 /// A failed measurement is *not* fatal to tuning: the tuner reports the
@@ -90,10 +136,98 @@ pub enum CostError {
     InvalidConfiguration(String),
     /// Compiling the program failed.
     CompileFailed(String),
-    /// Running the program failed.
+    /// Running the program failed (spawn failure, nonzero exit without
+    /// crash details, ...).
     RunFailed(String),
     /// The cost could not be parsed / measured.
     MeasurementFailed(String),
+    /// The evaluation exceeded its wall-clock deadline and was killed.
+    Timeout {
+        /// The deadline that was exceeded.
+        limit: Duration,
+    },
+    /// The program crashed (killed by a signal, or exited nonzero with
+    /// crash-grade diagnostics attached).
+    Crashed {
+        /// Terminating signal, when the process was signal-killed (unix).
+        signal: Option<i32>,
+        /// Exit code, when the process exited on its own.
+        exit: Option<i32>,
+        /// Truncated tail of the program's stderr.
+        stderr: String,
+    },
+    /// A transient infrastructure failure (flaky device, busy resource);
+    /// worth retrying under an [`crate::policy::EvalPolicy`].
+    Transient(String),
+}
+
+/// Classification of measurement failures — recorded per evaluation in the
+/// run journal and counted per kind in [`crate::status::TuningStatus`], so
+/// "the device keeps timing out" and "the kernel never compiles" are
+/// distinguishable outcomes instead of one opaque penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailureKind {
+    /// The evaluation exceeded its deadline and was killed.
+    Timeout,
+    /// The program failed to compile.
+    CompileError,
+    /// The program crashed at run time (signal or nonzero exit).
+    RunCrash,
+    /// The program ran but produced an unusable cost (empty/garbled log).
+    BadOutput,
+    /// A transient failure that a retry may fix.
+    Transient,
+    /// The configuration itself is invalid for the program.
+    Invalid,
+}
+
+impl FailureKind {
+    /// All kinds, in the order they are rendered in summaries.
+    pub const ALL: [FailureKind; 6] = [
+        FailureKind::Timeout,
+        FailureKind::CompileError,
+        FailureKind::RunCrash,
+        FailureKind::BadOutput,
+        FailureKind::Transient,
+        FailureKind::Invalid,
+    ];
+
+    /// Stable machine-readable label (journal and wire encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Timeout => "timeout",
+            FailureKind::CompileError => "compile",
+            FailureKind::RunCrash => "crash",
+            FailureKind::BadOutput => "bad_output",
+            FailureKind::Transient => "transient",
+            FailureKind::Invalid => "invalid",
+        }
+    }
+
+    /// Parses a [`label`](Self::label) back into the kind.
+    pub fn from_label(label: &str) -> Option<FailureKind> {
+        FailureKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
+    /// Whether a retry has any chance of succeeding without changing the
+    /// configuration.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, FailureKind::Transient)
+    }
+
+    /// Index into [`FailureKind::ALL`] (for fixed-size counters).
+    pub(crate) fn index(self) -> usize {
+        FailureKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("every kind is listed in ALL")
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl CostError {
@@ -103,7 +237,37 @@ impl CostError {
             CostError::InvalidConfiguration(m)
             | CostError::CompileFailed(m)
             | CostError::RunFailed(m)
+            | CostError::Transient(m)
             | CostError::MeasurementFailed(m) => m,
+            CostError::Timeout { .. } => "deadline exceeded",
+            CostError::Crashed { stderr, .. } => stderr,
+        }
+    }
+
+    /// The failure's taxonomy class.
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            CostError::InvalidConfiguration(_) => FailureKind::Invalid,
+            CostError::CompileFailed(_) => FailureKind::CompileError,
+            CostError::RunFailed(_) | CostError::Crashed { .. } => FailureKind::RunCrash,
+            CostError::MeasurementFailed(_) => FailureKind::BadOutput,
+            CostError::Timeout { .. } => FailureKind::Timeout,
+            CostError::Transient(_) => FailureKind::Transient,
+        }
+    }
+
+    /// Reconstructs a representative error from a journaled failure kind
+    /// (the journal stores the class, not the full message).
+    pub fn from_kind(kind: FailureKind) -> CostError {
+        match kind {
+            FailureKind::Timeout => CostError::Timeout {
+                limit: Duration::ZERO,
+            },
+            FailureKind::CompileError => CostError::CompileFailed("journaled failure".into()),
+            FailureKind::RunCrash => CostError::RunFailed("journaled failure".into()),
+            FailureKind::BadOutput => CostError::MeasurementFailed("journaled failure".into()),
+            FailureKind::Transient => CostError::Transient("journaled failure".into()),
+            FailureKind::Invalid => CostError::InvalidConfiguration("journaled failure".into()),
         }
     }
 }
@@ -115,6 +279,23 @@ impl fmt::Display for CostError {
             CostError::CompileFailed(m) => write!(f, "compilation failed: {m}"),
             CostError::RunFailed(m) => write!(f, "run failed: {m}"),
             CostError::MeasurementFailed(m) => write!(f, "measurement failed: {m}"),
+            CostError::Timeout { limit } => write!(f, "timed out after {limit:?}"),
+            CostError::Crashed {
+                signal,
+                exit,
+                stderr,
+            } => {
+                match (signal, exit) {
+                    (Some(sig), _) => write!(f, "crashed: killed by signal {sig}")?,
+                    (None, Some(code)) => write!(f, "crashed: exit code {code}")?,
+                    (None, None) => write!(f, "crashed")?,
+                }
+                if !stderr.is_empty() {
+                    write!(f, " — stderr: {stderr}")?;
+                }
+                Ok(())
+            }
+            CostError::Transient(m) => write!(f, "transient failure: {m}"),
         }
     }
 }
@@ -239,5 +420,59 @@ mod tests {
         let e = CostError::CompileFailed("syntax".into());
         assert_eq!(e.to_string(), "compilation failed: syntax");
         assert_eq!(e.message(), "syntax");
+        let t = CostError::Timeout {
+            limit: Duration::from_secs(2),
+        };
+        assert!(t.to_string().contains("timed out"));
+        let c = CostError::Crashed {
+            signal: Some(11),
+            exit: None,
+            stderr: "segfault".into(),
+        };
+        assert!(c.to_string().contains("signal 11"));
+        assert!(c.to_string().contains("segfault"));
+    }
+
+    #[test]
+    fn failure_kinds_classify_and_round_trip() {
+        assert_eq!(
+            CostError::Timeout {
+                limit: Duration::from_secs(1)
+            }
+            .kind(),
+            FailureKind::Timeout
+        );
+        assert_eq!(
+            CostError::CompileFailed("x".into()).kind(),
+            FailureKind::CompileError
+        );
+        assert_eq!(
+            CostError::Crashed {
+                signal: None,
+                exit: Some(3),
+                stderr: String::new()
+            }
+            .kind(),
+            FailureKind::RunCrash
+        );
+        assert_eq!(
+            CostError::MeasurementFailed("x".into()).kind(),
+            FailureKind::BadOutput
+        );
+        assert_eq!(
+            CostError::Transient("x".into()).kind(),
+            FailureKind::Transient
+        );
+        assert_eq!(
+            CostError::InvalidConfiguration("x".into()).kind(),
+            FailureKind::Invalid
+        );
+        for kind in FailureKind::ALL {
+            assert_eq!(FailureKind::from_label(kind.label()), Some(kind));
+            assert_eq!(CostError::from_kind(kind).kind(), kind);
+        }
+        assert_eq!(FailureKind::from_label("wat"), None);
+        assert!(FailureKind::Transient.is_retryable());
+        assert!(!FailureKind::Timeout.is_retryable());
     }
 }

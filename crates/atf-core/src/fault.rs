@@ -1,0 +1,230 @@
+//! Deterministic fault injection for cost functions: wraps any inner cost
+//! function with a seeded schedule of hangs (timeouts), crashes, flaky
+//! transients, and slow evaluations, so the fault-tolerance machinery —
+//! retry policy, failure taxonomy, circuit breaker, journal replay — can be
+//! proven against every search technique without a flaky real device.
+//!
+//! The schedule is a pure function of the seed and the call sequence:
+//! two runs with the same seed, technique, and reporting order inject the
+//! exact same faults, which keeps killed-and-resumed equivalence tests
+//! deterministic.
+
+use crate::config::Config;
+use crate::cost::{CostError, CostFunction};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// Injection rates (each in `[0, 1]`; drawn in the listed order from one
+/// uniform sample, so their sum must be ≤ 1).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// RNG seed: the entire schedule derives from it.
+    pub seed: u64,
+    /// Fraction of evaluations that "hang" and are reported as
+    /// [`CostError::Timeout`] (a simulated deadline kill).
+    pub timeout_rate: f64,
+    /// Fraction of evaluations that crash
+    /// ([`CostError::Crashed`] with a SIGSEGV-style signal).
+    pub crash_rate: f64,
+    /// Fraction of evaluations that fail transiently
+    /// ([`CostError::Transient`]); an immediate re-evaluation of the same
+    /// configuration (a retry) succeeds.
+    pub transient_rate: f64,
+    /// Fraction of evaluations that are slowed by [`FaultPlan::slow_by`]
+    /// before succeeding.
+    pub slow_rate: f64,
+    /// Added latency for "slow" evaluations.
+    pub slow_by: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            timeout_rate: 0.0,
+            crash_rate: 0.0,
+            transient_rate: 0.0,
+            slow_rate: 0.0,
+            slow_by: Duration::ZERO,
+        }
+    }
+
+    /// The stress plan used by the fault-injection test suite: ~10 %
+    /// hangs, ~10 % crashes, ~20 % flaky transients.
+    pub fn stressful(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            timeout_rate: 0.1,
+            crash_rate: 0.1,
+            transient_rate: 0.2,
+            slow_rate: 0.0,
+            slow_by: Duration::ZERO,
+        }
+    }
+
+    fn check(&self) {
+        let sum = self.timeout_rate + self.crash_rate + self.transient_rate + self.slow_rate;
+        assert!(
+            (0.0..=1.0).contains(&sum),
+            "fault rates must sum to at most 1 (got {sum})"
+        );
+    }
+}
+
+/// A cost function that injects scheduled faults around `inner`.
+pub struct FaultyCostFunction<F> {
+    inner: F,
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    /// The configuration whose last evaluation failed transiently — an
+    /// immediate retry of it succeeds (that is what "transient" means).
+    healing: Option<Config>,
+    injected: [u64; 4],
+}
+
+impl<F: CostFunction> FaultyCostFunction<F> {
+    /// Wraps `inner` under `plan`.
+    ///
+    /// # Panics
+    /// Panics if the plan's rates sum to more than 1.
+    pub fn new(inner: F, plan: FaultPlan) -> Self {
+        plan.check();
+        FaultyCostFunction {
+            inner,
+            rng: ChaCha8Rng::seed_from_u64(plan.seed),
+            plan,
+            healing: None,
+            injected: [0; 4],
+        }
+    }
+
+    /// `(timeouts, crashes, transients, slowdowns)` injected so far.
+    pub fn injected(&self) -> (u64, u64, u64, u64) {
+        let [t, c, f, s] = self.injected;
+        (t, c, f, s)
+    }
+
+    /// The wrapped cost function.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+}
+
+impl<F: CostFunction> CostFunction for FaultyCostFunction<F> {
+    type Cost = F::Cost;
+
+    fn evaluate(&mut self, config: &Config) -> Result<F::Cost, CostError> {
+        // A retry of the transiently failed configuration heals.
+        if self.healing.as_ref() == Some(config) {
+            self.healing = None;
+            return self.inner.evaluate(config);
+        }
+        self.healing = None;
+        let draw: f64 = self.rng.gen_range(0.0..1.0);
+        let p = &self.plan;
+        if draw < p.timeout_rate {
+            self.injected[0] += 1;
+            return Err(CostError::Timeout {
+                limit: Duration::from_secs(1),
+            });
+        }
+        if draw < p.timeout_rate + p.crash_rate {
+            self.injected[1] += 1;
+            return Err(CostError::Crashed {
+                signal: Some(11),
+                exit: None,
+                stderr: "injected segfault".into(),
+            });
+        }
+        if draw < p.timeout_rate + p.crash_rate + p.transient_rate {
+            self.injected[2] += 1;
+            self.healing = Some(config.clone());
+            return Err(CostError::Transient("injected flake".into()));
+        }
+        if draw < p.timeout_rate + p.crash_rate + p.transient_rate + p.slow_rate {
+            self.injected[3] += 1;
+            std::thread::sleep(p.slow_by);
+        }
+        self.inner.evaluate(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost_fn;
+
+    fn base() -> impl CostFunction<Cost = f64> {
+        cost_fn(|c: &Config| c.get_u64("X") as f64)
+    }
+
+    fn cfg(x: u64) -> Config {
+        Config::from_pairs([("X", x)])
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let mut cf = FaultyCostFunction::new(base(), FaultPlan::new(7));
+        for x in 1..=20 {
+            assert_eq!(cf.evaluate(&cfg(x)).unwrap(), x as f64);
+        }
+        assert_eq!(cf.injected(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut cf = FaultyCostFunction::new(base(), FaultPlan::stressful(seed));
+            (1..=50)
+                .map(|x| cf.evaluate(&cfg(x)).map_err(|e| e.kind()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds give different schedules");
+    }
+
+    #[test]
+    fn injects_every_failure_kind() {
+        let mut cf = FaultyCostFunction::new(base(), FaultPlan::stressful(1));
+        let mut kinds = std::collections::BTreeSet::new();
+        for x in 1..=200 {
+            if let Err(e) = cf.evaluate(&cfg(x)) {
+                kinds.insert(e.kind());
+            }
+        }
+        let (t, c, f, _) = cf.injected();
+        assert!(t > 0 && c > 0 && f > 0, "injected: {:?}", cf.injected());
+        assert_eq!(kinds.len(), 3);
+    }
+
+    #[test]
+    fn transient_heals_on_immediate_retry() {
+        let mut cf = FaultyCostFunction::new(
+            base(),
+            FaultPlan {
+                transient_rate: 1.0,
+                ..FaultPlan::new(5)
+            },
+        );
+        let err = cf.evaluate(&cfg(3)).unwrap_err();
+        assert!(matches!(err, CostError::Transient(_)));
+        assert_eq!(cf.evaluate(&cfg(3)).unwrap(), 3.0);
+        // A different configuration does not heal the next draw.
+        assert!(cf.evaluate(&cfg(4)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_rates_rejected() {
+        FaultyCostFunction::new(
+            base(),
+            FaultPlan {
+                timeout_rate: 0.7,
+                crash_rate: 0.7,
+                ..FaultPlan::new(0)
+            },
+        );
+    }
+}

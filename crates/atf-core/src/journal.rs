@@ -1,0 +1,328 @@
+//! Crash-safe run journal: an append-only NDJSON write-ahead log of
+//! evaluation outcomes, replayable into a fresh
+//! [`TuningSession`](crate::session::TuningSession) so an interrupted
+//! multi-hour tuning run resumes instead of starting over.
+//!
+//! Layout: the first line is a [`JournalHeader`] describing the run
+//! (technique, space size); every following line is one [`JournalEntry`]
+//! recording the evaluated point's coordinates and outcome. Entries are
+//! written *before* the session state advances, flushed per entry, and
+//! fsynced in batches ([`JournalWriter::SYNC_EVERY`]) plus on close — a
+//! crash loses at most the last unsynced batch, and a torn final line is
+//! skipped on load rather than poisoning the whole journal.
+
+use crate::cost::FailureKind;
+use crate::search::Point;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Current journal format version, written into every header.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// First line of a journal: identifies the run shape so a resume against a
+/// different specification is rejected instead of silently corrupting the
+/// search.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Journal format version.
+    pub version: u32,
+    /// Name of the search technique driving the run.
+    pub technique: String,
+    /// Search-space size (stringified `u128`).
+    pub space_size: String,
+}
+
+/// One evaluation outcome. `costs` holds the full (possibly
+/// multi-objective) cost vector of a successful measurement; a failed one
+/// records its taxonomy class in `failure` instead.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// 1-based evaluation number.
+    pub evaluation: u64,
+    /// Coordinates of the evaluated configuration in the valid space.
+    pub point: Point,
+    /// Measured cost vector (`None` when the measurement failed).
+    #[serde(default)]
+    pub costs: Option<Vec<f64>>,
+    /// Failure class label ([`FailureKind::label`]) when the measurement
+    /// failed.
+    #[serde(default)]
+    pub failure: Option<String>,
+}
+
+impl JournalEntry {
+    /// The entry's failure kind, if it records a failure.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        self.failure.as_deref().and_then(FailureKind::from_label)
+    }
+}
+
+/// Journal I/O and consistency errors.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Reading or writing the journal file failed.
+    Io(std::io::Error),
+    /// The journal file does not start with a valid header line.
+    BadHeader(String),
+    /// The journal belongs to a different run shape (technique or space
+    /// size differ).
+    Mismatch {
+        /// What the journal recorded.
+        journal: String,
+        /// What the current run expected.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader(m) => write!(f, "bad journal header: {m}"),
+            JournalError::Mismatch { journal, expected } => write!(
+                f,
+                "journal belongs to a different run ({journal}, expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Append-only journal writer with fsync batching.
+pub struct JournalWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    unsynced: usize,
+}
+
+impl JournalWriter {
+    /// Entries between fsyncs: small enough that a crash loses seconds of
+    /// work, large enough that the fsync cost disappears next to a real
+    /// program evaluation.
+    pub const SYNC_EVERY: usize = 8;
+
+    /// Creates (truncates) a journal at `path` and writes the header.
+    pub fn create(path: impl Into<PathBuf>, header: &JournalHeader) -> Result<Self, JournalError> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        let mut writer = JournalWriter {
+            path,
+            file: BufWriter::new(file),
+            unsynced: 0,
+        };
+        writer.write_line(&serde_json::to_string(header).map_err(io_invalid)?)?;
+        writer.sync()?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing journal for appending (after a replay).
+    pub fn append_to(path: impl Into<PathBuf>) -> Result<Self, JournalError> {
+        let path = path.into();
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(JournalWriter {
+            path,
+            file: BufWriter::new(file),
+            unsynced: 0,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry; flushed immediately, fsynced every
+    /// [`SYNC_EVERY`](Self::SYNC_EVERY) entries.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
+        self.write_line(&serde_json::to_string(entry).map_err(io_invalid)?)?;
+        self.unsynced += 1;
+        if self.unsynced >= Self::SYNC_EVERY {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs everything written so far.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), JournalError> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+fn io_invalid(e: impl std::fmt::Display) -> JournalError {
+    JournalError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        e.to_string(),
+    ))
+}
+
+/// A fully loaded journal: header plus every intact entry.
+#[derive(Clone, Debug)]
+pub struct LoadedJournal {
+    /// The run-identifying header.
+    pub header: JournalHeader,
+    /// All intact entries, in write order.
+    pub entries: Vec<JournalEntry>,
+}
+
+impl LoadedJournal {
+    /// Loads a journal, tolerating a torn (crash-truncated) final line:
+    /// entries after the first undecodable line are dropped.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let file = File::open(path.as_ref())?;
+        let mut lines = BufReader::new(file).lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| JournalError::BadHeader("journal file is empty".into()))??;
+        let header: JournalHeader = serde_json::from_str(&header_line)
+            .map_err(|e| JournalError::BadHeader(e.to_string()))?;
+        let mut entries = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<JournalEntry>(&line) {
+                Ok(entry) => entries.push(entry),
+                // A torn tail from a crash mid-write: everything before it
+                // is intact, so stop here and resume from that prefix.
+                Err(_) => break,
+            }
+        }
+        Ok(LoadedJournal { header, entries })
+    }
+
+    /// Verifies the header matches the current run's shape.
+    pub fn check_matches(&self, technique: &str, space_size: u128) -> Result<(), JournalError> {
+        let expected = format!("technique={technique} space={space_size}");
+        let journal = format!(
+            "technique={} space={}",
+            self.header.technique, self.header.space_size
+        );
+        if self.header.technique != technique || self.header.space_size != space_size.to_string() {
+            return Err(JournalError::Mismatch { journal, expected });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("atf-journal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("run.ndjson")
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            version: 1,
+            technique: "exhaustive".into(),
+            space_size: "64".into(),
+        }
+    }
+
+    fn ok_entry(n: u64) -> JournalEntry {
+        JournalEntry {
+            evaluation: n,
+            point: vec![n, n + 1],
+            costs: Some(vec![n as f64 * 0.5]),
+            failure: None,
+        }
+    }
+
+    #[test]
+    fn write_and_load_round_trip() {
+        let path = tmp("rt");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&ok_entry(1)).unwrap();
+        w.append(&JournalEntry {
+            evaluation: 2,
+            point: vec![0, 3],
+            costs: None,
+            failure: Some(FailureKind::Timeout.label().to_string()),
+        })
+        .unwrap();
+        drop(w);
+
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.header, header());
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.entries[0].costs, Some(vec![0.5]));
+        assert_eq!(loaded.entries[1].failure_kind(), Some(FailureKind::Timeout));
+        loaded.check_matches("exhaustive", 64).unwrap();
+        assert!(loaded.check_matches("annealing", 64).is_err());
+        assert!(loaded.check_matches("exhaustive", 65).is_err());
+    }
+
+    #[test]
+    fn append_continues_an_existing_journal() {
+        let path = tmp("append");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&ok_entry(1)).unwrap();
+        drop(w);
+        let mut w = JournalWriter::append_to(&path).unwrap();
+        w.append(&ok_entry(2)).unwrap();
+        drop(w);
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.entries[1].evaluation, 2);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let path = tmp("torn");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&ok_entry(1)).unwrap();
+        w.append(&ok_entry(2)).unwrap();
+        drop(w);
+        // Simulate a crash mid-write: append half a JSON line.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"evaluation\":3,\"point\":[1").unwrap();
+        drop(f);
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+    }
+
+    #[test]
+    fn empty_or_garbled_header_rejected() {
+        let path = tmp("bad");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            LoadedJournal::load(&path),
+            Err(JournalError::BadHeader(_))
+        ));
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(
+            LoadedJournal::load(&path),
+            Err(JournalError::BadHeader(_))
+        ));
+    }
+}

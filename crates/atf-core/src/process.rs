@@ -15,9 +15,11 @@
 
 use crate::config::Config;
 use crate::cost::{CostError, CostFunction};
+use crate::policy::EvalPolicy;
+use std::io::Read;
 use std::path::{Path, PathBuf};
-use std::process::Command;
-use std::time::Instant;
+use std::process::{Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
 
 /// A vector of costs compared lexicographically — what the generic cost
 /// function parses from the log file (one or more comma-separated values).
@@ -29,6 +31,47 @@ impl crate::cost::CostValue for LexCosts {
     }
 }
 
+impl crate::cost::JournalCost for LexCosts {
+    fn to_journal(&self) -> Vec<f64> {
+        self.clone()
+    }
+    fn from_journal(values: &[f64]) -> Option<Self> {
+        (!values.is_empty()).then(|| values.to_vec())
+    }
+}
+
+/// How much of a failing script's stderr is attached to the error
+/// (the *last* bytes — that is where compilers and runtimes put the
+/// actual diagnostic).
+const STDERR_TAIL: usize = 2048;
+
+/// BSD `sysexits.h` EX_TEMPFAIL: a run script exiting with this code
+/// signals a transient failure worth retrying (busy device, flaky
+/// infrastructure) rather than a crash of the measured program.
+pub const EX_TEMPFAIL: i32 = 75;
+
+/// Keeps the last [`STDERR_TAIL`] bytes of a diagnostic stream, cutting at
+/// a character boundary.
+fn stderr_tail(raw: &[u8]) -> String {
+    let text = String::from_utf8_lossy(raw);
+    let text = text.trim();
+    if text.len() <= STDERR_TAIL {
+        return text.to_string();
+    }
+    let mut start = text.len() - STDERR_TAIL;
+    while !text.is_char_boundary(start) {
+        start += 1;
+    }
+    format!("… {}", &text[start..])
+}
+
+/// What a supervised script execution produced.
+struct ScriptOutput {
+    status: ExitStatus,
+    /// Truncated tail of the script's stderr.
+    stderr: String,
+}
+
 /// The generic program cost function.
 #[derive(Clone, Debug)]
 pub struct ProcessCostFunction {
@@ -36,6 +79,7 @@ pub struct ProcessCostFunction {
     compile_script: Option<PathBuf>,
     run_script: PathBuf,
     log_file: Option<PathBuf>,
+    timeout: Option<Duration>,
 }
 
 impl ProcessCostFunction {
@@ -48,6 +92,7 @@ impl ProcessCostFunction {
             compile_script: None,
             run_script: run_script.into(),
             log_file: None,
+            timeout: None,
         }
     }
 
@@ -66,14 +111,112 @@ impl ProcessCostFunction {
         self
     }
 
-    fn run(&self, script: &Path, config: &Config) -> Result<std::process::Output, CostError> {
+    /// Sets a wall-clock deadline per script execution: a compile or run
+    /// exceeding it is hard-killed and reported as [`CostError::Timeout`]
+    /// (hung kernels must not hang the whole tuning run).
+    pub fn timeout(mut self, limit: Duration) -> Self {
+        self.timeout = Some(limit);
+        self
+    }
+
+    /// Applies the process-relevant part of an [`EvalPolicy`] (the
+    /// per-evaluation timeout).
+    pub fn eval_policy(mut self, policy: &EvalPolicy) -> Self {
+        self.timeout = policy.timeout;
+        self
+    }
+
+    /// Runs `script` under the configured deadline, capturing its exit
+    /// status and a truncated stderr tail.
+    fn run(&self, script: &Path, config: &Config) -> Result<ScriptOutput, CostError> {
         let mut cmd = Command::new(script);
         cmd.env("ATF_SOURCE", &self.source);
         for (name, value) in config.iter() {
             cmd.env(format!("ATF_TP_{name}"), value.to_source_token());
         }
-        cmd.output()
-            .map_err(|e| CostError::RunFailed(format!("cannot execute {script:?}: {e}")))
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| CostError::RunFailed(format!("cannot execute {script:?}: {e}")))?;
+        // Drain both pipes on reader threads so a chatty child never blocks
+        // on a full pipe while we wait on it.
+        let mut stdout_pipe = child.stdout.take().expect("stdout is piped");
+        let mut stderr_pipe = child.stderr.take().expect("stderr is piped");
+        let stdout_reader = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let _ = stdout_pipe.read_to_end(&mut buf);
+            buf
+        });
+        let stderr_reader = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let _ = stderr_pipe.read_to_end(&mut buf);
+            buf
+        });
+        let deadline = self.timeout.map(|limit| (limit, Instant::now() + limit));
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) => {
+                    if let Some((limit, at)) = deadline {
+                        if Instant::now() >= at {
+                            // Hard kill: SIGKILL on unix — a hung kernel
+                            // will not honor anything gentler. The reader
+                            // threads are NOT joined: a grandchild may
+                            // still hold the pipes open, and blocking on
+                            // it would defeat the deadline; they exit on
+                            // their own when the pipes close.
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(CostError::Timeout { limit });
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(CostError::RunFailed(format!("waiting on {script:?}: {e}")));
+                }
+            }
+        };
+        let _ = stdout_reader.join();
+        let stderr = stderr_reader.join().unwrap_or_default();
+        Ok(ScriptOutput {
+            status,
+            stderr: stderr_tail(&stderr),
+        })
+    }
+}
+
+/// Classifies a finished run script's exit status: success, transient
+/// (EX_TEMPFAIL), signal kill, or plain nonzero exit.
+fn classify_run_status(out: &ScriptOutput) -> Result<(), CostError> {
+    if out.status.success() {
+        return Ok(());
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(signal) = out.status.signal() {
+            return Err(CostError::Crashed {
+                signal: Some(signal),
+                exit: None,
+                stderr: out.stderr.clone(),
+            });
+        }
+    }
+    match out.status.code() {
+        Some(EX_TEMPFAIL) => Err(CostError::Transient(format!(
+            "run script exited with EX_TEMPFAIL (75): {}",
+            out.stderr
+        ))),
+        exit => Err(CostError::Crashed {
+            signal: None,
+            exit,
+            stderr: out.stderr.clone(),
+        }),
     }
 }
 
@@ -102,19 +245,13 @@ impl CostFunction for ProcessCostFunction {
         if let Some(compile) = &self.compile_script {
             let out = self.run(compile, config)?;
             if !out.status.success() {
-                return Err(CostError::CompileFailed(
-                    String::from_utf8_lossy(&out.stderr).trim().to_string(),
-                ));
+                return Err(CostError::CompileFailed(out.stderr));
             }
         }
         let started = Instant::now();
         let out = self.run(&self.run_script, config)?;
         let elapsed = started.elapsed();
-        if !out.status.success() {
-            return Err(CostError::RunFailed(
-                String::from_utf8_lossy(&out.stderr).trim().to_string(),
-            ));
-        }
+        classify_run_status(&out)?;
         match &self.log_file {
             None => Ok(vec![elapsed.as_secs_f64()]),
             Some(path) => {
@@ -206,14 +343,73 @@ mod tests {
 
     #[cfg(unix)]
     #[test]
-    fn run_failure_reported() {
+    fn run_failure_reported_as_crash_with_stderr() {
         let dir = tmpdir("rfail");
-        let run = write_script(&dir, "run.sh", "exit 3");
+        let run = write_script(&dir, "run.sh", "echo 'kernel launch failed' >&2; exit 3");
         let mut cf = ProcessCostFunction::new(dir.join("p.src"), run);
-        assert!(matches!(
-            cf.evaluate(&Config::new()),
-            Err(CostError::RunFailed(_))
-        ));
+        match cf.evaluate(&Config::new()) {
+            Err(CostError::Crashed {
+                signal: None,
+                exit: Some(3),
+                stderr,
+            }) => assert!(stderr.contains("kernel launch failed"), "{stderr}"),
+            other => panic!("expected Crashed, got {other:?}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn signal_kill_reported_as_crash_with_signal() {
+        let dir = tmpdir("sig");
+        let run = write_script(&dir, "run.sh", "kill -SEGV $$");
+        let mut cf = ProcessCostFunction::new(dir.join("p.src"), run);
+        match cf.evaluate(&Config::new()) {
+            Err(CostError::Crashed {
+                signal: Some(11), ..
+            }) => {}
+            other => panic!("expected signal-11 crash, got {other:?}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn tempfail_exit_code_is_transient() {
+        let dir = tmpdir("tmpf");
+        let run = write_script(&dir, "run.sh", "echo 'device busy' >&2; exit 75");
+        let mut cf = ProcessCostFunction::new(dir.join("p.src"), run);
+        match cf.evaluate(&Config::new()) {
+            Err(CostError::Transient(m)) => assert!(m.contains("device busy"), "{m}"),
+            other => panic!("expected Transient, got {other:?}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn hung_run_is_killed_at_the_deadline() {
+        let dir = tmpdir("hang");
+        let run = write_script(&dir, "run.sh", "sleep 30");
+        let mut cf =
+            ProcessCostFunction::new(dir.join("p.src"), run).timeout(Duration::from_millis(200));
+        let started = Instant::now();
+        let err = cf.evaluate(&Config::new()).unwrap_err();
+        assert!(
+            matches!(err, CostError::Timeout { limit } if limit == Duration::from_millis(200)),
+            "{err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the child must be hard-killed, not waited out"
+        );
+    }
+
+    #[test]
+    fn stderr_tail_keeps_the_end() {
+        let long = "x".repeat(5000) + "THE ACTUAL ERROR";
+        let tail = stderr_tail(long.as_bytes());
+        assert!(tail.len() <= STDERR_TAIL + 8, "tail len {}", tail.len());
+        assert!(tail.starts_with('…'));
+        assert!(tail.ends_with("THE ACTUAL ERROR"));
+        assert_eq!(stderr_tail(b"  short  "), "short");
     }
 
     #[cfg(unix)]

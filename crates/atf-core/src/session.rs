@@ -25,11 +25,22 @@
 
 use crate::abort::{self, Abort, AbortCondition};
 use crate::config::Config;
-use crate::cost::{CostError, CostValue};
+use crate::cost::{CostError, CostValue, FailureKind, JournalCost};
+use crate::journal::{JournalEntry, JournalHeader, JournalWriter, LoadedJournal, JOURNAL_VERSION};
+use crate::policy::EvalPolicy;
 use crate::search::{SearchTechnique, SpaceDims, PENALTY_COST};
 use crate::space::SearchSpace;
 use crate::status::TuningStatus;
 use crate::tuner::{EvalRecord, TuningError, TuningResult};
+use std::path::Path;
+
+/// An attached run journal: the writer plus the cost encoder captured when
+/// the journal was attached (which is the only place the `C: JournalCost`
+/// bound is available).
+struct JournalState<C> {
+    writer: JournalWriter,
+    encode: fn(&C) -> Vec<f64>,
+}
 
 /// The resumable exploration state machine. Generic over the cost value
 /// type `C` (plain `f64` for out-of-process measurement, tuples or
@@ -49,6 +60,15 @@ pub struct TuningSession<C: CostValue = f64> {
     /// Set once the technique is exhausted or the abort condition fired;
     /// `next_config` returns `None` from then on.
     done: bool,
+    /// Circuit breaker: abort after this many consecutive failures.
+    max_consecutive_failures: Option<u32>,
+    /// The failure kind that tripped the circuit breaker, once tripped.
+    broken: Option<FailureKind>,
+    /// Write-ahead journal of evaluation outcomes, when attached.
+    journal: Option<JournalState<C>>,
+    /// Suppresses journal writes while replaying a journal into the
+    /// session (the entries are already on disk).
+    replaying: bool,
 }
 
 impl<C: CostValue> TuningSession<C> {
@@ -78,6 +98,10 @@ impl<C: CostValue> TuningSession<C> {
             history: Vec::new(),
             pending: None,
             done: false,
+            max_consecutive_failures: None,
+            broken: None,
+            journal: None,
+            replaying: false,
         })
     }
 
@@ -90,6 +114,25 @@ impl<C: CostValue> TuningSession<C> {
     /// Enables per-evaluation history recording (builder-style).
     pub fn record_history(mut self, on: bool) -> Self {
         self.record_history = on;
+        self
+    }
+
+    /// Arms the circuit breaker (builder-style): after `consecutive_failures`
+    /// failed evaluations in a row the session stops handing out
+    /// configurations and [`finish`](Self::finish) returns
+    /// [`TuningError::CircuitBroken`].
+    pub fn circuit_breaker(mut self, consecutive_failures: u32) -> Self {
+        self.max_consecutive_failures = Some(consecutive_failures.max(1));
+        self
+    }
+
+    /// Applies the session-relevant parts of an [`EvalPolicy`]
+    /// (builder-style): currently the circuit-breaker threshold. The
+    /// timeout and retries of the policy act on the cost-function side
+    /// ([`crate::process::ProcessCostFunction`] and
+    /// [`crate::policy::RetryCostFunction`]).
+    pub fn eval_policy(mut self, policy: &EvalPolicy) -> Self {
+        self.max_consecutive_failures = policy.max_consecutive_failures;
         self
     }
 
@@ -129,7 +172,27 @@ impl<C: CostValue> TuningSession<C> {
             .take()
             .ok_or(TuningError::NoPendingConfiguration)?;
         let valid = outcome.is_ok();
+        let failure = outcome.as_ref().err().map(|e| e.kind());
+        // Write-ahead: the outcome reaches the journal before the session
+        // state advances, so a crash never loses an applied evaluation.
+        if !self.replaying {
+            if let Some(journal) = &mut self.journal {
+                let entry = JournalEntry {
+                    evaluation: self.status.evaluations() + 1,
+                    point: point.clone(),
+                    costs: outcome.as_ref().ok().map(|c| (journal.encode)(c)),
+                    failure: failure.map(|k| k.label().to_string()),
+                };
+                journal
+                    .writer
+                    .append(&entry)
+                    .map_err(|e| TuningError::Journal(e.to_string()))?;
+            }
+        }
         self.status.record_evaluation(valid);
+        if let Some(kind) = failure {
+            self.status.record_failure_kind(kind);
+        }
         let scalar = match &outcome {
             Ok(c) => c.as_scalar(),
             Err(_) => PENALTY_COST,
@@ -140,6 +203,7 @@ impl<C: CostValue> TuningSession<C> {
                 point,
                 scalar_cost: scalar,
                 valid,
+                failure,
             });
         }
         if let Ok(c) = outcome {
@@ -157,6 +221,12 @@ impl<C: CostValue> TuningSession<C> {
             }
         }
         self.technique.report_cost(scalar);
+        if let (Some(limit), Some(kind)) = (self.max_consecutive_failures, failure) {
+            if self.status.consecutive_failures() >= u64::from(limit.max(1)) {
+                self.done = true;
+                self.broken = Some(kind);
+            }
+        }
         Ok(())
     }
 
@@ -203,6 +273,120 @@ impl<C: CostValue> TuningSession<C> {
         self.best.as_ref().map(|_| self.best_scalar)
     }
 
+    /// The failure kind that tripped the circuit breaker, once tripped.
+    pub fn circuit_broken(&self) -> Option<FailureKind> {
+        self.broken
+    }
+
+    /// The header a journal of this session carries.
+    pub fn journal_header(&self) -> JournalHeader {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            technique: self.technique.name().to_string(),
+            space_size: self.space.len().to_string(),
+        }
+    }
+
+    /// Attaches a fresh write-ahead journal at `path` (builder-style):
+    /// every reported outcome is appended before the session state
+    /// advances, so the run can be resumed after a crash with
+    /// [`resume_from_journal`](Self::resume_from_journal).
+    pub fn journal_to(mut self, path: impl AsRef<Path>) -> Result<Self, TuningError>
+    where
+        C: JournalCost,
+    {
+        let header = self.journal_header();
+        let writer = JournalWriter::create(path.as_ref(), &header)
+            .map_err(|e| TuningError::Journal(e.to_string()))?;
+        self.journal = Some(JournalState {
+            writer,
+            encode: C::to_journal,
+        });
+        Ok(self)
+    }
+
+    /// Replays journal `entries` into this freshly opened session: each
+    /// entry's point must match what the technique hands out (same spec,
+    /// technique, and seed), and its recorded outcome is reported back.
+    /// Returns the number of evaluations replayed.
+    ///
+    /// Nothing is written to the attached journal during replay.
+    pub fn resume_from(&mut self, entries: &[JournalEntry]) -> Result<u64, TuningError>
+    where
+        C: JournalCost,
+    {
+        self.replaying = true;
+        let result = self.replay_entries(entries);
+        self.replaying = false;
+        result?;
+        Ok(self.status.evaluations())
+    }
+
+    fn replay_entries(&mut self, entries: &[JournalEntry]) -> Result<(), TuningError>
+    where
+        C: JournalCost,
+    {
+        for entry in entries {
+            if self.next_config().is_none() {
+                // Abort condition or circuit breaker reproduced mid-replay:
+                // the journal's tail was written past the stopping point of
+                // an equivalent run, which cannot happen for our own
+                // journals — stop where the session stops.
+                break;
+            }
+            let matches = self
+                .pending
+                .as_ref()
+                .is_some_and(|(point, _)| *point == entry.point);
+            if !matches {
+                return Err(TuningError::JournalDiverged {
+                    evaluation: entry.evaluation,
+                });
+            }
+            let outcome = match (&entry.costs, entry.failure_kind()) {
+                (Some(values), None) => Ok(C::from_journal(values).ok_or_else(|| {
+                    TuningError::Journal(format!(
+                        "undecodable cost vector at evaluation {}",
+                        entry.evaluation
+                    ))
+                })?),
+                (None, Some(kind)) => Err(CostError::from_kind(kind)),
+                _ => {
+                    return Err(TuningError::Journal(format!(
+                        "entry {} records neither costs nor a known failure kind",
+                        entry.evaluation
+                    )))
+                }
+            };
+            self.report(outcome)?;
+        }
+        Ok(())
+    }
+
+    /// Resumes this freshly opened session from the journal at `path`:
+    /// validates the header against the session's technique and space,
+    /// replays every intact entry, and re-attaches a writer appending
+    /// subsequent outcomes to the same file. Returns the number of
+    /// evaluations replayed.
+    pub fn resume_from_journal(&mut self, path: impl AsRef<Path>) -> Result<u64, TuningError>
+    where
+        C: JournalCost,
+    {
+        let loaded =
+            LoadedJournal::load(path.as_ref()).map_err(|e| TuningError::Journal(e.to_string()))?;
+        loaded
+            .check_matches(self.technique.name(), self.space.len())
+            .map_err(|e| TuningError::Journal(e.to_string()))?;
+        let replayed = self.resume_from(&loaded.entries)?;
+        let writer = JournalWriter::append_to(path.as_ref())
+            .map_err(|e| TuningError::Journal(e.to_string()))?;
+        self.journal = Some(JournalState {
+            writer,
+            encode: C::to_journal,
+        });
+        Ok(replayed)
+    }
+
     /// Finishes the session, consuming it.
     ///
     /// Fails with [`TuningError::NoValidConfiguration`] when nothing was
@@ -223,6 +407,19 @@ impl<C: CostValue> TuningSession<C> {
         Abort,
     ) {
         self.technique.finalize();
+        if let Some(journal) = &mut self.journal {
+            let _ = journal.writer.sync();
+        }
+        if let Some(last_failure) = self.broken {
+            return (
+                Err(TuningError::CircuitBroken {
+                    consecutive_failures: self.status.consecutive_failures(),
+                    last_failure,
+                }),
+                self.technique,
+                self.abort,
+            );
+        }
         let result = match self.best {
             Some((best_config, best_cost)) => Ok(TuningResult {
                 best_config,
@@ -347,6 +544,181 @@ mod tests {
         }
         assert_eq!(n, 5);
         assert!(s.is_done());
+    }
+
+    #[test]
+    fn circuit_breaker_trips_on_consecutive_failures() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(4096), Box::new(Exhaustive::new()))
+                .unwrap()
+                .circuit_breaker(3);
+        // One success, then unbroken failures: the streak must reach 3.
+        s.next_config().unwrap();
+        s.report(Ok(1.0)).unwrap();
+        let mut reported = 0;
+        while s.next_config().is_some() {
+            s.report(Err(CostError::Timeout {
+                limit: std::time::Duration::from_secs(1),
+            }))
+            .unwrap();
+            reported += 1;
+        }
+        assert_eq!(reported, 3, "breaker must stop the session at the limit");
+        assert_eq!(s.circuit_broken(), Some(FailureKind::Timeout));
+        assert_eq!(
+            s.finish().unwrap_err(),
+            TuningError::CircuitBroken {
+                consecutive_failures: 3,
+                last_failure: FailureKind::Timeout,
+            }
+        );
+    }
+
+    #[test]
+    fn success_resets_the_breaker_streak() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .circuit_breaker(3);
+        for round in 0..10 {
+            let Some(_cfg) = s.next_config() else {
+                panic!("breaker must not trip on alternating outcomes")
+            };
+            if round % 2 == 0 {
+                s.report(Err(CostError::Transient("flaky".into()))).unwrap();
+            } else {
+                s.report(Ok(round as f64)).unwrap();
+            }
+        }
+        assert_eq!(s.circuit_broken(), None);
+    }
+
+    fn journal_path(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("atf-session-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("run.ndjson")
+    }
+
+    /// Deterministic mixed-outcome measurement for journal tests.
+    fn measure(cfg: &Config) -> Result<f64, CostError> {
+        let wpt = cfg.get_u64("WPT");
+        let ls = cfg.get_u64("LS");
+        if (wpt + ls).is_multiple_of(5) {
+            Err(CostError::Timeout {
+                limit: std::time::Duration::from_secs(1),
+            })
+        } else {
+            Ok((wpt as f64 - 8.0).abs() + (ls as f64 - 4.0).abs())
+        }
+    }
+
+    #[test]
+    fn journaled_run_resumes_to_identical_result() {
+        let path = journal_path("resume");
+
+        // Reference: one uninterrupted journaled run.
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .journal_to(&path)
+                .unwrap();
+        while let Some(cfg) = s.next_config() {
+            s.report(measure(&cfg)).unwrap();
+        }
+        let reference = s.finish().unwrap();
+
+        // Truncate the journal to a prefix — a crash partway through.
+        let loaded = LoadedJournal::load(&path).unwrap();
+        let total = loaded.entries.len();
+        let prefix = &loaded.entries[..total / 2];
+
+        // Resume a fresh session from the prefix and drive it to the end.
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new())).unwrap();
+        let replayed = s.resume_from(prefix).unwrap();
+        assert_eq!(replayed as usize, total / 2);
+        while let Some(cfg) = s.next_config() {
+            s.report(measure(&cfg)).unwrap();
+        }
+        let resumed = s.finish().unwrap();
+
+        assert_eq!(resumed.best_config, reference.best_config);
+        assert_eq!(resumed.best_cost, reference.best_cost);
+        assert_eq!(resumed.evaluations, reference.evaluations);
+        assert_eq!(resumed.failed_evaluations, reference.failed_evaluations);
+    }
+
+    #[test]
+    fn resume_from_journal_validates_and_appends() {
+        let path = journal_path("validate");
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(10))
+                .journal_to(&path)
+                .unwrap();
+        for _ in 0..4 {
+            let cfg = s.next_config().unwrap();
+            s.report(measure(&cfg)).unwrap();
+        }
+        drop(s); // crash: session gone, journal survives
+
+        // Wrong technique: header check must reject the journal.
+        let mut wrong: TuningSession<f64> = TuningSession::new(
+            saxpy_space(64),
+            Box::new(crate::search::RandomSearch::with_seed(1)),
+        )
+        .unwrap();
+        assert!(matches!(
+            wrong.resume_from_journal(&path),
+            Err(TuningError::Journal(_))
+        ));
+
+        // Matching session: replays 4 and appends the rest to the file.
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(10));
+        assert_eq!(s.resume_from_journal(&path).unwrap(), 4);
+        while let Some(cfg) = s.next_config() {
+            s.report(measure(&cfg)).unwrap();
+        }
+        assert_eq!(s.status().evaluations(), 10);
+        drop(s);
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 10);
+        assert_eq!(
+            loaded
+                .entries
+                .iter()
+                .map(|e| e.evaluation)
+                .collect::<Vec<_>>(),
+            (1..=10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn diverging_journal_is_rejected() {
+        let path = journal_path("diverge");
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .journal_to(&path)
+                .unwrap();
+        for _ in 0..3 {
+            let cfg = s.next_config().unwrap();
+            s.report(measure(&cfg)).unwrap();
+        }
+        drop(s);
+        let mut loaded = LoadedJournal::load(&path).unwrap();
+        // Corrupt the second entry's point: replay must detect divergence.
+        loaded.entries[1].point = vec![9999, 9999];
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new())).unwrap();
+        assert_eq!(
+            s.resume_from(&loaded.entries).unwrap_err(),
+            TuningError::JournalDiverged { evaluation: 2 }
+        );
     }
 
     #[test]

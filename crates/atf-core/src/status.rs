@@ -1,5 +1,6 @@
 //! Tuning progress bookkeeping shared by the tuner and abort conditions.
 
+use crate::cost::FailureKind;
 use std::time::{Duration, Instant};
 
 /// A recorded improvement of the best-found cost.
@@ -25,6 +26,8 @@ pub struct TuningStatus {
     evaluations: u64,
     valid_evaluations: u64,
     failed_evaluations: u64,
+    failures_by_kind: [u64; FailureKind::ALL.len()],
+    consecutive_failures: u64,
     space_size: u128,
     improvements: Vec<Improvement>,
 }
@@ -38,6 +41,8 @@ impl TuningStatus {
             evaluations: 0,
             valid_evaluations: 0,
             failed_evaluations: 0,
+            failures_by_kind: [0; FailureKind::ALL.len()],
+            consecutive_failures: 0,
             space_size,
             improvements: Vec::new(),
         }
@@ -62,6 +67,26 @@ impl TuningStatus {
     /// Number of configurations whose measurement failed.
     pub fn failed_evaluations(&self) -> u64 {
         self.failed_evaluations
+    }
+
+    /// Failed evaluations of one taxonomy class.
+    pub fn failures_of_kind(&self, kind: FailureKind) -> u64 {
+        self.failures_by_kind[kind.index()]
+    }
+
+    /// All `(kind, count)` pairs with a nonzero count, in taxonomy order.
+    pub fn failure_counts(&self) -> Vec<(FailureKind, u64)> {
+        FailureKind::ALL
+            .into_iter()
+            .map(|k| (k, self.failures_by_kind[k.index()]))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+
+    /// Number of consecutive failures ending at the most recent
+    /// evaluation (0 right after a success). Feeds the circuit breaker.
+    pub fn consecutive_failures(&self) -> u64 {
+        self.consecutive_failures
     }
 
     /// Size `S` of the valid search space.
@@ -104,9 +129,17 @@ impl TuningStatus {
         self.evaluations += 1;
         if valid {
             self.valid_evaluations += 1;
+            self.consecutive_failures = 0;
         } else {
             self.failed_evaluations += 1;
+            self.consecutive_failures += 1;
         }
+    }
+
+    /// Classifies the most recent failed evaluation (call right after
+    /// `record_evaluation(false)`).
+    pub fn record_failure_kind(&mut self, kind: FailureKind) {
+        self.failures_by_kind[kind.index()] += 1;
     }
 
     /// Records a new best scalar cost (call only when it improves).
@@ -163,6 +196,28 @@ mod tests {
         assert_eq!(s.best_scalar_at_time(Duration::from_millis(500)), None);
         assert_eq!(s.best_scalar_at_evaluation(1), Some(10.0));
         assert_eq!(s.best_scalar_at_evaluation(2), Some(4.0));
+    }
+
+    #[test]
+    fn failure_kind_counts_and_streaks() {
+        let mut s = TuningStatus::new(10);
+        s.record_evaluation(false);
+        s.record_failure_kind(FailureKind::Timeout);
+        s.record_evaluation(false);
+        s.record_failure_kind(FailureKind::Timeout);
+        s.record_evaluation(false);
+        s.record_failure_kind(FailureKind::RunCrash);
+        assert_eq!(s.consecutive_failures(), 3);
+        assert_eq!(s.failures_of_kind(FailureKind::Timeout), 2);
+        assert_eq!(s.failures_of_kind(FailureKind::RunCrash), 1);
+        assert_eq!(s.failures_of_kind(FailureKind::BadOutput), 0);
+        assert_eq!(
+            s.failure_counts(),
+            vec![(FailureKind::Timeout, 2), (FailureKind::RunCrash, 1)]
+        );
+        s.record_evaluation(true);
+        assert_eq!(s.consecutive_failures(), 0);
+        assert_eq!(s.failed_evaluations(), 3);
     }
 
     #[test]

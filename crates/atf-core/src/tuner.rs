@@ -33,6 +33,22 @@ pub enum TuningError {
     /// A cost was reported to a [`crate::session::TuningSession`] that has
     /// no configuration awaiting measurement.
     NoPendingConfiguration,
+    /// The circuit breaker tripped: too many consecutive failed
+    /// evaluations — the measurement side is broken, not merely unlucky.
+    CircuitBroken {
+        /// The consecutive-failure streak that tripped the breaker.
+        consecutive_failures: u64,
+        /// Taxonomy class of the failure that tripped it.
+        last_failure: crate::cost::FailureKind,
+    },
+    /// Reading or writing the run journal failed.
+    Journal(String),
+    /// A journal replay diverged from the search technique: the journal
+    /// belongs to a different run (spec, seed, or technique changed).
+    JournalDiverged {
+        /// 1-based evaluation at which replay diverged.
+        evaluation: u64,
+    },
 }
 
 impl fmt::Display for TuningError {
@@ -48,6 +64,20 @@ impl fmt::Display for TuningError {
             TuningError::NoPendingConfiguration => {
                 write!(f, "no configuration is awaiting a cost report")
             }
+            TuningError::CircuitBroken {
+                consecutive_failures,
+                last_failure,
+            } => write!(
+                f,
+                "circuit breaker tripped after {consecutive_failures} consecutive failed \
+                 evaluations (last failure: {last_failure})"
+            ),
+            TuningError::Journal(m) => write!(f, "run journal error: {m}"),
+            TuningError::JournalDiverged { evaluation } => write!(
+                f,
+                "journal replay diverged at evaluation {evaluation} — the journal belongs \
+                 to a different run (specification, technique, or seed changed)"
+            ),
         }
     }
 }
@@ -66,6 +96,8 @@ pub struct EvalRecord {
     pub scalar_cost: f64,
     /// Whether the measurement succeeded.
     pub valid: bool,
+    /// Taxonomy class of the failure, when the measurement failed.
+    pub failure: Option<crate::cost::FailureKind>,
 }
 
 /// The outcome of a tuning run.

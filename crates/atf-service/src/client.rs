@@ -116,6 +116,11 @@ pub struct SessionSpec {
     pub search: Option<SearchSpec>,
     /// Abort conditions (service defaults to `evaluations(S)`).
     pub abort: Option<AbortSpec>,
+    /// Ask the service to resume this key's run journal, if it keeps one.
+    pub resume: bool,
+    /// Circuit-breaker threshold: abort the session after this many
+    /// consecutive failed evaluations.
+    pub breaker: Option<u32>,
 }
 
 impl SessionSpec {
@@ -184,6 +189,12 @@ impl<T: Transport> Client<T> {
 
     /// Opens a session; returns its id.
     pub fn open(&mut self, spec: &SessionSpec) -> Result<String, ClientError> {
+        self.open_resumable(spec).map(|(session, _)| session)
+    }
+
+    /// Opens a session and also returns how many evaluations the service
+    /// replayed from its run journal (0 unless the spec asked to resume).
+    pub fn open_resumable(&mut self, spec: &SessionSpec) -> Result<(String, u64), ClientError> {
         let mut req = Request::new("open");
         req.kernel = Some(spec.kernel.clone());
         req.device = spec.device.clone();
@@ -191,9 +202,13 @@ impl<T: Transport> Client<T> {
         req.parameters = Some(spec.parameters.clone());
         req.search = spec.search.clone();
         req.abort = spec.abort.clone();
+        req.resume = spec.resume.then_some(true);
+        req.breaker = spec.breaker;
         let resp = self.request(&req)?;
-        resp.session
-            .ok_or_else(|| ClientError::Protocol("open reply without a session id".to_string()))
+        let session = resp
+            .session
+            .ok_or_else(|| ClientError::Protocol("open reply without a session id".to_string()))?;
+        Ok((session, resp.resumed.unwrap_or(0)))
     }
 
     /// The next configuration to measure, or `None` when the session is
@@ -215,6 +230,20 @@ impl<T: Transport> Client<T> {
         let mut req = Request::new("report").with_session(session);
         req.cost = cost;
         req.valid = Some(cost.is_some());
+        self.request(&req)
+    }
+
+    /// Reports a failed measurement with its taxonomy class, so the
+    /// service's failure counters (and circuit breaker) see *why* it
+    /// failed, not just that it did.
+    pub fn report_failure(
+        &mut self,
+        session: &str,
+        kind: atf_core::cost::FailureKind,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::new("report").with_session(session);
+        req.valid = Some(false);
+        req.failure = Some(kind.label().to_string());
         self.request(&req)
     }
 
@@ -260,6 +289,26 @@ impl<T: Transport> Client<T> {
         while let Some(config) = self.next(&session)? {
             let measured = cost(&config);
             self.report(&session, measured)?;
+        }
+        self.finish(&session)
+    }
+
+    /// Like [`tune`](Self::tune), but the cost closure classifies its
+    /// failures: `Err(kind)` reports the taxonomy class to the service
+    /// instead of a bare invalid measurement. Honours the spec's `resume`
+    /// and `breaker` fields; a tripped breaker surfaces as
+    /// [`ClientError::Remote`] from the final `finish`.
+    pub fn tune_classified(
+        &mut self,
+        spec: &SessionSpec,
+        mut cost: impl FnMut(&WireConfig) -> Result<f64, atf_core::cost::FailureKind>,
+    ) -> Result<Response, ClientError> {
+        let (session, _replayed) = self.open_resumable(spec)?;
+        while let Some(config) = self.next(&session)? {
+            match cost(&config) {
+                Ok(measured) => self.report(&session, Some(measured))?,
+                Err(kind) => self.report_failure(&session, kind)?,
+            };
         }
         self.finish(&session)
     }

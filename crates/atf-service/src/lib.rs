@@ -35,4 +35,4 @@ pub mod server;
 pub use client::{Client, ClientError, LoopbackClient, SessionSpec, Transport};
 pub use manager::{ManagerConfig, SessionManager};
 pub use proto::{Request, Response};
-pub use server::Server;
+pub use server::{Server, ShutdownHandle};

@@ -3,13 +3,15 @@
 //! thread (and by the in-process loopback client).
 
 use crate::proto::{codes, config_to_wire, Request, Response};
+use atf_core::cost::{CostError, FailureKind};
 use atf_core::db::TuningDatabase;
 use atf_core::param::auto_group;
 use atf_core::session::TuningSession;
 use atf_core::space::SearchSpace;
 use atf_core::spec;
+use atf_core::status::TuningStatus;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -20,9 +22,17 @@ pub struct ManagerConfig {
     /// Path the tuning database is loaded from and persisted to (`None` =
     /// in-memory only).
     pub db_path: Option<PathBuf>,
-    /// Sessions idle longer than this are expired (dropped without merging
-    /// into the database).
+    /// Sessions idle longer than this are expired (their best-so-far is
+    /// merged into the database first).
     pub idle_timeout: Duration,
+    /// Directory for per-session run journals (`None` = no journaling).
+    /// With a journal directory, `open` with `resume: true` continues a
+    /// crashed run from its journal.
+    pub journal_dir: Option<PathBuf>,
+    /// Deadline for a handed-out configuration: when a client holds a
+    /// pending configuration longer than this, the service reports it as a
+    /// timeout failure and moves on (`None` = wait forever).
+    pub eval_deadline: Option<Duration>,
 }
 
 impl Default for ManagerConfig {
@@ -30,6 +40,8 @@ impl Default for ManagerConfig {
         ManagerConfig {
             db_path: None,
             idle_timeout: Duration::from_secs(15 * 60),
+            journal_dir: None,
+            eval_deadline: None,
         }
     }
 }
@@ -40,6 +52,39 @@ struct ManagedSession {
     device: String,
     workload: String,
     last_touch: Instant,
+    /// When the currently pending configuration was handed out.
+    pending_since: Option<Instant>,
+}
+
+/// Renders nonzero failure counts as the wire map.
+fn failures_to_wire(status: &TuningStatus) -> Option<BTreeMap<String, u64>> {
+    let counts = status.failure_counts();
+    if counts.is_empty() {
+        return None;
+    }
+    Some(
+        counts
+            .into_iter()
+            .map(|(kind, n)| (kind.label().to_string(), n))
+            .collect(),
+    )
+}
+
+/// Journal file name for a database key: sanitized so arbitrary kernel
+/// names cannot escape the journal directory.
+fn journal_file_name(kernel: &str, device: &str, workload: &str) -> String {
+    let mut name = String::new();
+    for part in [kernel, device, workload] {
+        if !name.is_empty() {
+            name.push('-');
+        }
+        name.extend(
+            part.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+        );
+    }
+    name.push_str(".ndjson");
+    name
 }
 
 /// All live sessions plus the result database. Every public method is
@@ -128,6 +173,39 @@ impl SessionManager {
         if let Some(a) = spec::build_abort(&request.abort.clone().unwrap_or_default()) {
             session = session.abort_condition(a);
         }
+        if let Some(n) = request.breaker {
+            session = session.circuit_breaker(n);
+        }
+        let device = request
+            .device
+            .clone()
+            .unwrap_or_else(|| "local".to_string());
+        let workload = request.workload.clone().unwrap_or_default();
+
+        // Journaling: attach a write-ahead journal keyed by
+        // (kernel, device, workload); `resume: true` replays an existing
+        // one so a crashed service or client continues where it stopped.
+        let mut resumed = None;
+        if let Some(dir) = &self.config.journal_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                return Response::error(
+                    codes::TUNING,
+                    format!("cannot create journal directory {dir:?}: {e}"),
+                );
+            }
+            let path = dir.join(journal_file_name(&kernel, &device, &workload));
+            if request.resume.unwrap_or(false) && path.exists() {
+                match session.resume_from_journal(&path) {
+                    Ok(n) => resumed = Some(n),
+                    Err(e) => return Response::error(codes::TUNING, e),
+                }
+            } else {
+                session = match session.journal_to(&path) {
+                    Ok(s) => s,
+                    Err(e) => return Response::error(codes::TUNING, e),
+                };
+            }
+        }
 
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
         self.sessions.lock().insert(
@@ -135,25 +213,41 @@ impl SessionManager {
             ManagedSession {
                 session,
                 kernel,
-                device: request
-                    .device
-                    .clone()
-                    .unwrap_or_else(|| "local".to_string()),
-                workload: request.workload.clone().unwrap_or_default(),
+                device,
+                workload,
                 last_touch: Instant::now(),
+                pending_since: None,
             },
         );
         let mut resp = Response::ok();
         resp.session = Some(id);
         resp.space_size = Some(space_size.to_string());
+        resp.resumed = resumed;
         resp
     }
 
     fn next(&self, request: &Request) -> Response {
+        let eval_deadline = self.config.eval_deadline;
         self.with_session(request, |managed| {
+            // A pending configuration held past the evaluation deadline is
+            // a client that hung or died mid-measurement: fail it as a
+            // timeout and move on, rather than serving the same stuck
+            // configuration forever.
+            if let (Some(deadline), Some(since)) = (eval_deadline, managed.pending_since) {
+                if managed.session.has_pending() && since.elapsed() > deadline {
+                    let _ = managed
+                        .session
+                        .report(Err(CostError::Timeout { limit: deadline }));
+                    managed.pending_since = None;
+                }
+            }
+            let was_pending = managed.session.has_pending();
             let mut resp = Response::ok();
             match managed.session.next_config() {
                 Some(config) => {
+                    if !was_pending {
+                        managed.pending_since = Some(Instant::now());
+                    }
                     resp.done = Some(false);
                     resp.config = Some(config_to_wire(&config));
                 }
@@ -166,10 +260,32 @@ impl SessionManager {
     fn report(&self, request: &Request) -> Response {
         let cost = request.cost;
         let valid = request.valid.unwrap_or(cost.is_some());
+        let failure_kind = match request.failure.as_deref() {
+            None => None,
+            Some(label) => match FailureKind::from_label(label) {
+                Some(kind) => Some(kind),
+                None => {
+                    return Response::error(
+                        codes::BAD_REQUEST,
+                        format!("report: unknown failure kind `{label}`"),
+                    )
+                }
+            },
+        };
         self.with_session(request, |managed| {
-            let outcome = if valid { cost } else { None };
-            match managed.session.report_cost(outcome) {
+            let outcome = match (valid, cost) {
+                (true, Some(c)) => Ok(c),
+                // Claimed valid but no cost: the measurement is unusable.
+                (true, None) => Err(CostError::MeasurementFailed(
+                    "report: `valid` without `cost`".into(),
+                )),
+                (false, _) => Err(CostError::from_kind(
+                    failure_kind.unwrap_or(FailureKind::RunCrash),
+                )),
+            };
+            match managed.session.report(outcome) {
                 Ok(()) => {
+                    managed.pending_since = None;
                     let mut resp = Response::ok();
                     resp.evaluations = Some(managed.session.status().evaluations());
                     resp.best_cost = managed.session.best_scalar_cost();
@@ -195,6 +311,7 @@ impl SessionManager {
                 .best()
                 .map(|(config, _)| config_to_wire(config));
             resp.done = Some(managed.session.is_done());
+            resp.failures = failures_to_wire(status);
             resp
         })
     }
@@ -206,6 +323,7 @@ impl SessionManager {
         let Some(managed) = self.sessions.lock().remove(id) else {
             return Response::error(codes::UNKNOWN_SESSION, format!("no session `{id}`"));
         };
+        let failures = failures_to_wire(managed.session.status());
         match managed.session.finish() {
             Ok(result) => {
                 self.merge_result(&managed.kernel, &managed.device, &managed.workload, &result);
@@ -217,9 +335,14 @@ impl SessionManager {
                 resp.failed_evaluations = Some(result.failed_evaluations);
                 resp.space_size = Some(result.space_size.to_string());
                 resp.improvements = Some(result.improvements.len() as u64);
+                resp.failures = failures;
                 resp
             }
-            Err(e) => Response::error(codes::TUNING, e),
+            Err(e) => {
+                let mut resp = Response::error(codes::TUNING, e);
+                resp.failures = failures;
+                resp
+            }
         }
     }
 
@@ -281,14 +404,53 @@ impl SessionManager {
         Ok(())
     }
 
-    /// Drops sessions idle longer than the configured timeout; returns how
-    /// many were expired.
+    /// Evicts sessions idle longer than the configured timeout; returns
+    /// how many were expired. A session whose client finished measuring
+    /// but never fetched the result (or simply vanished) still has a
+    /// best-so-far — that is merged into the database before eviction, so
+    /// an abandoned session's work is not thrown away.
     pub fn expire_idle(&self) -> usize {
         let timeout = self.config.idle_timeout;
-        let mut sessions = self.sessions.lock();
-        let before = sessions.len();
-        sessions.retain(|_, m| m.last_touch.elapsed() <= timeout);
-        before - sessions.len()
+        let expired: Vec<(String, ManagedSession)> = {
+            let mut sessions = self.sessions.lock();
+            let ids: Vec<String> = sessions
+                .iter()
+                .filter(|(_, m)| m.last_touch.elapsed() > timeout)
+                .map(|(id, _)| id.clone())
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| sessions.remove(&id).map(|m| (id, m)))
+                .collect()
+        };
+        let count = expired.len();
+        // Merging happens outside the sessions lock: it takes the db lock
+        // and possibly persists to disk.
+        for (id, managed) in expired {
+            let ManagedSession {
+                session,
+                kernel,
+                device,
+                workload,
+                ..
+            } = managed;
+            match session.finish() {
+                Ok(result) => {
+                    self.merge_result(&kernel, &device, &workload, &result);
+                    eprintln!(
+                        "atf-service: expired idle session `{id}` (kernel `{kernel}`); \
+                         merged best cost {} ({} evaluations) into the database",
+                        result.best_cost, result.evaluations
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "atf-service: expired idle session `{id}` (kernel `{kernel}`); \
+                         nothing to merge: {e}"
+                    );
+                }
+            }
+        }
+        count
     }
 
     /// Number of live sessions.
@@ -465,8 +627,8 @@ mod tests {
     #[test]
     fn idle_sessions_expire() {
         let manager = SessionManager::new(ManagerConfig {
-            db_path: None,
             idle_timeout: Duration::from_millis(0),
+            ..ManagerConfig::default()
         })
         .unwrap();
         let id = manager.handle(&open_request("t")).session.unwrap();
@@ -475,6 +637,163 @@ mod tests {
         assert_eq!(manager.expire_idle(), 1);
         let r = manager.handle(&Request::new("next").with_session(&id));
         assert_eq!(r.code.as_deref(), Some(codes::UNKNOWN_SESSION));
+    }
+
+    #[test]
+    fn expired_sessions_merge_their_best_into_the_database() {
+        let manager = SessionManager::new(ManagerConfig {
+            idle_timeout: Duration::from_millis(0),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let id = manager.handle(&open_request("orphan")).session.unwrap();
+        // Measure a few configurations, then vanish without `finish`.
+        for _ in 0..3 {
+            let next = manager.handle(&Request::new("next").with_session(&id));
+            let x = next.config.unwrap()["X"];
+            let mut report = Request::new("report").with_session(&id);
+            report.cost = Some((x as f64 - 2.0).abs() + 1.0);
+            assert!(manager.handle(&report).ok);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(manager.expire_idle(), 1);
+
+        // The abandoned session's best (X=2, cost 1) is in the database.
+        let mut lookup = Request::new("lookup");
+        lookup.kernel = Some("orphan".into());
+        let found = manager.handle(&lookup);
+        assert!(found.ok, "{found:?}");
+        assert_eq!(found.best_config.unwrap()["X"], 2);
+        assert_eq!(found.best_cost, Some(1.0));
+    }
+
+    #[test]
+    fn failure_kinds_are_counted_and_surfaced() {
+        let m = SessionManager::in_memory();
+        let id = m.handle(&open_request("flaky")).session.unwrap();
+
+        // Two timeouts, one crash, one success.
+        for failure in ["timeout", "timeout", "crash"] {
+            let next = m.handle(&Request::new("next").with_session(&id));
+            assert_eq!(next.done, Some(false));
+            let mut report = Request::new("report").with_session(&id);
+            report.valid = Some(false);
+            report.failure = Some(failure.into());
+            assert!(m.handle(&report).ok);
+        }
+        let next = m.handle(&Request::new("next").with_session(&id));
+        let x = next.config.unwrap()["X"];
+        let mut report = Request::new("report").with_session(&id);
+        report.cost = Some(x as f64);
+        assert!(m.handle(&report).ok);
+
+        let status = m.handle(&Request::new("status").with_session(&id));
+        let failures = status.failures.unwrap();
+        assert_eq!(failures["timeout"], 2);
+        assert_eq!(failures["crash"], 1);
+        assert_eq!(status.failed_evaluations, Some(3));
+
+        // An unknown label is rejected, not silently misfiled.
+        let mut bad = Request::new("report").with_session(&id);
+        bad.valid = Some(false);
+        bad.failure = Some("gremlins".into());
+        assert_eq!(m.handle(&bad).code.as_deref(), Some(codes::BAD_REQUEST));
+    }
+
+    #[test]
+    fn breaker_aborts_a_session_with_a_structured_error() {
+        let m = SessionManager::in_memory();
+        let mut req = open_request("broken");
+        req.breaker = Some(2);
+        let id = m.handle(&req).session.unwrap();
+        for _ in 0..2 {
+            let next = m.handle(&Request::new("next").with_session(&id));
+            assert_eq!(next.done, Some(false));
+            let mut report = Request::new("report").with_session(&id);
+            report.valid = Some(false);
+            report.failure = Some("crash".into());
+            assert!(m.handle(&report).ok);
+        }
+        // The breaker tripped: no more configurations, finish is an error.
+        let next = m.handle(&Request::new("next").with_session(&id));
+        assert_eq!(next.done, Some(true));
+        let finished = m.handle(&Request::new("finish").with_session(&id));
+        assert!(!finished.ok);
+        assert_eq!(finished.code.as_deref(), Some(codes::TUNING));
+        assert!(
+            finished
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("circuit breaker"),
+            "{finished:?}"
+        );
+        assert_eq!(finished.failures.unwrap()["crash"], 2);
+    }
+
+    #[test]
+    fn overdue_pending_config_is_timed_out_and_advanced() {
+        let manager = SessionManager::new(ManagerConfig {
+            eval_deadline: Some(Duration::from_millis(10)),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let id = manager.handle(&open_request("slow")).session.unwrap();
+        let first = manager.handle(&Request::new("next").with_session(&id));
+        let first_x = first.config.unwrap()["X"];
+
+        // Within the deadline, `next` re-serves the same pending config.
+        let again = manager.handle(&Request::new("next").with_session(&id));
+        assert_eq!(again.config.unwrap()["X"], first_x);
+
+        // Past the deadline, the pending config is failed as a timeout and
+        // the session advances.
+        std::thread::sleep(Duration::from_millis(25));
+        let advanced = manager.handle(&Request::new("next").with_session(&id));
+        assert_ne!(advanced.config.unwrap()["X"], first_x);
+        let status = manager.handle(&Request::new("status").with_session(&id));
+        assert_eq!(status.failures.unwrap()["timeout"], 1);
+    }
+
+    #[test]
+    fn journaled_service_session_resumes_after_restart() {
+        let dir = std::env::temp_dir().join(format!("atf-mgr-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ManagerConfig {
+            journal_dir: Some(dir.clone()),
+            ..ManagerConfig::default()
+        };
+        let cost = |x: u64| (x as f64 - 6.0).abs() + 0.5;
+
+        // First lifetime: measure 4 of 10 evaluations, then "crash"
+        // (drop the manager without `finish`).
+        let manager = SessionManager::new(config.clone()).unwrap();
+        let id = manager.handle(&open_request("journaled")).session.unwrap();
+        for _ in 0..4 {
+            let next = manager.handle(&Request::new("next").with_session(&id));
+            let x = next.config.unwrap()["X"];
+            let mut report = Request::new("report").with_session(&id);
+            report.cost = Some(cost(x));
+            assert!(manager.handle(&report).ok);
+        }
+        drop(manager);
+
+        // Second lifetime: open with `resume` — 4 evaluations replay from
+        // the journal, the remaining 6 are measured, the result matches an
+        // uninterrupted exhaustive run.
+        let manager = SessionManager::new(config).unwrap();
+        let mut req = open_request("journaled");
+        req.resume = Some(true);
+        let opened = manager.handle(&req);
+        assert!(opened.ok, "{opened:?}");
+        assert_eq!(opened.resumed, Some(4));
+        let id = opened.session.unwrap();
+        let finished = drive_to_completion(&manager, &id, cost);
+        assert!(finished.ok, "{finished:?}");
+        assert_eq!(finished.best_config.unwrap()["X"], 6);
+        assert_eq!(finished.best_cost, Some(0.5));
+        assert_eq!(finished.evaluations, Some(10));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

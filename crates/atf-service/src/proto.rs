@@ -64,6 +64,19 @@ pub struct Request {
     /// `cost` is present, `false` otherwise).
     #[serde(default)]
     pub valid: Option<bool>,
+    /// Failure-taxonomy label of a failed measurement (`report`; one of
+    /// [`atf_core::cost::FailureKind::label`]'s values — `timeout`,
+    /// `compile`, `crash`, `bad_output`, `transient`, `invalid`).
+    #[serde(default)]
+    pub failure: Option<String>,
+    /// `open`: resume from this key's run journal if one exists (requires
+    /// the service to run with a journal directory).
+    #[serde(default)]
+    pub resume: Option<bool>,
+    /// `open`: trip the session's circuit breaker after this many
+    /// consecutive failed evaluations.
+    #[serde(default)]
+    pub breaker: Option<u32>,
 }
 
 impl Request {
@@ -130,6 +143,14 @@ pub struct Response {
     /// `lookup`: where the answer came from (always `"database"`).
     #[serde(default)]
     pub source: Option<String>,
+    /// Failed evaluations by taxonomy label (`status`/`finish`; only
+    /// nonzero kinds appear).
+    #[serde(default)]
+    pub failures: Option<BTreeMap<String, u64>>,
+    /// `open` with `resume`: how many evaluations were replayed from the
+    /// run journal.
+    #[serde(default)]
+    pub resumed: Option<u64>,
 }
 
 impl Response {

@@ -1,22 +1,84 @@
 //! The TCP front end: a nonblocking accept loop handing each connection to
 //! its own thread, all sharing one [`SessionManager`].
+//!
+//! Shutdown is condvar-signaled, not sleep-polled: the accept loop parks on
+//! a [`ShutdownHandle`]'s condition variable between accept attempts, and
+//! [`ShutdownHandle::signal`] wakes it immediately — so a programmatic stop
+//! (or SIGINT, routed through a self-pipe watcher thread) takes effect with
+//! bounded latency instead of "whenever the next poll tick comes around".
 
 use crate::manager::SessionManager;
+use parking_lot::{Condvar, Mutex};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Set by the SIGINT handler; checked by every server's accept loop.
-static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
-
-/// How long the accept loop sleeps when no connection is waiting.
+/// Upper bound on how long the accept loop parks when no connection is
+/// waiting (it is woken early by [`ShutdownHandle::signal`]).
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 /// How often idle sessions are swept.
 const SWEEP_INTERVAL: Duration = Duration::from_secs(5);
 /// Read timeout on connections so handler threads notice shutdown.
 const READ_POLL: Duration = Duration::from_millis(500);
+
+struct ShutdownState {
+    flag: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// A cloneable handle that stops a [`Server::run`] loop.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ShutdownState>,
+}
+
+impl ShutdownHandle {
+    fn new() -> Self {
+        ShutdownHandle {
+            state: Arc::new(ShutdownState {
+                flag: AtomicBool::new(false),
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Requests shutdown and wakes the accept loop immediately.
+    pub fn signal(&self) {
+        self.state.flag.store(true, Ordering::SeqCst);
+        let _guard = self.state.lock.lock();
+        self.state.cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_signaled(&self) -> bool {
+        self.state.flag.load(Ordering::SeqCst)
+    }
+
+    /// Parks until [`signal`](Self::signal) or for at most `timeout`.
+    fn wait(&self, timeout: Duration) {
+        if self.is_signaled() {
+            return;
+        }
+        let mut guard = self.state.lock.lock();
+        // Re-check under the lock: a signal between the check above and
+        // acquiring the lock must not be missed.
+        if !self.is_signaled() {
+            self.state.cv.wait_for(&mut guard, timeout);
+        }
+    }
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownHandle")
+            .field("signaled", &self.is_signaled())
+            .finish()
+    }
+}
 
 /// A running service endpoint. [`run`](Server::run) blocks until
 /// [`shutdown`](Server::shutdown) is called (from another thread) or SIGINT
@@ -24,7 +86,7 @@ const READ_POLL: Duration = Duration::from_millis(500);
 pub struct Server {
     listener: TcpListener,
     manager: Arc<SessionManager>,
-    shutdown: Arc<AtomicBool>,
+    shutdown: ShutdownHandle,
 }
 
 impl Server {
@@ -35,7 +97,7 @@ impl Server {
         Ok(Server {
             listener,
             manager,
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown: ShutdownHandle::new(),
         })
     }
 
@@ -45,28 +107,68 @@ impl Server {
     }
 
     /// A handle that stops [`run`](Server::run) when
-    /// [`shutdown`](Server::shutdown) flips it.
-    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
-        Arc::clone(&self.shutdown)
+    /// [`ShutdownHandle::signal`] is called.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
     }
 
     /// Requests a graceful stop (also callable through a clone of
     /// [`shutdown_handle`](Server::shutdown_handle)).
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.signal();
     }
 
-    /// Routes SIGINT to a graceful stop of every running server in this
-    /// process. Uses `signal(2)` directly so no extra dependency is needed.
+    /// Routes SIGINT to a graceful stop of this server: the
+    /// async-signal-safe handler writes one byte to a pre-opened pipe, and
+    /// a watcher thread blocked on that pipe signals the shutdown handle —
+    /// which wakes the accept loop immediately. Uses `signal(2)`/`pipe(2)`
+    /// directly so no extra dependency is needed. Installing it again (for
+    /// another server) reroutes SIGINT to the most recent one.
     #[cfg(unix)]
     pub fn install_sigint(&self) {
-        extern "C" fn on_sigint(_sig: i32) {
-            SIGINT_RECEIVED.store(true, Ordering::SeqCst);
-        }
+        use std::sync::atomic::AtomicI32;
+
+        /// Write end of the self-pipe, shared with the signal handler.
+        static SIGNAL_PIPE_WRITE: AtomicI32 = AtomicI32::new(-1);
+
         extern "C" {
+            fn pipe(fds: *mut i32) -> i32;
+            fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+            fn write(fd: i32, buf: *const u8, count: usize) -> isize;
             fn signal(signum: i32, handler: usize) -> usize;
         }
+        extern "C" fn on_sigint(_sig: i32) {
+            // Async-signal-safe: a single write(2) on the self-pipe.
+            let fd = SIGNAL_PIPE_WRITE.load(Ordering::SeqCst);
+            if fd >= 0 {
+                unsafe {
+                    write(fd, b"!".as_ptr(), 1);
+                }
+            }
+        }
+
         const SIGINT: i32 = 2;
+        let mut fds = [0i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return;
+        }
+        SIGNAL_PIPE_WRITE.store(fds[1], Ordering::SeqCst);
+        let read_fd = fds[0];
+        let handle = self.shutdown_handle();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            loop {
+                let n = unsafe { read(read_fd, buf.as_mut_ptr(), 1) };
+                if n > 0 {
+                    handle.signal();
+                    return;
+                }
+                if n == 0 {
+                    return; // write end closed
+                }
+                // n < 0: interrupted — retry.
+            }
+        });
         unsafe {
             signal(SIGINT, on_sigint as *const () as usize);
         }
@@ -77,32 +179,25 @@ impl Server {
     #[cfg(not(unix))]
     pub fn install_sigint(&self) {}
 
-    fn stopping(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst) || SIGINT_RECEIVED.load(Ordering::SeqCst)
-    }
-
     /// Serves until shutdown, then persists the database. Connection
-    /// threads poll the same flag and drain on their own.
+    /// threads poll the same handle and drain on their own.
     pub fn run(self) -> std::io::Result<()> {
         let mut last_sweep = Instant::now();
-        while !self.stopping() {
+        while !self.shutdown.is_signaled() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     let manager = Arc::clone(&self.manager);
-                    let shutdown = Arc::clone(&self.shutdown);
+                    let shutdown = self.shutdown.clone();
                     std::thread::spawn(move || serve_connection(stream, manager, shutdown));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL);
+                    self.shutdown.wait(ACCEPT_POLL);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
             if last_sweep.elapsed() >= SWEEP_INTERVAL {
-                let expired = self.manager.expire_idle();
-                if expired > 0 {
-                    eprintln!("atf-service: expired {expired} idle session(s)");
-                }
+                self.manager.expire_idle();
                 last_sweep = Instant::now();
             }
         }
@@ -110,7 +205,7 @@ impl Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, manager: Arc<SessionManager>, shutdown: Arc<AtomicBool>) {
+fn serve_connection(stream: TcpStream, manager: Arc<SessionManager>, shutdown: ShutdownHandle) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
@@ -121,7 +216,7 @@ fn serve_connection(stream: TcpStream, manager: Arc<SessionManager>, shutdown: A
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        if shutdown.load(Ordering::SeqCst) || SIGINT_RECEIVED.load(Ordering::SeqCst) {
+        if shutdown.is_signaled() {
             return;
         }
         // A timed-out read may leave a partial line in `line`; the next
@@ -148,5 +243,39 @@ fn serve_connection(stream: TcpStream, manager: Arc<SessionManager>, shutdown: A
                     || e.kind() == std::io::ErrorKind::TimedOut => {}
             Err(_) => return,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_wakes_a_parked_waiter_immediately() {
+        let handle = ShutdownHandle::new();
+        let waiter = handle.clone();
+        let started = Instant::now();
+        let t = std::thread::spawn(move || {
+            // Far longer than the test should take: only an early wake
+            // lets it finish fast.
+            waiter.wait(Duration::from_secs(30));
+            waiter.is_signaled()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        handle.signal();
+        assert!(t.join().unwrap());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "signal must wake the waiter, not wait out the timeout"
+        );
+    }
+
+    #[test]
+    fn wait_after_signal_returns_at_once() {
+        let handle = ShutdownHandle::new();
+        handle.signal();
+        let started = Instant::now();
+        handle.wait(Duration::from_secs(30));
+        assert!(started.elapsed() < Duration::from_secs(1));
     }
 }

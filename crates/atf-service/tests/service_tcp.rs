@@ -87,6 +87,7 @@ fn concurrent_tcp_sessions_match_in_process_tuner_and_persist() {
         SessionManager::new(ManagerConfig {
             db_path: Some(db_path.clone()),
             idle_timeout: Duration::from_secs(60),
+            ..ManagerConfig::default()
         })
         .unwrap(),
     );
@@ -127,7 +128,7 @@ fn concurrent_tcp_sessions_match_in_process_tuner_and_persist() {
         assert_eq!(remote.space_size.as_deref(), Some("32"));
     }
 
-    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    shutdown.signal();
     server_thread.join().unwrap().unwrap();
     assert!(db_path.exists(), "database was not persisted");
 
@@ -137,6 +138,7 @@ fn concurrent_tcp_sessions_match_in_process_tuner_and_persist() {
         SessionManager::new(ManagerConfig {
             db_path: Some(db_path.clone()),
             idle_timeout: Duration::from_secs(60),
+            ..ManagerConfig::default()
         })
         .unwrap(),
     );
@@ -155,7 +157,7 @@ fn concurrent_tcp_sessions_match_in_process_tuner_and_persist() {
     assert!(client.lookup("never-tuned", None, None).unwrap().is_none());
     assert_eq!(manager2.live_sessions(), 0, "lookup must not open sessions");
 
-    shutdown2.store(true, std::sync::atomic::Ordering::SeqCst);
+    shutdown2.signal();
     server2_thread.join().unwrap().unwrap();
     std::fs::remove_file(&db_path).ok();
 }
@@ -195,6 +197,6 @@ fn malformed_lines_get_structured_errors_over_tcp() {
     let r = roundtrip("{\"cmd\":\"ping\"}");
     assert!(r.ok);
 
-    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    shutdown.signal();
     server_thread.join().unwrap().unwrap();
 }
