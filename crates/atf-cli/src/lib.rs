@@ -184,6 +184,11 @@ pub struct RunOptions {
     /// Resume from the journal (local: replay `journal`; remote: ask the
     /// service to replay its journal for this key).
     pub resume: bool,
+    /// Number of parallel evaluation threads (0 or 1 = serial). Each worker
+    /// runs its own compile/run scripts; the session hands out up to this
+    /// many configurations at once. When resuming from a journal, the
+    /// journal's recorded window takes precedence so replay is exact.
+    pub workers: usize,
 }
 
 impl RunOptions {
@@ -236,21 +241,30 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         SearchSpace::generate(&groups)
     };
     let policy = opts.policy();
-    let mut process_cf = spec.build_cost_function();
-    if let Some(t) = opts.timeout {
-        process_cf = process_cf.timeout(t);
-    }
-    let mut cf = with_policy(process_cf, &policy, RETRY_JITTER_SEED);
+    let workers = opts.workers.max(1);
+    // One cost-function instance per worker: concurrent runs must not race
+    // on the spec's log file (`for_worker` re-targets it, scripts follow
+    // via `ATF_LOG_FILE`), and the retry jitter stream must not be shared.
+    let build_cf = |worker: usize| {
+        let mut process_cf = spec.build_cost_function().for_worker(worker);
+        if let Some(t) = opts.timeout {
+            process_cf = process_cf.timeout(t);
+        }
+        with_policy_send(process_cf, &policy, RETRY_JITTER_SEED + worker as u64)
+    };
 
     let mut session =
         TuningSession::<LexCosts>::new(space, spec.build_technique()?).map_err(CliError::Tuning)?;
     if let Some(a) = spec.build_abort() {
         session = session.abort_condition(a);
     }
-    session = session.eval_policy(&policy);
+    session = session.eval_policy(&policy).max_pending(workers);
     let mut resumed = 0;
     if let Some(path) = &opts.journal {
         if opts.resume && path.exists() {
+            // Adopts the journal's window, overriding `workers` as the
+            // pending cap: replay must hand out tickets exactly as the
+            // original run did.
             resumed = session
                 .resume_from_journal(path)
                 .map_err(CliError::Tuning)?;
@@ -259,9 +273,15 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         }
     }
 
-    while let Some(config) = session.next_config() {
-        let outcome = cf.evaluate(&config);
-        session.report(outcome).map_err(CliError::Tuning)?;
+    if workers > 1 {
+        let cost_functions: Vec<_> = (0..workers).map(build_cf).collect();
+        atf_core::parallel::drive_session(&mut session, cost_functions);
+    } else {
+        let mut cf = build_cf(0);
+        while let Some(config) = session.next_config() {
+            let outcome = cf.evaluate(&config);
+            session.report(outcome).map_err(CliError::Tuning)?;
+        }
     }
     let failures = session.status().failure_counts();
     let result = session.finish().map_err(CliError::Tuning)?;
@@ -326,6 +346,7 @@ pub fn session_spec(spec: &TuningSpec) -> atf_service::SessionSpec {
         abort: Some(spec.abort.clone()),
         resume: false,
         breaker: None,
+        max_pending: None,
     }
 }
 
@@ -573,6 +594,66 @@ mod tests {
         let text = report(&outcome);
         assert!(text.contains("best config"));
         assert!(text.contains("BLOCK=24"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn parallel_run_matches_serial_run_exactly() {
+        let dir = fresh_dir("workers");
+        let source = dir.join("prog.sh");
+        // The parallel-safe log idiom: the script writes wherever
+        // ATF_LOG_FILE points, so each worker's runs never collide.
+        write_executable(
+            &source,
+            "B=$ATF_TP_BLOCK\nU=$ATF_TP_UNROLL\nD=$((B - 24)); [ $D -lt 0 ] && D=$((-D))\necho $((10 + D + U)) > \"$ATF_LOG_FILE\"",
+        );
+        let run_sh = dir.join("run.sh");
+        write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+        let spec = TuningSpec::from_json(&format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+              "parameters": [
+                {{"name": "UNROLL", "set": [1, 2, 4]}},
+                {{"name": "BLOCK", "interval": {{"begin": 8, "end": 32}},
+                  "constraint": "is_multiple_of(UNROLL)"}}
+              ],
+              "search": {{"technique": "exhaustive"}}
+            }}"#,
+            source.display(),
+            run_sh.display(),
+            dir.join("cost.log").display()
+        ))
+        .unwrap();
+
+        let serial = run_with(
+            &spec,
+            &RunOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let parallel = run_with(
+            &spec,
+            &RunOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Exhaustive search proposes independently of reported costs, so
+        // the 4-worker run equals the serial run exactly.
+        assert_eq!(
+            parallel.result.best_config, serial.result.best_config,
+            "parallel and serial best configs must agree"
+        );
+        assert_eq!(parallel.result.best_cost, serial.result.best_cost);
+        assert_eq!(parallel.result.evaluations, serial.result.evaluations);
+        assert_eq!(serial.result.best_config.get_u64("BLOCK"), 24);
+        assert_eq!(serial.result.best_config.get_u64("UNROLL"), 1);
+        assert_eq!(serial.result.best_cost, vec![11.0]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

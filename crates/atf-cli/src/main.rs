@@ -44,7 +44,10 @@ and an optional tuning database to record the best configuration.
   --journal PATH     Append every evaluation to a crash-safe run journal
                      (NDJSON) at PATH before applying it.
   --resume           Replay the journal at --journal PATH first, then
-                     continue the interrupted run where it stopped.";
+                     continue the interrupted run where it stopped.
+  --workers N        Evaluate up to N configurations in parallel (default
+                     1 = serial). With --resume the journal's recorded
+                     pending window takes precedence over N.";
 
 const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] [--idle-secs N]
                       [--journal-dir DIR] [--eval-deadline-secs N]
@@ -183,6 +186,7 @@ fn take_run_options(
         breaker: take_u32_flag(args, "--breaker")?,
         journal: None,
         resume: take_switch(args, "--resume"),
+        workers: take_u32_flag(args, "--workers")?.unwrap_or(1) as usize,
     };
     if with_journal {
         opts.journal = take_flag(args, "--journal")?.map(Into::into);

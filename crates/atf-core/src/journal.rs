@@ -18,8 +18,16 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-/// Current journal format version, written into every header.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Current journal format version, written into every header. Version 2
+/// added per-entry `ticket` and the header `window` (parallel evaluation);
+/// version-1 journals load fine — a missing ticket defaults to the
+/// evaluation number (serial runs hand out tickets in order) and a missing
+/// window to 1.
+pub const JOURNAL_VERSION: u32 = 2;
+
+fn default_window() -> usize {
+    1
+}
 
 /// First line of a journal: identifies the run shape so a resume against a
 /// different specification is rejected instead of silently corrupting the
@@ -32,6 +40,11 @@ pub struct JournalHeader {
     pub technique: String,
     /// Search-space size (stringified `u128`).
     pub space_size: String,
+    /// Maximum number of simultaneously pending configurations the run was
+    /// driven with. Replay must use the same window to hand out tickets in
+    /// the same order.
+    #[serde(default = "default_window")]
+    pub window: usize,
 }
 
 /// One evaluation outcome. `costs` holds the full (possibly
@@ -39,8 +52,14 @@ pub struct JournalHeader {
 /// records its taxonomy class in `failure` instead.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JournalEntry {
-    /// 1-based evaluation number.
+    /// 1-based arrival number: entries are written in the order reports
+    /// *arrived*, which under parallel evaluation may differ from the order
+    /// configurations were handed out.
     pub evaluation: u64,
+    /// Ticket of the handed-out configuration this entry reports on
+    /// (`None` in version-1 journals, where it equals `evaluation`).
+    #[serde(default)]
+    pub ticket: Option<u64>,
     /// Coordinates of the evaluated configuration in the valid space.
     pub point: Point,
     /// Measured cost vector (`None` when the measurement failed).
@@ -242,15 +261,17 @@ mod tests {
 
     fn header() -> JournalHeader {
         JournalHeader {
-            version: 1,
+            version: JOURNAL_VERSION,
             technique: "exhaustive".into(),
             space_size: "64".into(),
+            window: 1,
         }
     }
 
     fn ok_entry(n: u64) -> JournalEntry {
         JournalEntry {
             evaluation: n,
+            ticket: Some(n),
             point: vec![n, n + 1],
             costs: Some(vec![n as f64 * 0.5]),
             failure: None,
@@ -264,6 +285,7 @@ mod tests {
         w.append(&ok_entry(1)).unwrap();
         w.append(&JournalEntry {
             evaluation: 2,
+            ticket: Some(2),
             point: vec![0, 3],
             costs: None,
             failure: Some(FailureKind::Timeout.label().to_string()),
@@ -309,6 +331,25 @@ mod tests {
         drop(f);
         let loaded = LoadedJournal::load(&path).unwrap();
         assert_eq!(loaded.entries.len(), 2);
+    }
+
+    #[test]
+    fn version_1_journals_load_with_defaults() {
+        // A journal written before tickets/window existed must still load:
+        // window defaults to 1 and tickets to None (= the evaluation number).
+        let path = tmp("v1");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"version\":1,\"technique\":\"exhaustive\",\"space_size\":\"64\"}\n",
+                "{\"evaluation\":1,\"point\":[0,1],\"costs\":[1.0]}\n",
+            ),
+        )
+        .unwrap();
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.header.window, 1);
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].ticket, None);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Worker-pool driver for parallel batched evaluation: several threads pull
+//! tickets from one [`TuningSession`] and report outcomes as they finish.
+//!
+//! The session is the single source of truth — it hands out up to `workers`
+//! simultaneously pending configurations (its window) and applies reports in
+//! ticket order, so the search trajectory of a seeded technique is identical
+//! across runs regardless of which worker finishes first (see the
+//! [`crate::session`] module docs). The pool is a scoped-thread loop around
+//! that state machine:
+//!
+//! 1. lock the session, ask [`next_ticket`](TuningSession::next_ticket);
+//! 2. on [`Handout::Next`] unlock and evaluate — the expensive part runs
+//!    outside the lock, concurrently with the other workers;
+//! 3. on [`Handout::Wait`] block on a condvar until some worker reports;
+//! 4. on [`Handout::Done`] wake everyone and exit.
+//!
+//! Each worker owns a private cost-function instance
+//! ([`CostFunction::evaluate`] takes `&mut self`; a process-spawning cost
+//! function holds per-run scratch state), built by the caller per worker
+//! index.
+
+use crate::cost::CostFunction;
+use crate::session::{Handout, Ticket, TuningSession};
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+
+/// Drives `session` until [`Handout::Done`], evaluating with one thread per
+/// element of `cost_functions`.
+///
+/// The session's pending window caps the achievable parallelism: drive a
+/// session built with [`max_pending(n)`](TuningSession::max_pending) with
+/// `n` cost functions. Tickets already in flight when the pool starts — a
+/// resumed session can hold handouts whose reports never made the dead
+/// process's journal — are adopted and evaluated like fresh ones. A
+/// panicking evaluation propagates out of the pool after the remaining
+/// workers drain.
+pub fn drive_session<CF>(session: &mut TuningSession<CF::Cost>, cost_functions: Vec<CF>)
+where
+    CF: CostFunction + Send,
+{
+    if cost_functions.is_empty() {
+        return;
+    }
+    let pool = Pool {
+        state: Mutex::new(PoolState {
+            session,
+            claimed: HashSet::new(),
+        }),
+        wake: Condvar::new(),
+    };
+    std::thread::scope(|scope| {
+        for cf in cost_functions {
+            scope.spawn(|| worker(&pool, cf));
+        }
+    });
+}
+
+struct PoolState<'a, C: crate::cost::CostValue> {
+    session: &'a mut TuningSession<C>,
+    /// Tickets some worker is currently evaluating. Unreported tickets NOT
+    /// in this set are orphans (handed out before the pool started, e.g.
+    /// by a crashed run this session resumed) and are up for adoption.
+    claimed: HashSet<Ticket>,
+}
+
+struct Pool<'a, C: crate::cost::CostValue> {
+    state: Mutex<PoolState<'a, C>>,
+    wake: Condvar,
+}
+
+fn worker<CF>(pool: &Pool<'_, CF::Cost>, mut cf: CF)
+where
+    CF: CostFunction,
+{
+    loop {
+        let (ticket, config) = {
+            let mut state = pool.state.lock().expect("pool lock");
+            loop {
+                // Adopt an orphaned in-flight ticket before asking for a
+                // new one: nobody else will evaluate it, and it blocks the
+                // window (leaving it would deadlock the pool).
+                let orphan = {
+                    let PoolState { session, claimed } = &mut *state;
+                    session.unreported_tickets().find(|t| !claimed.contains(t))
+                };
+                if let Some(ticket) = orphan {
+                    let config = state
+                        .session
+                        .pending_config_for(ticket)
+                        .expect("an unreported ticket is pending")
+                        .clone();
+                    state.claimed.insert(ticket);
+                    break (ticket, config);
+                }
+                match state.session.next_ticket() {
+                    Handout::Next(ticket, config) => {
+                        state.claimed.insert(ticket);
+                        break (ticket, config);
+                    }
+                    // Wait implies another worker holds an unreported
+                    // ticket (everything unreported is claimed, or we
+                    // would have adopted it); its report will notify us.
+                    // Waiting re-takes the guard, so no wakeup slips past.
+                    Handout::Wait => state = pool.wake.wait(state).expect("pool lock"),
+                    Handout::Done => {
+                        pool.wake.notify_all();
+                        return;
+                    }
+                }
+            }
+        };
+        let outcome = cf.evaluate(&config);
+        let mut state = pool.state.lock().expect("pool lock");
+        state.claimed.remove(&ticket);
+        state
+            .session
+            .report_ticket(ticket, outcome)
+            .expect("ticket was handed out to this worker");
+        pool.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abort;
+    use crate::config::Config;
+    use crate::constraint::divides;
+    use crate::cost::{try_cost_fn, CostError};
+    use crate::expr::{cst, param};
+    use crate::param::{tp_c, ParamGroup};
+    use crate::range::Range;
+    use crate::search::Exhaustive;
+    use crate::space::SearchSpace;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn space(n: u64) -> SearchSpace {
+        SearchSpace::generate(&[ParamGroup::new(vec![
+            tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+            tp_c("LS", Range::interval(1, n), divides(cst(n) / param("WPT"))),
+        ])])
+    }
+
+    fn measure(c: &Config) -> Result<f64, CostError> {
+        let wpt = c.get_u64("WPT") as f64;
+        let ls = c.get_u64("LS") as f64;
+        Ok((wpt - 8.0).powi(2) + (ls - 4.0).powi(2))
+    }
+
+    #[test]
+    fn pool_explores_the_whole_space() {
+        let mut session: TuningSession<f64> =
+            TuningSession::new(space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .max_pending(4);
+        let cfs: Vec<_> = (0..4).map(|_| try_cost_fn(measure)).collect();
+        drive_session(&mut session, cfs);
+        assert!(session.is_done());
+        let r = session.finish().unwrap();
+        assert_eq!(r.evaluations as u128, r.space_size);
+        assert_eq!(r.best_config.get_u64("WPT"), 8);
+        assert_eq!(r.best_config.get_u64("LS"), 4);
+    }
+
+    #[test]
+    fn workers_evaluate_concurrently() {
+        // With a window of 4 and 4 workers, at some instant more than one
+        // evaluation must be running at once.
+        static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let cfs: Vec<_> = (0..4)
+            .map(|_| {
+                try_cost_fn(|c: &Config| {
+                    let now = IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+                    measure(c)
+                })
+            })
+            .collect();
+        let mut session: TuningSession<f64> =
+            TuningSession::new(space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(16))
+                .max_pending(4);
+        drive_session(&mut session, cfs);
+        let r = session.finish().unwrap();
+        assert_eq!(r.evaluations, 16);
+        assert!(
+            PEAK.load(Ordering::SeqCst) >= 2,
+            "peak concurrency {} — workers never overlapped",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn pool_evaluates_each_configuration_once() {
+        // Every handed-out configuration is evaluated exactly once across
+        // the pool, whichever worker picks it up.
+        use std::sync::Mutex as StdMutex;
+        let seen = StdMutex::new(Vec::new());
+        let cfs: Vec<_> = (0..3)
+            .map(|_| {
+                try_cost_fn(|c: &Config| {
+                    seen.lock()
+                        .unwrap()
+                        .push((c.get_u64("WPT"), c.get_u64("LS")));
+                    measure(c)
+                })
+            })
+            .collect();
+        let mut session: TuningSession<f64> =
+            TuningSession::new(space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .max_pending(3);
+        drive_session(&mut session, cfs);
+        let r = session.finish().unwrap();
+        let seen = seen.into_inner().unwrap();
+        let unique: HashSet<_> = seen.iter().copied().collect();
+        assert_eq!(seen.len() as u64, r.evaluations);
+        assert_eq!(unique.len(), seen.len(), "a configuration was re-evaluated");
+    }
+
+    #[test]
+    fn pool_adopts_in_flight_tickets_after_resume() {
+        // A crashed run held tickets 1..=3 but only ticket 3's report made
+        // the journal. The resumed session therefore starts with tickets 1
+        // and 2 in flight and unreported — the pool must adopt and
+        // evaluate them, or the full window would deadlock every worker.
+        let path =
+            std::env::temp_dir().join(format!("atf-pool-adopt-{}.ndjson", std::process::id()));
+        let mut crashed: TuningSession<f64> =
+            TuningSession::new(space(8), Box::new(Exhaustive::new()))
+                .unwrap()
+                .max_pending(3)
+                .journal_to(&path)
+                .unwrap();
+        let mut handed = Vec::new();
+        for _ in 0..3 {
+            match crashed.next_ticket() {
+                crate::session::Handout::Next(t, c) => handed.push((t, c)),
+                other => panic!("expected a handout, got {other:?}"),
+            }
+        }
+        let (t3, c3) = handed.pop().unwrap();
+        crashed.report_ticket(t3, measure(&c3)).unwrap();
+        drop(crashed); // crash: tickets 1 and 2 never reported
+
+        let mut resumed: TuningSession<f64> =
+            TuningSession::new(space(8), Box::new(Exhaustive::new())).unwrap();
+        resumed.resume_from_journal(&path).unwrap();
+        assert_eq!(resumed.unreported_tickets().collect::<Vec<_>>(), [1, 2]);
+
+        let cfs: Vec<_> = (0..3).map(|_| try_cost_fn(measure)).collect();
+        drive_session(&mut resumed, cfs);
+        let r = resumed.finish().unwrap();
+        assert_eq!(r.evaluations as u128, r.space_size);
+        assert_eq!(r.best_config.get_u64("WPT"), 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_worker_pool_matches_serial_drive() {
+        let run = |workers: usize| {
+            let mut session: TuningSession<f64> =
+                TuningSession::new(space(64), Box::new(Exhaustive::new()))
+                    .unwrap()
+                    .max_pending(workers);
+            let cfs: Vec<_> = (0..workers).map(|_| try_cost_fn(measure)).collect();
+            drive_session(&mut session, cfs);
+            session.finish().unwrap()
+        };
+        let serial = {
+            let mut s: TuningSession<f64> =
+                TuningSession::new(space(64), Box::new(Exhaustive::new())).unwrap();
+            while let Some(cfg) = s.next_config() {
+                s.report(measure(&cfg)).unwrap();
+            }
+            s.finish().unwrap()
+        };
+        let pooled = run(1);
+        assert_eq!(pooled.best_config, serial.best_config);
+        assert_eq!(pooled.evaluations, serial.evaluations);
+    }
+}

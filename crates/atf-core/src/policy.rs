@@ -163,6 +163,20 @@ pub fn with_policy<C: CostValue, F: CostFunction<Cost = C> + 'static>(
     }
 }
 
+/// [`with_policy`] with a `Send` box, for handing the wrapped function to
+/// worker threads ([`crate::parallel::drive_session`]).
+pub fn with_policy_send<C: CostValue, F: CostFunction<Cost = C> + Send + 'static>(
+    inner: F,
+    policy: &EvalPolicy,
+    seed: u64,
+) -> Box<dyn CostFunction<Cost = C> + Send> {
+    if policy.max_retries == 0 {
+        Box::new(inner)
+    } else {
+        Box::new(RetryCostFunction::new(inner, policy.clone(), seed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

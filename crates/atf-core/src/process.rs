@@ -126,11 +126,31 @@ impl ProcessCostFunction {
         self
     }
 
+    /// Re-targets the log file for worker `index` of a parallel pool:
+    /// worker 0 keeps the configured path (serial behavior unchanged),
+    /// every other worker appends `.w<index>` so concurrent runs never
+    /// race on one file. Scripts learn the effective path from the
+    /// `ATF_LOG_FILE` environment variable and should write there instead
+    /// of hard-coding the path when tuning with multiple workers.
+    pub fn for_worker(mut self, index: usize) -> Self {
+        if index > 0 {
+            if let Some(path) = &self.log_file {
+                let mut name = path.clone().into_os_string();
+                name.push(format!(".w{index}"));
+                self.log_file = Some(PathBuf::from(name));
+            }
+        }
+        self
+    }
+
     /// Runs `script` under the configured deadline, capturing its exit
     /// status and a truncated stderr tail.
     fn run(&self, script: &Path, config: &Config) -> Result<ScriptOutput, CostError> {
         let mut cmd = Command::new(script);
         cmd.env("ATF_SOURCE", &self.source);
+        if let Some(log) = &self.log_file {
+            cmd.env("ATF_LOG_FILE", log);
+        }
         for (name, value) in config.iter() {
             cmd.env(format!("ATF_TP_{name}"), value.to_source_token());
         }
@@ -400,6 +420,32 @@ mod tests {
             started.elapsed() < Duration::from_secs(5),
             "the child must be hard-killed, not waited out"
         );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn log_path_is_exported_and_per_worker() {
+        let dir = tmpdir("worker");
+        let log = dir.join("cost.log");
+        // The script writes wherever ATF_LOG_FILE points — the parallel-safe
+        // idiom — so re-targeting the log never changes the script.
+        let run = write_script(
+            &dir,
+            "run.sh",
+            "X=$ATF_TP_X\necho $((X * 2)) > \"$ATF_LOG_FILE\"",
+        );
+        let base = ProcessCostFunction::new(dir.join("p.src"), run).log_file(&log);
+        let config = Config::from_pairs([("X", 5u64)]);
+
+        // Worker 0 keeps the configured path.
+        let mut w0 = base.clone().for_worker(0);
+        assert_eq!(w0.evaluate(&config).unwrap(), vec![10.0]);
+        assert!(log.exists());
+
+        // Worker 3 reads and writes its own suffixed file.
+        let mut w3 = base.clone().for_worker(3);
+        assert_eq!(w3.evaluate(&config).unwrap(), vec![10.0]);
+        assert!(dir.join("cost.log.w3").exists());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use super::{Point, SearchTechnique, SpaceDims, PENALTY_COST};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
 
 /// The paper's default annealing temperature (from CLTune).
 pub const DEFAULT_TEMPERATURE: f64 = 4.0;
@@ -31,8 +32,11 @@ pub struct SimulatedAnnealing {
     temperature: f64,
     /// Current configuration and its cost.
     current: Option<(Point, f64)>,
-    /// Proposal awaiting its cost report.
-    pending: Option<Point>,
+    /// Proposals awaiting their cost reports, in proposal order. Under
+    /// speculative (parallel) proposing several neighbours of the same —
+    /// possibly stale — current point may be outstanding at once; reports
+    /// arrive in this order and are reconciled one by one.
+    pending: VecDeque<Point>,
     /// Best cost seen (for cost normalization).
     best_seen: f64,
     /// Steps since the last improvement of `best_seen` (drives restarts).
@@ -53,7 +57,7 @@ impl SimulatedAnnealing {
             cooling: 1.0,
             temperature: DEFAULT_TEMPERATURE,
             current: None,
-            pending: None,
+            pending: VecDeque::new(),
             best_seen: f64::INFINITY,
             stagnation: 0,
             restart_after: 500,
@@ -151,7 +155,7 @@ impl SearchTechnique for SimulatedAnnealing {
     fn initialize(&mut self, dims: SpaceDims) {
         self.dims = Some(dims);
         self.current = None;
-        self.pending = None;
+        self.pending.clear();
         self.temperature = self.t0;
         self.best_seen = f64::INFINITY;
         self.stagnation = 0;
@@ -168,12 +172,12 @@ impl SearchTechnique for SimulatedAnnealing {
                 self.neighbour(&cur)
             }
         };
-        self.pending = Some(p.clone());
+        self.pending.push_back(p.clone());
         Some(p)
     }
 
     fn report_cost(&mut self, cost: f64) {
-        let Some(p) = self.pending.take() else {
+        let Some(p) = self.pending.pop_front() else {
             return; // spurious report; ignore
         };
         if cost < self.best_seen {
@@ -203,6 +207,13 @@ impl SearchTechnique for SimulatedAnnealing {
             self.temperature = self.t0;
             self.stagnation = 0;
         }
+    }
+
+    /// Speculative lookahead: several neighbours of the (possibly stale)
+    /// current point may be outstanding at once; reports are reconciled in
+    /// proposal order, so the walk stays well-defined.
+    fn can_propose(&self, _outstanding: usize) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

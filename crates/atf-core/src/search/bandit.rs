@@ -83,18 +83,29 @@ impl AucBandit {
     /// Selects the arm with the best AUC + exploration score; unused arms
     /// are always tried first.
     pub fn select(&self) -> usize {
+        let all: Vec<usize> = (0..self.arms.len()).collect();
+        self.select_among(&all).expect("bandit has ≥ 1 arm")
+    }
+
+    /// Selects the best-scoring arm among `allowed` only (`None` if the
+    /// slice is empty). Used by the ensemble under parallel evaluation,
+    /// where arms busy with a full batch are temporarily ineligible —
+    /// selection must skip them *without* recording anything, so bandit
+    /// statistics stay untouched by scheduling constraints.
+    pub fn select_among(&self, allowed: &[usize]) -> Option<usize> {
         // Any arm never used yet gets priority (infinite exploration bonus).
-        if let Some(i) = self.arms.iter().position(|a| a.uses == 0) {
-            return i;
+        if let Some(&i) = allowed.iter().find(|&&i| self.arms[i].uses == 0) {
+            return Some(i);
         }
         let ln_total = (self.total_uses.max(1) as f64).ln();
-        let mut best = 0;
+        let mut best = None;
         let mut best_score = f64::NEG_INFINITY;
-        for (i, a) in self.arms.iter().enumerate() {
+        for &i in allowed {
+            let a = &self.arms[i];
             let score = a.auc() + self.exploration * (2.0 * ln_total / a.uses as f64).sqrt();
             if score > best_score {
                 best_score = score;
-                best = i;
+                best = Some(i);
             }
         }
         best
@@ -122,8 +133,13 @@ impl AucBandit {
 pub struct Ensemble {
     techniques: Vec<Box<dyn SearchTechnique>>,
     bandit: AucBandit,
-    /// Arm that produced the outstanding proposal.
-    active: Option<usize>,
+    /// Arms that produced the outstanding proposals, in proposal order.
+    /// Reports arrive in the same order, so popping the front routes each
+    /// cost to the right arm — and because this is a FIFO, each *arm* also
+    /// sees its own reports in its own proposal order.
+    queue: VecDeque<usize>,
+    /// Outstanding proposal count per arm (drives per-arm `can_propose`).
+    arm_outstanding: Vec<usize>,
     best: f64,
 }
 
@@ -165,7 +181,8 @@ impl Ensemble {
         Ensemble {
             techniques,
             bandit: AucBandit::new(n, DEFAULT_WINDOW, DEFAULT_EXPLORATION),
-            active: None,
+            queue: VecDeque::new(),
+            arm_outstanding: vec![0; n],
             best: f64::INFINITY,
         }
     }
@@ -194,7 +211,8 @@ impl SearchTechnique for Ensemble {
         for t in &mut self.techniques {
             t.initialize(dims.clone());
         }
-        self.active = None;
+        self.queue.clear();
+        self.arm_outstanding = vec![0; self.techniques.len()];
         self.best = f64::INFINITY;
     }
 
@@ -205,12 +223,18 @@ impl SearchTechnique for Ensemble {
     }
 
     fn get_next_point(&mut self) -> Option<Point> {
-        // Try arms in bandit preference order until one proposes a point
-        // (sub-techniques of this crate never exhaust, but custom ones may).
+        // Try eligible arms in bandit preference order until one proposes a
+        // point (sub-techniques of this crate never exhaust, but custom
+        // ones may). Arms busy with a full batch are skipped without
+        // touching their bandit statistics.
         for _ in 0..self.techniques.len() {
-            let arm = self.bandit.select();
+            let eligible: Vec<usize> = (0..self.techniques.len())
+                .filter(|&i| self.techniques[i].can_propose(self.arm_outstanding[i]))
+                .collect();
+            let arm = self.bandit.select_among(&eligible)?;
             if let Some(p) = self.techniques[arm].get_next_point() {
-                self.active = Some(arm);
+                self.queue.push_back(arm);
+                self.arm_outstanding[arm] += 1;
                 return Some(p);
             }
             // Arm exhausted: record a non-improvement so its score decays
@@ -221,15 +245,22 @@ impl SearchTechnique for Ensemble {
     }
 
     fn report_cost(&mut self, cost: f64) {
-        let Some(arm) = self.active.take() else {
+        let Some(arm) = self.queue.pop_front() else {
             return;
         };
+        self.arm_outstanding[arm] -= 1;
         self.techniques[arm].report_cost(cost);
         let improved = cost < self.best;
         if improved {
             self.best = cost;
         }
         self.bandit.record(arm, improved);
+    }
+
+    /// The ensemble can propose while *any* arm can: the bandit then
+    /// selects among the currently eligible arms only.
+    fn can_propose(&self, _outstanding: usize) -> bool {
+        (0..self.techniques.len()).any(|i| self.techniques[i].can_propose(self.arm_outstanding[i]))
     }
 
     fn name(&self) -> &'static str {

@@ -11,6 +11,7 @@
 use super::{Point, SearchTechnique, SpaceDims};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
 
 /// Default differential weight.
 pub const DEFAULT_F: f64 = 0.7;
@@ -19,14 +20,6 @@ pub const DEFAULT_CR: f64 = 0.8;
 /// Default population size (clamped to the space size).
 pub const DEFAULT_POPULATION: usize = 20;
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Phase {
-    /// Evaluating the initial population member at the cursor.
-    Seeding,
-    /// Evaluating the trial vector for the member at the cursor.
-    Trial,
-}
-
 /// `DE/rand/1/bin` differential evolution over the grid's continuous
 /// relaxation.
 #[derive(Clone, Debug)]
@@ -34,9 +27,19 @@ pub struct DifferentialEvolution {
     rng: ChaCha8Rng,
     dims: Option<SpaceDims>,
     population: Vec<(Vec<f64>, f64)>,
-    phase: Phase,
-    cursor: usize,
-    pending: Option<Vec<f64>>,
+    /// Members already *proposed* for their initial (seeding) evaluation.
+    seed_asked: usize,
+    /// Members whose seeding cost has been *reported*. All seeds are
+    /// proposed before any trial, and reports arrive in proposal order, so
+    /// the first `population.len()` reports are exactly the seed reports.
+    seed_reported: usize,
+    /// Target member of the next trial *proposal*.
+    trial_ask: usize,
+    /// Target member of the next trial *report*.
+    trial_report: usize,
+    /// Outstanding proposals in proposal order: `None` is a seeding
+    /// evaluation, `Some(trial)` carries the continuous trial vector.
+    pending: VecDeque<Option<Vec<f64>>>,
     f: f64,
     cr: f64,
     pop_size: usize,
@@ -49,9 +52,11 @@ impl DifferentialEvolution {
             rng: ChaCha8Rng::seed_from_u64(seed),
             dims: None,
             population: Vec::new(),
-            phase: Phase::Seeding,
-            cursor: 0,
-            pending: None,
+            seed_asked: 0,
+            seed_reported: 0,
+            trial_ask: 0,
+            trial_report: 0,
+            pending: VecDeque::new(),
             f: DEFAULT_F,
             cr: DEFAULT_CR,
             pop_size: DEFAULT_POPULATION,
@@ -161,46 +166,50 @@ impl SearchTechnique for DifferentialEvolution {
             let x = self.random_continuous();
             self.population.push((x, f64::NAN));
         }
-        self.phase = Phase::Seeding;
-        self.cursor = 0;
-        self.pending = None;
+        self.seed_asked = 0;
+        self.seed_reported = 0;
+        self.trial_ask = 0;
+        self.trial_report = 0;
+        self.pending.clear();
     }
 
     fn get_next_point(&mut self) -> Option<Point> {
-        let x = match self.phase {
-            Phase::Seeding => self.population[self.cursor].0.clone(),
-            Phase::Trial => match &self.pending {
-                Some(t) => t.clone(),
-                None => {
-                    let t = self.trial_for(self.cursor);
-                    self.pending = Some(t.clone());
-                    t
-                }
-            },
+        let x = if self.seed_asked < self.population.len() {
+            let x = self.population[self.seed_asked].0.clone();
+            self.seed_asked += 1;
+            self.pending.push_back(None);
+            x
+        } else {
+            let t = self.trial_for(self.trial_ask);
+            self.trial_ask = (self.trial_ask + 1) % self.population.len();
+            self.pending.push_back(Some(t.clone()));
+            t
         };
         Some(self.dims.as_ref().expect("initialize not called").round(&x))
     }
 
     fn report_cost(&mut self, cost: f64) {
-        match self.phase {
-            Phase::Seeding => {
-                self.population[self.cursor].1 = cost;
-                self.cursor += 1;
-                if self.cursor == self.population.len() {
-                    self.phase = Phase::Trial;
-                    self.cursor = 0;
-                    self.pending = None;
-                }
+        match self.pending.pop_front() {
+            None => {} // spurious report; ignore
+            Some(None) => {
+                let i = self.seed_reported;
+                self.population[i].1 = cost;
+                self.seed_reported += 1;
             }
-            Phase::Trial => {
-                if let Some(trial) = self.pending.take() {
-                    if cost <= self.population[self.cursor].1 {
-                        self.population[self.cursor] = (trial, cost);
-                    }
+            Some(Some(trial)) => {
+                let i = self.trial_report;
+                if cost <= self.population[i].1 {
+                    self.population[i] = (trial, cost);
                 }
-                self.cursor = (self.cursor + 1) % self.population.len();
+                self.trial_report = (i + 1) % self.population.len();
             }
         }
+    }
+
+    /// One generation may be in flight at once — no member gets a second
+    /// trial before its previous trial's report lands.
+    fn can_propose(&self, outstanding: usize) -> bool {
+        outstanding < self.population.len().max(1)
     }
 
     fn name(&self) -> &'static str {

@@ -56,6 +56,12 @@ impl SearchTechnique for Exhaustive {
 
     fn report_cost(&mut self, _cost: f64) {}
 
+    /// Proposals are independent of reported costs, so any number of
+    /// enumeration indices may be outstanding at once.
+    fn can_propose(&self, _outstanding: usize) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "exhaustive"
     }

@@ -9,6 +9,7 @@
 use super::{Point, SearchTechnique, SpaceDims};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
 
 /// Default population size.
 pub const DEFAULT_POPULATION: usize = 24;
@@ -23,9 +24,15 @@ pub struct GeneticAlgorithm {
     rng: ChaCha8Rng,
     dims: Option<SpaceDims>,
     population: Vec<(Point, f64)>,
-    /// Members still awaiting their initial evaluation.
-    unseeded: usize,
-    pending: Option<Point>,
+    /// Members already *proposed* for their initial (seeding) evaluation.
+    seed_asked: usize,
+    /// Members whose seeding cost has been *reported*. Because proposals are
+    /// reported in order and all seeds are proposed first, the first
+    /// `population.len()` reports are exactly the seed reports.
+    seed_reported: usize,
+    /// Points awaiting cost reports, in proposal order. A whole generation
+    /// may be outstanding at once under parallel evaluation.
+    pending: VecDeque<Point>,
     pop_size: usize,
     mutation_rate: f64,
     tournament: usize,
@@ -38,8 +45,9 @@ impl GeneticAlgorithm {
             rng: ChaCha8Rng::seed_from_u64(seed),
             dims: None,
             population: Vec::new(),
-            unseeded: 0,
-            pending: None,
+            seed_asked: 0,
+            seed_reported: 0,
+            pending: VecDeque::new(),
             pop_size: DEFAULT_POPULATION,
             mutation_rate: DEFAULT_MUTATION,
             tournament: DEFAULT_TOURNAMENT,
@@ -115,37 +123,45 @@ impl SearchTechnique for GeneticAlgorithm {
             let p = dims.random_point(&mut self.rng);
             self.population.push((p, f64::INFINITY));
         }
-        self.unseeded = n;
-        self.pending = None;
+        self.seed_asked = 0;
+        self.seed_reported = 0;
+        self.pending.clear();
         self.dims = Some(dims);
     }
 
     fn get_next_point(&mut self) -> Option<Point> {
-        if self.unseeded > 0 {
-            let i = self.population.len() - self.unseeded;
-            let p = self.population[i].0.clone();
-            self.pending = Some(p.clone());
-            return Some(p);
-        }
-        let child = self.make_child();
-        self.pending = Some(child.clone());
-        Some(child)
+        let p = if self.seed_asked < self.population.len() {
+            let p = self.population[self.seed_asked].0.clone();
+            self.seed_asked += 1;
+            p
+        } else {
+            self.make_child()
+        };
+        self.pending.push_back(p.clone());
+        Some(p)
     }
 
     fn report_cost(&mut self, cost: f64) {
-        let Some(p) = self.pending.take() else {
+        let Some(p) = self.pending.pop_front() else {
             return;
         };
-        if self.unseeded > 0 {
-            let i = self.population.len() - self.unseeded;
+        if self.seed_reported < self.population.len() {
+            let i = self.seed_reported;
             self.population[i].1 = cost;
-            self.unseeded -= 1;
+            self.seed_reported += 1;
         } else {
             let w = self.worst_index();
             if cost < self.population[w].1 {
                 self.population[w] = (p, cost);
             }
         }
+    }
+
+    /// One generation may be evaluated in parallel: up to `population`
+    /// proposals outstanding at once (children bred before all seed costs
+    /// arrive select among the already-seeded members).
+    fn can_propose(&self, outstanding: usize) -> bool {
+        outstanding < self.population.len().max(1)
     }
 
     fn name(&self) -> &'static str {

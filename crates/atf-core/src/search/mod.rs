@@ -130,11 +130,25 @@ impl SpaceDims {
 
 /// The paper's generic `search_technique` interface.
 ///
-/// Contract: after [`SearchTechnique::initialize`], the tuner alternates
-/// `get_next_point` → (measure) → `report_cost`, one report per point, until
-/// the abort condition fires or `get_next_point` returns `None` (space
-/// exhausted from the technique's perspective). `finalize` is called once at
-/// the end.
+/// Contract: after [`SearchTechnique::initialize`], the tuner calls
+/// `get_next_point` → (measure) → `report_cost` until the abort condition
+/// fires or `get_next_point` returns `None` (space exhausted from the
+/// technique's perspective). `finalize` is called once at the end.
+///
+/// With parallel evaluation several proposals may be *outstanding* (handed
+/// out, cost not yet reported) at once. Two guarantees shield techniques
+/// from the resulting chaos:
+///
+/// * the driver never calls `get_next_point` with `k` proposals outstanding
+///   unless [`can_propose(k)`](SearchTechnique::can_propose) returns `true`;
+/// * costs are always reported **in proposal order** — the `i`-th
+///   `report_cost` call belongs to the `i`-th point returned by
+///   `get_next_point`, regardless of the order measurements actually
+///   finished in.
+///
+/// The default `can_propose` only allows proposing with nothing
+/// outstanding, which reproduces the strict serial alternation — existing
+/// third-party techniques keep working unchanged.
 pub trait SearchTechnique: Send {
     /// Called once before exploration with the search-space shape.
     fn initialize(&mut self, dims: SpaceDims);
@@ -146,8 +160,21 @@ pub trait SearchTechnique: Send {
     /// technique has nothing further to propose.
     fn get_next_point(&mut self) -> Option<Point>;
 
-    /// Reports the scalar cost of the most recently returned point.
+    /// Reports the scalar cost of the oldest outstanding point (costs
+    /// arrive in proposal order; see the trait docs).
     fn report_cost(&mut self, cost: f64);
+
+    /// Whether the technique can propose another point while `outstanding`
+    /// earlier proposals still await their cost reports.
+    ///
+    /// The driver consults this before every `get_next_point` call. The
+    /// default (`outstanding == 0`) keeps the serial ask/report
+    /// alternation; techniques supporting batched or speculative proposals
+    /// override it (e.g. a population technique allows a whole generation
+    /// outstanding at once).
+    fn can_propose(&self, outstanding: usize) -> bool {
+        outstanding == 0
+    }
 
     /// Technique name for logs and experiment records.
     fn name(&self) -> &'static str;
@@ -165,6 +192,9 @@ impl<T: SearchTechnique + ?Sized> SearchTechnique for Box<T> {
     }
     fn report_cost(&mut self, cost: f64) {
         (**self).report_cost(cost)
+    }
+    fn can_propose(&self, outstanding: usize) -> bool {
+        (**self).can_propose(outstanding)
     }
     fn name(&self) -> &'static str {
         (**self).name()

@@ -6,6 +6,7 @@
 use super::{Point, SearchTechnique, SpaceDims};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
 
 /// Greedy mutation of the incumbent best point.
 #[derive(Clone, Debug)]
@@ -13,7 +14,10 @@ pub struct GreedyMutation {
     rng: ChaCha8Rng,
     dims: Option<SpaceDims>,
     best: Option<(Point, f64)>,
-    pending: Option<Point>,
+    /// Proposals awaiting their cost reports, in proposal order. Several
+    /// speculative mutants of the (possibly stale) incumbent may be
+    /// outstanding at once under parallel evaluation.
+    pending: VecDeque<Point>,
     /// Mutation rate: expected fraction of coordinates perturbed per step.
     rate: f64,
     /// Non-improving steps since the incumbent last changed.
@@ -29,7 +33,7 @@ impl GreedyMutation {
             rng: ChaCha8Rng::seed_from_u64(seed),
             dims: None,
             best: None,
-            pending: None,
+            pending: VecDeque::new(),
             rate: 0.35,
             stagnation: 0,
             restart_after: 400,
@@ -82,7 +86,7 @@ impl SearchTechnique for GreedyMutation {
     fn initialize(&mut self, dims: SpaceDims) {
         self.dims = Some(dims);
         self.best = None;
-        self.pending = None;
+        self.pending.clear();
         self.stagnation = 0;
     }
 
@@ -95,12 +99,12 @@ impl SearchTechnique for GreedyMutation {
                 self.mutate(&b)
             }
         };
-        self.pending = Some(p.clone());
+        self.pending.push_back(p.clone());
         Some(p)
     }
 
     fn report_cost(&mut self, cost: f64) {
-        let Some(p) = self.pending.take() else {
+        let Some(p) = self.pending.pop_front() else {
             return;
         };
         match &self.best {
@@ -116,6 +120,12 @@ impl SearchTechnique for GreedyMutation {
                 self.stagnation = 0;
             }
         }
+    }
+
+    /// Speculative lookahead: mutants of the incumbent are independent of
+    /// each other, so any number may be outstanding at once.
+    fn can_propose(&self, _outstanding: usize) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -37,6 +37,11 @@ pub struct NelderMead {
     /// Simplex vertices and costs; `costs[i]` is `NaN` while unevaluated.
     simplex: Vec<(Vec<f64>, f64)>,
     phase: Phase,
+    /// Next vertex to *propose* during the multi-point Building/Shrink
+    /// phases; the phase's own index is the *report* cursor. Letting the
+    /// ask cursor run ahead is what allows a whole simplex to be evaluated
+    /// in parallel. Reset at each phase start.
+    ask_cursor: usize,
     /// The continuous point awaiting its cost.
     pending: Option<Vec<f64>>,
     /// Saved reflection point/cost between phases.
@@ -51,6 +56,7 @@ impl NelderMead {
             dims: None,
             simplex: Vec::new(),
             phase: Phase::Building(0),
+            ask_cursor: 0,
             pending: None,
             reflected: None,
         }
@@ -81,6 +87,7 @@ impl NelderMead {
         }
         self.simplex = simplex;
         self.phase = Phase::Building(0);
+        self.ask_cursor = 0;
         self.reflected = None;
     }
 
@@ -144,7 +151,11 @@ impl NelderMead {
 
     fn point_for(&mut self) -> Vec<f64> {
         match self.phase {
-            Phase::Building(k) | Phase::Shrink(k) => self.simplex[k].0.clone(),
+            Phase::Building(_) | Phase::Shrink(_) => {
+                let x = self.simplex[self.ask_cursor].0.clone();
+                self.ask_cursor += 1;
+                x
+            }
             _ => self.pending.clone().expect("pending point set"),
         }
     }
@@ -263,6 +274,16 @@ impl SearchTechnique for NelderMead {
         }
     }
 
+    /// Building/Shrink evaluate a whole simplex in parallel (up to one
+    /// proposal per vertex of the phase); the single-point phases
+    /// (reflect/expand/contract) stay strictly serial.
+    fn can_propose(&self, outstanding: usize) -> bool {
+        match self.phase {
+            Phase::Building(_) | Phase::Shrink(_) => self.ask_cursor < self.simplex.len(),
+            _ => outstanding == 0,
+        }
+    }
+
     fn name(&self) -> &'static str {
         "nelder-mead"
     }
@@ -279,6 +300,7 @@ impl NelderMead {
             *c = f64::NAN;
         }
         self.phase = Phase::Shrink(1);
+        self.ask_cursor = 1;
     }
 }
 

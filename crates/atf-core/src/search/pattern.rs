@@ -17,7 +17,11 @@ pub struct PatternSearch {
     steps: Vec<u64>,
     /// Probes of the current sweep, with costs filled in as reported.
     probes: Vec<(Point, f64)>,
+    /// Next probe whose *report* will be applied.
     cursor: usize,
+    /// Next probe to *propose*; runs ahead of `cursor` so a whole sweep can
+    /// be evaluated in parallel. Reset with `cursor`.
+    ask_cursor: usize,
     /// Point awaiting a cost report (centre evaluation or probe).
     awaiting_centre: bool,
     /// The not-yet-evaluated centre of a fresh (re)start.
@@ -34,6 +38,7 @@ impl PatternSearch {
             steps: Vec::new(),
             probes: Vec::new(),
             cursor: 0,
+            ask_cursor: 0,
             awaiting_centre: false,
             pending_centre: None,
         }
@@ -46,6 +51,7 @@ impl PatternSearch {
         self.centre = None;
         self.probes.clear();
         self.cursor = 0;
+        self.ask_cursor = 0;
         self.awaiting_centre = true;
         self.pending_centre = Some(c);
     }
@@ -69,6 +75,7 @@ impl PatternSearch {
         }
         self.probes = probes;
         self.cursor = 0;
+        self.ask_cursor = 0;
     }
 
     /// Ends a sweep: move to the best improving probe, or halve steps; when
@@ -122,7 +129,9 @@ impl SearchTechnique for PatternSearch {
         if self.awaiting_centre {
             return self.pending_centre.clone();
         }
-        Some(self.probes[self.cursor].0.clone())
+        let p = self.probes[self.ask_cursor].0.clone();
+        self.ask_cursor += 1;
+        Some(p)
     }
 
     fn report_cost(&mut self, cost: f64) {
@@ -140,6 +149,17 @@ impl SearchTechnique for PatternSearch {
         self.cursor += 1;
         if self.cursor == self.probes.len() {
             self.finish_sweep();
+        }
+    }
+
+    /// A sweep's probes are evaluated in parallel; the centre of a fresh
+    /// (re)start is evaluated strictly serially, since the probes depend on
+    /// its cost.
+    fn can_propose(&self, outstanding: usize) -> bool {
+        if self.awaiting_centre {
+            outstanding == 0
+        } else {
+            self.ask_cursor < self.probes.len()
         }
     }
 

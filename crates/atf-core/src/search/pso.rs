@@ -34,7 +34,12 @@ pub struct ParticleSwarm {
     dims: Option<SpaceDims>,
     swarm: Vec<Particle>,
     global_best: Option<(Vec<f64>, f64)>,
+    /// Next particle whose pending *report* will be applied (reports arrive
+    /// in proposal order).
     cursor: usize,
+    /// Next particle to *propose*; runs at most one lap ahead of `cursor`,
+    /// so a particle is never re-proposed before its velocity update.
+    ask_cursor: usize,
     inertia: f64,
     cognitive: f64,
     social: f64,
@@ -50,6 +55,7 @@ impl ParticleSwarm {
             swarm: Vec::new(),
             global_best: None,
             cursor: 0,
+            ask_cursor: 0,
             inertia: DEFAULT_INERTIA,
             cognitive: DEFAULT_COGNITIVE,
             social: DEFAULT_SOCIAL,
@@ -138,11 +144,14 @@ impl SearchTechnique for ParticleSwarm {
         self.dims = Some(dims);
         self.global_best = None;
         self.cursor = 0;
+        self.ask_cursor = 0;
     }
 
     fn get_next_point(&mut self) -> Option<Point> {
         let dims = self.dims.as_ref().expect("initialize not called");
-        Some(dims.round(&self.swarm[self.cursor].position))
+        let p = dims.round(&self.swarm[self.ask_cursor].position);
+        self.ask_cursor = (self.ask_cursor + 1) % self.swarm.len();
+        Some(p)
     }
 
     fn report_cost(&mut self, cost: f64) {
@@ -160,6 +169,12 @@ impl SearchTechnique for ParticleSwarm {
         }
         self.advance(i);
         self.cursor = (self.cursor + 1) % self.swarm.len();
+    }
+
+    /// The whole swarm may be in flight at once — but no particle is
+    /// proposed a second time before its pending report moves it.
+    fn can_propose(&self, outstanding: usize) -> bool {
+        outstanding < self.swarm.len().max(1)
     }
 
     fn name(&self) -> &'static str {

@@ -40,6 +40,12 @@ impl SearchTechnique for RandomSearch {
 
     fn report_cost(&mut self, _cost: f64) {}
 
+    /// Samples are independent of reported costs, so any number may be
+    /// outstanding at once.
+    fn can_propose(&self, _outstanding: usize) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "random"
     }

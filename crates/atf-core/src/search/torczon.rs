@@ -38,8 +38,12 @@ pub struct Torczon {
     /// Saved reflected batch while expanding.
     saved_reflection: Vec<(Vec<f64>, f64)>,
     phase: Phase,
-    /// Next index within the current batch (or simplex when building).
+    /// Next index within the current batch (or simplex when building) whose
+    /// *report* will be applied.
     cursor: usize,
+    /// Next index to *propose*; runs ahead of `cursor` so a whole phase
+    /// batch can be evaluated in parallel. Reset with `cursor`.
+    ask_cursor: usize,
 }
 
 impl Torczon {
@@ -53,6 +57,7 @@ impl Torczon {
             saved_reflection: Vec::new(),
             phase: Phase::Building,
             cursor: 0,
+            ask_cursor: 0,
         }
     }
 
@@ -74,6 +79,7 @@ impl Torczon {
         }
         self.phase = Phase::Building;
         self.cursor = 0;
+        self.ask_cursor = 0;
     }
 
     /// Transformed batch: each non-best vertex mapped through the best by
@@ -120,6 +126,7 @@ impl Torczon {
         self.batch = self.transform(-1.0);
         self.phase = Phase::Reflecting;
         self.cursor = 0;
+        self.ask_cursor = 0;
     }
 
     fn batch_min(batch: &[(Vec<f64>, f64)]) -> f64 {
@@ -134,10 +141,12 @@ impl Torczon {
         self.next_iteration();
     }
 
-    fn current_point(&self) -> Vec<f64> {
+    fn current_point(&mut self) -> Vec<f64> {
+        let k = self.ask_cursor;
+        self.ask_cursor += 1;
         match self.phase {
-            Phase::Building => self.simplex[self.cursor].0.clone(),
-            _ => self.batch[self.cursor].0.clone(),
+            Phase::Building => self.simplex[k].0.clone(),
+            _ => self.batch[k].0.clone(),
         }
     }
 }
@@ -181,11 +190,13 @@ impl SearchTechnique for Torczon {
                         self.batch = self.transform(-EXPANSION);
                         self.phase = Phase::Expanding;
                         self.cursor = 0;
+                        self.ask_cursor = 0;
                     } else {
                         // No improvement: contract toward the best vertex.
                         self.batch = self.transform(CONTRACTION);
                         self.phase = Phase::Contracting;
                         self.cursor = 0;
+                        self.ask_cursor = 0;
                     }
                 }
             }
@@ -211,6 +222,17 @@ impl SearchTechnique for Torczon {
                 }
             }
         }
+    }
+
+    /// Every phase evaluates its whole batch (the simplex when building) in
+    /// parallel: propose until the phase's batch is exhausted, then wait for
+    /// all reports before the next transformation.
+    fn can_propose(&self, _outstanding: usize) -> bool {
+        let limit = match self.phase {
+            Phase::Building => self.simplex.len(),
+            _ => self.batch.len(),
+        };
+        self.ask_cursor < limit
     }
 
     fn name(&self) -> &'static str {

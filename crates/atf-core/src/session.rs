@@ -4,8 +4,11 @@
 //!
 //! The paper's exploration loop (Section IV) is a pull/push cycle:
 //! `get_next_config` hands a configuration to the measuring side,
-//! `report_cost` feeds the measured cost back. [`TuningSession`] is exactly
-//! that cycle as a state machine:
+//! `report_cost` feeds the measured cost back. [`TuningSession`] is that
+//! cycle as a state machine, generalized to a bounded *window* of
+//! simultaneously outstanding configurations: [`next_ticket`] hands out
+//! `(ticket, config)` pairs and [`report_ticket`] accepts their outcomes in
+//! any order. The serial form stays a thin special case (window 1):
 //!
 //! ```text
 //! loop {
@@ -16,23 +19,64 @@
 //! let result = session.finish()?;
 //! ```
 //!
-//! [`Tuner::tune`](crate::tuner::Tuner::tune) is a thin in-process loop over
-//! a session; driving a session step by step produces the identical
-//! [`TuningResult`]. `next_config` is idempotent while a measurement is
-//! outstanding: asking again returns the same pending configuration, so a
-//! disconnected client can re-request its work item without corrupting the
-//! search.
+//! # Tickets and determinism
+//!
+//! Every handout carries a monotonically increasing [`Ticket`]. Reports may
+//! arrive out of ticket order (several workers, several TCP clients); the
+//! session journals them at arrival but buffers their *application* — the
+//! search technique, status, best-so-far, and circuit breaker advance
+//! strictly in ticket order. Combined with the per-technique
+//! [`can_propose`](crate::search::SearchTechnique::can_propose) gate, the
+//! entire search state is a pure function of the window size and the report
+//! *values*, never of their arrival timing — which keeps seeded parallel
+//! runs reproducible and journals replayable.
+//!
+//! A ticket is spent when handed out: asking again hands out a *new*
+//! configuration under a new ticket (the old one stays pending). A
+//! disconnected client therefore doesn't re-request its work item — the
+//! serving side re-sends the recorded `(ticket, config)` pair, or forfeits
+//! the ticket by reporting a failure on it.
+//!
+//! [`next_ticket`]: TuningSession::next_ticket
+//! [`report_ticket`]: TuningSession::report_ticket
 
 use crate::abort::{self, Abort, AbortCondition};
 use crate::config::Config;
 use crate::cost::{CostError, CostValue, FailureKind, JournalCost};
 use crate::journal::{JournalEntry, JournalHeader, JournalWriter, LoadedJournal, JOURNAL_VERSION};
 use crate::policy::EvalPolicy;
-use crate::search::{SearchTechnique, SpaceDims, PENALTY_COST};
+use crate::search::{Point, SearchTechnique, SpaceDims, PENALTY_COST};
 use crate::space::SearchSpace;
 use crate::status::TuningStatus;
 use crate::tuner::{EvalRecord, TuningError, TuningResult};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::path::Path;
+
+/// Identifier of one handed-out configuration. Tickets are handed out as
+/// 1, 2, 3, … — the ticket of the `n`-th handout is `n`.
+pub type Ticket = u64;
+
+/// Result of asking the session for another configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Handout {
+    /// A configuration to measure, identified by its ticket.
+    Next(Ticket, Config),
+    /// Nothing to hand out *right now*: the window is full or the technique
+    /// needs outstanding reports before proposing again. Report a pending
+    /// ticket, then ask again.
+    Wait,
+    /// Exploration is over (abort condition fired or technique exhausted);
+    /// no further configuration will ever be handed out.
+    Done,
+}
+
+/// One handed-out configuration awaiting application of its report.
+struct PendingEval {
+    ticket: Ticket,
+    point: Point,
+    config: Config,
+}
 
 /// An attached run journal: the writer plus the cost encoder captured when
 /// the journal was attached (which is the only place the `C: JournalCost`
@@ -54,11 +98,21 @@ pub struct TuningSession<C: CostValue = f64> {
     best_scalar: f64,
     record_history: bool,
     history: Vec<EvalRecord>,
-    /// The configuration handed out by `next_config` whose cost has not
-    /// been reported yet (point coordinates + materialized config).
-    pending: Option<(crate::search::Point, Config)>,
+    /// Handed-out configurations whose reports have not been *applied* yet,
+    /// in ticket order (front = next to apply). A ticket stays here from
+    /// handout until its report is applied; its reported outcome waits in
+    /// `buffered` in between.
+    pending: VecDeque<PendingEval>,
+    /// Reported outcomes awaiting in-ticket-order application.
+    buffered: BTreeMap<Ticket, Result<C, CostError>>,
+    /// The ticket the next handout will carry.
+    next_ticket_id: Ticket,
+    /// Maximum number of simultaneously pending configurations (window).
+    max_pending: usize,
+    /// Reports that have arrived (1-based journal numbering, arrival order).
+    arrivals: u64,
     /// Set once the technique is exhausted or the abort condition fired;
-    /// `next_config` returns `None` from then on.
+    /// `next_ticket` returns [`Handout::Done`] from then on.
     done: bool,
     /// Circuit breaker: abort after this many consecutive failures.
     max_consecutive_failures: Option<u32>,
@@ -73,7 +127,8 @@ pub struct TuningSession<C: CostValue = f64> {
 
 impl<C: CostValue> TuningSession<C> {
     /// Opens a session over `space` driven by `technique`, with the paper's
-    /// default abort condition `evaluations(S)`.
+    /// default abort condition `evaluations(S)` and a pending window of 1
+    /// (strictly serial handouts).
     ///
     /// Fails with [`TuningError::EmptySearchSpace`] when the space holds no
     /// valid configuration.
@@ -96,7 +151,11 @@ impl<C: CostValue> TuningSession<C> {
             best_scalar: f64::INFINITY,
             record_history: false,
             history: Vec::new(),
-            pending: None,
+            pending: VecDeque::new(),
+            buffered: BTreeMap::new(),
+            next_ticket_id: 1,
+            max_pending: 1,
+            arrivals: 0,
             done: false,
             max_consecutive_failures: None,
             broken: None,
@@ -111,6 +170,21 @@ impl<C: CostValue> TuningSession<C> {
         self
     }
 
+    /// Sets the maximum number of simultaneously pending configurations
+    /// (builder-style; clamped to ≥ 1). With `k > 1` the session hands out
+    /// up to `k` tickets before requiring a report — the enabling half of
+    /// parallel evaluation.
+    pub fn max_pending(mut self, k: usize) -> Self {
+        self.max_pending = k.max(1);
+        self
+    }
+
+    /// The session's pending window (maximum simultaneously outstanding
+    /// configurations).
+    pub fn window(&self) -> usize {
+        self.max_pending
+    }
+
     /// Enables per-evaluation history recording (builder-style).
     pub fn record_history(mut self, on: bool) -> Self {
         self.record_history = on;
@@ -120,7 +194,9 @@ impl<C: CostValue> TuningSession<C> {
     /// Arms the circuit breaker (builder-style): after `consecutive_failures`
     /// failed evaluations in a row the session stops handing out
     /// configurations and [`finish`](Self::finish) returns
-    /// [`TuningError::CircuitBroken`].
+    /// [`TuningError::CircuitBroken`]. Failures are counted in ticket order
+    /// across all workers, so the breaker behaves identically under
+    /// parallel evaluation.
     pub fn circuit_breaker(mut self, consecutive_failures: u32) -> Self {
         self.max_consecutive_failures = Some(consecutive_failures.max(1));
         self
@@ -136,52 +212,113 @@ impl<C: CostValue> TuningSession<C> {
         self
     }
 
-    /// The next configuration to measure, or `None` when exploration is
-    /// over (abort condition fired or the technique is exhausted).
+    /// Asks for the next configuration to measure.
     ///
-    /// Idempotent while a measurement is outstanding: calling again before
-    /// [`report`](Self::report) returns the same configuration.
-    pub fn next_config(&mut self) -> Option<Config> {
-        if let Some((_, config)) = &self.pending {
-            return Some(config.clone());
+    /// Returns [`Handout::Next`] with a fresh ticket while the window has
+    /// room and the technique can propose; [`Handout::Wait`] when a report
+    /// on an earlier ticket must land first; [`Handout::Done`] once
+    /// exploration is over.
+    pub fn next_ticket(&mut self) -> Handout {
+        loop {
+            if self.done {
+                // No further proposals can happen: applying every
+                // contiguous buffered report now is safe and keeps
+                // status()/best() fresh for finish().
+                self.drain_ready();
+                return Handout::Done;
+            }
+            // Project in-flight handouts as already-spent evaluations, so a
+            // budget abort admits exactly its budget of tickets. At the ask
+            // for ticket t the projection is t-1, making the check
+            // independent of report arrival timing.
+            let projected = self.status.projecting(self.pending.len() as u64);
+            if self.abort.should_stop(&projected) {
+                self.done = true;
+                continue;
+            }
+            let outstanding = self.pending.len();
+            if outstanding < self.max_pending && self.technique.can_propose(outstanding) {
+                let Some(point) = self.technique.get_next_point() else {
+                    self.done = true; // technique exhausted
+                    continue;
+                };
+                let config = self.space.get_by_coords(&point);
+                let ticket = self.next_ticket_id;
+                self.next_ticket_id += 1;
+                self.pending.push_back(PendingEval {
+                    ticket,
+                    point,
+                    config: config.clone(),
+                });
+                return Handout::Next(ticket, config);
+            }
+            // Can't propose: apply one buffered report (in ticket order) if
+            // available and retry, otherwise the caller must wait.
+            if self.front_ready() {
+                self.apply_front();
+                continue;
+            }
+            return Handout::Wait;
         }
-        if self.done {
-            return None;
-        }
-        if self.abort.should_stop(&self.status) {
-            self.done = true;
-            return None;
-        }
-        let Some(point) = self.technique.get_next_point() else {
-            self.done = true; // technique exhausted (e.g. exhaustive search done)
-            return None;
-        };
-        let config = self.space.get_by_coords(&point);
-        self.pending = Some((point, config.clone()));
-        Some(config)
     }
 
-    /// Reports the measured cost (or measurement failure) of the pending
-    /// configuration.
+    /// Hands out up to `k` configurations at once (stops early at
+    /// [`Handout::Wait`]/[`Handout::Done`]). May return fewer than `k` —
+    /// or none — when the window or the technique limits the batch.
+    pub fn next_config_batch(&mut self, k: usize) -> Vec<(Ticket, Config)> {
+        let mut out = Vec::new();
+        for _ in 0..k {
+            match self.next_ticket() {
+                Handout::Next(t, c) => out.push((t, c)),
+                Handout::Wait | Handout::Done => break,
+            }
+        }
+        out
+    }
+
+    /// The next configuration to measure, or `None` when no handout is
+    /// available (window full, technique waiting, or exploration over).
     ///
-    /// Fails with [`TuningError::NoPendingConfiguration`] when no
-    /// configuration is awaiting a report.
-    pub fn report(&mut self, outcome: Result<C, CostError>) -> Result<(), TuningError> {
-        let (point, config) = self
-            .pending
-            .take()
-            .ok_or(TuningError::NoPendingConfiguration)?;
-        let valid = outcome.is_ok();
-        let failure = outcome.as_ref().err().map(|e| e.kind());
-        // Write-ahead: the outcome reaches the journal before the session
-        // state advances, so a crash never loses an applied evaluation.
+    /// Serial convenience over [`next_ticket`](Self::next_ticket): each call
+    /// hands out a *new* ticket. With the default window of 1 this is the
+    /// classic strict alternation with [`report`](Self::report).
+    pub fn next_config(&mut self) -> Option<Config> {
+        match self.next_ticket() {
+            Handout::Next(_, config) => Some(config),
+            Handout::Wait | Handout::Done => None,
+        }
+    }
+
+    /// Reports the measured outcome of ticket `t`.
+    ///
+    /// Accepts reports in any order; each is journaled at arrival and
+    /// applied to the search state in ticket order. Fails with
+    /// [`TuningError::UnknownTicket`] when `t` was never handed out, was
+    /// already reported, or was already applied.
+    pub fn report_ticket(
+        &mut self,
+        ticket: Ticket,
+        outcome: Result<C, CostError>,
+    ) -> Result<(), TuningError> {
+        let Some(pe) = self.pending.iter().find(|p| p.ticket == ticket) else {
+            return Err(TuningError::UnknownTicket { ticket });
+        };
+        if self.buffered.contains_key(&ticket) {
+            return Err(TuningError::UnknownTicket { ticket });
+        }
+        self.arrivals += 1;
+        // Write-ahead at *arrival*: the outcome reaches the journal before
+        // any session state advances, so a crash never loses an applied
+        // evaluation. Entries are in arrival order; `ticket` identifies the
+        // handout for replay.
         if !self.replaying {
             if let Some(journal) = &mut self.journal {
                 let entry = JournalEntry {
-                    evaluation: self.status.evaluations() + 1,
-                    point: point.clone(),
+                    evaluation: self.arrivals,
+                    ticket: Some(ticket),
+                    point: pe.point.clone(),
                     costs: outcome.as_ref().ok().map(|c| (journal.encode)(c)),
-                    failure: failure.map(|k| k.label().to_string()),
+                    failure: outcome.as_ref().err().map(|e| e.kind().label().to_string()),
                 };
                 journal
                     .writer
@@ -189,6 +326,63 @@ impl<C: CostValue> TuningSession<C> {
                     .map_err(|e| TuningError::Journal(e.to_string()))?;
             }
         }
+        self.buffered.insert(ticket, outcome);
+        if self.done {
+            self.drain_ready();
+        } else {
+            // Bounded eager application: catch up while at least a full
+            // window is outstanding. This keeps `status()` fresh after
+            // every serial report (window 1 applies immediately) without
+            // making the technique's view depend on arrival timing — the
+            // stopping point is a function of handout/apply counts only.
+            while self.pending.len() >= self.max_pending && self.front_ready() {
+                self.apply_front();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reports the measured cost (or measurement failure) of the *oldest
+    /// unreported* ticket — the serial convenience over
+    /// [`report_ticket`](Self::report_ticket).
+    ///
+    /// Fails with [`TuningError::NoPendingConfiguration`] when no
+    /// configuration is awaiting a report.
+    pub fn report(&mut self, outcome: Result<C, CostError>) -> Result<(), TuningError> {
+        let ticket = self
+            .oldest_in_flight()
+            .ok_or(TuningError::NoPendingConfiguration)?;
+        self.report_ticket(ticket, outcome)
+    }
+
+    /// Convenience for scalar reporting: `Some(cost)` for a successful
+    /// measurement, `None` for a failed one.
+    pub fn report_cost(&mut self, cost: Option<C>) -> Result<(), TuningError> {
+        self.report(cost.ok_or(CostError::RunFailed("measurement failed".into())))
+    }
+
+    /// `true` when the front pending ticket's report has arrived.
+    fn front_ready(&self) -> bool {
+        self.pending
+            .front()
+            .is_some_and(|pe| self.buffered.contains_key(&pe.ticket))
+    }
+
+    /// Applies every contiguous buffered report (used once `done`: with no
+    /// future proposals possible, application order constraints are moot).
+    fn drain_ready(&mut self) {
+        while self.front_ready() {
+            self.apply_front();
+        }
+    }
+
+    /// Applies the front pending ticket's buffered report to the technique,
+    /// status, best-so-far, history, and circuit breaker.
+    fn apply_front(&mut self) {
+        let pe = self.pending.pop_front().expect("front pending");
+        let outcome = self.buffered.remove(&pe.ticket).expect("front buffered");
+        let valid = outcome.is_ok();
+        let failure = outcome.as_ref().err().map(|e| e.kind());
         self.status.record_evaluation(valid);
         if let Some(kind) = failure {
             self.status.record_failure_kind(kind);
@@ -200,7 +394,7 @@ impl<C: CostValue> TuningSession<C> {
         if self.record_history {
             self.history.push(EvalRecord {
                 evaluation: self.status.evaluations(),
-                point,
+                point: pe.point,
                 scalar_cost: scalar,
                 valid,
                 failure,
@@ -213,7 +407,7 @@ impl<C: CostValue> TuningSession<C> {
                 Some((_, bc)) => c.partial_cmp(bc).is_some_and(|o| o.is_lt()),
             };
             if improves {
-                self.best = Some((config, c));
+                self.best = Some((pe.config, c));
                 if scalar < self.best_scalar {
                     self.best_scalar = scalar;
                     self.status.record_improvement(scalar);
@@ -227,32 +421,70 @@ impl<C: CostValue> TuningSession<C> {
                 self.broken = Some(kind);
             }
         }
-        Ok(())
     }
 
-    /// Convenience for scalar reporting: `Some(cost)` for a successful
-    /// measurement, `None` for a failed one.
-    pub fn report_cost(&mut self, cost: Option<C>) -> Result<(), TuningError> {
-        self.report(cost.ok_or(CostError::RunFailed("measurement failed".into())))
-    }
-
-    /// `true` once exploration is over ([`next_config`](Self::next_config)
-    /// will return `None` and nothing is pending).
+    /// `true` once exploration is over: no further handout will happen and
+    /// no ticket is pending.
     pub fn is_done(&self) -> bool {
-        self.done && self.pending.is_none()
+        self.done && self.pending.is_empty()
     }
 
-    /// `true` while a handed-out configuration awaits its cost report.
+    /// `true` while at least one handed-out configuration awaits its
+    /// report's application.
     pub fn has_pending(&self) -> bool {
-        self.pending.is_some()
+        !self.pending.is_empty()
     }
 
-    /// The configuration currently awaiting a report, if any.
+    /// Tickets handed out so far.
+    pub fn tickets_issued(&self) -> u64 {
+        self.next_ticket_id - 1
+    }
+
+    /// Tickets handed out whose reports have not been applied yet
+    /// (reported-but-buffered tickets count as in flight).
+    pub fn tickets_in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Tickets whose reports arrived but have not been applied yet.
+    pub fn tickets_buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Tickets handed out but not yet reported, oldest first. After a
+    /// resume these can be nonempty before any new handout: the journal
+    /// prefix proves the dead process held them, but their reports never
+    /// arrived — whoever drives the session must evaluate them.
+    pub fn unreported_tickets(&self) -> impl Iterator<Item = Ticket> + '_ {
+        self.pending
+            .iter()
+            .map(|p| p.ticket)
+            .filter(|t| !self.buffered.contains_key(t))
+    }
+
+    /// The oldest ticket that has not been reported yet, if any — the
+    /// ticket the serial [`report`](Self::report) would target.
+    pub fn oldest_in_flight(&self) -> Option<Ticket> {
+        self.unreported_tickets().next()
+    }
+
+    /// The configuration of pending ticket `t`, if it is still pending.
+    pub fn pending_config_for(&self, ticket: Ticket) -> Option<&Config> {
+        self.pending
+            .iter()
+            .find(|p| p.ticket == ticket)
+            .map(|p| &p.config)
+    }
+
+    /// The oldest unreported configuration, if any (serial convenience).
     pub fn pending_config(&self) -> Option<&Config> {
-        self.pending.as_ref().map(|(_, c)| c)
+        let t = self.oldest_in_flight()?;
+        self.pending_config_for(t)
     }
 
     /// Live progress bookkeeping (evaluations, improvements, elapsed).
+    /// Counts *applied* reports; reported-but-buffered tickets are not yet
+    /// included.
     pub fn status(&self) -> &TuningStatus {
         &self.status
     }
@@ -284,6 +516,7 @@ impl<C: CostValue> TuningSession<C> {
             version: JOURNAL_VERSION,
             technique: self.technique.name().to_string(),
             space_size: self.space.len().to_string(),
+            window: self.max_pending,
         }
     }
 
@@ -305,10 +538,14 @@ impl<C: CostValue> TuningSession<C> {
         Ok(self)
     }
 
-    /// Replays journal `entries` into this freshly opened session: each
-    /// entry's point must match what the technique hands out (same spec,
-    /// technique, and seed), and its recorded outcome is reported back.
-    /// Returns the number of evaluations replayed.
+    /// Replays journal `entries` into this freshly opened session: tickets
+    /// are handed out in order until each entry's ticket is issued, the
+    /// issued point must match the entry (same spec, technique, seed, and
+    /// window), and the recorded outcome is reported back under its ticket.
+    /// Entries may be in any arrival order — every report that influenced a
+    /// handout appears earlier in the journal than that handout's entry, so
+    /// in-order replay always has what it needs. Returns the number of
+    /// entries replayed.
     ///
     /// Nothing is written to the attached journal during replay.
     pub fn resume_from(&mut self, entries: &[JournalEntry]) -> Result<u64, TuningError>
@@ -318,27 +555,46 @@ impl<C: CostValue> TuningSession<C> {
         self.replaying = true;
         let result = self.replay_entries(entries);
         self.replaying = false;
-        result?;
-        Ok(self.status.evaluations())
+        result
     }
 
-    fn replay_entries(&mut self, entries: &[JournalEntry]) -> Result<(), TuningError>
+    fn replay_entries(&mut self, entries: &[JournalEntry]) -> Result<u64, TuningError>
     where
         C: JournalCost,
     {
-        for entry in entries {
-            if self.next_config().is_none() {
-                // Abort condition or circuit breaker reproduced mid-replay:
-                // the journal's tail was written past the stopping point of
-                // an equivalent run, which cannot happen for our own
-                // journals — stop where the session stops.
-                break;
+        let mut replayed = 0u64;
+        'entries: for entry in entries {
+            // Version-1 journals were strictly serial: the ticket is the
+            // evaluation number.
+            let ticket = entry.ticket.unwrap_or(entry.evaluation);
+            // Hand out tickets until the entry's ticket has been issued.
+            while self.next_ticket_id <= ticket {
+                match self.next_ticket() {
+                    Handout::Next(..) => {}
+                    // Abort condition or circuit breaker reproduced
+                    // mid-replay: the journal's tail was written past the
+                    // stopping point of an equivalent run, which cannot
+                    // happen for our own journals — stop where the session
+                    // stops.
+                    Handout::Done => break 'entries,
+                    // The session refuses to issue the ticket within its
+                    // window: the journal was written with a different
+                    // (larger) window.
+                    Handout::Wait => {
+                        return Err(TuningError::Journal(format!(
+                            "journal entry {} reports ticket {ticket}, which does not fit \
+                             the session's pending window of {}",
+                            entry.evaluation, self.max_pending
+                        )));
+                    }
+                }
             }
-            let matches = self
-                .pending
-                .as_ref()
-                .is_some_and(|(point, _)| *point == entry.point);
-            if !matches {
+            let Some(pe) = self.pending.iter().find(|p| p.ticket == ticket) else {
+                return Err(TuningError::JournalDiverged {
+                    evaluation: entry.evaluation,
+                });
+            };
+            if pe.point != entry.point {
                 return Err(TuningError::JournalDiverged {
                     evaluation: entry.evaluation,
                 });
@@ -358,16 +614,18 @@ impl<C: CostValue> TuningSession<C> {
                     )))
                 }
             };
-            self.report(outcome)?;
+            self.report_ticket(ticket, outcome)?;
+            replayed += 1;
         }
-        Ok(())
+        Ok(replayed)
     }
 
     /// Resumes this freshly opened session from the journal at `path`:
     /// validates the header against the session's technique and space,
-    /// replays every intact entry, and re-attaches a writer appending
-    /// subsequent outcomes to the same file. Returns the number of
-    /// evaluations replayed.
+    /// adopts the journal's pending window (replay must hand out tickets
+    /// exactly as the original run did), replays every intact entry, and
+    /// re-attaches a writer appending subsequent outcomes to the same file.
+    /// Returns the number of entries replayed.
     pub fn resume_from_journal(&mut self, path: impl AsRef<Path>) -> Result<u64, TuningError>
     where
         C: JournalCost,
@@ -377,6 +635,7 @@ impl<C: CostValue> TuningSession<C> {
         loaded
             .check_matches(self.technique.name(), self.space.len())
             .map_err(|e| TuningError::Journal(e.to_string()))?;
+        self.max_pending = loaded.header.window.max(1);
         let replayed = self.resume_from(&loaded.entries)?;
         let writer = JournalWriter::append_to(path.as_ref())
             .map_err(|e| TuningError::Journal(e.to_string()))?;
@@ -406,6 +665,9 @@ impl<C: CostValue> TuningSession<C> {
         Box<dyn SearchTechnique>,
         Abort,
     ) {
+        // Apply the maximal contiguous prefix of buffered reports; tickets
+        // behind an unreported gap were never measured and are dropped.
+        self.drain_ready();
         self.technique.finalize();
         if let Some(journal) = &mut self.journal {
             let _ = journal.writer.sync();
@@ -447,7 +709,8 @@ impl<C: CostValue> std::fmt::Debug for TuningSession<C> {
             .field("technique", &self.technique.name())
             .field("evaluations", &self.status.evaluations())
             .field("best_scalar", &self.best_scalar)
-            .field("pending", &self.pending.is_some())
+            .field("window", &self.max_pending)
+            .field("pending", &self.pending.len())
             .field("done", &self.done)
             .finish()
     }
@@ -486,17 +749,103 @@ mod tests {
     }
 
     #[test]
-    fn next_config_is_idempotent_while_pending() {
+    fn tickets_identify_each_handout() {
+        // Each ask hands out a fresh ticket; with a window > 1 several
+        // distinct configurations are pending at once, and reporting by
+        // ticket retires exactly that handout.
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(8), Box::new(Exhaustive::new()))
+                .unwrap()
+                .max_pending(3);
+        let Handout::Next(t1, c1) = s.next_ticket() else {
+            panic!("first handout")
+        };
+        let Handout::Next(t2, c2) = s.next_ticket() else {
+            panic!("second handout")
+        };
+        assert_eq!((t1, t2), (1, 2));
+        assert_ne!(c1, c2, "each ticket carries a distinct configuration");
+        assert_eq!(s.tickets_in_flight(), 2);
+        assert_eq!(s.pending_config_for(t1), Some(&c1));
+        assert_eq!(s.pending_config_for(t2), Some(&c2));
+        // Out-of-order report: t2 first. It buffers (t1 not applied yet)…
+        s.report_ticket(t2, Ok(2.0)).unwrap();
+        assert_eq!(s.tickets_buffered(), 1);
+        // …and re-reporting either spent ticket is rejected.
+        assert_eq!(
+            s.report_ticket(t2, Ok(9.0)).unwrap_err(),
+            TuningError::UnknownTicket { ticket: t2 }
+        );
+        s.report_ticket(t1, Ok(1.0)).unwrap();
+        assert_eq!(
+            s.report_ticket(99, Ok(1.0)).unwrap_err(),
+            TuningError::UnknownTicket { ticket: 99 }
+        );
+        // Application is deferred while the window has slack (it advances
+        // only at points fixed by handout counts, never arrival timing), so
+        // both reports are still buffered…
+        assert_eq!(s.oldest_in_flight(), None);
+        assert_eq!(s.tickets_buffered(), 2);
+        assert_eq!(s.status().evaluations(), 0);
+        // …until finish() drains them, in ticket order.
+        let r = s.finish().unwrap();
+        assert_eq!(r.evaluations, 2);
+        assert_eq!(r.best_cost, 1.0);
+    }
+
+    #[test]
+    fn window_bounds_simultaneous_handouts() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .max_pending(4);
+        let batch = s.next_config_batch(16);
+        assert_eq!(batch.len(), 4, "window caps the batch");
+        assert_eq!(s.next_ticket(), Handout::Wait);
+        // Retiring one ticket frees one window slot.
+        let (t, _) = batch[0].clone();
+        s.report_ticket(t, Ok(1.0)).unwrap();
+        assert!(matches!(s.next_ticket(), Handout::Next(..)));
+    }
+
+    #[test]
+    fn serial_window_applies_reports_immediately() {
+        // With the default window of 1 a report is applied before
+        // `report` returns, so `status()` is fresh — the contract every
+        // serial driver in this crate relies on.
         let mut s: TuningSession<f64> =
             TuningSession::new(saxpy_space(8), Box::new(Exhaustive::new())).unwrap();
         let a = s.next_config().unwrap();
-        let b = s.next_config().unwrap();
-        assert_eq!(a, b);
         assert!(s.has_pending());
+        // A second ask while one ticket is pending must not hand out more
+        // work within a window of 1.
+        assert_eq!(s.next_ticket(), Handout::Wait);
         s.report(Ok(1.0)).unwrap();
         assert!(!s.has_pending());
+        assert_eq!(s.status().evaluations(), 1);
         let c = s.next_config().unwrap();
         assert_ne!(a, c, "after a report, the next configuration advances");
+    }
+
+    #[test]
+    fn out_of_order_reports_apply_in_ticket_order() {
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .record_history(true)
+                .max_pending(3);
+        let batch = s.next_config_batch(3);
+        let tickets: Vec<_> = batch.iter().map(|(t, _)| *t).collect();
+        // Report newest-first; history must still be in ticket order.
+        for (&t, cost) in tickets.iter().rev().zip([30.0, 20.0, 10.0]) {
+            s.report_ticket(t, Ok(cost)).unwrap();
+        }
+        while s.next_config().is_some() {
+            s.report(Ok(99.0)).unwrap();
+        }
+        let r = s.finish().unwrap();
+        let first_three: Vec<f64> = r.history[..3].iter().map(|h| h.scalar_cost).collect();
+        assert_eq!(first_three, vec![10.0, 20.0, 30.0]);
     }
 
     #[test]
@@ -544,6 +893,35 @@ mod tests {
         }
         assert_eq!(n, 5);
         assert!(s.is_done());
+    }
+
+    #[test]
+    fn abort_budget_counts_in_flight_tickets() {
+        // A budget of 5 with a window of 4 must hand out exactly 5 tickets,
+        // not 5 + the window.
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(4096), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(5))
+                .max_pending(4);
+        let mut handed = Vec::new();
+        loop {
+            match s.next_ticket() {
+                Handout::Next(t, _) => handed.push(t),
+                Handout::Wait => {
+                    let t = s.oldest_in_flight().unwrap();
+                    s.report_ticket(t, Ok(1.0)).unwrap();
+                }
+                Handout::Done => break,
+            }
+        }
+        // Drain the tail.
+        while let Some(t) = s.oldest_in_flight() {
+            s.report_ticket(t, Ok(1.0)).unwrap();
+        }
+        assert_eq!(handed.len(), 5);
+        assert!(s.is_done());
+        assert_eq!(s.status().evaluations(), 5);
     }
 
     #[test]
@@ -695,6 +1073,55 @@ mod tests {
                 .collect::<Vec<_>>(),
             (1..=10).collect::<Vec<_>>()
         );
+        assert_eq!(
+            loaded
+                .entries
+                .iter()
+                .map(|e| e.ticket.unwrap())
+                .collect::<Vec<_>>(),
+            (1..=10).collect::<Vec<_>>(),
+            "serial runs hand out tickets in evaluation order"
+        );
+    }
+
+    #[test]
+    fn multi_pending_journal_replays_out_of_order_arrivals() {
+        let path = journal_path("ooo");
+        let drive = |s: &mut TuningSession<f64>| {
+            // Hand out in batches of 3 and report each batch newest-first,
+            // so the journal's arrival order differs from ticket order.
+            loop {
+                let batch = s.next_config_batch(3);
+                if batch.is_empty() {
+                    break;
+                }
+                for (t, cfg) in batch.iter().rev() {
+                    s.report_ticket(*t, measure(cfg)).unwrap();
+                }
+            }
+        };
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .max_pending(3)
+                .abort_condition(abort::evaluations(12))
+                .journal_to(&path)
+                .unwrap();
+        drive(&mut s);
+        let reference = s.finish().unwrap();
+
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(12));
+        let replayed = s.resume_from_journal(&path).unwrap();
+        assert_eq!(replayed, 12);
+        assert_eq!(s.window(), 3, "window adopted from the journal header");
+        drive(&mut s);
+        let resumed = s.finish().unwrap();
+        assert_eq!(resumed.best_config, reference.best_config);
+        assert_eq!(resumed.evaluations, reference.evaluations);
+        assert_eq!(resumed.failed_evaluations, reference.failed_evaluations);
     }
 
     #[test]

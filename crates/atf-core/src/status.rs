@@ -158,6 +158,17 @@ impl TuningStatus {
         self.improvements.push(imp);
     }
 
+    /// A copy of this status with `in_flight` additional evaluations counted
+    /// as already performed. Abort conditions are checked against this
+    /// projection before handing out another configuration under parallel
+    /// evaluation, so a budget of N evaluations issues exactly N tickets
+    /// instead of overshooting by the window size.
+    pub fn projecting(&self, in_flight: u64) -> TuningStatus {
+        let mut s = self.clone();
+        s.evaluations += in_flight;
+        s
+    }
+
     /// Overrides the elapsed clock — for deterministic tests of time-based
     /// abort conditions only.
     #[doc(hidden)]

@@ -33,6 +33,12 @@ pub enum TuningError {
     /// A cost was reported to a [`crate::session::TuningSession`] that has
     /// no configuration awaiting measurement.
     NoPendingConfiguration,
+    /// A cost was reported under a ticket that was never handed out, or
+    /// whose outcome was already reported.
+    UnknownTicket {
+        /// The offending ticket.
+        ticket: u64,
+    },
     /// The circuit breaker tripped: too many consecutive failed
     /// evaluations — the measurement side is broken, not merely unlucky.
     CircuitBroken {
@@ -64,6 +70,11 @@ impl fmt::Display for TuningError {
             TuningError::NoPendingConfiguration => {
                 write!(f, "no configuration is awaiting a cost report")
             }
+            TuningError::UnknownTicket { ticket } => write!(
+                f,
+                "ticket {ticket} is not awaiting a cost report (never handed out, or \
+                 already reported)"
+            ),
             TuningError::CircuitBroken {
                 consecutive_failures,
                 last_failure,
@@ -251,6 +262,74 @@ impl Tuner {
                 .report(outcome)
                 .expect("a configuration is pending by construction");
         }
+
+        let (result, technique, abort) = session.finish_parts();
+        self.technique = technique;
+        if restore_abort {
+            self.abort = Some(abort);
+        }
+        result
+    }
+
+    /// Generates the valid space for `groups` and explores it with
+    /// `workers` evaluation threads.
+    ///
+    /// `make_cost_function` builds one private cost-function instance per
+    /// worker (called with the worker index 0..workers) — evaluation takes
+    /// `&mut self`, and a process-spawning cost function holds per-run
+    /// scratch state that must not be shared.
+    ///
+    /// The session hands out up to `workers` simultaneously pending
+    /// configurations and applies reports in ticket order, so for a seeded
+    /// technique the search trajectory is reproducible across runs and
+    /// `tune_parallel` with `workers == 1` equals [`tune`](Self::tune)
+    /// exactly (see the [`crate::session`] module docs).
+    pub fn tune_parallel<CF>(
+        mut self,
+        groups: &[ParamGroup],
+        make_cost_function: impl FnMut(usize) -> CF,
+        workers: usize,
+    ) -> Result<TuningResult<CF::Cost>, TuningError>
+    where
+        CF: CostFunction + Send,
+    {
+        let space = if self.parallel_generation {
+            SearchSpace::generate_parallel(groups)
+        } else {
+            SearchSpace::generate(groups)
+        };
+        self.tune_space_parallel(&space, make_cost_function, workers)
+    }
+
+    /// Explores an already-generated search space with `workers` evaluation
+    /// threads (see [`tune_parallel`](Self::tune_parallel)).
+    pub fn tune_space_parallel<CF>(
+        &mut self,
+        space: &SearchSpace,
+        mut make_cost_function: impl FnMut(usize) -> CF,
+        workers: usize,
+    ) -> Result<TuningResult<CF::Cost>, TuningError>
+    where
+        CF: CostFunction + Send,
+    {
+        if space.is_empty() {
+            return Err(TuningError::EmptySearchSpace);
+        }
+        let workers = workers.max(1);
+        let technique = std::mem::replace(
+            &mut self.technique,
+            Box::new(crate::search::Exhaustive::new()),
+        );
+        let mut session = TuningSession::<CF::Cost>::new(space.clone(), technique)?
+            .max_pending(workers)
+            .record_history(self.record_history);
+        let restore_abort = self.abort.is_some();
+        if let Some(a) = self.abort.take() {
+            session = session.abort_condition(a);
+        }
+
+        let cost_functions: Vec<CF> = (0..workers).map(&mut make_cost_function).collect();
+        crate::parallel::drive_session(&mut session, cost_functions);
 
         let (result, technique, abort) = session.finish_parts();
         self.technique = technique;

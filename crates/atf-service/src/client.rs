@@ -121,6 +121,10 @@ pub struct SessionSpec {
     /// Circuit-breaker threshold: abort the session after this many
     /// consecutive failed evaluations.
     pub breaker: Option<u32>,
+    /// Maximum number of simultaneously pending configurations (default 1).
+    /// Raise it so several clients can pull distinct configurations from
+    /// this session concurrently (see [`Client::next_ticket`]).
+    pub max_pending: Option<u64>,
 }
 
 impl SessionSpec {
@@ -135,6 +139,18 @@ impl SessionSpec {
 
 /// A wire-level tuning configuration, as served by `next`.
 pub type WireConfig = BTreeMap<String, u64>;
+
+/// Outcome of a ticketed `next` request (see [`Client::next_ticket`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireHandout {
+    /// A configuration to measure; echo the ticket in the report.
+    Next(u64, WireConfig),
+    /// Nothing available *right now* — every window slot is handed out to
+    /// some client. Ask again shortly.
+    Retry,
+    /// The session has no more configurations.
+    Done,
+}
 
 /// A protocol client over any [`Transport`].
 pub struct Client<T: Transport> {
@@ -204,6 +220,7 @@ impl<T: Transport> Client<T> {
         req.abort = spec.abort.clone();
         req.resume = spec.resume.then_some(true);
         req.breaker = spec.breaker;
+        req.max_pending = spec.max_pending;
         let resp = self.request(&req)?;
         let session = resp
             .session
@@ -224,10 +241,46 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// The next configuration with its ticket — the multi-client form of
+    /// [`next`](Self::next). Several clients can hold distinct tickets of
+    /// one session (opened with a `max_pending` window) at the same time;
+    /// each reports under its own ticket via
+    /// [`report_ticket`](Self::report_ticket).
+    pub fn next_ticket(&mut self, session: &str) -> Result<WireHandout, ClientError> {
+        let resp = self.request(&Request::new("next").with_session(session))?;
+        if resp.done == Some(true) {
+            return Ok(WireHandout::Done);
+        }
+        if resp.retry == Some(true) {
+            return Ok(WireHandout::Retry);
+        }
+        match (resp.ticket, resp.config) {
+            (Some(ticket), Some(config)) => Ok(WireHandout::Next(ticket, config)),
+            _ => Err(ClientError::Protocol(
+                "next reply with neither config nor done".to_string(),
+            )),
+        }
+    }
+
     /// Reports the measured cost for the pending configuration (`None` =
     /// the measurement failed).
     pub fn report(&mut self, session: &str, cost: Option<f64>) -> Result<Response, ClientError> {
         let mut req = Request::new("report").with_session(session);
+        req.cost = cost;
+        req.valid = Some(cost.is_some());
+        self.request(&req)
+    }
+
+    /// Reports the measured cost of one ticket (`None` = the measurement
+    /// failed) — the multi-client form of [`report`](Self::report).
+    pub fn report_ticket(
+        &mut self,
+        session: &str,
+        ticket: u64,
+        cost: Option<f64>,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::new("report").with_session(session);
+        req.ticket = Some(ticket);
         req.cost = cost;
         req.valid = Some(cost.is_some());
         self.request(&req)
@@ -366,6 +419,42 @@ mod tests {
             ClientError::Remote { code, .. } => assert_eq!(code, codes::UNKNOWN_SESSION),
             other => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_session() {
+        // Three clients (threads) pull tickets from one window-3 session;
+        // the merged result equals a serial exhaustive run.
+        let manager = Arc::new(SessionManager::in_memory());
+        let mut opener = Client::loopback(Arc::clone(&manager));
+        let mut spec = toy_spec("shared");
+        spec.max_pending = Some(3);
+        let session = opener.open(&spec).unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let manager = Arc::clone(&manager);
+                let session = session.clone();
+                scope.spawn(move || {
+                    let mut client = Client::loopback(manager);
+                    loop {
+                        match client.next_ticket(&session).unwrap() {
+                            WireHandout::Next(ticket, config) => {
+                                let cost = (config["X"] as f64 - 11.0).abs();
+                                client.report_ticket(&session, ticket, Some(cost)).unwrap();
+                            }
+                            WireHandout::Retry => std::thread::yield_now(),
+                            WireHandout::Done => break,
+                        }
+                    }
+                });
+            }
+        });
+
+        let result = opener.finish(&session).unwrap();
+        assert_eq!(result.best_config.as_ref().unwrap()["X"], 11);
+        assert_eq!(result.best_cost, Some(0.0));
+        assert_eq!(result.evaluations, Some(16));
     }
 
     #[test]

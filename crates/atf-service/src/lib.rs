@@ -21,8 +21,9 @@
 //!
 //! Sessions are independent and concurrent (thread-per-connection, shared
 //! session manager), survive client reconnects (a session id is all the
-//! state a client needs; `next` re-serves the pending configuration), and
-//! expire after a configurable idle period. Finished sessions merge their
+//! state a client needs; every handout carries a ticket, and `open` with
+//! `max_pending` lets several clients pull distinct configurations from
+//! one session concurrently), and expire after a configurable idle period. Finished sessions merge their
 //! best result into a [`atf_core::db::TuningDatabase`] monotonically —
 //! the `lookup` command then serves known-best configurations without any
 //! tuning.
@@ -32,7 +33,7 @@ pub mod manager;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, LoopbackClient, SessionSpec, Transport};
+pub use client::{Client, ClientError, LoopbackClient, SessionSpec, Transport, WireHandout};
 pub use manager::{ManagerConfig, SessionManager};
 pub use proto::{Request, Response};
 pub use server::{Server, ShutdownHandle};

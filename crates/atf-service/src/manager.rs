@@ -6,7 +6,7 @@ use crate::proto::{codes, config_to_wire, Request, Response};
 use atf_core::cost::{CostError, FailureKind};
 use atf_core::db::TuningDatabase;
 use atf_core::param::auto_group;
-use atf_core::session::TuningSession;
+use atf_core::session::{Handout, TuningSession};
 use atf_core::space::SearchSpace;
 use atf_core::spec;
 use atf_core::status::TuningStatus;
@@ -52,8 +52,9 @@ struct ManagedSession {
     device: String,
     workload: String,
     last_touch: Instant,
-    /// When the currently pending configuration was handed out.
-    pending_since: Option<Instant>,
+    /// When each pending configuration was handed out, by ticket. Entries
+    /// past the evaluation deadline are forfeited as timeout failures.
+    pending_since: HashMap<u64, Instant>,
 }
 
 /// Renders nonzero failure counts as the wire map.
@@ -176,6 +177,9 @@ impl SessionManager {
         if let Some(n) = request.breaker {
             session = session.circuit_breaker(n);
         }
+        if let Some(w) = request.max_pending {
+            session = session.max_pending(w as usize);
+        }
         let device = request
             .device
             .clone()
@@ -216,7 +220,7 @@ impl SessionManager {
                 device,
                 workload,
                 last_touch: Instant::now(),
-                pending_since: None,
+                pending_since: HashMap::new(),
             },
         );
         let mut resp = Response::ok();
@@ -229,29 +233,40 @@ impl SessionManager {
     fn next(&self, request: &Request) -> Response {
         let eval_deadline = self.config.eval_deadline;
         self.with_session(request, |managed| {
-            // A pending configuration held past the evaluation deadline is
-            // a client that hung or died mid-measurement: fail it as a
-            // timeout and move on, rather than serving the same stuck
-            // configuration forever.
-            if let (Some(deadline), Some(since)) = (eval_deadline, managed.pending_since) {
-                if managed.session.has_pending() && since.elapsed() > deadline {
+            // A configuration held past the evaluation deadline is a client
+            // that hung or died mid-measurement: forfeit its ticket as a
+            // timeout failure and move on, rather than keeping a window
+            // slot occupied forever. Each ticket's deadline runs from its
+            // own handout.
+            if let Some(deadline) = eval_deadline {
+                let overdue: Vec<u64> = managed
+                    .pending_since
+                    .iter()
+                    .filter(|(_, since)| since.elapsed() > deadline)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for ticket in overdue {
                     let _ = managed
                         .session
-                        .report(Err(CostError::Timeout { limit: deadline }));
-                    managed.pending_since = None;
+                        .report_ticket(ticket, Err(CostError::Timeout { limit: deadline }));
+                    managed.pending_since.remove(&ticket);
                 }
             }
-            let was_pending = managed.session.has_pending();
             let mut resp = Response::ok();
-            match managed.session.next_config() {
-                Some(config) => {
-                    if !was_pending {
-                        managed.pending_since = Some(Instant::now());
-                    }
+            match managed.session.next_ticket() {
+                Handout::Next(ticket, config) => {
+                    managed.pending_since.insert(ticket, Instant::now());
                     resp.done = Some(false);
+                    resp.ticket = Some(ticket);
                     resp.config = Some(config_to_wire(&config));
                 }
-                None => resp.done = Some(true),
+                // Every window slot is handed out to some client: not done,
+                // but nothing to serve until a report lands.
+                Handout::Wait => {
+                    resp.done = Some(false);
+                    resp.retry = Some(true);
+                }
+                Handout::Done => resp.done = Some(true),
             }
             resp
         })
@@ -272,6 +287,7 @@ impl SessionManager {
                 }
             },
         };
+        let wire_ticket = request.ticket;
         self.with_session(request, |managed| {
             let outcome = match (valid, cost) {
                 (true, Some(c)) => Ok(c),
@@ -283,9 +299,18 @@ impl SessionManager {
                     failure_kind.unwrap_or(FailureKind::RunCrash),
                 )),
             };
-            match managed.session.report(outcome) {
+            // Legacy clients omit the ticket: their report applies to the
+            // oldest unreported configuration, which is the only one a
+            // serial client can be measuring.
+            let Some(ticket) = wire_ticket.or_else(|| managed.session.oldest_in_flight()) else {
+                return Response::error(
+                    codes::TUNING,
+                    atf_core::tuner::TuningError::NoPendingConfiguration,
+                );
+            };
+            match managed.session.report_ticket(ticket, outcome) {
                 Ok(()) => {
-                    managed.pending_since = None;
+                    managed.pending_since.remove(&ticket);
                     let mut resp = Response::ok();
                     resp.evaluations = Some(managed.session.status().evaluations());
                     resp.best_cost = managed.session.best_scalar_cost();
@@ -741,18 +766,77 @@ mod tests {
         let id = manager.handle(&open_request("slow")).session.unwrap();
         let first = manager.handle(&Request::new("next").with_session(&id));
         let first_x = first.config.unwrap()["X"];
+        assert_eq!(first.ticket, Some(1));
 
-        // Within the deadline, `next` re-serves the same pending config.
+        // Within the deadline the window (1) is fully handed out: `next`
+        // answers "retry later" rather than double-booking the ticket.
         let again = manager.handle(&Request::new("next").with_session(&id));
-        assert_eq!(again.config.unwrap()["X"], first_x);
+        assert!(again.config.is_none());
+        assert_eq!(again.retry, Some(true));
+        assert_eq!(again.done, Some(false));
 
-        // Past the deadline, the pending config is failed as a timeout and
-        // the session advances.
+        // Past the deadline, the held ticket is forfeited as a timeout and
+        // the session advances to a new configuration under a new ticket.
         std::thread::sleep(Duration::from_millis(25));
         let advanced = manager.handle(&Request::new("next").with_session(&id));
         assert_ne!(advanced.config.unwrap()["X"], first_x);
+        assert_eq!(advanced.ticket, Some(2));
         let status = manager.handle(&Request::new("status").with_session(&id));
         assert_eq!(status.failures.unwrap()["timeout"], 1);
+
+        // The forfeited ticket's late report is rejected, not double-counted.
+        let mut late = Request::new("report").with_session(&id);
+        late.cost = Some(1.0);
+        late.ticket = Some(1);
+        let r = manager.handle(&late);
+        assert_eq!(r.code.as_deref(), Some(codes::TUNING));
+    }
+
+    #[test]
+    fn concurrent_clients_pull_distinct_tickets() {
+        // One session, window 3: three clients each hold a distinct
+        // configuration; reports land out of ticket order and the final
+        // result equals an uninterrupted serial run.
+        let m = SessionManager::in_memory();
+        let mut req = open_request("shared");
+        req.max_pending = Some(3);
+        let id = m.handle(&req).session.unwrap();
+
+        let cost = |x: u64| (x as f64 - 7.0).abs();
+        loop {
+            // Pull up to three tickets (as three clients would).
+            let mut held: Vec<(u64, u64)> = Vec::new();
+            let mut done = false;
+            for _ in 0..3 {
+                let next = m.handle(&Request::new("next").with_session(&id));
+                assert!(next.ok, "{next:?}");
+                if next.done == Some(true) {
+                    done = true;
+                    break;
+                }
+                if next.retry == Some(true) {
+                    break;
+                }
+                held.push((next.ticket.unwrap(), next.config.unwrap()["X"]));
+            }
+            let tickets: std::collections::HashSet<u64> = held.iter().map(|&(t, _)| t).collect();
+            assert_eq!(tickets.len(), held.len(), "tickets must be distinct");
+            // Report newest-first: out of ticket order.
+            for &(t, x) in held.iter().rev() {
+                let mut report = Request::new("report").with_session(&id);
+                report.cost = Some(cost(x));
+                report.ticket = Some(t);
+                assert!(m.handle(&report).ok);
+            }
+            if done && held.is_empty() {
+                break;
+            }
+        }
+        let finished = m.handle(&Request::new("finish").with_session(&id));
+        assert!(finished.ok, "{finished:?}");
+        assert_eq!(finished.best_config.unwrap()["X"], 7);
+        assert_eq!(finished.best_cost, Some(0.0));
+        assert_eq!(finished.evaluations, Some(10));
     }
 
     #[test]

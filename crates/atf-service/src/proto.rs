@@ -77,6 +77,16 @@ pub struct Request {
     /// consecutive failed evaluations.
     #[serde(default)]
     pub breaker: Option<u32>,
+    /// `open`: maximum number of simultaneously pending configurations
+    /// (default 1). Raise it so several clients can pull distinct
+    /// configurations from one session concurrently.
+    #[serde(default)]
+    pub max_pending: Option<u64>,
+    /// `report`: ticket of the configuration the cost belongs to (from the
+    /// `next` response). Omitted by serial clients — the report then applies
+    /// to the oldest unreported configuration.
+    #[serde(default)]
+    pub ticket: Option<u64>,
 }
 
 impl Request {
@@ -151,6 +161,15 @@ pub struct Response {
     /// run journal.
     #[serde(default)]
     pub resumed: Option<u64>,
+    /// `next`: ticket identifying the handed-out configuration; echo it in
+    /// the matching `report`.
+    #[serde(default)]
+    pub ticket: Option<u64>,
+    /// `next`: `true` when no configuration is available *right now* (every
+    /// window slot is handed out) but the session is not done — report a
+    /// pending ticket or ask again shortly.
+    #[serde(default)]
+    pub retry: Option<bool>,
 }
 
 impl Response {
