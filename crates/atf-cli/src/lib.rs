@@ -34,6 +34,8 @@ use atf_core::spec;
 use serde::Deserialize;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 // The declarative spec types live in `atf_core::spec` (shared with the
 // tuning service); re-exported here for backward compatibility.
@@ -189,6 +191,13 @@ pub struct RunOptions {
     /// many configurations at once. When resuming from a journal, the
     /// journal's recorded window takes precedence so replay is exact.
     pub workers: usize,
+    /// Stream structured trace events (NDJSON, one JSON object per line) to
+    /// this file: space generation, handouts, reports, eval latencies,
+    /// retries, breaker trips, worker busy/idle, and the final abort.
+    pub trace: Option<PathBuf>,
+    /// Collect a metrics snapshot (latency histogram, failure taxonomy,
+    /// throughput, worker utilization) and attach it to the outcome.
+    pub metrics: bool,
 }
 
 impl RunOptions {
@@ -218,6 +227,8 @@ pub struct CliOutcome {
     pub failures: Vec<(FailureKind, u64)>,
     /// Evaluations replayed from a run journal before tuning continued.
     pub resumed: u64,
+    /// Final metrics snapshot (present when the run asked for metrics).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Runs a tuning specification end to end with default (no-fault-handling)
@@ -232,33 +243,35 @@ pub fn run(spec: &TuningSpec) -> Result<CliOutcome, CliError> {
 /// before it is applied — so a killed run resumes exactly where it died.
 pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliError> {
     let params = spec.build_params()?;
+    // The trace sink exists before space generation so the per-group
+    // `space_gen` events land in the stream too.
+    let trace: Arc<dyn TraceSink> = match &opts.trace {
+        Some(path) => Arc::new(FileSink::create(path).map_err(|e| {
+            CliError::Spec(format!("cannot create trace file {}: {e}", path.display()))
+        })?),
+        None => Arc::new(NullSink),
+    };
     // Group automatically: independent parameters explore in parallel-
     // generated groups without the user thinking about it.
     let groups = auto_group(params);
     let space = if groups.len() > 1 {
-        SearchSpace::generate_parallel(&groups)
+        SearchSpace::generate_parallel_traced(&groups, trace.as_ref())
     } else {
-        SearchSpace::generate(&groups)
+        SearchSpace::generate_traced(&groups, trace.as_ref())
     };
     let policy = opts.policy();
     let workers = opts.workers.max(1);
-    // One cost-function instance per worker: concurrent runs must not race
-    // on the spec's log file (`for_worker` re-targets it, scripts follow
-    // via `ATF_LOG_FILE`), and the retry jitter stream must not be shared.
-    let build_cf = |worker: usize| {
-        let mut process_cf = spec.build_cost_function().for_worker(worker);
-        if let Some(t) = opts.timeout {
-            process_cf = process_cf.timeout(t);
-        }
-        with_policy_send(process_cf, &policy, RETRY_JITTER_SEED + worker as u64)
-    };
 
     let mut session =
         TuningSession::<LexCosts>::new(space, spec.build_technique()?).map_err(CliError::Tuning)?;
     if let Some(a) = spec.build_abort() {
         session = session.abort_condition(a);
     }
-    session = session.eval_policy(&policy).max_pending(workers);
+    session = session
+        .eval_policy(&policy)
+        .max_pending(workers)
+        .trace_to(Arc::clone(&trace));
+    let metrics = Arc::clone(session.metrics());
     let mut resumed = 0;
     if let Some(path) = &opts.journal {
         if opts.resume && path.exists() {
@@ -273,18 +286,54 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         }
     }
 
+    // One cost-function instance per worker: concurrent runs must not race
+    // on the spec's log file (`for_worker` re-targets it, scripts follow
+    // via `ATF_LOG_FILE`), and the retry jitter stream must not be shared.
+    // Each carries the run's observability: script executions become `proc`
+    // events, retries become `retry` events and counter increments.
+    let build_cf = |worker: usize| {
+        let mut process_cf = spec.build_cost_function().for_worker(worker);
+        if let Some(t) = opts.timeout {
+            process_cf = process_cf.timeout(t);
+        }
+        process_cf = process_cf.trace_to(Arc::clone(&trace));
+        with_policy_send_observed(
+            process_cf,
+            &policy,
+            RETRY_JITTER_SEED + worker as u64,
+            Arc::clone(&trace),
+            Arc::clone(&metrics),
+        )
+    };
+
     if workers > 1 {
         let cost_functions: Vec<_> = (0..workers).map(build_cf).collect();
         atf_core::parallel::drive_session(&mut session, cost_functions);
     } else {
+        // Serial drive gets the same worker telemetry as the pool, so the
+        // utilization metric and busy/idle events mean the same thing at
+        // every worker count.
+        metrics.set_workers(1);
         let mut cf = build_cf(0);
         while let Some(config) = session.next_config() {
+            let ticket = session.oldest_in_flight().unwrap_or_default();
+            trace.emit(&TraceEvent::worker_busy(0, ticket));
+            metrics.worker_busy();
+            let started = Instant::now();
             let outcome = cf.evaluate(&config);
+            let busy = started.elapsed();
+            metrics.worker_idle(busy);
+            trace.emit(&TraceEvent::worker_idle(
+                0,
+                u64::try_from(busy.as_micros()).unwrap_or(u64::MAX),
+            ));
             session.report(outcome).map_err(CliError::Tuning)?;
         }
     }
     let failures = session.status().failure_counts();
     let result = session.finish().map_err(CliError::Tuning)?;
+    trace.flush();
+    let snapshot = opts.metrics.then(|| metrics.snapshot());
 
     let mut database = None;
     if let Some(db_path) = &spec.database {
@@ -312,6 +361,7 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         database,
         failures,
         resumed,
+        metrics: snapshot,
     })
 }
 
@@ -474,6 +524,10 @@ pub fn report(outcome: &CliOutcome) -> String {
     out.push_str(&format!("best cost:    {:?}\n", r.best_cost));
     if let Some(db) = &outcome.database {
         out.push_str(&format!("recorded in:  {}\n", db.display()));
+    }
+    if let Some(snapshot) = &outcome.metrics {
+        out.push('\n');
+        out.push_str(&snapshot.summary());
     }
     out
 }

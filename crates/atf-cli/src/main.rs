@@ -47,7 +47,13 @@ and an optional tuning database to record the best configuration.
                      continue the interrupted run where it stopped.
   --workers N        Evaluate up to N configurations in parallel (default
                      1 = serial). With --resume the journal's recorded
-                     pending window takes precedence over N.";
+                     pending window takes precedence over N.
+  --trace PATH       Write a structured NDJSON event trace (space_gen,
+                     handout, report, eval, retry, breaker, abort,
+                     worker_busy, worker_idle, proc) to PATH.
+  --metrics          Print a metrics summary after the run: eval-latency
+                     histogram, failure taxonomy, window occupancy,
+                     worker utilization, configs/sec.";
 
 const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] [--idle-secs N]
                       [--journal-dir DIR] [--eval-deadline-secs N]
@@ -187,12 +193,15 @@ fn take_run_options(
         journal: None,
         resume: take_switch(args, "--resume"),
         workers: take_u32_flag(args, "--workers")?.unwrap_or(1) as usize,
+        trace: None,
+        metrics: take_switch(args, "--metrics"),
     };
     if with_journal {
         opts.journal = take_flag(args, "--journal")?.map(Into::into);
         if opts.resume && opts.journal.is_none() {
             return Err("`--resume` needs `--journal PATH`".to_string());
         }
+        opts.trace = take_flag(args, "--trace")?.map(Into::into);
     }
     Ok(opts)
 }

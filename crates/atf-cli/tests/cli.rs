@@ -412,3 +412,83 @@ fn serve_killed_mid_session_resumes_from_its_journal_dir() {
     assert!(server_b.wait().unwrap().success());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The ISSUE's observability acceptance run: a seeded 4-worker tuning run
+/// with `--trace` and `--metrics` writes an NDJSON stream where every
+/// line parses as a known trace event, the stream covers the whole
+/// lifecycle (space_gen, handout, report, eval, proc, abort), and the
+/// report ends with the metrics summary table.
+#[cfg(unix)]
+#[test]
+fn run_with_trace_and_metrics_emits_parseable_events() {
+    let dir = std::env::temp_dir().join(format!("atf-cli-bin-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("prog.sh");
+    write_executable(
+        &source,
+        "B=$ATF_TP_BLOCK\nD=$((B - 12)); [ $D -lt 0 ] && D=$((-D))\necho $((3 + D)) > \"$ATF_LOG_FILE\"",
+    );
+    let run_sh = dir.join("run.sh");
+    write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+    let log = dir.join("cost.log");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(
+        &spec_path,
+        format!(
+            r#"{{
+              "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+              "parameters": [{{"name": "BLOCK", "interval": {{"begin": 8, "end": 16}}}}],
+              "search": {{"technique": "exhaustive"}}
+            }}"#,
+            source.display(),
+            run_sh.display(),
+            log.display()
+        ),
+    )
+    .unwrap();
+
+    let trace_path = dir.join("t.ndjson");
+    let out = run_with(&[
+        "run",
+        "--workers",
+        "4",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--metrics",
+        spec_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        exit_code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Every trace line is a JSON object with a known `event` kind.
+    let body = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(!body.is_empty(), "trace file must not be empty");
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in body.lines() {
+        let event: atf_core::trace::TraceEvent = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        assert!(
+            atf_core::trace::EVENT_KINDS.contains(&event.event.as_str()),
+            "unknown event kind in {line:?}"
+        );
+        kinds.insert(event.event.clone());
+    }
+    for required in ["space_gen", "handout", "report", "eval", "proc", "abort"] {
+        assert!(
+            kinds.contains(required),
+            "trace missing `{required}` events; got {kinds:?}"
+        );
+    }
+
+    // The report carries the run result AND the metrics summary table.
+    let report = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(report.contains("BLOCK=12"), "report: {report}");
+    assert!(report.contains("evaluations"), "report: {report}");
+    assert!(report.contains("eval latency"), "report: {report}");
+    assert!(report.contains("workers"), "report: {report}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -20,10 +20,12 @@ use std::path::{Path, PathBuf};
 
 /// Current journal format version, written into every header. Version 2
 /// added per-entry `ticket` and the header `window` (parallel evaluation);
-/// version-1 journals load fine — a missing ticket defaults to the
-/// evaluation number (serial runs hand out tickets in order) and a missing
-/// window to 1.
-pub const JOURNAL_VERSION: u32 = 2;
+/// version 3 added per-entry `elapsed_ms` so time-based abort conditions
+/// survive a resume. Older journals load fine — a missing ticket defaults
+/// to the evaluation number (serial runs hand out tickets in order), a
+/// missing window to 1, and a missing `elapsed_ms` to `None` (the resumed
+/// clock then restarts, the pre-v3 behaviour).
+pub const JOURNAL_VERSION: u32 = 3;
 
 fn default_window() -> usize {
     1
@@ -69,6 +71,12 @@ pub struct JournalEntry {
     /// failed.
     #[serde(default)]
     pub failure: Option<String>,
+    /// Cumulative wall-clock milliseconds since the run (not the process)
+    /// started, stamped when the report arrived. Replay restores the run
+    /// clock from these, so `duration`/`speedup(s, t)` aborts fire at the
+    /// same total budget across resumes (`None` in pre-v3 journals).
+    #[serde(default)]
+    pub elapsed_ms: Option<u64>,
 }
 
 impl JournalEntry {
@@ -275,6 +283,7 @@ mod tests {
             point: vec![n, n + 1],
             costs: Some(vec![n as f64 * 0.5]),
             failure: None,
+            elapsed_ms: Some(n * 100),
         }
     }
 
@@ -289,6 +298,7 @@ mod tests {
             point: vec![0, 3],
             costs: None,
             failure: Some(FailureKind::Timeout.label().to_string()),
+            elapsed_ms: Some(250),
         })
         .unwrap();
         drop(w);
@@ -350,6 +360,27 @@ mod tests {
         assert_eq!(loaded.header.window, 1);
         assert_eq!(loaded.entries.len(), 1);
         assert_eq!(loaded.entries[0].ticket, None);
+        assert_eq!(loaded.entries[0].elapsed_ms, None);
+    }
+
+    #[test]
+    fn version_2_journals_load_without_elapsed() {
+        // Version-2 journals (tickets + window, no timestamps) must still
+        // load; their entries carry no elapsed time, so a resume keeps the
+        // old restart-the-clock behaviour instead of failing.
+        let path = tmp("v2");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"version\":2,\"technique\":\"exhaustive\",\"space_size\":\"64\",\"window\":2}\n",
+                "{\"evaluation\":1,\"ticket\":2,\"point\":[0,1],\"costs\":[1.0]}\n",
+            ),
+        )
+        .unwrap();
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.header.window, 2);
+        assert_eq!(loaded.entries[0].ticket, Some(2));
+        assert_eq!(loaded.entries[0].elapsed_ms, None);
     }
 
     #[test]

@@ -20,9 +20,12 @@
 //! index.
 
 use crate::cost::CostFunction;
+use crate::metrics::MetricsRegistry;
 use crate::session::{Handout, Ticket, TuningSession};
+use crate::trace::{TraceEvent, TraceSink};
 use std::collections::HashSet;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Drives `session` until [`Handout::Done`], evaluating with one thread per
 /// element of `cost_functions`.
@@ -41,6 +44,12 @@ where
     if cost_functions.is_empty() {
         return;
     }
+    // Telemetry rides along from the session: workers emit busy/idle
+    // transitions to its trace sink and busy time to its registry, which
+    // is what makes the utilization % in `--metrics` meaningful.
+    let trace = session.trace_sink();
+    let metrics = Arc::clone(session.metrics());
+    metrics.set_workers(cost_functions.len());
     let pool = Pool {
         state: Mutex::new(PoolState {
             session,
@@ -48,9 +57,12 @@ where
         }),
         wake: Condvar::new(),
     };
+    let pool = &pool;
     std::thread::scope(|scope| {
-        for cf in cost_functions {
-            scope.spawn(|| worker(&pool, cf));
+        for (index, cf) in cost_functions.into_iter().enumerate() {
+            let trace = Arc::clone(&trace);
+            let metrics = Arc::clone(&metrics);
+            scope.spawn(move || worker(pool, index, cf, trace, metrics));
         }
     });
 }
@@ -68,8 +80,13 @@ struct Pool<'a, C: crate::cost::CostValue> {
     wake: Condvar,
 }
 
-fn worker<CF>(pool: &Pool<'_, CF::Cost>, mut cf: CF)
-where
+fn worker<CF>(
+    pool: &Pool<'_, CF::Cost>,
+    index: usize,
+    mut cf: CF,
+    trace: Arc<dyn TraceSink>,
+    metrics: Arc<MetricsRegistry>,
+) where
     CF: CostFunction,
 {
     loop {
@@ -109,7 +126,16 @@ where
                 }
             }
         };
+        trace.emit(&TraceEvent::worker_busy(index, ticket));
+        metrics.worker_busy();
+        let started = Instant::now();
         let outcome = cf.evaluate(&config);
+        let busy = started.elapsed();
+        metrics.worker_idle(busy);
+        trace.emit(&TraceEvent::worker_idle(
+            index,
+            u64::try_from(busy.as_micros()).unwrap_or(u64::MAX),
+        ));
         let mut state = pool.state.lock().expect("pool lock");
         state.claimed.remove(&ticket);
         state

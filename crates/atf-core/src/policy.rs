@@ -19,8 +19,11 @@
 
 use crate::config::Config;
 use crate::cost::{CostError, CostFunction, CostValue};
+use crate::metrics::MetricsRegistry;
+use crate::trace::{TraceEvent, TraceSink};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How evaluations are guarded against hangs, flakes, and dead devices.
@@ -96,6 +99,10 @@ pub struct RetryCostFunction<F> {
     /// Sleeper, swappable so tests don't actually block.
     sleep: fn(Duration),
     retries_performed: u64,
+    /// Emits a `retry` trace event per backoff, when attached.
+    trace: Option<Arc<dyn TraceSink>>,
+    /// Counts retries in the run's registry, when attached.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<F: CostFunction> RetryCostFunction<F> {
@@ -107,7 +114,21 @@ impl<F: CostFunction> RetryCostFunction<F> {
             rng: ChaCha8Rng::seed_from_u64(seed),
             sleep: std::thread::sleep,
             retries_performed: 0,
+            trace: None,
+            metrics: None,
         }
+    }
+
+    /// Attaches a trace sink and metrics registry (builder-style): every
+    /// backoff-and-retry is emitted as a `retry` event and counted.
+    pub fn with_observability(
+        mut self,
+        trace: Arc<dyn TraceSink>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        self.trace = Some(trace);
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Total retry attempts performed so far (diagnostics).
@@ -137,6 +158,16 @@ impl<F: CostFunction> CostFunction for RetryCostFunction<F> {
                 Ok(cost) => return Ok(cost),
                 Err(e) if e.kind().is_retryable() && attempt < self.policy.max_retries => {
                     let delay = self.policy.backoff_delay(attempt, &mut self.rng);
+                    if let Some(trace) = &self.trace {
+                        trace.emit(&TraceEvent::retry(
+                            attempt + 1,
+                            delay.as_millis() as u64,
+                            e.kind().label(),
+                        ));
+                    }
+                    if let Some(metrics) = &self.metrics {
+                        metrics.retries.inc();
+                    }
                     (self.sleep)(delay);
                     attempt += 1;
                     self.retries_performed += 1;
@@ -174,6 +205,25 @@ pub fn with_policy_send<C: CostValue, F: CostFunction<Cost = C> + Send + 'static
         Box::new(inner)
     } else {
         Box::new(RetryCostFunction::new(inner, policy.clone(), seed))
+    }
+}
+
+/// [`with_policy_send`] with observability attached: retries are emitted
+/// to `trace` and counted in `metrics` (both unused when the policy does
+/// not retry).
+pub fn with_policy_send_observed<C: CostValue, F: CostFunction<Cost = C> + Send + 'static>(
+    inner: F,
+    policy: &EvalPolicy,
+    seed: u64,
+    trace: Arc<dyn TraceSink>,
+    metrics: Arc<MetricsRegistry>,
+) -> Box<dyn CostFunction<Cost = C> + Send> {
+    if policy.max_retries == 0 {
+        Box::new(inner)
+    } else {
+        Box::new(
+            RetryCostFunction::new(inner, policy.clone(), seed).with_observability(trace, metrics),
+        )
     }
 }
 
@@ -235,6 +285,34 @@ mod tests {
         let err = retrying.evaluate(&Config::new()).unwrap_err();
         assert!(matches!(err, CostError::Transient(_)));
         assert_eq!(retrying.retries_performed(), 2);
+    }
+
+    #[test]
+    fn retries_are_traced_and_counted() {
+        use crate::metrics::MetricsRegistry;
+        use crate::trace::MemorySink;
+        let mut calls = 0u32;
+        let cf = try_cost_fn(move |_c: &Config| {
+            calls += 1;
+            if calls < 3 {
+                Err(CostError::Transient("flaky".into()))
+            } else {
+                Ok(1.0f64)
+            }
+        });
+        let sink = Arc::new(MemorySink::new());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut retrying = RetryCostFunction::new(cf, EvalPolicy::default().retries(5), 42)
+            .with_observability(sink.clone(), metrics.clone())
+            .without_sleep();
+        retrying.evaluate(&Config::new()).unwrap();
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.event == "retry"));
+        assert_eq!(events[0].attempt, Some(1));
+        assert_eq!(events[1].attempt, Some(2));
+        assert_eq!(events[0].failure.as_deref(), Some("transient"));
+        assert_eq!(metrics.snapshot().retries, 2);
     }
 
     #[test]

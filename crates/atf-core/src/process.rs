@@ -16,9 +16,11 @@
 use crate::config::Config;
 use crate::cost::{CostError, CostFunction};
 use crate::policy::EvalPolicy;
+use crate::trace::{TraceEvent, TraceSink};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitStatus, Stdio};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A vector of costs compared lexicographically — what the generic cost
@@ -73,13 +75,28 @@ struct ScriptOutput {
 }
 
 /// The generic program cost function.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ProcessCostFunction {
     source: PathBuf,
     compile_script: Option<PathBuf>,
     run_script: PathBuf,
     log_file: Option<PathBuf>,
     timeout: Option<Duration>,
+    /// Emits a timed `proc` trace event per script execution, when attached.
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for ProcessCostFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessCostFunction")
+            .field("source", &self.source)
+            .field("compile_script", &self.compile_script)
+            .field("run_script", &self.run_script)
+            .field("log_file", &self.log_file)
+            .field("timeout", &self.timeout)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 impl ProcessCostFunction {
@@ -93,6 +110,7 @@ impl ProcessCostFunction {
             run_script: run_script.into(),
             log_file: None,
             timeout: None,
+            trace: None,
         }
     }
 
@@ -141,6 +159,25 @@ impl ProcessCostFunction {
             }
         }
         self
+    }
+
+    /// Attaches a trace sink: every compile/run script execution is
+    /// emitted as a timed `proc` event with its failure kind, if any.
+    pub fn trace_to(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Emits the timed `proc` event for one script phase, when a sink is
+    /// attached.
+    fn emit_proc<T>(&self, phase: &str, took: Duration, result: &Result<T, CostError>) {
+        if let Some(trace) = &self.trace {
+            trace.emit(&TraceEvent::proc(
+                phase,
+                u64::try_from(took.as_micros()).unwrap_or(u64::MAX),
+                result.as_ref().err().map(|e| e.kind().label()),
+            ));
+        }
     }
 
     /// Runs `script` under the configured deadline, capturing its exit
@@ -262,16 +299,25 @@ impl CostFunction for ProcessCostFunction {
     type Cost = LexCosts;
 
     fn evaluate(&mut self, config: &Config) -> Result<LexCosts, CostError> {
-        if let Some(compile) = &self.compile_script {
-            let out = self.run(compile, config)?;
-            if !out.status.success() {
-                return Err(CostError::CompileFailed(out.stderr));
-            }
+        if let Some(compile) = self.compile_script.clone() {
+            let started = Instant::now();
+            let result = self.run(&compile, config).and_then(|out| {
+                if out.status.success() {
+                    Ok(())
+                } else {
+                    Err(CostError::CompileFailed(out.stderr))
+                }
+            });
+            self.emit_proc("compile", started.elapsed(), &result);
+            result?;
         }
         let started = Instant::now();
-        let out = self.run(&self.run_script, config)?;
+        let result = self
+            .run(&self.run_script, config)
+            .and_then(|out| classify_run_status(&out));
         let elapsed = started.elapsed();
-        classify_run_status(&out)?;
+        self.emit_proc("run", elapsed, &result);
+        result?;
         match &self.log_file {
             None => Ok(vec![elapsed.as_secs_f64()]),
             Some(path) => {
@@ -348,6 +394,36 @@ mod tests {
         let bad = Config::from_pairs([("X", 2u64)]);
         assert_eq!(cf.evaluate(&good).unwrap(), vec![0.0]);
         assert_eq!(cf.evaluate(&bad).unwrap(), vec![50.0]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn script_executions_emit_proc_events() {
+        use crate::trace::MemorySink;
+        let dir = tmpdir("proc-trace");
+        let compile = write_script(&dir, "compile.sh", "exit 0");
+        let run = write_script(&dir, "run.sh", "exit 0");
+        let sink = Arc::new(MemorySink::new());
+        let mut cf = ProcessCostFunction::new(dir.join("p.src"), run)
+            .compile_script(compile)
+            .trace_to(sink.clone());
+        cf.evaluate(&Config::new()).unwrap();
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].event, "proc");
+        assert_eq!(events[0].phase.as_deref(), Some("compile"));
+        assert_eq!(events[0].ok, Some(true));
+        assert_eq!(events[1].phase.as_deref(), Some("run"));
+        assert!(events[1].micros.is_some());
+
+        // A failing run is traced with its failure kind.
+        let bad_run = write_script(&dir, "bad.sh", "exit 3");
+        let mut cf = ProcessCostFunction::new(dir.join("p.src"), bad_run).trace_to(sink.clone());
+        cf.evaluate(&Config::new()).unwrap_err();
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ok, Some(false));
+        assert_eq!(events[0].failure.as_deref(), Some("crash"));
     }
 
     #[cfg(unix)]

@@ -44,14 +44,18 @@ use crate::abort::{self, Abort, AbortCondition};
 use crate::config::Config;
 use crate::cost::{CostError, CostValue, FailureKind, JournalCost};
 use crate::journal::{JournalEntry, JournalHeader, JournalWriter, LoadedJournal, JOURNAL_VERSION};
+use crate::metrics::MetricsRegistry;
 use crate::policy::EvalPolicy;
 use crate::search::{Point, SearchTechnique, SpaceDims, PENALTY_COST};
 use crate::space::SearchSpace;
 use crate::status::TuningStatus;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use crate::tuner::{EvalRecord, TuningError, TuningResult};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Identifier of one handed-out configuration. Tickets are handed out as
 /// 1, 2, 3, … — the ticket of the `n`-th handout is `n`.
@@ -76,6 +80,21 @@ struct PendingEval {
     ticket: Ticket,
     point: Point,
     config: Config,
+    /// When the ticket was handed out; the handout-to-report latency of
+    /// the `eval` trace event and the latency histogram.
+    handed_at: Instant,
+}
+
+/// A reported outcome buffered until its in-ticket-order application,
+/// together with the telemetry captured at arrival.
+struct BufferedReport<C> {
+    outcome: Result<C, CostError>,
+    /// Run clock when the report arrived (journal stamp during replay) —
+    /// the elapsed time an improvement from this report is recorded at.
+    elapsed: Duration,
+    /// Handout-to-report latency (`None` for replayed entries, whose
+    /// original latency was not journaled).
+    latency: Option<Duration>,
 }
 
 /// An attached run journal: the writer plus the cost encoder captured when
@@ -104,7 +123,7 @@ pub struct TuningSession<C: CostValue = f64> {
     /// `buffered` in between.
     pending: VecDeque<PendingEval>,
     /// Reported outcomes awaiting in-ticket-order application.
-    buffered: BTreeMap<Ticket, Result<C, CostError>>,
+    buffered: BTreeMap<Ticket, BufferedReport<C>>,
     /// The ticket the next handout will carry.
     next_ticket_id: Ticket,
     /// Maximum number of simultaneously pending configurations (window).
@@ -123,6 +142,14 @@ pub struct TuningSession<C: CostValue = f64> {
     /// Suppresses journal writes while replaying a journal into the
     /// session (the entries are already on disk).
     replaying: bool,
+    /// The journal-recorded elapsed time of the entry currently being
+    /// replayed, consumed by [`report_ticket`](Self::report_ticket) so
+    /// replayed reports carry their original arrival stamps.
+    replay_elapsed: Option<Duration>,
+    /// Structured event stream ([`NullSink`] unless attached).
+    trace: Arc<dyn TraceSink>,
+    /// Lock-free run metrics, shareable with drivers and the service.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl<C: CostValue> TuningSession<C> {
@@ -142,6 +169,8 @@ impl<C: CostValue> TuningSession<C> {
         technique.initialize(SpaceDims::new(space.dims()));
         let default_abort = abort::evaluations(u64::try_from(space.len()).unwrap_or(u64::MAX));
         let status = TuningStatus::new(space.len());
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.set_window_capacity(1);
         Ok(TuningSession {
             space,
             technique,
@@ -161,6 +190,9 @@ impl<C: CostValue> TuningSession<C> {
             broken: None,
             journal: None,
             replaying: false,
+            replay_elapsed: None,
+            trace: Arc::new(NullSink),
+            metrics,
         })
     }
 
@@ -176,7 +208,36 @@ impl<C: CostValue> TuningSession<C> {
     /// parallel evaluation.
     pub fn max_pending(mut self, k: usize) -> Self {
         self.max_pending = k.max(1);
+        self.metrics.set_window_capacity(self.max_pending);
         self
+    }
+
+    /// Attaches a structured trace sink (builder-style): every handout,
+    /// report arrival, eval latency, breaker trip, and the final abort are
+    /// emitted as [`TraceEvent`]s. Replayed journal entries are *not*
+    /// re-emitted.
+    pub fn trace_to(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// The session's trace sink (the no-op [`NullSink`] unless attached).
+    pub fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Shares an externally created metrics registry (builder-style), e.g.
+    /// one registry aggregating several sessions.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        metrics.set_window_capacity(self.max_pending);
+        self.metrics = metrics;
+        self
+    }
+
+    /// The session's metrics registry. Always present; clone the `Arc` to
+    /// read a [`crate::metrics::MetricsSnapshot`] from another thread.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The session's pending window (maximum simultaneously outstanding
@@ -234,22 +295,29 @@ impl<C: CostValue> TuningSession<C> {
             let projected = self.status.projecting(self.pending.len() as u64);
             if self.abort.should_stop(&projected) {
                 self.done = true;
+                self.emit_abort(&self.abort.describe());
                 continue;
             }
             let outstanding = self.pending.len();
             if outstanding < self.max_pending && self.technique.can_propose(outstanding) {
                 let Some(point) = self.technique.get_next_point() else {
                     self.done = true; // technique exhausted
+                    self.emit_abort("technique exhausted");
                     continue;
                 };
                 let config = self.space.get_by_coords(&point);
                 let ticket = self.next_ticket_id;
                 self.next_ticket_id += 1;
+                if !self.replaying {
+                    self.trace.emit(&TraceEvent::handout(ticket, point.clone()));
+                }
                 self.pending.push_back(PendingEval {
                     ticket,
                     point,
                     config: config.clone(),
+                    handed_at: Instant::now(),
                 });
+                self.metrics.set_window_occupancy(self.pending.len());
                 return Handout::Next(ticket, config);
             }
             // Can't propose: apply one buffered report (in ticket order) if
@@ -306,7 +374,20 @@ impl<C: CostValue> TuningSession<C> {
         if self.buffered.contains_key(&ticket) {
             return Err(TuningError::UnknownTicket { ticket });
         }
+        let point = pe.point.clone();
+        // Handout-to-report latency; unknown for replayed entries (the
+        // original latency was not journaled).
+        let latency = (!self.replaying).then(|| pe.handed_at.elapsed());
         self.arrivals += 1;
+        // The report's arrival stamp on the run clock. Replay restores the
+        // journaled stamp; live reports truncate to the journal's
+        // millisecond precision so a replayed run reconstructs *identical*
+        // improvement timestamps.
+        let elapsed = match self.replay_elapsed.take() {
+            Some(e) if self.replaying => e,
+            _ => Duration::from_millis(self.status.elapsed().as_millis() as u64),
+        };
+        let failure_label = outcome.as_ref().err().map(|e| e.kind().label().to_string());
         // Write-ahead at *arrival*: the outcome reaches the journal before
         // any session state advances, so a crash never loses an applied
         // evaluation. Entries are in arrival order; `ticket` identifies the
@@ -316,17 +397,37 @@ impl<C: CostValue> TuningSession<C> {
                 let entry = JournalEntry {
                     evaluation: self.arrivals,
                     ticket: Some(ticket),
-                    point: pe.point.clone(),
+                    point,
                     costs: outcome.as_ref().ok().map(|c| (journal.encode)(c)),
-                    failure: outcome.as_ref().err().map(|e| e.kind().label().to_string()),
+                    failure: failure_label.clone(),
+                    elapsed_ms: Some(elapsed.as_millis() as u64),
                 };
                 journal
                     .writer
                     .append(&entry)
                     .map_err(|e| TuningError::Journal(e.to_string()))?;
             }
+            self.trace.emit(&TraceEvent::report(
+                ticket,
+                self.arrivals,
+                failure_label.as_deref(),
+            ));
+            if let Some(latency) = latency {
+                self.trace.emit(&TraceEvent::eval(
+                    ticket,
+                    u64::try_from(latency.as_micros()).unwrap_or(u64::MAX),
+                    failure_label.as_deref(),
+                ));
+            }
         }
-        self.buffered.insert(ticket, outcome);
+        self.buffered.insert(
+            ticket,
+            BufferedReport {
+                outcome,
+                elapsed,
+                latency,
+            },
+        );
         if self.done {
             self.drain_ready();
         } else {
@@ -380,13 +481,20 @@ impl<C: CostValue> TuningSession<C> {
     /// status, best-so-far, history, and circuit breaker.
     fn apply_front(&mut self) {
         let pe = self.pending.pop_front().expect("front pending");
-        let outcome = self.buffered.remove(&pe.ticket).expect("front buffered");
+        let report = self.buffered.remove(&pe.ticket).expect("front buffered");
+        let BufferedReport {
+            outcome,
+            elapsed,
+            latency,
+        } = report;
         let valid = outcome.is_ok();
         let failure = outcome.as_ref().err().map(|e| e.kind());
         self.status.record_evaluation(valid);
         if let Some(kind) = failure {
             self.status.record_failure_kind(kind);
         }
+        self.metrics.record_eval(latency, failure);
+        self.metrics.set_window_occupancy(self.pending.len());
         let scalar = match &outcome {
             Ok(c) => c.as_scalar(),
             Err(_) => PENALTY_COST,
@@ -410,7 +518,11 @@ impl<C: CostValue> TuningSession<C> {
                 self.best = Some((pe.config, c));
                 if scalar < self.best_scalar {
                     self.best_scalar = scalar;
-                    self.status.record_improvement(scalar);
+                    // Stamped with the report's *arrival* time (which the
+                    // journal preserves), not the application time — so a
+                    // kill+resume reconstructs the same improvement
+                    // timeline the uninterrupted run recorded.
+                    self.status.record_improvement_at(scalar, elapsed);
                 }
             }
         }
@@ -419,7 +531,26 @@ impl<C: CostValue> TuningSession<C> {
             if self.status.consecutive_failures() >= u64::from(limit.max(1)) {
                 self.done = true;
                 self.broken = Some(kind);
+                self.metrics.breaker_trips.inc();
+                if !self.replaying {
+                    self.trace.emit(&TraceEvent::breaker(
+                        self.status.consecutive_failures(),
+                        kind.label(),
+                    ));
+                }
             }
+        }
+    }
+
+    /// Emits the `abort` trace event (suppressed during replay — the
+    /// resumed run's own stop will emit its own).
+    fn emit_abort(&self, condition: &str) {
+        if !self.replaying {
+            self.trace.emit(&TraceEvent::abort(
+                condition,
+                self.status.evaluations(),
+                self.status.elapsed().as_millis() as u64,
+            ));
         }
     }
 
@@ -555,6 +686,16 @@ impl<C: CostValue> TuningSession<C> {
         self.replaying = true;
         let result = self.replay_entries(entries);
         self.replaying = false;
+        self.replay_elapsed = None;
+        // Restore the run clock: the resumed run continues from the last
+        // journaled arrival stamp, so time-based abort conditions fire at
+        // the same *total* wall-clock budget as an uninterrupted run.
+        // Raised only after replay — time cannot end exploration
+        // mid-replay, exactly as it could not retroactively unwrite the
+        // original run's journal entries.
+        if let Some(ms) = entries.iter().filter_map(|e| e.elapsed_ms).max() {
+            self.status.raise_elapsed_offset(Duration::from_millis(ms));
+        }
         result
     }
 
@@ -599,6 +740,7 @@ impl<C: CostValue> TuningSession<C> {
                     evaluation: entry.evaluation,
                 });
             }
+            self.replay_elapsed = entry.elapsed_ms.map(Duration::from_millis);
             let outcome = match (&entry.costs, entry.failure_kind()) {
                 (Some(values), None) => Ok(C::from_journal(values).ok_or_else(|| {
                     TuningError::Journal(format!(
@@ -636,6 +778,7 @@ impl<C: CostValue> TuningSession<C> {
             .check_matches(self.technique.name(), self.space.len())
             .map_err(|e| TuningError::Journal(e.to_string()))?;
         self.max_pending = loaded.header.window.max(1);
+        self.metrics.set_window_capacity(self.max_pending);
         let replayed = self.resume_from(&loaded.entries)?;
         let writer = JournalWriter::append_to(path.as_ref())
             .map_err(|e| TuningError::Journal(e.to_string()))?;
@@ -672,6 +815,7 @@ impl<C: CostValue> TuningSession<C> {
         if let Some(journal) = &mut self.journal {
             let _ = journal.writer.sync();
         }
+        self.trace.flush();
         if let Some(last_failure) = self.broken {
             return (
                 Err(TuningError::CircuitBroken {
@@ -1145,6 +1289,98 @@ mod tests {
         assert_eq!(
             s.resume_from(&loaded.entries).unwrap_err(),
             TuningError::JournalDiverged { evaluation: 2 }
+        );
+    }
+
+    #[test]
+    fn duration_budget_spans_resume() {
+        // Regression: before elapsed offsets were journaled, a resumed
+        // run's duration budget restarted from zero — kill at 50% and
+        // resume, and the run would spend 150% of its wall-clock budget.
+        let path = journal_path("duration-budget");
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::duration(Duration::from_secs(4)))
+                .journal_to(&path)
+                .unwrap();
+        for half_seconds in 1..=4u64 {
+            s.status
+                .set_elapsed_for_test(Duration::from_millis(half_seconds * 500));
+            let cfg = s.next_config().unwrap();
+            s.report(measure(&cfg)).unwrap();
+        }
+        drop(s); // crash 2s into a 4s budget
+
+        // Resume: the journal's cumulative clock is restored as an offset,
+        // so the run continues 2s into its budget instead of starting over.
+        let mut resumed: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::duration(Duration::from_secs(4)));
+        assert_eq!(resumed.resume_from_journal(&path).unwrap(), 4);
+        assert_eq!(resumed.status().elapsed_offset(), Duration::from_secs(2));
+        assert!(resumed.status().elapsed() >= Duration::from_secs(2));
+        assert!(
+            matches!(resumed.next_ticket(), Handout::Next(..)),
+            "2s of the 4s budget remain — the resumed run keeps exploring"
+        );
+
+        // A budget the original run had already exhausted ends the resumed
+        // run before any fresh handout — but only AFTER the full replay:
+        // every journaled evaluation is restored first.
+        let mut spent: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::duration(Duration::from_secs(2)));
+        assert_eq!(spent.resume_from_journal(&path).unwrap(), 4);
+        assert_eq!(spent.status().evaluations(), 4);
+        assert_eq!(spent.next_ticket(), Handout::Done, "budget already spent");
+    }
+
+    #[test]
+    fn replay_reconstructs_improvement_timeline() {
+        // Regression: replayed history entries used to be stamped with the
+        // *replay* clock (microseconds after resume), so
+        // `best_scalar_at_time` answered differently before and after a
+        // kill + resume.
+        let path = journal_path("timeline");
+        let mut s: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(6))
+                .journal_to(&path)
+                .unwrap();
+        for i in 1..=6u64 {
+            s.status.set_elapsed_for_test(Duration::from_secs(i));
+            let cfg = s.next_config().unwrap();
+            s.report(measure(&cfg)).unwrap();
+        }
+        let timeline = |status: &TuningStatus| -> Vec<(u64, u64, f64)> {
+            status
+                .improvements()
+                .iter()
+                .map(|i| (i.elapsed.as_millis() as u64, i.evaluation, i.scalar_cost))
+                .collect()
+        };
+        let reference = timeline(s.status());
+        let reference_best_at_3s = s.status().best_scalar_at_time(Duration::from_secs(3));
+        assert!(reference.len() >= 2, "test needs several improvements");
+        drop(s);
+
+        let mut resumed: TuningSession<f64> =
+            TuningSession::new(saxpy_space(64), Box::new(Exhaustive::new()))
+                .unwrap()
+                .abort_condition(abort::evaluations(6));
+        assert_eq!(resumed.resume_from_journal(&path).unwrap(), 6);
+        assert_eq!(
+            timeline(resumed.status()),
+            reference,
+            "replay reconstructs the original improvement stamps"
+        );
+        assert_eq!(
+            resumed.status().best_scalar_at_time(Duration::from_secs(3)),
+            reference_best_at_3s
         );
     }
 

@@ -16,10 +16,12 @@
 
 use crate::config::Config;
 use crate::param::ParamGroup;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 use crate::value::Value;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors during search-space generation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -189,6 +191,19 @@ fn dfs(
     Ok(())
 }
 
+/// Generates one group's sub-space, emitting its timed `space_gen` event.
+fn timed_group_generate(index: usize, group: &ParamGroup, trace: &dyn TraceSink) -> GroupSpace {
+    let started = Instant::now();
+    let gs = GroupSpace::generate(group);
+    trace.emit(&TraceEvent::space_gen(
+        index,
+        group.len(),
+        gs.len(),
+        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    ));
+    gs
+}
+
 /// The full search space: the (virtual) cross product of the group spaces.
 #[derive(Clone, Debug)]
 pub struct SearchSpace {
@@ -199,21 +214,39 @@ pub struct SearchSpace {
 impl SearchSpace {
     /// Generates the search space sequentially.
     pub fn generate(groups: &[ParamGroup]) -> Self {
-        let gs: Vec<_> = groups.iter().map(GroupSpace::generate).collect();
+        Self::generate_traced(groups, &NullSink)
+    }
+
+    /// [`generate`](Self::generate) with telemetry: one `space_gen` trace
+    /// event per parameter group, carrying the group's index, parameter
+    /// count, valid-configuration count, and generation time.
+    pub fn generate_traced(groups: &[ParamGroup], trace: &dyn TraceSink) -> Self {
+        let gs: Vec<_> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| timed_group_generate(i, g, trace))
+            .collect();
         Self::from_group_spaces(gs)
     }
 
     /// Generates the search space in parallel — one thread per dependent
     /// parameter group, as described in Section V of the paper.
     pub fn generate_parallel(groups: &[ParamGroup]) -> Self {
+        Self::generate_parallel_traced(groups, &NullSink)
+    }
+
+    /// [`generate_parallel`](Self::generate_parallel) with per-group
+    /// `space_gen` trace events (emitted from the generating threads, so
+    /// event order follows completion order).
+    pub fn generate_parallel_traced(groups: &[ParamGroup], trace: &dyn TraceSink) -> Self {
         if groups.len() <= 1 {
-            return Self::generate(groups);
+            return Self::generate_traced(groups, trace);
         }
         let mut slots: Vec<Option<GroupSpace>> = (0..groups.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(groups.len());
-            for g in groups {
-                handles.push(scope.spawn(move || GroupSpace::generate(g)));
+            for (i, g) in groups.iter().enumerate() {
+                handles.push(scope.spawn(move || timed_group_generate(i, g, trace)));
             }
             for (slot, h) in slots.iter_mut().zip(handles) {
                 *slot = Some(h.join().expect("group generation thread panicked"));

@@ -20,6 +20,11 @@ pub struct Improvement {
 #[derive(Clone, Debug)]
 pub struct TuningStatus {
     start: Instant,
+    /// Wall clock accumulated by earlier incarnations of this run. A resume
+    /// restores the journal's cumulative elapsed time here, so
+    /// time-based abort conditions (`duration`, `speedup(s, t)`) span the
+    /// whole run instead of restarting from zero after every crash.
+    elapsed_offset: Duration,
     /// Overridden elapsed time, for deterministic tests of time-based abort
     /// conditions.
     elapsed_override: Option<Duration>,
@@ -37,6 +42,7 @@ impl TuningStatus {
     pub fn new(space_size: u128) -> Self {
         TuningStatus {
             start: Instant::now(),
+            elapsed_offset: Duration::ZERO,
             elapsed_override: None,
             evaluations: 0,
             valid_evaluations: 0,
@@ -48,10 +54,25 @@ impl TuningStatus {
         }
     }
 
-    /// Time since tuning started.
+    /// Time since tuning started, cumulative across resumes.
     pub fn elapsed(&self) -> Duration {
         self.elapsed_override
-            .unwrap_or_else(|| self.start.elapsed())
+            .unwrap_or_else(|| self.elapsed_offset + self.start.elapsed())
+    }
+
+    /// Wall clock inherited from earlier incarnations of a resumed run.
+    pub fn elapsed_offset(&self) -> Duration {
+        self.elapsed_offset
+    }
+
+    /// Raises the inherited wall clock to at least `to` (never lowers it).
+    /// Called during journal replay with each entry's recorded elapsed
+    /// time, so the clock a resumed run continues from matches the moment
+    /// the original run last journaled.
+    pub fn raise_elapsed_offset(&mut self, to: Duration) {
+        if to > self.elapsed_offset {
+            self.elapsed_offset = to;
+        }
     }
 
     /// Total number of tested configurations (successful or failed).
@@ -144,8 +165,22 @@ impl TuningStatus {
 
     /// Records a new best scalar cost (call only when it improves).
     pub fn record_improvement(&mut self, scalar_cost: f64) {
+        self.record_improvement_at(scalar_cost, self.elapsed());
+    }
+
+    /// Records a new best scalar cost stamped with an explicit elapsed
+    /// time — the report's *arrival* time, which the journal preserves, so
+    /// a replayed history carries the original stamps instead of the
+    /// replay's (near-zero) clock. Stamps are clamped monotone so
+    /// [`best_scalar_at_time`](Self::best_scalar_at_time) stays a prefix
+    /// scan even when reports arrived out of ticket order.
+    pub fn record_improvement_at(&mut self, scalar_cost: f64, elapsed: Duration) {
+        let elapsed = self
+            .improvements
+            .last()
+            .map_or(elapsed, |prev| elapsed.max(prev.elapsed));
         let imp = Improvement {
-            elapsed: self.elapsed(),
+            elapsed,
             evaluation: self.evaluations,
             scalar_cost,
         };
@@ -229,6 +264,29 @@ mod tests {
         s.record_evaluation(true);
         assert_eq!(s.consecutive_failures(), 0);
         assert_eq!(s.failed_evaluations(), 3);
+    }
+
+    #[test]
+    fn elapsed_offset_accumulates_across_resumes() {
+        let mut s = TuningStatus::new(1);
+        s.raise_elapsed_offset(Duration::from_secs(10));
+        assert!(s.elapsed() >= Duration::from_secs(10));
+        s.raise_elapsed_offset(Duration::from_secs(5));
+        assert_eq!(s.elapsed_offset(), Duration::from_secs(10), "never lowers");
+    }
+
+    #[test]
+    fn improvement_stamps_are_clamped_monotone() {
+        let mut s = TuningStatus::new(10);
+        s.record_evaluation(true);
+        s.record_improvement_at(10.0, Duration::from_secs(5));
+        s.record_evaluation(true);
+        // An improvement applied later but *reported* earlier (out-of-order
+        // arrival under a parallel window) must not break the prefix scan.
+        s.record_improvement_at(4.0, Duration::from_secs(3));
+        assert_eq!(s.improvements()[1].elapsed, Duration::from_secs(5));
+        assert_eq!(s.best_scalar_at_time(Duration::from_secs(5)), Some(4.0));
+        assert_eq!(s.best_scalar_at_time(Duration::from_secs(4)), None);
     }
 
     #[test]

@@ -305,6 +305,17 @@ impl<T: Transport> Client<T> {
         self.request(&Request::new("status").with_session(session))
     }
 
+    /// The session's metrics snapshot: eval-latency histogram, failure
+    /// taxonomy counts, window occupancy, and throughput.
+    pub fn stats(
+        &mut self,
+        session: &str,
+    ) -> Result<atf_core::metrics::MetricsSnapshot, ClientError> {
+        let resp = self.request(&Request::new("stats").with_session(session))?;
+        resp.stats
+            .ok_or_else(|| ClientError::Protocol("stats reply without stats".to_string()))
+    }
+
     /// Finishes a session: the service merges the result into its database
     /// and returns it.
     pub fn finish(&mut self, session: &str) -> Result<Response, ClientError> {

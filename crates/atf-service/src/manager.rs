@@ -11,6 +11,7 @@ use atf_core::space::SearchSpace;
 use atf_core::spec;
 use atf_core::status::TuningStatus;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +56,14 @@ struct ManagedSession {
     /// When each pending configuration was handed out, by ticket. Entries
     /// past the evaluation deadline are forfeited as timeout failures.
     pending_since: HashMap<u64, Instant>,
+}
+
+/// One line of the service's periodic `stats.ndjson` telemetry file.
+#[derive(Serialize, Deserialize)]
+struct StatsLine {
+    session: String,
+    kernel: String,
+    stats: atf_core::metrics::MetricsSnapshot,
 }
 
 /// Renders nonzero failure counts as the wire map.
@@ -139,6 +148,7 @@ impl SessionManager {
             "next" => self.next(request),
             "report" => self.report(request),
             "status" => self.status(request),
+            "stats" => self.stats(request),
             "finish" => self.finish(request),
             "lookup" => self.lookup(request),
             other => Response::error(codes::UNKNOWN_CMD, format!("unknown cmd `{other}`")),
@@ -341,6 +351,15 @@ impl SessionManager {
         })
     }
 
+    fn stats(&self, request: &Request) -> Response {
+        self.with_session(request, |managed| {
+            let mut resp = Response::ok();
+            resp.stats = Some(managed.session.metrics().snapshot());
+            resp.evaluations = Some(managed.session.status().evaluations());
+            resp
+        })
+    }
+
     fn finish(&self, request: &Request) -> Response {
         let Some(id) = &request.session else {
             return Response::error(codes::BAD_REQUEST, "finish: missing `session`");
@@ -419,6 +438,45 @@ impl SessionManager {
                 eprintln!("atf-service: could not persist database: {e}");
             }
         }
+    }
+
+    /// Appends one metrics-snapshot line per live session to
+    /// `stats.ndjson` in the journal directory (no-op without one);
+    /// returns how many lines were written. Called periodically from the
+    /// server's sweep loop, this leaves a coarse throughput/utilization
+    /// timeline on disk next to the run journals.
+    pub fn write_stats_snapshots(&self) -> std::io::Result<usize> {
+        let Some(dir) = &self.config.journal_dir else {
+            return Ok(0);
+        };
+        // Snapshots are atomic-counter reads — cheap enough to take under
+        // the sessions lock; the file I/O happens after it is released.
+        let lines: Vec<String> = self
+            .sessions
+            .lock()
+            .iter()
+            .filter_map(|(id, managed)| {
+                let line = StatsLine {
+                    session: id.clone(),
+                    kernel: managed.kernel.clone(),
+                    stats: managed.session.metrics().snapshot(),
+                };
+                serde_json::to_string(&line).ok()
+            })
+            .collect();
+        if lines.is_empty() {
+            return Ok(0);
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("stats.ndjson"))?;
+        use std::io::Write;
+        for line in &lines {
+            writeln!(out, "{line}")?;
+        }
+        Ok(lines.len())
     }
 
     /// Persists the database now (used at shutdown).
@@ -607,6 +665,132 @@ mod tests {
         report.cost = Some(1.0);
         let r = m.handle(&report);
         assert_eq!(r.code.as_deref(), Some(codes::TUNING));
+    }
+
+    #[test]
+    fn garbage_request_lines_yield_structured_errors() {
+        // Fuzz-ish sweep: every malformed line a client (or a torn TCP
+        // read) can produce must come back as a parseable failure
+        // response with an error code — never a panic, never silence.
+        let m = SessionManager::in_memory();
+        let garbage = [
+            "",
+            "   ",
+            "null",
+            "true",
+            "42",
+            "\"just a string\"",
+            "[1,2,3]",
+            "{}",
+            "{\"cmd\":",
+            "{\"cmd\": \"open\", \"parameters\":",
+            "{\"cmd\": 7}",
+            "{\"cmd\": [\"open\"]}",
+            "{\"cmd\": \"open\", \"parameters\": \"not a list\"}",
+            "{\"cmd\": \"open\", \"parameters\": [{\"name\": 3}]}",
+            "{\"cmd\": \"report\", \"session\": 17}",
+            "{\"cmd\": \"report\", \"cost\": \"NaN\"}",
+            "{\"cmd\": \"next\", \"session\": {\"nested\": true}}",
+            "\u{0}\u{1}\u{2}",
+            "{\"cmd\": \"open\"} trailing garbage",
+            "{\"cmd\": \"open\", \"cmd\": \"open\"",
+        ];
+        for line in garbage {
+            let reply = m.handle_line(line);
+            let resp: Response = serde_json::from_str(&reply)
+                .unwrap_or_else(|e| panic!("unparseable reply to {line:?}: {e}\n{reply}"));
+            assert!(!resp.ok, "garbage line {line:?} must not succeed");
+            assert!(resp.code.is_some(), "no error code for {line:?}");
+        }
+        // Truncations of a valid request: every strict prefix must fail
+        // cleanly too (the full line succeeds).
+        let full = "{\"cmd\": \"lookup\", \"kernel\": \"k\"}";
+        for n in 0..full.len() {
+            let reply = m.handle_line(&full[..n]);
+            let resp: Response = serde_json::from_str(&reply).unwrap();
+            assert!(!resp.ok, "prefix {:?} must not succeed", &full[..n]);
+        }
+        assert_eq!(m.live_sessions(), 0);
+    }
+
+    #[test]
+    fn stats_op_snapshots_session_metrics() {
+        let m = SessionManager::in_memory();
+        let id = m.handle(&open_request("observed")).session.unwrap();
+
+        // Three successes and one classified failure.
+        for _ in 0..3 {
+            let next = m.handle(&Request::new("next").with_session(&id));
+            let x = next.config.unwrap()["X"];
+            let mut report = Request::new("report").with_session(&id);
+            report.cost = Some(x as f64);
+            assert!(m.handle(&report).ok);
+        }
+        assert!(m
+            .handle(&Request::new("next").with_session(&id))
+            .config
+            .is_some());
+        let mut report = Request::new("report").with_session(&id);
+        report.valid = Some(false);
+        report.failure = Some("timeout".into());
+        assert!(m.handle(&report).ok);
+
+        let resp = m.handle(&Request::new("stats").with_session(&id));
+        assert!(resp.ok, "{resp:?}");
+        let stats = resp.stats.expect("stats payload");
+        assert_eq!(stats.evaluations, 4);
+        assert_eq!(stats.valid_evaluations, 3);
+        assert_eq!(stats.failed_evaluations, 1);
+        assert_eq!(stats.failures.get("timeout"), Some(&1));
+        assert_eq!(stats.eval_latency.count, 4);
+        assert_eq!(stats.window.capacity, 1);
+
+        // The snapshot agrees with the status view of the same session.
+        let status = m.handle(&Request::new("status").with_session(&id));
+        assert_eq!(Some(stats.evaluations), status.evaluations);
+        assert_eq!(Some(stats.failed_evaluations), status.failed_evaluations);
+
+        // And it round-trips the wire encoding.
+        let line =
+            serde_json::to_string(&m.handle(&Request::new("stats").with_session(&id))).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.stats.unwrap().evaluations, 4);
+
+        // Unknown session: structured error, same as every other op.
+        let r = m.handle(&Request::new("stats").with_session("s404"));
+        assert_eq!(r.code.as_deref(), Some(codes::UNKNOWN_SESSION));
+    }
+
+    #[test]
+    fn stats_snapshots_are_written_to_the_journal_dir() {
+        let dir = std::env::temp_dir().join(format!("atf-mgr-stats-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let manager = SessionManager::new(ManagerConfig {
+            journal_dir: Some(dir.clone()),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        // No sessions: nothing to write, no file.
+        assert_eq!(manager.write_stats_snapshots().unwrap(), 0);
+
+        let id = manager.handle(&open_request("snap")).session.unwrap();
+        let next = manager.handle(&Request::new("next").with_session(&id));
+        let mut report = Request::new("report").with_session(&id);
+        report.cost = Some(next.config.unwrap()["X"] as f64);
+        assert!(manager.handle(&report).ok);
+
+        assert_eq!(manager.write_stats_snapshots().unwrap(), 1);
+        assert_eq!(manager.write_stats_snapshots().unwrap(), 1);
+        let text = std::fs::read_to_string(dir.join("stats.ndjson")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one line per sweep per live session");
+        for line in lines {
+            let parsed: StatsLine = serde_json::from_str(line).unwrap();
+            assert_eq!(parsed.session, id);
+            assert_eq!(parsed.kernel, "snap");
+            assert_eq!(parsed.stats.evaluations, 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! envelope with the irrelevant fields absent. See the README's "Service
 //! mode" section for the per-command field reference.
 
+use atf_core::metrics::MetricsSnapshot;
 use atf_core::spec::{AbortSpec, ParameterSpec, SearchSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -33,8 +34,8 @@ pub mod codes {
 /// JSON).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Request {
-    /// One of `open`, `next`, `report`, `status`, `finish`, `lookup`,
-    /// `ping`.
+    /// One of `open`, `next`, `report`, `status`, `stats`, `finish`,
+    /// `lookup`, `ping`.
     pub cmd: String,
     /// Session id (`next`/`report`/`status`/`finish`).
     #[serde(default)]
@@ -170,6 +171,10 @@ pub struct Response {
     /// pending ticket or ask again shortly.
     #[serde(default)]
     pub retry: Option<bool>,
+    /// `stats`: the session's full metrics snapshot (latency histogram,
+    /// failure taxonomy, window occupancy, throughput).
+    #[serde(default)]
+    pub stats: Option<MetricsSnapshot>,
 }
 
 impl Response {

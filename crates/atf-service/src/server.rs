@@ -198,6 +198,11 @@ impl Server {
             }
             if last_sweep.elapsed() >= SWEEP_INTERVAL {
                 self.manager.expire_idle();
+                // Periodic observability: one metrics-snapshot line per
+                // live session into the journal directory's stats.ndjson.
+                if let Err(e) = self.manager.write_stats_snapshots() {
+                    eprintln!("atf-service: could not write stats snapshots: {e}");
+                }
                 last_sweep = Instant::now();
             }
         }
