@@ -198,6 +198,14 @@ pub struct RunOptions {
     /// Collect a metrics snapshot (latency histogram, failure taxonomy,
     /// throughput, worker utilization) and attach it to the outcome.
     pub metrics: bool,
+    /// Treat a run-journal write failure as fatal. By default the session
+    /// degrades instead: journaling stops, tuning continues in memory, and
+    /// the outcome carries a warning.
+    pub strict_journal: bool,
+    /// Base delay before a remote client's first reconnect attempt
+    /// (doubling with jitter each attempt; `None` = 200 ms). Local runs
+    /// ignore it.
+    pub reconnect_backoff: Option<std::time::Duration>,
 }
 
 impl RunOptions {
@@ -216,6 +224,19 @@ impl RunOptions {
 /// (jitter only staggers sleeps, it never affects the search).
 const RETRY_JITTER_SEED: u64 = 0x5eed;
 
+/// Journal checkpoint interval for CLI-journaled runs: after this many
+/// appends the journal compacts into an atomically-renamed checkpoint, so
+/// resuming a long run replays a bounded tail instead of the whole history.
+const CLI_CHECKPOINT_EVERY: usize = 64;
+
+/// Default base backoff before a remote client's first reconnect (the
+/// `--backoff-ms` flag overrides it).
+pub const DEFAULT_RECONNECT_BACKOFF: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// How many times a remote run transparently re-attaches (re-opens with
+/// `resume`) after the service forgot its session.
+const MAX_REATTACHES: u32 = 3;
+
 /// The outcome reported to the CLI user.
 #[derive(Debug)]
 pub struct CliOutcome {
@@ -229,6 +250,9 @@ pub struct CliOutcome {
     pub resumed: u64,
     /// Final metrics snapshot (present when the run asked for metrics).
     pub metrics: Option<MetricsSnapshot>,
+    /// Why journaling degraded mid-run, if it did: the journal hit a write
+    /// error (full disk, permissions) and the session finished in-memory.
+    pub journal_degraded: Option<String>,
 }
 
 /// Runs a tuning specification end to end with default (no-fault-handling)
@@ -270,7 +294,9 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
     session = session
         .eval_policy(&policy)
         .max_pending(workers)
-        .trace_to(Arc::clone(&trace));
+        .trace_to(Arc::clone(&trace))
+        .strict_journal(opts.strict_journal)
+        .journal_checkpoint_every(CLI_CHECKPOINT_EVERY);
     let metrics = Arc::clone(session.metrics());
     let mut resumed = 0;
     if let Some(path) = &opts.journal {
@@ -331,6 +357,7 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         }
     }
     let failures = session.status().failure_counts();
+    let journal_degraded = session.journal_degraded().map(String::from);
     let result = session.finish().map_err(CliError::Tuning)?;
     trace.flush();
     let snapshot = opts.metrics.then(|| metrics.snapshot());
@@ -362,6 +389,7 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         failures,
         resumed,
         metrics: snapshot,
+        journal_degraded,
     })
 }
 
@@ -415,11 +443,24 @@ pub fn run_remote<T: atf_service::Transport>(
     run_remote_with(spec, client, &RunOptions::default())
 }
 
+/// Whether a client error means the service forgot the session (it expired
+/// or the service restarted) — the case a remote run can transparently
+/// recover from by re-opening with `resume`.
+fn is_unknown_session(e: &atf_service::ClientError) -> bool {
+    matches!(e, atf_service::ClientError::Remote { code, .. }
+             if code == atf_service::proto::codes::UNKNOWN_SESSION)
+}
+
 /// [`run_remote`] guarded by fault-tolerance options: the local
 /// measurements get the policy's timeout and transient-retry loop, failures
 /// are reported to the service with their taxonomy class, and `resume` /
 /// `breaker` ride along on `open` (the service owns the journal and the
 /// circuit breaker; `opts.journal` is ignored here).
+///
+/// When the service forgets the session mid-run (idle expiry, a service
+/// restart), the run transparently re-attaches: it re-opens the same key
+/// with `resume: true` — replaying the service-side journal when one exists
+/// — and continues, up to a bounded number of re-attaches.
 pub fn run_remote_with<T: atf_service::Transport>(
     spec: &TuningSpec,
     client: &mut atf_service::Client<T>,
@@ -434,20 +475,48 @@ pub fn run_remote_with<T: atf_service::Transport>(
     }
     let mut cf = with_policy(process_cf, &opts.policy(), RETRY_JITTER_SEED);
     let service = |e: atf_service::ClientError| CliError::Service(e.to_string());
-    let (id, replayed) = client.open_resumable(&session).map_err(service)?;
-    while let Some(wire) = client.next(&id).map_err(service)? {
-        let config = wire_to_config(&wire);
-        match cf.evaluate(&config) {
-            Ok(costs) => match costs.first().copied() {
-                Some(cost) => client.report(&id, Some(cost)).map_err(service)?,
-                None => client
-                    .report_failure(&id, FailureKind::BadOutput)
-                    .map_err(service)?,
-            },
-            Err(e) => client.report_failure(&id, e.kind()).map_err(service)?,
+    let (mut id, mut replayed) = client.open_resumable(&session).map_err(service)?;
+    let mut reattaches_left = MAX_REATTACHES;
+    let mut response = loop {
+        // Drive the current session until it is done or the service
+        // forgets it. A `None` outcome means the drive completed.
+        let drive_error = loop {
+            let wire = match client.next(&id) {
+                Ok(Some(w)) => w,
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            };
+            let config = wire_to_config(&wire);
+            let reported = match cf.evaluate(&config) {
+                Ok(costs) => match costs.first().copied() {
+                    Some(cost) => client.report(&id, Some(cost)),
+                    None => client.report_failure(&id, FailureKind::BadOutput),
+                },
+                Err(e) => client.report_failure(&id, e.kind()),
+            };
+            if let Err(e) = reported {
+                break Some(e);
+            }
         };
-    }
-    let mut response = client.finish(&id).map_err(service)?;
+        let finish_error = match drive_error {
+            None => match client.finish(&id) {
+                Ok(resp) => break resp,
+                Err(e) => e,
+            },
+            Some(e) => e,
+        };
+        if !is_unknown_session(&finish_error) || reattaches_left == 0 {
+            return Err(service(finish_error));
+        }
+        // Re-attach: the same key, asking the service to replay whatever
+        // its journal kept of the lost session's progress.
+        reattaches_left -= 1;
+        let mut reopened = session.clone();
+        reopened.resume = true;
+        let (new_id, rep) = client.open_resumable(&reopened).map_err(service)?;
+        id = new_id;
+        replayed = replayed.max(rep);
+    };
     // `resumed` arrives on the `open` response; carry it into the final
     // one so the report can show it.
     if replayed > 0 {
@@ -524,6 +593,12 @@ pub fn report(outcome: &CliOutcome) -> String {
     out.push_str(&format!("best cost:    {:?}\n", r.best_cost));
     if let Some(db) = &outcome.database {
         out.push_str(&format!("recorded in:  {}\n", db.display()));
+    }
+    if let Some(why) = &outcome.journal_degraded {
+        out.push_str(&format!(
+            "WARNING:      journaling degraded mid-run ({why}); the result \
+             above is complete, but the journal on disk is not\n"
+        ));
     }
     if let Some(snapshot) = &outcome.metrics {
         out.push('\n');

@@ -42,9 +42,14 @@ and an optional tuning database to record the best configuration.
   --breaker N        Abort the run after N consecutive failed
                      evaluations (circuit breaker).
   --journal PATH     Append every evaluation to a crash-safe run journal
-                     (NDJSON) at PATH before applying it.
+                     (NDJSON, checksummed, periodically compacted into an
+                     atomically-written checkpoint) at PATH before applying
+                     it.
   --resume           Replay the journal at --journal PATH first, then
                      continue the interrupted run where it stopped.
+  --strict-journal   Treat a journal write failure as fatal. Default:
+                     journaling degrades (tuning continues in memory) and
+                     the report carries a warning.
   --workers N        Evaluate up to N configurations in parallel (default
                      1 = serial). With --resume the journal's recorded
                      pending window takes precedence over N.
@@ -83,11 +88,20 @@ configuration for the key, without tuning.
   --timeout SECS     Kill any single local measurement after SECS seconds
                      (reported to the service as a `timeout` failure).
   --retries N        Retry transient measurement failures up to N times
-                     before reporting them.
+                     before reporting them. Also raises the connection
+                     retry budget (at least 3 reconnect attempts are
+                     always made).
+  --backoff-ms MS    Base delay before the first reconnect attempt,
+                     doubling with jitter each retry (default 200).
   --breaker N        Ask the service to abort the session after N
                      consecutive failed evaluations.
   --resume           Ask the service to resume this key's run journal
-                     (needs a service started with --journal-dir).";
+                     (needs a service started with --journal-dir).
+
+The connection self-heals: requests carry idempotency keys, so a retry
+after a dropped connection or lost response is answered exactly once by
+the service, and a session the service expired is transparently
+re-attached (re-opened with resume).";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
@@ -195,6 +209,8 @@ fn take_run_options(
         workers: take_u32_flag(args, "--workers")?.unwrap_or(1) as usize,
         trace: None,
         metrics: take_switch(args, "--metrics"),
+        strict_journal: false,
+        reconnect_backoff: None,
     };
     if with_journal {
         opts.journal = take_flag(args, "--journal")?.map(Into::into);
@@ -202,6 +218,10 @@ fn take_run_options(
             return Err("`--resume` needs `--journal PATH`".to_string());
         }
         opts.trace = take_flag(args, "--trace")?.map(Into::into);
+        opts.strict_journal = take_switch(args, "--strict-journal");
+    } else {
+        opts.reconnect_backoff =
+            take_u32_flag(args, "--backoff-ms")?.map(|ms| Duration::from_millis(u64::from(ms)));
     }
     Ok(opts)
 }
@@ -366,13 +386,20 @@ fn cmd_client(args: &[String]) -> ExitCode {
         }
     };
 
-    let mut client = match atf_service::Client::connect(addr.as_str()) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("atf-tune client: could not connect to {addr}: {e}");
-            return ExitCode::FAILURE;
-        }
+    // Self-healing connection: connects lazily, and on a dropped
+    // connection, lost response, or timeout it backs off (exponentially,
+    // jittered) and resends the same request — the service deduplicates by
+    // request id, so retries stay exactly-once.
+    let (reconnect_retries, backoff) = match &mode {
+        ClientMode::Tune { opts, .. } => (
+            opts.retries.max(3),
+            opts.reconnect_backoff
+                .unwrap_or(atf_cli::DEFAULT_RECONNECT_BACKOFF),
+        ),
+        ClientMode::Lookup { .. } => (3, atf_cli::DEFAULT_RECONNECT_BACKOFF),
     };
+    let transport = atf_service::ReconnectingTransport::tcp(&addr, reconnect_retries, backoff);
+    let mut client = atf_service::Client::new(transport);
     match mode {
         ClientMode::Tune { spec, opts } => {
             let spec = match atf_cli::TuningSpec::load(&spec) {

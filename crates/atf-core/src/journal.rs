@@ -10,22 +10,33 @@
 //! fsynced in batches ([`JournalWriter::SYNC_EVERY`]) plus on close — a
 //! crash loses at most the last unsynced batch, and a torn final line is
 //! skipped on load rather than poisoning the whole journal.
+//!
+//! Since version 4 every entry line is wrapped with a checksum
+//! (`{"crc":"<fnv1a-64 hex>","entry":{...}}`) so silent storage corruption
+//! is detected and treated like a torn tail, and the journal can be
+//! periodically compacted into a checkpoint file
+//! ([`checkpoint_path`]) written atomically (tmp + fsync + rename).
+//! [`LoadedJournal::load_with_checkpoint`] replays the checkpoint first and
+//! then the live tail, deduplicating by arrival number, so a kill at any
+//! point of the compaction sequence resumes to the same state.
 
 use crate::cost::FailureKind;
 use crate::search::Point;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Current journal format version, written into every header. Version 2
 /// added per-entry `ticket` and the header `window` (parallel evaluation);
 /// version 3 added per-entry `elapsed_ms` so time-based abort conditions
-/// survive a resume. Older journals load fine — a missing ticket defaults
-/// to the evaluation number (serial runs hand out tickets in order), a
-/// missing window to 1, and a missing `elapsed_ms` to `None` (the resumed
-/// clock then restarts, the pre-v3 behaviour).
-pub const JOURNAL_VERSION: u32 = 3;
+/// survive a resume; version 4 wraps every entry line in a checksum and
+/// introduces checkpoint compaction. Older journals load fine — a missing
+/// ticket defaults to the evaluation number (serial runs hand out tickets
+/// in order), a missing window to 1, a missing `elapsed_ms` to `None` (the
+/// resumed clock then restarts, the pre-v3 behaviour), and bare
+/// (unchecksummed) entry lines are accepted as written by v1–v3.
+pub const JOURNAL_VERSION: u32 = 4;
 
 fn default_window() -> usize {
     1
@@ -52,7 +63,7 @@ pub struct JournalHeader {
 /// One evaluation outcome. `costs` holds the full (possibly
 /// multi-objective) cost vector of a successful measurement; a failed one
 /// records its taxonomy class in `failure` instead.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JournalEntry {
     /// 1-based arrival number: entries are written in the order reports
     /// *arrived*, which under parallel evaluation may differ from the order
@@ -83,6 +94,72 @@ impl JournalEntry {
     /// The entry's failure kind, if it records a failure.
     pub fn failure_kind(&self) -> Option<FailureKind> {
         self.failure.as_deref().and_then(FailureKind::from_label)
+    }
+}
+
+/// A version-4 entry line: the entry plus an FNV-1a 64 checksum (hex) of
+/// its canonical JSON serialization. A line whose checksum does not match
+/// is treated exactly like a torn tail: everything before it is intact.
+#[derive(Deserialize)]
+struct ChecksummedLine {
+    crc: String,
+    entry: JournalEntry,
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty to catch bit rot and
+/// torn or overwritten sectors (this is corruption *detection*, not
+/// cryptographic integrity).
+fn fnv1a64(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn checksummed_line(entry: &JournalEntry) -> Result<String, JournalError> {
+    let body = serde_json::to_string(entry).map_err(io_invalid)?;
+    let crc = format!("{:016x}", fnv1a64(&body));
+    Ok(format!("{{\"crc\":\"{crc}\",\"entry\":{body}}}"))
+}
+
+/// Parses one entry line: a v4 checksummed wrapper (verified) or a bare
+/// v1–v3 entry. `None` means the line is torn or corrupt.
+fn parse_entry_line(line: &str) -> Option<JournalEntry> {
+    if let Ok(wrapped) = serde_json::from_str::<ChecksummedLine>(line) {
+        // Re-serializing the parsed entry reproduces the exact bytes the
+        // writer checksummed (same serializer, field order and float
+        // formatting), so a mismatch means the line changed on disk.
+        let body = serde_json::to_string(&wrapped.entry).ok()?;
+        let crc = format!("{:016x}", fnv1a64(&body));
+        return (crc == wrapped.crc).then_some(wrapped.entry);
+    }
+    serde_json::from_str::<JournalEntry>(line).ok()
+}
+
+/// Path of the checkpoint a journal at `path` compacts into.
+pub fn checkpoint_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".ckpt");
+    PathBuf::from(name)
+}
+
+fn checkpoint_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".ckpt.tmp");
+    PathBuf::from(name)
+}
+
+/// Best-effort parent-directory fsync after a rename, so the new directory
+/// entry itself is durable. Opening a directory read-only works on the
+/// platforms we target; anywhere it does not, skipping the sync only
+/// weakens durability back to pre-checkpoint semantics.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
     }
 }
 
@@ -124,11 +201,15 @@ impl From<std::io::Error> for JournalError {
     }
 }
 
-/// Append-only journal writer with fsync batching.
+/// Append-only journal writer with fsync batching and optional checkpoint
+/// compaction.
 pub struct JournalWriter {
     path: PathBuf,
     file: BufWriter<File>,
     unsynced: usize,
+    checkpoint_every: Option<usize>,
+    since_checkpoint: usize,
+    fail_appends: u64,
 }
 
 impl JournalWriter {
@@ -137,14 +218,32 @@ impl JournalWriter {
     /// program evaluation.
     pub const SYNC_EVERY: usize = 8;
 
-    /// Creates (truncates) a journal at `path` and writes the header.
+    /// Creates (truncates) a journal at `path` and writes the header. Any
+    /// checkpoint left over from a previous run at the same path is
+    /// removed — a fresh run must not inherit stale history.
     pub fn create(path: impl Into<PathBuf>, header: &JournalHeader) -> Result<Self, JournalError> {
+        let path = path.into();
+        let _ = std::fs::remove_file(checkpoint_path(&path));
+        let _ = std::fs::remove_file(checkpoint_tmp_path(&path));
+        Self::create_tail(path, header)
+    }
+
+    /// Creates (truncates) just the live tail file, leaving any checkpoint
+    /// in place. Used on resume to repair a tail torn at the header (e.g. a
+    /// kill between checkpoint rename and tail rewrite).
+    pub fn create_tail(
+        path: impl Into<PathBuf>,
+        header: &JournalHeader,
+    ) -> Result<Self, JournalError> {
         let path = path.into();
         let file = File::create(&path)?;
         let mut writer = JournalWriter {
             path,
             file: BufWriter::new(file),
             unsynced: 0,
+            checkpoint_every: None,
+            since_checkpoint: 0,
+            fail_appends: 0,
         };
         writer.write_line(&serde_json::to_string(header).map_err(io_invalid)?)?;
         writer.sync()?;
@@ -159,6 +258,41 @@ impl JournalWriter {
             path,
             file: BufWriter::new(file),
             unsynced: 0,
+            checkpoint_every: None,
+            since_checkpoint: 0,
+            fail_appends: 0,
+        })
+    }
+
+    /// Reopens a journal for appending after truncating it to its intact
+    /// prefix (`intact_len` bytes, as reported by [`LoadedJournal`]). This
+    /// discards a torn final line so the next append starts a fresh line
+    /// instead of gluing itself onto the torn one — which would make the
+    /// loader drop every entry from the torn line onward on the *next*
+    /// resume.
+    pub fn append_from(path: impl Into<PathBuf>, intact_len: u64) -> Result<Self, JournalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(intact_len)?;
+        file.seek(SeekFrom::End(0))?;
+        // If the intact prefix does not end with a newline (a final line
+        // that parsed fine but was never terminated), terminate it now.
+        if intact_len > 0 {
+            file.seek(SeekFrom::Start(intact_len - 1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+            }
+        }
+        file.sync_data()?;
+        Ok(JournalWriter {
+            path,
+            file: BufWriter::new(file),
+            unsynced: 0,
+            checkpoint_every: None,
+            since_checkpoint: 0,
+            fail_appends: 0,
         })
     }
 
@@ -167,14 +301,80 @@ impl JournalWriter {
         &self.path
     }
 
+    /// Enables (or disables, with `None`) checkpoint compaction every
+    /// `every` appended entries.
+    pub fn set_checkpoint_every(&mut self, every: Option<usize>) {
+        self.checkpoint_every = every.filter(|n| *n > 0);
+    }
+
+    /// Makes the next `n` appends fail with a simulated out-of-space I/O
+    /// error. Chaos hook for exercising the degrade-don't-die path without
+    /// an actual full disk.
+    pub fn fail_next_appends(&mut self, n: u64) {
+        self.fail_appends = n;
+    }
+
     /// Appends one entry; flushed immediately, fsynced every
-    /// [`SYNC_EVERY`](Self::SYNC_EVERY) entries.
+    /// [`SYNC_EVERY`](Self::SYNC_EVERY) entries, compacted into the
+    /// checkpoint when the configured interval is reached.
     pub fn append(&mut self, entry: &JournalEntry) -> Result<(), JournalError> {
-        self.write_line(&serde_json::to_string(entry).map_err(io_invalid)?)?;
+        if self.fail_appends > 0 {
+            self.fail_appends -= 1;
+            return Err(JournalError::Io(std::io::Error::other(
+                "injected write failure (simulated full disk)",
+            )));
+        }
+        self.write_line(&checksummed_line(entry)?)?;
         self.unsynced += 1;
         if self.unsynced >= Self::SYNC_EVERY {
             self.sync()?;
         }
+        self.since_checkpoint += 1;
+        if let Some(every) = self.checkpoint_every {
+            if self.since_checkpoint >= every {
+                self.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compacts the journal: merges the existing checkpoint (if any) with
+    /// the live tail into a new checkpoint file, written to a temporary
+    /// sibling, fsynced, and atomically renamed into place; the live tail
+    /// is then rewritten as just a header. A kill at any point leaves a
+    /// loadable state: before the rename the old checkpoint + full tail
+    /// are untouched; after it the new checkpoint holds everything and the
+    /// (possibly still unrewritten) tail only contributes entries newer
+    /// than the checkpoint.
+    pub fn compact(&mut self) -> Result<(), JournalError> {
+        self.sync()?;
+        let merged = LoadedJournal::load_with_checkpoint(&self.path)?;
+        let header = JournalHeader {
+            version: JOURNAL_VERSION,
+            ..merged.header.clone()
+        };
+        let header_line = serde_json::to_string(&header).map_err(io_invalid)?;
+        let ckpt = checkpoint_path(&self.path);
+        let tmp = checkpoint_tmp_path(&self.path);
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            w.write_all(header_line.as_bytes())?;
+            w.write_all(b"\n")?;
+            for entry in &merged.entries {
+                w.write_all(checksummed_line(entry)?.as_bytes())?;
+                w.write_all(b"\n")?;
+            }
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, &ckpt)?;
+        sync_parent_dir(&self.path);
+        // From here on the checkpoint carries the history; restart the tail.
+        self.file = BufWriter::new(File::create(&self.path)?);
+        self.unsynced = 0;
+        self.write_line(&header_line)?;
+        self.file.get_ref().sync_data()?;
+        self.since_checkpoint = 0;
         Ok(())
     }
 
@@ -214,33 +414,113 @@ pub struct LoadedJournal {
     pub header: JournalHeader,
     /// All intact entries, in write order.
     pub entries: Vec<JournalEntry>,
+    /// Byte length of the intact prefix of the live journal file (header
+    /// plus every line that decoded cleanly). `None` when the live tail
+    /// itself is unusable and only a checkpoint carried the run — the tail
+    /// must then be recreated before appending. Appending beyond a torn
+    /// line without truncating to this prefix first would merge the new
+    /// entry into the torn line and lose both.
+    pub tail_intact_len: Option<u64>,
 }
 
 impl LoadedJournal {
-    /// Loads a journal, tolerating a torn (crash-truncated) final line:
-    /// entries after the first undecodable line are dropped.
+    /// Loads a single journal file, tolerating a torn (crash-truncated) or
+    /// corrupt (checksum-mismatching) final line: entries from the first
+    /// undecodable line onward are dropped.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, JournalError> {
         let file = File::open(path.as_ref())?;
-        let mut lines = BufReader::new(file).lines();
-        let header_line = lines
-            .next()
-            .ok_or_else(|| JournalError::BadHeader("journal file is empty".into()))??;
-        let header: JournalHeader = serde_json::from_str(&header_line)
+        let mut reader = BufReader::new(file);
+        let mut buf = String::new();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Err(JournalError::BadHeader("journal file is empty".into()));
+        }
+        let header: JournalHeader = serde_json::from_str(buf.trim_end())
             .map_err(|e| JournalError::BadHeader(e.to_string()))?;
+        let mut intact = n as u64;
         let mut entries = Vec::new();
-        for line in lines {
-            let line = line?;
-            if line.trim().is_empty() {
+        loop {
+            buf.clear();
+            let n = reader.read_line(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            let line = buf.trim();
+            if line.is_empty() {
+                intact += n as u64;
                 continue;
             }
-            match serde_json::from_str::<JournalEntry>(&line) {
-                Ok(entry) => entries.push(entry),
-                // A torn tail from a crash mid-write: everything before it
-                // is intact, so stop here and resume from that prefix.
-                Err(_) => break,
+            match parse_entry_line(line) {
+                Some(entry) => {
+                    entries.push(entry);
+                    intact += n as u64;
+                }
+                // A torn or corrupt line: everything before it is intact,
+                // so stop here and resume from that prefix.
+                None => break,
             }
         }
-        Ok(LoadedJournal { header, entries })
+        Ok(LoadedJournal {
+            header,
+            entries,
+            tail_intact_len: Some(intact),
+        })
+    }
+
+    /// Loads a journal together with its checkpoint: checkpoint entries
+    /// first, then live-tail entries newer than the checkpoint's last
+    /// arrival number. The deduplication makes every crash window of
+    /// [`JournalWriter::compact`] safe — a tail that still holds
+    /// checkpointed entries (kill after rename, before the tail rewrite)
+    /// contributes nothing twice, and a tail torn at the header falls back
+    /// to the checkpoint alone.
+    pub fn load_with_checkpoint(path: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let path = path.as_ref();
+        let ckpt_path = checkpoint_path(path);
+        let ckpt = if ckpt_path.exists() {
+            LoadedJournal::load(&ckpt_path).ok()
+        } else {
+            None
+        };
+        let Some(ckpt) = ckpt else {
+            return Self::load(path);
+        };
+        match Self::load(path) {
+            Ok(tail) => {
+                if tail.header.technique != ckpt.header.technique
+                    || tail.header.space_size != ckpt.header.space_size
+                {
+                    // The checkpoint belongs to some other run that once
+                    // used this path; trust the live journal.
+                    return Ok(tail);
+                }
+                let last = ckpt.entries.last().map(|e| e.evaluation).unwrap_or(0);
+                let tail_intact_len = tail.tail_intact_len;
+                let mut entries = ckpt.entries;
+                entries.extend(tail.entries.into_iter().filter(|e| e.evaluation > last));
+                Ok(LoadedJournal {
+                    header: tail.header,
+                    entries,
+                    tail_intact_len,
+                })
+            }
+            // A kill between the checkpoint rename and the tail rewrite can
+            // leave the tail empty or headerless; the checkpoint alone
+            // carries the run.
+            Err(JournalError::BadHeader(_)) => Ok(LoadedJournal {
+                header: ckpt.header,
+                entries: ckpt.entries,
+                tail_intact_len: None,
+            }),
+            Err(JournalError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                Ok(LoadedJournal {
+                    header: ckpt.header,
+                    entries: ckpt.entries,
+                    tail_intact_len: None,
+                })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Verifies the header matches the current run's shape.
@@ -336,11 +616,54 @@ mod tests {
         drop(w);
         // Simulate a crash mid-write: append half a JSON line.
         use std::io::Write as _;
+        let intact = std::fs::metadata(&path).unwrap().len();
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(b"{\"evaluation\":3,\"point\":[1").unwrap();
         drop(f);
         let loaded = LoadedJournal::load(&path).unwrap();
         assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.tail_intact_len, Some(intact));
+    }
+
+    #[test]
+    fn append_from_truncates_the_torn_tail_first() {
+        // Appending after a torn line must not glue the new entry onto it:
+        // the loader would drop both on the next resume.
+        let path = tmp("torn-append");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&ok_entry(1)).unwrap();
+        drop(w);
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"evaluation\":2,\"point\":[9").unwrap();
+        drop(f);
+        let loaded = LoadedJournal::load(&path).unwrap();
+        let mut w = JournalWriter::append_from(&path, loaded.tail_intact_len.unwrap()).unwrap();
+        w.append(&ok_entry(2)).unwrap();
+        drop(w);
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.entries[1], ok_entry(2));
+    }
+
+    #[test]
+    fn corrupt_entry_line_is_detected_by_checksum() {
+        let path = tmp("crc");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&ok_entry(1)).unwrap();
+        w.append(&ok_entry(2)).unwrap();
+        w.append(&ok_entry(3)).unwrap();
+        drop(w);
+        // Flip one digit inside the middle entry's payload: still valid
+        // JSON, but the checksum no longer matches, so loading stops there.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        assert!(lines[2].contains("\"evaluation\":2"));
+        lines[2] = lines[2].replace("\"evaluation\":2", "\"evaluation\":7");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let loaded = LoadedJournal::load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].evaluation, 1);
     }
 
     #[test]
@@ -381,6 +704,103 @@ mod tests {
         assert_eq!(loaded.header.window, 2);
         assert_eq!(loaded.entries[0].ticket, Some(2));
         assert_eq!(loaded.entries[0].elapsed_ms, None);
+    }
+
+    #[test]
+    fn checkpoint_compaction_round_trip() {
+        let path = tmp("ckpt");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.set_checkpoint_every(Some(3));
+        for n in 1..=8 {
+            w.append(&ok_entry(n)).unwrap();
+        }
+        drop(w);
+        assert!(checkpoint_path(&path).exists());
+        // The live tail holds only the entries since the last compaction.
+        let tail = LoadedJournal::load(&path).unwrap();
+        assert!(tail.entries.len() < 8);
+        // Checkpoint + tail replays the full history, in order.
+        let merged = LoadedJournal::load_with_checkpoint(&path).unwrap();
+        let expected: Vec<JournalEntry> = (1..=8).map(ok_entry).collect();
+        assert_eq!(merged.entries, expected);
+    }
+
+    #[test]
+    fn kill_after_rename_before_tail_rewrite_deduplicates() {
+        // Simulate the compaction crash window where the checkpoint is in
+        // place but the tail still holds everything it checkpointed.
+        let path = tmp("ckpt-dup");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        for n in 1..=5 {
+            w.append(&ok_entry(n)).unwrap();
+        }
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        let mut w = JournalWriter::append_to(&path).unwrap();
+        w.set_checkpoint_every(Some(1));
+        w.append(&ok_entry(6)).unwrap(); // compacts: ckpt = 1..=6, tail = header only
+        drop(w);
+        // Restore the pre-compaction tail as if the rewrite never happened,
+        // then add one post-checkpoint entry.
+        std::fs::write(&path, full).unwrap();
+        let mut w = JournalWriter::append_to(&path).unwrap();
+        w.append(&ok_entry(7)).unwrap();
+        drop(w);
+        let merged = LoadedJournal::load_with_checkpoint(&path).unwrap();
+        let mut expected: Vec<JournalEntry> = (1..=6).map(ok_entry).collect();
+        expected.push(ok_entry(7));
+        assert_eq!(merged.entries, expected);
+    }
+
+    #[test]
+    fn tail_torn_at_header_falls_back_to_checkpoint() {
+        let path = tmp("ckpt-torn-head");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.set_checkpoint_every(Some(2));
+        for n in 1..=4 {
+            w.append(&ok_entry(n)).unwrap();
+        }
+        drop(w);
+        // Kill between File::create(tail) and the header write: empty tail.
+        std::fs::write(&path, "").unwrap();
+        let merged = LoadedJournal::load_with_checkpoint(&path).unwrap();
+        assert_eq!(merged.entries, (1..=4).map(ok_entry).collect::<Vec<_>>());
+        assert_eq!(merged.tail_intact_len, None);
+    }
+
+    #[test]
+    fn lingering_tmp_checkpoint_is_ignored_and_fresh_create_clears_state() {
+        let path = tmp("ckpt-tmp");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.set_checkpoint_every(Some(1));
+        w.append(&ok_entry(1)).unwrap();
+        drop(w);
+        // A kill before the rename leaves only the tmp file behind; the
+        // loader never reads it.
+        std::fs::write(checkpoint_tmp_path(&path), "garbage\n").unwrap();
+        let merged = LoadedJournal::load_with_checkpoint(&path).unwrap();
+        assert_eq!(merged.entries.len(), 1);
+        // A fresh create() must clear both checkpoint artifacts, or a new
+        // run would inherit the old run's history on resume.
+        let w = JournalWriter::create(&path, &header()).unwrap();
+        drop(w);
+        assert!(!checkpoint_path(&path).exists());
+        assert!(!checkpoint_tmp_path(&path).exists());
+        let merged = LoadedJournal::load_with_checkpoint(&path).unwrap();
+        assert!(merged.entries.is_empty());
+    }
+
+    #[test]
+    fn injected_write_failure_surfaces_as_io_error() {
+        let path = tmp("enospc");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.append(&ok_entry(1)).unwrap();
+        w.fail_next_appends(1);
+        assert!(matches!(w.append(&ok_entry(2)), Err(JournalError::Io(_))));
+        // The failure consumed the injection; later appends succeed again.
+        w.append(&ok_entry(2)).unwrap();
+        drop(w);
+        assert_eq!(LoadedJournal::load(&path).unwrap().entries.len(), 2);
     }
 
     #[test]

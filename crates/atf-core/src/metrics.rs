@@ -175,6 +175,9 @@ pub struct MetricsRegistry {
     pub retries: Counter,
     /// Circuit-breaker trips (0 or 1 per run).
     pub breaker_trips: Counter,
+    /// Journal write failures that degraded the run to in-memory-only
+    /// (ENOSPC, I/O errors under the degrade-don't-die policy).
+    pub journal_errors: Counter,
     /// Handout-to-report latency of every applied evaluation.
     pub eval_latency: Histogram,
     /// Search-space generation time, microseconds, summed over groups.
@@ -197,6 +200,7 @@ impl Default for MetricsRegistry {
             failures_by_kind: std::array::from_fn(|_| Counter::default()),
             retries: Counter::default(),
             breaker_trips: Counter::default(),
+            journal_errors: Counter::default(),
             eval_latency: Histogram::default(),
             space_gen_micros: Counter::default(),
             window_capacity: Gauge::default(),
@@ -293,6 +297,7 @@ impl MetricsRegistry {
                 .collect(),
             retries: self.retries.get(),
             breaker_trips: self.breaker_trips.get(),
+            journal_errors: self.journal_errors.get(),
             configs_per_sec: if elapsed.as_secs_f64() > 0.0 {
                 evaluations as f64 / elapsed.as_secs_f64()
             } else {
@@ -383,6 +388,10 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     /// Circuit-breaker trips.
     pub breaker_trips: u64,
+    /// Journal write failures under the degrade-don't-die policy (absent
+    /// in snapshots from older peers, defaulting to zero).
+    #[serde(default)]
+    pub journal_errors: u64,
     /// Applied evaluations per second of wall clock.
     pub configs_per_sec: f64,
     /// Search-space generation time, milliseconds.
@@ -446,6 +455,12 @@ impl MetricsSnapshot {
         }
         if self.retries > 0 {
             row("retries", self.retries.to_string());
+        }
+        if self.journal_errors > 0 {
+            row(
+                "journal",
+                format!("DEGRADED ({} write errors)", self.journal_errors),
+            );
         }
         if !self.failures.is_empty() {
             let parts: Vec<String> = self

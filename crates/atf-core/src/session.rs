@@ -139,6 +139,14 @@ pub struct TuningSession<C: CostValue = f64> {
     broken: Option<FailureKind>,
     /// Write-ahead journal of evaluation outcomes, when attached.
     journal: Option<JournalState<C>>,
+    /// When `true`, a journal write failure fails the report (the pre-v4
+    /// behaviour); when `false` (default) the session degrades to
+    /// in-memory-only and keeps tuning.
+    strict_journal: bool,
+    /// Why the journal was dropped mid-run, once degraded.
+    journal_degraded: Option<String>,
+    /// Compact the journal into its checkpoint every this many entries.
+    checkpoint_every: Option<usize>,
     /// Suppresses journal writes while replaying a journal into the
     /// session (the entries are already on disk).
     replaying: bool,
@@ -189,6 +197,9 @@ impl<C: CostValue> TuningSession<C> {
             max_consecutive_failures: None,
             broken: None,
             journal: None,
+            strict_journal: false,
+            journal_degraded: None,
+            checkpoint_every: None,
             replaying: false,
             replay_elapsed: None,
             trace: Arc::new(NullSink),
@@ -393,6 +404,7 @@ impl<C: CostValue> TuningSession<C> {
         // evaluation. Entries are in arrival order; `ticket` identifies the
         // handout for replay.
         if !self.replaying {
+            let mut degraded: Option<String> = None;
             if let Some(journal) = &mut self.journal {
                 let entry = JournalEntry {
                     evaluation: self.arrivals,
@@ -402,10 +414,22 @@ impl<C: CostValue> TuningSession<C> {
                     failure: failure_label.clone(),
                     elapsed_ms: Some(elapsed.as_millis() as u64),
                 };
-                journal
-                    .writer
-                    .append(&entry)
-                    .map_err(|e| TuningError::Journal(e.to_string()))?;
+                if let Err(e) = journal.writer.append(&entry) {
+                    if self.strict_journal {
+                        return Err(TuningError::Journal(e.to_string()));
+                    }
+                    degraded = Some(e.to_string());
+                }
+            }
+            if let Some(message) = degraded {
+                // Degrade, don't die: the journal is gone (full disk, I/O
+                // error) but the in-memory run is intact — drop the writer,
+                // warn through trace + metrics, and keep tuning. The run
+                // merely loses crash-resumability from here on.
+                self.journal = None;
+                self.metrics.journal_errors.inc();
+                self.trace.emit(&TraceEvent::journal_degraded(&message));
+                self.journal_degraded = Some(message);
             }
             self.trace.emit(&TraceEvent::report(
                 ticket,
@@ -660,13 +684,50 @@ impl<C: CostValue> TuningSession<C> {
         C: JournalCost,
     {
         let header = self.journal_header();
-        let writer = JournalWriter::create(path.as_ref(), &header)
+        let mut writer = JournalWriter::create(path.as_ref(), &header)
             .map_err(|e| TuningError::Journal(e.to_string()))?;
+        writer.set_checkpoint_every(self.checkpoint_every);
         self.journal = Some(JournalState {
             writer,
             encode: C::to_journal,
         });
         Ok(self)
+    }
+
+    /// Makes journal write failures fatal again (builder-style): a failed
+    /// append fails the report with [`TuningError::Journal`] instead of
+    /// degrading to in-memory-only tuning. The CLI's `--strict-journal`.
+    pub fn strict_journal(mut self, strict: bool) -> Self {
+        self.strict_journal = strict;
+        self
+    }
+
+    /// Enables journal checkpoint compaction every `every` entries
+    /// (builder-style): the journal is periodically folded into an
+    /// atomically-replaced checkpoint file, bounding the live tail's size.
+    /// Applies to a journal attached before or after this call.
+    pub fn journal_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = Some(every).filter(|n| *n > 0);
+        if let Some(journal) = &mut self.journal {
+            journal.writer.set_checkpoint_every(self.checkpoint_every);
+        }
+        self
+    }
+
+    /// Why journaling degraded mid-run, if it did: the session dropped its
+    /// journal after a write failure and continued in-memory.
+    pub fn journal_degraded(&self) -> Option<&str> {
+        self.journal_degraded.as_deref()
+    }
+
+    /// Chaos hook: makes the next `n` journal appends fail as if the disk
+    /// were full, exercising the degrade-don't-die (or, under
+    /// [`strict_journal`](Self::strict_journal), fail-fast) path. No-op
+    /// without an attached journal.
+    pub fn inject_journal_failures(&mut self, n: u64) {
+        if let Some(journal) = &mut self.journal {
+            journal.writer.fail_next_appends(n);
+        }
     }
 
     /// Replays journal `entries` into this freshly opened session: tickets
@@ -762,26 +823,34 @@ impl<C: CostValue> TuningSession<C> {
         Ok(replayed)
     }
 
-    /// Resumes this freshly opened session from the journal at `path`:
-    /// validates the header against the session's technique and space,
-    /// adopts the journal's pending window (replay must hand out tickets
-    /// exactly as the original run did), replays every intact entry, and
-    /// re-attaches a writer appending subsequent outcomes to the same file.
-    /// Returns the number of entries replayed.
+    /// Resumes this freshly opened session from the journal at `path`
+    /// (checkpoint first, then the live tail): validates the header against
+    /// the session's technique and space, adopts the journal's pending
+    /// window (replay must hand out tickets exactly as the original run
+    /// did), replays every intact entry, and re-attaches a writer appending
+    /// subsequent outcomes to the same file. A torn tail is truncated to
+    /// its intact prefix before appending (gluing a new entry onto a torn
+    /// line would lose both on the next resume); a tail unusable past a
+    /// valid checkpoint (kill mid-compaction) is recreated. Returns the
+    /// number of entries replayed.
     pub fn resume_from_journal(&mut self, path: impl AsRef<Path>) -> Result<u64, TuningError>
     where
         C: JournalCost,
     {
-        let loaded =
-            LoadedJournal::load(path.as_ref()).map_err(|e| TuningError::Journal(e.to_string()))?;
+        let loaded = LoadedJournal::load_with_checkpoint(path.as_ref())
+            .map_err(|e| TuningError::Journal(e.to_string()))?;
         loaded
             .check_matches(self.technique.name(), self.space.len())
             .map_err(|e| TuningError::Journal(e.to_string()))?;
         self.max_pending = loaded.header.window.max(1);
         self.metrics.set_window_capacity(self.max_pending);
         let replayed = self.resume_from(&loaded.entries)?;
-        let writer = JournalWriter::append_to(path.as_ref())
-            .map_err(|e| TuningError::Journal(e.to_string()))?;
+        let mut writer = match loaded.tail_intact_len {
+            Some(intact) => JournalWriter::append_from(path.as_ref(), intact),
+            None => JournalWriter::create_tail(path.as_ref(), &loaded.header),
+        }
+        .map_err(|e| TuningError::Journal(e.to_string()))?;
+        writer.set_checkpoint_every(self.checkpoint_every);
         self.journal = Some(JournalState {
             writer,
             encode: C::to_journal,

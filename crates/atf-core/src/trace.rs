@@ -36,6 +36,7 @@ pub const EVENT_KINDS: &[&str] = &[
     "worker_busy",
     "worker_idle",
     "proc",
+    "journal",
 ];
 
 /// One trace event. `event` names the kind; the remaining fields are
@@ -83,6 +84,8 @@ pub struct TraceEvent {
     pub worker: Option<usize>,
     /// `proc`: which script ran (`"compile"` or `"run"`).
     pub phase: Option<String>,
+    /// `journal`: why journaling degraded (the underlying I/O error).
+    pub message: Option<String>,
 }
 
 // Hand-written so `None` fields are omitted from the line entirely; the
@@ -119,6 +122,7 @@ impl serde::Serialize for TraceEvent {
         push(&mut fields, "elapsed_ms", &self.elapsed_ms);
         push(&mut fields, "worker", &self.worker);
         push(&mut fields, "phase", &self.phase);
+        push(&mut fields, "message", &self.message);
         serde::Value::Object(fields)
     }
 }
@@ -217,6 +221,16 @@ impl TraceEvent {
             worker: Some(worker),
             micros: Some(micros),
             ..Self::kind("worker_idle")
+        }
+    }
+
+    /// The run journal degraded: an append or checkpoint failed (ENOSPC,
+    /// I/O error) and the session continues in-memory without it.
+    pub fn journal_degraded(message: &str) -> Self {
+        TraceEvent {
+            ok: Some(false),
+            message: Some(message.to_string()),
+            ..Self::kind("journal")
         }
     }
 

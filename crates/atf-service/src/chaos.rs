@@ -1,0 +1,492 @@
+//! Deterministic fault injection for the service wire: a seeded
+//! [`ChaosPlan`] drives a [`ChaosTransport`] (in-process, wraps any
+//! [`Transport`]) or a [`ChaosProxy`] (a real TCP listener in front of a
+//! real server), injecting connection drops, lost responses, duplicated
+//! deliveries, garbage bytes, partial writes, and delays at chosen protocol
+//! points. Every fault draw comes from one `ChaCha8Rng`, so a failing
+//! schedule is replayable from its seed alone.
+//!
+//! The point of the harness is the equivalence obligation it enforces (see
+//! `tests/chaos.rs`): with a retrying client and `request_id` dedup, *any*
+//! fault schedule must produce the same final tuning result as the
+//! fault-free run, with zero double-counted evaluations.
+
+use crate::client::{ClientError, Transport};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Probabilities of each fault, per request. The remainder (`1 - sum`) is
+/// the chance of a clean round trip; rates are clamped during the draw, so
+/// plans whose rates sum above 1 simply never deliver cleanly.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// RNG seed: the whole fault schedule replays from this one value.
+    pub seed: u64,
+    /// Connection dies before the request reaches the service (the safe
+    /// retry case — no state changed).
+    pub drop_before: f64,
+    /// Request reaches the service and is applied, but the response is
+    /// lost (the lost-ACK case — the retry *must* be deduplicated).
+    pub drop_after: f64,
+    /// Request is delivered twice back-to-back (a retransmit burst); the
+    /// first response is returned.
+    pub duplicate: f64,
+    /// Request is delivered, but the client reads garbage bytes instead of
+    /// the response.
+    pub garbage: f64,
+    /// Only a prefix of the request line is delivered (a torn write); the
+    /// service sees an unparseable line and the client sees the connection
+    /// die.
+    pub partial: f64,
+    /// The round trip is delayed by [`delay_by`](Self::delay_by).
+    pub delay: f64,
+    /// How long a delayed round trip stalls.
+    pub delay_by: Duration,
+}
+
+impl ChaosPlan {
+    /// A moderately hostile default plan (~30% of requests faulted) for the
+    /// given seed.
+    pub fn hostile(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            drop_before: 0.06,
+            drop_after: 0.08,
+            duplicate: 0.05,
+            garbage: 0.04,
+            partial: 0.04,
+            delay: 0.03,
+            delay_by: Duration::from_millis(1),
+        }
+    }
+
+    /// A plan that never injects anything (the fault-free reference).
+    pub fn calm(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            drop_before: 0.0,
+            drop_after: 0.0,
+            duplicate: 0.0,
+            garbage: 0.0,
+            partial: 0.0,
+            delay: 0.0,
+            delay_by: Duration::ZERO,
+        }
+    }
+}
+
+/// Which fault a request drew.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    None,
+    DropBefore,
+    DropAfter,
+    Duplicate,
+    Garbage,
+    Partial,
+    Delay,
+}
+
+/// How many of each fault a [`ChaosState`] injected so far.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosCounters {
+    /// Requests lost before delivery.
+    pub drops_before: u64,
+    /// Responses lost after delivery (lost ACKs).
+    pub drops_after: u64,
+    /// Requests delivered twice.
+    pub duplicates: u64,
+    /// Responses replaced by garbage bytes.
+    pub garbage: u64,
+    /// Requests torn mid-line.
+    pub partials: u64,
+    /// Delayed round trips.
+    pub delays: u64,
+}
+
+impl ChaosCounters {
+    /// Total injected faults.
+    pub fn total(&self) -> u64 {
+        self.drops_before
+            + self.drops_after
+            + self.duplicates
+            + self.garbage
+            + self.partials
+            + self.delays
+    }
+}
+
+/// The shared, seeded fault source. One state is shared by every transport
+/// a reconnecting client creates, so the schedule marches on across
+/// reconnects instead of restarting from the seed.
+pub struct ChaosState {
+    rng: ChaCha8Rng,
+    counters: ChaosCounters,
+}
+
+impl ChaosState {
+    /// A state at the start of the plan's schedule.
+    pub fn new(plan: &ChaosPlan) -> Arc<Mutex<Self>> {
+        Arc::new(Mutex::new(ChaosState {
+            rng: ChaCha8Rng::seed_from_u64(plan.seed),
+            counters: ChaosCounters::default(),
+        }))
+    }
+
+    /// Injection counts so far.
+    pub fn counters(&self) -> ChaosCounters {
+        self.counters
+    }
+
+    fn draw(&mut self, plan: &ChaosPlan) -> Fault {
+        let roll: f64 = self.rng.gen();
+        let mut edge = 0.0;
+        for (rate, fault) in [
+            (plan.drop_before, Fault::DropBefore),
+            (plan.drop_after, Fault::DropAfter),
+            (plan.duplicate, Fault::Duplicate),
+            (plan.garbage, Fault::Garbage),
+            (plan.partial, Fault::Partial),
+            (plan.delay, Fault::Delay),
+        ] {
+            edge += rate;
+            if roll < edge {
+                match fault {
+                    Fault::DropBefore => self.counters.drops_before += 1,
+                    Fault::DropAfter => self.counters.drops_after += 1,
+                    Fault::Duplicate => self.counters.duplicates += 1,
+                    Fault::Garbage => self.counters.garbage += 1,
+                    Fault::Partial => self.counters.partials += 1,
+                    Fault::Delay => self.counters.delays += 1,
+                    Fault::None => {}
+                }
+                return fault;
+            }
+        }
+        Fault::None
+    }
+
+    /// A random cut point for a partial write, clamped to a UTF-8 boundary.
+    fn cut_point(&mut self, line: &str) -> usize {
+        if line.is_empty() {
+            return 0;
+        }
+        let mut cut = self.rng.gen_range(0..line.len());
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        cut
+    }
+
+    fn garbage_line(&mut self) -> String {
+        let len = self.rng.gen_range(1..40);
+        (0..len)
+            .map(|_| char::from(self.rng.gen_range(b' '..b'~')))
+            .collect()
+    }
+}
+
+/// A [`Transport`] wrapper that injects the plan's faults around an inner
+/// transport. Intended for the in-process [`crate::client::Loopback`]
+/// transport, where "deliver the request" is a direct manager call — the
+/// byte-level equivalent for real sockets is [`ChaosProxy`].
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    plan: ChaosPlan,
+    state: Arc<Mutex<ChaosState>>,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` with faults drawn from `state` (share one state across
+    /// the transports of a reconnecting client).
+    pub fn new(inner: T, plan: ChaosPlan, state: Arc<Mutex<ChaosState>>) -> Self {
+        ChaosTransport { inner, plan, state }
+    }
+
+    /// Injection counts so far (shared across all transports on `state`).
+    pub fn counters(&self) -> ChaosCounters {
+        self.state.lock().counters
+    }
+}
+
+fn dropped(at: &str) -> ClientError {
+    ClientError::Io(std::io::Error::new(
+        std::io::ErrorKind::ConnectionReset,
+        format!("chaos: connection dropped {at}"),
+    ))
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        let fault = self.state.lock().draw(&self.plan);
+        match fault {
+            Fault::None => self.inner.round_trip(line),
+            // The request never reaches the service: the retry is trivially
+            // safe, no state changed.
+            Fault::DropBefore => Err(dropped("before the request was sent")),
+            // The service applies the request, the client never learns: the
+            // canonical lost ACK. Only request_id dedup makes the retry safe.
+            Fault::DropAfter => {
+                let _lost = self.inner.round_trip(line)?;
+                Err(dropped("after the request was applied"))
+            }
+            // A retransmit burst: the service sees the line twice. The
+            // second application must be absorbed by the dedup window.
+            Fault::Duplicate => {
+                let first = self.inner.round_trip(line)?;
+                let _duplicate = self.inner.round_trip(line)?;
+                Ok(first)
+            }
+            // The request lands, the response bytes are trashed in flight.
+            Fault::Garbage => {
+                let _lost = self.inner.round_trip(line)?;
+                Ok(self.state.lock().garbage_line())
+            }
+            // A torn write: the service sees an unparseable prefix (and
+            // answers with a parse error nobody reads); no session state
+            // changes, so the retry is safe.
+            Fault::Partial => {
+                let cut = self.state.lock().cut_point(line);
+                let _parse_error = self.inner.round_trip(&line[..cut]);
+                Err(dropped("mid-write"))
+            }
+            Fault::Delay => {
+                std::thread::sleep(self.plan.delay_by);
+                self.inner.round_trip(line)
+            }
+        }
+    }
+}
+
+/// A chaos TCP proxy: listens on an ephemeral port, forwards each request
+/// line to the upstream service, and injects the plan's faults at the
+/// socket level (closing connections, tearing writes, trashing responses).
+/// Point a [`crate::client::ReconnectingTransport`] at
+/// [`addr`](ChaosProxy::addr) to drive a real server through a hostile
+/// network.
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<Mutex<ChaosState>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Spawns the proxy in front of `upstream` (e.g. a
+    /// [`crate::Server`]'s local address).
+    pub fn spawn(upstream: std::net::SocketAddr, plan: ChaosPlan) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = ChaosState::new(&plan);
+        let shared_state = Arc::clone(&state);
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((conn, _peer)) => {
+                        let plan = plan.clone();
+                        let state = Arc::clone(&state);
+                        std::thread::spawn(move || proxy_connection(conn, upstream, plan, state));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            state: shared_state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — connect clients here.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Injection counts so far, across every proxied connection.
+    pub fn counters(&self) -> ChaosCounters {
+        self.state.lock().counters
+    }
+
+    /// Stops the accept loop (live connections drain on their own).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One proxied connection: request lines flow client → upstream, response
+/// lines flow back, and each exchange draws one fault. Connection-killing
+/// faults end the proxied connection — the self-healing client reconnects
+/// and the accept loop serves it a fresh one.
+fn proxy_connection(
+    client: TcpStream,
+    upstream_addr: std::net::SocketAddr,
+    plan: ChaosPlan,
+    state: Arc<Mutex<ChaosState>>,
+) {
+    let Ok(upstream) = TcpStream::connect(upstream_addr) else {
+        return;
+    };
+    upstream.set_nodelay(true).ok();
+    client.set_nodelay(true).ok();
+    let Ok(mut client_writer) = client.try_clone() else {
+        return;
+    };
+    let Ok(mut upstream_writer) = upstream.try_clone() else {
+        return;
+    };
+    let mut client_reader = BufReader::new(client);
+    let mut upstream_reader = BufReader::new(upstream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match client_reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let fault = state.lock().draw(&plan);
+        // Forward the request (whole or torn), unless it is dropped first.
+        match fault {
+            Fault::DropBefore => return,
+            Fault::Partial => {
+                let cut = state.lock().cut_point(line.trim_end());
+                let _ = upstream_writer.write_all(&line.as_bytes()[..cut]);
+                let _ = upstream_writer.flush();
+                return;
+            }
+            Fault::Duplicate => {
+                // Two deliveries; only the first response goes back, the
+                // second is swallowed below.
+                if upstream_writer.write_all(line.as_bytes()).is_err()
+                    || upstream_writer.write_all(line.as_bytes()).is_err()
+                    || upstream_writer.flush().is_err()
+                {
+                    return;
+                }
+            }
+            _ => {
+                if upstream_writer.write_all(line.as_bytes()).is_err()
+                    || upstream_writer.flush().is_err()
+                {
+                    return;
+                }
+            }
+        }
+        let mut reply = String::new();
+        match upstream_reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if fault == Fault::Duplicate {
+            let mut second = String::new();
+            if matches!(upstream_reader.read_line(&mut second), Ok(0) | Err(_)) {
+                return;
+            }
+        }
+        match fault {
+            Fault::DropAfter => return,
+            Fault::Garbage => {
+                let garbage = state.lock().garbage_line();
+                let _ = client_writer.write_all(garbage.as_bytes());
+                let _ = client_writer.write_all(b"\n");
+                let _ = client_writer.flush();
+                return;
+            }
+            Fault::Delay => std::thread::sleep(plan.delay_by),
+            _ => {}
+        }
+        if client_writer.write_all(reply.as_bytes()).is_err() || client_writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, Loopback};
+    use crate::manager::SessionManager;
+
+    #[test]
+    fn calm_plan_injects_nothing() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let plan = ChaosPlan::calm(7);
+        let state = ChaosState::new(&plan);
+        let transport = ChaosTransport::new(Loopback(manager), plan, Arc::clone(&state));
+        let mut client = Client::new(transport);
+        for _ in 0..50 {
+            client.ping().unwrap();
+        }
+        assert_eq!(state.lock().counters.total(), 0);
+    }
+
+    #[test]
+    fn fault_schedule_replays_from_its_seed() {
+        let plan = ChaosPlan::hostile(42);
+        let draw_schedule = |plan: &ChaosPlan| {
+            let state = ChaosState::new(plan);
+            let mut guard = state.lock();
+            (0..200).map(|_| guard.draw(plan)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw_schedule(&plan), draw_schedule(&plan));
+        assert_ne!(
+            draw_schedule(&plan),
+            draw_schedule(&ChaosPlan::hostile(43)),
+            "different seeds must give different schedules"
+        );
+    }
+
+    #[test]
+    fn hostile_plan_injects_every_kind() {
+        let plan = ChaosPlan::hostile(1);
+        let state = ChaosState::new(&plan);
+        {
+            let mut guard = state.lock();
+            for _ in 0..2000 {
+                guard.draw(&plan);
+            }
+        }
+        let counters = state.lock().counters;
+        assert!(counters.drops_before > 0);
+        assert!(counters.drops_after > 0);
+        assert!(counters.duplicates > 0);
+        assert!(counters.garbage > 0);
+        assert!(counters.partials > 0);
+        assert!(counters.delays > 0);
+        assert!(counters.total() < 2000, "faults must not be certain");
+    }
+
+    #[test]
+    fn cut_points_stay_on_char_boundaries() {
+        let plan = ChaosPlan::hostile(3);
+        let state = ChaosState::new(&plan);
+        let line = "{\"cmd\":\"open\",\"kernel\":\"saxpy-α-β-γ\"}";
+        let mut guard = state.lock();
+        for _ in 0..200 {
+            let cut = guard.cut_point(line);
+            assert!(line.is_char_boundary(cut));
+        }
+    }
+}

@@ -9,7 +9,9 @@ use atf_core::spec::{AbortSpec, ParameterSpec, SearchSpec};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -19,6 +21,11 @@ pub enum ClientError {
     /// The service replied with something that is not a valid response (or
     /// closed the connection mid-exchange).
     Protocol(String),
+    /// The service did not answer within the transport's read/write
+    /// timeout: a hung (but not closed) peer. Retriable — the request may
+    /// or may not have been applied, which is exactly what `request_id`
+    /// deduplication exists for.
+    Timeout(String),
     /// The service replied with a structured error.
     Remote {
         /// Machine-readable error class ([`crate::proto::codes`]).
@@ -33,6 +40,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Timeout(m) => write!(f, "timed out: {m}"),
             ClientError::Remote { code, message } => {
                 write!(f, "service error [{code}]: {message}")
             }
@@ -55,17 +63,36 @@ pub trait Transport {
     fn round_trip(&mut self, line: &str) -> Result<String, ClientError>;
 }
 
-/// A [`Transport`] over a TCP connection.
+/// Default per-request socket read/write timeout: a hung (SIGSTOPped,
+/// deadlocked, partitioned-but-not-reset) service must not block a client
+/// forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A [`Transport`] over a TCP connection, with per-request read/write
+/// timeouts so a hung peer surfaces as [`ClientError::Timeout`] instead of
+/// blocking forever.
 pub struct TcpTransport {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl TcpTransport {
-    /// Connects to a service endpoint.
+    /// Connects to a service endpoint with the default I/O timeout
+    /// ([`DEFAULT_IO_TIMEOUT`]).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Connects with an explicit per-request read/write timeout (`None` =
+    /// wait forever, the pre-hardening behavior).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        io_timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         let writer = stream.try_clone()?;
         Ok(TcpTransport {
             reader: BufReader::new(stream),
@@ -74,19 +101,162 @@ impl TcpTransport {
     }
 }
 
+/// Maps a socket error to [`ClientError`]: timeout kinds (`WouldBlock` on
+/// unix, `TimedOut` on windows) become [`ClientError::Timeout`].
+fn io_to_client_error(e: std::io::Error, during: &str) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ClientError::Timeout(format!("no answer from the service while {during}"))
+        }
+        _ => ClientError::Io(e),
+    }
+}
+
 impl Transport for TcpTransport {
     fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| io_to_client_error(e, "sending the request"))?;
         let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| io_to_client_error(e, "waiting for the response"))?;
         if n == 0 {
             return Err(ClientError::Protocol(
                 "service closed the connection".to_string(),
             ));
         }
         Ok(reply)
+    }
+}
+
+/// A self-healing [`Transport`] wrapper: on a transport-level failure
+/// (connection error, protocol desync, timeout) it drops the connection,
+/// sleeps a jittered exponential backoff, reconnects through its factory,
+/// and resends the *same* request line — same bytes, same `request_id` —
+/// up to a retry budget. Together with the service's dedup window this
+/// gives exactly-once observable semantics over an at-least-once wire.
+///
+/// Structured service errors ([`ClientError::Remote`]) are not transport
+/// failures and are never retried here — the transport returns them as
+/// ordinary response lines.
+pub struct ReconnectingTransport<T: Transport> {
+    factory: Box<dyn FnMut() -> Result<T, ClientError> + Send>,
+    inner: Option<T>,
+    retries: u32,
+    backoff: Duration,
+    reconnects: u64,
+    /// xorshift64 state for backoff jitter (decorrelates clients that fail
+    /// together; any nonzero seed works).
+    jitter: u64,
+}
+
+impl<T: Transport> ReconnectingTransport<T> {
+    /// Wraps a connection factory. `retries` is how many times one request
+    /// is re-sent after a transport failure; `backoff` is the base delay
+    /// before the first retry, doubling each attempt with ±50% jitter.
+    pub fn new(
+        factory: impl FnMut() -> Result<T, ClientError> + Send + 'static,
+        retries: u32,
+        backoff: Duration,
+    ) -> Self {
+        ReconnectingTransport {
+            factory: Box::new(factory),
+            inner: None,
+            retries,
+            backoff,
+            reconnects: 0,
+            jitter: 0x5eed_0d1e_c0de_feed,
+        }
+    }
+
+    /// How many times the transport re-established a connection (for tests
+    /// and diagnostics).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn connected(&mut self) -> Result<&mut T, ClientError> {
+        if self.inner.is_none() {
+            self.inner = Some((self.factory)()?);
+        }
+        Ok(self.inner.as_mut().expect("just connected"))
+    }
+
+    /// Backoff before retry number `attempt` (1-based): `backoff * 2^(a-1)`
+    /// scaled by a jitter factor in [0.5, 1.5).
+    fn backoff_delay(&mut self, attempt: u32) -> Duration {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let factor = 0.5 + (self.jitter >> 11) as f64 / (1u64 << 53) as f64;
+        let base = self.backoff.as_secs_f64() * f64::from(2u32.saturating_pow(attempt - 1));
+        Duration::from_secs_f64((base * factor).min(60.0))
+    }
+}
+
+impl<T: Transport> Transport for ReconnectingTransport<T> {
+    fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self
+                .connected()
+                .and_then(|transport| transport.round_trip(line))
+                .and_then(|reply| {
+                    // A reply that is not a protocol response means the
+                    // stream is corrupt or desynchronised (e.g. garbage
+                    // bytes injected mid-stream): treat it like a
+                    // connection failure so the request is retried on a
+                    // fresh connection instead of surfacing a parse error.
+                    if serde_json::from_str::<Response>(reply.trim()).is_ok() {
+                        Ok(reply)
+                    } else {
+                        Err(ClientError::Protocol(
+                            "unparseable response line".to_string(),
+                        ))
+                    }
+                });
+            match result {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    // The connection is suspect after any failure: drop it
+                    // so the next attempt starts from a fresh connect.
+                    self.inner = None;
+                    if attempt >= self.retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.reconnects += 1;
+                    std::thread::sleep(self.backoff_delay(attempt));
+                }
+            }
+        }
+    }
+}
+
+impl ReconnectingTransport<TcpTransport> {
+    /// A self-healing TCP transport for the given address, with the default
+    /// per-request I/O timeout.
+    pub fn tcp(addr: &str, retries: u32, backoff: Duration) -> Self {
+        Self::tcp_with_timeout(addr, retries, backoff, Some(DEFAULT_IO_TIMEOUT))
+    }
+
+    /// Like [`tcp`](Self::tcp) with an explicit per-request I/O timeout.
+    pub fn tcp_with_timeout(
+        addr: &str,
+        retries: u32,
+        backoff: Duration,
+        io_timeout: Option<Duration>,
+    ) -> Self {
+        let addr = addr.to_string();
+        Self::new(
+            move || TcpTransport::connect_with_timeout(addr.as_str(), io_timeout),
+            retries,
+            backoff,
+        )
     }
 }
 
@@ -152,6 +322,22 @@ pub enum WireHandout {
     Done,
 }
 
+/// A process-unique idempotency key: pid + process-start nanos as a prefix,
+/// plus a monotone counter. Unique across concurrent clients in one process
+/// and across client processes sharing one service.
+fn next_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    static PREFIX: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    let prefix = PREFIX.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        format!("{:x}.{:x}", std::process::id(), nanos)
+    });
+    format!("{prefix}.{}", COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
 /// A protocol client over any [`Transport`].
 pub struct Client<T: Transport> {
     transport: T,
@@ -182,7 +368,24 @@ impl<T: Transport> Client<T> {
 
     /// Sends one request; a failure response becomes
     /// [`ClientError::Remote`].
+    ///
+    /// State-changing commands (`open`, `next`, `report`, `finish`) are
+    /// stamped with a fresh `request_id` unless the caller set one. The id
+    /// goes into the serialized line *before* the transport sees it, so a
+    /// retrying transport ([`ReconnectingTransport`]) resends the same id
+    /// and the service's dedup window keeps retries exactly-once.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let stamped: Request;
+        let request = match request.cmd.as_str() {
+            "open" | "next" | "report" | "finish" if request.request_id.is_none() => {
+                stamped = Request {
+                    request_id: Some(next_request_id()),
+                    ..request.clone()
+                };
+                &stamped
+            }
+            _ => request,
+        };
         let line = serde_json::to_string(request)
             .map_err(|e| ClientError::Protocol(format!("could not encode request: {e}")))?;
         let reply = self.transport.round_trip(&line)?;

@@ -28,12 +28,17 @@
 //! the `lookup` command then serves known-best configurations without any
 //! tuning.
 
+pub mod chaos;
 pub mod client;
 pub mod manager;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, LoopbackClient, SessionSpec, Transport, WireHandout};
+pub use chaos::{ChaosCounters, ChaosPlan, ChaosProxy, ChaosState, ChaosTransport};
+pub use client::{
+    Client, ClientError, LoopbackClient, ReconnectingTransport, SessionSpec, TcpTransport,
+    Transport, WireHandout,
+};
 pub use manager::{ManagerConfig, SessionManager};
 pub use proto::{Request, Response};
 pub use server::{Server, ShutdownHandle};

@@ -12,10 +12,49 @@ use atf_core::spec;
 use atf_core::status::TuningStatus;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// How many recent `request_id`s (and their responses) each dedup window
+/// remembers. A retry that arrives after this many *other* id-carrying
+/// requests have landed is no longer recognized — with the client's bounded
+/// retry loop the practical distance between a request and its retries is a
+/// handful, so 64 leaves a wide margin.
+pub const DEDUP_WINDOW: usize = 64;
+
+/// Checkpoint interval for service-side run journals: after this many
+/// journal appends the journal is compacted into an atomically-renamed
+/// checkpoint file, keeping resume-replay cost bounded for long sessions.
+const SERVICE_CHECKPOINT_EVERY: usize = 64;
+
+/// Exactly-once memory: the responses of the most recent id-carrying
+/// requests, so a retry of a request whose response was lost in transit is
+/// answered from memory instead of executed twice.
+#[derive(Default)]
+struct DedupWindow {
+    entries: VecDeque<(String, Response)>,
+}
+
+impl DedupWindow {
+    fn get(&self, id: &str) -> Option<Response> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == id)
+            .map(|(_, resp)| resp.clone())
+    }
+
+    fn insert(&mut self, id: &str, response: &Response) {
+        if self.entries.iter().any(|(k, _)| k == id) {
+            return;
+        }
+        if self.entries.len() >= DEDUP_WINDOW {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((id.to_string(), response.clone()));
+    }
+}
 
 /// Session-manager settings.
 #[derive(Clone, Debug)]
@@ -56,6 +95,9 @@ struct ManagedSession {
     /// When each pending configuration was handed out, by ticket. Entries
     /// past the evaluation deadline are forfeited as timeout failures.
     pending_since: HashMap<u64, Instant>,
+    /// Responses of recent id-carrying `next`/`report` requests, so retries
+    /// after a lost ACK are answered idempotently.
+    dedup: DedupWindow,
 }
 
 /// One line of the service's periodic `stats.ndjson` telemetry file.
@@ -104,6 +146,16 @@ pub struct SessionManager {
     db: Mutex<TuningDatabase>,
     config: ManagerConfig,
     next_id: AtomicU64,
+    /// Manager-level dedup for `open`: a duplicated open must not create a
+    /// twin session.
+    open_dedup: Mutex<DedupWindow>,
+    /// Manager-level dedup for `finish`: the session is gone after the
+    /// first finish, so a retry must be answered from memory rather than
+    /// with `unknown_session`.
+    finish_dedup: Mutex<DedupWindow>,
+    /// Whether the last stats-snapshot sweep failed: gates log-once
+    /// reporting in [`SessionManager::sweep_stats`].
+    stats_write_failed: AtomicBool,
 }
 
 impl SessionManager {
@@ -119,6 +171,9 @@ impl SessionManager {
             db: Mutex::new(db),
             config,
             next_id: AtomicU64::new(1),
+            open_dedup: Mutex::new(DedupWindow::default()),
+            finish_dedup: Mutex::new(DedupWindow::default()),
+            stats_write_failed: AtomicBool::new(false),
         })
     }
 
@@ -156,6 +211,21 @@ impl SessionManager {
     }
 
     fn open(&self, request: &Request) -> Response {
+        // A retried `open` whose first response was lost must not create a
+        // twin session tuning the same space.
+        if let Some(rid) = &request.request_id {
+            if let Some(cached) = self.open_dedup.lock().get(rid) {
+                return cached;
+            }
+        }
+        let response = self.open_inner(request);
+        if let Some(rid) = &request.request_id {
+            self.open_dedup.lock().insert(rid, &response);
+        }
+        response
+    }
+
+    fn open_inner(&self, request: &Request) -> Response {
         let Some(parameters) = &request.parameters else {
             return Response::error(codes::BAD_REQUEST, "open: missing `parameters`");
         };
@@ -190,6 +260,7 @@ impl SessionManager {
         if let Some(w) = request.max_pending {
             session = session.max_pending(w as usize);
         }
+        session = session.journal_checkpoint_every(SERVICE_CHECKPOINT_EVERY);
         let device = request
             .device
             .clone()
@@ -231,6 +302,7 @@ impl SessionManager {
                 workload,
                 last_touch: Instant::now(),
                 pending_since: HashMap::new(),
+                dedup: DedupWindow::default(),
             },
         );
         let mut resp = Response::ok();
@@ -242,7 +314,15 @@ impl SessionManager {
 
     fn next(&self, request: &Request) -> Response {
         let eval_deadline = self.config.eval_deadline;
+        let request_id = request.request_id.clone();
         self.with_session(request, |managed| {
+            // A retried `next` whose response was lost gets the *same*
+            // ticket and configuration back — not a second handout.
+            if let Some(rid) = &request_id {
+                if let Some(cached) = managed.dedup.get(rid) {
+                    return cached;
+                }
+            }
             // A configuration held past the evaluation deadline is a client
             // that hung or died mid-measurement: forfeit its ticket as a
             // timeout failure and move on, rather than keeping a window
@@ -278,6 +358,9 @@ impl SessionManager {
                 }
                 Handout::Done => resp.done = Some(true),
             }
+            if let Some(rid) = &request_id {
+                managed.dedup.insert(rid, &resp);
+            }
             resp
         })
     }
@@ -298,36 +381,52 @@ impl SessionManager {
             },
         };
         let wire_ticket = request.ticket;
+        let request_id = request.request_id.clone();
         self.with_session(request, |managed| {
-            let outcome = match (valid, cost) {
-                (true, Some(c)) => Ok(c),
-                // Claimed valid but no cost: the measurement is unusable.
-                (true, None) => Err(CostError::MeasurementFailed(
-                    "report: `valid` without `cost`".into(),
-                )),
-                (false, _) => Err(CostError::from_kind(
-                    failure_kind.unwrap_or(FailureKind::RunCrash),
-                )),
-            };
-            // Legacy clients omit the ticket: their report applies to the
-            // oldest unreported configuration, which is the only one a
-            // serial client can be measuring.
-            let Some(ticket) = wire_ticket.or_else(|| managed.session.oldest_in_flight()) else {
-                return Response::error(
-                    codes::TUNING,
-                    atf_core::tuner::TuningError::NoPendingConfiguration,
-                );
-            };
-            match managed.session.report_ticket(ticket, outcome) {
-                Ok(()) => {
-                    managed.pending_since.remove(&ticket);
-                    let mut resp = Response::ok();
-                    resp.evaluations = Some(managed.session.status().evaluations());
-                    resp.best_cost = managed.session.best_scalar_cost();
-                    resp
+            // A report retried after a lost ACK must not be applied twice:
+            // the remembered response (including its evaluation count) is
+            // replayed instead.
+            if let Some(rid) = &request_id {
+                if let Some(cached) = managed.dedup.get(rid) {
+                    return cached;
                 }
-                Err(e) => Response::error(codes::TUNING, e),
             }
+            let resp = (|| {
+                let outcome = match (valid, cost) {
+                    (true, Some(c)) => Ok(c),
+                    // Claimed valid but no cost: the measurement is unusable.
+                    (true, None) => Err(CostError::MeasurementFailed(
+                        "report: `valid` without `cost`".into(),
+                    )),
+                    (false, _) => Err(CostError::from_kind(
+                        failure_kind.unwrap_or(FailureKind::RunCrash),
+                    )),
+                };
+                // Legacy clients omit the ticket: their report applies to the
+                // oldest unreported configuration, which is the only one a
+                // serial client can be measuring.
+                let Some(ticket) = wire_ticket.or_else(|| managed.session.oldest_in_flight())
+                else {
+                    return Response::error(
+                        codes::TUNING,
+                        atf_core::tuner::TuningError::NoPendingConfiguration,
+                    );
+                };
+                match managed.session.report_ticket(ticket, outcome) {
+                    Ok(()) => {
+                        managed.pending_since.remove(&ticket);
+                        let mut resp = Response::ok();
+                        resp.evaluations = Some(managed.session.status().evaluations());
+                        resp.best_cost = managed.session.best_scalar_cost();
+                        resp
+                    }
+                    Err(e) => Response::error(codes::TUNING, e),
+                }
+            })();
+            if let Some(rid) = &request_id {
+                managed.dedup.insert(rid, &resp);
+            }
+            resp
         })
     }
 
@@ -361,6 +460,22 @@ impl SessionManager {
     }
 
     fn finish(&self, request: &Request) -> Response {
+        // The first `finish` consumes the session; a retry after a lost
+        // response would otherwise see `unknown_session` and lose the
+        // final result. Answer it from the dedup window instead.
+        if let Some(rid) = &request.request_id {
+            if let Some(cached) = self.finish_dedup.lock().get(rid) {
+                return cached;
+            }
+        }
+        let response = self.finish_inner(request);
+        if let Some(rid) = &request.request_id {
+            self.finish_dedup.lock().insert(rid, &response);
+        }
+        response
+    }
+
+    fn finish_inner(&self, request: &Request) -> Response {
         let Some(id) = &request.session else {
             return Response::error(codes::BAD_REQUEST, "finish: missing `session`");
         };
@@ -477,6 +592,26 @@ impl SessionManager {
             writeln!(out, "{line}")?;
         }
         Ok(lines.len())
+    }
+
+    /// Sweep-safe stats snapshotting: a failed `stats.ndjson` append (full
+    /// disk, permissions, the directory vanishing) must not kill the
+    /// sweep thread or any session — the telemetry file is an observers'
+    /// convenience, not session state. The first failure of an outage is
+    /// logged; repeats stay quiet until a sweep succeeds again.
+    pub fn sweep_stats(&self) -> usize {
+        match self.write_stats_snapshots() {
+            Ok(n) => {
+                self.stats_write_failed.store(false, Ordering::Relaxed);
+                n
+            }
+            Err(e) => {
+                if !self.stats_write_failed.swap(true, Ordering::Relaxed) {
+                    eprintln!("atf-service: could not write stats snapshots (will keep sweeping, logged once per outage): {e}");
+                }
+                0
+            }
+        }
     }
 
     /// Persists the database now (used at shutdown).
@@ -1061,6 +1196,127 @@ mod tests {
         assert_eq!(finished.best_config.unwrap()["X"], 6);
         assert_eq!(finished.best_cost, Some(0.5));
         assert_eq!(finished.evaluations, Some(10));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_next_with_same_request_id_returns_same_ticket() {
+        let m = SessionManager::in_memory();
+        let id = m.handle(&open_request("dedup-next")).session.unwrap();
+        let mut next = Request::new("next").with_session(&id);
+        next.request_id = Some("n-1".into());
+        let first = m.handle(&next);
+        assert_eq!(first.ticket, Some(1));
+        let x = first.config.as_ref().unwrap()["X"];
+
+        // The retry (same id) replays the same handout — no second ticket,
+        // even though the window would normally answer `retry: true`.
+        let replay = m.handle(&next);
+        assert_eq!(replay.ticket, Some(1));
+        assert_eq!(replay.config.unwrap()["X"], x);
+
+        // A *different* id is a genuine new request.
+        let mut other = Request::new("next").with_session(&id);
+        other.request_id = Some("n-2".into());
+        assert_eq!(m.handle(&other).retry, Some(true));
+    }
+
+    #[test]
+    fn duplicate_report_with_same_request_id_is_not_double_counted() {
+        let m = SessionManager::in_memory();
+        let id = m.handle(&open_request("dedup-report")).session.unwrap();
+        let next = m.handle(&Request::new("next").with_session(&id));
+        let mut report = Request::new("report").with_session(&id);
+        report.cost = Some(next.config.unwrap()["X"] as f64);
+        report.ticket = next.ticket;
+        report.request_id = Some("r-1".into());
+        let first = m.handle(&report);
+        assert!(first.ok, "{first:?}");
+        assert_eq!(first.evaluations, Some(1));
+
+        // The retry is replayed from the window: same response, still one
+        // evaluation — not a `tuning` error, not a double count.
+        let replay = m.handle(&report);
+        assert!(replay.ok, "{replay:?}");
+        assert_eq!(replay.evaluations, Some(1));
+        let status = m.handle(&Request::new("status").with_session(&id));
+        assert_eq!(status.evaluations, Some(1));
+    }
+
+    #[test]
+    fn duplicate_open_does_not_create_a_twin_session() {
+        let m = SessionManager::in_memory();
+        let mut req = open_request("dedup-open");
+        req.request_id = Some("o-1".into());
+        let first = m.handle(&req);
+        let replay = m.handle(&req);
+        assert_eq!(first.session, replay.session);
+        assert_eq!(m.live_sessions(), 1);
+    }
+
+    #[test]
+    fn retried_finish_is_answered_from_the_dedup_window() {
+        let m = SessionManager::in_memory();
+        let id = m.handle(&open_request("dedup-finish")).session.unwrap();
+        let finished = drive_to_completion(&m, &id, |x| (x as f64 - 3.0).abs());
+        assert!(finished.ok);
+        // drive_to_completion's finish carried no id; redo with one on a
+        // fresh session to exercise the retry path.
+        let id = m.handle(&open_request("dedup-finish2")).session.unwrap();
+        loop {
+            let next = m.handle(&Request::new("next").with_session(&id));
+            if next.done == Some(true) {
+                break;
+            }
+            let mut report = Request::new("report").with_session(&id);
+            report.cost = Some(next.config.unwrap()["X"] as f64);
+            assert!(m.handle(&report).ok);
+        }
+        let mut finish = Request::new("finish").with_session(&id);
+        finish.request_id = Some("f-1".into());
+        let first = m.handle(&finish);
+        assert!(first.ok, "{first:?}");
+        assert_eq!(first.best_cost, Some(1.0));
+
+        // The session is gone, but the retry still gets the final result
+        // instead of `unknown_session`.
+        let replay = m.handle(&finish);
+        assert!(replay.ok, "{replay:?}");
+        assert_eq!(replay.best_cost, Some(1.0));
+        assert_eq!(replay.best_config, first.best_config);
+
+        // Without the id, the same retry would have failed.
+        let bare = m.handle(&Request::new("finish").with_session(&id));
+        assert_eq!(bare.code.as_deref(), Some(codes::UNKNOWN_SESSION));
+    }
+
+    #[test]
+    fn sweep_stats_survives_a_failing_telemetry_file() {
+        let dir = std::env::temp_dir().join(format!("atf-mgr-sweepfail-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let manager = SessionManager::new(ManagerConfig {
+            journal_dir: Some(dir.clone()),
+            ..ManagerConfig::default()
+        })
+        .unwrap();
+        let id = manager.handle(&open_request("sweep")).session.unwrap();
+        let next = manager.handle(&Request::new("next").with_session(&id));
+        let mut report = Request::new("report").with_session(&id);
+        report.cost = Some(next.config.unwrap()["X"] as f64);
+        assert!(manager.handle(&report).ok);
+
+        // Make the telemetry file unappendable: a directory squats on its
+        // name. The sweep must not panic and must keep the session alive.
+        std::fs::create_dir_all(dir.join("stats.ndjson")).unwrap();
+        assert_eq!(manager.sweep_stats(), 0);
+        assert_eq!(manager.sweep_stats(), 0);
+        assert_eq!(manager.live_sessions(), 1);
+        let status = manager.handle(&Request::new("status").with_session(&id));
+        assert!(status.ok, "{status:?}");
+
+        // Once the obstruction clears, sweeping resumes writing.
+        std::fs::remove_dir_all(dir.join("stats.ndjson")).unwrap();
+        assert_eq!(manager.sweep_stats(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

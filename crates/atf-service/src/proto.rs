@@ -37,6 +37,16 @@ pub struct Request {
     /// One of `open`, `next`, `report`, `status`, `stats`, `finish`,
     /// `lookup`, `ping`.
     pub cmd: String,
+    /// Client-generated idempotency key. When present on a state-changing
+    /// command (`open`, `next`, `report`, `finish`), the manager remembers
+    /// the response in a bounded dedup window and answers a *retry* of the
+    /// same id with the remembered response instead of executing the
+    /// command again — so a report retried after a lost ACK is never
+    /// double-counted, and a retried `next` re-receives the same ticket.
+    /// Ids must be unique per logical request and reused verbatim across
+    /// its retries ([`crate::Client`] does this automatically).
+    #[serde(default)]
+    pub request_id: Option<String>,
     /// Session id (`next`/`report`/`status`/`finish`).
     #[serde(default)]
     pub session: Option<String>,

@@ -200,9 +200,9 @@ impl Server {
                 self.manager.expire_idle();
                 // Periodic observability: one metrics-snapshot line per
                 // live session into the journal directory's stats.ndjson.
-                if let Err(e) = self.manager.write_stats_snapshots() {
-                    eprintln!("atf-service: could not write stats snapshots: {e}");
-                }
+                // `sweep_stats` swallows (and logs once per outage) write
+                // failures — telemetry trouble must never end the sweep.
+                self.manager.sweep_stats();
                 last_sweep = Instant::now();
             }
         }

@@ -1,0 +1,407 @@
+//! Journal storage hardening: checkpoint compaction must be observably
+//! invisible (checkpoint + tail replays bit-identically to the full
+//! journal), a kill at any point of the compaction sequence must still
+//! resume correctly, pre-checksum v1–v3 journals (and mixed-version files
+//! they become after a v4 writer appends to them) must keep loading, and a
+//! full disk must degrade the session to in-memory tuning instead of
+//! killing it.
+
+use atf_core::abort;
+use atf_core::journal::{checkpoint_path, JournalHeader, LoadedJournal};
+use atf_core::param::{tp, ParamGroup};
+use atf_core::prelude::*;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn space() -> SearchSpace {
+    let group = ParamGroup::new(vec![
+        tp("X", Range::interval(1, 12)),
+        tp("Y", Range::interval(1, 6)),
+    ]);
+    SearchSpace::generate(&[group])
+}
+
+/// Toy objective with a unique optimum at (X=7, Y=3).
+fn objective() -> impl CostFunction<Cost = f64> {
+    cost_fn(|c: &Config| {
+        let x = c.get_u64("X") as f64;
+        let y = c.get_u64("Y") as f64;
+        (x - 7.0).abs() + (y - 3.0).abs()
+    })
+}
+
+fn technique() -> Box<dyn SearchTechnique> {
+    Box::new(SimulatedAnnealing::with_seed(41))
+}
+
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("atf-jh-{tag}-{}.ndjson", std::process::id()))
+}
+
+fn cleanup(path: &Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(checkpoint_path(path)).ok();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".ckpt.tmp");
+    std::fs::remove_file(PathBuf::from(tmp)).ok();
+}
+
+/// Drives a session to completion, reporting the toy objective.
+fn drive(session: &mut TuningSession<f64>) {
+    let mut cf = objective();
+    while let Some(config) = session.next_config() {
+        let outcome = cf.evaluate(&config);
+        session.report(outcome).unwrap();
+    }
+}
+
+fn journaled_session(path: &Path, checkpoint_every: Option<usize>) -> TuningSession<f64> {
+    let mut session = TuningSession::<f64>::new(space(), technique())
+        .unwrap()
+        .abort_condition(abort::evaluations(50));
+    if let Some(every) = checkpoint_every {
+        session = session.journal_checkpoint_every(every);
+    }
+    session.journal_to(path).unwrap()
+}
+
+fn fresh_session() -> TuningSession<f64> {
+    TuningSession::<f64>::new(space(), technique())
+        .unwrap()
+        .abort_condition(abort::evaluations(50))
+}
+
+/// Checkpoint compaction is observably invisible: a run compacted every 8
+/// entries loads (checkpoint + live tail) to exactly the entry sequence of
+/// the same run journaled without compaction, and both resume to the same
+/// final result.
+#[test]
+fn checkpoint_plus_tail_replays_bit_identically_to_the_full_journal() {
+    let compacted = journal_path("ckpt-equiv-compacted");
+    let plain = journal_path("ckpt-equiv-plain");
+    cleanup(&compacted);
+    cleanup(&plain);
+
+    let mut a = journaled_session(&compacted, Some(8));
+    drive(&mut a);
+    let reference = a.finish().unwrap();
+    let mut b = journaled_session(&plain, None);
+    drive(&mut b);
+    b.finish().unwrap();
+
+    // Compaction actually happened: a checkpoint file exists and the live
+    // tail is shorter than the uncompacted journal.
+    assert!(checkpoint_path(&compacted).exists());
+    assert!(
+        std::fs::metadata(&compacted).unwrap().len() < std::fs::metadata(&plain).unwrap().len()
+    );
+
+    let merged = LoadedJournal::load_with_checkpoint(&compacted).unwrap();
+    let full = LoadedJournal::load(&plain).unwrap();
+    // `elapsed_ms` is real wall-clock and legitimately differs between two
+    // separate runs; everything that determines the replayed search state
+    // must be bit-identical.
+    let strip_clock = |entries: &[atf_core::journal::JournalEntry]| {
+        entries
+            .iter()
+            .cloned()
+            .map(|mut e| {
+                e.elapsed_ms = None;
+                e
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strip_clock(&merged.entries),
+        strip_clock(&full.entries),
+        "replay streams must be bit-identical"
+    );
+    assert_eq!(merged.entries.len() as u64, reference.evaluations);
+
+    // And both journals resume a fresh session to the same state.
+    let mut from_merged = fresh_session();
+    let replayed = from_merged.resume_from_journal(&compacted).unwrap();
+    assert_eq!(replayed, reference.evaluations);
+    let mut from_full = fresh_session();
+    from_full.resume_from_journal(&plain).unwrap();
+    let (r1, r2) = (from_merged.finish().unwrap(), from_full.finish().unwrap());
+    assert_eq!(r1.best_config, r2.best_config);
+    assert_eq!(r1.best_cost, r2.best_cost);
+    assert_eq!(r1.evaluations, r2.evaluations);
+    assert_eq!(r1.best_config, reference.best_config);
+
+    cleanup(&compacted);
+    cleanup(&plain);
+}
+
+/// Kill mid-compaction, *after* the checkpoint rename but *before* the
+/// tail was rewritten: checkpoint and tail then hold the same entries, and
+/// resume must deduplicate instead of double-replaying.
+#[test]
+fn kill_after_checkpoint_rename_does_not_double_replay() {
+    let path = journal_path("kill-post-rename");
+    cleanup(&path);
+
+    let mut session = journaled_session(&path, None);
+    let mut cf = objective();
+    for _ in 0..17 {
+        let config = session.next_config().expect("budget not exhausted yet");
+        let outcome = cf.evaluate(&config);
+        session.report(outcome).unwrap();
+    }
+    drop(session); // crash: 17 entries on disk, no finish
+
+    // The checkpoint file format is the journal file format, so copying
+    // the journal over the checkpoint path simulates the crash window
+    // between `rename(tmp, ckpt)` and the tail rewrite exactly.
+    std::fs::copy(&path, checkpoint_path(&path)).unwrap();
+
+    let mut resumed = fresh_session();
+    let replayed = resumed.resume_from_journal(&path).unwrap();
+    assert_eq!(
+        replayed, 17,
+        "every entry exactly once despite the duplicate tail"
+    );
+    drive(&mut resumed);
+    let resumed = resumed.finish().unwrap();
+
+    // Reference: the same run uninterrupted.
+    let mut reference = fresh_session();
+    drive(&mut reference);
+    let reference = reference.finish().unwrap();
+    assert_eq!(resumed.best_config, reference.best_config);
+    assert_eq!(resumed.best_cost, reference.best_cost);
+    assert_eq!(resumed.evaluations, reference.evaluations);
+
+    cleanup(&path);
+}
+
+/// Kill mid-compaction *before* the atomic rename: a leftover `.ckpt.tmp`
+/// must be ignored entirely.
+#[test]
+fn kill_before_checkpoint_rename_ignores_the_tmp_file() {
+    let path = journal_path("kill-pre-rename");
+    cleanup(&path);
+
+    let mut session = journaled_session(&path, None);
+    let mut cf = objective();
+    for _ in 0..17 {
+        let config = session.next_config().expect("budget not exhausted yet");
+        let outcome = cf.evaluate(&config);
+        session.report(outcome).unwrap();
+    }
+    drop(session);
+
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".ckpt.tmp");
+    std::fs::copy(&path, PathBuf::from(tmp)).unwrap();
+
+    let mut resumed = fresh_session();
+    assert_eq!(resumed.resume_from_journal(&path).unwrap(), 17);
+
+    cleanup(&path);
+}
+
+/// Rewrites a genuine journal into the pre-checksum on-disk format of an
+/// older version: v1 (no ticket, no elapsed, no header window), v2 (ticket
+/// and window, no elapsed), or v3 (everything, bare unchecksummed lines).
+fn strip_keys(value: &mut serde_json::Value, keys: &[&str]) {
+    if let serde_json::Value::Object(fields) = value {
+        fields.retain(|(k, _)| !keys.contains(&k.as_str()));
+    }
+}
+
+fn downgrade_journal(from: &Path, to: &Path, version: u32) {
+    let loaded = LoadedJournal::load(from).unwrap();
+    let mut out = String::new();
+    let header = JournalHeader {
+        version,
+        ..loaded.header.clone()
+    };
+    let mut header_json = serde_json::to_value(&header);
+    if version < 2 {
+        strip_keys(&mut header_json, &["window"]);
+    }
+    out.push_str(&serde_json::to_string(&header_json).unwrap());
+    out.push('\n');
+    for entry in &loaded.entries {
+        let mut line = serde_json::to_value(entry);
+        if version < 2 {
+            strip_keys(&mut line, &["ticket"]);
+        }
+        if version < 3 {
+            strip_keys(&mut line, &["elapsed_ms"]);
+        }
+        out.push_str(&serde_json::to_string(&line).unwrap());
+        out.push('\n');
+    }
+    std::fs::write(to, out).unwrap();
+}
+
+/// v1/v2/v3 journals (bare entry lines, no checksums) with a torn tail
+/// resume exactly like the v4 original; the resumed run then appends v4
+/// checksummed lines to the same file, and that mixed-version file still
+/// loads and resumes.
+#[test]
+fn old_version_journals_with_torn_tails_resume_identically() {
+    let v4 = journal_path("mixed-v4");
+    cleanup(&v4);
+    let mut session = journaled_session(&v4, None);
+    let mut cf = objective();
+    for _ in 0..17 {
+        let config = session.next_config().expect("budget not exhausted yet");
+        let outcome = cf.evaluate(&config);
+        session.report(outcome).unwrap();
+    }
+    drop(session);
+
+    // Downgrade the 17-entry journal for every old version *before* the
+    // reference resume appends the rest of the run to the v4 file.
+    let old_paths: Vec<(u32, PathBuf)> = [1u32, 2, 3]
+        .into_iter()
+        .map(|version| {
+            let old = journal_path(&format!("mixed-v{version}"));
+            cleanup(&old);
+            downgrade_journal(&v4, &old, version);
+            (version, old)
+        })
+        .collect();
+
+    // The v4 reference resume, driven to completion.
+    let mut reference = fresh_session();
+    assert_eq!(reference.resume_from_journal(&v4).unwrap(), 17);
+    drive(&mut reference);
+    let reference = reference.finish().unwrap();
+
+    for (version, old) in old_paths {
+        // A crash tore the last line mid-write.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&old).unwrap();
+        f.write_all(b"{\"evaluation\":99,\"point\":[3").unwrap();
+        drop(f);
+
+        let mut resumed = fresh_session();
+        let replayed = resumed
+            .resume_from_journal(&old)
+            .unwrap_or_else(|e| panic!("v{version} journal failed to resume: {e}"));
+        assert_eq!(
+            replayed, 17,
+            "v{version}: torn tail must cost zero intact entries"
+        );
+        drive(&mut resumed);
+        let resumed = resumed.finish().unwrap();
+        assert_eq!(resumed.best_config, reference.best_config, "v{version}");
+        assert_eq!(resumed.best_cost, reference.best_cost, "v{version}");
+        assert_eq!(resumed.evaluations, reference.evaluations, "v{version}");
+
+        // The file now starts with v1–v3 bare lines and ends with v4
+        // checksummed lines written by the resumed run: the mixed file
+        // must load whole and resume once more.
+        let mixed = LoadedJournal::load(&old).unwrap();
+        assert_eq!(
+            mixed.entries.len() as u64,
+            reference.evaluations,
+            "v{version}"
+        );
+        let mut again = fresh_session();
+        assert_eq!(
+            again.resume_from_journal(&old).unwrap(),
+            reference.evaluations,
+            "v{version}"
+        );
+        cleanup(&old);
+    }
+    cleanup(&v4);
+}
+
+/// A full disk mid-run degrades journaling instead of killing the session:
+/// the run continues in-memory, reports the degradation through
+/// `journal_degraded()` and the metrics registry, and still finds the
+/// optimum. Under `--strict-journal` semantics the same failure is fatal.
+#[test]
+fn journal_write_failure_degrades_without_killing_the_run() {
+    let path = journal_path("disk-full");
+    cleanup(&path);
+
+    let mut session = journaled_session(&path, None);
+    let mut cf = objective();
+    for _ in 0..5 {
+        let config = session.next_config().expect("budget not exhausted yet");
+        let outcome = cf.evaluate(&config);
+        session.report(outcome).unwrap();
+    }
+    session.inject_journal_failures(1); // the disk "fills up" here
+    drive(&mut session);
+
+    assert!(
+        session.journal_degraded().is_some(),
+        "the session must remember why journaling stopped"
+    );
+    assert!(session.metrics().snapshot().journal_errors >= 1);
+    let result = session.finish().unwrap();
+    assert_eq!(result.evaluations, 50, "the run itself must be unharmed");
+
+    // The journal holds exactly the pre-failure prefix — intact, loadable.
+    let loaded = LoadedJournal::load(&path).unwrap();
+    assert_eq!(loaded.entries.len(), 5);
+    cleanup(&path);
+
+    // Strict mode: the same injected failure is fatal at the report.
+    let strict_path = journal_path("disk-full-strict");
+    cleanup(&strict_path);
+    let mut strict = journaled_session(&strict_path, None).strict_journal(true);
+    strict.inject_journal_failures(1);
+    let mut cf = objective();
+    let config = strict.next_config().unwrap();
+    let outcome = cf.evaluate(&config);
+    assert!(
+        strict.report(outcome).is_err(),
+        "strict journaling must fail the report on a write error"
+    );
+    cleanup(&strict_path);
+}
+
+/// Regression fence: appending after a torn tail must truncate the torn
+/// line first. Gluing the new entry onto the torn bytes would make the
+/// *next* resume drop both — losing every post-resume evaluation.
+#[test]
+fn resume_after_torn_tail_keeps_post_resume_entries_loadable() {
+    let path = journal_path("torn-then-append");
+    cleanup(&path);
+
+    let mut session = journaled_session(&path, None);
+    let mut cf = objective();
+    for _ in 0..10 {
+        let config = session.next_config().expect("budget not exhausted yet");
+        let outcome = cf.evaluate(&config);
+        session.report(outcome).unwrap();
+    }
+    drop(session);
+
+    // Crash mid-write: half an entry line at the tail.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    f.write_all(b"{\"crc\":\"dead\",\"entry\":{\"evaluation\":11,\"point\":[2")
+        .unwrap();
+    drop(f);
+
+    // First resume: 10 intact entries; continue for 10 more, crash again.
+    let mut resumed = fresh_session();
+    assert_eq!(resumed.resume_from_journal(&path).unwrap(), 10);
+    let mut cf = objective();
+    for _ in 0..10 {
+        let config = resumed.next_config().expect("budget not exhausted yet");
+        let outcome = cf.evaluate(&config);
+        resumed.report(outcome).unwrap();
+    }
+    drop(resumed);
+
+    // Second resume sees all 20 entries — nothing was glued to torn bytes.
+    let mut again = fresh_session();
+    assert_eq!(again.resume_from_journal(&path).unwrap(), 20);
+    drive(&mut again);
+    let finished = again.finish().unwrap();
+    assert_eq!(finished.evaluations, 50);
+    cleanup(&path);
+}
