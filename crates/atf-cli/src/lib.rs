@@ -206,6 +206,11 @@ pub struct RunOptions {
     /// (doubling with jitter each attempt; `None` = 200 ms). Local runs
     /// ignore it.
     pub reconnect_backoff: Option<std::time::Duration>,
+    /// Directory of the persistent space cache (local runs only). The
+    /// generated search space is keyed by a content hash of the parameter
+    /// spec; a later run with an identical spec loads it from disk instead
+    /// of regenerating.
+    pub space_cache: Option<PathBuf>,
 }
 
 impl RunOptions {
@@ -253,6 +258,12 @@ pub struct CliOutcome {
     /// Why journaling degraded mid-run, if it did: the journal hit a write
     /// error (full disk, permissions) and the session finished in-memory.
     pub journal_degraded: Option<String>,
+    /// Wall-clock time spent obtaining the search space (generation, or a
+    /// cache load), milliseconds.
+    pub space_gen_ms: u64,
+    /// Whether the space came from the persistent cache (`None` when no
+    /// cache was configured).
+    pub space_cache_hit: Option<bool>,
 }
 
 /// Runs a tuning specification end to end with default (no-fault-handling)
@@ -276,13 +287,41 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         None => Arc::new(NullSink),
     };
     // Group automatically: independent parameters explore in parallel-
-    // generated groups without the user thinking about it.
+    // generated groups without the user thinking about it. With a space
+    // cache, probe it by the spec's content hash before generating; a miss
+    // generates (chunked across the leading parameter) and stores the
+    // result for the next run.
     let groups = auto_group(params);
-    let space = if groups.len() > 1 {
-        SearchSpace::generate_parallel_traced(&groups, trace.as_ref())
-    } else {
-        SearchSpace::generate_traced(&groups, trace.as_ref())
+    let gen_started = Instant::now();
+    let mut cache_hit = None;
+    let space = match &opts.space_cache {
+        Some(dir) => {
+            let cache = SpaceCache::new(dir);
+            let key = spec_key(&spec.parameters);
+            match cache.load(&key) {
+                Some(cached) => {
+                    trace.emit(&TraceEvent::space_cache(&key, true));
+                    cache_hit = Some(true);
+                    SearchSpace::from_group_spaces(cached)
+                }
+                None => {
+                    trace.emit(&TraceEvent::space_cache(&key, false));
+                    cache_hit = Some(false);
+                    let generated = atf_core::spacegen::generate_groups_chunked(
+                        &groups,
+                        atf_core::spacegen::default_threads(),
+                        trace.as_ref(),
+                    );
+                    if let Err(e) = cache.store(&key, &generated) {
+                        eprintln!("atf-tune: could not store space cache entry: {e}");
+                    }
+                    SearchSpace::from_group_spaces(generated)
+                }
+            }
+        }
+        None => SearchSpace::generate_parallel_traced(&groups, trace.as_ref()),
     };
+    let space_gen = gen_started.elapsed();
     let policy = opts.policy();
     let workers = opts.workers.max(1);
 
@@ -298,6 +337,14 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         .strict_journal(opts.strict_journal)
         .journal_checkpoint_every(CLI_CHECKPOINT_EVERY);
     let metrics = Arc::clone(session.metrics());
+    metrics
+        .space_gen_micros
+        .add(u64::try_from(space_gen.as_micros()).unwrap_or(u64::MAX));
+    match cache_hit {
+        Some(true) => metrics.space_cache_hits.inc(),
+        Some(false) => metrics.space_cache_misses.inc(),
+        None => {}
+    }
     let mut resumed = 0;
     if let Some(path) = &opts.journal {
         if opts.resume && path.exists() {
@@ -390,6 +437,8 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
         resumed,
         metrics: snapshot,
         journal_degraded,
+        space_gen_ms: space_gen.as_millis() as u64,
+        space_cache_hit: cache_hit,
     })
 }
 
@@ -568,8 +617,14 @@ pub fn report(outcome: &CliOutcome) -> String {
     let r = &outcome.result;
     let mut out = String::new();
     out.push_str(&format!(
-        "search space: {} valid configurations\n",
-        r.space_size
+        "search space: {} valid configurations ({} ms{})\n",
+        r.space_size,
+        outcome.space_gen_ms,
+        match outcome.space_cache_hit {
+            Some(true) => ", space cache hit",
+            Some(false) => ", space cache miss",
+            None => "",
+        }
     ));
     out.push_str(&format!(
         "evaluated:    {} ({} valid, {} failed)\n",

@@ -54,14 +54,20 @@ and an optional tuning database to record the best configuration.
                      1 = serial). With --resume the journal's recorded
                      pending window takes precedence over N.
   --trace PATH       Write a structured NDJSON event trace (space_gen,
-                     handout, report, eval, retry, breaker, abort,
-                     worker_busy, worker_idle, proc) to PATH.
+                     space_chunk, space_cache, handout, report, eval,
+                     retry, breaker, abort, worker_busy, worker_idle,
+                     proc) to PATH.
+  --space-cache DIR  Persist generated search spaces in DIR, keyed by a
+                     content hash of the parameter spec; a later run with
+                     an identical spec loads the space instead of
+                     regenerating it.
   --metrics          Print a metrics summary after the run: eval-latency
                      histogram, failure taxonomy, window occupancy,
-                     worker utilization, configs/sec.";
+                     worker utilization, configs/sec, space generation.";
 
 const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] [--idle-secs N]
                       [--journal-dir DIR] [--eval-deadline-secs N]
+                      [--space-cache DIR]
 
 Runs the tuning service until SIGINT (ctrl-c).
 
@@ -74,7 +80,11 @@ Runs the tuning service until SIGINT (ctrl-c).
                      with `resume` continue from it after a crash.
   --eval-deadline-secs N
                      Auto-fail a handed-out configuration as a `timeout`
-                     when no report arrives within N seconds.";
+                     when no report arrives within N seconds.
+  --space-cache DIR  Persist generated search spaces in DIR, keyed by a
+                     content hash of the parameter spec, so re-opening a
+                     session after a restart skips regeneration. Defaults
+                     to `<db dir>/space-cache` when --db is given.";
 
 const CLIENT_USAGE: &str = "usage: atf-tune client [--addr HOST:PORT] [options] <spec.json>
        atf-tune client [--addr HOST:PORT] --lookup KERNEL [--device D] [--workload W]
@@ -211,6 +221,7 @@ fn take_run_options(
         metrics: take_switch(args, "--metrics"),
         strict_journal: false,
         reconnect_backoff: None,
+        space_cache: None,
     };
     if with_journal {
         opts.journal = take_flag(args, "--journal")?.map(Into::into);
@@ -219,6 +230,7 @@ fn take_run_options(
         }
         opts.trace = take_flag(args, "--trace")?.map(Into::into);
         opts.strict_journal = take_switch(args, "--strict-journal");
+        opts.space_cache = take_flag(args, "--space-cache")?.map(Into::into);
     } else {
         opts.reconnect_backoff =
             take_u32_flag(args, "--backoff-ms")?.map(|ms| Duration::from_millis(u64::from(ms)));
@@ -279,6 +291,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         u64,
         Option<String>,
         Option<Duration>,
+        Option<String>,
     );
     let parsed = (|| -> Result<ServeArgs, String> {
         let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
@@ -291,12 +304,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         };
         let journal_dir = take_flag(&mut args, "--journal-dir")?;
         let eval_deadline = take_secs_flag(&mut args, "--eval-deadline-secs")?;
+        let space_cache = take_flag(&mut args, "--space-cache")?;
         if let Some(extra) = args.first() {
             return Err(format!("unexpected argument `{extra}`"));
         }
-        Ok((addr, db, idle, journal_dir, eval_deadline))
+        Ok((addr, db, idle, journal_dir, eval_deadline, space_cache))
     })();
-    let (addr, db, idle_secs, journal_dir, eval_deadline) = match parsed {
+    let (addr, db, idle_secs, journal_dir, eval_deadline, space_cache) = match parsed {
         Ok(p) => p,
         Err(m) => {
             eprintln!("atf-tune serve: {m}");
@@ -305,11 +319,22 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     };
 
+    let db_path: Option<std::path::PathBuf> = db.map(Into::into);
+    // With persistence configured but no explicit cache directory, keep the
+    // space cache next to the database so a restarted service reuses it.
+    let space_cache: Option<std::path::PathBuf> = space_cache.map(Into::into).or_else(|| {
+        db_path.as_ref().map(|p| {
+            p.parent()
+                .unwrap_or(std::path::Path::new("."))
+                .join("space-cache")
+        })
+    });
     let manager = match atf_service::SessionManager::new(atf_service::ManagerConfig {
-        db_path: db.map(Into::into),
+        db_path,
         idle_timeout: Duration::from_secs(idle_secs),
         journal_dir: journal_dir.map(Into::into),
         eval_deadline,
+        space_cache,
     }) {
         Ok(m) => Arc::new(m),
         Err(e) => {

@@ -49,6 +49,39 @@ impl References {
     }
 }
 
+/// The structural shape of a constraint, when known. Alias-built constraints
+/// ([`divides`], [`less_than`], ...) and their `&`/`|`/[`Constraint::not`]
+/// combinations record their shape here; arbitrary predicates are
+/// [`ConstraintKind::Opaque`].
+///
+/// This is what powers the search-space constraint compiler
+/// ([`crate::spacegen`]): a known shape can be lowered into per-parameter
+/// bounds and propagators evaluated once per generation prefix, while an
+/// opaque predicate soundly falls back to per-candidate evaluation.
+#[derive(Clone, Debug)]
+pub enum ConstraintKind {
+    /// The candidate value must evenly divide the operand.
+    Divides(Expr),
+    /// The candidate value must be a multiple of the operand.
+    IsMultipleOf(Expr),
+    /// The candidate value must be strictly less than the operand.
+    LessThan(Expr),
+    /// The candidate value must be strictly greater than the operand.
+    GreaterThan(Expr),
+    /// The candidate value must equal the operand.
+    Equal(Expr),
+    /// The candidate value must differ from the operand.
+    Unequal(Expr),
+    /// Conjunction of two constraints (the `&` combinator).
+    And(Box<Constraint>, Box<Constraint>),
+    /// Disjunction of two constraints (the `|` combinator).
+    Or(Box<Constraint>, Box<Constraint>),
+    /// Negation of a constraint ([`Constraint::not`]).
+    Not(Box<Constraint>),
+    /// An arbitrary user predicate whose structure is unknown.
+    Opaque,
+}
+
 /// A predicate over a candidate parameter value and the partial configuration
 /// of previously declared parameters.
 #[derive(Clone)]
@@ -56,6 +89,7 @@ pub struct Constraint {
     pred: Arc<Pred>,
     desc: Arc<str>,
     refs: References,
+    kind: ConstraintKind,
 }
 
 impl Constraint {
@@ -70,6 +104,7 @@ impl Constraint {
             pred: Arc::new(pred),
             desc: desc.into(),
             refs: References::Unknown,
+            kind: ConstraintKind::Opaque,
         }
     }
 
@@ -100,6 +135,14 @@ impl Constraint {
         &self.refs
     }
 
+    /// The structural shape of this constraint, if built from the alias
+    /// constructors and `&`/`|`/`not`. [`ConstraintKind::Opaque`] for
+    /// arbitrary predicates. Used by the constraint compiler
+    /// ([`crate::spacegen`]).
+    pub fn kind(&self) -> &ConstraintKind {
+        &self.kind
+    }
+
     /// Evaluates the constraint. Values for which this returns `false` are
     /// filtered out of the parameter's range.
     pub fn check(&self, value: &Value, partial: &Config) -> bool {
@@ -116,10 +159,12 @@ impl Constraint {
     pub fn not(self) -> Constraint {
         let desc: Arc<str> = format!("!({})", self.desc).into();
         let refs = self.refs.clone();
+        let kind = ConstraintKind::Not(Box::new(self.clone()));
         Constraint {
             pred: Arc::new(move |v, c| !(self.pred)(v, c)),
             desc,
             refs,
+            kind,
         }
     }
 }
@@ -137,10 +182,12 @@ impl std::ops::BitAnd for Constraint {
     fn bitand(self, rhs: Constraint) -> Constraint {
         let desc: Arc<str> = format!("({}) && ({})", self.desc, rhs.desc).into();
         let refs = self.refs.clone().union(rhs.refs.clone());
+        let kind = ConstraintKind::And(Box::new(self.clone()), Box::new(rhs.clone()));
         Constraint {
             pred: Arc::new(move |v, c| (self.pred)(v, c) && (rhs.pred)(v, c)),
             desc,
             refs,
+            kind,
         }
     }
 }
@@ -152,10 +199,12 @@ impl std::ops::BitOr for Constraint {
     fn bitor(self, rhs: Constraint) -> Constraint {
         let desc: Arc<str> = format!("({}) || ({})", self.desc, rhs.desc).into();
         let refs = self.refs.clone().union(rhs.refs.clone());
+        let kind = ConstraintKind::Or(Box::new(self.clone()), Box::new(rhs.clone()));
         Constraint {
             pred: Arc::new(move |v, c| (self.pred)(v, c) || (rhs.pred)(v, c)),
             desc,
             refs,
+            kind,
         }
     }
 }
@@ -179,6 +228,7 @@ pub fn divides(e: impl IntoExpr) -> Constraint {
     let e = e.into_expr();
     let desc: Arc<str> = format!("value divides {e:?}").into();
     let refs = References::Exact(e.referenced_params());
+    let kind = ConstraintKind::Divides(e.clone());
     Constraint {
         pred: Arc::new(move |v, c| {
             match (v.as_u64(), eval_operand_u64(&e, c)) {
@@ -188,6 +238,7 @@ pub fn divides(e: impl IntoExpr) -> Constraint {
         }),
         desc,
         refs,
+        kind,
     }
 }
 
@@ -196,6 +247,7 @@ pub fn is_multiple_of(e: impl IntoExpr) -> Constraint {
     let e = e.into_expr();
     let refs = References::Exact(e.referenced_params());
     let desc: Arc<str> = format!("value is multiple of {e:?}").into();
+    let kind = ConstraintKind::IsMultipleOf(e.clone());
     Constraint {
         pred: Arc::new(move |v, c| match (v.as_u64(), eval_operand_u64(&e, c)) {
             (Some(v), Some(d)) if d != 0 => v % d == 0,
@@ -203,6 +255,7 @@ pub fn is_multiple_of(e: impl IntoExpr) -> Constraint {
         }),
         desc,
         refs,
+        kind,
     }
 }
 
@@ -211,6 +264,7 @@ pub fn less_than(e: impl IntoExpr) -> Constraint {
     let e = e.into_expr();
     let refs = References::Exact(e.referenced_params());
     let desc: Arc<str> = format!("value < {e:?}").into();
+    let kind = ConstraintKind::LessThan(e.clone());
     Constraint {
         pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
             (Some(v), Some(t)) => v < t,
@@ -218,6 +272,7 @@ pub fn less_than(e: impl IntoExpr) -> Constraint {
         }),
         desc,
         refs,
+        kind,
     }
 }
 
@@ -227,6 +282,7 @@ pub fn greater_than(e: impl IntoExpr) -> Constraint {
     let e = e.into_expr();
     let refs = References::Exact(e.referenced_params());
     let desc: Arc<str> = format!("value > {e:?}").into();
+    let kind = ConstraintKind::GreaterThan(e.clone());
     Constraint {
         pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
             (Some(v), Some(t)) => v > t,
@@ -234,6 +290,7 @@ pub fn greater_than(e: impl IntoExpr) -> Constraint {
         }),
         desc,
         refs,
+        kind,
     }
 }
 
@@ -242,6 +299,7 @@ pub fn equal(e: impl IntoExpr) -> Constraint {
     let e = e.into_expr();
     let refs = References::Exact(e.referenced_params());
     let desc: Arc<str> = format!("value == {e:?}").into();
+    let kind = ConstraintKind::Equal(e.clone());
     Constraint {
         pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
             (Some(v), Some(t)) => v == t,
@@ -249,6 +307,7 @@ pub fn equal(e: impl IntoExpr) -> Constraint {
         }),
         desc,
         refs,
+        kind,
     }
 }
 
@@ -257,6 +316,7 @@ pub fn unequal(e: impl IntoExpr) -> Constraint {
     let e = e.into_expr();
     let refs = References::Exact(e.referenced_params());
     let desc: Arc<str> = format!("value != {e:?}").into();
+    let kind = ConstraintKind::Unequal(e.clone());
     Constraint {
         pred: Arc::new(move |v, c| match (v.as_f64(), eval_operand(&e, c)) {
             (Some(v), Some(t)) => v != t,
@@ -264,6 +324,7 @@ pub fn unequal(e: impl IntoExpr) -> Constraint {
         }),
         desc,
         refs,
+        kind,
     }
 }
 

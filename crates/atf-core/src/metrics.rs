@@ -182,6 +182,11 @@ pub struct MetricsRegistry {
     pub eval_latency: Histogram,
     /// Search-space generation time, microseconds, summed over groups.
     pub space_gen_micros: Counter,
+    /// Session opens whose search space was loaded from the persistent
+    /// space cache instead of being regenerated.
+    pub space_cache_hits: Counter,
+    /// Session opens that missed the space cache (generated, then stored).
+    pub space_cache_misses: Counter,
     window_capacity: Gauge,
     window_occupancy: Gauge,
     window_peak: AtomicU64,
@@ -203,6 +208,8 @@ impl Default for MetricsRegistry {
             journal_errors: Counter::default(),
             eval_latency: Histogram::default(),
             space_gen_micros: Counter::default(),
+            space_cache_hits: Counter::default(),
+            space_cache_misses: Counter::default(),
             window_capacity: Gauge::default(),
             window_occupancy: Gauge::default(),
             window_peak: AtomicU64::new(0),
@@ -304,6 +311,8 @@ impl MetricsRegistry {
                 0.0
             },
             space_gen_ms: self.space_gen_micros.get() / 1000,
+            space_cache_hits: self.space_cache_hits.get(),
+            space_cache_misses: self.space_cache_misses.get(),
             eval_latency: self.eval_latency.snapshot(),
             window: WindowSnapshot {
                 capacity: self.window_capacity.get(),
@@ -396,6 +405,14 @@ pub struct MetricsSnapshot {
     pub configs_per_sec: f64,
     /// Search-space generation time, milliseconds.
     pub space_gen_ms: u64,
+    /// Session opens served from the persistent space cache (absent in
+    /// snapshots from older peers, defaulting to zero).
+    #[serde(default)]
+    pub space_cache_hits: u64,
+    /// Session opens that missed the space cache (absent in snapshots
+    /// from older peers, defaulting to zero).
+    #[serde(default)]
+    pub space_cache_misses: u64,
     /// Eval-latency histogram.
     pub eval_latency: LatencySnapshot,
     /// Pending-window gauges.
@@ -437,6 +454,15 @@ impl MetricsSnapshot {
             ),
         );
         row("space gen", format!("{} ms", self.space_gen_ms));
+        if self.space_cache_hits + self.space_cache_misses > 0 {
+            row(
+                "space cache",
+                format!(
+                    "{} hits, {} misses",
+                    self.space_cache_hits, self.space_cache_misses
+                ),
+            );
+        }
         row(
             "window",
             format!(

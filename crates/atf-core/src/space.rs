@@ -9,13 +9,25 @@
 //! XgemmDirect at 2¹⁰×2¹⁰ exceeds 10¹⁹ configurations while the valid space
 //! is ~10⁷.
 //!
-//! Parameter *groups* (Section V) are generated independently — optionally in
-//! parallel, one thread per group — and the full space is their cross
-//! product, which is never materialized: [`SearchSpace::get`] decomposes a
-//! flat index in the mixed radix of the group sizes in O(#groups).
+//! The walk itself is driven by the [`crate::spacegen`] engine: constraints
+//! are *compiled* into per-prefix bounds (operand expressions evaluated once
+//! per prefix, divisor enumeration, monotone scan cut-offs) with a sound
+//! per-candidate fallback for opaque predicates, and
+//! [`SearchSpace::generate_parallel`] chunks each group's leading parameter
+//! across a worker pool — parallelism no longer stops at one thread per
+//! group, and output is bit-identical to sequential generation at any
+//! thread count.
+//!
+//! Parameter *groups* (Section V) are independent; the full space is their
+//! cross product, which is never materialized: [`SearchSpace::get`]
+//! decomposes a flat index in the mixed radix of the group sizes in
+//! O(#groups). Groups may also be backed lazily
+//! ([`crate::spacegen::LazySpace`]) so spaces too large to materialize
+//! still support indexed access.
 
 use crate::config::Config;
 use crate::param::ParamGroup;
+use crate::spacegen::{self, GroupPlan, LazyGroup, LazySpace};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 use crate::value::Value;
 use std::fmt;
@@ -34,6 +46,11 @@ pub enum SpaceError {
     },
     /// Generation was cancelled via the cooperative cancellation flag.
     Cancelled,
+    /// A count overflowed its integer type — the space is astronomically
+    /// large (e.g. several unconstrained `u64`-sized ranges). Structured
+    /// rather than a wrap or panic so callers can report the space as
+    /// "too large to count" and continue.
+    Overflow,
 }
 
 impl fmt::Display for SpaceError {
@@ -46,6 +63,9 @@ impl fmt::Display for SpaceError {
                 )
             }
             SpaceError::Cancelled => write!(f, "search-space generation was cancelled"),
+            SpaceError::Overflow => {
+                write!(f, "search-space size overflows the counting integer type")
+            }
         }
     }
 }
@@ -60,7 +80,8 @@ pub struct GroupSpace {
 }
 
 impl GroupSpace {
-    /// Generates the valid sub-space of `group` by the constrained-range DFS.
+    /// Generates the valid sub-space of `group` with the compiled
+    /// constrained-range walk.
     pub fn generate(group: &ParamGroup) -> Self {
         Self::generate_with(group, u64::MAX, None).expect("no limit configured")
     }
@@ -72,12 +93,11 @@ impl GroupSpace {
         limit: u64,
         cancel: Option<&AtomicBool>,
     ) -> Result<Self, SpaceError> {
-        let names: Arc<[Arc<str>]> = group.params().iter().map(|p| p.name_arc()).collect();
+        let plan = GroupPlan::compile(group);
         let mut configs = Vec::new();
         let mut partial = Config::new();
         let mut values: Vec<Value> = Vec::with_capacity(group.len());
-        dfs(
-            group,
+        plan.walk(
             0,
             &mut partial,
             &mut values,
@@ -90,29 +110,41 @@ impl GroupSpace {
             },
             cancel,
         )?;
-        Ok(GroupSpace { names, configs })
+        Ok(GroupSpace {
+            names: plan.names(),
+            configs,
+        })
     }
 
-    /// Counts the valid configurations of `group` without materializing them.
-    /// This is what makes exact space-size tables feasible at sizes where the
-    /// materialized space would not fit in memory.
-    pub fn count(group: &ParamGroup) -> u64 {
-        let mut n = 0u64;
+    /// Reference generator: the original per-candidate
+    /// predicate-evaluation DFS, kept as the equivalence oracle for the
+    /// compiled engine (every constraint is `check`ed per candidate, no
+    /// compilation, no fast paths).
+    pub fn generate_reference(group: &ParamGroup) -> Self {
+        let names: Arc<[Arc<str>]> = group.params().iter().map(|p| p.name_arc()).collect();
+        let mut configs = Vec::new();
         let mut partial = Config::new();
-        let mut values = Vec::with_capacity(group.len());
-        dfs(
-            group,
-            0,
-            &mut partial,
-            &mut values,
-            &mut |_| {
-                n += 1;
-                Ok(())
-            },
-            None,
-        )
-        .expect("counting cannot fail");
-        n
+        let mut values: Vec<Value> = Vec::with_capacity(group.len());
+        dfs(group, 0, &mut partial, &mut values, &mut |vals| {
+            configs.push(vals.to_vec().into_boxed_slice());
+        });
+        GroupSpace { names, configs }
+    }
+
+    /// Assembles a group space from raw parts (cache loads, chunked
+    /// generation). `configs` must be aligned with `names`.
+    pub fn from_parts(names: Arc<[Arc<str>]>, configs: Vec<Box<[Value]>>) -> Self {
+        debug_assert!(configs.iter().all(|c| c.len() == names.len()));
+        GroupSpace { names, configs }
+    }
+
+    /// Counts the valid configurations of `group` without materializing
+    /// them, short-cutting unconstrained suffixes to a product of range
+    /// sizes. This is what makes exact space-size tables feasible at sizes
+    /// where the materialized space would not fit in memory. Returns
+    /// [`SpaceError::Overflow`] when the count exceeds `u64`.
+    pub fn count(group: &ParamGroup) -> Result<u64, SpaceError> {
+        GroupPlan::compile(group).count_from(0, &mut Config::new())
     }
 
     /// Number of valid configurations in this group.
@@ -154,23 +186,19 @@ impl fmt::Debug for GroupSpace {
     }
 }
 
-/// Depth-first walk over constrained ranges. Invokes `emit` once per complete
-/// valid configuration with the value tuple.
+/// The original depth-first walk over constrained ranges: evaluates the
+/// full constraint predicate for every candidate value. Retained solely as
+/// the reference oracle behind [`GroupSpace::generate_reference`].
 fn dfs(
     group: &ParamGroup,
     depth: usize,
     partial: &mut Config,
     values: &mut Vec<Value>,
-    emit: &mut impl FnMut(&[Value]) -> Result<(), SpaceError>,
-    cancel: Option<&AtomicBool>,
-) -> Result<(), SpaceError> {
+    emit: &mut impl FnMut(&[Value]),
+) {
     if depth == group.len() {
-        return emit(values);
-    }
-    if let Some(flag) = cancel {
-        if flag.load(Ordering::Relaxed) {
-            return Err(SpaceError::Cancelled);
-        }
+        emit(values);
+        return;
     }
     let p = &group.params()[depth];
     for v in p.range().iter() {
@@ -183,12 +211,10 @@ fn dfs(
         }
         partial.push(p.name_arc(), v.clone());
         values.push(v);
-        let r = dfs(group, depth + 1, partial, values, emit, cancel);
+        dfs(group, depth + 1, partial, values, emit);
         values.pop();
         partial.pop();
-        r?;
     }
-    Ok(())
 }
 
 /// Generates one group's sub-space, emitting its timed `space_gen` event.
@@ -204,10 +230,34 @@ fn timed_group_generate(index: usize, group: &ParamGroup, trace: &dyn TraceSink)
     gs
 }
 
+/// One group's backing store inside a [`SearchSpace`]: fully materialized
+/// configs, or a lazy streaming view with bounded memory.
+#[derive(Clone, Debug)]
+enum GroupRepr {
+    Materialized(GroupSpace),
+    Lazy(LazyGroup),
+}
+
+impl GroupRepr {
+    fn len(&self) -> u64 {
+        match self {
+            GroupRepr::Materialized(g) => g.len(),
+            GroupRepr::Lazy(g) => g.len(),
+        }
+    }
+
+    fn write_config(&self, i: u64, out: &mut Config) {
+        match self {
+            GroupRepr::Materialized(g) => g.write_config(i, out),
+            GroupRepr::Lazy(g) => g.write_config(i, out),
+        }
+    }
+}
+
 /// The full search space: the (virtual) cross product of the group spaces.
 #[derive(Clone, Debug)]
 pub struct SearchSpace {
-    groups: Vec<GroupSpace>,
+    groups: Vec<GroupRepr>,
     len: u128,
 }
 
@@ -229,30 +279,23 @@ impl SearchSpace {
         Self::from_group_spaces(gs)
     }
 
-    /// Generates the search space in parallel — one thread per dependent
-    /// parameter group, as described in Section V of the paper.
+    /// Generates the search space in parallel by chunking each group's
+    /// leading parameter across a worker pool
+    /// ([`crate::spacegen::generate_groups_chunked`]). Output is
+    /// bit-identical to [`Self::generate`] at any thread count.
     pub fn generate_parallel(groups: &[ParamGroup]) -> Self {
         Self::generate_parallel_traced(groups, &NullSink)
     }
 
-    /// [`generate_parallel`](Self::generate_parallel) with per-group
-    /// `space_gen` trace events (emitted from the generating threads, so
-    /// event order follows completion order).
+    /// [`generate_parallel`](Self::generate_parallel) with telemetry: one
+    /// `space_chunk` event per chunk (completion order) and one
+    /// `space_gen` event per group.
     pub fn generate_parallel_traced(groups: &[ParamGroup], trace: &dyn TraceSink) -> Self {
-        if groups.len() <= 1 {
-            return Self::generate_traced(groups, trace);
-        }
-        let mut slots: Vec<Option<GroupSpace>> = (0..groups.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(groups.len());
-            for (i, g) in groups.iter().enumerate() {
-                handles.push(scope.spawn(move || timed_group_generate(i, g, trace)));
-            }
-            for (slot, h) in slots.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("group generation thread panicked"));
-            }
-        });
-        Self::from_group_spaces(slots.into_iter().map(|s| s.expect("filled")).collect())
+        Self::from_group_spaces(spacegen::generate_groups_chunked(
+            groups,
+            spacegen::default_threads(),
+            trace,
+        ))
     }
 
     /// Generates with a per-group limit on materialized configurations.
@@ -268,18 +311,26 @@ impl SearchSpace {
     pub fn from_group_spaces(groups: Vec<GroupSpace>) -> Self {
         let len = groups.iter().map(|g| g.len() as u128).product::<u128>();
         let len = if groups.is_empty() { 0 } else { len };
-        SearchSpace { groups, len }
+        SearchSpace {
+            groups: groups.into_iter().map(GroupRepr::Materialized).collect(),
+            len,
+        }
     }
 
     /// Counts the valid configurations without materializing anything.
-    pub fn count(groups: &[ParamGroup]) -> u128 {
+    /// [`SpaceError::Overflow`] signals a space too large to count in
+    /// `u128` (or a group too large for `u64`).
+    pub fn count(groups: &[ParamGroup]) -> Result<u128, SpaceError> {
         if groups.is_empty() {
-            return 0;
+            return Ok(0);
         }
-        groups
-            .iter()
-            .map(|g| GroupSpace::count(g) as u128)
-            .product()
+        let mut total = 1u128;
+        for g in groups {
+            total = total
+                .checked_mul(GroupSpace::count(g)? as u128)
+                .ok_or(SpaceError::Overflow)?;
+        }
+        Ok(total)
     }
 
     /// Total number of valid configurations (`S` in the paper).
@@ -292,18 +343,13 @@ impl SearchSpace {
         self.len == 0
     }
 
-    /// The group sub-spaces.
-    pub fn groups(&self) -> &[GroupSpace] {
-        &self.groups
-    }
-
     /// The per-group sizes — the dimensions search techniques navigate.
     pub fn dims(&self) -> Vec<u64> {
         self.groups.iter().map(|g| g.len()).collect()
     }
 
     /// The configuration at per-group coordinates `coords`
-    /// (`coords.len() == self.groups().len()`).
+    /// (`coords.len() == self.dims().len()`).
     pub fn get_by_coords(&self, coords: &[u64]) -> Config {
         assert_eq!(coords.len(), self.groups.len(), "coordinate arity mismatch");
         let mut cfg = Config::new();
@@ -353,6 +399,23 @@ impl SearchSpace {
     /// Iterates over all configurations in index order.
     pub fn iter(&self) -> impl Iterator<Item = Config> + '_ {
         (0..self.len).map(|i| self.get(i))
+    }
+}
+
+/// A lazily enumerated space plugs straight in as a session's search
+/// space — indexed access streams blocks on demand instead of touching a
+/// materialized table.
+impl From<LazySpace> for SearchSpace {
+    fn from(lazy: LazySpace) -> Self {
+        let len = lazy.len();
+        SearchSpace {
+            groups: lazy
+                .groups()
+                .iter()
+                .map(|g| GroupRepr::Lazy(g.clone()))
+                .collect(),
+            len,
+        }
     }
 }
 
@@ -459,12 +522,56 @@ mod tests {
     }
 
     #[test]
+    fn compiled_matches_reference_generator() {
+        let groups = saxpy_groups(24);
+        for g in &groups {
+            let compiled = GroupSpace::generate(g);
+            let reference = GroupSpace::generate_reference(g);
+            assert_eq!(compiled.len(), reference.len());
+            for i in 0..compiled.len() {
+                assert_eq!(compiled.values(i), reference.values(i), "config {i}");
+            }
+        }
+    }
+
+    #[test]
     fn count_equals_generate() {
         let groups = saxpy_groups(24);
         assert_eq!(
-            SearchSpace::count(&groups),
+            SearchSpace::count(&groups).unwrap(),
             SearchSpace::generate(&groups).len()
         );
+    }
+
+    #[test]
+    fn count_overflow_is_structured_and_fast() {
+        // Four unconstrained u64-sized ranges: ~2^256 configurations. The
+        // unconstrained-suffix shortcut must detect the overflow without
+        // enumerating anything.
+        let g = ParamGroup::new(vec![
+            tp("A", Range::interval(0, u64::MAX - 1)),
+            tp("B", Range::interval(0, u64::MAX - 1)),
+            tp("C", Range::interval(0, u64::MAX - 1)),
+            tp("D", Range::interval(0, u64::MAX - 1)),
+        ]);
+        let started = std::time::Instant::now();
+        assert_eq!(GroupSpace::count(&g), Err(SpaceError::Overflow));
+        assert_eq!(SearchSpace::count(&[g]), Err(SpaceError::Overflow));
+        assert!(
+            started.elapsed().as_secs() < 5,
+            "overflow must be detected, not enumerated"
+        );
+    }
+
+    #[test]
+    fn huge_unconstrained_count_uses_the_shortcut() {
+        // 2^40 · 2^20 = 2^60 configs: counts instantly via the product
+        // shortcut (enumeration would take years).
+        let g = ParamGroup::new(vec![
+            tp("A", Range::interval(1, 1 << 40)),
+            tp("B", Range::interval(1, 1 << 20)),
+        ]);
+        assert_eq!(GroupSpace::count(&g).unwrap(), 1u64 << 60);
     }
 
     #[test]
@@ -515,6 +622,18 @@ mod tests {
     }
 
     #[test]
+    fn lazy_backed_search_space() {
+        let groups = saxpy_groups(32);
+        let eager = SearchSpace::generate(&groups);
+        let lazy: SearchSpace = LazySpace::generate(&groups).unwrap().into();
+        assert_eq!(lazy.len(), eager.len());
+        assert_eq!(lazy.dims(), eager.dims());
+        for i in 0..lazy.len() {
+            assert_eq!(lazy.get(i), eager.get(i));
+        }
+    }
+
+    #[test]
     fn empty_space_when_unsatisfiable() {
         let g = ParamGroup::new(vec![tp_c(
             "X",
@@ -561,7 +680,7 @@ mod tests {
         // valid fraction is small.
         let n = 48;
         let groups = saxpy_groups(n);
-        let valid = SearchSpace::count(&groups);
+        let valid = SearchSpace::count(&groups).unwrap();
         let unconstrained: u128 = groups.iter().map(|g| g.unconstrained_size()).product();
         assert!(valid * 20 < unconstrained, "{valid} vs {unconstrained}");
     }

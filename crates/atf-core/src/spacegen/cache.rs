@@ -1,0 +1,315 @@
+//! Spec-hash-keyed persistent space cache.
+//!
+//! Generating a heavily-constrained space is the dominant cost of opening a
+//! session (minutes for XgemmDirect-class spaces). The cache persists
+//! generated group spaces keyed by a content hash of the *canonicalized
+//! parameter specification* — names, ranges, and constraint strings — so a
+//! daemon restart followed by re-opening a session with an identical spec
+//! loads the space from disk instead of regenerating it.
+//!
+//! Invalidation is by key: any change to a parameter name, range bound,
+//! step, set element, or constraint string changes the canonical text and
+//! therefore the key, leaving stale entries unreferenced (they are never
+//! read again; the directory can simply be deleted to reclaim space). Keys
+//! concatenate two independent FNV-1a 64 hashes of the canonical text for
+//! an effectively 128-bit key, and the stored file repeats the key so a
+//! colliding or corrupt file is rejected on load and regenerated.
+//!
+//! Writes are atomic (temp file + fsync + rename), matching the journal
+//! checkpoint discipline — a crash mid-store leaves either the old entry or
+//! none, never a torn one.
+
+use crate::space::GroupSpace;
+use crate::spec::ParameterSpec;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const CACHE_VERSION: u32 = 1;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical text form of a parameter list — the hash input. Field
+/// order is fixed and every range/constraint detail is spelled out, so
+/// equal canonical text means an identical search space.
+fn canonical(parameters: &[ParameterSpec]) -> String {
+    let mut s = String::new();
+    for p in parameters {
+        s.push_str("param=");
+        s.push_str(&p.name);
+        if let Some(iv) = &p.interval {
+            s.push_str(&format!(";interval={}:{}:{}", iv.begin, iv.end, iv.step));
+        }
+        if let Some(set) = &p.set {
+            s.push_str(";set=");
+            for (i, v) in set.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&v.to_string());
+            }
+        }
+        if let Some(c) = &p.constraint {
+            s.push_str(";constraint=");
+            s.push_str(c);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// The cache key for a parameter specification: two independent FNV-1a 64
+/// hashes of the canonical text, hex-concatenated.
+pub fn spec_key(parameters: &[ParameterSpec]) -> String {
+    let text = canonical(parameters);
+    let a = fnv1a(0xcbf2_9ce4_8422_2325, text.as_bytes());
+    let b = fnv1a(0x6c62_272e_07bb_0142, text.as_bytes());
+    format!("{a:016x}{b:016x}")
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheFile {
+    version: u32,
+    key: String,
+    groups: Vec<CacheGroup>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheGroup {
+    names: Vec<String>,
+    configs: Vec<Vec<String>>,
+}
+
+/// Encodes a value as a tagged token that round-trips exactly (floats via
+/// bit pattern).
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => format!("b:{}", u8::from(*b)),
+        Value::Int(i) => format!("i:{i}"),
+        Value::UInt(u) => format!("u:{u}"),
+        Value::Float(f) => format!("f:{:016x}", f.to_bits()),
+        Value::Symbol(s) => format!("s:{s}"),
+    }
+}
+
+fn decode_value(s: &str) -> Option<Value> {
+    let (tag, body) = s.split_once(':')?;
+    match tag {
+        "b" => match body {
+            "0" => Some(Value::Bool(false)),
+            "1" => Some(Value::Bool(true)),
+            _ => None,
+        },
+        "i" => body.parse::<i64>().ok().map(Value::Int),
+        "u" => body.parse::<u64>().ok().map(Value::UInt),
+        "f" => u64::from_str_radix(body, 16)
+            .ok()
+            .map(|bits| Value::Float(f64::from_bits(bits))),
+        "s" => Some(Value::Symbol(body.into())),
+        _ => None,
+    }
+}
+
+/// A directory of persisted group spaces, one JSON file per spec key.
+#[derive(Clone, Debug)]
+pub struct SpaceCache {
+    dir: PathBuf,
+}
+
+impl SpaceCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SpaceCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.space.json"))
+    }
+
+    /// Loads the group spaces stored under `key`. Any miss, version
+    /// mismatch, key mismatch, or decode failure returns `None` — the
+    /// caller regenerates and overwrites.
+    pub fn load(&self, key: &str) -> Option<Vec<GroupSpace>> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let file: CacheFile = serde_json::from_str(&text).ok()?;
+        if file.version != CACHE_VERSION || file.key != key {
+            return None;
+        }
+        let mut groups = Vec::with_capacity(file.groups.len());
+        for g in &file.groups {
+            let names: Arc<[Arc<str>]> = g.names.iter().map(|n| Arc::from(n.as_str())).collect();
+            let mut configs = Vec::with_capacity(g.configs.len());
+            for c in &g.configs {
+                if c.len() != names.len() {
+                    return None;
+                }
+                let vals: Option<Vec<Value>> = c.iter().map(|s| decode_value(s)).collect();
+                configs.push(vals?.into_boxed_slice());
+            }
+            groups.push(GroupSpace::from_parts(names, configs));
+        }
+        Some(groups)
+    }
+
+    /// Persists `groups` under `key`, atomically.
+    pub fn store(&self, key: &str, groups: &[GroupSpace]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let file = CacheFile {
+            version: CACHE_VERSION,
+            key: key.to_string(),
+            groups: groups
+                .iter()
+                .map(|g| CacheGroup {
+                    names: g.names().iter().map(|n| n.to_string()).collect(),
+                    configs: (0..g.len())
+                        .map(|i| g.values(i).iter().map(encode_value).collect())
+                        .collect(),
+                })
+                .collect(),
+        };
+        let body = serde_json::to_string(&file)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = self
+            .dir
+            .join(format!(".{key}.space.json.tmp.{}", std::process::id()));
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        match std::fs::rename(&tmp, self.entry_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::auto_group;
+    use crate::space::SearchSpace;
+    use crate::spec::{build_params, IntervalSpec};
+
+    fn spec(n: u64) -> Vec<ParameterSpec> {
+        vec![
+            ParameterSpec {
+                name: "WPT".into(),
+                interval: Some(IntervalSpec {
+                    begin: 1,
+                    end: n,
+                    step: 1,
+                }),
+                set: None,
+                constraint: Some(format!("divides({n})")),
+            },
+            ParameterSpec {
+                name: "LS".into(),
+                interval: Some(IntervalSpec {
+                    begin: 1,
+                    end: n,
+                    step: 1,
+                }),
+                set: None,
+                constraint: Some(format!("divides({n} / WPT)")),
+            },
+        ]
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atf-spacecache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_are_stable_and_spec_sensitive() {
+        assert_eq!(spec_key(&spec(64)), spec_key(&spec(64)));
+        assert_ne!(spec_key(&spec(64)), spec_key(&spec(65)));
+        let mut renamed = spec(64);
+        renamed[0].name = "WPT2".into();
+        assert_ne!(spec_key(&spec(64)), spec_key(&renamed));
+        let mut unconstrained = spec(64);
+        unconstrained[1].constraint = None;
+        assert_ne!(spec_key(&spec(64)), spec_key(&unconstrained));
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let cache = SpaceCache::new(&dir);
+        let specs = spec(32);
+        let key = spec_key(&specs);
+        assert!(cache.load(&key).is_none());
+
+        let params = build_params(&specs).unwrap();
+        let groups = auto_group(params);
+        let generated: Vec<GroupSpace> = groups.iter().map(GroupSpace::generate).collect();
+        cache.store(&key, &generated).unwrap();
+
+        let loaded = cache.load(&key).expect("hit after store");
+        let a = SearchSpace::from_group_spaces(generated);
+        let b = SearchSpace::from_group_spaces(loaded);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.get(i), b.get(i), "config {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_miss() {
+        let dir = tmp_dir("corrupt");
+        let cache = SpaceCache::new(&dir);
+        let key = spec_key(&spec(8));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(cache.entry_path(&key), b"{not json").unwrap();
+        assert!(cache.load(&key).is_none());
+        std::fs::write(
+            cache.entry_path(&key),
+            b"{\"version\":1,\"key\":\"mismatch\",\"groups\":[]}",
+        )
+        .unwrap();
+        assert!(cache.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn value_tokens_round_trip() {
+        for v in [
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::UInt(u64::MAX),
+            Value::Float(0.1),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Symbol("vec4".into()),
+        ] {
+            let token = encode_value(&v);
+            let back = decode_value(&token).expect("decodes");
+            match (&v, &back) {
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(v, back),
+            }
+        }
+        assert!(decode_value("x:1").is_none());
+        assert!(decode_value("noprefix").is_none());
+    }
+}

@@ -1,0 +1,260 @@
+//! Chunked intra-group parallel generation.
+//!
+//! The sequential walk fixes the group's *leading* parameter first; the
+//! subtrees below distinct leading values are independent. Chunking
+//! partitions the leading parameter's valid candidates into contiguous
+//! chunks, enumerates each chunk's subtrees on a worker pool, and
+//! concatenates the chunk outputs **in chunk order** — so the result is
+//! bit-identical to sequential generation at any thread count.
+//!
+//! This replaces the earlier one-thread-per-group scheme: a single
+//! heavily-constrained group (the common case — XgemmDirect is one group
+//! of ten parameters) now parallelizes internally instead of pinning one
+//! core.
+
+use super::compile::GroupPlan;
+use crate::config::Config;
+use crate::param::ParamGroup;
+use crate::space::{GroupSpace, SpaceError};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::value::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Chunks per worker thread: over-partitioning keeps the pool busy when
+/// leading candidates have very uneven subtree sizes (small divisors of a
+/// big target have far more completions than large ones).
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Number of generation threads to use by default: the machine's available
+/// parallelism, capped to keep worker startup cheap on very wide hosts.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// One worker-produced chunk: its slot in sequential order and the
+/// generated configurations (or the error that stopped it).
+type ChunkResult = (usize, Result<Vec<Box<[Value]>>, SpaceError>);
+
+/// Generates one group's valid sub-space with `threads` workers over
+/// leading-parameter chunks. Emits one `space_chunk` trace event per chunk
+/// (from the workers, in completion order) and returns configurations in
+/// exactly sequential order.
+pub fn generate_group_chunked(
+    group: &ParamGroup,
+    threads: usize,
+    limit: u64,
+    cancel: Option<&AtomicBool>,
+    trace: &dyn TraceSink,
+    group_index: usize,
+) -> Result<GroupSpace, SpaceError> {
+    let plan = GroupPlan::compile(group);
+    let names = plan.names();
+
+    // Leading-parameter candidates under the empty prefix.
+    let mut leading: Vec<Value> = Vec::new();
+    {
+        let empty = Config::new();
+        let mut src = plan.candidates(0, &empty);
+        while let Some((_, v)) = src.next(&empty) {
+            leading.push(v);
+        }
+    }
+
+    if threads <= 1 || leading.len() <= 1 || plan.len() == 1 {
+        // Sequential fallback: single parameter, nothing to fan out, or a
+        // one-thread pool.
+        let mut configs = Vec::new();
+        let mut partial = Config::new();
+        let mut values = Vec::with_capacity(plan.len());
+        plan.walk(
+            0,
+            &mut partial,
+            &mut values,
+            &mut |vals| {
+                if configs.len() as u64 >= limit {
+                    return Err(SpaceError::TooLarge { limit });
+                }
+                configs.push(vals.to_vec().into_boxed_slice());
+                Ok(())
+            },
+            cancel,
+        )?;
+        return Ok(GroupSpace::from_parts(names, configs));
+    }
+
+    // Partition the leading candidates into contiguous chunks.
+    let chunk_count = (threads * CHUNKS_PER_THREAD).min(leading.len());
+    let per_chunk = leading.len().div_ceil(chunk_count);
+    let chunks: Vec<&[Value]> = leading.chunks(per_chunk).collect();
+
+    let next_chunk = AtomicUsize::new(0);
+    let emitted = AtomicU64::new(0);
+    let mut slots: Vec<Result<Vec<Box<[Value]>>, SpaceError>> =
+        (0..chunks.len()).map(|_| Ok(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        let workers = threads.min(chunks.len());
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let plan = &plan;
+            let chunks = &chunks;
+            let next_chunk = &next_chunk;
+            let emitted = &emitted;
+            handles.push(scope.spawn(move || {
+                let mut results: Vec<ChunkResult> = Vec::new();
+                loop {
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks.len() {
+                        return results;
+                    }
+                    let started = Instant::now();
+                    let mut out: Vec<Box<[Value]>> = Vec::new();
+                    let mut r = Ok(());
+                    'values: for v in chunks[c] {
+                        let mut partial = Config::new();
+                        partial.push(plan.param(0).name_arc(), v.clone());
+                        let mut values = Vec::with_capacity(plan.len());
+                        values.push(v.clone());
+                        let walked = plan.walk(
+                            1,
+                            &mut partial,
+                            &mut values,
+                            &mut |vals| {
+                                if emitted.fetch_add(1, Ordering::Relaxed) >= limit {
+                                    return Err(SpaceError::TooLarge { limit });
+                                }
+                                out.push(vals.to_vec().into_boxed_slice());
+                                Ok(())
+                            },
+                            cancel,
+                        );
+                        if let Err(e) = walked {
+                            r = Err(e);
+                            break 'values;
+                        }
+                    }
+                    trace.emit(&TraceEvent::space_chunk(
+                        group_index,
+                        c,
+                        out.len() as u64,
+                        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    ));
+                    results.push((c, r.map(|()| out)));
+                }
+            }));
+        }
+        for h in handles {
+            for (c, r) in h.join().expect("chunk worker panicked") {
+                slots[c] = r;
+            }
+        }
+    });
+
+    // Deterministic concatenation in chunk order.
+    let mut configs = Vec::new();
+    for slot in slots {
+        configs.extend(slot?);
+    }
+    if configs.len() as u64 > limit {
+        return Err(SpaceError::TooLarge { limit });
+    }
+    Ok(GroupSpace::from_parts(names, configs))
+}
+
+/// Generates all groups' sub-spaces, each with intra-group chunked
+/// parallelism, in declaration order. One `space_gen` event per group
+/// summarizes its chunks.
+pub fn generate_groups_chunked(
+    groups: &[ParamGroup],
+    threads: usize,
+    trace: &dyn TraceSink,
+) -> Vec<GroupSpace> {
+    groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let started = Instant::now();
+            let gs = generate_group_chunked(g, threads, u64::MAX, None, trace, i)
+                .expect("no limit configured");
+            trace.emit(&TraceEvent::space_gen(
+                i,
+                g.len(),
+                gs.len(),
+                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            ));
+            gs
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{divides, less_than};
+    use crate::expr::{cst, param as p};
+    use crate::param::{tp, tp_c};
+    use crate::range::Range;
+    use crate::trace::NullSink;
+
+    fn chain_group(n: u64) -> ParamGroup {
+        ParamGroup::new(vec![
+            tp_c("WPT", Range::interval(1, n), divides(cst(n))),
+            tp_c("LS", Range::interval(1, n), divides(cst(n) / p("WPT"))),
+            tp_c("V", Range::interval(1, 8), less_than(p("LS") + cst(2u64))),
+        ])
+    }
+
+    fn sequential(group: &ParamGroup) -> Vec<Vec<Value>> {
+        let gs = GroupSpace::generate(group);
+        (0..gs.len()).map(|i| gs.values(i).to_vec()).collect()
+    }
+
+    #[test]
+    fn chunked_bit_identical_at_various_thread_counts() {
+        let g = chain_group(96);
+        let want = sequential(&g);
+        for threads in [1, 2, 3, 8] {
+            let gs = generate_group_chunked(&g, threads, u64::MAX, None, &NullSink, 0).unwrap();
+            let got: Vec<Vec<Value>> = (0..gs.len()).map(|i| gs.values(i).to_vec()).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_respects_limit() {
+        let g = ParamGroup::new(vec![
+            tp("A", Range::interval(1, 100)),
+            tp("B", Range::interval(1, 100)),
+        ]);
+        let err = generate_group_chunked(&g, 4, 10, None, &NullSink, 0).unwrap_err();
+        assert_eq!(err, SpaceError::TooLarge { limit: 10 });
+    }
+
+    #[test]
+    fn chunked_respects_cancellation() {
+        let flag = AtomicBool::new(true);
+        let g = ParamGroup::new(vec![
+            tp("A", Range::interval(1, 100)),
+            tp("B", Range::interval(1, 100)),
+        ]);
+        let err = generate_group_chunked(&g, 4, u64::MAX, Some(&flag), &NullSink, 0).unwrap_err();
+        assert_eq!(err, SpaceError::Cancelled);
+    }
+
+    #[test]
+    fn chunk_events_cover_all_configs() {
+        let sink = crate::trace::MemorySink::new();
+        let g = chain_group(64);
+        let gs = generate_group_chunked(&g, 4, u64::MAX, None, &sink, 3).unwrap();
+        let events = sink.take();
+        let chunk_events: Vec<_> = events.iter().filter(|e| e.event == "space_chunk").collect();
+        assert!(!chunk_events.is_empty());
+        let total: u64 = chunk_events.iter().map(|e| e.size.unwrap()).sum();
+        assert_eq!(total, gs.len());
+        assert!(chunk_events.iter().all(|e| e.group == Some(3)));
+    }
+}

@@ -1,0 +1,38 @@
+//! The search-space construction engine.
+//!
+//! Replaces the naive per-candidate predicate re-evaluation walk behind
+//! [`SearchSpace::generate*`](crate::space::SearchSpace) with four layered
+//! mechanisms:
+//!
+//! - **Constraint compilation** ([`compile`]): alias-built constraints
+//!   (`divides`, `less_than`, ...) expose their structure via
+//!   [`ConstraintKind`](crate::constraint::ConstraintKind); the compiler
+//!   binds each operand expression once per generation *prefix* instead of
+//!   once per candidate, enumerates divisors instead of scanning windows
+//!   where a `divides` atom allows it, and stops scans early with monotone
+//!   propagators. Opaque predicates fall back to per-candidate evaluation —
+//!   the soundness fallback — so arbitrary constraints keep working, just
+//!   without the speedup.
+//! - **Chunked intra-group parallelism** ([`chunked`]): the leading
+//!   parameter's candidates are partitioned into chunks enumerated
+//!   concurrently, with chunk-order concatenation, so output is
+//!   bit-identical to sequential generation at any thread count.
+//! - **Lazy streaming spaces** ([`lazy`]): [`LazySpace`] enumerates valid
+//!   configurations on demand behind the same indexable interface as the
+//!   materialized space, with bounded memory (block checkpoints + a small
+//!   LRU block cache).
+//! - **A persistent space cache** ([`cache`]): generated spaces are keyed
+//!   by a content hash of the canonicalized parameter spec and persisted
+//!   next to the tuning database, so a service restart re-opens sessions
+//!   without regenerating identical spaces.
+
+mod cache;
+mod chunked;
+mod compile;
+mod lazy;
+
+pub use cache::{spec_key, SpaceCache};
+pub use chunked::{default_threads, generate_group_chunked, generate_groups_chunked};
+pub use lazy::{LazyGroup, LazySpace, DEFAULT_BLOCK_SIZE};
+
+pub(crate) use compile::GroupPlan;

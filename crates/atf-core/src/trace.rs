@@ -27,6 +27,8 @@ use std::sync::Mutex;
 /// streams against this list.
 pub const EVENT_KINDS: &[&str] = &[
     "space_gen",
+    "space_chunk",
+    "space_cache",
     "handout",
     "report",
     "eval",
@@ -47,12 +49,16 @@ pub const EVENT_KINDS: &[&str] = &[
 pub struct TraceEvent {
     /// Event kind, one of [`EVENT_KINDS`].
     pub event: String,
-    /// `space_gen`: index of the parameter group.
+    /// `space_gen`, `space_chunk`: index of the parameter group.
     pub group: Option<usize>,
     /// `space_gen`: number of tuning parameters in the group.
     pub params: Option<usize>,
-    /// `space_gen`: number of valid configurations generated for the group.
+    /// `space_chunk`: index of the leading-parameter chunk within the group.
+    pub chunk: Option<usize>,
+    /// `space_gen`, `space_chunk`: number of valid configurations generated.
     pub size: Option<u64>,
+    /// `space_cache`: the spec hash key that was probed.
+    pub key: Option<String>,
     /// Wall-clock duration of the measured step, in microseconds
     /// (`space_gen`, `eval`, `proc`, `worker_idle` busy time).
     pub micros: Option<u64>,
@@ -107,7 +113,9 @@ impl serde::Serialize for TraceEvent {
         }
         push(&mut fields, "group", &self.group);
         push(&mut fields, "params", &self.params);
+        push(&mut fields, "chunk", &self.chunk);
         push(&mut fields, "size", &self.size);
+        push(&mut fields, "key", &self.key);
         push(&mut fields, "micros", &self.micros);
         push(&mut fields, "ticket", &self.ticket);
         push(&mut fields, "point", &self.point);
@@ -143,6 +151,28 @@ impl TraceEvent {
             size: Some(size),
             micros: Some(micros),
             ..Self::kind("space_gen")
+        }
+    }
+
+    /// One leading-parameter chunk of a group's parallel generation
+    /// finished (events arrive in completion order, not chunk order).
+    pub fn space_chunk(group: usize, chunk: usize, size: u64, micros: u64) -> Self {
+        TraceEvent {
+            group: Some(group),
+            chunk: Some(chunk),
+            size: Some(size),
+            micros: Some(micros),
+            ..Self::kind("space_chunk")
+        }
+    }
+
+    /// The persistent space cache was probed for `key`; `hit` says whether
+    /// a valid entry was loaded (a miss is followed by generation + store).
+    pub fn space_cache(key: &str, hit: bool) -> Self {
+        TraceEvent {
+            key: Some(key.to_string()),
+            ok: Some(hit),
+            ..Self::kind("space_cache")
         }
     }
 
@@ -358,6 +388,8 @@ mod tests {
     fn events_round_trip_through_ndjson() {
         let events = vec![
             TraceEvent::space_gen(0, 2, 64, 1234),
+            TraceEvent::space_chunk(0, 3, 16, 250),
+            TraceEvent::space_cache("00ff00ff00ff00ff00ff00ff00ff00ff", true),
             TraceEvent::report(7, 1, Some("timeout")),
             TraceEvent::abort("evaluations(5)", 5, 99),
         ];

@@ -73,6 +73,12 @@ pub struct ManagerConfig {
     /// pending configuration longer than this, the service reports it as a
     /// timeout failure and moves on (`None` = wait forever).
     pub eval_deadline: Option<Duration>,
+    /// Directory of the persistent space cache (`None` = regenerate every
+    /// open). With a cache, `open` keys the generated search space by a
+    /// content hash of the parameter spec; a service restart followed by an
+    /// `open` with an identical spec loads the space from disk instead of
+    /// regenerating it (observable via the `space_cache_hits` metric).
+    pub space_cache: Option<PathBuf>,
 }
 
 impl Default for ManagerConfig {
@@ -82,6 +88,7 @@ impl Default for ManagerConfig {
             idle_timeout: Duration::from_secs(15 * 60),
             journal_dir: None,
             eval_deadline: None,
+            space_cache: None,
         }
     }
 }
@@ -241,16 +248,51 @@ impl SessionManager {
             Err(e) => return Response::error(codes::SPEC, e),
         };
         let groups = auto_group(params);
-        let space = if groups.len() > 1 {
-            SearchSpace::generate_parallel(&groups)
-        } else {
-            SearchSpace::generate(&groups)
+        // With a persistent space cache, probe it by the spec's content
+        // hash before paying for generation; a miss generates (chunked,
+        // intra-group parallel) and stores the result for the next open.
+        let mut cache_hit = None;
+        let gen_started = Instant::now();
+        let space = match &self.config.space_cache {
+            Some(dir) => {
+                let cache = atf_core::spacegen::SpaceCache::new(dir);
+                let key = atf_core::spacegen::spec_key(parameters);
+                match cache.load(&key) {
+                    Some(cached) => {
+                        cache_hit = Some(true);
+                        SearchSpace::from_group_spaces(cached)
+                    }
+                    None => {
+                        cache_hit = Some(false);
+                        let generated = atf_core::spacegen::generate_groups_chunked(
+                            &groups,
+                            atf_core::spacegen::default_threads(),
+                            &atf_core::trace::NullSink,
+                        );
+                        if let Err(e) = cache.store(&key, &generated) {
+                            eprintln!("atf-service: could not store space cache entry: {e}");
+                        }
+                        SearchSpace::from_group_spaces(generated)
+                    }
+                }
+            }
+            None => SearchSpace::generate_parallel(&groups),
         };
+        let space_gen = gen_started.elapsed();
         let space_size = space.len();
         let mut session = match TuningSession::new(space, technique) {
             Ok(s) => s,
             Err(e) => return Response::error(codes::TUNING, e),
         };
+        session
+            .metrics()
+            .space_gen_micros
+            .add(u64::try_from(space_gen.as_micros()).unwrap_or(u64::MAX));
+        match cache_hit {
+            Some(true) => session.metrics().space_cache_hits.inc(),
+            Some(false) => session.metrics().space_cache_misses.inc(),
+            None => {}
+        }
         if let Some(a) = spec::build_abort(&request.abort.clone().unwrap_or_default()) {
             session = session.abort_condition(a);
         }
@@ -1317,6 +1359,48 @@ mod tests {
         // Once the obstruction clears, sweeping resumes writing.
         std::fs::remove_dir_all(dir.join("stats.ndjson")).unwrap();
         assert_eq!(manager.sweep_stats(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn space_cache_hits_across_a_service_restart() {
+        let dir = std::env::temp_dir().join(format!("atf-mgr-spacecache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ManagerConfig {
+            space_cache: Some(dir.clone()),
+            ..ManagerConfig::default()
+        };
+
+        // First lifetime: the open misses the cache, generates, stores.
+        let manager = SessionManager::new(config.clone()).unwrap();
+        let opened = manager.handle(&open_request("cached"));
+        assert!(opened.ok, "{opened:?}");
+        let id = opened.session.unwrap();
+        let stats = manager
+            .handle(&Request::new("stats").with_session(&id))
+            .stats
+            .unwrap();
+        assert_eq!(stats.space_cache_hits, 0);
+        assert_eq!(stats.space_cache_misses, 1);
+        drop(manager);
+
+        // Second lifetime (fresh manager = restarted service): the same
+        // spec hits the persisted entry, with an identical space.
+        let manager = SessionManager::new(config).unwrap();
+        let reopened = manager.handle(&open_request("cached"));
+        assert!(reopened.ok, "{reopened:?}");
+        assert_eq!(reopened.space_size, opened.space_size);
+        let id = reopened.session.unwrap();
+        let stats = manager
+            .handle(&Request::new("stats").with_session(&id))
+            .stats
+            .unwrap();
+        assert_eq!(stats.space_cache_hits, 1);
+        assert_eq!(stats.space_cache_misses, 0);
+
+        // The cached space drives tuning to the same result as a fresh one.
+        let finished = drive_to_completion(&manager, &id, |x| (x as f64 - 7.0).abs());
+        assert_eq!(finished.best_config.unwrap()["X"], 7);
         std::fs::remove_dir_all(&dir).ok();
     }
 

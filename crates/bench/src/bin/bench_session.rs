@@ -1,0 +1,140 @@
+//! **Perf trajectory: service session throughput** — sessions/sec through
+//! the full `SessionManager` open → next/report → finish cycle, with and
+//! without the persistent space cache.
+//!
+//! Writes `BENCH_session.json` at the workspace root so service-side
+//! regressions (slower opens, lost cache hits) are visible PR-over-PR.
+//!
+//! Run: `cargo run -p atf-bench --release --bin bench_session`
+
+use atf_bench::{write_bench, Record};
+use atf_core::prelude::*;
+use atf_service::{ManagerConfig, Request, SessionManager};
+use std::time::Instant;
+
+/// An `open` request over one constrained divisor-chain group — small
+/// enough to tune exhaustively, large enough that generation is visible.
+fn open_request(kernel: &str) -> Request {
+    let mut req = Request::new("open");
+    req.kernel = Some(kernel.to_string());
+    req.parameters = Some(vec![
+        ParameterSpec {
+            name: "WPT".into(),
+            interval: Some(IntervalSpec {
+                begin: 1,
+                end: 64,
+                step: 1,
+            }),
+            set: None,
+            constraint: Some("divides(64)".into()),
+        },
+        ParameterSpec {
+            name: "LS".into(),
+            interval: Some(IntervalSpec {
+                begin: 1,
+                end: 64,
+                step: 1,
+            }),
+            set: None,
+            constraint: Some("divides(WPT)".into()),
+        },
+    ]);
+    req.search = Some(SearchSpec {
+        technique: "exhaustive".into(),
+        seed: 0,
+    });
+    req
+}
+
+/// Runs one full session: open, drive to completion, finish. Returns the
+/// number of evaluations performed plus the session's space-cache counters
+/// (metrics are per-session, so these are 0/1 flags for this open).
+fn run_session(manager: &SessionManager, kernel: &str) -> (u64, u64, u64) {
+    let opened = manager.handle(&open_request(kernel));
+    assert!(opened.ok, "{opened:?}");
+    let id = opened.session.unwrap();
+    let stats = manager
+        .handle(&Request::new("stats").with_session(&id))
+        .stats
+        .expect("stats snapshot");
+    loop {
+        let next = manager.handle(&Request::new("next").with_session(&id));
+        assert!(next.ok, "{next:?}");
+        if next.done == Some(true) {
+            break;
+        }
+        let cfg = next.config.unwrap();
+        let mut report = Request::new("report").with_session(&id);
+        report.cost = Some((cfg["WPT"] * 7 + cfg["LS"]) as f64);
+        let r = manager.handle(&report);
+        assert!(r.ok, "{r:?}");
+    }
+    let finished = manager.handle(&Request::new("finish").with_session(&id));
+    assert!(finished.ok, "{finished:?}");
+    (
+        finished.evaluations.unwrap_or(0),
+        stats.space_cache_hits,
+        stats.space_cache_misses,
+    )
+}
+
+/// Measures sessions/sec over `n` sequential sessions on a manager,
+/// summing evaluations and space-cache hits/misses across sessions.
+fn throughput(manager: &SessionManager, n: usize, label: &str) -> (f64, u64, u64, u64) {
+    let t0 = Instant::now();
+    let (mut evals, mut hits, mut misses) = (0, 0, 0);
+    for i in 0..n {
+        let (e, h, m) = run_session(manager, &format!("{label}-{i}"));
+        evals += e;
+        hits += h;
+        misses += m;
+    }
+    (n as f64 / t0.elapsed().as_secs_f64(), evals, hits, misses)
+}
+
+fn main() {
+    const SESSIONS: usize = 50;
+    println!("Service session throughput: {SESSIONS} open/drive/finish cycles per mode\n");
+
+    let mut records = Vec::new();
+    let mut row = |mode: &str, rate: f64, evals: u64, hits: u64, misses: u64| {
+        println!("{mode:>14} | {rate:>10.1} sessions/s | {evals:>6} evals | cache {hits} hits / {misses} misses");
+        records.push(Record {
+            experiment: "bench_session".into(),
+            device: "-".into(),
+            workload: mode.into(),
+            metrics: vec![
+                ("sessions_per_sec".into(), rate),
+                ("evaluations".into(), evals as f64),
+                ("space_cache_hits".into(), hits as f64),
+                ("space_cache_misses".into(), misses as f64),
+            ],
+        });
+    };
+
+    // No cache: every open generates the space from scratch.
+    let manager = SessionManager::in_memory();
+    let (rate, evals, hits, misses) = throughput(&manager, SESSIONS, "nocache");
+    row("no_cache", rate, evals, hits, misses);
+
+    // With cache: the first open misses and stores; the rest hit the
+    // persisted entry (same spec across all sessions).
+    let dir = std::env::temp_dir().join(format!("atf-bench-session-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let manager = SessionManager::new(ManagerConfig {
+        space_cache: Some(dir.clone()),
+        ..ManagerConfig::default()
+    })
+    .expect("manager with space cache");
+    let (rate, evals, hits, misses) = throughput(&manager, SESSIONS, "cached");
+    assert_eq!(
+        (hits, misses),
+        (SESSIONS as u64 - 1, 1),
+        "expected every open after the first to hit the space cache"
+    );
+    row("space_cache", rate, evals, hits, misses);
+    std::fs::remove_dir_all(&dir).ok();
+
+    write_bench("session", &records);
+    println!("\ntrajectory written to BENCH_session.json");
+}

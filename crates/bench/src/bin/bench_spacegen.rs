@@ -1,0 +1,122 @@
+//! **Perf trajectory: search-space construction** — compiled-constraint
+//! generation and chunked intra-group parallelism vs the per-candidate
+//! predicate-evaluation reference walk, on the benchmark spaces.
+//!
+//! Writes `BENCH_spacegen.json` at the workspace root so generation-time
+//! regressions (or lost speedups) are visible PR-over-PR. Every measured
+//! mode is also checked bit-identical against the reference generator.
+//!
+//! Run: `cargo run -p atf-bench --release --bin bench_spacegen`
+
+use atf_bench::{fmt_ns, write_bench, Record};
+use atf_core::prelude::*;
+use atf_core::spacegen::{default_threads, generate_group_chunked};
+use atf_core::trace::NullSink;
+use std::time::Instant;
+
+/// The benchmark spaces: name → parameter groups. XgemmDirect with growing
+/// range caps is the heavily-constrained case (valid fraction shrinks as
+/// the cap grows); saxpy is the small divisor-chain case.
+fn spaces() -> Vec<(&'static str, Vec<ParamGroup>)> {
+    vec![
+        ("saxpy_4096", clblast::saxpy_space(4096)),
+        ("xgemm_cap16", clblast::xgemm_space::atf_space_wgd_max(16)),
+        ("xgemm_cap32", clblast::xgemm_space::atf_space_wgd_max(32)),
+        ("xgemm_cap48", clblast::xgemm_space::atf_space_wgd_max(48)),
+    ]
+}
+
+/// Asserts two group spaces are bit-identical (same names, same
+/// configurations in the same order).
+fn assert_identical(a: &GroupSpace, b: &GroupSpace, what: &str) {
+    assert_eq!(a.names(), b.names(), "{what}: parameter names differ");
+    assert_eq!(a.len(), b.len(), "{what}: space sizes differ");
+    for i in 0..a.len() {
+        assert_eq!(a.values(i), b.values(i), "{what}: config {i} differs");
+    }
+}
+
+fn main() {
+    let threads = default_threads();
+    println!(
+        "Search-space construction: reference walk vs compiled vs chunked ({threads} threads)\n"
+    );
+    println!(
+        "{:>12} | {:>10} | {:>11} | {:>11} | {:>11} | {:>9} | {:>9}",
+        "space", "valid", "reference", "compiled", "chunked", "comp x", "chunk x"
+    );
+
+    let mut records = Vec::new();
+    let mut best_speedup = 0.0f64;
+    for (name, groups) in spaces() {
+        // Correctness pass (untimed): compare modes pairwise, dropping
+        // each space before the next so at most two are ever live —
+        // holding several multi-million-config spaces while timing
+        // dominates the measurement with allocator pressure.
+        let mut valid = 0u64;
+        for (gi, group) in groups.iter().enumerate() {
+            let reference = GroupSpace::generate_reference(group);
+            valid += reference.len();
+            let compiled = GroupSpace::generate(group);
+            assert_identical(&reference, &compiled, name);
+            drop(compiled);
+            let chunked = generate_group_chunked(group, threads, u64::MAX, None, &NullSink, gi)
+                .expect("unlimited generation cannot fail");
+            assert_identical(&reference, &chunked, name);
+        }
+
+        // Timing pass: one mode at a time, result dropped before the
+        // next measurement starts.
+        let mut t_ref = 0.0;
+        let mut t_comp = 0.0;
+        let mut t_chunk = 0.0;
+        for (gi, group) in groups.iter().enumerate() {
+            let t0 = Instant::now();
+            drop(GroupSpace::generate_reference(group));
+            t_ref += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            drop(GroupSpace::generate(group));
+            t_comp += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            drop(
+                generate_group_chunked(group, threads, u64::MAX, None, &NullSink, gi)
+                    .expect("unlimited generation cannot fail"),
+            );
+            t_chunk += t0.elapsed().as_secs_f64();
+        }
+        let comp_speedup = t_ref / t_comp.max(1e-12);
+        let chunk_speedup = t_ref / t_chunk.max(1e-12);
+        best_speedup = best_speedup.max(comp_speedup).max(chunk_speedup);
+        println!(
+            "{:>12} | {:>10} | {:>11} | {:>11} | {:>11} | {:>8.2}x | {:>8.2}x",
+            name,
+            valid,
+            fmt_ns(t_ref * 1e9),
+            fmt_ns(t_comp * 1e9),
+            fmt_ns(t_chunk * 1e9),
+            comp_speedup,
+            chunk_speedup,
+        );
+        records.push(Record {
+            experiment: "bench_spacegen".into(),
+            device: "-".into(),
+            workload: name.into(),
+            metrics: vec![
+                ("valid".into(), valid as f64),
+                ("reference_s".into(), t_ref),
+                ("compiled_s".into(), t_comp),
+                ("chunked_s".into(), t_chunk),
+                ("threads".into(), threads as f64),
+                ("compiled_speedup".into(), comp_speedup),
+                ("chunked_speedup".into(), chunk_speedup),
+            ],
+        });
+    }
+    write_bench("spacegen", &records);
+
+    println!("\nall modes bit-identical to the reference generator");
+    println!("best measured speedup over reference: {best_speedup:.2}x");
+    println!("trajectory written to BENCH_spacegen.json");
+}

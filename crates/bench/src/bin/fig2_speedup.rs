@@ -94,7 +94,7 @@ fn main() {
         // CLTune path: empty space on Caffe sizes → device-optimized values.
         for &(m, n, k) in &caffe::INPUT_SIZES {
             assert_eq!(
-                SearchSpace::count(&clblast::clblast_limited_space(m, n, k)),
+                SearchSpace::count(&clblast::clblast_limited_space(m, n, k)).unwrap(),
                 0,
                 "CLTune space unexpectedly non-empty"
             );

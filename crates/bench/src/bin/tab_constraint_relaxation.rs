@@ -31,8 +31,9 @@ fn main() {
         for (label, &(m, n, k)) in caffe::LABELS.iter().zip(&caffe::INPUT_SIZES) {
             let constrained_groups = clblast::atf_space_cltune_constraints(m, n, k);
             let full_groups = clblast::atf_space(m, n, k);
-            let constrained_size = SearchSpace::count(&constrained_groups);
-            let full_size = SearchSpace::count(&full_groups);
+            let constrained_size =
+                SearchSpace::count(&constrained_groups).expect("space countable");
+            let full_size = SearchSpace::count(&full_groups).expect("space countable");
 
             // The constrained space is small enough to search exhaustively.
             let mut cf = xgemm_cost_function(device.clone(), m, n, k);

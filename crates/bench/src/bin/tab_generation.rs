@@ -58,7 +58,7 @@ fn main() {
         let groups = clblast::xgemm_space::atf_space_wgd_max(cap);
 
         let t0 = Instant::now();
-        let valid = SearchSpace::count(&groups);
+        let valid = SearchSpace::count(&groups).expect("space countable");
         let atf_time = t0.elapsed();
 
         let mut cltune = cltune_xgemm(cap);

@@ -42,7 +42,7 @@ fn main() {
         .iter()
         .map(|(_, r)| r.len() as u128)
         .product();
-    let valid = SearchSpace::count(&clblast::atf_space(576, 576, 64));
+    let valid = SearchSpace::count(&clblast::atf_space(576, 576, 64)).expect("space countable");
     let exact_fraction = valid as f64 / ot_space as f64;
     let mc_fraction = estimate_valid_fraction(2_000_000, 0xbeef);
     println!(

@@ -32,7 +32,8 @@ fn main() {
         "WGD cap", "valid", "unconstrained", "fraction"
     );
     for cap in [8u64, 16, 32, 64] {
-        let valid = SearchSpace::count(&clblast::xgemm_space::atf_space_wgd_max(cap));
+        let valid = SearchSpace::count(&clblast::xgemm_space::atf_space_wgd_max(cap))
+            .expect("space countable");
         let uncon = unconstrained(cap as u128);
         println!(
             "{:>8} | {:>14} | {:>18.3e} | {:>12.3e}",
@@ -58,7 +59,7 @@ fn main() {
         "{:>22} | {:>18} | {:>14} | {:>12}",
         "size", "unconstrained", "valid", "fraction"
     );
-    let valid = SearchSpace::count(&clblast::atf_space(576, 576, 64));
+    let valid = SearchSpace::count(&clblast::atf_space(576, 576, 64)).expect("space countable");
     for (label, n) in [("IS4 (N = 500)", 500u128), ("2^10 x 2^10", 1024)] {
         // With {1..N} ranges the *unconstrained* space keeps growing, but
         // the *valid* one does not: WGD (and every parameter dividing it)
@@ -87,8 +88,9 @@ fn main() {
     println!("\nFigure-2 experiment spaces (ranges capped at WGD_MAX = 64):");
     let uncon = unconstrained(64);
     for (label, &(m, n, k)) in caffe::LABELS.iter().zip(&caffe::INPUT_SIZES) {
-        let valid = SearchSpace::count(&clblast::atf_space(m, n, k));
-        let limited = SearchSpace::count(&clblast::clblast_limited_space(m, n, k));
+        let valid = SearchSpace::count(&clblast::atf_space(m, n, k)).expect("space countable");
+        let limited =
+            SearchSpace::count(&clblast::clblast_limited_space(m, n, k)).expect("space countable");
         println!(
             "  {label}: valid {valid} | CLBlast-limited {limited} | unconstrained {:.3e} | valid fraction {:.3e}",
             uncon as f64,

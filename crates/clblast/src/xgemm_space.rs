@@ -270,9 +270,9 @@ mod tests {
     fn atf_space_is_large_and_size_independent() {
         // The native ATF space does not depend on the matrix sizes (no
         // divides-M/N constraints), so one count covers all Caffe sizes.
-        let space = SearchSpace::count(&atf_space_wgd_max(24));
+        let space = SearchSpace::count(&atf_space_wgd_max(24)).unwrap();
         assert!(space > 10_000, "ATF space too small: {space}");
-        let again = SearchSpace::count(&atf_space_wgd_max(24));
+        let again = SearchSpace::count(&atf_space_wgd_max(24)).unwrap();
         assert_eq!(space, again);
     }
 
@@ -283,7 +283,7 @@ mod tests {
         // every deep-learning input size (none of 20, 50, 10 rows is a
         // multiple of 8).
         for &(m, n, k) in &crate::caffe::INPUT_SIZES {
-            let space = SearchSpace::count(&clblast_limited_space(m, n, k));
+            let space = SearchSpace::count(&clblast_limited_space(m, n, k)).unwrap();
             assert_eq!(space, 0, "expected empty CLTune space for {m}×{n}×{k}");
         }
     }
@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn clblast_limited_space_nonempty_for_256() {
         // ... but non-empty for the 256×256 size CLBlast tuned on.
-        let space = SearchSpace::count(&clblast_limited_space(256, 256, 256));
+        let space = SearchSpace::count(&clblast_limited_space(256, 256, 256)).unwrap();
         assert!(space > 100, "{space}");
     }
 
@@ -304,8 +304,8 @@ mod tests {
 
     #[test]
     fn cltune_constrained_space_is_subset() {
-        let full = SearchSpace::count(&atf_space(24, 48, 8));
-        let constrained = SearchSpace::count(&atf_space_cltune_constraints(24, 48, 8));
+        let full = SearchSpace::count(&atf_space(24, 48, 8)).unwrap();
+        let constrained = SearchSpace::count(&atf_space_cltune_constraints(24, 48, 8)).unwrap();
         assert!(constrained < full, "{constrained} !< {full}");
         assert!(constrained > 0);
         // Every constrained config has WGD dividing 24 and 48.

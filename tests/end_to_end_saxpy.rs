@@ -145,7 +145,7 @@ fn error_checking_validates_every_explored_configuration() {
 fn fraction_abort_on_real_space() {
     let n = 1u64 << 12;
     let groups = clblast::saxpy_space(n);
-    let space_size = SearchSpace::count(&groups);
+    let space_size = SearchSpace::count(&groups).unwrap();
     let mut cf = saxpy_cf(DeviceModel::tesla_k20m(), n, 4);
     let result = Tuner::new()
         .technique(RandomSearch::with_seed(5))

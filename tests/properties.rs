@@ -65,7 +65,7 @@ proptest! {
     fn count_equals_generate(group in small_group()) {
         let groups = vec![group];
         prop_assert_eq!(
-            SearchSpace::count(&groups),
+            SearchSpace::count(&groups).unwrap(),
             SearchSpace::generate(&groups).len()
         );
     }

@@ -141,7 +141,7 @@ fn combined_and_condition_requires_both() {
 fn default_abort_is_space_size() {
     let n = 64u64;
     let groups = clblast::saxpy_space(n);
-    let space_size = SearchSpace::count(&groups);
+    let space_size = SearchSpace::count(&groups).unwrap();
     let mut cf = saxpy_cf(n);
     let result = Tuner::new()
         .technique(RandomSearch::with_seed(7)) // never exhausts on its own
@@ -190,7 +190,7 @@ fn auto_grouping_matches_manual_grouping() {
     ];
     let auto = atf_core::param::auto_group(params);
     assert_eq!(auto.len(), 2);
-    let auto_space = SearchSpace::count(&auto);
+    let auto_space = SearchSpace::count(&auto).unwrap();
 
     let manual = vec![
         ParamGroup::new(vec![
@@ -199,7 +199,7 @@ fn auto_grouping_matches_manual_grouping() {
         ]),
         ParamGroup::new(vec![tp("BATCH", Range::set([1u64, 2, 4]))]),
     ];
-    assert_eq!(auto_space, SearchSpace::count(&manual));
+    assert_eq!(auto_space, SearchSpace::count(&manual).unwrap());
 
     // And tune_auto drives the whole pipeline.
     let mut cf = cost_fn(|c: &Config| {

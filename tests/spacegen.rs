@@ -1,0 +1,194 @@
+//! Integration tests for the search-space construction engine
+//! (`atf_core::spacegen`): compiled-constraint generation must be
+//! bit-identical to the reference predicate walk on randomized specs,
+//! chunked parallel generation must be bit-identical at any thread count,
+//! lazy spaces must agree with materialized ones through the whole
+//! indexable-space interface, oversized counts must fail structurally,
+//! and the service's spec-keyed space cache must survive a restart.
+
+use atf_core::constraint::{divides, greater_than, is_multiple_of, less_than, unequal};
+use atf_core::expr::{cst, param};
+use atf_core::param::{tp, tp_c, Param, ParamGroup};
+use atf_core::prelude::*;
+use atf_core::spacegen::generate_group_chunked;
+use atf_core::trace::NullSink;
+use proptest::prelude::*;
+
+/// Strategy: a random constrained group mixing every compilable alias
+/// atom plus unconstrained parameters — the shapes the constraint
+/// compiler must reproduce exactly.
+fn random_group() -> impl Strategy<Value = ParamGroup> {
+    let names = ["Q0", "Q1", "Q2", "Q3", "Q4"];
+    (
+        2usize..=5,                          // number of parameters
+        prop::collection::vec(1u64..=14, 5), // range ends
+        prop::collection::vec(0u8..6, 5),    // constraint selector per param
+    )
+        .prop_map(move |(n, ends, kinds)| {
+            let mut params: Vec<Param> = Vec::new();
+            for i in 0..n {
+                let name = names[i];
+                let range = Range::interval(1, ends[i].max(1));
+                let p = if i == 0 {
+                    tp(name, range)
+                } else {
+                    let prev = names[i - 1];
+                    match kinds[i] {
+                        0 => tp(name, range),
+                        1 => tp_c(name, range, divides(param(prev))),
+                        2 => tp_c(name, range, is_multiple_of(param(prev))),
+                        3 => tp_c(name, range, divides(param(prev)) & unequal(param(prev))),
+                        4 => tp_c(
+                            name,
+                            range,
+                            less_than(param(prev) * 2u64) | greater_than(cst(6u64)),
+                        ),
+                        _ => tp_c(name, range, less_than(param(prev)).not()),
+                    }
+                };
+                params.push(p);
+            }
+            ParamGroup::new(params)
+        })
+}
+
+fn flatten(gs: &GroupSpace) -> Vec<Vec<Value>> {
+    (0..gs.len()).map(|i| gs.values(i).to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled generator and the per-candidate reference walk agree
+    /// exactly — same configurations, same order.
+    #[test]
+    fn compiled_equals_reference(group in random_group()) {
+        let reference = GroupSpace::generate_reference(&group);
+        let compiled = GroupSpace::generate(&group);
+        prop_assert_eq!(reference.names(), compiled.names());
+        prop_assert_eq!(flatten(&reference), flatten(&compiled));
+    }
+
+    /// Chunked generation is bit-identical to sequential output at 1, 2,
+    /// and 8 threads.
+    #[test]
+    fn chunked_is_bit_identical_at_any_thread_count(group in random_group()) {
+        let sequential = flatten(&GroupSpace::generate(&group));
+        for threads in [1usize, 2, 8] {
+            let chunked = generate_group_chunked(&group, threads, u64::MAX, None, &NullSink, 0)
+                .expect("unlimited generation cannot fail");
+            prop_assert_eq!(&sequential, &flatten(&chunked), "threads = {}", threads);
+        }
+    }
+
+    /// A lazy space agrees with the materialized space through the whole
+    /// indexable interface: len, dims, get, and decompose/compose
+    /// round-trips.
+    #[test]
+    fn lazy_space_equals_materialized(group in random_group()) {
+        let groups = vec![group];
+        let eager = SearchSpace::generate(&groups);
+        let lazy = LazySpace::generate_with_block(&groups, 16).expect("lazy build");
+        prop_assert_eq!(eager.len(), lazy.len());
+        prop_assert_eq!(eager.dims(), lazy.dims());
+        for i in 0..eager.len() {
+            prop_assert_eq!(eager.get(i), lazy.get(i));
+            let coords = lazy.decompose(i);
+            prop_assert_eq!(&coords, &eager.decompose(i));
+            prop_assert_eq!(lazy.compose(&coords), i);
+        }
+    }
+}
+
+/// A search space too large for `u64`/`u128` counting reports
+/// `SpaceError::Overflow` instead of panicking or spinning — and does so
+/// fast, via the unconstrained-suffix product shortcut.
+#[test]
+fn oversized_count_is_a_structured_error() {
+    let groups = vec![ParamGroup::new(vec![
+        tp("A", Range::interval(1, u64::MAX)),
+        tp("B", Range::interval(1, u64::MAX)),
+        tp("C", Range::interval(1, u64::MAX)),
+    ])];
+    let started = std::time::Instant::now();
+    assert_eq!(SearchSpace::count(&groups), Err(SpaceError::Overflow));
+    assert!(
+        started.elapsed().as_secs() < 5,
+        "overflow must be detected without enumeration"
+    );
+}
+
+/// A lazy-backed `SearchSpace` can stand in for a materialized one.
+#[test]
+fn lazy_space_backs_the_search_space_interface() {
+    let groups = vec![ParamGroup::new(vec![
+        tp_c("WPT", Range::interval(1, 32), divides(cst(32u64))),
+        tp_c("LS", Range::interval(1, 32), divides(param("WPT"))),
+    ])];
+    let eager = SearchSpace::generate(&groups);
+    let lazy: SearchSpace = LazySpace::generate(&groups).expect("lazy build").into();
+    assert_eq!(eager.len(), lazy.len());
+    for i in 0..eager.len() {
+        assert_eq!(eager.get(i), lazy.get(i));
+    }
+}
+
+/// The service's spec-keyed space cache: a second manager lifetime with
+/// the same parameter spec must hit the entry persisted by the first,
+/// observable through the session's metrics counters.
+#[test]
+fn service_space_cache_survives_a_restart() {
+    use atf_service::{ManagerConfig, Request, SessionManager};
+
+    let dir = std::env::temp_dir().join(format!("atf-it-spacecache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = ManagerConfig {
+        space_cache: Some(dir.clone()),
+        ..ManagerConfig::default()
+    };
+
+    let open = || {
+        let mut req = Request::new("open");
+        req.kernel = Some("restart-cache".into());
+        req.parameters = Some(vec![ParameterSpec {
+            name: "X".into(),
+            interval: Some(IntervalSpec {
+                begin: 1,
+                end: 24,
+                step: 1,
+            }),
+            set: None,
+            constraint: Some("divides(24)".into()),
+        }]);
+        req.search = Some(SearchSpec {
+            technique: "exhaustive".into(),
+            seed: 0,
+        });
+        req
+    };
+    let cache_stats = |m: &SessionManager, id: &str| {
+        let snap = m
+            .handle(&Request::new("stats").with_session(id))
+            .stats
+            .expect("stats snapshot");
+        (snap.space_cache_hits, snap.space_cache_misses)
+    };
+
+    // First lifetime: miss, generate, persist.
+    let manager = SessionManager::new(config.clone()).unwrap();
+    let opened = manager.handle(&open());
+    assert!(opened.ok, "{opened:?}");
+    let id = opened.session.unwrap();
+    assert_eq!(cache_stats(&manager, &id), (0, 1));
+    drop(manager);
+
+    // Second lifetime (restart): same spec hits the persisted entry and
+    // serves an identical space.
+    let manager = SessionManager::new(config).unwrap();
+    let reopened = manager.handle(&open());
+    assert!(reopened.ok, "{reopened:?}");
+    assert_eq!(reopened.space_size, opened.space_size);
+    let id = reopened.session.unwrap();
+    assert_eq!(cache_stats(&manager, &id), (1, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
