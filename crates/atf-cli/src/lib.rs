@@ -211,6 +211,9 @@ pub struct RunOptions {
     /// spec; a later run with an identical spec loads it from disk instead
     /// of regenerating.
     pub space_cache: Option<PathBuf>,
+    /// Cap the space cache's total size in megabytes; exceeding it evicts
+    /// least-recently-used entries after each store (`None` = unbounded).
+    pub space_cache_max_mb: Option<u64>,
 }
 
 impl RunOptions {
@@ -296,7 +299,8 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
     let mut cache_hit = None;
     let space = match &opts.space_cache {
         Some(dir) => {
-            let cache = SpaceCache::new(dir);
+            let cache = SpaceCache::new(dir)
+                .with_limits(None, opts.space_cache_max_mb.map(|mb| mb * 1024 * 1024));
             let key = spec_key(&spec.parameters);
             match cache.load(&key) {
                 Some(cached) => {
@@ -468,6 +472,7 @@ pub fn session_spec(spec: &TuningSpec) -> atf_service::SessionSpec {
         kernel,
         device: Some(device),
         workload: Some(workload),
+        tenant: None,
         parameters: spec.parameters.clone(),
         search: Some(spec.search.clone()),
         abort: Some(spec.abort.clone()),

@@ -61,15 +61,24 @@ and an optional tuning database to record the best configuration.
                      content hash of the parameter spec; a later run with
                      an identical spec loads the space instead of
                      regenerating it.
+  --space-cache-max-mb MB
+                     Cap the space cache at MB megabytes total; exceeding
+                     it evicts least-recently-used entries (default:
+                     unbounded).
   --metrics          Print a metrics summary after the run: eval-latency
                      histogram, failure taxonomy, window occupancy,
                      worker utilization, configs/sec, space generation.";
 
 const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] [--idle-secs N]
                       [--journal-dir DIR] [--eval-deadline-secs N]
-                      [--space-cache DIR]
+                      [--space-cache DIR] [--space-cache-max-mb MB]
+                      [--max-sessions N] [--max-per-tenant N]
+                      [--max-inflight N] [--max-connections N]
+                      [--drain-secs N]
 
-Runs the tuning service until SIGINT (ctrl-c).
+Runs the tuning service until SIGINT (ctrl-c), then drains gracefully:
+stops accepting, lets in-flight sessions checkpoint their journals, and
+exits within the drain deadline.
 
   --addr HOST:PORT   Listen address (default 127.0.0.1:7117).
   --db PATH          Tuning-database file: loaded at start, updated as
@@ -84,7 +93,25 @@ Runs the tuning service until SIGINT (ctrl-c).
   --space-cache DIR  Persist generated search spaces in DIR, keyed by a
                      content hash of the parameter spec, so re-opening a
                      session after a restart skips regeneration. Defaults
-                     to `<db dir>/space-cache` when --db is given.";
+                     to `<db dir>/space-cache` when --db is given.
+  --space-cache-max-mb MB
+                     Cap the space cache at MB megabytes total; exceeding
+                     it evicts least-recently-used entries (default:
+                     unbounded).
+  --max-sessions N   Admit at most N live sessions across all tenants;
+                     an `open` beyond it is answered `overloaded` with a
+                     retry_after_ms hint (default: unlimited).
+  --max-per-tenant N Admit at most N live sessions per tenant (the
+                     `open.tenant` field; default tenant otherwise).
+  --max-inflight N   At most N handed-out, unreported configurations per
+                     tenant; a `next` beyond it is answered `overloaded`.
+  --max-connections N
+                     Serve at most N concurrent connections; beyond that
+                     connections queue briefly, then are rejected with
+                     one `overloaded` line (default: unlimited).
+  --drain-secs N     On shutdown, wait up to N seconds for in-flight
+                     connections to finish before checkpointing journals
+                     and exiting (default 5).";
 
 const CLIENT_USAGE: &str = "usage: atf-tune client [--addr HOST:PORT] [options] <spec.json>
        atf-tune client [--addr HOST:PORT] --lookup KERNEL [--device D] [--workload W]
@@ -222,6 +249,7 @@ fn take_run_options(
         strict_journal: false,
         reconnect_backoff: None,
         space_cache: None,
+        space_cache_max_mb: None,
     };
     if with_journal {
         opts.journal = take_flag(args, "--journal")?.map(Into::into);
@@ -231,6 +259,7 @@ fn take_run_options(
         opts.trace = take_flag(args, "--trace")?.map(Into::into);
         opts.strict_journal = take_switch(args, "--strict-journal");
         opts.space_cache = take_flag(args, "--space-cache")?.map(Into::into);
+        opts.space_cache_max_mb = take_u32_flag(args, "--space-cache-max-mb")?.map(u64::from);
     } else {
         opts.reconnect_backoff =
             take_u32_flag(args, "--backoff-ms")?.map(|ms| Duration::from_millis(u64::from(ms)));
@@ -285,32 +314,49 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut args = args.to_vec();
-    type ServeArgs = (
-        String,
-        Option<String>,
-        u64,
-        Option<String>,
-        Option<Duration>,
-        Option<String>,
-    );
+    struct ServeArgs {
+        addr: String,
+        db: Option<String>,
+        idle_secs: u64,
+        journal_dir: Option<String>,
+        eval_deadline: Option<Duration>,
+        space_cache: Option<String>,
+        space_cache_max_mb: Option<u64>,
+        max_sessions: Option<usize>,
+        max_per_tenant: Option<usize>,
+        max_inflight: Option<usize>,
+        max_connections: Option<usize>,
+        drain: Option<Duration>,
+    }
     let parsed = (|| -> Result<ServeArgs, String> {
         let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
         let db = take_flag(&mut args, "--db")?;
-        let idle = match take_flag(&mut args, "--idle-secs")? {
+        let idle_secs = match take_flag(&mut args, "--idle-secs")? {
             Some(s) => s
                 .parse()
                 .map_err(|_| format!("`--idle-secs` needs an integer, got `{s}`"))?,
             None => 900,
         };
-        let journal_dir = take_flag(&mut args, "--journal-dir")?;
-        let eval_deadline = take_secs_flag(&mut args, "--eval-deadline-secs")?;
-        let space_cache = take_flag(&mut args, "--space-cache")?;
+        let parsed = ServeArgs {
+            addr,
+            db,
+            idle_secs,
+            journal_dir: take_flag(&mut args, "--journal-dir")?,
+            eval_deadline: take_secs_flag(&mut args, "--eval-deadline-secs")?,
+            space_cache: take_flag(&mut args, "--space-cache")?,
+            space_cache_max_mb: take_u32_flag(&mut args, "--space-cache-max-mb")?.map(u64::from),
+            max_sessions: take_u32_flag(&mut args, "--max-sessions")?.map(|n| n as usize),
+            max_per_tenant: take_u32_flag(&mut args, "--max-per-tenant")?.map(|n| n as usize),
+            max_inflight: take_u32_flag(&mut args, "--max-inflight")?.map(|n| n as usize),
+            max_connections: take_u32_flag(&mut args, "--max-connections")?.map(|n| n as usize),
+            drain: take_secs_flag(&mut args, "--drain-secs")?,
+        };
         if let Some(extra) = args.first() {
             return Err(format!("unexpected argument `{extra}`"));
         }
-        Ok((addr, db, idle, journal_dir, eval_deadline, space_cache))
+        Ok(parsed)
     })();
-    let (addr, db, idle_secs, journal_dir, eval_deadline, space_cache) = match parsed {
+    let serve = match parsed {
         Ok(p) => p,
         Err(m) => {
             eprintln!("atf-tune serve: {m}");
@@ -319,10 +365,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     };
 
-    let db_path: Option<std::path::PathBuf> = db.map(Into::into);
+    let db_path: Option<std::path::PathBuf> = serve.db.map(Into::into);
     // With persistence configured but no explicit cache directory, keep the
     // space cache next to the database so a restarted service reuses it.
-    let space_cache: Option<std::path::PathBuf> = space_cache.map(Into::into).or_else(|| {
+    let space_cache: Option<std::path::PathBuf> = serve.space_cache.map(Into::into).or_else(|| {
         db_path.as_ref().map(|p| {
             p.parent()
                 .unwrap_or(std::path::Path::new("."))
@@ -331,10 +377,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     });
     let manager = match atf_service::SessionManager::new(atf_service::ManagerConfig {
         db_path,
-        idle_timeout: Duration::from_secs(idle_secs),
-        journal_dir: journal_dir.map(Into::into),
-        eval_deadline,
+        idle_timeout: Duration::from_secs(serve.idle_secs),
+        journal_dir: serve.journal_dir.map(Into::into),
+        eval_deadline: serve.eval_deadline,
         space_cache,
+        space_cache_max_entries: None,
+        space_cache_max_bytes: serve.space_cache_max_mb.map(|mb| mb * 1024 * 1024),
+        admission: atf_service::AdmissionConfig {
+            max_sessions: serve.max_sessions,
+            max_sessions_per_tenant: serve.max_per_tenant,
+            max_inflight_per_tenant: serve.max_inflight,
+            ..Default::default()
+        },
     }) {
         Ok(m) => Arc::new(m),
         Err(e) => {
@@ -342,17 +396,23 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = match atf_service::Server::bind(&addr, manager) {
+    let defaults = atf_service::ServerConfig::default();
+    let server_config = atf_service::ServerConfig {
+        max_connections: serve.max_connections,
+        drain_timeout: serve.drain.unwrap_or(defaults.drain_timeout),
+        ..defaults
+    };
+    let server = match atf_service::Server::bind_with(&serve.addr, manager, server_config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("atf-tune serve: could not bind {addr}: {e}");
+            eprintln!("atf-tune serve: could not bind {}: {e}", serve.addr);
             return ExitCode::FAILURE;
         }
     };
     server.install_sigint();
     match server.local_addr() {
         Ok(bound) => eprintln!("atf-tune: serving on {bound} (ctrl-c to stop)"),
-        Err(_) => eprintln!("atf-tune: serving on {addr} (ctrl-c to stop)"),
+        Err(_) => eprintln!("atf-tune: serving on {} (ctrl-c to stop)", serve.addr),
     }
     match server.run() {
         Ok(()) => {

@@ -193,6 +193,25 @@ pub struct MetricsRegistry {
     workers_total: Gauge,
     workers_busy: Gauge,
     busy_micros: Counter,
+    /// Session opens admitted by the service's admission controller.
+    pub admitted_sessions: Counter,
+    /// Session opens shed with `overloaded` (global or per-tenant quota).
+    pub shed_opens: Counter,
+    /// Work requests (`next`) shed by a tenant's in-flight limit.
+    pub shed_requests: Counter,
+    /// Connections rejected at the hard cap (slots and accept queue full).
+    pub rejected_connections: Counter,
+    /// Sessions checkpointed by a graceful drain.
+    pub drained_sessions: Counter,
+    /// Live sessions across all tenants.
+    pub sessions_active: Gauge,
+    /// Tenants with at least one live session.
+    pub tenants_active: Gauge,
+    /// Connections currently being served.
+    pub connections_active: Gauge,
+    /// Accepted connections parked in the bounded accept queue.
+    pub accept_queue_depth: Gauge,
+    accept_queue_peak: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -216,6 +235,16 @@ impl Default for MetricsRegistry {
             workers_total: Gauge::default(),
             workers_busy: Gauge::default(),
             busy_micros: Counter::default(),
+            admitted_sessions: Counter::default(),
+            shed_opens: Counter::default(),
+            shed_requests: Counter::default(),
+            rejected_connections: Counter::default(),
+            drained_sessions: Counter::default(),
+            sessions_active: Gauge::default(),
+            tenants_active: Gauge::default(),
+            connections_active: Gauge::default(),
+            accept_queue_depth: Gauge::default(),
+            accept_queue_peak: AtomicU64::new(0),
         }
     }
 }
@@ -275,6 +304,13 @@ impl MetricsRegistry {
             .add(u64::try_from(busy_for.as_micros()).unwrap_or(u64::MAX));
     }
 
+    /// Sets the accept-queue depth gauge (and tracks its peak).
+    pub fn set_accept_queue_depth(&self, n: usize) {
+        self.accept_queue_depth.set(n as u64);
+        self.accept_queue_peak
+            .fetch_max(n as u64, Ordering::Relaxed);
+    }
+
     /// Freezes the registry into a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let elapsed = self.started.elapsed();
@@ -323,6 +359,18 @@ impl MetricsRegistry {
                 total: workers,
                 busy: self.workers_busy.get(),
                 utilization_pct,
+            },
+            admission: AdmissionSnapshot {
+                admitted_sessions: self.admitted_sessions.get(),
+                shed_opens: self.shed_opens.get(),
+                shed_requests: self.shed_requests.get(),
+                rejected_connections: self.rejected_connections.get(),
+                drained_sessions: self.drained_sessions.get(),
+                sessions_active: self.sessions_active.get(),
+                tenants_active: self.tenants_active.get(),
+                connections_active: self.connections_active.get(),
+                accept_queue_depth: self.accept_queue_depth.get(),
+                accept_queue_peak: self.accept_queue_peak.load(Ordering::Relaxed),
             },
         }
     }
@@ -379,6 +427,32 @@ pub struct WorkerSnapshot {
     pub utilization_pct: f64,
 }
 
+/// Frozen view of the service-side admission/overload gauges. All-zero
+/// for plain tuning runs (no admission controller in the loop).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionSnapshot {
+    /// Session opens admitted.
+    pub admitted_sessions: u64,
+    /// Session opens shed with `overloaded`.
+    pub shed_opens: u64,
+    /// Work requests shed by a tenant's in-flight limit.
+    pub shed_requests: u64,
+    /// Connections rejected at the hard cap.
+    pub rejected_connections: u64,
+    /// Sessions checkpointed by a graceful drain.
+    pub drained_sessions: u64,
+    /// Live sessions at snapshot time.
+    pub sessions_active: u64,
+    /// Tenants with at least one live session at snapshot time.
+    pub tenants_active: u64,
+    /// Connections being served at snapshot time.
+    pub connections_active: u64,
+    /// Accept-queue depth at snapshot time.
+    pub accept_queue_depth: u64,
+    /// Highest accept-queue depth seen.
+    pub accept_queue_peak: u64,
+}
+
 /// A frozen, serializable view of a [`MetricsRegistry`] — the `stats` wire
 /// payload and the source of the `--metrics` summary table.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -419,6 +493,10 @@ pub struct MetricsSnapshot {
     pub window: WindowSnapshot,
     /// Worker-pool gauges.
     pub workers: WorkerSnapshot,
+    /// Service admission/overload gauges (absent in snapshots from older
+    /// peers, defaulting to all-zero).
+    #[serde(default)]
+    pub admission: AdmissionSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -481,6 +559,16 @@ impl MetricsSnapshot {
         }
         if self.retries > 0 {
             row("retries", self.retries.to_string());
+        }
+        let a = &self.admission;
+        if a.admitted_sessions + a.shed_opens + a.shed_requests + a.rejected_connections > 0 {
+            row(
+                "admission",
+                format!(
+                    "{} admitted, {} opens shed, {} requests shed, {} conns rejected",
+                    a.admitted_sessions, a.shed_opens, a.shed_requests, a.rejected_connections
+                ),
+            );
         }
         if self.journal_errors > 0 {
             row(
@@ -564,6 +652,39 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn admission_counters_and_queue_peak() {
+        let m = MetricsRegistry::new();
+        m.admitted_sessions.add(3);
+        m.shed_opens.add(2);
+        m.shed_requests.inc();
+        m.rejected_connections.inc();
+        m.set_accept_queue_depth(5);
+        m.set_accept_queue_depth(1);
+        m.sessions_active.inc();
+        let s = m.snapshot();
+        assert_eq!(s.admission.admitted_sessions, 3);
+        assert_eq!(s.admission.shed_opens, 2);
+        assert_eq!(s.admission.shed_requests, 1);
+        assert_eq!(s.admission.rejected_connections, 1);
+        assert_eq!(s.admission.accept_queue_depth, 1);
+        assert_eq!(s.admission.accept_queue_peak, 5);
+        assert_eq!(s.admission.sessions_active, 1);
+        assert!(s.summary().contains("3 admitted"), "{}", s.summary());
+    }
+
+    #[test]
+    fn old_peer_snapshot_defaults_admission_to_zero() {
+        // A snapshot serialized before the admission block must still load.
+        let m = MetricsRegistry::new();
+        let mut v = serde_json::to_value(&m.snapshot());
+        if let serde_json::Value::Object(pairs) = &mut v {
+            pairs.retain(|(key, _)| key != "admission");
+        }
+        let back: MetricsSnapshot = serde_json::from_value(&v).unwrap();
+        assert_eq!(back.admission, AdmissionSnapshot::default());
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! Writes are atomic (temp file + fsync + rename), matching the journal
 //! checkpoint discipline — a crash mid-store leaves either the old entry or
 //! none, never a torn one.
+//!
+//! The cache can be bounded ([`SpaceCache::with_limits`]) by entry count
+//! and total bytes; every store then evicts least-recently-used entries
+//! (recency = file mtime, refreshed on every cache hit) until both caps
+//! hold. An unbounded cache behaves exactly as before.
 
 use crate::space::GroupSpace;
 use crate::spec::ParameterSpec;
@@ -122,12 +127,27 @@ fn decode_value(s: &str) -> Option<Value> {
 #[derive(Clone, Debug)]
 pub struct SpaceCache {
     dir: PathBuf,
+    max_entries: Option<usize>,
+    max_bytes: Option<u64>,
 }
 
 impl SpaceCache {
-    /// A cache rooted at `dir` (created lazily on first store).
+    /// A cache rooted at `dir` (created lazily on first store), unbounded.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        SpaceCache { dir: dir.into() }
+        SpaceCache {
+            dir: dir.into(),
+            max_entries: None,
+            max_bytes: None,
+        }
+    }
+
+    /// Caps the cache by entry count and/or total bytes (builder-style).
+    /// Every store evicts least-recently-used entries until both caps
+    /// hold; `None` leaves a dimension unbounded.
+    pub fn with_limits(mut self, max_entries: Option<usize>, max_bytes: Option<u64>) -> Self {
+        self.max_entries = max_entries;
+        self.max_bytes = max_bytes;
+        self
     }
 
     /// The cache directory.
@@ -143,7 +163,12 @@ impl SpaceCache {
     /// mismatch, key mismatch, or decode failure returns `None` — the
     /// caller regenerates and overwrites.
     pub fn load(&self, key: &str) -> Option<Vec<GroupSpace>> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let path = self.entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        // A hit refreshes the entry's mtime — the LRU recency signal.
+        if let Ok(f) = std::fs::File::open(&path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
         let file: CacheFile = serde_json::from_str(&text).ok()?;
         if file.version != CACHE_VERSION || file.key != key {
             return None;
@@ -192,12 +217,61 @@ impl SpaceCache {
             f.sync_all()?;
         }
         match std::fs::rename(&tmp, self.entry_path(key)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Eviction is best-effort: a failed scan must not fail the
+                // store that just succeeded.
+                let _ = self.evict_lru();
+                Ok(())
+            }
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 Err(e)
             }
         }
+    }
+
+    /// Evicts least-recently-used entries until the configured entry-count
+    /// and total-byte caps both hold; returns how many files were removed.
+    /// No-op for an unbounded cache. Recency is the entry file's mtime,
+    /// refreshed by every [`load`](Self::load) hit, so a hot entry
+    /// survives stores that evict its colder neighbours.
+    pub fn evict_lru(&self) -> std::io::Result<usize> {
+        if self.max_entries.is_none() && self.max_bytes.is_none() {
+            return Ok(0);
+        }
+        let mut entries: Vec<(PathBuf, std::time::SystemTime, u64)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            // Only committed entries count; in-flight temp files (dotted)
+            // belong to a concurrent store and are left alone.
+            if name.starts_with('.') || !name.ends_with(".space.json") {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((entry.path(), mtime, meta.len()));
+        }
+        // Oldest first; path as tiebreak so same-mtime eviction order is
+        // deterministic.
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let mut count = entries.len();
+        let mut bytes: u64 = entries.iter().map(|(_, _, len)| len).sum();
+        let mut evicted = 0usize;
+        for (path, _, len) in &entries {
+            let over_entries = self.max_entries.is_some_and(|cap| count > cap);
+            let over_bytes = self.max_bytes.is_some_and(|cap| bytes > cap);
+            if !over_entries && !over_bytes {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                evicted += 1;
+                count -= 1;
+                bytes = bytes.saturating_sub(*len);
+            }
+        }
+        Ok(evicted)
     }
 }
 
@@ -288,6 +362,84 @@ mod tests {
         )
         .unwrap();
         assert!(cache.load(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_caps_entry_count_lru_first() {
+        let dir = tmp_dir("evict-count");
+        let cache = SpaceCache::new(&dir).with_limits(Some(2), None);
+        let keys: Vec<String> = (4u64..8).map(|n| spec_key(&spec(n))).collect();
+        for (i, n) in (4u64..8).enumerate() {
+            let specs = spec(n);
+            let groups: Vec<GroupSpace> = auto_group(build_params(&specs).unwrap())
+                .iter()
+                .map(GroupSpace::generate)
+                .collect();
+            cache.store(&keys[i], &groups).unwrap();
+            // Spread mtimes so LRU order is unambiguous regardless of
+            // filesystem timestamp granularity.
+            let f = std::fs::File::open(cache.entry_path(&keys[i])).unwrap();
+            f.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(100 + i as u64))
+                .unwrap();
+        }
+        let _ = cache.evict_lru().unwrap();
+        // Only the two most recently touched entries survive.
+        assert!(cache.load(&keys[0]).is_none());
+        assert!(cache.load(&keys[1]).is_none());
+        assert!(cache.load(&keys[2]).is_some());
+        assert!(cache.load(&keys[3]).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_caps_total_bytes_and_hits_refresh_recency() {
+        let dir = tmp_dir("evict-bytes");
+        let unbounded = SpaceCache::new(&dir);
+        let keys: Vec<String> = (4u64..7).map(|n| spec_key(&spec(n))).collect();
+        for (i, n) in (4u64..7).enumerate() {
+            let specs = spec(n);
+            let groups: Vec<GroupSpace> = auto_group(build_params(&specs).unwrap())
+                .iter()
+                .map(GroupSpace::generate)
+                .collect();
+            unbounded.store(&keys[i], &groups).unwrap();
+            let f = std::fs::File::open(unbounded.entry_path(&keys[i])).unwrap();
+            f.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(100 + i as u64))
+                .unwrap();
+        }
+        // A hit on the oldest entry promotes it past its siblings.
+        assert!(unbounded.load(&keys[0]).is_some());
+        // Cap one byte below the current total: exactly one eviction, and
+        // it must take the least recently *used* entry — keys[1], not the
+        // just-promoted keys[0].
+        let total: u64 = (0..3)
+            .map(|i| {
+                std::fs::metadata(unbounded.entry_path(&keys[i]))
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        let bounded = SpaceCache::new(&dir).with_limits(None, Some(total - 1));
+        assert_eq!(bounded.evict_lru().unwrap(), 1);
+        assert!(bounded.load(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(bounded.load(&keys[0]).is_some(), "hit kept it alive");
+        assert!(bounded.load(&keys[2]).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let dir = tmp_dir("evict-off");
+        let cache = SpaceCache::new(&dir);
+        let specs = spec(8);
+        let groups: Vec<GroupSpace> = auto_group(build_params(&specs).unwrap())
+            .iter()
+            .map(GroupSpace::generate)
+            .collect();
+        cache.store(&spec_key(&specs), &groups).unwrap();
+        assert_eq!(cache.evict_lru().unwrap(), 0);
+        assert!(cache.load(&spec_key(&specs)).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -39,6 +39,9 @@ pub const EVENT_KINDS: &[&str] = &[
     "worker_idle",
     "proc",
     "journal",
+    "admission",
+    "shed",
+    "drain",
 ];
 
 /// One trace event. `event` names the kind; the remaining fields are
@@ -91,7 +94,10 @@ pub struct TraceEvent {
     /// `proc`: which script ran (`"compile"` or `"run"`).
     pub phase: Option<String>,
     /// `journal`: why journaling degraded (the underlying I/O error).
+    /// `shed`: what was shed and why; `drain`: drain outcome detail.
     pub message: Option<String>,
+    /// `admission`, `shed`: tenant the decision concerned.
+    pub tenant: Option<String>,
 }
 
 // Hand-written so `None` fields are omitted from the line entirely; the
@@ -131,6 +137,7 @@ impl serde::Serialize for TraceEvent {
         push(&mut fields, "worker", &self.worker);
         push(&mut fields, "phase", &self.phase);
         push(&mut fields, "message", &self.message);
+        push(&mut fields, "tenant", &self.tenant);
         serde::Value::Object(fields)
     }
 }
@@ -264,6 +271,40 @@ impl TraceEvent {
         }
     }
 
+    /// The admission controller admitted a session open for `tenant`;
+    /// `evaluations` carries the tenant's live-session count afterwards.
+    pub fn admission(tenant: &str, tenant_sessions: u64) -> Self {
+        TraceEvent {
+            tenant: Some(tenant.to_string()),
+            ok: Some(true),
+            evaluations: Some(tenant_sessions),
+            ..Self::kind("admission")
+        }
+    }
+
+    /// The service shed a request for `tenant`: `message` says which limit
+    /// fired, `delay_ms` the retry-after hint sent to the client.
+    pub fn shed(tenant: &str, reason: &str, retry_after_ms: u64) -> Self {
+        TraceEvent {
+            tenant: Some(tenant.to_string()),
+            ok: Some(false),
+            message: Some(reason.to_string()),
+            delay_ms: Some(retry_after_ms),
+            ..Self::kind("shed")
+        }
+    }
+
+    /// A graceful drain finished: `size` sessions checkpointed in `micros`,
+    /// `ok` whether every connection exited within the deadline.
+    pub fn drain(sessions: u64, micros: u64, within_deadline: bool) -> Self {
+        TraceEvent {
+            size: Some(sessions),
+            micros: Some(micros),
+            ok: Some(within_deadline),
+            ..Self::kind("drain")
+        }
+    }
+
     /// A process cost function ran one script (`phase` = compile or run).
     pub fn proc(phase: &str, micros: u64, failure: Option<&str>) -> Self {
         TraceEvent {
@@ -392,6 +433,9 @@ mod tests {
             TraceEvent::space_cache("00ff00ff00ff00ff00ff00ff00ff00ff", true),
             TraceEvent::report(7, 1, Some("timeout")),
             TraceEvent::abort("evaluations(5)", 5, 99),
+            TraceEvent::admission("acme", 3),
+            TraceEvent::shed("acme", "session quota exhausted", 500),
+            TraceEvent::drain(2, 1500, true),
         ];
         for e in &events {
             let line = serde_json::to_string(e).unwrap();

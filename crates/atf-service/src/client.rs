@@ -142,7 +142,14 @@ impl Transport for TcpTransport {
 ///
 /// Structured service errors ([`ClientError::Remote`]) are not transport
 /// failures and are never retried here — the transport returns them as
-/// ordinary response lines.
+/// ordinary response lines. The one exception is load shedding: an
+/// `overloaded` reply (see [`crate::proto::codes::OVERLOADED`]) keeps the
+/// healthy connection, sleeps at least the service's `retry_after_ms` hint
+/// (or the normal backoff, whichever is longer), and resends the same line.
+/// The service never dedup-caches shed replies, so the retry re-enters
+/// admission and succeeds as soon as capacity frees up. Once the retry
+/// budget is spent the overloaded reply is returned as-is, surfacing as
+/// [`ClientError::Remote`] to the caller.
 pub struct ReconnectingTransport<T: Transport> {
     factory: Box<dyn FnMut() -> Result<T, ClientError> + Send>,
     inner: Option<T>,
@@ -204,23 +211,40 @@ impl<T: Transport> Transport for ReconnectingTransport<T> {
         loop {
             let result = self
                 .connected()
-                .and_then(|transport| transport.round_trip(line))
-                .and_then(|reply| {
-                    // A reply that is not a protocol response means the
-                    // stream is corrupt or desynchronised (e.g. garbage
-                    // bytes injected mid-stream): treat it like a
-                    // connection failure so the request is retried on a
-                    // fresh connection instead of surfacing a parse error.
-                    if serde_json::from_str::<Response>(reply.trim()).is_ok() {
-                        Ok(reply)
-                    } else {
-                        Err(ClientError::Protocol(
-                            "unparseable response line".to_string(),
-                        ))
-                    }
-                });
+                .and_then(|transport| transport.round_trip(line));
             match result {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => match serde_json::from_str::<Response>(reply.trim()) {
+                    Ok(resp) if resp.is_overloaded() && attempt < self.retries => {
+                        // Load shedding, not a failure: the service
+                        // answered and the connection is healthy, so keep
+                        // it. Wait at least the service's retry-after hint
+                        // (longer if the exponential backoff says so) and
+                        // resend the same line — sheds are never
+                        // dedup-cached, so the retry re-enters admission.
+                        attempt += 1;
+                        let backoff = self.backoff_delay(attempt);
+                        let hinted = Duration::from_millis(resp.retry_after_ms.unwrap_or(0));
+                        std::thread::sleep(backoff.max(hinted));
+                    }
+                    Ok(_) => return Ok(reply),
+                    Err(_) => {
+                        // A reply that is not a protocol response means the
+                        // stream is corrupt or desynchronised (e.g. garbage
+                        // bytes injected mid-stream): treat it like a
+                        // connection failure so the request is retried on a
+                        // fresh connection instead of surfacing a parse
+                        // error.
+                        self.inner = None;
+                        if attempt >= self.retries {
+                            return Err(ClientError::Protocol(
+                                "unparseable response line".to_string(),
+                            ));
+                        }
+                        attempt += 1;
+                        self.reconnects += 1;
+                        std::thread::sleep(self.backoff_delay(attempt));
+                    }
+                },
                 Err(e) => {
                     // The connection is suspect after any failure: drop it
                     // so the next attempt starts from a fresh connect.
@@ -280,6 +304,10 @@ pub struct SessionSpec {
     pub device: Option<String>,
     /// Workload label — database key (service defaults to empty).
     pub workload: Option<String>,
+    /// Tenant this session is accounted against for admission control
+    /// (service defaults to `default`). Purely an accounting label: it does
+    /// not partition the database.
+    pub tenant: Option<String>,
     /// Tuning parameters.
     pub parameters: Vec<ParameterSpec>,
     /// Search-technique selection (service defaults to ensemble).
@@ -418,6 +446,7 @@ impl<T: Transport> Client<T> {
         req.kernel = Some(spec.kernel.clone());
         req.device = spec.device.clone();
         req.workload = spec.workload.clone();
+        req.tenant = spec.tenant.clone();
         req.parameters = Some(spec.parameters.clone());
         req.search = spec.search.clone();
         req.abort = spec.abort.clone();
@@ -669,6 +698,62 @@ mod tests {
         assert_eq!(result.best_config.as_ref().unwrap()["X"], 11);
         assert_eq!(result.best_cost, Some(0.0));
         assert_eq!(result.evaluations, Some(16));
+    }
+
+    #[test]
+    fn overloaded_reply_is_retried_after_the_hint() {
+        use std::sync::atomic::AtomicU32;
+        use std::time::Instant;
+
+        struct Shed(Arc<AtomicU32>);
+        impl Transport for Shed {
+            fn round_trip(&mut self, _line: &str) -> Result<String, ClientError> {
+                let n = self.0.fetch_add(1, Ordering::SeqCst);
+                if n == 0 {
+                    Ok(serde_json::to_string(&Response::overloaded("busy", 25)).unwrap())
+                } else {
+                    Ok(serde_json::to_string(&Response::ok()).unwrap())
+                }
+            }
+        }
+
+        let calls = Arc::new(AtomicU32::new(0));
+        let factory_calls = Arc::clone(&calls);
+        let mut transport = ReconnectingTransport::new(
+            move || Ok(Shed(Arc::clone(&factory_calls))),
+            3,
+            Duration::from_millis(1),
+        );
+        let started = Instant::now();
+        let reply = transport.round_trip("{\"cmd\":\"ping\"}").unwrap();
+        let resp: Response = serde_json::from_str(reply.trim()).unwrap();
+        assert!(resp.ok, "the retry after the shed must succeed");
+        assert!(
+            started.elapsed() >= Duration::from_millis(25),
+            "the service's retry_after_ms hint must be honoured"
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(
+            transport.reconnects(),
+            0,
+            "a shed keeps the healthy connection — no reconnect"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_the_overloaded_reply() {
+        struct AlwaysShed;
+        impl Transport for AlwaysShed {
+            fn round_trip(&mut self, _line: &str) -> Result<String, ClientError> {
+                Ok(serde_json::to_string(&Response::overloaded("busy", 1)).unwrap())
+            }
+        }
+        let transport = ReconnectingTransport::new(|| Ok(AlwaysShed), 2, Duration::from_millis(1));
+        let mut client = Client::new(transport);
+        match client.ping().unwrap_err() {
+            ClientError::Remote { code, .. } => assert_eq!(code, codes::OVERLOADED),
+            other => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

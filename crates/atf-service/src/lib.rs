@@ -39,6 +39,6 @@ pub use client::{
     Client, ClientError, LoopbackClient, ReconnectingTransport, SessionSpec, TcpTransport,
     Transport, WireHandout,
 };
-pub use manager::{ManagerConfig, SessionManager};
+pub use manager::{AdmissionConfig, ManagerConfig, SessionManager, TenantUsage, DEFAULT_TENANT};
 pub use proto::{Request, Response};
-pub use server::{Server, ShutdownHandle};
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -5,16 +5,19 @@
 use crate::proto::{codes, config_to_wire, Request, Response};
 use atf_core::cost::{CostError, FailureKind};
 use atf_core::db::TuningDatabase;
+use atf_core::metrics::MetricsRegistry;
 use atf_core::param::auto_group;
 use atf_core::session::{Handout, TuningSession};
 use atf_core::space::SearchSpace;
 use atf_core::spec;
 use atf_core::status::TuningStatus;
+use atf_core::trace::{NullSink, TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many recent `request_id`s (and their responses) each dedup window
@@ -28,6 +31,45 @@ pub const DEDUP_WINDOW: usize = 64;
 /// journal appends the journal is compacted into an atomically-renamed
 /// checkpoint file, keeping resume-replay cost bounded for long sessions.
 const SERVICE_CHECKPOINT_EVERY: usize = 64;
+
+/// Tenant that `open`s without a `tenant` field are accounted under.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Admission-control limits. Every limit is opt-in (`None` = unlimited),
+/// so a manager with the default config behaves exactly like the
+/// pre-admission service.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Global cap on live sessions across all tenants.
+    pub max_sessions: Option<usize>,
+    /// Per-tenant cap on live sessions.
+    pub max_sessions_per_tenant: Option<usize>,
+    /// Per-tenant cap on in-flight (handed-out, unreported) evaluations
+    /// summed over the tenant's sessions. A `next` beyond it is shed.
+    pub max_inflight_per_tenant: Option<usize>,
+    /// Retry-after hint attached to every shed (`overloaded`) response.
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_sessions: None,
+            max_sessions_per_tenant: None,
+            max_inflight_per_tenant: None,
+            retry_after: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Per-tenant in-use capacity, guarded by the manager's tenants lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Live sessions owned by the tenant.
+    pub sessions: usize,
+    /// Handed-out, unreported evaluations across the tenant's sessions.
+    pub inflight: usize,
+}
 
 /// Exactly-once memory: the responses of the most recent id-carrying
 /// requests, so a retry of a request whose response was lost in transit is
@@ -79,6 +121,15 @@ pub struct ManagerConfig {
     /// `open` with an identical spec loads the space from disk instead of
     /// regenerating it (observable via the `space_cache_hits` metric).
     pub space_cache: Option<PathBuf>,
+    /// Space-cache size caps (entry count, total bytes); exceeding either
+    /// evicts least-recently-used entries after each store (`None` =
+    /// unbounded, the pre-eviction behavior).
+    pub space_cache_max_entries: Option<usize>,
+    /// See [`ManagerConfig::space_cache_max_entries`]; the
+    /// `--space-cache-max-mb` flag sets this in bytes.
+    pub space_cache_max_bytes: Option<u64>,
+    /// Admission-control limits (default: everything unlimited).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ManagerConfig {
@@ -89,6 +140,9 @@ impl Default for ManagerConfig {
             journal_dir: None,
             eval_deadline: None,
             space_cache: None,
+            space_cache_max_entries: None,
+            space_cache_max_bytes: None,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -98,6 +152,8 @@ struct ManagedSession {
     kernel: String,
     device: String,
     workload: String,
+    /// Tenant the session's capacity is accounted under.
+    tenant: String,
     last_touch: Instant,
     /// When each pending configuration was handed out, by ticket. Entries
     /// past the evaluation deadline are forfeited as timeout failures.
@@ -163,6 +219,15 @@ pub struct SessionManager {
     /// Whether the last stats-snapshot sweep failed: gates log-once
     /// reporting in [`SessionManager::sweep_stats`].
     stats_write_failed: AtomicBool,
+    /// Per-tenant in-use capacity. Lock order: always *after* `sessions`
+    /// (never take `sessions` while holding this).
+    tenants: Mutex<HashMap<String, TenantUsage>>,
+    /// Service-level metrics (admission, shedding, queue depths) — shared
+    /// with the TCP server so its connection gauges land in the same
+    /// snapshot, and served by a session-less `stats` request.
+    metrics: Arc<MetricsRegistry>,
+    /// Sink for `admission`/`shed`/`drain` trace events.
+    trace: Arc<dyn TraceSink>,
 }
 
 impl SessionManager {
@@ -181,12 +246,152 @@ impl SessionManager {
             open_dedup: Mutex::new(DedupWindow::default()),
             finish_dedup: Mutex::new(DedupWindow::default()),
             stats_write_failed: AtomicBool::new(false),
+            tenants: Mutex::new(HashMap::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+            trace: Arc::new(NullSink),
         })
     }
 
     /// A manager with default settings and no persistence.
     pub fn in_memory() -> Self {
         Self::new(ManagerConfig::default()).expect("in-memory manager cannot fail")
+    }
+
+    /// Routes `admission`/`shed`/`drain` trace events to `sink`
+    /// (builder-style; default is the no-op sink).
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// The service-level metrics registry: admission and shed counters,
+    /// session/tenant gauges, and (when a server is attached) connection
+    /// and accept-queue gauges.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Per-tenant in-use capacity, for tests and diagnostics.
+    pub fn tenant_usage(&self) -> BTreeMap<String, TenantUsage> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(t, u)| (t.clone(), *u))
+            .collect()
+    }
+
+    /// The tenant an `open` accounts under: its `tenant` field, or the
+    /// default tenant when absent or empty.
+    fn tenant_of(request: &Request) -> String {
+        request
+            .tenant
+            .clone()
+            .filter(|t| !t.is_empty())
+            .unwrap_or_else(|| DEFAULT_TENANT.to_string())
+    }
+
+    /// Updates the session/tenant gauges from the tenants table (callers
+    /// hold the tenants lock and pass it in).
+    fn refresh_tenant_gauges(&self, tenants: &HashMap<String, TenantUsage>) {
+        let sessions: usize = tenants.values().map(|u| u.sessions).sum();
+        let active = tenants.values().filter(|u| u.sessions > 0).count();
+        self.metrics.sessions_active.set(sessions as u64);
+        self.metrics.tenants_active.set(active as u64);
+    }
+
+    /// Builds (and counts, and traces) one shed response.
+    fn shed(&self, tenant: &str, reason: &str, is_open: bool) -> Response {
+        let retry_after_ms =
+            u64::try_from(self.config.admission.retry_after.as_millis()).unwrap_or(u64::MAX);
+        if is_open {
+            self.metrics.shed_opens.inc();
+        } else {
+            self.metrics.shed_requests.inc();
+        }
+        self.trace
+            .emit(&TraceEvent::shed(tenant, reason, retry_after_ms));
+        Response::overloaded(reason, retry_after_ms)
+    }
+
+    /// Reserves one session slot for `tenant`, or returns the shed
+    /// response when a quota is exhausted. A successful reservation is
+    /// held until the session leaves (finish, idle expiry) — error paths
+    /// between admission and session insertion must release it.
+    fn admit_session(&self, tenant: &str) -> Result<(), Box<Response>> {
+        let a = self.config.admission.clone();
+        let mut tenants = self.tenants.lock();
+        if let Some(cap) = a.max_sessions {
+            let live: usize = tenants.values().map(|u| u.sessions).sum();
+            if live >= cap {
+                drop(tenants);
+                return Err(Box::new(self.shed(
+                    tenant,
+                    &format!("session quota exhausted ({live}/{cap} sessions live)"),
+                    true,
+                )));
+            }
+        }
+        let usage = tenants.entry(tenant.to_string()).or_default();
+        if let Some(cap) = a.max_sessions_per_tenant {
+            if usage.sessions >= cap {
+                let live = usage.sessions;
+                drop(tenants);
+                return Err(Box::new(self.shed(
+                    tenant,
+                    &format!("tenant session quota exhausted ({live}/{cap} sessions live)"),
+                    true,
+                )));
+            }
+        }
+        usage.sessions += 1;
+        let tenant_sessions = usage.sessions as u64;
+        self.refresh_tenant_gauges(&tenants);
+        drop(tenants);
+        self.metrics.admitted_sessions.inc();
+        self.trace
+            .emit(&TraceEvent::admission(tenant, tenant_sessions));
+        Ok(())
+    }
+
+    /// Returns a session's capacity to the pool: its slot plus any
+    /// still-pending in-flight reservations it held.
+    fn release_session(&self, tenant: &str, pending: usize) {
+        let mut tenants = self.tenants.lock();
+        if let Some(usage) = tenants.get_mut(tenant) {
+            usage.sessions = usage.sessions.saturating_sub(1);
+            usage.inflight = usage.inflight.saturating_sub(pending);
+            if *usage == TenantUsage::default() {
+                tenants.remove(tenant);
+            }
+        }
+        self.refresh_tenant_gauges(&tenants);
+    }
+
+    /// Reserves one in-flight evaluation for `tenant`; `false` when the
+    /// tenant's in-flight limit is reached.
+    fn try_acquire_inflight(&self, tenant: &str) -> bool {
+        let cap = self.config.admission.max_inflight_per_tenant;
+        let mut tenants = self.tenants.lock();
+        let usage = tenants.entry(tenant.to_string()).or_default();
+        if let Some(cap) = cap {
+            if usage.inflight >= cap {
+                return false;
+            }
+        }
+        usage.inflight += 1;
+        true
+    }
+
+    /// Returns `n` in-flight reservations to the pool (reported,
+    /// forfeited, or expired evaluations).
+    fn release_inflight(&self, tenant: &str, n: usize) {
+        let mut tenants = self.tenants.lock();
+        if let Some(usage) = tenants.get_mut(tenant) {
+            usage.inflight = usage.inflight.saturating_sub(n);
+            if *usage == TenantUsage::default() {
+                tenants.remove(tenant);
+            }
+        }
     }
 
     /// Handles one raw request line, returning the raw response line
@@ -226,8 +431,13 @@ impl SessionManager {
             }
         }
         let response = self.open_inner(request);
+        // Shed responses are deliberately *not* remembered: a shed has no
+        // side effects to protect from replay, and a retry of the same
+        // request id must re-run admission — capacity may have freed up.
         if let Some(rid) = &request.request_id {
-            self.open_dedup.lock().insert(rid, &response);
+            if !response.is_overloaded() {
+                self.open_dedup.lock().insert(rid, &response);
+            }
         }
         response
     }
@@ -239,12 +449,42 @@ impl SessionManager {
         let Some(kernel) = request.kernel.clone().filter(|k| !k.is_empty()) else {
             return Response::error(codes::BAD_REQUEST, "open: missing `kernel`");
         };
-        let params = match spec::build_params(parameters) {
-            Ok(p) => p,
-            Err(e) => return Response::error(codes::SPEC, e),
-        };
+        if let Err(e) = spec::build_params(parameters) {
+            return Response::error(codes::SPEC, e);
+        }
         let technique = match spec::build_technique(&request.search.clone().unwrap_or_default()) {
             Ok(t) => t,
+            Err(e) => return Response::error(codes::SPEC, e),
+        };
+        // Admission happens after the cheap spec validation (a malformed
+        // open must not consume quota) but before the expensive space
+        // generation (a shed open must not pay for it either).
+        let tenant = Self::tenant_of(request);
+        if let Err(shed) = self.admit_session(&tenant) {
+            return *shed;
+        }
+        let admitted = self.open_admitted(request, parameters, kernel, technique, tenant.clone());
+        if !admitted.ok {
+            // The spec passed validation but the session never came to
+            // life (space build, journal I/O): the slot goes back.
+            self.release_session(&tenant, 0);
+        }
+        admitted
+    }
+
+    /// The post-admission tail of `open`: builds the space (through the
+    /// cache when configured), the session, and its journal, then inserts
+    /// the session under a fresh id.
+    fn open_admitted(
+        &self,
+        request: &Request,
+        parameters: &[spec::ParameterSpec],
+        kernel: String,
+        technique: Box<dyn atf_core::search::SearchTechnique>,
+        tenant: String,
+    ) -> Response {
+        let params = match spec::build_params(parameters) {
+            Ok(p) => p,
             Err(e) => return Response::error(codes::SPEC, e),
         };
         let groups = auto_group(params);
@@ -255,7 +495,10 @@ impl SessionManager {
         let gen_started = Instant::now();
         let space = match &self.config.space_cache {
             Some(dir) => {
-                let cache = atf_core::spacegen::SpaceCache::new(dir);
+                let cache = atf_core::spacegen::SpaceCache::new(dir).with_limits(
+                    self.config.space_cache_max_entries,
+                    self.config.space_cache_max_bytes,
+                );
                 let key = atf_core::spacegen::spec_key(parameters);
                 match cache.load(&key) {
                     Some(cached) => {
@@ -342,6 +585,7 @@ impl SessionManager {
                 kernel,
                 device,
                 workload,
+                tenant,
                 last_touch: Instant::now(),
                 pending_since: HashMap::new(),
                 dedup: DedupWindow::default(),
@@ -381,8 +625,22 @@ impl SessionManager {
                     let _ = managed
                         .session
                         .report_ticket(ticket, Err(CostError::Timeout { limit: deadline }));
-                    managed.pending_since.remove(&ticket);
+                    if managed.pending_since.remove(&ticket).is_some() {
+                        // Forfeited capacity goes back to the pool.
+                        self.release_inflight(&managed.tenant, 1);
+                    }
                 }
+            }
+            // Tenant in-flight cap: the reservation is taken before the
+            // handout and returned when nothing was actually handed out.
+            // A shed here is never remembered in the dedup window — a
+            // retry must re-check, capacity may have freed up.
+            if !self.try_acquire_inflight(&managed.tenant) {
+                return self.shed(
+                    &managed.tenant,
+                    "tenant in-flight evaluation limit reached",
+                    false,
+                );
             }
             let mut resp = Response::ok();
             match managed.session.next_ticket() {
@@ -395,10 +653,14 @@ impl SessionManager {
                 // Every window slot is handed out to some client: not done,
                 // but nothing to serve until a report lands.
                 Handout::Wait => {
+                    self.release_inflight(&managed.tenant, 1);
                     resp.done = Some(false);
                     resp.retry = Some(true);
                 }
-                Handout::Done => resp.done = Some(true),
+                Handout::Done => {
+                    self.release_inflight(&managed.tenant, 1);
+                    resp.done = Some(true);
+                }
             }
             if let Some(rid) = &request_id {
                 managed.dedup.insert(rid, &resp);
@@ -456,7 +718,9 @@ impl SessionManager {
                 };
                 match managed.session.report_ticket(ticket, outcome) {
                     Ok(()) => {
-                        managed.pending_since.remove(&ticket);
+                        if managed.pending_since.remove(&ticket).is_some() {
+                            self.release_inflight(&managed.tenant, 1);
+                        }
                         let mut resp = Response::ok();
                         resp.evaluations = Some(managed.session.status().evaluations());
                         resp.best_cost = managed.session.best_scalar_cost();
@@ -493,6 +757,13 @@ impl SessionManager {
     }
 
     fn stats(&self, request: &Request) -> Response {
+        // `stats` without a session is the service-level view: admission
+        // and shed counters, session/tenant gauges, connection gauges.
+        if request.session.is_none() {
+            let mut resp = Response::ok();
+            resp.stats = Some(self.metrics.snapshot());
+            return resp;
+        }
         self.with_session(request, |managed| {
             let mut resp = Response::ok();
             resp.stats = Some(managed.session.metrics().snapshot());
@@ -524,6 +795,9 @@ impl SessionManager {
         let Some(managed) = self.sessions.lock().remove(id) else {
             return Response::error(codes::UNKNOWN_SESSION, format!("no session `{id}`"));
         };
+        // The finished session's slot and any still-pending in-flight
+        // reservations return to the pool.
+        self.release_session(&managed.tenant, managed.pending_since.len());
         let failures = failures_to_wire(managed.session.status());
         match managed.session.finish() {
             Ok(result) => {
@@ -664,6 +938,37 @@ impl SessionManager {
         Ok(())
     }
 
+    /// Graceful-drain hook: checkpoints every live session's run journal
+    /// (fsync + compaction into the atomically-replaced checkpoint file)
+    /// so each lands as the smallest resumable on-disk artifact, without
+    /// finishing the sessions — a restarted service or client resumes
+    /// them with `open{resume:true}`. Returns (live sessions, journals
+    /// checkpointed); sessions without a journal are counted but skipped,
+    /// and a checkpoint failure is logged, not fatal — the write-ahead
+    /// tail is still on disk and resumable.
+    pub fn checkpoint_sessions(&self) -> (usize, usize) {
+        let mut sessions = self.sessions.lock();
+        let total = sessions.len();
+        let mut checkpointed = 0usize;
+        for (id, managed) in sessions.iter_mut() {
+            match managed.session.checkpoint_journal() {
+                Ok(true) => checkpointed += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("atf-service: drain: could not checkpoint journal of `{id}`: {e}")
+                }
+            }
+        }
+        self.metrics.drained_sessions.add(checkpointed as u64);
+        (total, checkpointed)
+    }
+
+    /// The manager's trace sink (the server emits its `drain` event here
+    /// so one stream carries the whole admission/shed/drain story).
+    pub fn trace_sink(&self) -> &Arc<dyn TraceSink> {
+        &self.trace
+    }
+
     /// Evicts sessions idle longer than the configured timeout; returns
     /// how many were expired. A session whose client finished measuring
     /// but never fetched the result (or simply vanished) still has a
@@ -691,8 +996,13 @@ impl SessionManager {
                 kernel,
                 device,
                 workload,
+                tenant,
+                pending_since,
                 ..
             } = managed;
+            // Expired capacity returns to the pool before the (possibly
+            // slow) database merge.
+            self.release_session(&tenant, pending_since.len());
             match session.finish() {
                 Ok(result) => {
                     self.merge_result(&kernel, &device, &workload, &result);

@@ -27,6 +27,12 @@ pub mod codes {
     pub const TUNING: &str = "tuning";
     /// `lookup` found no record for the key.
     pub const NOT_FOUND: &str = "not_found";
+    /// The service shed the request to protect itself: the global or
+    /// per-tenant session quota is exhausted, the tenant's in-flight
+    /// evaluation limit is reached, or every connection slot is taken.
+    /// The response carries `retry_after_ms` — well-behaved clients wait
+    /// at least that long before retrying.
+    pub const OVERLOADED: &str = "overloaded";
 }
 
 /// A client request. `cmd` selects the command; the other fields are the
@@ -59,6 +65,11 @@ pub struct Request {
     /// Workload label — database key (`open`/`lookup`; default empty).
     #[serde(default)]
     pub workload: Option<String>,
+    /// `open`: tenant id for quota accounting. Sessions opened without a
+    /// tenant are pooled under the default tenant. Not a database key —
+    /// two tenants tuning the same kernel share cached results.
+    #[serde(default)]
+    pub tenant: Option<String>,
     /// Tuning parameters (`open`).
     #[serde(default)]
     pub parameters: Option<Vec<ParameterSpec>>,
@@ -185,6 +196,10 @@ pub struct Response {
     /// failure taxonomy, window occupancy, throughput).
     #[serde(default)]
     pub stats: Option<MetricsSnapshot>,
+    /// On an [`codes::OVERLOADED`] failure: how long (milliseconds) the
+    /// client should wait before retrying the same request.
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Response {
@@ -204,6 +219,19 @@ impl Response {
             error: Some(message.to_string()),
             ..Default::default()
         }
+    }
+
+    /// A load-shedding response: [`codes::OVERLOADED`] plus the
+    /// retry-after hint.
+    pub fn overloaded(message: impl std::fmt::Display, retry_after_ms: u64) -> Self {
+        let mut resp = Response::error(codes::OVERLOADED, message);
+        resp.retry_after_ms = Some(retry_after_ms);
+        resp
+    }
+
+    /// Whether this is a load-shedding ([`codes::OVERLOADED`]) response.
+    pub fn is_overloaded(&self) -> bool {
+        !self.ok && self.code.as_deref() == Some(codes::OVERLOADED)
     }
 }
 
@@ -269,6 +297,30 @@ mod tests {
         assert!(!back.ok);
         assert_eq!(back.code.as_deref(), Some(codes::UNKNOWN_SESSION));
         assert!(back.error.unwrap().contains("s9"));
+    }
+
+    #[test]
+    fn overloaded_response_round_trips() {
+        let resp = Response::overloaded("session quota exhausted", 750);
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(back.is_overloaded());
+        assert_eq!(back.retry_after_ms, Some(750));
+        // Old peers ignore the hint; new peers default it to absent.
+        let old: Response = serde_json::from_str("{\"ok\":true}").unwrap();
+        assert_eq!(old.retry_after_ms, None);
+        assert!(!old.is_overloaded());
+    }
+
+    #[test]
+    fn tenant_field_round_trips_and_defaults() {
+        let mut req = Request::new("open");
+        req.tenant = Some("acme".into());
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.tenant.as_deref(), Some("acme"));
+        let old: Request = serde_json::from_str("{\"cmd\":\"open\"}").unwrap();
+        assert_eq!(old.tenant, None);
     }
 
     #[test]

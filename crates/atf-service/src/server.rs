@@ -8,20 +8,57 @@
 //! bounded latency instead of "whenever the next poll tick comes around".
 
 use crate::manager::SessionManager;
+use crate::proto::Response;
+use atf_core::trace::TraceEvent;
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Upper bound on how long the accept loop parks when no connection is
-/// waiting (it is woken early by [`ShutdownHandle::signal`]).
-const ACCEPT_POLL: Duration = Duration::from_millis(25);
-/// How often idle sessions are swept.
-const SWEEP_INTERVAL: Duration = Duration::from_secs(5);
-/// Read timeout on connections so handler threads notice shutdown.
-const READ_POLL: Duration = Duration::from_millis(500);
+/// Timing and overload-protection settings of a [`Server`]. The defaults
+/// reproduce the historical hard-coded behavior: 25 ms accept poll, 5 s
+/// sweep interval, 500 ms read poll, unbounded connections, 5 s drain.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Upper bound on how long the accept loop parks when no connection
+    /// is waiting (it is woken early by [`ShutdownHandle::signal`]).
+    pub accept_poll: Duration,
+    /// How often the idle-expiry sweeper runs (idle sessions + stats
+    /// snapshots).
+    pub sweep_interval: Duration,
+    /// Read timeout on connections so handler threads notice shutdown.
+    pub read_poll: Duration,
+    /// Bounded connection slots: at most this many connections are served
+    /// concurrently (`None` = unbounded, one thread per connection).
+    pub max_connections: Option<usize>,
+    /// Accepted connections parked while every slot is taken. Beyond this
+    /// the connection is hard-rejected: one `overloaded` response line,
+    /// then close. Only meaningful with `max_connections`.
+    pub accept_queue: usize,
+    /// Graceful-drain deadline: after shutdown is signaled, how long to
+    /// wait for in-flight connections to finish before checkpointing
+    /// journals and exiting anyway.
+    pub drain_timeout: Duration,
+    /// Retry-after hint (milliseconds) on hard-rejected connections.
+    pub reject_retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            accept_poll: Duration::from_millis(25),
+            sweep_interval: Duration::from_secs(5),
+            read_poll: Duration::from_millis(500),
+            max_connections: None,
+            accept_queue: 64,
+            drain_timeout: Duration::from_secs(5),
+            reject_retry_after_ms: 500,
+        }
+    }
+}
 
 struct ShutdownState {
     flag: AtomicBool,
@@ -87,17 +124,29 @@ pub struct Server {
     listener: TcpListener,
     manager: Arc<SessionManager>,
     shutdown: ShutdownHandle,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Binds the given address (e.g. `127.0.0.1:0` for an ephemeral port).
+    /// Binds the given address (e.g. `127.0.0.1:0` for an ephemeral port)
+    /// with default [`ServerConfig`].
     pub fn bind(addr: &str, manager: Arc<SessionManager>) -> std::io::Result<Self> {
+        Self::bind_with(addr, manager, ServerConfig::default())
+    }
+
+    /// Binds with explicit timing/overload settings.
+    pub fn bind_with(
+        addr: &str,
+        manager: Arc<SessionManager>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
             manager,
             shutdown: ShutdownHandle::new(),
+            config,
         })
     }
 
@@ -179,39 +228,165 @@ impl Server {
     #[cfg(not(unix))]
     pub fn install_sigint(&self) {}
 
-    /// Serves until shutdown, then persists the database. Connection
-    /// threads poll the same handle and drain on their own.
+    /// Serves until shutdown, then drains gracefully: stop accepting,
+    /// answer queued connections with `overloaded`, join the idle-expiry
+    /// sweeper (so drain never races a sweep that is removing sessions),
+    /// wait up to the drain deadline for in-flight connections to finish
+    /// the request they hold, checkpoint every live session's journal to
+    /// a resumable artifact, and persist the database.
     pub fn run(self) -> std::io::Result<()> {
-        let mut last_sweep = Instant::now();
-        while !self.shutdown.is_signaled() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let manager = Arc::clone(&self.manager);
-                    let shutdown = self.shutdown.clone();
-                    std::thread::spawn(move || serve_connection(stream, manager, shutdown));
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut queue: VecDeque<TcpStream> = VecDeque::new();
+
+        // The idle-expiry sweeper runs in its own thread so a slow sweep
+        // (database merges, stats I/O) never stalls the accept loop —
+        // and, with configurable intervals, a long sweep period never
+        // delays accept-side shutdown latency. It parks on the shutdown
+        // condvar, so SIGINT wakes it immediately.
+        let sweeper = {
+            let manager = Arc::clone(&self.manager);
+            let shutdown = self.shutdown.clone();
+            let interval = self.config.sweep_interval;
+            std::thread::spawn(move || loop {
+                shutdown.wait(interval);
+                // Checked *after* the park and before each sweep: once
+                // shutdown is signaled no new sweep starts, so joining
+                // this thread bounds the wait to at most one in-progress
+                // sweep. Periodic observability rides along: one
+                // metrics-snapshot line per live session into the journal
+                // directory's stats.ndjson; `sweep_stats` swallows (and
+                // logs once per outage) write failures — telemetry
+                // trouble must never end the sweep.
+                if shutdown.is_signaled() {
+                    return;
                 }
+                manager.expire_idle();
+                manager.sweep_stats();
+            })
+        };
+
+        while !self.shutdown.is_signaled() {
+            // Promote queued connections into freed slots first: FIFO, so
+            // a parked client is served before a newly accepted one.
+            if let Some(cap) = self.config.max_connections {
+                while !queue.is_empty() && active.load(Ordering::SeqCst) < cap {
+                    let stream = queue.pop_front().expect("queue nonempty");
+                    self.manager.metrics().set_accept_queue_depth(queue.len());
+                    self.spawn_connection(stream, &active);
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match self.config.max_connections {
+                    None => self.spawn_connection(stream, &active),
+                    Some(cap) if active.load(Ordering::SeqCst) < cap => {
+                        self.spawn_connection(stream, &active)
+                    }
+                    Some(_) if queue.len() < self.config.accept_queue => {
+                        queue.push_back(stream);
+                        self.manager.metrics().set_accept_queue_depth(queue.len());
+                    }
+                    // Hard cap: every slot and queue position is taken.
+                    // One explicit `overloaded` line, then close — a
+                    // storm gets answers, not hangs.
+                    Some(_) => self.reject_connection(stream),
+                },
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    self.shutdown.wait(ACCEPT_POLL);
+                    self.shutdown.wait(self.config.accept_poll);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
-            if last_sweep.elapsed() >= SWEEP_INTERVAL {
-                self.manager.expire_idle();
-                // Periodic observability: one metrics-snapshot line per
-                // live session into the journal directory's stats.ndjson.
-                // `sweep_stats` swallows (and logs once per outage) write
-                // failures — telemetry trouble must never end the sweep.
-                self.manager.sweep_stats();
-                last_sweep = Instant::now();
-            }
+        }
+
+        // ---- graceful drain ----
+        let drain_started = Instant::now();
+        // Queued-but-never-served connections get an explicit answer
+        // instead of a silent close.
+        for stream in queue.drain(..) {
+            self.reject_connection(stream);
+        }
+        self.manager.metrics().set_accept_queue_depth(0);
+        // Join the sweeper before touching journals: once the signal is
+        // up no new sweep starts, so this waits out at most one
+        // in-progress sweep — drain and the idle-expiry sweeper never
+        // operate on the session table at the same time.
+        let _ = sweeper.join();
+        // In-flight connections notice the signal within one read poll
+        // and exit right after answering the request they hold.
+        while active.load(Ordering::SeqCst) > 0
+            && drain_started.elapsed() < self.config.drain_timeout
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let within_deadline = active.load(Ordering::SeqCst) == 0;
+        // Every live session's journal lands as a compact, resumable
+        // checkpoint; the sessions themselves stay unfinished so a
+        // restart resumes them with `open{resume:true}`.
+        let (live, checkpointed) = self.manager.checkpoint_sessions();
+        let micros = u64::try_from(drain_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.manager
+            .trace_sink()
+            .emit(&TraceEvent::drain(live as u64, micros, within_deadline));
+        if live > 0 {
+            eprintln!(
+                "atf-service: drained {live} session(s), {checkpointed} journal(s) checkpointed, \
+                 in {:.1} ms{}",
+                micros as f64 / 1000.0,
+                if within_deadline {
+                    ""
+                } else {
+                    " (drain deadline elapsed with connections still open)"
+                }
+            );
         }
         self.manager.persist()
     }
+
+    /// Spawns one connection handler, keeping the active-connection count
+    /// and gauge in step with the thread's lifetime.
+    fn spawn_connection(&self, stream: TcpStream, active: &Arc<AtomicUsize>) {
+        let manager = Arc::clone(&self.manager);
+        let shutdown = self.shutdown.clone();
+        let active = Arc::clone(active);
+        let read_poll = self.config.read_poll;
+        let n = active.fetch_add(1, Ordering::SeqCst) + 1;
+        manager.metrics().connections_active.set(n as u64);
+        std::thread::spawn(move || {
+            serve_connection(stream, Arc::clone(&manager), shutdown, read_poll);
+            let left = active.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
+            manager.metrics().connections_active.set(left as u64);
+        });
+    }
+
+    /// Hard-cap rejection: one `overloaded` response line with the
+    /// retry-after hint, then close.
+    fn reject_connection(&self, mut stream: TcpStream) {
+        let reason = "connection hard cap: every slot and queue position taken";
+        self.manager.metrics().rejected_connections.inc();
+        self.manager.trace_sink().emit(&TraceEvent::shed(
+            "connection",
+            reason,
+            self.config.reject_retry_after_ms,
+        ));
+        if let Ok(line) = serde_json::to_string(&Response::overloaded(
+            reason,
+            self.config.reject_retry_after_ms,
+        )) {
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = stream.write_all(line.as_bytes());
+            let _ = stream.write_all(b"\n");
+            let _ = stream.flush();
+        }
+    }
 }
 
-fn serve_connection(stream: TcpStream, manager: Arc<SessionManager>, shutdown: ShutdownHandle) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+fn serve_connection(
+    stream: TcpStream,
+    manager: Arc<SessionManager>,
+    shutdown: ShutdownHandle,
+    read_poll: Duration,
+) {
+    if stream.set_read_timeout(Some(read_poll)).is_err() {
         return;
     }
     let mut writer = match stream.try_clone() {

@@ -1,0 +1,240 @@
+//! **Overload curve: sessions/sec, p99 latency, and shed rate under
+//! synthetic tenant storms** — N tenant threads hammer a quota-limited
+//! service through the chaos proxy; the load level rises per round and the
+//! admission counters show how much of the storm was shed.
+//!
+//! Every tenant drives full open → next/report → finish sessions over a
+//! self-healing [`ReconnectingTransport`], so shed (`overloaded`) answers
+//! are retried after the service's `retry_after_ms` hint and connection
+//! faults injected by the proxy are absorbed by the exactly-once protocol.
+//!
+//! Writes `BENCH_loadgen.json` at the workspace root so overload-behavior
+//! regressions (collapsing throughput, runaway p99, silent sheds) are
+//! visible PR-over-PR.
+//!
+//! Run: `cargo run -p atf-bench --release --bin loadgen [-- --quick]`
+
+use atf_bench::{write_bench, Record};
+use atf_core::spec::{IntervalSpec, ParameterSpec, SearchSpec};
+use atf_service::{
+    AdmissionConfig, ChaosPlan, ChaosProxy, Client, ManagerConfig, ReconnectingTransport, Server,
+    ServerConfig, SessionManager, SessionSpec,
+};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Global session quota of the service under load — small, so every round
+/// beyond the first offers more load than the service admits.
+const MAX_SESSIONS: usize = 4;
+/// Per-tenant session quota.
+const MAX_PER_TENANT: usize = 2;
+
+/// A tiny tuning spec (6-point exhaustive space): the storm stresses
+/// admission and the wire, not the search.
+fn tenant_spec(tenant: usize) -> SessionSpec {
+    let mut spec = SessionSpec::new("loadgen");
+    spec.tenant = Some(format!("tenant-{tenant}"));
+    spec.parameters = vec![ParameterSpec {
+        name: "X".into(),
+        interval: Some(IntervalSpec {
+            begin: 1,
+            end: 6,
+            step: 1,
+        }),
+        set: None,
+        constraint: None,
+    }];
+    spec.search = Some(SearchSpec {
+        technique: "exhaustive".into(),
+        seed: 0,
+    });
+    spec
+}
+
+struct RoundResult {
+    sessions: u64,
+    /// Wall-clock of each completed open→finish cycle, milliseconds.
+    latencies_ms: Vec<f64>,
+    /// Opens that stayed `overloaded` even after the client's retry budget.
+    gave_up: u64,
+    elapsed: Duration,
+    admitted: u64,
+    shed_opens: u64,
+    shed_requests: u64,
+    rejected_connections: u64,
+}
+
+/// One load level: `tenants` threads against a fresh quota-limited service
+/// behind a fresh chaos proxy, for `duration`.
+fn run_round(tenants: usize, duration: Duration, seed: u64) -> RoundResult {
+    let manager = Arc::new(
+        SessionManager::new(ManagerConfig {
+            admission: AdmissionConfig {
+                max_sessions: Some(MAX_SESSIONS),
+                max_sessions_per_tenant: Some(MAX_PER_TENANT),
+                // Short hint: shed retries should resolve within the round.
+                retry_after: Duration::from_millis(5),
+                ..AdmissionConfig::default()
+            },
+            ..ManagerConfig::default()
+        })
+        .expect("in-memory manager"),
+    );
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&manager),
+        ServerConfig {
+            read_poll: Duration::from_millis(50),
+            drain_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr().expect("server addr");
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut proxy = ChaosProxy::spawn(addr, ChaosPlan::hostile(seed)).expect("chaos proxy");
+    let proxy_addr = proxy.addr().to_string();
+
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sessions = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let gave_up = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for tenant in 0..tenants {
+            let proxy_addr = proxy_addr.clone();
+            let latencies = Arc::clone(&latencies);
+            let sessions = Arc::clone(&sessions);
+            let gave_up = Arc::clone(&gave_up);
+            scope.spawn(move || {
+                // A generous retry budget: chaos faults and shed answers
+                // both draw from it, and the jittered backoff starts low.
+                let mut client = Client::new(ReconnectingTransport::tcp(
+                    &proxy_addr,
+                    12,
+                    Duration::from_millis(2),
+                ));
+                let spec = tenant_spec(tenant);
+                while started.elapsed() < duration {
+                    let t0 = Instant::now();
+                    let id = match client.open(&spec) {
+                        Ok(id) => id,
+                        Err(_) => {
+                            // Retry budget exhausted (still overloaded, or
+                            // chaos won): an explicitly answered give-up.
+                            gave_up.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    let mut completed = true;
+                    loop {
+                        match client.next(&id) {
+                            Ok(Some(cfg)) => {
+                                let cost = (cfg["X"] as f64 - 4.0).abs();
+                                if client.report(&id, Some(cost)).is_err() {
+                                    completed = false;
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                completed = false;
+                                break;
+                            }
+                        }
+                    }
+                    if completed && client.finish(&id).is_ok() {
+                        sessions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        latencies
+                            .lock()
+                            .expect("latency lock")
+                            .push(t0.elapsed().as_secs_f64() * 1000.0);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    proxy.stop();
+    shutdown.signal();
+    let _ = server_thread.join();
+
+    let admission = manager.metrics().snapshot().admission;
+    let latencies_ms = std::mem::take(&mut *latencies.lock().expect("latency lock"));
+    RoundResult {
+        sessions: sessions.load(std::sync::atomic::Ordering::Relaxed),
+        latencies_ms,
+        gave_up: gave_up.load(std::sync::atomic::Ordering::Relaxed),
+        elapsed,
+        admitted: admission.admitted_sessions,
+        shed_opens: admission.shed_opens,
+        shed_requests: admission.shed_requests,
+        rejected_connections: admission.rejected_connections,
+    }
+}
+
+fn p99(latencies: &mut [f64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((latencies.len() as f64) * 0.99).ceil() as usize;
+    latencies[idx.saturating_sub(1).min(latencies.len() - 1)]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (levels, secs_per_level): (&[usize], u64) = if quick {
+        (&[2, 8], 2)
+    } else {
+        (&[2, 4, 8, 16], 5)
+    };
+    println!(
+        "Overload curve: quota {MAX_SESSIONS} sessions ({MAX_PER_TENANT}/tenant), \
+         {secs_per_level}s per level, tenants = {levels:?}\n"
+    );
+
+    let mut records = Vec::new();
+    for (i, &tenants) in levels.iter().enumerate() {
+        let mut round = run_round(tenants, Duration::from_secs(secs_per_level), 42 + i as u64);
+        let rate = round.sessions as f64 / round.elapsed.as_secs_f64();
+        let p99_ms = p99(&mut round.latencies_ms);
+        let offered = round.admitted + round.shed_opens;
+        let shed_rate = if offered > 0 {
+            round.shed_opens as f64 / offered as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{tenants:>3} tenants | {rate:>7.1} sessions/s | p99 {p99_ms:>8.1} ms | \
+             shed rate {:>5.1}% ({} shed opens, {} shed requests, {} rejected conns, \
+             {} gave up)",
+            shed_rate * 100.0,
+            round.shed_opens,
+            round.shed_requests,
+            round.rejected_connections,
+            round.gave_up,
+        );
+        records.push(Record {
+            experiment: "loadgen".into(),
+            device: "-".into(),
+            workload: format!("tenants-{tenants}"),
+            metrics: vec![
+                ("sessions_per_sec".into(), rate),
+                ("p99_ms".into(), p99_ms),
+                ("shed_rate".into(), shed_rate),
+                ("admitted_sessions".into(), round.admitted as f64),
+                ("shed_opens".into(), round.shed_opens as f64),
+                ("shed_requests".into(), round.shed_requests as f64),
+                (
+                    "rejected_connections".into(),
+                    round.rejected_connections as f64,
+                ),
+                ("gave_up_opens".into(), round.gave_up as f64),
+            ],
+        });
+    }
+
+    write_bench("loadgen", &records);
+    println!("\ntrajectory written to BENCH_loadgen.json");
+}
