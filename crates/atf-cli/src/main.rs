@@ -74,7 +74,7 @@ const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] 
                       [--space-cache DIR] [--space-cache-max-mb MB]
                       [--max-sessions N] [--max-per-tenant N]
                       [--max-inflight N] [--max-connections N]
-                      [--drain-secs N]
+                      [--drain-secs N] [--shards N]
 
 Runs the tuning service until SIGINT (ctrl-c), then drains gracefully:
 stops accepting, lets in-flight sessions checkpoint their journals, and
@@ -111,7 +111,10 @@ exits within the drain deadline.
                      one `overloaded` line (default: unlimited).
   --drain-secs N     On shutdown, wait up to N seconds for in-flight
                      connections to finish before checkpointing journals
-                     and exiting (default 5).";
+                     and exiting (default 5).
+  --shards N         Stripe live sessions across N locks; concurrent
+                     clients on different sessions rarely contend
+                     (default: one shard per available CPU).";
 
 const CLIENT_USAGE: &str = "usage: atf-tune client [--addr HOST:PORT] [options] <spec.json>
        atf-tune client [--addr HOST:PORT] --lookup KERNEL [--device D] [--workload W]
@@ -327,6 +330,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         max_inflight: Option<usize>,
         max_connections: Option<usize>,
         drain: Option<Duration>,
+        shards: Option<usize>,
     }
     let parsed = (|| -> Result<ServeArgs, String> {
         let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
@@ -350,6 +354,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             max_inflight: take_u32_flag(&mut args, "--max-inflight")?.map(|n| n as usize),
             max_connections: take_u32_flag(&mut args, "--max-connections")?.map(|n| n as usize),
             drain: take_secs_flag(&mut args, "--drain-secs")?,
+            shards: take_u32_flag(&mut args, "--shards")?.map(|n| n as usize),
         };
         if let Some(extra) = args.first() {
             return Err(format!("unexpected argument `{extra}`"));
@@ -389,6 +394,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             max_inflight_per_tenant: serve.max_inflight,
             ..Default::default()
         },
+        shards: serve.shards,
     }) {
         Ok(m) => Arc::new(m),
         Err(e) => {

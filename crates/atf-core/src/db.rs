@@ -6,12 +6,33 @@
 //! best-known configuration with its cost and provenance, merges new
 //! results monotonically (a stored record is only replaced by a cheaper
 //! one), and round-trips through JSON.
+//!
+//! Two on-disk formats coexist:
+//!
+//! - **Legacy**: one pretty-printed JSON object for the whole database
+//!   (what [`TuningDatabase::save`] writes). Every store rewrote
+//!   O(records) bytes.
+//! - **Log-structured** (the service's format, via [`DatabaseLog`]): the
+//!   database file is an append-only NDJSON record log — each store
+//!   appends one [`TuningRecord`] line — with a sibling `<path>.ckpt`
+//!   checkpoint holding the compacted state. Compaction reuses the run
+//!   journal's tmp+fsync+rename machinery, so a kill at any byte of the
+//!   sequence leaves a loadable pair; the monotone merge makes replaying
+//!   checkpoint + log idempotent in any crash window. Legacy files still
+//!   load and are migrated to the log format by the first compaction.
+//!
+//! [`TuningDatabase::load`] understands both formats (and merges a
+//! checkpoint sibling when one exists), so standalone CLI runs and the
+//! service can share a database file across format generations.
 
 use crate::config::Config;
+use crate::journal::{checkpoint_path, checkpoint_tmp_path, sync_parent_dir};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// A serializable tuning-parameter value.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -87,7 +108,7 @@ impl TuningRecord {
 }
 
 /// An in-memory collection of tuning records with JSON persistence.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TuningDatabase {
     records: BTreeMap<String, TuningRecord>,
 }
@@ -102,10 +123,29 @@ impl TuningDatabase {
         Self::default()
     }
 
-    /// Loads a database from a JSON file.
+    /// Loads a database file of either format: the legacy whole-file JSON
+    /// object, or an NDJSON record log (one [`TuningRecord`] per line,
+    /// torn final line tolerated). When a `<path>.ckpt` checkpoint sibling
+    /// exists its records are merged first, so a log-structured database
+    /// loads completely no matter where a crash interrupted a compaction.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(std::io::Error::other)
+        let mut db = TuningDatabase::new();
+        let ckpt = checkpoint_path(path);
+        if let Ok(ckpt_text) = std::fs::read_to_string(&ckpt) {
+            db.merge_ndjson(&ckpt_text);
+        }
+        if is_legacy_format(&text) {
+            let legacy: TuningDatabase =
+                serde_json::from_str(&text).map_err(std::io::Error::other)?;
+            for record in legacy.records.into_values() {
+                db.merge_record(record);
+            }
+        } else {
+            db.merge_ndjson(&text);
+        }
+        Ok(db)
     }
 
     /// Saves the database to a JSON file (pretty-printed for diff-ability).
@@ -193,6 +233,261 @@ impl TuningDatabase {
             );
         }
     }
+
+    /// Merges one record verbatim under the monotone rule (an existing
+    /// cheaper record wins). Unlike [`merge`](Self::merge) this does not
+    /// round-trip through [`Config`], so loaded records stay bit-identical
+    /// to what was persisted. Returns whether the record was taken.
+    pub fn merge_record(&mut self, record: TuningRecord) -> bool {
+        let k = key(&record.kernel, &record.device, &record.workload);
+        if let Some(existing) = self.records.get(&k) {
+            if existing.cost <= record.cost {
+                return false;
+            }
+        }
+        self.records.insert(k, record);
+        true
+    }
+
+    /// Renders every record as one NDJSON line — the record-log and
+    /// checkpoint encoding of the log-structured format.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for record in self.records.values() {
+            if let Ok(line) = serde_json::to_string(record) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Merges NDJSON record lines (cheaper records win), stopping at the
+    /// first unparseable line — a torn tail from a crashed append loses at
+    /// most that final partial record. Returns how many records merged.
+    pub fn merge_ndjson(&mut self, text: &str) -> usize {
+        let mut merged = 0;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<TuningRecord>(line) {
+                Ok(record) => {
+                    if self.merge_record(record) {
+                        merged += 1;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        merged
+    }
+
+    /// The record most recently stored for a key, cloned (used by the
+    /// service to append exactly what the index holds).
+    pub fn record(&self, kernel: &str, device: &str, workload: &str) -> Option<TuningRecord> {
+        self.records.get(&key(kernel, device, workload)).cloned()
+    }
+}
+
+/// Whether `text` is a legacy whole-file JSON database. The legacy format
+/// is always pretty-printed, so its first line is a lone `{` with more
+/// lines after it; an NDJSON record log puts a complete JSON object on
+/// every line. A file holding *only* `{` is not legacy — it is the 1-byte
+/// torn tail of a killed first append, which the NDJSON loader drops.
+fn is_legacy_format(text: &str) -> bool {
+    match text.lines().find(|l| !l.trim().is_empty()) {
+        Some(first) => first.trim() == "{" && text.trim() != "{",
+        None => false,
+    }
+}
+
+/// Append handle and compaction driver of a log-structured database file:
+/// the write side of the format described in the module docs. The
+/// in-memory [`TuningDatabase`] stays the index; every accepted store is
+/// [`append`](DatabaseLog::append)ed as one NDJSON line, and
+/// [`compact`](DatabaseLog::compact) folds log + previous checkpoint into
+/// a fresh atomically-renamed `<path>.ckpt` before truncating the log.
+#[derive(Debug)]
+pub struct DatabaseLog {
+    path: PathBuf,
+    out: Option<std::fs::File>,
+    /// Log records (loaded + appended) not yet folded into the
+    /// checkpoint; drives the compaction threshold.
+    appends_since_compact: usize,
+    compact_every: usize,
+    total_appends: u64,
+    total_compactions: u64,
+    /// The live file still holds the legacy whole-file format: the first
+    /// compaction migrates it (no appends may land before that — they
+    /// would corrupt the legacy JSON).
+    legacy_pending: bool,
+    /// Test/chaos hook: sleep this long inside every append and
+    /// compaction, simulating slow storage.
+    io_delay: Option<Duration>,
+}
+
+/// Default compaction threshold: fold the log into the checkpoint after
+/// this many appended records.
+pub const DB_COMPACT_EVERY: usize = 64;
+
+/// What one [`DatabaseLog::compact`] did, for metrics and tracing.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionReport {
+    /// Records in the freshly written checkpoint.
+    pub records: u64,
+    /// Wall-clock of the compaction, microseconds.
+    pub micros: u64,
+}
+
+impl DatabaseLog {
+    /// Opens (or prepares to create) the log-structured database at
+    /// `path`: merges the checkpoint sibling and the record log — or a
+    /// legacy whole-file database, which is then migrated by the first
+    /// compaction — and returns the loaded index plus the log handle.
+    /// A missing file is an empty database, created on first append.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(TuningDatabase, DatabaseLog)> {
+        let path = path.as_ref().to_path_buf();
+        let mut db = TuningDatabase::new();
+        if let Ok(ckpt_text) = std::fs::read_to_string(checkpoint_path(&path)) {
+            db.merge_ndjson(&ckpt_text);
+        }
+        let mut pending = 0usize;
+        let mut legacy_pending = false;
+        match std::fs::read_to_string(&path) {
+            Ok(text) if is_legacy_format(&text) => {
+                let legacy: TuningDatabase =
+                    serde_json::from_str(&text).map_err(std::io::Error::other)?;
+                for record in legacy.records.into_values() {
+                    db.merge_record(record);
+                }
+                legacy_pending = true;
+            }
+            Ok(text) => pending = db.merge_ndjson(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok((
+            db,
+            DatabaseLog {
+                path,
+                out: None,
+                appends_since_compact: pending,
+                compact_every: DB_COMPACT_EVERY,
+                total_appends: 0,
+                total_compactions: 0,
+                legacy_pending,
+                io_delay: None,
+            },
+        ))
+    }
+
+    /// Overrides the compaction threshold (builder-style; mostly for
+    /// tests and benchmarks).
+    pub fn with_compact_every(mut self, every: usize) -> Self {
+        self.compact_every = every.max(1);
+        self
+    }
+
+    /// Test/chaos hook: every subsequent append and compaction sleeps
+    /// `delay` before touching the file system, simulating slow storage.
+    pub fn set_io_delay(&mut self, delay: Duration) {
+        self.io_delay = Some(delay);
+    }
+
+    /// Appends one record line to the log and fsyncs it. A legacy file
+    /// must be compacted (migrated) before any append; callers should
+    /// check [`should_compact`](Self::should_compact) first — appending
+    /// onto a legacy file is refused rather than corrupting it.
+    pub fn append(&mut self, record: &TuningRecord) -> std::io::Result<()> {
+        if self.legacy_pending {
+            return Err(std::io::Error::other(
+                "database file is legacy-format; compact (migrate) before appending",
+            ));
+        }
+        if let Some(delay) = self.io_delay {
+            std::thread::sleep(delay);
+        }
+        if self.out.is_none() {
+            self.out = Some(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)?,
+            );
+        }
+        let out = self.out.as_mut().expect("append handle just opened");
+        let line = serde_json::to_string(record).map_err(std::io::Error::other)?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.sync_data()?;
+        self.appends_since_compact += 1;
+        self.total_appends += 1;
+        Ok(())
+    }
+
+    /// Whether enough log entries accumulated (or a legacy migration is
+    /// pending) that the next [`compact`](Self::compact) should run.
+    pub fn should_compact(&self) -> bool {
+        self.legacy_pending || self.appends_since_compact >= self.compact_every
+    }
+
+    /// Folds the full database state into a fresh checkpoint and empties
+    /// the log — the journal-v4 sequence: write `<path>.ckpt.tmp`, fsync,
+    /// rename over `<path>.ckpt`, fsync the directory, then truncate the
+    /// live log. A kill at any byte of this sequence leaves the previous
+    /// checkpoint + full log (or the new checkpoint + stale log) on disk,
+    /// both of which load to the same state by the monotone merge.
+    ///
+    /// `db` is the caller's current index snapshot; it must contain every
+    /// record ever appended (it may contain more — extra records are
+    /// simply durable earlier).
+    pub fn compact(&mut self, db: &TuningDatabase) -> std::io::Result<CompactionReport> {
+        let started = Instant::now();
+        if let Some(delay) = self.io_delay {
+            std::thread::sleep(delay);
+        }
+        // Close the append handle: the log is about to be truncated.
+        if let Some(out) = self.out.take() {
+            out.sync_data()?;
+        }
+        let ckpt = checkpoint_path(&self.path);
+        let tmp = checkpoint_tmp_path(&self.path);
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(db.to_ndjson().as_bytes())?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &ckpt)?;
+        sync_parent_dir(&ckpt);
+        // The checkpoint is durable: the log's records are redundant now,
+        // so an empty log replaces it (and a legacy file is migrated).
+        let empty = std::fs::File::create(&self.path)?;
+        empty.sync_data()?;
+        self.appends_since_compact = 0;
+        self.legacy_pending = false;
+        self.total_compactions += 1;
+        Ok(CompactionReport {
+            records: db.len() as u64,
+            micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        })
+    }
+
+    /// Records appended through this handle.
+    pub fn appends(&self) -> u64 {
+        self.total_appends
+    }
+
+    /// Compactions performed by this handle.
+    pub fn compactions(&self) -> u64 {
+        self.total_compactions
+    }
+
+    /// The live log path this handle writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
 }
 
 #[cfg(test)]
@@ -276,5 +571,110 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         assert!(TuningDatabase::load("/nonexistent/db.json").is_err());
+    }
+
+    fn temp_db_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("atf-dblog-{}-{}.json", tag, std::process::id()))
+    }
+
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(checkpoint_path(path)).ok();
+        std::fs::remove_file(checkpoint_tmp_path(path)).ok();
+    }
+
+    #[test]
+    fn ndjson_round_trip() {
+        let mut db = TuningDatabase::new();
+        db.store("k1", "d", "w", &sample_config(), 5.0, 10, 100);
+        db.store("k2", "d", "w", &sample_config(), 6.0, 20, 100);
+        let mut loaded = TuningDatabase::new();
+        assert_eq!(loaded.merge_ndjson(&db.to_ndjson()), 2);
+        assert_eq!(loaded, db);
+    }
+
+    #[test]
+    fn ndjson_torn_tail_stops_cleanly() {
+        let mut db = TuningDatabase::new();
+        db.store("k1", "d", "w", &sample_config(), 5.0, 10, 100);
+        db.store("k2", "d", "w", &sample_config(), 6.0, 20, 100);
+        let text = db.to_ndjson();
+        let cut = text.len() - 7;
+        let mut loaded = TuningDatabase::new();
+        assert_eq!(loaded.merge_ndjson(&text[..cut]), 1);
+        assert!(loaded.lookup("k1", "d", "w").is_some());
+        assert!(loaded.lookup("k2", "d", "w").is_none());
+    }
+
+    #[test]
+    fn log_append_and_reload() {
+        let path = temp_db_path("append");
+        cleanup(&path);
+        let (mut db, mut log) = DatabaseLog::open(&path).unwrap();
+        assert!(db.is_empty());
+        db.store("k", "d", "w", &sample_config(), 9.0, 3, 27);
+        log.append(&db.record("k", "d", "w").unwrap()).unwrap();
+        db.store("k", "d", "w", &sample_config(), 4.0, 5, 27);
+        log.append(&db.record("k", "d", "w").unwrap()).unwrap();
+        assert_eq!(log.appends(), 2);
+
+        let (reloaded, _log2) = DatabaseLog::open(&path).unwrap();
+        assert_eq!(reloaded, db);
+        // Plain load() understands the record log too.
+        assert_eq!(TuningDatabase::load(&path).unwrap(), db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn log_compaction_truncates_and_preserves() {
+        let path = temp_db_path("compact");
+        cleanup(&path);
+        let (mut db, log) = DatabaseLog::open(&path).unwrap();
+        let mut log = log.with_compact_every(4);
+        for i in 0..6 {
+            let kernel = format!("k{i}");
+            db.store(&kernel, "d", "w", &sample_config(), i as f64, 1, 64);
+            log.append(&db.record(&kernel, "d", "w").unwrap()).unwrap();
+        }
+        assert!(log.should_compact());
+        let report = log.compact(&db).unwrap();
+        assert_eq!(report.records, 6);
+        assert!(!log.should_compact());
+        assert_eq!(log.compactions(), 1);
+        // Live log truncated, checkpoint holds everything.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let (reloaded, _log2) = DatabaseLog::open(&path).unwrap();
+        assert_eq!(reloaded, db);
+        // Appends after compaction land in the fresh log.
+        db.store("late", "d", "w", &sample_config(), 0.5, 1, 64);
+        log.append(&db.record("late", "d", "w").unwrap()).unwrap();
+        let (again, _log3) = DatabaseLog::open(&path).unwrap();
+        assert_eq!(again, db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn legacy_file_is_migrated_on_first_compaction() {
+        let path = temp_db_path("legacy");
+        cleanup(&path);
+        let mut legacy = TuningDatabase::new();
+        legacy.store("old", "dev", "w", &sample_config(), 2.0, 9, 81);
+        legacy.save(&path).unwrap();
+
+        let (mut db, mut log) = DatabaseLog::open(&path).unwrap();
+        assert_eq!(db, legacy);
+        // Appending onto the legacy JSON would corrupt it: refused until
+        // the pending migration compaction runs.
+        assert!(log.should_compact());
+        let rec = db.record("old", "dev", "w").unwrap();
+        assert!(log.append(&rec).is_err());
+        log.compact(&db).unwrap();
+        db.store("new", "dev", "w", &sample_config(), 1.0, 2, 81);
+        log.append(&db.record("new", "dev", "w").unwrap()).unwrap();
+
+        let (reloaded, _log2) = DatabaseLog::open(&path).unwrap();
+        assert_eq!(reloaded, db);
+        assert_eq!(TuningDatabase::load(&path).unwrap(), db);
+        cleanup(&path);
     }
 }

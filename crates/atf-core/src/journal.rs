@@ -145,7 +145,7 @@ pub fn checkpoint_path(path: &Path) -> PathBuf {
     PathBuf::from(name)
 }
 
-fn checkpoint_tmp_path(path: &Path) -> PathBuf {
+pub(crate) fn checkpoint_tmp_path(path: &Path) -> PathBuf {
     let mut name = path.as_os_str().to_os_string();
     name.push(".ckpt.tmp");
     PathBuf::from(name)
@@ -155,7 +155,7 @@ fn checkpoint_tmp_path(path: &Path) -> PathBuf {
 /// entry itself is durable. Opening a directory read-only works on the
 /// platforms we target; anywhere it does not, skipping the sync only
 /// weakens durability back to pre-checkpoint semantics.
-fn sync_parent_dir(path: &Path) {
+pub(crate) fn sync_parent_dir(path: &Path) {
     if let Some(parent) = path.parent() {
         if let Ok(dir) = File::open(parent) {
             let _ = dir.sync_all();

@@ -13,6 +13,7 @@ use crate::cost::FailureKind;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// A monotonically increasing counter.
@@ -212,6 +213,13 @@ pub struct MetricsRegistry {
     /// Accepted connections parked in the bounded accept queue.
     pub accept_queue_depth: Gauge,
     accept_queue_peak: AtomicU64,
+    /// Records appended to the tuning-database log.
+    pub db_appends: Counter,
+    /// Tuning-database compactions (log folded into a checkpoint).
+    pub db_compactions: Counter,
+    /// Live sessions per manager shard; sized once by
+    /// [`set_shard_count`](Self::set_shard_count).
+    shard_sessions: OnceLock<Box<[AtomicU64]>>,
 }
 
 impl Default for MetricsRegistry {
@@ -245,6 +253,9 @@ impl Default for MetricsRegistry {
             connections_active: Gauge::default(),
             accept_queue_depth: Gauge::default(),
             accept_queue_peak: AtomicU64::new(0),
+            db_appends: Counter::default(),
+            db_compactions: Counter::default(),
+            shard_sessions: OnceLock::new(),
         }
     }
 }
@@ -311,6 +322,23 @@ impl MetricsRegistry {
             .fetch_max(n as u64, Ordering::Relaxed);
     }
 
+    /// Sizes the per-shard session gauges. First caller wins; later calls
+    /// with a different count are ignored (the registry is shared).
+    pub fn set_shard_count(&self, n: usize) {
+        self.shard_sessions
+            .get_or_init(|| (0..n).map(|_| AtomicU64::new(0)).collect());
+    }
+
+    /// Sets the live-session gauge of shard `i` (no-op before
+    /// [`set_shard_count`](Self::set_shard_count) or out of range).
+    pub fn set_shard_sessions(&self, i: usize, n: u64) {
+        if let Some(gauges) = self.shard_sessions.get() {
+            if let Some(g) = gauges.get(i) {
+                g.store(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Freezes the registry into a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let elapsed = self.started.elapsed();
@@ -372,6 +400,13 @@ impl MetricsRegistry {
                 accept_queue_depth: self.accept_queue_depth.get(),
                 accept_queue_peak: self.accept_queue_peak.load(Ordering::Relaxed),
             },
+            db_appends: self.db_appends.get(),
+            db_compactions: self.db_compactions.get(),
+            shard_sessions: self
+                .shard_sessions
+                .get()
+                .map(|gauges| gauges.iter().map(|g| g.load(Ordering::Relaxed)).collect())
+                .unwrap_or_default(),
         }
     }
 }
@@ -497,6 +532,18 @@ pub struct MetricsSnapshot {
     /// peers, defaulting to all-zero).
     #[serde(default)]
     pub admission: AdmissionSnapshot,
+    /// Records appended to the tuning-database log (absent in snapshots
+    /// from older peers, defaulting to zero).
+    #[serde(default)]
+    pub db_appends: u64,
+    /// Tuning-database compactions (absent in snapshots from older peers,
+    /// defaulting to zero).
+    #[serde(default)]
+    pub db_compactions: u64,
+    /// Live sessions per manager shard (empty outside the sharded
+    /// service, and in snapshots from older peers).
+    #[serde(default)]
+    pub shard_sessions: Vec<u64>,
 }
 
 impl MetricsSnapshot {

@@ -42,6 +42,7 @@ pub const EVENT_KINDS: &[&str] = &[
     "admission",
     "shed",
     "drain",
+    "db_compact",
 ];
 
 /// One trace event. `event` names the kind; the remaining fields are
@@ -302,6 +303,17 @@ impl TraceEvent {
             micros: Some(micros),
             ok: Some(within_deadline),
             ..Self::kind("drain")
+        }
+    }
+
+    /// The tuning-database log was compacted into a fresh checkpoint:
+    /// `size` records written in `micros`.
+    pub fn db_compact(records: u64, micros: u64) -> Self {
+        TraceEvent {
+            size: Some(records),
+            micros: Some(micros),
+            ok: Some(true),
+            ..Self::kind("db_compact")
         }
     }
 

@@ -1,10 +1,15 @@
 //! The session manager: all live [`TuningSession`]s keyed by id, plus the
 //! service-level [`TuningDatabase`] cache. Shared by every connection
 //! thread (and by the in-process loopback client).
+//!
+//! Sessions live in N lock-striped shards (session-id hash affinity), and
+//! the database persists as an append-only record log with periodic
+//! compaction — see [`atf_core::db::DatabaseLog`]. Tenant accounting stays
+//! behind one dedicated global lock so admission quotas hold exactly.
 
 use crate::proto::{codes, config_to_wire, Request, Response};
 use atf_core::cost::{CostError, FailureKind};
-use atf_core::db::TuningDatabase;
+use atf_core::db::{DatabaseLog, TuningDatabase};
 use atf_core::metrics::MetricsRegistry;
 use atf_core::param::auto_group;
 use atf_core::session::{Handout, TuningSession};
@@ -130,6 +135,11 @@ pub struct ManagerConfig {
     pub space_cache_max_bytes: Option<u64>,
     /// Admission-control limits (default: everything unlimited).
     pub admission: AdmissionConfig,
+    /// Number of lock-striped session shards (`None` = one per available
+    /// CPU). A session id hashes to a fixed shard, so operations on
+    /// different sessions mostly take different locks; `1` reproduces the
+    /// old single-lock manager exactly.
+    pub shards: Option<usize>,
 }
 
 impl Default for ManagerConfig {
@@ -143,6 +153,7 @@ impl Default for ManagerConfig {
             space_cache_max_entries: None,
             space_cache_max_bytes: None,
             admission: AdmissionConfig::default(),
+            shards: None,
         }
     }
 }
@@ -204,9 +215,25 @@ fn journal_file_name(kernel: &str, device: &str, workload: &str) -> String {
 
 /// All live sessions plus the result database. Every public method is
 /// thread-safe; connection threads share one manager behind an `Arc`.
+///
+/// Sessions are lock-striped: a session id hashes (FNV-1a) to one of N
+/// shards, each its own `Mutex<HashMap>`, so operations on different
+/// sessions mostly take different locks. Tenant accounting stays global
+/// behind the dedicated `tenants` lock — admission quotas are whole-service
+/// invariants, and a per-shard split would admit up to N-1 sessions past a
+/// cap during concurrent opens.
 pub struct SessionManager {
-    sessions: Mutex<HashMap<String, ManagedSession>>,
+    /// Live sessions, striped by session-id hash. Sweeps (idle expiry,
+    /// stats, drain checkpointing) iterate shard by shard, never holding
+    /// more than one shard lock at a time — no stop-the-world phase.
+    shards: Vec<Mutex<HashMap<String, ManagedSession>>>,
     db: Mutex<TuningDatabase>,
+    /// Append handle and compaction driver of the on-disk record log
+    /// (`Some` iff `config.db_path` is). Lock order: *before* `db` —
+    /// writers serialize on the log while `lookup` readers only touch
+    /// `db`, and a compaction snapshots the index with only a brief `db`
+    /// acquisition.
+    db_log: Mutex<Option<DatabaseLog>>,
     config: ManagerConfig,
     next_id: AtomicU64,
     /// Manager-level dedup for `open`: a duplicated open must not create a
@@ -219,8 +246,9 @@ pub struct SessionManager {
     /// Whether the last stats-snapshot sweep failed: gates log-once
     /// reporting in [`SessionManager::sweep_stats`].
     stats_write_failed: AtomicBool,
-    /// Per-tenant in-use capacity. Lock order: always *after* `sessions`
-    /// (never take `sessions` while holding this).
+    /// Per-tenant in-use capacity — the dedicated global accounting lock.
+    /// Lock order: always *after* a shard lock (never take a shard lock
+    /// while holding this).
     tenants: Mutex<HashMap<String, TenantUsage>>,
     /// Service-level metrics (admission, shedding, queue depths) — shared
     /// with the TCP server so its connection gauges land in the same
@@ -232,24 +260,59 @@ pub struct SessionManager {
 
 impl SessionManager {
     /// A manager with the given settings; loads the database from
-    /// `config.db_path` when the file exists.
+    /// `config.db_path` when the file exists (record log + checkpoint, or
+    /// a legacy whole-file JSON database, which the first compaction
+    /// migrates to the log format).
     pub fn new(config: ManagerConfig) -> std::io::Result<Self> {
-        let db = match &config.db_path {
-            Some(p) if p.exists() => TuningDatabase::load(p)?,
-            _ => TuningDatabase::new(),
+        let (db, db_log) = match &config.db_path {
+            Some(p) => {
+                let (db, log) = DatabaseLog::open(p)?;
+                (db, Some(log))
+            }
+            None => (TuningDatabase::new(), None),
         };
+        let shard_count = config
+            .shards
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .max(1);
+        let metrics = Arc::new(MetricsRegistry::new());
+        metrics.set_shard_count(shard_count);
         Ok(SessionManager {
-            sessions: Mutex::new(HashMap::new()),
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             db: Mutex::new(db),
+            db_log: Mutex::new(db_log),
             config,
             next_id: AtomicU64::new(1),
             open_dedup: Mutex::new(DedupWindow::default()),
             finish_dedup: Mutex::new(DedupWindow::default()),
             stats_write_failed: AtomicBool::new(false),
             tenants: Mutex::new(HashMap::new()),
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             trace: Arc::new(NullSink),
         })
+    }
+
+    /// Number of session shards (1 = the old single-lock layout).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session id lives in: FNV-1a of the id modulo the shard
+    /// count. Stable for a given id, so every op on a session takes the
+    /// same stripe.
+    fn shard_of(&self, id: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in id.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
     }
 
     /// A manager with default settings and no persistence.
@@ -578,19 +641,24 @@ impl SessionManager {
         }
 
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.sessions.lock().insert(
-            id.clone(),
-            ManagedSession {
-                session,
-                kernel,
-                device,
-                workload,
-                tenant,
-                last_touch: Instant::now(),
-                pending_since: HashMap::new(),
-                dedup: DedupWindow::default(),
-            },
-        );
+        let idx = self.shard_of(&id);
+        {
+            let mut shard = self.shards[idx].lock();
+            shard.insert(
+                id.clone(),
+                ManagedSession {
+                    session,
+                    kernel,
+                    device,
+                    workload,
+                    tenant,
+                    last_touch: Instant::now(),
+                    pending_since: HashMap::new(),
+                    dedup: DedupWindow::default(),
+                },
+            );
+            self.metrics.set_shard_sessions(idx, shard.len() as u64);
+        }
         let mut resp = Response::ok();
         resp.session = Some(id);
         resp.space_size = Some(space_size.to_string());
@@ -792,7 +860,16 @@ impl SessionManager {
         let Some(id) = &request.session else {
             return Response::error(codes::BAD_REQUEST, "finish: missing `session`");
         };
-        let Some(managed) = self.sessions.lock().remove(id) else {
+        let idx = self.shard_of(id);
+        let removed = {
+            let mut shard = self.shards[idx].lock();
+            let removed = shard.remove(id);
+            if removed.is_some() {
+                self.metrics.set_shard_sessions(idx, shard.len() as u64);
+            }
+            removed
+        };
+        let Some(managed) = removed else {
             return Response::error(codes::UNKNOWN_SESSION, format!("no session `{id}`"));
         };
         // The finished session's slot and any still-pending in-flight
@@ -846,7 +923,10 @@ impl SessionManager {
     }
 
     /// Merges a finished result into the database (monotone: an existing
-    /// cheaper record wins) and persists when a path is configured.
+    /// cheaper record wins) and, with a path configured, appends the
+    /// accepted record to the on-disk log — O(record) bytes per store, not
+    /// a whole-file rewrite. The log compacts into a checkpoint every
+    /// [`atf_core::db::DB_COMPACT_EVERY`] appends.
     fn merge_result(
         &self,
         kernel: &str,
@@ -854,20 +934,59 @@ impl SessionManager {
         workload: &str,
         result: &atf_core::tuner::TuningResult<f64>,
     ) {
-        let mut db = self.db.lock();
-        db.store(
-            kernel,
-            device,
-            workload,
-            &result.best_config,
-            result.best_cost,
-            result.evaluations,
-            result.space_size,
-        );
-        if let Some(path) = &self.config.db_path {
-            if let Err(e) = db.save(path) {
-                eprintln!("atf-service: could not persist database: {e}");
+        // The log lock (when persisting) comes first: appends serialize on
+        // it while the db index lock is held only for the store itself.
+        let mut log_guard = if self.config.db_path.is_some() {
+            Some(self.db_log.lock())
+        } else {
+            None
+        };
+        let (stored, record) = {
+            let mut db = self.db.lock();
+            let stored = db.store(
+                kernel,
+                device,
+                workload,
+                &result.best_config,
+                result.best_cost,
+                result.evaluations,
+                result.space_size,
+            );
+            let record = if stored && log_guard.is_some() {
+                db.record(kernel, device, workload)
+            } else {
+                None
+            };
+            (stored, record)
+        };
+        let Some(log) = log_guard.as_mut().and_then(|g| g.as_mut()) else {
+            return;
+        };
+        // A pending legacy-format migration (or a full log) compacts
+        // before the append lands in the fresh log.
+        if log.should_compact() {
+            self.compact_log(log);
+        }
+        if let (true, Some(record)) = (stored, record) {
+            match log.append(&record) {
+                Ok(()) => self.metrics.db_appends.inc(),
+                Err(e) => eprintln!("atf-service: could not append to database log: {e}"),
             }
+        }
+    }
+
+    /// Compacts the record log into a fresh checkpoint. The caller holds
+    /// the log lock; the db lock is taken only long enough to clone the
+    /// index, so readers and stores never wait behind compaction I/O.
+    fn compact_log(&self, log: &mut DatabaseLog) {
+        let snapshot = self.db.lock().clone();
+        match log.compact(&snapshot) {
+            Ok(report) => {
+                self.metrics.db_compactions.inc();
+                self.trace
+                    .emit(&TraceEvent::db_compact(report.records, report.micros));
+            }
+            Err(e) => eprintln!("atf-service: could not compact database log: {e}"),
         }
     }
 
@@ -881,20 +1000,21 @@ impl SessionManager {
             return Ok(0);
         };
         // Snapshots are atomic-counter reads — cheap enough to take under
-        // the sessions lock; the file I/O happens after it is released.
-        let lines: Vec<String> = self
-            .sessions
-            .lock()
-            .iter()
-            .filter_map(|(id, managed)| {
+        // a shard lock. Shards are visited one at a time (sessions opening
+        // or finishing mid-sweep land in this line batch or the next), and
+        // the file I/O happens with no shard lock held at all.
+        let mut lines: Vec<String> = Vec::new();
+        for shard in &self.shards {
+            let sessions = shard.lock();
+            lines.extend(sessions.iter().filter_map(|(id, managed)| {
                 let line = StatsLine {
                     session: id.clone(),
                     kernel: managed.kernel.clone(),
                     stats: managed.session.metrics().snapshot(),
                 };
                 serde_json::to_string(&line).ok()
-            })
-            .collect();
+            }));
+        }
         if lines.is_empty() {
             return Ok(0);
         }
@@ -930,12 +1050,29 @@ impl SessionManager {
         }
     }
 
-    /// Persists the database now (used at shutdown).
+    /// Persists the database now (used at shutdown): compacts the record
+    /// log into an atomically-renamed checkpoint. The index is snapshotted
+    /// under a brief db-lock acquisition and written with only the log
+    /// lock held, so no wire op ever blocks behind persist file I/O.
     pub fn persist(&self) -> std::io::Result<()> {
-        if let Some(path) = &self.config.db_path {
-            self.db.lock().save(path)?;
+        let mut log_guard = self.db_log.lock();
+        if let Some(log) = log_guard.as_mut() {
+            let snapshot = self.db.lock().clone();
+            let report = log.compact(&snapshot)?;
+            self.metrics.db_compactions.inc();
+            self.trace
+                .emit(&TraceEvent::db_compact(report.records, report.micros));
         }
         Ok(())
+    }
+
+    /// Test/chaos hook: every subsequent database append and compaction
+    /// sleeps `delay` before touching the file system, simulating slow
+    /// storage behind `persist` and `finish`.
+    pub fn inject_db_io_delay(&self, delay: Duration) {
+        if let Some(log) = self.db_log.lock().as_mut() {
+            log.set_io_delay(delay);
+        }
     }
 
     /// Graceful-drain hook: checkpoints every live session's run journal
@@ -947,15 +1084,20 @@ impl SessionManager {
     /// and a checkpoint failure is logged, not fatal — the write-ahead
     /// tail is still on disk and resumable.
     pub fn checkpoint_sessions(&self) -> (usize, usize) {
-        let mut sessions = self.sessions.lock();
-        let total = sessions.len();
+        let mut total = 0usize;
         let mut checkpointed = 0usize;
-        for (id, managed) in sessions.iter_mut() {
-            match managed.session.checkpoint_journal() {
-                Ok(true) => checkpointed += 1,
-                Ok(false) => {}
-                Err(e) => {
-                    eprintln!("atf-service: drain: could not checkpoint journal of `{id}`: {e}")
+        // One shard at a time: sessions on the other shards keep serving
+        // while this shard's journals are checkpointed.
+        for shard in &self.shards {
+            let mut sessions = shard.lock();
+            total += sessions.len();
+            for (id, managed) in sessions.iter_mut() {
+                match managed.session.checkpoint_journal() {
+                    Ok(true) => checkpointed += 1,
+                    Ok(false) => {}
+                    Err(e) => {
+                        eprintln!("atf-service: drain: could not checkpoint journal of `{id}`: {e}")
+                    }
                 }
             }
         }
@@ -976,20 +1118,28 @@ impl SessionManager {
     /// an abandoned session's work is not thrown away.
     pub fn expire_idle(&self) -> usize {
         let timeout = self.config.idle_timeout;
-        let expired: Vec<(String, ManagedSession)> = {
-            let mut sessions = self.sessions.lock();
+        // Shard-by-shard sweep: never more than one shard lock held, so
+        // sessions elsewhere keep serving during the scan.
+        let mut expired: Vec<(String, ManagedSession)> = Vec::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let mut sessions = shard.lock();
             let ids: Vec<String> = sessions
                 .iter()
                 .filter(|(_, m)| m.last_touch.elapsed() > timeout)
                 .map(|(id, _)| id.clone())
                 .collect();
-            ids.into_iter()
-                .filter_map(|id| sessions.remove(&id).map(|m| (id, m)))
-                .collect()
-        };
+            if ids.is_empty() {
+                continue;
+            }
+            expired.extend(
+                ids.into_iter()
+                    .filter_map(|id| sessions.remove(&id).map(|m| (id, m))),
+            );
+            self.metrics.set_shard_sessions(idx, sessions.len() as u64);
+        }
         let count = expired.len();
-        // Merging happens outside the sessions lock: it takes the db lock
-        // and possibly persists to disk.
+        // Merging happens outside the shard locks: it takes the db lock
+        // and possibly appends to disk.
         for (id, managed) in expired {
             let ManagedSession {
                 session,
@@ -1023,14 +1173,20 @@ impl SessionManager {
         count
     }
 
-    /// Number of live sessions.
+    /// Number of live sessions (summed shard by shard, no global lock).
     pub fn live_sessions(&self) -> usize {
-        self.sessions.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Read access to the database (for tests and diagnostics).
     pub fn with_db<T>(&self, f: impl FnOnce(&TuningDatabase) -> T) -> T {
         f(&self.db.lock())
+    }
+
+    /// Mutable access to the in-memory database (for tests and benches);
+    /// changes made here bypass the persistence log.
+    pub fn with_db_mut<T>(&self, f: impl FnOnce(&mut TuningDatabase) -> T) -> T {
+        f(&mut self.db.lock())
     }
 
     fn with_session(
@@ -1044,7 +1200,7 @@ impl SessionManager {
                 format!("{}: missing `session`", request.cmd),
             );
         };
-        let mut sessions = self.sessions.lock();
+        let mut sessions = self.shards[self.shard_of(id)].lock();
         match sessions.get_mut(id) {
             Some(managed) => {
                 managed.last_touch = Instant::now();

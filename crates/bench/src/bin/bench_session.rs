@@ -135,6 +135,98 @@ fn main() {
     row("space_cache", rate, evals, hits, misses);
     std::fs::remove_dir_all(&dir).ok();
 
+    // Database persistence cost per store, old path vs new: the legacy
+    // whole-file rewrite scales O(records) per store, the record log
+    // appends O(1) line. Measured over a 512-record base database.
+    let (rewrite_us, rewrite_bytes, append_us, append_bytes) = bench_db_store();
+    println!(
+        "\nDatabase persist per store over 512 records: \
+         rewrite {rewrite_us:.0} us / {rewrite_bytes} B vs \
+         append {append_us:.0} us / {append_bytes} B"
+    );
+    for (mode, us, bytes) in [
+        ("db_rewrite", rewrite_us, rewrite_bytes),
+        ("db_append", append_us, append_bytes),
+    ] {
+        records.push(Record {
+            experiment: "bench_session".into(),
+            device: "-".into(),
+            workload: mode.into(),
+            metrics: vec![
+                ("store_us".into(), us),
+                ("bytes_per_store".into(), bytes as f64),
+            ],
+        });
+    }
+
     write_bench("session", &records);
     println!("\ntrajectory written to BENCH_session.json");
+}
+
+/// Times one persisted store against a 512-record database, both ways:
+/// legacy `save` (whole-file rewrite) and `DatabaseLog::append` (one
+/// NDJSON line + fsync). Returns (rewrite µs, rewrite bytes, append µs,
+/// append bytes), averaged over 64 stores each.
+fn bench_db_store() -> (f64, u64, f64, u64) {
+    use atf_core::db::{DatabaseLog, TuningDatabase};
+    const BASE: u64 = 512;
+    const STORES: u32 = 64;
+    let config = |i: u64| {
+        atf_core::config::Config::from_pairs([
+            ("WPT", atf_core::value::Value::UInt(i % 64 + 1)),
+            ("LS", atf_core::value::Value::UInt(i % 8 + 1)),
+        ])
+    };
+    let mut db = TuningDatabase::new();
+    for i in 0..BASE {
+        db.store(&format!("k{i}"), "dev", "w", &config(i), 50.0, 10, 64);
+    }
+    let dir = std::env::temp_dir().join(format!("atf-bench-db-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("bench db dir");
+
+    // Old path: every store rewrites the whole pretty-printed file.
+    let rewrite_path = dir.join("rewrite.json");
+    let t0 = Instant::now();
+    for i in 0..STORES {
+        db.store(
+            &format!("k{}", u64::from(i) % BASE),
+            "dev",
+            "w",
+            &config(u64::from(i)),
+            49.0 - f64::from(i) / 100.0,
+            10,
+            64,
+        );
+        db.save(&rewrite_path).expect("legacy save");
+    }
+    let rewrite_us = t0.elapsed().as_micros() as f64 / f64::from(STORES);
+    let rewrite_bytes = std::fs::metadata(&rewrite_path)
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    // New path: every store appends one record line to the log.
+    let append_path = dir.join("append.json");
+    let (_loaded, mut log) = DatabaseLog::open(&append_path).expect("open log");
+    let t0 = Instant::now();
+    for i in 0..STORES {
+        let kernel = format!("k{}", u64::from(i) % BASE);
+        db.store(
+            &kernel,
+            "dev",
+            "w",
+            &config(u64::from(i)),
+            48.0 - f64::from(i) / 100.0,
+            10,
+            64,
+        );
+        let record = db.record(&kernel, "dev", "w").expect("stored record");
+        log.append(&record).expect("append");
+    }
+    let append_us = t0.elapsed().as_micros() as f64 / f64::from(STORES);
+    let append_bytes = std::fs::metadata(&append_path)
+        .map(|m| m.len() / u64::from(STORES))
+        .unwrap_or(0);
+    std::fs::remove_dir_all(&dir).ok();
+    (rewrite_us, rewrite_bytes, append_us, append_bytes)
 }

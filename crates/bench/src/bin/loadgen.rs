@@ -173,6 +173,102 @@ fn run_round(tenants: usize, duration: Duration, seed: u64) -> RoundResult {
     }
 }
 
+/// One shard-sweep round: `clients` threads hammer a manager over the
+/// in-process loopback client, each driving full open → next/report →
+/// finish sessions — no proxy, no quotas, so the session-manager locks
+/// and the database persist path are the bottleneck. `legacy_rewrite`
+/// emulates the pre-log single-lock baseline: a whole-file database
+/// rewrite under the db lock after every finish, exactly what the old
+/// manager's `merge_result` did.
+fn run_shard_round(
+    shards: usize,
+    legacy_rewrite: bool,
+    clients: usize,
+    duration: Duration,
+) -> (u64, Duration) {
+    let dir = std::env::temp_dir().join(format!(
+        "atf-loadgen-shards-{}-{}-{}",
+        shards,
+        legacy_rewrite,
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("loadgen db dir");
+    let db_path = dir.join("db.json");
+    let manager = Arc::new(
+        SessionManager::new(ManagerConfig {
+            // The baseline persists by explicit whole-file rewrite below;
+            // the sharded rounds go through the append log.
+            db_path: (!legacy_rewrite).then(|| db_path.clone()),
+            shards: Some(shards),
+            ..ManagerConfig::default()
+        })
+        .expect("loadgen manager"),
+    );
+    // Pre-seed 256 records so the legacy baseline rewrites a realistically
+    // sized file (O(records) bytes per finish vs one appended line).
+    manager.with_db_mut(|db| {
+        use atf_core::config::Config;
+        use atf_core::value::Value;
+        for i in 0..256u64 {
+            db.store(
+                &format!("seed{i}"),
+                "dev",
+                "w",
+                &Config::from_pairs([("X", Value::UInt(i % 6 + 1))]),
+                100.0,
+                6,
+                6,
+            );
+        }
+    });
+
+    let sessions = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for tenant in 0..clients {
+            let manager = Arc::clone(&manager);
+            let sessions = Arc::clone(&sessions);
+            let db_path = db_path.clone();
+            scope.spawn(move || {
+                let mut client = Client::loopback(Arc::clone(&manager));
+                let spec = tenant_spec(tenant);
+                while started.elapsed() < duration {
+                    let Ok(id) = client.open(&spec) else { continue };
+                    let mut completed = true;
+                    loop {
+                        match client.next(&id) {
+                            Ok(Some(cfg)) => {
+                                let cost = (cfg["X"] as f64 - 4.0).abs();
+                                if client.report(&id, Some(cost)).is_err() {
+                                    completed = false;
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                completed = false;
+                                break;
+                            }
+                        }
+                    }
+                    if completed && client.finish(&id).is_ok() {
+                        if legacy_rewrite {
+                            // The old persist path, bug included: the db
+                            // lock is held across the file rewrite.
+                            manager.with_db(|db| db.save(&db_path).expect("legacy rewrite"));
+                        }
+                        sessions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    std::fs::remove_dir_all(&dir).ok();
+    (sessions.load(std::sync::atomic::Ordering::Relaxed), elapsed)
+}
+
 fn p99(latencies: &mut [f64]) -> f64 {
     if latencies.is_empty() {
         return 0.0;
@@ -231,6 +327,54 @@ fn main() {
                     round.rejected_connections as f64,
                 ),
                 ("gave_up_opens".into(), round.gave_up as f64),
+            ],
+        });
+    }
+
+    // Shard sweep: 64 loopback clients against 1/4/16 shards, plus the
+    // single-lock whole-file-rewrite baseline (the pre-sharding design).
+    // The acceptance bar: sharded + append-log sessions/sec at 64 clients
+    // beats the old baseline by >= 2x.
+    const SWEEP_CLIENTS: usize = 64;
+    let sweep_secs = if quick { 2 } else { 4 };
+    println!(
+        "\nShard sweep: {SWEEP_CLIENTS} loopback clients, \
+         {sweep_secs}s per round, shards = [1, 4, 16]\n"
+    );
+    let (base_sessions, base_elapsed) =
+        run_shard_round(1, true, SWEEP_CLIENTS, Duration::from_secs(sweep_secs));
+    let base_rate = base_sessions as f64 / base_elapsed.as_secs_f64();
+    println!("single-lock + whole-file rewrite | {base_rate:>7.1} sessions/s (baseline)");
+    records.push(Record {
+        experiment: "loadgen".into(),
+        device: "-".into(),
+        workload: format!("single-lock-baseline-clients-{SWEEP_CLIENTS}"),
+        metrics: vec![("sessions_per_sec".into(), base_rate)],
+    });
+    for &shards in &[1usize, 4, 16] {
+        let (sessions, elapsed) = run_shard_round(
+            shards,
+            false,
+            SWEEP_CLIENTS,
+            Duration::from_secs(sweep_secs),
+        );
+        let rate = sessions as f64 / elapsed.as_secs_f64();
+        let speedup = if base_rate > 0.0 {
+            rate / base_rate
+        } else {
+            0.0
+        };
+        println!(
+            "{shards:>2} shards + record log          | {rate:>7.1} sessions/s \
+             ({speedup:.1}x baseline)"
+        );
+        records.push(Record {
+            experiment: "loadgen".into(),
+            device: "-".into(),
+            workload: format!("shards-{shards}-clients-{SWEEP_CLIENTS}"),
+            metrics: vec![
+                ("sessions_per_sec".into(), rate),
+                ("speedup_vs_single_lock".into(), speedup),
             ],
         });
     }

@@ -1,0 +1,229 @@
+//! Crash-equivalence for the log-structured tuning database: a simulated
+//! kill at every byte boundary of the compaction sequence (tmp write →
+//! rename → log truncate) must load back bit-identical to the in-memory
+//! database, torn append tails lose at most the final partial record, and
+//! legacy whole-file JSON databases load and migrate transparently on
+//! their first compaction.
+
+use atf_core::config::Config;
+use atf_core::db::{DatabaseLog, TuningDatabase};
+use atf_core::value::Value;
+use std::path::{Path, PathBuf};
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("atf-dbcrash-{}-{}.json", tag, std::process::id()))
+}
+
+fn ckpt_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".ckpt");
+    PathBuf::from(s)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".ckpt.tmp");
+    PathBuf::from(s)
+}
+
+fn cleanup(path: &Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(ckpt_path(path)).ok();
+    std::fs::remove_file(tmp_path(path)).ok();
+}
+
+fn config(i: u64) -> Config {
+    Config::from_pairs([
+        ("WG", Value::UInt(i * 2 + 1)),
+        ("VEC", Value::Bool(i.is_multiple_of(2))),
+        ("MODE", Value::Symbol(format!("m{i}").into())),
+    ])
+}
+
+/// A database of `n` distinct records with deterministic contents.
+fn sample_db(n: u64) -> TuningDatabase {
+    let mut db = TuningDatabase::new();
+    for i in 0..n {
+        db.store(
+            &format!("kernel{i}"),
+            "devX",
+            &format!("w{}", i % 3),
+            &config(i),
+            100.0 - i as f64,
+            i + 1,
+            1000,
+        );
+    }
+    db
+}
+
+/// Writes a directory state (live log, checkpoint, tmp — `None` = absent)
+/// and loads it back.
+fn load_state(
+    path: &Path,
+    log: Option<&[u8]>,
+    ckpt: Option<&[u8]>,
+    tmp: Option<&[u8]>,
+) -> TuningDatabase {
+    cleanup(path);
+    if let Some(bytes) = log {
+        std::fs::write(path, bytes).unwrap();
+    }
+    if let Some(bytes) = ckpt {
+        std::fs::write(ckpt_path(path), bytes).unwrap();
+    }
+    if let Some(bytes) = tmp {
+        std::fs::write(tmp_path(path), bytes).unwrap();
+    }
+    let (db, _log) = DatabaseLog::open(path).unwrap();
+    db
+}
+
+/// A kill at every byte boundary of the checkpoint-tmp write — the first
+/// phase of a compaction — leaves the previous checkpoint and the full
+/// log authoritative: the load is bit-identical to the in-memory db no
+/// matter how much of the tmp file made it to disk.
+#[test]
+fn kill_at_every_byte_of_the_tmp_write_loses_nothing() {
+    let path = temp_path("tmp-write");
+    let db = sample_db(8);
+    // On-disk precondition: an older checkpoint holding half the records,
+    // a log holding all of them (superset — the monotone merge makes the
+    // overlap idempotent).
+    let old_ckpt = sample_db(4).to_ndjson().into_bytes();
+    let log = db.to_ndjson().into_bytes();
+    let new_ckpt = db.to_ndjson().into_bytes();
+    for cut in 0..=new_ckpt.len() {
+        let loaded = load_state(&path, Some(&log), Some(&old_ckpt), Some(&new_ckpt[..cut]));
+        assert_eq!(
+            loaded,
+            db,
+            "divergence with {cut}/{} tmp bytes on disk",
+            new_ckpt.len()
+        );
+    }
+    cleanup(&path);
+}
+
+/// A kill between the checkpoint rename and the log truncate leaves the
+/// new checkpoint plus the (now redundant) full log: the double replay
+/// must merge to the identical database.
+#[test]
+fn kill_between_rename_and_truncate_merges_idempotently() {
+    let path = temp_path("post-rename");
+    let db = sample_db(8);
+    let log = db.to_ndjson().into_bytes();
+    let new_ckpt = db.to_ndjson().into_bytes();
+    // Full log + committed checkpoint (rename done, truncate not).
+    let loaded = load_state(&path, Some(&log), Some(&new_ckpt), None);
+    assert_eq!(loaded, db);
+    // And a partially truncated log (kill mid-truncate): any log prefix
+    // plus the committed checkpoint still loads the full database.
+    for cut in [0, 1, log.len() / 2, log.len() - 1] {
+        let loaded = load_state(&path, Some(&log[..cut]), Some(&new_ckpt), None);
+        assert_eq!(loaded, db, "divergence with {cut} log bytes left");
+    }
+    cleanup(&path);
+}
+
+/// A torn append tail (kill mid-append, no compaction in flight) loses at
+/// most the final partial record; every complete line survives.
+#[test]
+fn torn_append_tail_loses_at_most_the_last_record() {
+    let path = temp_path("torn-tail");
+    let db = sample_db(6);
+    let log = db.to_ndjson();
+    let bytes = log.as_bytes();
+    for cut in 0..=bytes.len() {
+        let Ok(prefix) = std::str::from_utf8(&bytes[..cut]) else {
+            continue; // mid-UTF-8 cuts are covered by the byte loader path
+        };
+        let mut expected = TuningDatabase::new();
+        expected.merge_ndjson(prefix);
+        let loaded = load_state(&path, Some(&bytes[..cut]), None, None);
+        assert_eq!(
+            loaded,
+            expected,
+            "divergence at {cut}/{} bytes",
+            bytes.len()
+        );
+        // Never more than one record lost relative to the lines fully on
+        // disk at the cut.
+        let complete_lines = prefix.matches('\n').count();
+        assert!(loaded.len() >= complete_lines.min(db.len()));
+    }
+    cleanup(&path);
+}
+
+/// An actual compaction driven through `DatabaseLog` round-trips: after
+/// compacting, the live log is empty, the checkpoint is authoritative,
+/// and appends keep landing durably.
+#[test]
+fn real_compaction_is_bit_identical_and_keeps_appending() {
+    let path = temp_path("real-compact");
+    cleanup(&path);
+    let (mut db, mut log) = DatabaseLog::open(&path).unwrap();
+    for i in 0..10u64 {
+        let kernel = format!("kernel{i}");
+        db.store(&kernel, "devX", "w", &config(i), i as f64, 1, 100);
+        log.append(&db.record(&kernel, "devX", "w").unwrap())
+            .unwrap();
+    }
+    log.compact(&db).unwrap();
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+    let (reloaded, _h) = DatabaseLog::open(&path).unwrap();
+    assert_eq!(reloaded, db);
+
+    // Improvements after the compaction append to the fresh log and win
+    // over the checkpointed record on load (monotone merge).
+    db.store("kernel3", "devX", "w", &config(99), 0.25, 2, 100);
+    log.append(&db.record("kernel3", "devX", "w").unwrap())
+        .unwrap();
+    let (reloaded, _h) = DatabaseLog::open(&path).unwrap();
+    assert_eq!(reloaded, db);
+    assert_eq!(reloaded.lookup("kernel3", "devX", "w").unwrap().cost, 0.25);
+    cleanup(&path);
+}
+
+/// Old-format whole-file JSON databases still load — both through
+/// `TuningDatabase::load` and `DatabaseLog::open` — and the first
+/// compaction migrates them to log + checkpoint without changing a single
+/// record.
+#[test]
+fn legacy_json_loads_and_migrates_on_first_compaction() {
+    let path = temp_path("legacy");
+    cleanup(&path);
+    let legacy = sample_db(7);
+    legacy.save(&path).unwrap();
+
+    // Plain load of the legacy format is unchanged behavior.
+    assert_eq!(TuningDatabase::load(&path).unwrap(), legacy);
+
+    // The log handle loads it too and flags the pending migration.
+    let (db, mut log) = DatabaseLog::open(&path).unwrap();
+    assert_eq!(db, legacy);
+    assert!(log.should_compact(), "legacy file must request migration");
+    log.compact(&db).unwrap();
+
+    // Post-migration: live file is an empty log, checkpoint carries the
+    // records, and both readers agree bit-for-bit with the original.
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+    assert_eq!(TuningDatabase::load(&path).unwrap(), legacy);
+    let (reloaded, _h) = DatabaseLog::open(&path).unwrap();
+    assert_eq!(reloaded, legacy);
+
+    // A kill mid-migration (tmp partially written, legacy file intact)
+    // still loads the legacy records untouched.
+    let legacy_bytes = std::fs::read(&path).ok(); // empty post-migration log
+    drop(legacy_bytes);
+    cleanup(&path);
+    legacy.save(&path).unwrap();
+    let ckpt = legacy.to_ndjson().into_bytes();
+    for cut in [0, 1, ckpt.len() / 2, ckpt.len() - 1] {
+        std::fs::write(tmp_path(&path), &ckpt[..cut]).unwrap();
+        assert_eq!(TuningDatabase::load(&path).unwrap(), legacy);
+        let (reloaded, _h) = DatabaseLog::open(&path).unwrap();
+        assert_eq!(reloaded, legacy, "divergence with {cut} tmp bytes");
+    }
+    cleanup(&path);
+}
