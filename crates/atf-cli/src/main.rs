@@ -75,6 +75,7 @@ const SERVE_USAGE: &str = "usage: atf-tune serve [--addr HOST:PORT] [--db PATH] 
                       [--max-sessions N] [--max-per-tenant N]
                       [--max-inflight N] [--max-connections N]
                       [--drain-secs N] [--shards N]
+                      [--io-threads N] [--handlers N]
 
 Runs the tuning service until SIGINT (ctrl-c), then drains gracefully:
 stops accepting, lets in-flight sessions checkpoint their journals, and
@@ -108,13 +109,18 @@ exits within the drain deadline.
   --max-connections N
                      Serve at most N concurrent connections; beyond that
                      connections queue briefly, then are rejected with
-                     one `overloaded` line (default: unlimited).
-  --drain-secs N     On shutdown, wait up to N seconds for in-flight
-                     connections to finish before checkpointing journals
-                     and exiting (default 5).
+                     one `overloaded` line (default 4096 — connections
+                     cost the poll(2) reactor an fd, not a thread).
+  --drain-secs N     On shutdown, wait up to N seconds for open
+                     connections to be answered and flushed before
+                     checkpointing journals and exiting (default 5).
   --shards N         Stripe live sessions across N locks; concurrent
                      clients on different sessions rarely contend
-                     (default: one shard per available CPU).";
+                     (default: one shard per available CPU).
+  --io-threads N     Event-loop threads owning the connection sockets
+                     (default: auto from available parallelism, 1-4).
+  --handlers N       Handler threads serving parsed requests against the
+                     session manager (default: auto, 2-16).";
 
 const CLIENT_USAGE: &str = "usage: atf-tune client [--addr HOST:PORT] [options] <spec.json>
        atf-tune client [--addr HOST:PORT] --lookup KERNEL [--device D] [--workload W]
@@ -331,6 +337,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         max_connections: Option<usize>,
         drain: Option<Duration>,
         shards: Option<usize>,
+        io_threads: Option<usize>,
+        handlers: Option<usize>,
     }
     let parsed = (|| -> Result<ServeArgs, String> {
         let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| DEFAULT_ADDR.to_string());
@@ -355,6 +363,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             max_connections: take_u32_flag(&mut args, "--max-connections")?.map(|n| n as usize),
             drain: take_secs_flag(&mut args, "--drain-secs")?,
             shards: take_u32_flag(&mut args, "--shards")?.map(|n| n as usize),
+            io_threads: take_u32_flag(&mut args, "--io-threads")?.map(|n| n as usize),
+            handlers: take_u32_flag(&mut args, "--handlers")?.map(|n| n as usize),
         };
         if let Some(extra) = args.first() {
             return Err(format!("unexpected argument `{extra}`"));
@@ -404,8 +414,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     let defaults = atf_service::ServerConfig::default();
     let server_config = atf_service::ServerConfig {
-        max_connections: serve.max_connections,
+        // An absent flag keeps the reactor's 4096-slot default.
+        max_connections: serve.max_connections.or(defaults.max_connections),
         drain_timeout: serve.drain.unwrap_or(defaults.drain_timeout),
+        io_threads: serve.io_threads,
+        handlers: serve.handlers,
         ..defaults
     };
     let server = match atf_service::Server::bind_with(&serve.addr, manager, server_config) {

@@ -217,6 +217,18 @@ pub struct MetricsRegistry {
     pub db_appends: Counter,
     /// Tuning-database compactions (log folded into a checkpoint).
     pub db_compactions: Counter,
+    /// Reactor I/O threads (0 outside the event-driven server).
+    pub reactor_io_threads: Gauge,
+    /// Handler threads serving parsed requests behind the reactor.
+    pub reactor_handlers: Gauge,
+    /// Connection sockets currently registered with the reactor's poll set.
+    pub reactor_fds: Gauge,
+    /// Parsed request lines waiting for a handler thread.
+    reactor_queue_depth: Gauge,
+    reactor_queue_peak: AtomicU64,
+    /// Handler threads currently inside `handle_line`.
+    pub reactor_handlers_busy: Gauge,
+    reactor_busy_micros: Counter,
     /// Live sessions per manager shard; sized once by
     /// [`set_shard_count`](Self::set_shard_count).
     shard_sessions: OnceLock<Box<[AtomicU64]>>,
@@ -255,6 +267,13 @@ impl Default for MetricsRegistry {
             accept_queue_peak: AtomicU64::new(0),
             db_appends: Counter::default(),
             db_compactions: Counter::default(),
+            reactor_io_threads: Gauge::default(),
+            reactor_handlers: Gauge::default(),
+            reactor_fds: Gauge::default(),
+            reactor_queue_depth: Gauge::default(),
+            reactor_queue_peak: AtomicU64::new(0),
+            reactor_handlers_busy: Gauge::default(),
+            reactor_busy_micros: Counter::default(),
             shard_sessions: OnceLock::new(),
         }
     }
@@ -320,6 +339,31 @@ impl MetricsRegistry {
         self.accept_queue_depth.set(n as u64);
         self.accept_queue_peak
             .fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Declares the reactor's thread layout (io threads + handler pool).
+    pub fn set_reactor_threads(&self, io_threads: usize, handlers: usize) {
+        self.reactor_io_threads.set(io_threads as u64);
+        self.reactor_handlers.set(handlers as u64);
+    }
+
+    /// Sets the reactor ready-queue depth gauge (and tracks its peak).
+    pub fn set_reactor_queue_depth(&self, n: usize) {
+        self.reactor_queue_depth.set(n as u64);
+        self.reactor_queue_peak
+            .fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// A reactor handler thread started serving a request.
+    pub fn reactor_handler_busy(&self) {
+        self.reactor_handlers_busy.inc();
+    }
+
+    /// A reactor handler finished a request that kept it busy `busy_for`.
+    pub fn reactor_handler_idle(&self, busy_for: Duration) {
+        self.reactor_handlers_busy.dec();
+        self.reactor_busy_micros
+            .add(u64::try_from(busy_for.as_micros()).unwrap_or(u64::MAX));
     }
 
     /// Sizes the per-shard session gauges. First caller wins; later calls
@@ -402,6 +446,24 @@ impl MetricsRegistry {
             },
             db_appends: self.db_appends.get(),
             db_compactions: self.db_compactions.get(),
+            reactor: {
+                let io_threads = self.reactor_io_threads.get();
+                let busy_micros = self.reactor_busy_micros.get();
+                let handlers = self.reactor_handlers.get();
+                ReactorSnapshot {
+                    io_threads,
+                    handlers,
+                    registered_fds: self.reactor_fds.get(),
+                    queue_depth: self.reactor_queue_depth.get(),
+                    queue_peak: self.reactor_queue_peak.load(Ordering::Relaxed),
+                    handlers_busy: self.reactor_handlers_busy.get(),
+                    handler_utilization_pct: if handlers == 0 || elapsed_micros == 0 {
+                        0.0
+                    } else {
+                        (busy_micros as f64 / (handlers * elapsed_micros) as f64 * 100.0).min(100.0)
+                    },
+                }
+            },
             shard_sessions: self
                 .shard_sessions
                 .get()
@@ -488,6 +550,26 @@ pub struct AdmissionSnapshot {
     pub accept_queue_peak: u64,
 }
 
+/// Frozen view of the event-driven server's reactor gauges. All-zero when
+/// the poll(2) reactor is not in the loop (plain tuning runs, loopback).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReactorSnapshot {
+    /// Poll-loop threads owning the connection sockets.
+    pub io_threads: u64,
+    /// Handler threads serving parsed requests.
+    pub handlers: u64,
+    /// Connection sockets registered across all poll sets.
+    pub registered_fds: u64,
+    /// Parsed request lines waiting for a handler at snapshot time.
+    pub queue_depth: u64,
+    /// Highest ready-queue depth seen.
+    pub queue_peak: u64,
+    /// Handler threads inside `handle_line` at snapshot time.
+    pub handlers_busy: u64,
+    /// Share of total handler-time spent serving requests, percent.
+    pub handler_utilization_pct: f64,
+}
+
 /// A frozen, serializable view of a [`MetricsRegistry`] — the `stats` wire
 /// payload and the source of the `--metrics` summary table.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -540,6 +622,10 @@ pub struct MetricsSnapshot {
     /// defaulting to zero).
     #[serde(default)]
     pub db_compactions: u64,
+    /// Event-driven server reactor gauges (absent in snapshots from older
+    /// peers, defaulting to all-zero).
+    #[serde(default)]
+    pub reactor: ReactorSnapshot,
     /// Live sessions per manager shard (empty outside the sharded
     /// service, and in snapshots from older peers).
     #[serde(default)]
@@ -614,6 +700,20 @@ impl MetricsSnapshot {
                 format!(
                     "{} admitted, {} opens shed, {} requests shed, {} conns rejected",
                     a.admitted_sessions, a.shed_opens, a.shed_requests, a.rejected_connections
+                ),
+            );
+        }
+        let r = &self.reactor;
+        if r.io_threads > 0 {
+            row(
+                "reactor",
+                format!(
+                    "{} io + {} handlers, {} fds, queue peak {}, utilization {:.1}%",
+                    r.io_threads,
+                    r.handlers,
+                    r.registered_fds,
+                    r.queue_peak,
+                    r.handler_utilization_pct
                 ),
             );
         }
@@ -720,6 +820,39 @@ mod tests {
         assert_eq!(s.admission.accept_queue_peak, 5);
         assert_eq!(s.admission.sessions_active, 1);
         assert!(s.summary().contains("3 admitted"), "{}", s.summary());
+    }
+
+    #[test]
+    fn reactor_gauges_and_utilization() {
+        let m = MetricsRegistry::new();
+        m.set_reactor_threads(2, 4);
+        m.reactor_fds.inc();
+        m.reactor_fds.inc();
+        m.reactor_fds.dec();
+        m.set_reactor_queue_depth(7);
+        m.set_reactor_queue_depth(1);
+        m.reactor_handler_busy();
+        m.reactor_handler_idle(Duration::from_millis(2));
+        let s = m.snapshot();
+        assert_eq!(s.reactor.io_threads, 2);
+        assert_eq!(s.reactor.handlers, 4);
+        assert_eq!(s.reactor.registered_fds, 1);
+        assert_eq!(s.reactor.queue_depth, 1);
+        assert_eq!(s.reactor.queue_peak, 7);
+        assert_eq!(s.reactor.handlers_busy, 0);
+        assert!(s.reactor.handler_utilization_pct > 0.0);
+        assert!(s.summary().contains("2 io + 4 handlers"), "{}", s.summary());
+    }
+
+    #[test]
+    fn old_peer_snapshot_defaults_reactor_to_zero() {
+        let m = MetricsRegistry::new();
+        let mut v = serde_json::to_value(&m.snapshot());
+        if let serde_json::Value::Object(pairs) = &mut v {
+            pairs.retain(|(key, _)| key != "reactor");
+        }
+        let back: MetricsSnapshot = serde_json::from_value(&v).unwrap();
+        assert_eq!(back.reactor, ReactorSnapshot::default());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub const EVENT_KINDS: &[&str] = &[
     "shed",
     "drain",
     "db_compact",
+    "reactor",
 ];
 
 /// One trace event. `event` names the kind; the remaining fields are
@@ -99,6 +100,10 @@ pub struct TraceEvent {
     pub message: Option<String>,
     /// `admission`, `shed`: tenant the decision concerned.
     pub tenant: Option<String>,
+    /// `reactor`: poll-loop threads owning the connection sockets.
+    pub io_threads: Option<usize>,
+    /// `reactor`: handler threads behind the ready queue.
+    pub handlers: Option<usize>,
 }
 
 // Hand-written so `None` fields are omitted from the line entirely; the
@@ -139,6 +144,8 @@ impl serde::Serialize for TraceEvent {
         push(&mut fields, "phase", &self.phase);
         push(&mut fields, "message", &self.message);
         push(&mut fields, "tenant", &self.tenant);
+        push(&mut fields, "io_threads", &self.io_threads);
+        push(&mut fields, "handlers", &self.handlers);
         serde::Value::Object(fields)
     }
 }
@@ -317,6 +324,17 @@ impl TraceEvent {
         }
     }
 
+    /// The event-driven server started its reactor: `io_threads` poll
+    /// loops own the connection sockets, `handlers` threads serve the
+    /// parsed requests.
+    pub fn reactor(io_threads: usize, handlers: usize) -> Self {
+        TraceEvent {
+            io_threads: Some(io_threads),
+            handlers: Some(handlers),
+            ..Self::kind("reactor")
+        }
+    }
+
     /// A process cost function ran one script (`phase` = compile or run).
     pub fn proc(phase: &str, micros: u64, failure: Option<&str>) -> Self {
         TraceEvent {
@@ -448,6 +466,7 @@ mod tests {
             TraceEvent::admission("acme", 3),
             TraceEvent::shed("acme", "session quota exhausted", 500),
             TraceEvent::drain(2, 1500, true),
+            TraceEvent::reactor(2, 8),
         ];
         for e in &events {
             let line = serde_json::to_string(e).unwrap();

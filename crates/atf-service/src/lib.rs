@@ -19,8 +19,11 @@
 //!   |------------------------------------->|   tuning database
 //! ```
 //!
-//! Sessions are independent and concurrent (thread-per-connection, shared
-//! session manager), survive client reconnects (a session id is all the
+//! Sessions are independent and concurrent — a `poll(2)`-based reactor
+//! owns every connection socket with a handful of event-loop threads and
+//! a fixed handler pool over one shared, sharded session manager, so
+//! thousands of mostly-idle connections cost file descriptors, not
+//! threads. Sessions survive client reconnects (a session id is all the
 //! state a client needs; every handout carries a ticket, and `open` with
 //! `max_pending` lets several clients pull distinct configurations from
 //! one session concurrently), and expire after a configurable idle period. Finished sessions merge their
@@ -32,6 +35,7 @@ pub mod chaos;
 pub mod client;
 pub mod manager;
 pub mod proto;
+pub(crate) mod reactor;
 pub mod server;
 
 pub use chaos::{ChaosCounters, ChaosPlan, ChaosProxy, ChaosState, ChaosTransport};

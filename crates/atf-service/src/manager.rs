@@ -990,32 +990,101 @@ impl SessionManager {
         }
     }
 
-    /// Appends one metrics-snapshot line per live session to
-    /// `stats.ndjson` in the journal directory (no-op without one);
-    /// returns how many lines were written. Called periodically from the
-    /// server's sweep loop, this leaves a coarse throughput/utilization
-    /// timeline on disk next to the run journals.
-    pub fn write_stats_snapshots(&self) -> std::io::Result<usize> {
-        let Some(dir) = &self.config.journal_dir else {
-            return Ok(0);
-        };
-        // Snapshots are atomic-counter reads — cheap enough to take under
-        // a shard lock. Shards are visited one at a time (sessions opening
-        // or finishing mid-sweep land in this line batch or the next), and
-        // the file I/O happens with no shard lock held at all.
-        let mut lines: Vec<String> = Vec::new();
-        for shard in &self.shards {
-            let sessions = shard.lock();
-            lines.extend(sessions.iter().filter_map(|(id, managed)| {
-                let line = StatsLine {
+    /// One batched sweeper pass over the shards: a *single* lock
+    /// acquisition per shard collects both the sessions idle past the
+    /// timeout (removed from the table) and one stats snapshot per
+    /// remaining live session. Snapshots are atomic-counter reads — cheap
+    /// enough to take under a shard lock — but serialization, file I/O,
+    /// and database merging all happen with no shard lock held. Shards
+    /// are visited one at a time, so sessions elsewhere keep serving
+    /// mid-sweep (they land in this batch or the next).
+    fn sweep_shards(
+        &self,
+        expire: bool,
+        stats: bool,
+    ) -> (Vec<(String, ManagedSession)>, Vec<StatsLine>) {
+        let timeout = self.config.idle_timeout;
+        let mut expired: Vec<(String, ManagedSession)> = Vec::new();
+        let mut lines: Vec<StatsLine> = Vec::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let mut sessions = shard.lock();
+            if expire {
+                let ids: Vec<String> = sessions
+                    .iter()
+                    .filter(|(_, m)| m.last_touch.elapsed() > timeout)
+                    .map(|(id, _)| id.clone())
+                    .collect();
+                if !ids.is_empty() {
+                    expired.extend(
+                        ids.into_iter()
+                            .filter_map(|id| sessions.remove(&id).map(|m| (id, m))),
+                    );
+                    self.metrics.set_shard_sessions(idx, sessions.len() as u64);
+                }
+            }
+            if stats {
+                // After expiry above, so a just-expired session leaves no
+                // trailing stats line.
+                lines.extend(sessions.iter().map(|(id, managed)| StatsLine {
                     session: id.clone(),
                     kernel: managed.kernel.clone(),
                     stats: managed.session.metrics().snapshot(),
-                };
-                serde_json::to_string(&line).ok()
-            }));
+                }));
+            }
         }
-        if lines.is_empty() {
+        (expired, lines)
+    }
+
+    /// Finishes sessions removed by a sweep: returns their admission
+    /// capacity and merges each best-so-far into the database. Runs with
+    /// no shard lock held (takes the db lock, possibly appends to disk).
+    fn finish_expired(&self, expired: Vec<(String, ManagedSession)>) -> usize {
+        let count = expired.len();
+        for (id, managed) in expired {
+            let ManagedSession {
+                session,
+                kernel,
+                device,
+                workload,
+                tenant,
+                pending_since,
+                ..
+            } = managed;
+            // Expired capacity returns to the pool before the (possibly
+            // slow) database merge.
+            self.release_session(&tenant, pending_since.len());
+            match session.finish() {
+                Ok(result) => {
+                    self.merge_result(&kernel, &device, &workload, &result);
+                    eprintln!(
+                        "atf-service: expired idle session `{id}` (kernel `{kernel}`); \
+                         merged best cost {} ({} evaluations) into the database",
+                        result.best_cost, result.evaluations
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "atf-service: expired idle session `{id}` (kernel `{kernel}`); \
+                         nothing to merge: {e}"
+                    );
+                }
+            }
+        }
+        count
+    }
+
+    /// Serializes and appends stats lines to `stats.ndjson` in the
+    /// journal directory (no-op without one); returns how many lines were
+    /// written. No shard lock is held here.
+    fn append_stats(&self, lines: Vec<StatsLine>) -> std::io::Result<usize> {
+        let Some(dir) = &self.config.journal_dir else {
+            return Ok(0);
+        };
+        let rendered: Vec<String> = lines
+            .iter()
+            .filter_map(|line| serde_json::to_string(line).ok())
+            .collect();
+        if rendered.is_empty() {
             return Ok(0);
         }
         std::fs::create_dir_all(dir)?;
@@ -1024,10 +1093,35 @@ impl SessionManager {
             .append(true)
             .open(dir.join("stats.ndjson"))?;
         use std::io::Write;
-        for line in &lines {
+        for line in &rendered {
             writeln!(out, "{line}")?;
         }
-        Ok(lines.len())
+        Ok(rendered.len())
+    }
+
+    /// Appends one metrics-snapshot line per live session to
+    /// `stats.ndjson` in the journal directory (no-op without one);
+    /// returns how many lines were written. This leaves a coarse
+    /// throughput/utilization timeline on disk next to the run journals.
+    pub fn write_stats_snapshots(&self) -> std::io::Result<usize> {
+        let (_, lines) = self.sweep_shards(false, true);
+        self.append_stats(lines)
+    }
+
+    /// The server's periodic sweep: idle expiry and stats snapshotting in
+    /// one batched pass — each shard lock is taken once per sweep instead
+    /// of once per concern. Returns `(expired, stats lines written)`;
+    /// stats failures are swallowed with the [`sweep_stats`] policy.
+    ///
+    /// [`sweep_stats`]: SessionManager::sweep_stats
+    pub fn sweep(&self) -> (usize, usize) {
+        // Stats snapshots are only collected when there is somewhere to
+        // write them — without a journal dir the pass is expiry-only.
+        let stats = self.config.journal_dir.is_some();
+        let (expired, lines) = self.sweep_shards(true, stats);
+        let count = self.finish_expired(expired);
+        let written = self.log_stats_outcome(self.append_stats(lines));
+        (count, written)
     }
 
     /// Sweep-safe stats snapshotting: a failed `stats.ndjson` append (full
@@ -1036,7 +1130,11 @@ impl SessionManager {
     /// convenience, not session state. The first failure of an outage is
     /// logged; repeats stay quiet until a sweep succeeds again.
     pub fn sweep_stats(&self) -> usize {
-        match self.write_stats_snapshots() {
+        self.log_stats_outcome(self.write_stats_snapshots())
+    }
+
+    fn log_stats_outcome(&self, outcome: std::io::Result<usize>) -> usize {
+        match outcome {
             Ok(n) => {
                 self.stats_write_failed.store(false, Ordering::Relaxed);
                 n
@@ -1117,60 +1215,8 @@ impl SessionManager {
     /// best-so-far — that is merged into the database before eviction, so
     /// an abandoned session's work is not thrown away.
     pub fn expire_idle(&self) -> usize {
-        let timeout = self.config.idle_timeout;
-        // Shard-by-shard sweep: never more than one shard lock held, so
-        // sessions elsewhere keep serving during the scan.
-        let mut expired: Vec<(String, ManagedSession)> = Vec::new();
-        for (idx, shard) in self.shards.iter().enumerate() {
-            let mut sessions = shard.lock();
-            let ids: Vec<String> = sessions
-                .iter()
-                .filter(|(_, m)| m.last_touch.elapsed() > timeout)
-                .map(|(id, _)| id.clone())
-                .collect();
-            if ids.is_empty() {
-                continue;
-            }
-            expired.extend(
-                ids.into_iter()
-                    .filter_map(|id| sessions.remove(&id).map(|m| (id, m))),
-            );
-            self.metrics.set_shard_sessions(idx, sessions.len() as u64);
-        }
-        let count = expired.len();
-        // Merging happens outside the shard locks: it takes the db lock
-        // and possibly appends to disk.
-        for (id, managed) in expired {
-            let ManagedSession {
-                session,
-                kernel,
-                device,
-                workload,
-                tenant,
-                pending_since,
-                ..
-            } = managed;
-            // Expired capacity returns to the pool before the (possibly
-            // slow) database merge.
-            self.release_session(&tenant, pending_since.len());
-            match session.finish() {
-                Ok(result) => {
-                    self.merge_result(&kernel, &device, &workload, &result);
-                    eprintln!(
-                        "atf-service: expired idle session `{id}` (kernel `{kernel}`); \
-                         merged best cost {} ({} evaluations) into the database",
-                        result.best_cost, result.evaluations
-                    );
-                }
-                Err(e) => {
-                    eprintln!(
-                        "atf-service: expired idle session `{id}` (kernel `{kernel}`); \
-                         nothing to merge: {e}"
-                    );
-                }
-            }
-        }
-        count
+        let (expired, _) = self.sweep_shards(true, false);
+        self.finish_expired(expired)
     }
 
     /// Number of live sessions (summed shard by shard, no global lock).

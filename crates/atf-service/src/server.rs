@@ -1,49 +1,67 @@
-//! The TCP front end: a nonblocking accept loop handing each connection to
-//! its own thread, all sharing one [`SessionManager`].
+//! The TCP front end: a nonblocking accept loop feeding the `poll(2)`
+//! reactor in [`crate::reactor`] — a small set of event-loop threads owns
+//! every connection socket, and a fixed handler pool serves the framed
+//! request lines against one shared [`SessionManager`]. Connection count
+//! is bounded by file descriptors, not threads.
 //!
 //! Shutdown is condvar-signaled, not sleep-polled: the accept loop parks on
 //! a [`ShutdownHandle`]'s condition variable between accept attempts, and
 //! [`ShutdownHandle::signal`] wakes it immediately — so a programmatic stop
 //! (or SIGINT, routed through a self-pipe watcher thread) takes effect with
 //! bounded latency instead of "whenever the next poll tick comes around".
+//! The signal also pokes every reactor loop's wake pipe, so the graceful
+//! drain — final read sweep, answer every buffered request, flush, close —
+//! starts at once on every connection.
 
 use crate::manager::SessionManager;
 use crate::proto::Response;
 use atf_core::trace::TraceEvent;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Timing and overload-protection settings of a [`Server`]. The defaults
-/// reproduce the historical hard-coded behavior: 25 ms accept poll, 5 s
-/// sweep interval, 500 ms read poll, unbounded connections, 5 s drain.
+/// keep the historical accept/sweep/drain behavior: 25 ms accept poll, 5 s
+/// sweep interval, 5 s drain — with the reactor's far higher default
+/// connection ceiling (4096 slots instead of one thread per connection).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Upper bound on how long the accept loop parks when no connection
     /// is waiting (it is woken early by [`ShutdownHandle::signal`]).
     pub accept_poll: Duration,
     /// How often the idle-expiry sweeper runs (idle sessions + stats
-    /// snapshots).
+    /// snapshots, one batched pass per shard).
     pub sweep_interval: Duration,
-    /// Read timeout on connections so handler threads notice shutdown.
+    /// Read timeout used by the non-unix thread-per-connection fallback so
+    /// its handler threads notice shutdown. The `poll(2)` reactor path
+    /// (every unix target) is event-driven and ignores this.
     pub read_poll: Duration,
-    /// Bounded connection slots: at most this many connections are served
-    /// concurrently (`None` = unbounded, one thread per connection).
+    /// Bounded connection slots: at most this many connections are open
+    /// concurrently (`None` = bounded only by file descriptors). The
+    /// reactor holds idle connections for the price of an fd and two
+    /// buffers, so the default is 4096 — far above the old
+    /// thread-per-connection comfort zone.
     pub max_connections: Option<usize>,
     /// Accepted connections parked while every slot is taken. Beyond this
     /// the connection is hard-rejected: one `overloaded` response line,
     /// then close. Only meaningful with `max_connections`.
     pub accept_queue: usize,
     /// Graceful-drain deadline: after shutdown is signaled, how long to
-    /// wait for in-flight connections to finish before checkpointing
-    /// journals and exiting anyway.
+    /// wait for open connections to be answered and flushed before
+    /// force-closing, checkpointing journals, and exiting anyway.
     pub drain_timeout: Duration,
     /// Retry-after hint (milliseconds) on hard-rejected connections.
     pub reject_retry_after_ms: u64,
+    /// Event-loop threads owning the connection sockets. `None` picks a
+    /// small automatic count from available parallelism (1–4).
+    pub io_threads: Option<usize>,
+    /// Handler threads serving framed request lines against the session
+    /// manager. `None` sizes the pool from available parallelism (2–16).
+    pub handlers: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -52,11 +70,38 @@ impl Default for ServerConfig {
             accept_poll: Duration::from_millis(25),
             sweep_interval: Duration::from_secs(5),
             read_poll: Duration::from_millis(500),
-            max_connections: None,
+            max_connections: Some(4096),
             accept_queue: 64,
             drain_timeout: Duration::from_secs(5),
             reject_retry_after_ms: 500,
+            io_threads: None,
+            handlers: None,
         }
+    }
+}
+
+impl ServerConfig {
+    fn parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The io-thread count actually used (auto: parallelism/4, clamped
+    /// to 1–4 — poll loops are cheap, and fewer loops batch better).
+    pub fn resolved_io_threads(&self) -> usize {
+        self.io_threads
+            .unwrap_or_else(|| (Self::parallelism() / 4).clamp(1, 4))
+            .max(1)
+    }
+
+    /// The handler-pool size actually used (auto: parallelism, clamped
+    /// to 2–16 — handlers mostly run short critical sections on the
+    /// sharded manager).
+    pub fn resolved_handlers(&self) -> usize {
+        self.handlers
+            .unwrap_or_else(|| Self::parallelism().clamp(2, 16))
+            .max(1)
     }
 }
 
@@ -64,6 +109,11 @@ struct ShutdownState {
     flag: AtomicBool,
     lock: Mutex<()>,
     cv: Condvar,
+    /// Reactor loops to poke on signal, so a drain starts immediately
+    /// instead of after the next poll park. Holding the `Arc` keeps the
+    /// wake pipes open for as long as any handle might signal them.
+    #[cfg(unix)]
+    wakers: Mutex<Vec<Arc<crate::reactor::IoShared>>>,
 }
 
 /// A cloneable handle that stops a [`Server::run`] loop.
@@ -79,15 +129,24 @@ impl ShutdownHandle {
                 flag: AtomicBool::new(false),
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
+                #[cfg(unix)]
+                wakers: Mutex::new(Vec::new()),
             }),
         }
     }
 
-    /// Requests shutdown and wakes the accept loop immediately.
+    /// Requests shutdown and wakes the accept loop and every reactor
+    /// event loop immediately.
     pub fn signal(&self) {
         self.state.flag.store(true, Ordering::SeqCst);
-        let _guard = self.state.lock.lock();
-        self.state.cv.notify_all();
+        {
+            let _guard = self.state.lock.lock();
+            self.state.cv.notify_all();
+        }
+        #[cfg(unix)]
+        for waker in self.state.wakers.lock().iter() {
+            waker.wake_for_shutdown();
+        }
     }
 
     /// Whether shutdown has been requested.
@@ -96,7 +155,7 @@ impl ShutdownHandle {
     }
 
     /// Parks until [`signal`](Self::signal) or for at most `timeout`.
-    fn wait(&self, timeout: Duration) {
+    pub(crate) fn wait(&self, timeout: Duration) {
         if self.is_signaled() {
             return;
         }
@@ -106,6 +165,16 @@ impl ShutdownHandle {
         if !self.is_signaled() {
             self.state.cv.wait_for(&mut guard, timeout);
         }
+    }
+
+    /// Registers a reactor loop for immediate wakeup on signal. If the
+    /// signal already fired, the loop is woken right away.
+    #[cfg(unix)]
+    pub(crate) fn register_waker(&self, waker: Arc<crate::reactor::IoShared>) {
+        if self.is_signaled() {
+            waker.wake_for_shutdown();
+        }
+        self.state.wakers.lock().push(waker);
     }
 }
 
@@ -172,55 +241,72 @@ impl Server {
     /// a watcher thread blocked on that pipe signals the shutdown handle —
     /// which wakes the accept loop immediately. Uses `signal(2)`/`pipe(2)`
     /// directly so no extra dependency is needed. Installing it again (for
-    /// another server) reroutes SIGINT to the most recent one.
+    /// another server) reroutes SIGINT to the most recent one and retires
+    /// the previous install completely: its pipe fds are closed and its
+    /// watcher thread joined, so repeated installs leak nothing.
     #[cfg(unix)]
     pub fn install_sigint(&self) {
         use std::sync::atomic::AtomicI32;
 
         /// Write end of the self-pipe, shared with the signal handler.
         static SIGNAL_PIPE_WRITE: AtomicI32 = AtomicI32::new(-1);
+        /// The previous install's write fd and watcher thread, retired
+        /// (fd closed → watcher sees EOF → joined) by the next install.
+        /// The lock also serializes concurrent installs.
+        static PREVIOUS: std::sync::Mutex<Option<(i32, std::thread::JoinHandle<()>)>> =
+            std::sync::Mutex::new(None);
 
         extern "C" {
-            fn pipe(fds: *mut i32) -> i32;
-            fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
-            fn write(fd: i32, buf: *const u8, count: usize) -> isize;
             fn signal(signum: i32, handler: usize) -> usize;
         }
         extern "C" fn on_sigint(_sig: i32) {
             // Async-signal-safe: a single write(2) on the self-pipe.
             let fd = SIGNAL_PIPE_WRITE.load(Ordering::SeqCst);
             if fd >= 0 {
-                unsafe {
-                    write(fd, b"!".as_ptr(), 1);
-                }
+                crate::reactor::write_byte(fd);
             }
         }
 
         const SIGINT: i32 = 2;
-        let mut fds = [0i32; 2];
-        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+        let mut previous = match PREVIOUS.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let Some((read_fd, write_fd)) = crate::reactor::make_pipe() else {
             return;
-        }
-        SIGNAL_PIPE_WRITE.store(fds[1], Ordering::SeqCst);
-        let read_fd = fds[0];
+        };
         let handle = self.shutdown_handle();
-        std::thread::spawn(move || {
+        let watcher = std::thread::spawn(move || {
             let mut buf = [0u8; 1];
             loop {
-                let n = unsafe { read(read_fd, buf.as_mut_ptr(), 1) };
+                let n = crate::reactor::read_byte(read_fd, &mut buf);
                 if n > 0 {
+                    // Keep watching after a signal: a reinstall retires
+                    // this thread via EOF, repeated SIGINTs are idempotent.
                     handle.signal();
-                    return;
+                    continue;
                 }
                 if n == 0 {
-                    return; // write end closed
+                    break; // write end closed (reinstall)
                 }
-                // n < 0: interrupted — retry.
+                if std::io::Error::last_os_error().kind() != std::io::ErrorKind::Interrupted {
+                    break;
+                }
             }
+            crate::reactor::close_fd(read_fd);
         });
+        let stale_write = SIGNAL_PIPE_WRITE.swap(write_fd, Ordering::SeqCst);
         unsafe {
             signal(SIGINT, on_sigint as *const () as usize);
         }
+        if let Some((old_write, old_watcher)) = previous.take() {
+            debug_assert_eq!(old_write, stale_write);
+            // Closing the stale write end EOFs the old watcher's read(2);
+            // it closes its read end and exits, so the join is bounded.
+            crate::reactor::close_fd(old_write);
+            let _ = old_watcher.join();
+        }
+        *previous = Some((write_fd, watcher));
     }
 
     /// No-op off unix; stop the server with
@@ -231,13 +317,12 @@ impl Server {
     /// Serves until shutdown, then drains gracefully: stop accepting,
     /// answer queued connections with `overloaded`, join the idle-expiry
     /// sweeper (so drain never races a sweep that is removing sessions),
-    /// wait up to the drain deadline for in-flight connections to finish
-    /// the request they hold, checkpoint every live session's journal to
-    /// a resumable artifact, and persist the database.
+    /// sweep every open connection for requests the kernel has already
+    /// received — each one is answered and flushed before its connection
+    /// closes — wait up to the drain deadline, checkpoint every live
+    /// session's journal to a resumable artifact, and persist the
+    /// database.
     pub fn run(self) -> std::io::Result<()> {
-        let active = Arc::new(AtomicUsize::new(0));
-        let mut queue: VecDeque<TcpStream> = VecDeque::new();
-
         // The idle-expiry sweeper runs in its own thread so a slow sweep
         // (database merges, stats I/O) never stalls the accept loop —
         // and, with configurable intervals, a long sweep period never
@@ -252,73 +337,29 @@ impl Server {
                 // Checked *after* the park and before each sweep: once
                 // shutdown is signaled no new sweep starts, so joining
                 // this thread bounds the wait to at most one in-progress
-                // sweep. Periodic observability rides along: one
-                // metrics-snapshot line per live session into the journal
-                // directory's stats.ndjson; `sweep_stats` swallows (and
-                // logs once per outage) write failures — telemetry
-                // trouble must never end the sweep.
+                // sweep. One batched pass takes each shard lock once for
+                // both idle expiry and the per-session stats snapshot;
+                // stats write failures are swallowed (and logged once per
+                // outage) — telemetry trouble must never end the sweep.
                 if shutdown.is_signaled() {
                     return;
                 }
-                manager.expire_idle();
-                manager.sweep_stats();
+                manager.sweep();
             })
         };
 
-        while !self.shutdown.is_signaled() {
-            // Promote queued connections into freed slots first: FIFO, so
-            // a parked client is served before a newly accepted one.
-            if let Some(cap) = self.config.max_connections {
-                while !queue.is_empty() && active.load(Ordering::SeqCst) < cap {
-                    let stream = queue.pop_front().expect("queue nonempty");
-                    self.manager.metrics().set_accept_queue_depth(queue.len());
-                    self.spawn_connection(stream, &active);
-                }
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => match self.config.max_connections {
-                    None => self.spawn_connection(stream, &active),
-                    Some(cap) if active.load(Ordering::SeqCst) < cap => {
-                        self.spawn_connection(stream, &active)
-                    }
-                    Some(_) if queue.len() < self.config.accept_queue => {
-                        queue.push_back(stream);
-                        self.manager.metrics().set_accept_queue_depth(queue.len());
-                    }
-                    // Hard cap: every slot and queue position is taken.
-                    // One explicit `overloaded` line, then close — a
-                    // storm gets answers, not hangs.
-                    Some(_) => self.reject_connection(stream),
-                },
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    self.shutdown.wait(self.config.accept_poll);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
+        let served = self.serve_connections();
 
         // ---- graceful drain ----
         let drain_started = Instant::now();
-        // Queued-but-never-served connections get an explicit answer
-        // instead of a silent close.
-        for stream in queue.drain(..) {
-            self.reject_connection(stream);
-        }
-        self.manager.metrics().set_accept_queue_depth(0);
         // Join the sweeper before touching journals: once the signal is
         // up no new sweep starts, so this waits out at most one
         // in-progress sweep — drain and the idle-expiry sweeper never
         // operate on the session table at the same time.
+        self.shutdown.signal();
         let _ = sweeper.join();
-        // In-flight connections notice the signal within one read poll
-        // and exit right after answering the request they hold.
-        while active.load(Ordering::SeqCst) > 0
-            && drain_started.elapsed() < self.config.drain_timeout
-        {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        let within_deadline = active.load(Ordering::SeqCst) == 0;
+        let (active, within_deadline) = served?;
+        debug_assert_eq!(active, 0, "connection engine joined with conns open");
         // Every live session's journal lands as a compact, resumable
         // checkpoint; the sessions themselves stay unfinished so a
         // restart resumes them with `open{resume:true}`.
@@ -342,19 +383,152 @@ impl Server {
         self.manager.persist()
     }
 
+    /// The unix connection engine: accept into the `poll(2)` reactor,
+    /// shed past the hard cap, and at shutdown wait out the drain before
+    /// tearing the reactor down. Returns `(still_open, within_deadline)`.
+    #[cfg(unix)]
+    fn serve_connections(&self) -> std::io::Result<(usize, bool)> {
+        let io_threads = self.config.resolved_io_threads();
+        let handlers = self.config.resolved_handlers();
+        let metrics = Arc::clone(self.manager.metrics());
+        metrics.set_reactor_threads(io_threads, handlers);
+        self.manager
+            .trace_sink()
+            .emit(&TraceEvent::reactor(io_threads, handlers));
+        let reactor = crate::reactor::Reactor::start(
+            Arc::clone(&self.manager),
+            self.shutdown.clone(),
+            io_threads,
+            handlers,
+        )?;
+        let mut queue: VecDeque<TcpStream> = VecDeque::new();
+        let mut fatal: Option<std::io::Error> = None;
+
+        while !self.shutdown.is_signaled() {
+            // Promote queued connections into freed slots first: FIFO, so
+            // a parked client is served before a newly accepted one.
+            if let Some(cap) = self.config.max_connections {
+                while !queue.is_empty() && reactor.active() < cap {
+                    let stream = queue.pop_front().expect("queue nonempty");
+                    metrics.set_accept_queue_depth(queue.len());
+                    reactor.dispatch(stream);
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match self.config.max_connections {
+                    None => reactor.dispatch(stream),
+                    Some(cap) if reactor.active() < cap => reactor.dispatch(stream),
+                    Some(_) if queue.len() < self.config.accept_queue => {
+                        queue.push_back(stream);
+                        metrics.set_accept_queue_depth(queue.len());
+                    }
+                    // Hard cap: every slot and queue position is taken.
+                    // One explicit `overloaded` line, then close — a
+                    // storm gets answers, not hangs.
+                    Some(_) => self.reject_connection(stream),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.shutdown.wait(self.config.accept_poll);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Tear the reactor down before surfacing the error —
+                    // the drain below still runs so open connections are
+                    // answered, not abandoned.
+                    self.shutdown.signal();
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Queued-but-never-served connections get an explicit answer
+        // instead of a silent close.
+        let drain_started = Instant::now();
+        for stream in queue.drain(..) {
+            self.reject_connection(stream);
+        }
+        metrics.set_accept_queue_depth(0);
+        // The reactor loops were woken by the signal and are running the
+        // final read sweep: every request with bytes already in the
+        // kernel gets framed, served, and flushed before its connection
+        // closes. Wait for that to finish (or the deadline).
+        while reactor.active() > 0 && drain_started.elapsed() < self.config.drain_timeout {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let within_deadline = reactor.active() == 0;
+        reactor.stop_and_join();
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok((0, within_deadline)),
+        }
+    }
+
+    /// Non-unix fallback: thread-per-connection with the same shedding and
+    /// drain-the-buffered-requests semantics.
+    #[cfg(not(unix))]
+    fn serve_connections(&self) -> std::io::Result<(usize, bool)> {
+        use std::sync::atomic::AtomicUsize;
+
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut queue: VecDeque<TcpStream> = VecDeque::new();
+        while !self.shutdown.is_signaled() {
+            if let Some(cap) = self.config.max_connections {
+                while !queue.is_empty() && active.load(Ordering::SeqCst) < cap {
+                    let stream = queue.pop_front().expect("queue nonempty");
+                    self.manager.metrics().set_accept_queue_depth(queue.len());
+                    self.spawn_connection(stream, &active);
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match self.config.max_connections {
+                    None => self.spawn_connection(stream, &active),
+                    Some(cap) if active.load(Ordering::SeqCst) < cap => {
+                        self.spawn_connection(stream, &active)
+                    }
+                    Some(_) if queue.len() < self.config.accept_queue => {
+                        queue.push_back(stream);
+                        self.manager.metrics().set_accept_queue_depth(queue.len());
+                    }
+                    Some(_) => self.reject_connection(stream),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.shutdown.wait(self.config.accept_poll);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let drain_started = Instant::now();
+        for stream in queue.drain(..) {
+            self.reject_connection(stream);
+        }
+        self.manager.metrics().set_accept_queue_depth(0);
+        while active.load(Ordering::SeqCst) > 0
+            && drain_started.elapsed() < self.config.drain_timeout
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let open = active.load(Ordering::SeqCst);
+        Ok((0, open == 0))
+    }
+
     /// Spawns one connection handler, keeping the active-connection count
-    /// and gauge in step with the thread's lifetime.
-    fn spawn_connection(&self, stream: TcpStream, active: &Arc<AtomicUsize>) {
+    /// and gauge in step with the thread's lifetime. Gauge updates are
+    /// atomic inc/dec — a computed-then-set pair from two racing threads
+    /// can strand the gauge at a stale value forever.
+    #[cfg(not(unix))]
+    fn spawn_connection(&self, stream: TcpStream, active: &Arc<std::sync::atomic::AtomicUsize>) {
         let manager = Arc::clone(&self.manager);
         let shutdown = self.shutdown.clone();
         let active = Arc::clone(active);
         let read_poll = self.config.read_poll;
-        let n = active.fetch_add(1, Ordering::SeqCst) + 1;
-        manager.metrics().connections_active.set(n as u64);
+        active.fetch_add(1, Ordering::SeqCst);
+        manager.metrics().connections_active.inc();
         std::thread::spawn(move || {
             serve_connection(stream, Arc::clone(&manager), shutdown, read_poll);
-            let left = active.fetch_sub(1, Ordering::SeqCst).saturating_sub(1);
-            manager.metrics().connections_active.set(left as u64);
+            active.fetch_sub(1, Ordering::SeqCst);
+            manager.metrics().connections_active.dec();
         });
     }
 
@@ -373,6 +547,7 @@ impl Server {
             self.config.reject_retry_after_ms,
         )) {
             let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            let _ = stream.set_nonblocking(false);
             let _ = stream.write_all(line.as_bytes());
             let _ = stream.write_all(b"\n");
             let _ = stream.flush();
@@ -380,12 +555,15 @@ impl Server {
     }
 }
 
+#[cfg(not(unix))]
 fn serve_connection(
     stream: TcpStream,
     manager: Arc<SessionManager>,
     shutdown: ShutdownHandle,
     read_poll: Duration,
 ) {
+    use std::io::{BufRead, BufReader};
+
     if stream.set_read_timeout(Some(read_poll)).is_err() {
         return;
     }
@@ -395,12 +573,22 @@ fn serve_connection(
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut draining = false;
     loop {
-        if shutdown.is_signaled() {
-            return;
+        // Shutdown is observed *between* requests, but the connection
+        // does not close until every line already buffered (in the
+        // BufReader or the kernel) has been answered: switch the read
+        // timeout down and keep serving until a read yields nothing.
+        if !draining && shutdown.is_signaled() {
+            draining = true;
+            if reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(10)))
+                .is_err()
+            {
+                return;
+            }
         }
-        // A timed-out read may leave a partial line in `line`; the next
-        // read_line appends to it, so only clear after handling a full line.
         match reader.read_line(&mut line) {
             Ok(0) => return, // peer closed
             Ok(_) => {
@@ -420,7 +608,12 @@ fn serve_connection(
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if draining {
+                    return; // buffered requests all answered
+                }
+            }
             Err(_) => return,
         }
     }
@@ -457,5 +650,28 @@ mod tests {
         let started = Instant::now();
         handle.wait(Duration::from_secs(30));
         assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn config_resolves_sane_thread_counts() {
+        let config = ServerConfig::default();
+        let io = config.resolved_io_threads();
+        let handlers = config.resolved_handlers();
+        assert!((1..=4).contains(&io));
+        assert!((2..=16).contains(&handlers));
+        let pinned = ServerConfig {
+            io_threads: Some(2),
+            handlers: Some(7),
+            ..ServerConfig::default()
+        };
+        assert_eq!(pinned.resolved_io_threads(), 2);
+        assert_eq!(pinned.resolved_handlers(), 7);
+        let zeroed = ServerConfig {
+            io_threads: Some(0),
+            handlers: Some(0),
+            ..ServerConfig::default()
+        };
+        assert_eq!(zeroed.resolved_io_threads(), 1, "0 is clamped up");
+        assert_eq!(zeroed.resolved_handlers(), 1);
     }
 }

@@ -1,0 +1,80 @@
+//! Reinstalling the SIGINT handler must leak nothing: the previous
+//! self-pipe's fds are closed and the stranded watcher thread is joined,
+//! and SIGINT routes to the *latest* install only. Lives in its own test
+//! binary so fd/thread counting is not perturbed by parallel tests.
+
+#![cfg(unix)]
+
+use atf_service::{Server, SessionManager};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn open_fds() -> Option<usize> {
+    Some(std::fs::read_dir("/proc/self/fd").ok()?.count())
+}
+
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+#[test]
+fn sigint_reinstall_leaks_no_fds_and_routes_to_latest_server() {
+    extern "C" {
+        fn raise(sig: i32) -> i32;
+    }
+    const SIGINT: i32 = 2;
+
+    let first = Server::bind("127.0.0.1:0", Arc::new(SessionManager::in_memory())).unwrap();
+    let latest = Server::bind("127.0.0.1:0", Arc::new(SessionManager::in_memory())).unwrap();
+
+    // Every install owns one pipe (2 fds) and one watcher thread; each
+    // reinstall must retire the previous pair completely, so fd and
+    // thread counts stay flat however often it is called.
+    first.install_sigint();
+    let fds_baseline = open_fds();
+    let threads_baseline = process_threads();
+    for _ in 0..8 {
+        latest.install_sigint();
+    }
+    if let (Some(before), Some(after)) = (fds_baseline, open_fds()) {
+        assert_eq!(
+            after, before,
+            "8 reinstalls changed the open-fd count — the old self-pipe leaks"
+        );
+    }
+    if let (Some(before), Some(after)) = (threads_baseline, process_threads()) {
+        assert_eq!(
+            after, before,
+            "8 reinstalls changed the thread count — stale watchers are stranded"
+        );
+    }
+
+    // SIGINT reaches the most recent install only: the first server's
+    // watcher was retired before any signal fired.
+    unsafe {
+        raise(SIGINT);
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !latest.shutdown_handle().is_signaled() {
+        assert!(
+            Instant::now() < deadline,
+            "SIGINT never reached the latest install's shutdown handle"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        !first.shutdown_handle().is_signaled(),
+        "a retired install must no longer receive SIGINT"
+    );
+
+    // Repeated SIGINT stays idempotent (the watcher keeps draining).
+    unsafe {
+        raise(SIGINT);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(latest.shutdown_handle().is_signaled());
+}

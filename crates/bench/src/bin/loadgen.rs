@@ -8,6 +8,12 @@
 //! are retried after the service's `retry_after_ms` hint and connection
 //! faults injected by the proxy are absorbed by the exactly-once protocol.
 //!
+//! Two more sweeps ride along: the shard sweep (loopback clients against
+//! 1/4/16 manager shards vs the single-lock whole-file-rewrite baseline)
+//! and the connection sweep (64 active TCP clients while 64/512/2048
+//! connections sit open in the poll(2) reactor's fd set — the process
+//! thread count must stay flat as the fleet grows).
+//!
 //! Writes `BENCH_loadgen.json` at the workspace root so overload-behavior
 //! regressions (collapsing throughput, runaway p99, silent sheds) are
 //! visible PR-over-PR.
@@ -269,6 +275,114 @@ fn run_shard_round(
     (sessions.load(std::sync::atomic::Ordering::Relaxed), elapsed)
 }
 
+/// Threads of this process, from /proc (None off Linux): the evidence
+/// that connection count no longer buys a thread each.
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+struct ConnRound {
+    sessions: u64,
+    elapsed: Duration,
+    /// Process thread count with every connection open, *before* the
+    /// active-client threads start (so it isolates the server's budget).
+    threads_with_conns: Option<usize>,
+    registered_fds: u64,
+}
+
+/// One connection-sweep round: `total` concurrently open connections to a
+/// reactor-backed TCP server — `active` of them driven by real tuning
+/// clients, the rest pinged once and left idle — for `duration`. Under
+/// the old thread-per-connection server the thread count tracked `total`;
+/// the reactor serves any `total` with the same few threads.
+fn run_connection_round(total: usize, active: usize, duration: Duration) -> ConnRound {
+    use std::io::{BufRead, BufReader, Write};
+
+    let manager = Arc::new(SessionManager::new(ManagerConfig::default()).expect("manager"));
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&manager),
+        ServerConfig {
+            max_connections: Some(total + active + 8),
+            drain_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind server");
+    let addr = server.local_addr().expect("server addr");
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // The mostly-idle fleet: each connection proves it is registered and
+    // served (one ping round trip), then just sits in the poll set.
+    let idle_count = total.saturating_sub(active);
+    let mut idle = Vec::with_capacity(idle_count);
+    for i in 0..idle_count {
+        let mut stream =
+            std::net::TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle connect #{i}: {e}"));
+        stream
+            .write_all(b"{\"cmd\":\"ping\"}\n")
+            .expect("idle ping");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("idle pong");
+        idle.push(stream);
+    }
+    let threads_with_conns = process_threads();
+    let registered_fds = manager.metrics().snapshot().reactor.registered_fds;
+
+    let sessions = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for tenant in 0..active {
+            let sessions = Arc::clone(&sessions);
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    return;
+                };
+                let spec = tenant_spec(tenant);
+                while started.elapsed() < duration {
+                    let Ok(id) = client.open(&spec) else { continue };
+                    let mut completed = true;
+                    loop {
+                        match client.next(&id) {
+                            Ok(Some(cfg)) => {
+                                let cost = (cfg["X"] as f64 - 4.0).abs();
+                                if client.report(&id, Some(cost)).is_err() {
+                                    completed = false;
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                completed = false;
+                                break;
+                            }
+                        }
+                    }
+                    if completed && client.finish(&id).is_ok() {
+                        sessions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    drop(idle);
+    shutdown.signal();
+    let _ = server_thread.join();
+    ConnRound {
+        sessions: sessions.load(std::sync::atomic::Ordering::Relaxed),
+        elapsed,
+        threads_with_conns,
+        registered_fds,
+    }
+}
+
 fn p99(latencies: &mut [f64]) -> f64 {
     if latencies.is_empty() {
         return 0.0;
@@ -376,6 +490,45 @@ fn main() {
                 ("sessions_per_sec".into(), rate),
                 ("speedup_vs_single_lock".into(), speedup),
             ],
+        });
+    }
+
+    // Connection sweep: the poll(2) reactor serving a mostly-idle fleet.
+    // 64 active TCP clients drive sessions while the rest of the
+    // connections sit open in the poll set; the process thread count must
+    // stay flat as the fleet grows (thread-per-connection tracked it 1:1).
+    const ACTIVE_CLIENTS: usize = 64;
+    let conn_levels: &[usize] = if quick { &[64, 256] } else { &[64, 512, 2048] };
+    let conn_secs = if quick { 2 } else { 3 };
+    println!(
+        "\nConnection sweep: {ACTIVE_CLIENTS} active TCP clients, \
+         {conn_secs}s per round, open connections = {conn_levels:?}\n"
+    );
+    for &total in conn_levels {
+        let round = run_connection_round(total, ACTIVE_CLIENTS, Duration::from_secs(conn_secs));
+        let rate = round.sessions as f64 / round.elapsed.as_secs_f64();
+        let threads = round
+            .threads_with_conns
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "?".into());
+        println!(
+            "{total:>5} connections | {rate:>7.1} sessions/s | {threads:>4} process threads | \
+             {} fds registered",
+            round.registered_fds
+        );
+        let mut metrics = vec![
+            ("sessions_per_sec".into(), rate),
+            ("open_connections".into(), total as f64),
+            ("registered_fds".into(), round.registered_fds as f64),
+        ];
+        if let Some(threads) = round.threads_with_conns {
+            metrics.push(("process_threads".into(), threads as f64));
+        }
+        records.push(Record {
+            experiment: "loadgen".into(),
+            device: "-".into(),
+            workload: format!("connections-{total}-active-{ACTIVE_CLIENTS}"),
+            metrics,
         });
     }
 
