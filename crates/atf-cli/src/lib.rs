@@ -41,6 +41,8 @@ use std::time::Instant;
 // tuning service); re-exported here for backward compatibility.
 pub use atf_core::spec::{AbortSpec, IntervalSpec, ParameterSpec, SearchSpec, SpecError};
 
+pub mod campaign;
+
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
 pub enum CliError {
@@ -59,6 +61,15 @@ pub enum CliError {
     Database(String),
     /// Talking to the tuning service failed.
     Service(String),
+    /// The service shed the run with `overloaded` even after the
+    /// transport's `retry_after_ms`-aware retries — capacity rejection,
+    /// not a real failure. Scripts can tell the two apart: this maps to
+    /// exit code 3, real failures to 1.
+    Overloaded(String),
+    /// A campaign run failed at the orchestration layer (campaign journal
+    /// I/O, a fatal executor error) — distinct from per-node failures,
+    /// which are recorded in the campaign report instead.
+    Campaign(String),
 }
 
 impl fmt::Display for CliError {
@@ -71,6 +82,8 @@ impl fmt::Display for CliError {
             CliError::Tuning(e) => write!(f, "tuning failed: {e}"),
             CliError::Database(m) => write!(f, "database error: {m}"),
             CliError::Service(m) => write!(f, "service error: {m}"),
+            CliError::Overloaded(m) => write!(f, "service overloaded: {m}"),
+            CliError::Campaign(m) => write!(f, "campaign error: {m}"),
         }
     }
 }
@@ -214,6 +227,11 @@ pub struct RunOptions {
     /// Cap the space cache's total size in megabytes; exceeding it evicts
     /// least-recently-used entries after each store (`None` = unbounded).
     pub space_cache_max_mb: Option<u64>,
+    /// Campaign wiring for this run, when it executes as a campaign node:
+    /// the shared budget and cancel flag are composed into the session's
+    /// abort condition (budget charged at handout granularity), and the
+    /// fired flags tell the campaign runner *why* the run stopped.
+    pub campaign: Option<atf_core::campaign::CampaignHooks>,
 }
 
 impl RunOptions {
@@ -328,11 +346,22 @@ pub fn run_with(spec: &TuningSpec, opts: &RunOptions) -> Result<CliOutcome, CliE
     let space_gen = gen_started.elapsed();
     let policy = opts.policy();
     let workers = opts.workers.max(1);
+    let space_len = space.len();
 
     let mut session =
         TuningSession::<LexCosts>::new(space, spec.build_technique()?).map_err(CliError::Tuning)?;
-    if let Some(a) = spec.build_abort() {
-        session = session.abort_condition(a);
+    match (&opts.campaign, spec.build_abort()) {
+        // A campaign node wraps its abort (the spec's, or the session
+        // default of one full sweep) with the shared budget and cancel
+        // checks — both evaluated at handout time, so the budget is
+        // charged per admitted configuration.
+        (Some(hooks), base) => {
+            let base = base
+                .unwrap_or_else(|| abort::evaluations(space_len.try_into().unwrap_or(u64::MAX)));
+            session = session.abort_condition(hooks.wrap_abort(base));
+        }
+        (None, Some(a)) => session = session.abort_condition(a),
+        (None, None) => {}
     }
     session = session
         .eval_policy(&policy)
@@ -528,18 +557,44 @@ pub fn run_remote_with<T: atf_service::Transport>(
         process_cf = process_cf.timeout(t);
     }
     let mut cf = with_policy(process_cf, &opts.policy(), RETRY_JITTER_SEED);
-    let service = |e: atf_service::ClientError| CliError::Service(e.to_string());
+    // Shedding that survives the transport's retry_after_ms-aware retry
+    // loop is a capacity verdict, not a failure — keep it distinguishable.
+    let service = |e: atf_service::ClientError| match e {
+        atf_service::ClientError::Remote {
+            ref code,
+            ref message,
+        } if code == atf_service::proto::codes::OVERLOADED => CliError::Overloaded(message.clone()),
+        e => CliError::Service(e.to_string()),
+    };
     let (mut id, mut replayed) = client.open_resumable(&session).map_err(service)?;
     let mut reattaches_left = MAX_REATTACHES;
     let mut response = loop {
         // Drive the current session until it is done or the service
         // forgets it. A `None` outcome means the drive completed.
         let drive_error = loop {
+            // As a campaign node, check the shared budget and cancel flag
+            // before asking for the next handout (this loop is the serial
+            // window: charge granularity is exactly one evaluation).
+            if let Some(hooks) = &opts.campaign {
+                if hooks.cancel_requested() {
+                    hooks.mark_cancel_fired();
+                    break None;
+                }
+                if hooks.budget_exhausted() {
+                    hooks.mark_budget_fired();
+                    break None;
+                }
+            }
             let wire = match client.next(&id) {
                 Ok(Some(w)) => w,
                 Ok(None) => break None,
                 Err(e) => break Some(e),
             };
+            if let Some(hooks) = &opts.campaign {
+                if let Some(b) = &hooks.budget {
+                    b.charge(1);
+                }
+            }
             let config = wire_to_config(&wire);
             let reported = match cf.evaluate(&config) {
                 Ok(costs) => match costs.first().copied() {

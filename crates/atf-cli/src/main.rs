@@ -1,12 +1,15 @@
 //! `atf-tune` — the command-line auto-tuner.
 //!
 //! ```text
-//! atf-tune run <spec.json>          tune locally
-//! atf-tune serve --addr A --db P    run the tuning service
-//! atf-tune client --addr A <spec>   drive a remote session
+//! atf-tune run <spec.json>              tune locally
+//! atf-tune serve --addr A --db P        run the tuning service
+//! atf-tune client --addr A <spec>       drive a remote session
+//! atf-tune campaign <file.json>         run a multi-node tuning campaign
 //! ```
 //!
-//! Exit codes: 0 success, 1 tuning/service failure, 2 usage error.
+//! Exit codes: 0 success, 1 tuning/service failure, 2 usage or validation
+//! error, 3 shed with `overloaded` after exhausting retries (capacity
+//! rejection, not a failure — scripts can back off and re-run).
 //! See the crate docs (`atf_cli`) for the specification format.
 
 use std::process::ExitCode;
@@ -22,9 +25,13 @@ commands:
                          clients measure and report costs over TCP.
   client [options] ...   Drive a session on a remote service: the service
                          searches, this process measures the program.
+  campaign <file.json>   Run a declarative campaign: a DAG of tuning runs
+                         with failure policies, a shared budget, and a
+                         crash-safe campaign journal.
   help [command]         Show this message, or a command's usage.
 
-exit codes: 0 success, 1 tuning failure, 2 usage error
+exit codes: 0 success, 1 tuning failure, 2 usage/validation error,
+            3 shed with `overloaded` after exhausting retries
 
 Run `atf-tune help <command>` for per-command options.";
 
@@ -149,6 +156,43 @@ after a dropped connection or lost response is answered exactly once by
 the service, and a session the service expired is transparently
 re-attached (re-opened with resume).";
 
+const CAMPAIGN_USAGE: &str = "usage: atf-tune campaign [options] <campaign.json>
+       atf-tune campaign validate <campaign.json>
+
+Runs a declarative campaign: a named DAG of tuning runs (nodes) with
+per-node failure policies (`retry` with jittered exponential backoff,
+`continue`, `abort`), an optional shared evaluation/wall-clock budget
+charged at handout granularity, and a crash-safe campaign journal —
+kill -9 at any point, re-run with --resume, and the final report is
+bit-identical to an uninterrupted execution.
+
+  validate           Validate only: graph structure (duplicates, unknown
+                     references, cycles), policies, budgets, and every
+                     node's tuning spec. Runs nothing. Exit 0 when valid,
+                     2 otherwise.
+  --dry-run          Validate, print the execution plan (order, policies,
+                     budget), run nothing.
+  --state-dir DIR    Campaign state: the campaign journal, each node's
+                     run journal, and report.json
+                     (default: <campaign file>.state/).
+  --resume           Resume from the campaign journal: finished nodes are
+                     restored verbatim (zero re-execution), an in-flight
+                     node replays its run journal and continues.
+  --addr HOST:PORT   Execute nodes against this tuning service instead of
+                     locally (the service searches and owns run journals;
+                     this process measures).
+  --concurrency N    Run up to N independent nodes at once (overrides the
+                     campaign file's `concurrency`).
+  --trace FILE       Structured NDJSON trace: campaign_node,
+                     campaign_budget, campaign_skip, plus each local
+                     node's session events.
+  --timeout SECS, --retries N, --breaker N, --workers N, --backoff-ms MS
+                     Per-node run options (see `atf-tune help run`).
+
+exit codes: 0 campaign completed (including budget_exhausted verdicts),
+            1 a node failed, 2 usage/validation error, 3 a node was shed
+            with `overloaded` after exhausting retries";
+
 const DEFAULT_ADDR: &str = "127.0.0.1:7117";
 
 fn main() -> ExitCode {
@@ -167,6 +211,7 @@ fn main() -> ExitCode {
                 Some("run") => RUN_USAGE,
                 Some("serve") => SERVE_USAGE,
                 Some("client") => CLIENT_USAGE,
+                Some("campaign") => CAMPAIGN_USAGE,
                 _ => USAGE,
             };
             println!("{text}");
@@ -175,6 +220,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         // Backward compatibility: `atf-tune <spec.json>` still tunes.
         Some(path) if !path.starts_with('-') => cmd_run(&args),
         Some(flag) => {
@@ -259,6 +305,7 @@ fn take_run_options(
         reconnect_backoff: None,
         space_cache: None,
         space_cache_max_mb: None,
+        campaign: None,
     };
     if with_journal {
         opts.journal = take_flag(args, "--journal")?.map(Into::into);
@@ -312,7 +359,115 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("atf-tune: {e}");
-            ExitCode::FAILURE
+            failure_code(&e)
+        }
+    }
+}
+
+/// Exit code for a failed run: capacity rejection (`overloaded` outliving
+/// the retry budget) is 3, real failures 1 — scripts can tell them apart.
+fn failure_code(e: &atf_cli::CliError) -> ExitCode {
+    match e {
+        atf_cli::CliError::Overloaded(_) => ExitCode::from(3),
+        _ => ExitCode::FAILURE,
+    }
+}
+
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    if wants_help(args) {
+        println!("{CAMPAIGN_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut args = args.to_vec();
+    let validate_only = args.first().map(String::as_str) == Some("validate");
+    if validate_only {
+        args.remove(0);
+    }
+    struct Parsed {
+        path: String,
+        dry_run: bool,
+        opts: atf_cli::campaign::CampaignOptions,
+    }
+    let parsed = (|| -> Result<Parsed, String> {
+        let dry_run = take_switch(&mut args, "--dry-run");
+        let state_dir = take_flag(&mut args, "--state-dir")?.map(Into::into);
+        let addr = take_flag(&mut args, "--addr")?;
+        let concurrency = take_u32_flag(&mut args, "--concurrency")?.map(|n| n as usize);
+        let trace = take_flag(&mut args, "--trace")?.map(Into::into);
+        // Hidden chaos hook for crash tests: die fatally after N campaign
+        // journal appends, exactly as SIGKILL at that boundary would.
+        let kill_after_appends = match take_flag(&mut args, "--kill-after-appends")? {
+            Some(s) => Some(
+                s.parse::<u64>()
+                    .map_err(|_| format!("`--kill-after-appends` needs an integer, got `{s}`"))?,
+            ),
+            None => None,
+        };
+        let mut node_opts = take_run_options(&mut args, false)?;
+        // `--resume` means "resume the campaign"; per-node resume is the
+        // campaign runner's decision.
+        let resume = node_opts.resume;
+        node_opts.resume = false;
+        let path = match args.as_slice() {
+            [path] => path.clone(),
+            [] => return Err("need a <campaign.json>".to_string()),
+            [_, extra, ..] => return Err(format!("unexpected argument `{extra}`")),
+        };
+        Ok(Parsed {
+            path,
+            dry_run,
+            opts: atf_cli::campaign::CampaignOptions {
+                state_dir,
+                resume,
+                addr,
+                node_opts,
+                trace,
+                concurrency,
+                kill_after_appends,
+            },
+        })
+    })();
+    let parsed = match parsed {
+        Ok(p) => p,
+        Err(m) => {
+            eprintln!("atf-tune campaign: {m}");
+            eprintln!("{CAMPAIGN_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if validate_only || parsed.dry_run {
+        // Validation catches everything the runner would reject — graph
+        // structure, policies, budgets, every node's tuning spec — and
+        // runs nothing: zero evaluations, zero journal writes.
+        let loaded = atf_cli::campaign::load_campaign(
+            std::path::Path::new(&parsed.path),
+            parsed.opts.concurrency,
+        );
+        return match loaded {
+            Ok((plan, _)) => {
+                print!("{}", atf_cli::campaign::dry_run_summary(&plan));
+                println!("campaign is valid; nothing was executed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("atf-tune campaign: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    match atf_cli::campaign::run_campaign_file(std::path::Path::new(&parsed.path), &parsed.opts) {
+        Ok(report) => {
+            print!("{}", atf_cli::campaign::summary_table(&report));
+            ExitCode::from(atf_cli::campaign::exit_code(&report))
+        }
+        Err(e) => {
+            eprintln!("atf-tune campaign: {e}");
+            match e {
+                atf_cli::CliError::Spec(_) | atf_cli::CliError::Constraint { .. } => {
+                    ExitCode::from(2)
+                }
+                e => failure_code(&e),
+            }
         }
     }
 }
@@ -520,7 +675,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("atf-tune client: {e}");
-                    ExitCode::FAILURE
+                    failure_code(&e)
                 }
             }
         }

@@ -1,0 +1,469 @@
+//! Black-box tests of `atf-tune campaign`: validation and `--dry-run`
+//! execute nothing and exit 2 on structural errors, a local campaign
+//! writes its summary table and `report.json`, killing the process at any
+//! campaign-journal append boundary (deterministically, via the hidden
+//! `--kill-after-appends` hook) or with a real SIGKILL mid-run resumes to
+//! a byte-identical report, a campaign driven through a hostile chaos
+//! proxy matches the fault-free run, and a shed-everything service turns
+//! into the documented `overloaded` exit code 3.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+fn atf_tune() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_atf-tune"))
+}
+
+fn run_with(args: &[&str]) -> Output {
+    atf_tune().args(args).output().unwrap()
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("no exit code")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).to_string()
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("atf-cli-campaign-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[cfg(unix)]
+fn write_executable(path: &Path, body: &str) {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path).unwrap();
+    writeln!(f, "#!/bin/sh\n{body}").unwrap();
+    use std::os::unix::fs::PermissionsExt;
+    std::fs::set_permissions(path, std::fs::Permissions::from_mode(0o755)).unwrap();
+}
+
+/// Writes a two-node campaign (`beta` after `alpha`) into `dir`: each node
+/// exhaustively tunes BLOCK in 1..=`end` with its optimum at BLOCK=5, each
+/// evaluation sleeps `sleep_secs` (0 = no sleep) and appends a line to
+/// `evals.log`. Returns the campaign file path.
+#[cfg(unix)]
+fn write_campaign(dir: &Path, sleep_secs: &str, end: u64) -> PathBuf {
+    let marker = dir.join("evals.log");
+    let sleep = if sleep_secs == "0" {
+        String::new()
+    } else {
+        format!("sleep {sleep_secs}\n")
+    };
+    let source = dir.join("prog.sh");
+    write_executable(
+        &source,
+        &format!(
+            "echo x >> {}\n{sleep}B=$ATF_TP_BLOCK\nD=$((B - 5)); [ $D -lt 0 ] && D=$((-D))\n\
+             echo $((2 + D)) > \"$ATF_LOG_FILE\"",
+            marker.display()
+        ),
+    );
+    let run_sh = dir.join("run.sh");
+    write_executable(&run_sh, "sh \"$ATF_SOURCE\"");
+    for (node, kernel) in [("na", "camp-alpha"), ("nb", "camp-beta")] {
+        let log = dir.join(format!("{node}.log"));
+        std::fs::write(
+            dir.join(format!("{node}.json")),
+            format!(
+                r#"{{
+                  "program": {{"source": "{}", "run": "{}", "log_file": "{}"}},
+                  "parameters": [{{"name": "BLOCK", "interval": {{"begin": 1, "end": {end}}}}}],
+                  "search": {{"technique": "exhaustive"}},
+                  "kernel_name": "{kernel}"
+                }}"#,
+                source.display(),
+                run_sh.display(),
+                log.display()
+            ),
+        )
+        .unwrap();
+    }
+    let campaign = dir.join("campaign.json");
+    std::fs::write(
+        &campaign,
+        r#"{
+          "campaign": "cli-e2e",
+          "concurrency": 1,
+          "nodes": [
+            {"name": "alpha", "spec": "na.json"},
+            {"name": "beta", "spec": "nb.json", "after": ["alpha"],
+             "on_failure": {"policy": "retry", "retries": 2, "backoff_ms": 10}}
+          ]
+        }"#,
+    )
+    .unwrap();
+    campaign
+}
+
+#[test]
+fn campaign_help_exits_zero() {
+    for args in [&["help", "campaign"][..], &["campaign", "--help"][..]] {
+        let out = run_with(args);
+        assert_eq!(exit_code(&out), 0, "{args:?}");
+        assert!(
+            stdout_of(&out).contains("usage: atf-tune campaign"),
+            "{args:?}"
+        );
+    }
+}
+
+/// Structural campaign errors are usage errors (exit 2) with the
+/// structured message on stderr — and nothing gets executed or written.
+#[test]
+fn campaign_validation_errors_exit_two() {
+    let dir = fresh_dir("validate-err");
+
+    let cyclic = dir.join("cyclic.json");
+    std::fs::write(
+        &cyclic,
+        r#"{"campaign": "c", "nodes": [
+            {"name": "a", "spec": "na.json", "after": ["b"]},
+            {"name": "b", "spec": "nb.json", "after": ["a"]}]}"#,
+    )
+    .unwrap();
+    let out = run_with(&["campaign", "validate", cyclic.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr_of(&out).contains("dependency cycle"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    let bad_policy = dir.join("policy.json");
+    std::fs::write(
+        &bad_policy,
+        r#"{"campaign": "c", "nodes": [
+            {"name": "a", "spec": "na.json", "on_failure": {"policy": "explode"}}]}"#,
+    )
+    .unwrap();
+    let out = run_with(&["campaign", "validate", bad_policy.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("explode"), "{}", stderr_of(&out));
+
+    // Valid graph, but the node's tuning spec does not exist: caught by
+    // validation, named after the node.
+    let missing = dir.join("missing.json");
+    std::fs::write(
+        &missing,
+        r#"{"campaign": "c", "nodes": [{"name": "alpha", "spec": "nowhere.json"}]}"#,
+    )
+    .unwrap();
+    let out = run_with(&["campaign", "validate", missing.to_str().unwrap()]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr_of(&out).contains("alpha"), "{}", stderr_of(&out));
+
+    assert_eq!(exit_code(&run_with(&["campaign"])), 2);
+    assert_eq!(
+        exit_code(&run_with(&["campaign", "--concurrency", "many", "c.json"])),
+        2
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `validate` and `--dry-run` print the plan and run *nothing*: zero
+/// evaluations, no state directory, no journals.
+#[cfg(unix)]
+#[test]
+fn campaign_validate_and_dry_run_execute_nothing() {
+    let dir = fresh_dir("dry-run");
+    let campaign = write_campaign(&dir, "0", 8);
+    let path = campaign.to_str().unwrap();
+
+    for args in [
+        &["campaign", "validate", path][..],
+        &["campaign", "--dry-run", path][..],
+    ] {
+        let out = run_with(args);
+        assert_eq!(exit_code(&out), 0, "{args:?}: {}", stderr_of(&out));
+        let report = stdout_of(&out);
+        assert!(
+            report.contains("campaign is valid; nothing was executed"),
+            "{report}"
+        );
+        assert!(report.contains("order:"), "{report}");
+        assert!(report.contains("alpha"), "{report}");
+        assert!(report.contains("retry x2"), "{report}");
+    }
+    assert!(
+        !dir.join("evals.log").exists(),
+        "validation must not spawn a single evaluation"
+    );
+    assert!(
+        !PathBuf::from(format!("{}.state", campaign.display())).exists(),
+        "validation must not create campaign state"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A local two-node campaign completes with exit 0, prints the summary
+/// table, and leaves a parseable `report.json` in the state directory.
+#[cfg(unix)]
+#[test]
+fn campaign_runs_locally_and_writes_the_report() {
+    let dir = fresh_dir("local");
+    let campaign = write_campaign(&dir, "0", 8);
+    let state = dir.join("state");
+    let out = run_with(&[
+        "campaign",
+        "--state-dir",
+        state.to_str().unwrap(),
+        campaign.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr_of(&out));
+    let table = stdout_of(&out);
+    assert!(table.contains("alpha"), "{table}");
+    assert!(table.contains("beta"), "{table}");
+    assert!(table.contains("completed"), "{table}");
+    assert!(table.contains("total: 16 evaluations"), "{table}");
+
+    let body = std::fs::read_to_string(state.join("report.json")).unwrap();
+    let report: atf_core::campaign::CampaignReport = serde_json::from_str(body.trim()).unwrap();
+    assert_eq!(report.campaign, "cli-e2e");
+    assert_eq!(report.total_evaluations, 16);
+    assert!(!report.budget_exhausted);
+    for node in &report.nodes {
+        assert_eq!(node.outcome, "completed");
+        assert_eq!(node.attempts, 1);
+        assert_eq!(node.evaluations, 8);
+        assert_eq!(node.best_cost, Some(2.0), "optimum is BLOCK=5 at cost 2");
+        assert_eq!(node.best_config.len(), 1);
+        assert_eq!(node.best_config[0].name, "BLOCK");
+        assert_eq!(node.best_config[0].value, "5");
+    }
+    let evals = std::fs::read_to_string(dir.join("evals.log"))
+        .unwrap()
+        .lines()
+        .count();
+    assert_eq!(evals, 16, "each configuration measured exactly once");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Deterministic crash coverage: die at *every* campaign-journal append
+/// boundary (the hidden `--kill-after-appends` hook leaves on-disk state
+/// exactly as SIGKILL would), resume, and get a `report.json` that is
+/// byte-identical to the uninterrupted run's.
+#[cfg(unix)]
+#[test]
+fn campaign_killed_at_every_append_boundary_resumes_bit_identically() {
+    let dir = fresh_dir("kill-appends");
+    let campaign = write_campaign(&dir, "0", 8);
+    let path = campaign.to_str().unwrap();
+
+    let base_state = dir.join("state-base");
+    let baseline = run_with(&[
+        "campaign",
+        "--state-dir",
+        base_state.to_str().unwrap(),
+        path,
+    ]);
+    assert_eq!(exit_code(&baseline), 0, "stderr: {}", stderr_of(&baseline));
+    let baseline_report = std::fs::read_to_string(base_state.join("report.json")).unwrap();
+
+    // The uninterrupted run appends 4 entries (started/finished × 2 nodes).
+    for kill in 0..4u64 {
+        let state = dir.join(format!("state-kill-{kill}"));
+        let state_str = state.to_str().unwrap().to_string();
+        let killed = run_with(&[
+            "campaign",
+            "--state-dir",
+            &state_str,
+            "--kill-after-appends",
+            &kill.to_string(),
+            path,
+        ]);
+        assert_eq!(exit_code(&killed), 1, "kill point {kill} must die fatally");
+        assert!(
+            stderr_of(&killed).contains("campaign run died"),
+            "kill {kill}: {}",
+            stderr_of(&killed)
+        );
+        assert!(state.join("campaign.journal").exists(), "kill {kill}");
+        assert!(
+            !state.join("report.json").exists(),
+            "kill {kill}: no torn report"
+        );
+
+        let resumed = run_with(&["campaign", "--state-dir", &state_str, "--resume", path]);
+        assert_eq!(
+            exit_code(&resumed),
+            0,
+            "kill {kill} resume stderr: {}",
+            stderr_of(&resumed)
+        );
+        let report = std::fs::read_to_string(state.join("report.json")).unwrap();
+        assert_eq!(report, baseline_report, "kill point {kill}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The real thing: SIGKILL the campaign process mid-run, `--resume`, and
+/// the final report is byte-identical to the uninterrupted run's.
+#[cfg(unix)]
+#[test]
+fn campaign_sigkilled_mid_run_resumes_from_its_journal() {
+    let dir = fresh_dir("sigkill");
+    let campaign = write_campaign(&dir, "0.05", 12);
+    let path = campaign.to_str().unwrap();
+
+    let base_state = dir.join("state-base");
+    let baseline = run_with(&[
+        "campaign",
+        "--state-dir",
+        base_state.to_str().unwrap(),
+        path,
+    ]);
+    assert_eq!(exit_code(&baseline), 0, "stderr: {}", stderr_of(&baseline));
+    let baseline_report = std::fs::read_to_string(base_state.join("report.json")).unwrap();
+
+    let state = dir.join("state-killed");
+    let state_str = state.to_str().unwrap().to_string();
+    let mut victim = atf_tune()
+        .args(["campaign", "--state-dir", &state_str, path])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // 24 evaluations of ≥50 ms each: the kill lands mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    Command::new("kill")
+        .args(["-KILL", &victim.id().to_string()])
+        .status()
+        .unwrap();
+    let status = victim.wait().unwrap();
+    assert!(!status.success(), "the victim must die by signal");
+    assert!(
+        state.join("campaign.journal").exists(),
+        "no campaign journal left behind"
+    );
+    assert!(
+        !state.join("report.json").exists(),
+        "a killed campaign leaves no report"
+    );
+
+    let resumed = run_with(&["campaign", "--state-dir", &state_str, "--resume", path]);
+    assert_eq!(exit_code(&resumed), 0, "stderr: {}", stderr_of(&resumed));
+    let report = std::fs::read_to_string(state.join("report.json")).unwrap();
+    assert_eq!(report, baseline_report);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Spawns an in-process tuning service and returns the pieces needed to
+/// drive and shut it down.
+#[cfg(unix)]
+fn spawn_service(
+    config: atf_service::ManagerConfig,
+) -> (
+    std::net::SocketAddr,
+    atf_service::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let manager = std::sync::Arc::new(atf_service::SessionManager::new(config).unwrap());
+    let server = atf_service::Server::bind("127.0.0.1:0", manager).unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, shutdown, thread)
+}
+
+/// A service-mode campaign driven through a hostile chaos proxy produces
+/// a report byte-identical to the fault-free run against the same server:
+/// idempotent resends keep every evaluation exactly-once, and transient
+/// sheds are absorbed by the `retry_after_ms`-aware transport retries.
+#[cfg(unix)]
+#[test]
+fn campaign_through_a_chaos_proxy_matches_the_fault_free_run() {
+    let dir = fresh_dir("chaos");
+    let campaign = write_campaign(&dir, "0", 8);
+    let path = campaign.to_str().unwrap();
+    let (addr, shutdown, server_thread) = spawn_service(atf_service::ManagerConfig::default());
+
+    let direct_state = dir.join("state-direct");
+    let direct = run_with(&[
+        "campaign",
+        "--addr",
+        &addr.to_string(),
+        "--state-dir",
+        direct_state.to_str().unwrap(),
+        path,
+    ]);
+    assert_eq!(exit_code(&direct), 0, "stderr: {}", stderr_of(&direct));
+    let direct_report = std::fs::read_to_string(direct_state.join("report.json")).unwrap();
+
+    let mut plan = atf_service::ChaosPlan::hostile(0x7c9_c4a05);
+    plan.delay_by = std::time::Duration::from_millis(1);
+    let mut proxy = atf_service::ChaosProxy::spawn(addr, plan).unwrap();
+    let chaos_state = dir.join("state-chaos");
+    let chaotic = run_with(&[
+        "campaign",
+        "--addr",
+        &proxy.addr().to_string(),
+        "--retries",
+        "40",
+        "--backoff-ms",
+        "1",
+        "--state-dir",
+        chaos_state.to_str().unwrap(),
+        path,
+    ]);
+    assert_eq!(exit_code(&chaotic), 0, "stderr: {}", stderr_of(&chaotic));
+    let chaos_report = std::fs::read_to_string(chaos_state.join("report.json")).unwrap();
+    assert_eq!(chaos_report, direct_report);
+    assert!(
+        proxy.counters().total() > 0,
+        "the proxy must actually inject faults"
+    );
+
+    proxy.stop();
+    shutdown.signal();
+    server_thread.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A service that sheds everything (zero session slots) turns into the
+/// documented campaign exit code 3: the shed node is recorded
+/// `overloaded` — a capacity verdict, not a failure (which would exit 1).
+#[cfg(unix)]
+#[test]
+fn campaign_shed_after_retries_exits_three() {
+    let dir = fresh_dir("overloaded");
+    let campaign = write_campaign(&dir, "0", 8);
+    let (addr, shutdown, server_thread) = spawn_service(atf_service::ManagerConfig {
+        admission: atf_service::AdmissionConfig {
+            max_sessions: Some(0),
+            retry_after: std::time::Duration::from_millis(1),
+            ..atf_service::AdmissionConfig::default()
+        },
+        ..atf_service::ManagerConfig::default()
+    });
+
+    let state = dir.join("state");
+    let out = run_with(&[
+        "campaign",
+        "--addr",
+        &addr.to_string(),
+        "--backoff-ms",
+        "1",
+        "--state-dir",
+        state.to_str().unwrap(),
+        campaign.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 3, "stderr: {}", stderr_of(&out));
+    assert!(
+        stdout_of(&out).contains("overloaded"),
+        "{}",
+        stdout_of(&out)
+    );
+
+    shutdown.signal();
+    server_thread.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

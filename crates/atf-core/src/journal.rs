@@ -118,10 +118,38 @@ fn fnv1a64(s: &str) -> u64 {
     hash
 }
 
-fn checksummed_line(entry: &JournalEntry) -> Result<String, JournalError> {
+/// FNV-1a 64 hash of arbitrary text, rendered as 16 hex digits — the same
+/// hash the checksummed entry lines use. Other write-ahead logs (the
+/// campaign journal) key resumable state by a content hash of their source
+/// file through this, so a resume against an edited file is rejected
+/// instead of silently diverging.
+pub fn content_hash(text: &str) -> String {
+    format!("{:016x}", fnv1a64(text))
+}
+
+/// Wraps any serializable entry in the version-4 checksummed-line format
+/// (`{"crc":"<fnv1a-64 hex>","entry":{...}}`), making the corruption
+/// detection of run journals reusable by other append-only logs.
+pub fn checksummed_json_line<T: Serialize>(entry: &T) -> Result<String, JournalError> {
     let body = serde_json::to_string(entry).map_err(io_invalid)?;
     let crc = format!("{:016x}", fnv1a64(&body));
     Ok(format!("{{\"crc\":\"{crc}\",\"entry\":{body}}}"))
+}
+
+/// Parses a [`checksummed_json_line`]; `None` when the line is torn,
+/// corrupt, or not checksummed at all. Verification re-serializes the
+/// parsed entry (same serializer, field order and float formatting), so a
+/// mismatch means the bytes changed on disk.
+pub fn parse_checksummed_json_line<T: Serialize + Deserialize>(line: &str) -> Option<T> {
+    let value: serde::Value = serde_json::from_str(line).ok()?;
+    let crc = value.get("crc")?.as_str()?.to_string();
+    let entry = T::from_value(value.get("entry")?).ok()?;
+    let body = serde_json::to_string(&entry).ok()?;
+    (format!("{:016x}", fnv1a64(&body)) == crc).then_some(entry)
+}
+
+fn checksummed_line(entry: &JournalEntry) -> Result<String, JournalError> {
+    checksummed_json_line(entry)
 }
 
 /// Parses one entry line: a v4 checksummed wrapper (verified) or a bare

@@ -203,6 +203,55 @@ impl Bound<'_> {
         }
     }
 
+    /// Inclusive integer value bounds implied by top-level comparison
+    /// conjuncts: any *integer* value accepted by this bound satisfies
+    /// `lo <= v <= hi`. Conservative — atoms that imply no bound (or
+    /// appear under `Any`/`Not`) contribute nothing. This is what lets a
+    /// monotone window scan start *at* the first possibly-valid position
+    /// instead of filtering its way through the whole below-threshold
+    /// prefix (`> t` previously scanned it; `< t`/`== t` early-cut the
+    /// tail but paid a check per candidate up to the threshold).
+    pub(crate) fn value_bounds(&self) -> (Option<i128>, Option<i128>) {
+        match self {
+            Bound::All(xs) => xs.iter().fold((None, None), |(lo, hi), x| {
+                let (l, h) = x.atom_value_bounds();
+                (
+                    match (lo, l) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    },
+                    match (hi, h) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    },
+                )
+            }),
+            other => other.atom_value_bounds(),
+        }
+    }
+
+    fn atom_value_bounds(&self) -> (Option<i128>, Option<i128>) {
+        // Thresholds beyond this magnitude cannot tighten any i64/u64
+        // window further than "everything" / "nothing", and float→int
+        // conversion gets delicate; skip them.
+        const LIMIT: f64 = 9.0e18;
+        match self {
+            Bound::Greater(t) if t.is_finite() && t.abs() < LIMIT => {
+                // Integer v > t  ⇔  v ≥ ⌊t⌋ + 1.
+                (Some(t.floor() as i128 + 1), None)
+            }
+            Bound::Less(t) if t.is_finite() && t.abs() < LIMIT => {
+                // Integer v < t  ⇔  v ≤ ⌈t⌉ − 1.
+                (None, Some(t.ceil() as i128 - 1))
+            }
+            Bound::Eq(t) if t.is_finite() && t.abs() < LIMIT => {
+                // Non-integral t: ceil > floor ⇒ empty window, correctly.
+                (Some(t.ceil() as i128), Some(t.floor() as i128))
+            }
+            _ => (None, None),
+        }
+    }
+
     /// The smallest `divides` target among top-level conjuncts, if any —
     /// the handle for divisor enumeration.
     fn divides_target(&self) -> Option<u64> {
@@ -447,12 +496,46 @@ impl GroupPlan {
                 }
             }
         }
+        let mut next = 0u64;
+        let mut len = range.len();
+        if monotone && len > 0 {
+            // Tighten the scan window to the positions the comparison
+            // conjuncts can possibly accept. Positions stay *raw* range
+            // indices (seek/lazy-space checkpoints depend on that); only
+            // the start cursor and the exclusive end move.
+            let (lo, hi) = bound.value_bounds();
+            let (begin, step) = match range {
+                Range::UIntInterval { begin, step, .. } => (*begin as i128, *step as i128),
+                Range::IntInterval { begin, step, .. } => (i128::from(*begin), i128::from(*step)),
+                _ => unreachable!("monotone implies an integer interval"),
+            };
+            if let Some(lo) = lo {
+                if lo > begin {
+                    let skip = (lo - begin + step - 1) / step;
+                    next = if skip >= len as i128 {
+                        len
+                    } else {
+                        skip as u64
+                    };
+                }
+            }
+            if let Some(hi) = hi {
+                if hi < begin {
+                    len = 0;
+                } else {
+                    let last = (hi - begin) / step;
+                    if last + 1 < len as i128 {
+                        len = (last + 1) as u64;
+                    }
+                }
+            }
+        }
         CandSource::Window {
             range,
             bound: Some(bound),
             monotone,
-            next: 0,
-            len: range.len(),
+            next,
+            len,
         }
     }
 

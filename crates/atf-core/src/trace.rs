@@ -44,6 +44,9 @@ pub const EVENT_KINDS: &[&str] = &[
     "drain",
     "db_compact",
     "reactor",
+    "campaign_node",
+    "campaign_budget",
+    "campaign_skip",
 ];
 
 /// One trace event. `event` names the kind; the remaining fields are
@@ -104,6 +107,9 @@ pub struct TraceEvent {
     pub io_threads: Option<usize>,
     /// `reactor`: handler threads behind the ready queue.
     pub handlers: Option<usize>,
+    /// `campaign_node`, `campaign_budget`, `campaign_skip`: the campaign
+    /// node the event concerns.
+    pub node: Option<String>,
 }
 
 // Hand-written so `None` fields are omitted from the line entirely; the
@@ -146,6 +152,7 @@ impl serde::Serialize for TraceEvent {
         push(&mut fields, "tenant", &self.tenant);
         push(&mut fields, "io_threads", &self.io_threads);
         push(&mut fields, "handlers", &self.handlers);
+        push(&mut fields, "node", &self.node);
         serde::Value::Object(fields)
     }
 }
@@ -332,6 +339,42 @@ impl TraceEvent {
             io_threads: Some(io_threads),
             handlers: Some(handlers),
             ..Self::kind("reactor")
+        }
+    }
+
+    /// A campaign node reached a terminal state: `message` carries the
+    /// outcome label, `evaluations` the node's evaluation count, `attempt`
+    /// the attempts it consumed.
+    pub fn campaign_node(node: &str, outcome: &str, evaluations: u64, attempt: u32) -> Self {
+        TraceEvent {
+            node: Some(node.to_string()),
+            message: Some(outcome.to_string()),
+            evaluations: Some(evaluations),
+            attempt: Some(attempt),
+            ok: Some(outcome == "completed"),
+            ..Self::kind("campaign_node")
+        }
+    }
+
+    /// The shared campaign budget denied or cut `node`; `evaluations`
+    /// carries the campaign-wide spend when the budget fired.
+    pub fn campaign_budget(node: &str, spent: u64) -> Self {
+        TraceEvent {
+            node: Some(node.to_string()),
+            evaluations: Some(spent),
+            ok: Some(false),
+            ..Self::kind("campaign_budget")
+        }
+    }
+
+    /// A campaign node was skipped without running; `message` says why
+    /// (failed dependency, campaign abort).
+    pub fn campaign_skip(node: &str, reason: &str) -> Self {
+        TraceEvent {
+            node: Some(node.to_string()),
+            message: Some(reason.to_string()),
+            ok: Some(false),
+            ..Self::kind("campaign_skip")
         }
     }
 

@@ -1,0 +1,127 @@
+//! **Perf trajectory: campaign orchestration throughput** — nodes/sec
+//! through the full campaign runner (validate → schedule → execute →
+//! report) over a fleet of small in-process tuning sessions, serial vs
+//! concurrent, and with the crash-safety journal on vs off.
+//!
+//! The per-node work is deliberately tiny (a 32-configuration exhaustive
+//! session with an arithmetic cost), so the measured rate is dominated by
+//! the orchestration itself: dependency settling, policy bookkeeping,
+//! budget charging, and — in the journaled rows — two fsynced WAL appends
+//! per node.
+//!
+//! Writes `BENCH_campaign.json` at the workspace root so orchestration
+//! regressions are visible PR-over-PR.
+//!
+//! Run: `cargo run -p atf-bench --release --bin bench_campaign`
+
+use atf_bench::{write_bench, Record};
+use atf_core::campaign::{
+    run_campaign, validate, CampaignSpec, NodeContext, NodeError, NodeExecutor, NodeRun, NodeSpec,
+    RunConfig,
+};
+use atf_core::prelude::*;
+use std::time::Instant;
+
+const NODES: usize = 64;
+const SPACE: u64 = 32;
+
+/// Runs one small exhaustive session per node, threading the campaign's
+/// budget/cancel hooks through the abort condition like the CLI executor.
+struct SessionExecutor;
+
+impl NodeExecutor for SessionExecutor {
+    fn execute(&self, node: &NodeSpec, ctx: &NodeContext) -> Result<NodeRun, NodeError> {
+        let group = ParamGroup::new(vec![tp("X", Range::interval(1, SPACE))]);
+        let space = SearchSpace::generate(&[group]);
+        let mut session = TuningSession::<f64>::new(space, Box::new(Exhaustive::new()))
+            .map_err(|e| NodeError::Failed(e.to_string()))?
+            .abort_condition(ctx.hooks.wrap_abort(abort::evaluations(SPACE)));
+        let salt = node.name.bytes().map(u64::from).sum::<u64>() % 7;
+        while let Some(config) = session.next_config() {
+            let cost = ((config.get_u64("X") * 13 + salt) % 31) as f64;
+            session
+                .report(Ok(cost))
+                .map_err(|e| NodeError::Failed(e.to_string()))?;
+        }
+        match session.finish() {
+            Ok(r) => Ok(NodeRun {
+                evaluations: r.evaluations,
+                best_cost: Some(r.best_cost),
+                best_config: Vec::new(),
+            }),
+            Err(e) => Err(NodeError::Failed(e.to_string())),
+        }
+    }
+}
+
+/// Builds a campaign of `n` independent nodes at the given concurrency.
+fn spec(n: usize, concurrency: usize) -> CampaignSpec {
+    CampaignSpec {
+        campaign: "bench".into(),
+        nodes: (0..n)
+            .map(|i| NodeSpec {
+                name: format!("node-{i:02}"),
+                spec: format!("node-{i:02}.json"),
+                after: Vec::new(),
+                on_failure: None,
+            })
+            .collect(),
+        budget: None,
+        concurrency: Some(concurrency),
+    }
+}
+
+/// Runs the campaign once and returns (nodes/sec, total evaluations).
+fn run_once(concurrency: usize, journal: Option<std::path::PathBuf>) -> (f64, u64) {
+    let plan = validate(&spec(NODES, concurrency)).expect("bench campaign validates");
+    let cfg = RunConfig {
+        journal,
+        spec_hash: "bench".into(),
+        ..RunConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = run_campaign(&plan, &SessionExecutor, &cfg).expect("bench campaign completes");
+    let rate = NODES as f64 / t0.elapsed().as_secs_f64();
+    assert!(
+        report.nodes.iter().all(|n| n.outcome == "completed"),
+        "every bench node must complete"
+    );
+    (rate, report.total_evaluations)
+}
+
+fn main() {
+    println!("Campaign orchestration throughput: {NODES} nodes x {SPACE} evaluations per mode\n");
+    let dir = std::env::temp_dir().join(format!("atf-bench-campaign-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("bench campaign dir");
+
+    let mut records = Vec::new();
+    let mut row = |mode: &str, rate: f64, evals: u64| {
+        println!("{mode:>20} | {rate:>10.1} nodes/s | {evals:>6} evals");
+        records.push(Record {
+            experiment: "bench_campaign".into(),
+            device: "-".into(),
+            workload: mode.into(),
+            metrics: vec![
+                ("nodes_per_sec".into(), rate),
+                ("evaluations".into(), evals as f64),
+            ],
+        });
+    };
+
+    for (mode, concurrency, journaled) in [
+        ("serial", 1, false),
+        ("concurrent_8", 8, false),
+        ("serial_journal", 1, true),
+        ("concurrent_8_journal", 8, true),
+    ] {
+        let journal = journaled.then(|| dir.join(format!("{mode}.journal")));
+        let (rate, evals) = run_once(concurrency, journal);
+        assert_eq!(evals, NODES as u64 * SPACE, "exactly-once evaluation count");
+        row(mode, rate, evals);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    write_bench("campaign", &records);
+    println!("\ntrajectory written to BENCH_campaign.json");
+}

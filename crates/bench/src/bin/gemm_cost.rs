@@ -1,0 +1,75 @@
+//! Generic-cost-function bridge for the GEMM reproduction campaign
+//! (`examples/campaigns/gemm_repro.campaign.json`): runs ONE XgemmDirect
+//! evaluation on the simulated device, exactly the way `atf-tune` runs any
+//! external program.
+//!
+//! The CLI's process cost function exports each tuning parameter as
+//! `ATF_TP_<NAME>`, the spec's `program.source` path as `ATF_SOURCE`, and
+//! the per-evaluation cost log as `ATF_LOG_FILE`. Here `ATF_SOURCE` points
+//! at a one-line workload file — `<device> <m> <n> <k>` (e.g.
+//! `GPU 20 576 1`) — so the same binary serves every node of the campaign.
+//! The measured kernel runtime (ns) is written to `ATF_LOG_FILE`; an
+//! infeasible configuration exits nonzero, which the tuner records as a
+//! failed evaluation.
+//!
+//! Run (normally via the campaign, not by hand):
+//! `cargo build -p atf-bench --release --bin gemm_cost`
+
+use atf_bench::{devices, xgemm_cost_function};
+use atf_core::config::Config;
+use atf_core::cost::CostFunction;
+use atf_core::value::Value;
+
+const PARAMS: [&str; 10] = [
+    "WGD", "MDIMCD", "NDIMCD", "MDIMAD", "NDIMBD", "KWID", "VWMD", "VWND", "PADA", "PADB",
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("gemm_cost: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let source = std::env::var("ATF_SOURCE")
+        .unwrap_or_else(|_| fail("ATF_SOURCE is not set (run me through `atf-tune`)"));
+    let workload = std::fs::read_to_string(&source)
+        .unwrap_or_else(|e| fail(&format!("cannot read workload file {source}: {e}")));
+    let mut words = workload.split_whitespace();
+    let device_label = words
+        .next()
+        .unwrap_or_else(|| fail("workload file must read `<device> <m> <n> <k>`"));
+    let mut dim = || -> u64 {
+        words
+            .next()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| fail("workload file must read `<device> <m> <n> <k>`"))
+    };
+    let (m, n, k) = (dim(), dim(), dim());
+    let device = devices()
+        .into_iter()
+        .find(|(label, _)| *label == device_label)
+        .map(|(_, d)| d)
+        .unwrap_or_else(|| fail(&format!("unknown device `{device_label}` (CPU or GPU)")));
+
+    let mut pairs = Vec::with_capacity(PARAMS.len());
+    for name in PARAMS {
+        let var = format!("ATF_TP_{name}");
+        let value: u64 = std::env::var(&var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fail(&format!("{var} is not set to an integer")));
+        pairs.push((name, Value::UInt(value)));
+    }
+    let config = Config::from_pairs(pairs);
+
+    let mut cf = xgemm_cost_function(device, m, n, k);
+    let cost = match cf.evaluate(&config) {
+        Ok(ns) => ns,
+        Err(e) => fail(&format!("infeasible configuration: {e}")),
+    };
+    match std::env::var("ATF_LOG_FILE") {
+        Ok(log) => std::fs::write(&log, format!("{cost}\n"))
+            .unwrap_or_else(|e| fail(&format!("cannot write {log}: {e}"))),
+        Err(_) => println!("{cost}"),
+    }
+}

@@ -6,7 +6,7 @@
 //! indexable-space interface, oversized counts must fail structurally,
 //! and the service's spec-keyed space cache must survive a restart.
 
-use atf_core::constraint::{divides, greater_than, is_multiple_of, less_than, unequal};
+use atf_core::constraint::{divides, equal, greater_than, is_multiple_of, less_than, unequal};
 use atf_core::expr::{cst, param};
 use atf_core::param::{tp, tp_c, Param, ParamGroup};
 use atf_core::prelude::*;
@@ -22,7 +22,7 @@ fn random_group() -> impl Strategy<Value = ParamGroup> {
     (
         2usize..=5,                          // number of parameters
         prop::collection::vec(1u64..=14, 5), // range ends
-        prop::collection::vec(0u8..6, 5),    // constraint selector per param
+        prop::collection::vec(0u8..9, 5),    // constraint selector per param
     )
         .prop_map(move |(n, ends, kinds)| {
             let mut params: Vec<Param> = Vec::new();
@@ -43,7 +43,13 @@ fn random_group() -> impl Strategy<Value = ParamGroup> {
                             range,
                             less_than(param(prev) * 2u64) | greater_than(cst(6u64)),
                         ),
-                        _ => tp_c(name, range, less_than(param(prev)).not()),
+                        5 => tp_c(name, range, less_than(param(prev)).not()),
+                        // Comparison conjuncts: the interval-tightening
+                        // paths (dynamic and constant thresholds, both
+                        // cut directions, exact equality).
+                        6 => tp_c(name, range, greater_than(param(prev)) & divides(cst(12u64))),
+                        7 => tp_c(name, range, equal(param(prev))),
+                        _ => tp_c(name, range, greater_than(cst(3u64)) & less_than(cst(11u64))),
                     }
                 };
                 params.push(p);
@@ -98,6 +104,63 @@ proptest! {
             prop_assert_eq!(lazy.compose(&coords), i);
         }
     }
+}
+
+/// Comparison atoms *tighten* the scan window instead of filtering their
+/// way through it: with `X > K` the compiled generator must never probe
+/// the below-threshold prefix (previously it checked every candidate from
+/// the window's start).
+#[test]
+fn comparison_atoms_tighten_the_scan_window() {
+    use atf_core::constraint::predicate;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let probes = Arc::new(AtomicU64::new(0));
+    let p = Arc::clone(&probes);
+    let group = ParamGroup::new(vec![tp_c(
+        "X",
+        Range::interval(1, 10_000),
+        greater_than(cst(9_900u64))
+            & predicate("even", move |v, _| {
+                p.fetch_add(1, Ordering::Relaxed);
+                v.as_u64().is_some_and(|x| x % 2 == 0)
+            }),
+    )]);
+    let space = GroupSpace::generate(&group);
+    assert_eq!(space.len(), 50, "even values in 9901..=10000");
+    let probed = probes.load(Ordering::Relaxed);
+    assert!(
+        probed <= 100,
+        "tightened scan probed {probed} candidates (bound admits 100 of 10000)"
+    );
+}
+
+/// An equality atom collapses the scan window to a single position.
+#[test]
+fn equality_atoms_collapse_the_scan_window() {
+    use atf_core::constraint::predicate;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let probes = Arc::new(AtomicU64::new(0));
+    let p = Arc::clone(&probes);
+    let group = ParamGroup::new(vec![tp_c(
+        "X",
+        Range::interval(1, 100_000),
+        equal(cst(777u64))
+            & predicate("probe", move |v, _| {
+                p.fetch_add(1, Ordering::Relaxed);
+                v.as_u64().is_some()
+            }),
+    )]);
+    let space = GroupSpace::generate(&group);
+    assert_eq!(space.len(), 1);
+    assert_eq!(
+        probes.load(Ordering::Relaxed),
+        1,
+        "equality must pinpoint exactly one candidate position"
+    );
 }
 
 /// A search space too large for `u64`/`u128` counting reports
